@@ -1,0 +1,65 @@
+"""Ablation — which deception groups carry the deactivation rate.
+
+Disables one deception group at a time and re-runs a stratified 106-sample
+slice of the MalGene corpus (every 10th sample), reporting the deactivation
+rate per configuration. The design claims this probes: debugger deception
+dominates (most samples lead with IsDebuggerPresent), software/registry
+deception covers the anti-VM tail, and no single remaining group rescues
+the PEB/CPUID failures.
+
+Run: ``pytest benchmarks/bench_ablation.py --benchmark-only -s``
+"""
+
+from repro.analysis.environments import build_bare_metal_sandbox
+from repro.core import ScarecrowConfig
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_pairs
+from repro.malware.corpus import build_malgene_corpus
+
+CONFIGS = (
+    ("full", ScarecrowConfig()),
+    ("no debugger deception", ScarecrowConfig(enable_debugger=False)),
+    ("no software deception", ScarecrowConfig(enable_software=False)),
+    ("no hardware deception", ScarecrowConfig(enable_hardware=False)),
+    ("no network deception", ScarecrowConfig(enable_network=False)),
+    ("no timing deception", ScarecrowConfig(enable_timing=False)),
+)
+
+
+def _slice():
+    return build_malgene_corpus()[::10]   # 106 samples, all archetypes
+
+
+def _factory():
+    return build_bare_metal_sandbox(aged=False)
+
+
+def _rate(samples, config):
+    outcomes = run_pairs(samples, machine_factory=_factory, config=config)
+    deactivated = sum(1 for o in outcomes if o.comparison.deactivated)
+    return deactivated / len(outcomes)
+
+
+def test_bench_ablation(benchmark):
+    samples = _slice()
+
+    def sweep():
+        return [(label, _rate(samples, config))
+                for label, config in CONFIGS]
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + render_table(
+        ("Configuration", "Deactivation rate"),
+        [(label, f"{rate:.1%}") for label, rate in rates],
+        title=f"Ablation over {len(samples)} stratified samples"))
+    by_label = dict(rates)
+    full = by_label["full"]
+    assert full > 0.8
+    # Debugger deception carries the self-spawner mass.
+    assert by_label["no debugger deception"] < full - 0.3
+    # Software deception carries the anti-VM/anti-sandbox tail.
+    assert by_label["no software deception"] < full
+    # Each single remaining group still leaves most coverage intact.
+    for label in ("no hardware deception", "no network deception",
+                  "no timing deception"):
+        assert by_label[label] >= full - 0.15, label

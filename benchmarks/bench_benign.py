@@ -1,0 +1,45 @@
+"""E7 — benign-impact sweep: the top-20 CNET corpus under Scarecrow.
+
+Run: ``pytest benchmarks/bench_benign.py --benchmark-only -s``
+"""
+
+from repro.analysis.environments import build_end_user_machine
+from repro.core import ScarecrowConfig, ScarecrowController
+from repro.experiments.report import render_table
+from repro.malware.benign import build_cnet_corpus
+
+
+def _sweep():
+    reports = []
+    for program in build_cnet_corpus():
+        bare_machine = build_end_user_machine()
+        bare_proc = bare_machine.spawn_process(
+            program.spec.exe_name, program.image_path,
+            parent=bare_machine.explorer)
+        bare = program.run(bare_machine, bare_proc)
+
+        protected_machine = build_end_user_machine()
+        controller = ScarecrowController(
+            protected_machine,
+            config=ScarecrowConfig(enable_username=False))
+        target = controller.launch(program.image_path)
+        protected = program.run(protected_machine, target)
+        reports.append((program.spec.name, bare, protected))
+    return reports
+
+
+def test_bench_benign_corpus(benchmark):
+    reports = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [(name,
+             "ok" if bare.installed else bare.error,
+             "ok" if protected.installed else protected.error,
+             "identical" if bare.fingerprint == protected.fingerprint
+             else "DIVERGED")
+            for name, bare, protected in reports]
+    print("\n" + render_table(
+        ("Program", "Bare", "Under SCARECROW", "Behaviour"),
+        rows, title="Benign impact (B_CNET, 20 programs)"))
+    assert len(reports) == 20
+    for name, bare, protected in reports:
+        assert protected.installed and protected.ran, name
+        assert bare.fingerprint == protected.fingerprint, name

@@ -1,0 +1,27 @@
+"""E5/E6 — regenerate the Section V case studies.
+
+Run: ``pytest benchmarks/bench_casestudies.py --benchmark-only -s``
+"""
+
+from repro.experiments import (render_case1, render_case2, run_case1,
+                               run_case2)
+
+
+def test_bench_case1_kasidet(benchmark):
+    result = benchmark.pedantic(run_case1, rounds=3, iterations=1)
+    print("\n" + render_case1(result))
+    assert result.case.deactivated
+    assert result.disjunction_size > 10
+    assert result.single_predicate_sufficed
+
+
+def test_bench_case2_ransomware(benchmark):
+    results = benchmark.pedantic(run_case2, rounds=3, iterations=1)
+    print("\n" + render_case2(results))
+    by_name = {r.sample_name: r for r in results}
+    assert by_name["WannaCry variant"].deactivated
+    assert by_name["WannaCry variant"].files_encrypted_with == 0
+    assert by_name["WannaCry variant"].files_encrypted_without > 0
+    assert not by_name["WannaCry original"].deactivated  # out of scope
+    assert by_name["Locky"].deactivated
+    assert by_name["Cerber variant"].deactivated

@@ -1,0 +1,22 @@
+"""E9 — the Section II-C collection pipeline and its exact counts.
+
+Run: ``pytest benchmarks/bench_collector.py --benchmark-only``
+"""
+
+from repro.analysis.environments import (build_clean_baseline,
+                                         build_public_sandboxes)
+from repro.core import DeceptionDatabase, collect_from_public_sandboxes
+
+
+def test_bench_collector_pipeline(benchmark):
+    def pipeline():
+        db = DeceptionDatabase()
+        counts = collect_from_public_sandboxes(
+            db, build_public_sandboxes(), build_clean_baseline())
+        return db, counts
+
+    db, counts = benchmark.pedantic(pipeline, rounds=3, iterations=1)
+    # "17,540 files, 24 processes, and 1,457 registry entries are added"
+    assert counts == {"files": 17540, "processes": 24,
+                      "registry_entries": 1457}
+    assert db.counts()["files"] >= 17540

@@ -1,0 +1,35 @@
+"""E2 — regenerate Figure 4 and the §IV-C.1 headline numbers.
+
+Runs the full 1,054-sample MalGene corpus with and without Scarecrow.
+Run: ``pytest benchmarks/bench_figure4.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.experiments import (PAPER_DEACTIVATED, PAPER_SELF_SPAWNING,
+                               PAPER_SELF_SPAWNING_IDP, PAPER_SYMMI,
+                               PAPER_TOTAL, render_figure4, run_figure4)
+
+
+def test_bench_figure4_full_corpus(benchmark):
+    result = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    print("\n" + render_figure4(result))
+
+    summary = result.summary
+    assert summary.total == PAPER_TOTAL == 1054
+    assert summary.deactivated == PAPER_DEACTIVATED == 944
+    assert summary.deactivation_rate == pytest.approx(0.8956, abs=0.0005)
+    assert summary.self_spawning == PAPER_SELF_SPAWNING == 823
+    assert summary.self_spawning_using_idp == PAPER_SELF_SPAWNING_IDP == 815
+
+    symmi = result.families["Symmi"]
+    assert symmi.total == PAPER_SYMMI["total"]
+    assert symmi.deactivated == PAPER_SYMMI["deactivated"]
+    assert symmi.self_spawning == PAPER_SYMMI["self_spawning"]
+    assert symmi.created_processes_without == \
+        PAPER_SYMMI["created_processes"]
+    assert symmi.modified_files_registry_without == \
+        PAPER_SYMMI["modified_files_registry"]
+
+    # Selfdel is the one family where effectiveness is undeterminable.
+    assert result.families["Selfdel"].deactivated == 0

@@ -1,0 +1,104 @@
+"""E8 — the "negligible performance overhead" claim (Section III).
+
+Measures hooked-vs-unhooked API call latency inside the simulation, plus
+deception-engine lookup throughput. Absolute numbers are simulation costs,
+not silicon; the claim under test is the *relative* overhead of routing a
+call through Scarecrow's hook chain.
+
+Run: ``pytest benchmarks/bench_overhead.py --benchmark-only``
+"""
+
+import pytest
+
+from repro import winapi
+from repro.core import DeceptionDatabase, ScarecrowController
+from repro.winsim import Machine
+
+
+@pytest.fixture
+def unhooked_api():
+    machine = Machine().boot()
+    process = machine.spawn_process("plain.exe", parent=machine.explorer)
+    api = winapi.bind(machine, process)
+    api.quiet = True
+    return api
+
+
+@pytest.fixture
+def hooked_api():
+    machine = Machine().boot()
+    controller = ScarecrowController(machine)
+    target = controller.launch("C:\\dl\\bench.exe")
+    api = winapi.bind(machine, target)
+    api.quiet = True
+    return api
+
+
+def test_bench_unhooked_registry_open(benchmark, unhooked_api):
+    benchmark(unhooked_api.RegOpenKeyExA, "HKEY_LOCAL_MACHINE",
+              "SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion")
+
+
+def test_bench_hooked_registry_open_passthrough(benchmark, hooked_api):
+    """Hooked, but the key is not deceptive -> full passthrough path."""
+    benchmark(hooked_api.RegOpenKeyExA, "HKEY_LOCAL_MACHINE",
+              "SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion")
+
+
+def test_bench_hooked_registry_open_deceptive(benchmark, hooked_api):
+    """Hooked and deceptive -> key materialization path."""
+    benchmark(hooked_api.RegOpenKeyExA, "HKEY_LOCAL_MACHINE",
+              "SOFTWARE\\Oracle\\VirtualBox Guest Additions")
+
+
+def test_bench_unhooked_is_debugger_present(benchmark, unhooked_api):
+    benchmark(unhooked_api.IsDebuggerPresent)
+
+
+def test_bench_hooked_is_debugger_present(benchmark, hooked_api):
+    benchmark(hooked_api.IsDebuggerPresent)
+
+
+def test_bench_unhooked_file_query(benchmark, unhooked_api):
+    benchmark(unhooked_api.GetFileAttributesA, "C:\\Windows\\System32")
+
+
+def test_bench_hooked_file_query(benchmark, hooked_api):
+    benchmark(hooked_api.GetFileAttributesA, "C:\\Windows\\System32")
+
+
+def test_bench_database_file_lookup(benchmark):
+    db = DeceptionDatabase()
+    benchmark(db.lookup_file,
+              "C:\\Windows\\System32\\drivers\\vmmouse.sys")
+
+
+def test_bench_database_registry_lookup(benchmark):
+    db = DeceptionDatabase()
+    benchmark(db.lookup_registry_key,
+              "HKEY_LOCAL_MACHINE\\SOFTWARE\\Oracle\\"
+              "VirtualBox Guest Additions")
+
+
+def test_bench_controller_launch_inject(benchmark):
+    """Full protect-a-process cost: spawn + inject + ~40 hook installs."""
+
+    def launch_once():
+        machine = Machine().boot()
+        controller = ScarecrowController(machine)
+        return controller.launch("C:\\dl\\target.exe")
+
+    target = benchmark(launch_once)
+    assert target.tags["scarecrow_hooks_installed"] >= 29
+
+
+def test_relative_overhead_is_modest(unhooked_api, hooked_api):
+    """The headline assertion: hook routing costs < 5x on passthrough."""
+    import timeit
+    unhooked = timeit.timeit(
+        lambda: unhooked_api.GetFileAttributesA("C:\\Windows\\System32"),
+        number=2000)
+    hooked = timeit.timeit(
+        lambda: hooked_api.GetFileAttributesA("C:\\Windows\\System32"),
+        number=2000)
+    assert hooked < unhooked * 5, (hooked, unhooked)

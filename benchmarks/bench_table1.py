@@ -1,0 +1,15 @@
+"""E1 — regenerate Table I (Joe Security, 13 samples, w/ vs w/o Scarecrow).
+
+Run: ``pytest benchmarks/bench_table1.py --benchmark-only -s``
+"""
+
+from repro.experiments import (effectiveness_count, render_table1,
+                               run_table1)
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    print("\n" + render_table1(rows))
+    assert len(rows) == 13
+    assert effectiveness_count(rows) == 12      # paper: 12/13
+    assert all(row.matches_paper for row in rows)

@@ -1,0 +1,12 @@
+"""E3 — regenerate Table II (Pafish × 3 environments × w//w/o Scarecrow).
+
+Run: ``pytest benchmarks/bench_table2.py --benchmark-only -s``
+"""
+
+from repro.experiments import (matches_paper, render_table2, run_table2)
+
+
+def test_bench_table2(benchmark):
+    cells = benchmark.pedantic(run_table2, rounds=3, iterations=1)
+    print("\n" + render_table2(cells))
+    assert matches_paper(cells)   # every one of the 66 cells

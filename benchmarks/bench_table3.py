@@ -1,0 +1,19 @@
+"""E4 — regenerate Table III (wear-and-tear artifacts faked by Scarecrow).
+
+Run: ``pytest benchmarks/bench_table3.py --benchmark-only -s``
+"""
+
+from repro.experiments import render_table3, run_table3
+
+
+def test_bench_table3(benchmark):
+    result = benchmark.pedantic(run_table3, rounds=3, iterations=1)
+    print("\n" + render_table3(result))
+    assert result.verdict_without.label == "real"
+    assert result.verdict_with.label == "sandbox"
+    assert result.verdict_sandbox.label == "sandbox"
+    assert result.faked_value("dnscacheEntries") == 4
+    assert result.faked_value("sysevt") == 8000
+    assert result.faked_value("deviceClsCount") == 29
+    assert result.faked_value("autoRunCount") == 3
+    assert result.faked_value("regSize") == 53 * 1024 * 1024

@@ -1,0 +1,91 @@
+"""Baseline comparison — Scarecrow vs AutoVac-style vaccination.
+
+Quantifies the paper's related-work argument (§VII-C) over two sample
+populations: environment-fingerprinting malware (a 106-sample stratified
+MalGene slice) and marker-guarded malware (the vaccine corpus, pure and
+hybrid variants).
+
+Run: ``pytest benchmarks/bench_vaccine_baseline.py --benchmark-only -s``
+"""
+
+from repro.analysis.environments import build_bare_metal_sandbox
+from repro.core import (ScarecrowController, VaccinationAgent,
+                        build_marker_gated_corpus)
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_pairs
+from repro.malware.corpus import build_malgene_corpus
+
+
+def _fresh():
+    return build_bare_metal_sandbox(aged=False)
+
+
+def _rate_env_corpus_scarecrow(samples):
+    outcomes = run_pairs(samples, machine_factory=_fresh)
+    return sum(o.comparison.deactivated for o in outcomes) / len(outcomes)
+
+
+def _rate_env_corpus_vaccine(samples):
+    stopped = 0
+    for sample in samples:
+        machine = _fresh()
+        VaccinationAgent().inoculate(machine)
+        process = machine.spawn_process(sample.exe_name, sample.image_path,
+                                        parent=machine.explorer)
+        if not sample.run(machine, process).executed_payload:
+            stopped += 1
+    return stopped / len(samples)
+
+
+def _rate_marker_corpus(samples, defense):
+    stopped = 0
+    for sample in samples:
+        machine = _fresh()
+        if defense == "vaccine":
+            VaccinationAgent().inoculate(machine)
+            process = machine.spawn_process(
+                sample.exe_name, sample.image_path, parent=machine.explorer)
+        else:
+            controller = ScarecrowController(machine)
+            process = controller.launch(sample.image_path)
+        if not sample.run(machine, process).executed_payload:
+            stopped += 1
+    return stopped / len(samples)
+
+
+def test_bench_scarecrow_vs_vaccination(benchmark):
+    env_corpus = build_malgene_corpus()[::10]
+    marker_corpus = build_marker_gated_corpus()
+    pure = [s for s in marker_corpus if "pure" in s.exe_name]
+    hybrid = [s for s in marker_corpus if "hybrid" in s.exe_name]
+
+    def sweep():
+        return {
+            ("env-fingerprinting", "Scarecrow"):
+                _rate_env_corpus_scarecrow(env_corpus),
+            ("env-fingerprinting", "Vaccination"):
+                _rate_env_corpus_vaccine(env_corpus),
+            ("marker-guarded (pure)", "Scarecrow"):
+                _rate_marker_corpus(pure, "scarecrow"),
+            ("marker-guarded (pure)", "Vaccination"):
+                _rate_marker_corpus(pure, "vaccine"),
+            ("marker-guarded (hybrid)", "Scarecrow"):
+                _rate_marker_corpus(hybrid, "scarecrow"),
+            ("marker-guarded (hybrid)", "Vaccination"):
+                _rate_marker_corpus(hybrid, "vaccine"),
+        }
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = sorted((pop, defense, f"{rate:.0%}")
+                  for (pop, defense), rate in rates.items())
+    print("\n" + render_table(("Population", "Defense", "Deactivation"),
+                              rows, title="Scarecrow vs vaccination"))
+
+    # The §VII-C trade-off, asserted:
+    assert rates[("env-fingerprinting", "Scarecrow")] > 0.8
+    assert rates[("env-fingerprinting", "Vaccination")] == 0.0
+    assert rates[("marker-guarded (pure)", "Vaccination")] == 1.0
+    assert rates[("marker-guarded (pure)", "Scarecrow")] == 0.0
+    # Hybrids fall to either defense.
+    assert rates[("marker-guarded (hybrid)", "Scarecrow")] == 1.0
+    assert rates[("marker-guarded (hybrid)", "Vaccination")] == 1.0

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The Section II-C learning loop: MalGene signatures feed the database.
+
+A sample that evades with a registry check unknown to Scarecrow's database
+initially survives deception. Running it in two analysis environments,
+aligning the traces MalGene-style, and feeding the extracted signature back
+into the database closes the gap: the next protected run deactivates it.
+"""
+
+from repro.analysis.agent import run_sample
+from repro.analysis.environments import (build_bare_metal_sandbox,
+                                         build_cuckoo_vm_sandbox)
+from repro.analysis.malgene import extract_evasion_signature, learn_signature
+from repro.core import DeceptionDatabase
+from repro.malware import register_check
+from repro.malware.payloads import DropperPayload
+from repro.malware.sample import EvadeAction, EvasiveSample
+
+NOVEL_KEY = ("HKEY_LOCAL_MACHINE\\SOFTWARE\\AcmeDynamics\\"
+             "HypervisorToolkit")
+
+
+@register_check("novel_vendor_key", "RegOpenKeyEx()")
+def _novel_vendor_key(api) -> bool:
+    from repro.winsim.errors import Win32Error
+    err, handle = api.RegOpenKeyExA(
+        "HKEY_LOCAL_MACHINE", "SOFTWARE\\AcmeDynamics\\HypervisorToolkit")
+    if err == Win32Error.ERROR_SUCCESS:
+        api.RegCloseKey(handle)
+        return True
+    return False
+
+
+def build_sample() -> EvasiveSample:
+    return EvasiveSample(
+        md5="77" * 16, exe_name="novel_evader.exe", family="Novel",
+        check_names=("novel_vendor_key",),
+        evade_action=EvadeAction.TERMINATE,
+        payload=DropperPayload(("implant.exe",)))
+
+
+def main() -> None:
+    sample = build_sample()
+    db = DeceptionDatabase()
+
+    # 1. The novel check is not in the database: deception misses it.
+    record = run_sample(build_bare_metal_sandbox(aged=False), sample,
+                        with_scarecrow=True, database=db)
+    print(f"before learning: payload ran = {record.result.executed_payload}")
+    assert record.result.executed_payload
+
+    # 2. MalGene setting: one environment where it evades (a VM whose
+    #    image carries the vendor key), one where it detonates.
+    vm = build_cuckoo_vm_sandbox()
+    vm.registry.create_key(NOVEL_KEY)
+    evaded = run_sample(vm, sample, with_scarecrow=False)
+    detonated = run_sample(build_bare_metal_sandbox(aged=False), sample,
+                           with_scarecrow=False)
+    signature = extract_evasion_signature(evaded.trace, detonated.trace)
+    print(f"extracted evasion signature: {signature.describe()}")
+
+    # 3. Feed it back and re-protect.
+    assert learn_signature(db, signature)
+    record = run_sample(build_bare_metal_sandbox(aged=False), sample,
+                        with_scarecrow=True, database=db)
+    print(f"after learning:  payload ran = {record.result.executed_payload} "
+          f"(trigger={record.result.trigger})")
+    assert not record.result.executed_payload
+
+
+if __name__ == "__main__":
+    main()

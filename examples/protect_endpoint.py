@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Endpoint-protection scenario: one controller, mixed workload.
+
+An actively-used workstation runs a normal day's software — plus three
+pieces of evasive malware arriving from downloads. Everything untrusted is
+launched through scarecrow.exe; the example shows per-sample verdicts,
+fingerprint reports flowing over IPC, the self-spawn-loop alarm, and the
+zero-impact run of a benign installer under the same deception engine.
+"""
+
+from repro import winapi
+from repro.analysis.environments import build_end_user_machine
+from repro.core import ScarecrowConfig, ScarecrowController
+from repro.malware import (build_cnet_corpus, build_joesec_samples,
+                           build_kasidet, build_locky)
+from repro.malware.corpus import build_malgene_corpus
+from repro.malware.families import TOP10_FAMILY_SPECS
+
+
+def main() -> None:
+    machine = build_end_user_machine()
+    controller = ScarecrowController(
+        machine, config=ScarecrowConfig(enable_username=False))
+
+    # --- three hostile arrivals ------------------------------------------
+    respawner = next(
+        s for s in build_malgene_corpus([TOP10_FAMILY_SPECS[0]])
+        if s.evade_action.value == "self_spawn")
+    hostile = [build_locky(), build_kasidet(), respawner]
+    for sample in hostile:
+        machine.filesystem.write_file(sample.image_path, b"MZ")
+        target = controller.launch(sample.image_path)
+        result = sample.run(machine, target)
+        verdict = "DEACTIVATED" if not result.executed_payload else "RAN"
+        print(f"{sample.family:<10} {sample.md5[:8]}  {verdict:<12} "
+              f"trigger={result.trigger}  spawns={result.self_spawn_count}")
+
+    # --- fingerprint telemetry over IPC ----------------------------------
+    reports = controller.drain_reports()
+    print(f"\n{len(reports)} fingerprint reports received by scarecrow.exe; "
+          f"by category: {controller.summary()}")
+
+    # --- self-spawn-loop alarm (Section VI-C) -----------------------------
+    for alarm in controller.alarms:
+        print(f"ALARM: {alarm.image_name} respawned {alarm.spawn_count}x "
+              f"(mitigated={alarm.mitigated})")
+    assert controller.alarms, "the Symmi respawner should have alarmed"
+
+    # --- a benign installer under the same engine -------------------------
+    chrome = build_cnet_corpus()[0]
+    target = controller.launch(chrome.image_path)
+    report = chrome.run(machine, target)
+    print(f"\nbenign check: {report.program} installed={report.installed} "
+          f"ran={report.ran} error={report.error}")
+    assert report.installed and report.error is None
+
+
+if __name__ == "__main__":
+    main()

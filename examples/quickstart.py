@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: deactivate the WannaCry variant on a simulated end host.
+
+The whole Scarecrow story in ~40 lines: build a machine with user
+documents on it, run the evasive WannaCry variant bare (it encrypts),
+reset, run it under Scarecrow (its kill-switch probe gets a deceptive
+answer and it exits without touching a file).
+"""
+
+from repro.analysis.deepfreeze import DeepFreeze
+from repro.core import ScarecrowController
+from repro.malware import build_wannacry_variant
+from repro.winsim import Machine
+
+
+def build_victim_machine() -> Machine:
+    machine = Machine().boot()
+    documents = "C:\\Users\\user\\Documents"
+    for name in ("thesis.docx", "family_photos.zip", "taxes_2019.xlsx"):
+        machine.filesystem.write_file(f"{documents}\\{name}",
+                                      f"contents of {name}".encode())
+    return machine
+
+
+def main() -> None:
+    machine = build_victim_machine()
+    freeze = DeepFreeze(machine)
+    freeze.freeze()
+    sample = build_wannacry_variant()
+    machine.filesystem.write_file(sample.image_path, b"MZ wannacry")
+
+    # --- Run 1: no protection -------------------------------------------
+    victim = machine.spawn_process(sample.exe_name, sample.image_path,
+                                   parent=machine.explorer)
+    result = sample.run(machine, victim)
+    encrypted = result.payload_outcome.files_encrypted
+    print(f"without Scarecrow: payload ran={result.executed_payload}, "
+          f"{len(encrypted)} files encrypted")
+    assert machine.filesystem.exists(
+        "C:\\Users\\user\\Documents\\thesis.docx.WCRY")
+
+    # --- Reset, Run 2: under Scarecrow ----------------------------------
+    freeze.reset()
+    machine.filesystem.write_file(sample.image_path, b"MZ wannacry")
+    controller = ScarecrowController(machine)
+    target = controller.launch(sample.image_path)
+    result = sample.run(machine, target)
+    print(f"with Scarecrow:    payload ran={result.executed_payload}, "
+          f"trigger={result.trigger}")
+    assert not result.executed_payload
+    assert machine.filesystem.exists(
+        "C:\\Users\\user\\Documents\\thesis.docx")  # intact!
+
+    trigger = controller.first_trigger()
+    print(f"deception engine reported: {trigger.category} probe via "
+          f"{trigger.trigger_name} on {trigger.resource!r}")
+
+
+if __name__ == "__main__":
+    main()

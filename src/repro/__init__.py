@@ -1,0 +1,27 @@
+"""Scarecrow reproduction (DSN 2020) on a simulated Windows substrate.
+
+Quickstart::
+
+    from repro.winsim import Machine
+    from repro.core import ScarecrowController
+    from repro.malware import build_wannacry_variant
+
+    machine = Machine().boot()
+    controller = ScarecrowController(machine)
+    sample = build_wannacry_variant()
+    machine.filesystem.write_file(sample.image_path, b"MZ")
+    target = controller.launch(sample.image_path)
+    result = sample.run(machine, target)
+    assert not result.executed_payload   # kill switch answered -> deactivated
+
+Layers (bottom-up): :mod:`repro.winsim` (simulated Windows machine),
+:mod:`repro.winapi` (hookable Win32/native API), :mod:`repro.hooking`
+(inline hooks, DLL injection, IPC), :mod:`repro.core` (Scarecrow),
+:mod:`repro.malware` (evasive/benign corpora), :mod:`repro.fingerprint`
+(Pafish, wear-and-tear), :mod:`repro.analysis` (environments, tracing,
+verdicts), :mod:`repro.experiments` (per-table/figure harness).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,33 @@
+"""Analysis machinery: environments, tracing, comparison, orchestration."""
+
+from .agent import (Agent, ExperimentCluster, Job, MachineFactory, Proxy,
+                    RunRecord, run_sample)
+from .comparison import (ComparisonResult, CorpusSummary, FamilyBreakdown,
+                         SELF_SPAWN_LOOP_THRESHOLD, Verdict,
+                         aggregate_by_family, compare_runs, summarize)
+from .deepfreeze import DeepFreeze
+from .environments import (PUBLIC_SANDBOX_VOLUMES, build_bare_metal_sandbox,
+                           build_clean_baseline, build_cuckoo_vm_sandbox,
+                           build_end_user_machine, build_public_sandbox,
+                           build_public_sandboxes)
+from .malgene import (EvasionSignature, align_traces,
+                      extract_evasion_signature, first_divergence_index,
+                      learn_signature)
+from .sandbox import (CuckooMonitorDll, SANDBOX_SINKHOLE_IP, SandboxRunner)
+from .trace import (SignificantActivity, Trace, alignment_key)
+from .tracer import DEFAULT_CATEGORIES, Tracer
+
+__all__ = [
+    "Agent", "ComparisonResult", "CorpusSummary", "CuckooMonitorDll",
+    "DEFAULT_CATEGORIES", "DeepFreeze", "EvasionSignature",
+    "ExperimentCluster", "FamilyBreakdown", "Job", "MachineFactory",
+    "PUBLIC_SANDBOX_VOLUMES", "Proxy", "RunRecord",
+    "SANDBOX_SINKHOLE_IP", "SELF_SPAWN_LOOP_THRESHOLD",
+    "SandboxRunner", "SignificantActivity", "Trace", "Tracer", "Verdict",
+    "aggregate_by_family", "align_traces", "alignment_key",
+    "build_bare_metal_sandbox", "build_clean_baseline",
+    "build_cuckoo_vm_sandbox", "build_end_user_machine",
+    "build_public_sandbox", "build_public_sandboxes", "compare_runs",
+    "extract_evasion_signature", "first_divergence_index",
+    "learn_signature", "run_sample", "summarize",
+]

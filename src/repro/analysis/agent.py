@@ -1,0 +1,175 @@
+"""Experiment orchestration: the agent/proxy cluster of Figure 3.
+
+Each bare-metal node runs a Python agent that fetches a (sample, config)
+job from the proxy, executes the sample for a minute while Fibratus traces
+kernel activity, uploads the trace, and resets the machine. Here, a fresh
+simulated machine per job substitutes for the Deep Freeze reboot cycle and
+the trace upload is a return value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..core.controller import ScarecrowController
+from ..core.database import DeceptionDatabase
+from ..core.profiles import ScarecrowConfig
+from ..malware.sample import EvasiveSample, SampleRunResult
+from ..winsim.machine import Machine
+from .trace import Trace
+from .tracer import Tracer
+
+MachineFactory = Callable[[], Machine]
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """One sample execution: configuration, trace, outcome."""
+
+    sample_md5: str
+    with_scarecrow: bool
+    trace: Trace
+    result: SampleRunResult
+    root_pid: int
+    machine: Machine
+    controller: Optional[ScarecrowController] = None
+
+    @property
+    def first_trigger(self) -> Optional[str]:
+        return self.result.trigger
+
+
+def _seed_sample_image(machine: Machine, sample: EvasiveSample) -> None:
+    machine.filesystem.write_file(sample.image_path,
+                                  b"MZ\x90\x00" + sample.md5.encode())
+
+
+def run_sample(machine: Machine, sample: EvasiveSample,
+               with_scarecrow: bool,
+               database: Optional[DeceptionDatabase] = None,
+               config: Optional[ScarecrowConfig] = None) -> RunRecord:
+    """Execute one sample on ``machine``, traced, one-minute style."""
+    _seed_sample_image(machine, sample)
+    controller: Optional[ScarecrowController] = None
+    tracer = Tracer(machine, label=f"{sample.md5[:7]}"
+                                   f"{'+scarecrow' if with_scarecrow else ''}")
+    with tracer:
+        if with_scarecrow:
+            controller = ScarecrowController(machine, database, config)
+            process = controller.launch(sample.image_path)
+        else:
+            agent = machine.spawn_process(
+                "pythonw.exe", "C:\\Python27\\pythonw.exe",
+                parent=machine.processes.find_by_name("services.exe")[0],
+                command_line="pythonw.exe agent.py")
+            process = machine.spawn_process(
+                sample.exe_name, sample.image_path, parent=agent,
+                command_line=sample.image_path)
+            process.tags["untrusted"] = True
+        result = sample.run(machine, process)
+    if controller is not None:
+        controller.shutdown()
+    return RunRecord(sample.md5, with_scarecrow, tracer.trace, result,
+                     process.pid, machine, controller)
+
+
+@dataclasses.dataclass
+class Job:
+    sample: EvasiveSample
+    with_scarecrow: bool
+
+
+class Proxy:
+    """Job queue + trace sink (the hub of Figure 3)."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[Job] = deque()
+        self.uploads: List[RunRecord] = []
+
+    def submit(self, sample: EvasiveSample, with_scarecrow: bool) -> None:
+        self._queue.append(Job(sample, with_scarecrow))
+
+    def submit_pair(self, sample: EvasiveSample) -> None:
+        """Both configurations "at about the same time" (Section IV-C.1)."""
+        self.submit(sample, with_scarecrow=False)
+        self.submit(sample, with_scarecrow=True)
+
+    def fetch(self) -> Optional[Job]:
+        return self._queue.popleft() if self._queue else None
+
+    def upload(self, record: RunRecord) -> None:
+        self.uploads.append(record)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class Agent:
+    """One cluster node: fetch job → fresh machine → run → upload."""
+
+    def __init__(self, proxy: Proxy, machine_factory: MachineFactory,
+                 database_factory: Optional[
+                     Callable[[], DeceptionDatabase]] = None,
+                 config: Optional[ScarecrowConfig] = None) -> None:
+        self.proxy = proxy
+        self.machine_factory = machine_factory
+        self.database_factory = database_factory
+        self.config = config
+        self.jobs_completed = 0
+
+    def run_one(self) -> bool:
+        job = self.proxy.fetch()
+        if job is None:
+            return False
+        machine = self.machine_factory()  # Deep-Freeze-fresh state
+        database = self.database_factory() if self.database_factory else None
+        record = run_sample(machine, job.sample, job.with_scarecrow,
+                            database, self.config)
+        self.proxy.upload(record)
+        self.jobs_completed += 1
+        return True
+
+    def run_until_idle(self) -> int:
+        completed = 0
+        while self.run_one():
+            completed += 1
+        return completed
+
+
+class ExperimentCluster:
+    """The whole Figure 3 rig, with a shared deception database.
+
+    A single :class:`DeceptionDatabase` is built once and shared across
+    runs (it is read-only during execution), which keeps 1,000-sample
+    sweeps fast.
+    """
+
+    def __init__(self, machine_factory: MachineFactory,
+                 database: Optional[DeceptionDatabase] = None,
+                 config: Optional[ScarecrowConfig] = None,
+                 agents: int = 1) -> None:
+        self.proxy = Proxy()
+        self.database = database or DeceptionDatabase()
+        self.config = config
+        self._agents = [
+            Agent(self.proxy, machine_factory,
+                  database_factory=lambda: self.database, config=config)
+            for _ in range(max(1, agents))]
+
+    def run_pair(self, sample: EvasiveSample) -> Tuple[RunRecord, RunRecord]:
+        """Run one sample in both configurations; returns (without, with)."""
+        self.proxy.submit_pair(sample)
+        while any(agent.run_one() for agent in self._agents):
+            pass
+        with_record = self.proxy.uploads.pop()
+        without_record = self.proxy.uploads.pop()
+        if with_record.with_scarecrow is False:
+            without_record, with_record = with_record, without_record
+        return without_record, with_record
+
+    def run_corpus(self, samples: List[EvasiveSample]
+                   ) -> Dict[str, Tuple[RunRecord, RunRecord]]:
+        return {sample.md5: self.run_pair(sample) for sample in samples}

@@ -1,0 +1,161 @@
+"""Deactivation verdicts: the with/without-Scarecrow trace comparison.
+
+Section IV-C.1's methodology, verbatim:
+
+1. A sample that keeps spawning itself (>10 respawns) under Scarecrow never
+   reaches the code beyond its evasive logic → **deactivated (self-spawn)**.
+2. Otherwise, compare traces: significant activities (new processes,
+   file writes, registry modification) present *without* Scarecrow but
+   absent *with* it → **deactivated (suppressed)**.
+3. No significant activity even without Scarecrow (the Selfdel family) →
+   **inconclusive** — effectiveness cannot be determined.
+4. Significant activity in both traces → **not deactivated**.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional
+
+from ..malware.sample import EvasiveSample, SampleRunResult
+from .trace import SignificantActivity, Trace
+
+#: Respawn count that constitutes an everlasting loop (paper: ">10 times").
+SELF_SPAWN_LOOP_THRESHOLD = 10
+
+
+class Verdict(enum.Enum):
+    DEACTIVATED_SELF_SPAWN = "deactivated (self-spawn loop)"
+    DEACTIVATED_SUPPRESSED = "deactivated (activity suppressed)"
+    NOT_DEACTIVATED = "not deactivated"
+    INCONCLUSIVE = "inconclusive"
+
+    @property
+    def deactivated(self) -> bool:
+        return self in (Verdict.DEACTIVATED_SELF_SPAWN,
+                        Verdict.DEACTIVATED_SUPPRESSED)
+
+
+@dataclasses.dataclass
+class ComparisonResult:
+    """Verdict plus the evidence that produced it."""
+
+    sample_md5: str
+    family: str
+    verdict: Verdict
+    self_spawn_count: int
+    trigger: Optional[str]
+    used_is_debugger_present: bool
+    activity_without: SignificantActivity
+    activity_with: SignificantActivity
+
+    @property
+    def deactivated(self) -> bool:
+        return self.verdict.deactivated
+
+    @property
+    def self_spawning(self) -> bool:
+        return self.self_spawn_count >= SELF_SPAWN_LOOP_THRESHOLD
+
+
+def compare_runs(sample: EvasiveSample,
+                 trace_without: Trace, result_without: SampleRunResult,
+                 trace_with: Trace, result_with: SampleRunResult,
+                 root_pid_without: int,
+                 root_pid_with: int) -> ComparisonResult:
+    """Apply the Section IV-C.1 decision procedure to one sample."""
+    scoped_without = trace_without.scoped_to_pids(
+        trace_without.process_tree_pids(root_pid_without))
+    scoped_with = trace_with.scoped_to_pids(
+        trace_with.process_tree_pids(root_pid_with))
+    activity_without = scoped_without.significant_activity(
+        sample.exe_name, sample.image_path)
+    activity_with = scoped_with.significant_activity(
+        sample.exe_name, sample.image_path)
+
+    if result_with.self_spawn_count >= SELF_SPAWN_LOOP_THRESHOLD:
+        verdict = Verdict.DEACTIVATED_SELF_SPAWN
+    elif activity_without.empty:
+        verdict = Verdict.INCONCLUSIVE
+    elif activity_with.empty:
+        verdict = Verdict.DEACTIVATED_SUPPRESSED
+    else:
+        verdict = Verdict.NOT_DEACTIVATED
+    return ComparisonResult(
+        sample_md5=sample.md5, family=sample.family, verdict=verdict,
+        self_spawn_count=result_with.self_spawn_count,
+        trigger=result_with.trigger,
+        used_is_debugger_present=result_with.used_is_debugger_present,
+        activity_without=activity_without, activity_with=activity_with)
+
+
+@dataclasses.dataclass
+class FamilyBreakdown:
+    """Figure 4's per-family bars."""
+
+    family: str
+    total: int = 0
+    deactivated: int = 0
+    self_spawning: int = 0
+    created_processes_without: int = 0
+    modified_files_registry_without: int = 0
+
+    @property
+    def deactivation_rate(self) -> float:
+        return self.deactivated / self.total if self.total else 0.0
+
+
+def aggregate_by_family(results: List[ComparisonResult]
+                        ) -> Dict[str, FamilyBreakdown]:
+    """Fold per-sample verdicts into Figure 4's family bars.
+
+    The process-creation / file-registry sub-counts are, as in the paper,
+    over *deactivated* samples' without-Scarecrow behaviour ("26 samples
+    created new processes without deploying SCARECROW").
+    """
+    breakdown: Dict[str, FamilyBreakdown] = {}
+    for result in results:
+        family = breakdown.setdefault(result.family,
+                                      FamilyBreakdown(result.family))
+        family.total += 1
+        if result.deactivated:
+            family.deactivated += 1
+            if result.activity_without.creates_processes:
+                family.created_processes_without += 1
+            if result.activity_without.modifies_files_or_registry:
+                family.modified_files_registry_without += 1
+        if result.self_spawning:
+            family.self_spawning += 1
+    return breakdown
+
+
+@dataclasses.dataclass
+class CorpusSummary:
+    """The §IV-C.1 headline numbers."""
+
+    total: int
+    deactivated: int
+    self_spawning: int
+    self_spawning_using_idp: int
+    inconclusive: int
+    not_deactivated: int
+
+    @property
+    def deactivation_rate(self) -> float:
+        return self.deactivated / self.total if self.total else 0.0
+
+
+def summarize(results: List[ComparisonResult]) -> CorpusSummary:
+    return CorpusSummary(
+        total=len(results),
+        deactivated=sum(1 for r in results if r.deactivated),
+        self_spawning=sum(1 for r in results if r.self_spawning),
+        self_spawning_using_idp=sum(
+            1 for r in results
+            if r.self_spawning and r.used_is_debugger_present),
+        inconclusive=sum(1 for r in results
+                         if r.verdict is Verdict.INCONCLUSIVE),
+        not_deactivated=sum(1 for r in results
+                            if r.verdict is Verdict.NOT_DEACTIVATED),
+    )

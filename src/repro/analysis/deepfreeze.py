@@ -1,0 +1,40 @@
+"""Deep Freeze substitute: snapshot a machine, reset it between runs.
+
+"each of which is reset to the clean state via Deep Freeze before the
+execution of a malware sample" — the experiment loop freezes the
+provisioned machine once, then thaws it back to that state (including a
+fresh boot-time process tree) before every sample.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..winsim.errors import SnapshotError
+from ..winsim.machine import Machine
+
+
+class DeepFreeze:
+    """Snapshot/restore wrapper for one machine."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._frozen_state: Optional[dict] = None
+        self.reset_count = 0
+
+    def freeze(self) -> None:
+        """Capture the current machine state as the clean baseline."""
+        self._frozen_state = self.machine.snapshot()
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen_state is not None
+
+    def reset(self) -> Machine:
+        """Roll the machine back to the frozen state and reboot processes."""
+        if self._frozen_state is None:
+            raise SnapshotError("freeze() must be called before reset()")
+        self.machine.restore(self._frozen_state)
+        self.machine.reset_processes()
+        self.reset_count += 1
+        return self.machine

@@ -1,0 +1,402 @@
+"""Machine builders for every execution environment in the evaluation.
+
+Three Table II environments:
+
+* :func:`build_bare_metal_sandbox` — the paper's bare-metal cluster node:
+  pristine Windows 7, no VM artifacts, no user activity, moderate uptime.
+* :func:`build_cuckoo_vm_sandbox` — Cuckoo 2.0.3 on VirtualBox: guest
+  additions everywhere, 1 vCPU / ~1 GB RAM, fresh boot, Cuckoo's "human"
+  module wiggling the mouse. The ``transparent=True`` variant models the
+  hardening applied for the with-Scarecrow runs ("We also modified CPUID
+  instruction results and updated the MAC address of the Cuckoo sandbox").
+* :func:`build_end_user_machine` — an actively-used workstation with
+  VMware Workstation installed ("due to work requirements"), long uptime,
+  heavy wear-and-tear, and the noisy timing that makes
+  ``rdtsc_diff_vmexit`` fire spuriously (as observed in the paper).
+
+Plus the Section II-C substrate: two public-sandbox machines (VirusTotal /
+Malwr models) carrying exactly the unique resources whose crawl-diff yields
+the paper's 17,540 / 24 / 1,457 counts, and the clean baseline machine the
+diff subtracts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Tuple
+
+from ..winsim.clock import TimingProfile
+from ..winsim.hardware import HV_VENDOR_VBOX
+from ..winsim.machine import Machine, MachineIdentity
+from ..winsim.types import GIB, MIB
+
+MINUTE_MS = 60 * 1000
+HOUR_MS = 60 * MINUTE_MS
+DAY_MS = 24 * HOUR_MS
+
+
+# ---------------------------------------------------------------------------
+# Shared provisioning
+# ---------------------------------------------------------------------------
+
+def _provision_cpu_brand_registry(machine: Machine) -> None:
+    machine.registry.set_value(
+        "HKEY_LOCAL_MACHINE\\HARDWARE\\DESCRIPTION\\System\\CentralProcessor\\0",
+        "ProcessorNameString", machine.hardware.cpu.brand)
+
+
+def _provision_scsi_identifier(machine: Machine, identifier: str) -> None:
+    machine.registry.set_value(
+        "HKEY_LOCAL_MACHINE\\HARDWARE\\DEVICEMAP\\Scsi\\Scsi Port 0\\"
+        "Scsi Bus 0\\Target Id 0\\Logical Unit Id 0",
+        "Identifier", identifier)
+
+
+def _provision_weartear(machine: Machine, *, dnscache_entries: int,
+                        event_count: int, event_sources: int,
+                        device_classes: int, autorun_values: int,
+                        uninstall_keys: int, shared_dlls: int,
+                        app_paths: int, active_setup: int, userassist: int,
+                        shimcache: int, muicache: int, firewall_rules: int,
+                        usbstor: int, registry_padding_bytes: int) -> None:
+    """Apply an aging level to a machine (the Miramirkhani artifacts)."""
+    reg = machine.registry
+    reg.bulk_padding_bytes = registry_padding_bytes
+    machine.dnscache.populate(
+        f"host-{i:04d}.visited.example" for i in range(dnscache_entries))
+    sources = [f"Source-{i:02d}" for i in range(max(1, event_sources))]
+    machine.eventlog.extend_synthetic(event_count, sources)
+    device_cls = ("HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Control\\"
+                  "DeviceClasses")
+    for index in range(device_classes):
+        reg.create_key(f"{device_cls}\\{{class-{index:04d}}}")
+    run_key = ("HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\"
+               "CurrentVersion\\Run")
+    for index in range(autorun_values):
+        reg.set_value(run_key, f"Startup{index:02d}",
+                      f"C:\\Program Files\\App{index:02d}\\app.exe")
+    uninstall = ("HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\"
+                 "CurrentVersion\\Uninstall")
+    for index in range(uninstall_keys):
+        reg.set_value(f"{uninstall}\\Product{index:03d}", "DisplayName",
+                      f"Product {index:03d}")
+    shared = ("HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\"
+              "CurrentVersion\\SharedDlls")
+    for index in range(shared_dlls):
+        reg.set_value(shared, f"C:\\Windows\\System32\\shared{index:03d}.dll",
+                      index + 1)
+    app_paths_key = ("HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\"
+                     "CurrentVersion\\App Paths")
+    for index in range(app_paths):
+        reg.create_key(f"{app_paths_key}\\app{index:03d}.exe")
+    active = ("HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Active Setup\\"
+              "Installed Components")
+    for index in range(active_setup):
+        reg.create_key(f"{active}\\{{component-{index:03d}}}")
+    ua = ("HKEY_CURRENT_USER\\Software\\Microsoft\\Windows\\CurrentVersion\\"
+          "Explorer\\UserAssist")
+    for index in range(userassist):
+        reg.create_key(f"{ua}\\{{guid-{index:03d}}}")
+    shim = ("HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Control\\"
+            "Session Manager\\AppCompatCache")
+    for index in range(shimcache):
+        reg.set_value(shim, f"entry{index:04d}", b"\x00" * 8)
+    mui = ("HKEY_CURRENT_USER\\Software\\Classes\\Local Settings\\Software\\"
+           "Microsoft\\Windows\\Shell\\MuiCache")
+    for index in range(muicache):
+        reg.set_value(mui, f"C:\\Program Files\\App{index:02d}\\app.exe",
+                      f"Application {index:02d}")
+    firewall = ("HKEY_LOCAL_MACHINE\\SYSTEM\\ControlSet001\\services\\"
+                "SharedAccess\\Parameters\\FirewallPolicy\\FirewallRules")
+    for index in range(firewall_rules):
+        reg.set_value(firewall, f"{{rule-{index:03d}}}",
+                      "v2.10|Action=Allow|")
+    usb = "HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Services\\UsbStor"
+    for index in range(usbstor):
+        reg.create_key(f"{usb}\\Disk&Ven_Vendor{index}&Prod_Stick{index}")
+
+
+def _register_common_internet(machine: Machine) -> None:
+    """A handful of genuinely-resolvable names every environment shares."""
+    for domain in ("www.microsoft.com", "windowsupdate.microsoft.com",
+                   "www.google.com", "time.windows.com"):
+        ip = machine.network.register_domain(domain)
+        machine.network.mark_reachable(ip)
+
+
+# ---------------------------------------------------------------------------
+# Table II environment (a): bare-metal sandbox
+# ---------------------------------------------------------------------------
+
+def build_bare_metal_sandbox(aged: bool = True) -> Machine:
+    """``aged=False`` skips the wear-and-tear provisioning — corpus-scale
+    sweeps that never read those surfaces build machines much faster."""
+    machine = Machine(
+        identity=MachineIdentity(hostname="BM-NODE-03", username="analyst"),
+        timing=TimingProfile(),  # clean native timing
+        boot_tick_ms=47 * MINUTE_MS)  # agent provisioning after reboot
+    machine.hardware.cpu.cores = 4
+    machine.hardware.total_ram = 8 * GIB
+    machine.hardware.available_ram = 6 * GIB
+    machine.filesystem.add_drive("C:", 256 * GIB, used_bytes_base=28 * GIB)
+    machine.boot()
+    machine.network.add_adapter("Local Area Connection", "F0:1F:AF:3A:5B:01",
+                                "Intel(R) 82579LM Gigabit")
+    _provision_cpu_brand_registry(machine)
+    _provision_scsi_identifier(machine, "DELL PERC H310")
+    _register_common_internet(machine)
+    if aged:
+        # Pristine image: almost no wear-and-tear.
+        _provision_weartear(machine, dnscache_entries=3, event_count=2800,
+                            event_sources=5, device_classes=24,
+                            autorun_values=2, uninstall_keys=3,
+                            shared_dlls=9, app_paths=12, active_setup=8,
+                            userassist=2, shimcache=14, muicache=3,
+                            firewall_rules=18, usbstor=0,
+                            registry_padding_bytes=38 * MIB)
+    machine.gui.humanized = False
+    machine.gui.move_cursor(512, 384)
+    return machine
+
+
+# ---------------------------------------------------------------------------
+# Table II environment (b): Cuckoo sandbox on VirtualBox
+# ---------------------------------------------------------------------------
+
+def build_cuckoo_vm_sandbox(transparent: bool = False) -> Machine:
+    """Cuckoo 2.0.3 inside a VirtualBox Windows 7 guest.
+
+    ``transparent=True`` applies the hardening used for the with-Scarecrow
+    measurements: CPUID results modified (hypervisor bit and vendor leaf
+    masked, no CPUID trap cost), a non-VM MAC address, and customized DMI
+    firmware strings.
+    """
+    machine = Machine(
+        identity=MachineIdentity(hostname="CUCKOO1-PC", username="user"),
+        timing=TimingProfile(cpuid_overhead_ns=60),
+        boot_tick_ms=4 * MINUTE_MS)  # snapshot restored moments ago
+    cpu = machine.hardware.cpu
+    cpu.cores = 1
+    cpu.hypervisor_present = True
+    cpu.hypervisor_vendor = HV_VENDOR_VBOX
+    cpu.cpuid_traps = not transparent
+    cpu.mask_hypervisor_bit = transparent
+    machine.hardware.total_ram = 1 * GIB - 32 * MIB
+    machine.hardware.available_ram = 540 * MIB
+    machine.filesystem.add_drive("C:", 100 * GIB, used_bytes_base=22 * GIB)
+    if transparent:
+        machine.hardware.firmware.bios_version = "DELL   - 6222004"
+        machine.hardware.firmware.system_manufacturer = "Dell Inc."
+        machine.hardware.firmware.video_bios_version = "Intel Video BIOS"
+        machine.hardware.firmware.scsi_identifier = None
+    else:
+        machine.hardware.firmware.bios_version = "VBOX   - 1"
+        machine.hardware.firmware.system_manufacturer = "innotek GmbH"
+        machine.hardware.firmware.video_bios_version = \
+            "Oracle VM VirtualBox Version 5.2.8"
+        machine.hardware.firmware.scsi_identifier = "VBOX HARDDISK"
+    machine.boot()
+    machine.network.add_adapter(
+        "Local Area Connection",
+        "52:54:9B:0C:11:22" if transparent else "08:00:27:8D:C0:FF",
+        "Intel PRO/1000 MT Desktop Adapter")
+    _provision_cpu_brand_registry(machine)
+    _provision_scsi_identifier(machine, "VBOX HARDDISK")
+    _register_common_internet(machine)
+
+    # -- VirtualBox guest artifacts (registry, files, devices, processes) --
+    reg = machine.registry
+    reg.create_key("HKEY_LOCAL_MACHINE\\SOFTWARE\\Oracle\\"
+                   "VirtualBox Guest Additions")
+    reg.set_value("HKEY_LOCAL_MACHINE\\SOFTWARE\\Oracle\\"
+                  "VirtualBox Guest Additions", "Version", "5.2.8")
+    for table in ("DSDT", "FADT", "RSDT"):
+        reg.create_key(f"HKEY_LOCAL_MACHINE\\HARDWARE\\ACPI\\{table}\\VBOX__")
+    reg.set_value("HKEY_LOCAL_MACHINE\\HARDWARE\\Description\\System",
+                  "SystemBiosVersion", "VBOX   - 1")
+    reg.set_value("HKEY_LOCAL_MACHINE\\HARDWARE\\Description\\System",
+                  "VideoBiosVersion",
+                  "Oracle VM VirtualBox Version 5.2.8")
+    reg.set_value("HKEY_LOCAL_MACHINE\\HARDWARE\\Description\\System",
+                  "SystemBiosDate", "06/23/99")
+    reg.create_key("HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Enum\\"
+                   "IDE\\DiskVBOX_HARDDISK___________________________1.0_")
+    for service in ("VBoxGuest", "VBoxService"):
+        reg.create_key("HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\"
+                       f"Services\\{service}")
+        machine.services.install(service)
+    fs = machine.filesystem
+    for name in ("VBoxMouse.sys", "VBoxGuest.sys", "VBoxSF.sys",
+                 "VBoxVideo.sys"):
+        fs.write_file(f"C:\\Windows\\System32\\drivers\\{name}", b"driver")
+    for name in ("vboxdisp.dll", "vboxhook.dll", "vboxogl.dll",
+                 "VBoxService.exe", "VBoxTray.exe"):
+        fs.write_file(f"C:\\Windows\\System32\\{name}", b"MZ")
+    for device in ("\\\\.\\VBoxGuest", "\\\\.\\VBoxMiniRdrDN",
+                   "\\\\.\\VBoxTrayIPC"):
+        machine.devices.register(device)
+    vbox_service = machine.spawn_process(
+        "VBoxService.exe", "C:\\Windows\\System32\\VBoxService.exe",
+        parent=machine.processes.find_by_name("services.exe")[0])
+    vbox_tray = machine.spawn_process(
+        "VBoxTray.exe", "C:\\Windows\\System32\\VBoxTray.exe",
+        parent=machine.explorer)
+    machine.gui.create_window("VBoxTrayToolWndClass", "VBoxTrayToolWnd",
+                              owner_pid=vbox_tray.pid)
+
+    # -- Cuckoo bits: agent + human module (no shared folders, internet-
+    #    routed DNS, no sleep skipping in this deployment) ------------------
+    fs.write_file("C:\\Users\\user\\AppData\\Local\\Temp\\agent.py",
+                  b"# cuckoo agent")
+    machine.spawn_process(
+        "pythonw.exe",
+        "C:\\Python27\\pythonw.exe", parent=machine.explorer,
+        command_line="pythonw.exe C:\\Users\\user\\AppData\\Local\\Temp\\agent.py")
+    machine.gui.humanized = True  # Cuckoo's human auxiliary moves the mouse
+
+    # Barely-used snapshot image.
+    _provision_weartear(machine, dnscache_entries=2, event_count=1900,
+                        event_sources=4, device_classes=26, autorun_values=2,
+                        uninstall_keys=4, shared_dlls=11, app_paths=14,
+                        active_setup=9, userassist=1, shimcache=9,
+                        muicache=2, firewall_rules=16, usbstor=0,
+                        registry_padding_bytes=41 * MIB)
+    return machine
+
+
+# ---------------------------------------------------------------------------
+# Table II environment (c): actively-used end-user machine
+# ---------------------------------------------------------------------------
+
+def build_end_user_machine() -> Machine:
+    machine = Machine(
+        identity=MachineIdentity(hostname="JOHN-PC", username="john"),
+        # Noisy host timing: VMware host services and SMM traffic make the
+        # rdtsc_diff_vmexit probe fire spuriously, as the paper observed.
+        timing=TimingProfile(cpuid_overhead_ns=2000, rdtsc_jitter_ns=6),
+        boot_tick_ms=19 * DAY_MS + 7 * HOUR_MS)
+    machine.hardware.cpu.cores = 4
+    machine.hardware.total_ram = 8 * GIB
+    machine.hardware.available_ram = 3 * GIB
+    machine.filesystem.add_drive("C:", 256 * GIB, used_bytes_base=120 * GIB)
+    machine.boot()
+    machine.network.add_adapter("Local Area Connection", "3C:97:0E:52:AA:10",
+                                "Intel(R) Ethernet Connection I217-LM")
+    _provision_cpu_brand_registry(machine)
+    _provision_scsi_identifier(machine, "SAMSUNG SSD 850")
+    _register_common_internet(machine)
+
+    # VMware Workstation installed as a *host* application: host-side VMCI
+    # device plus hundreds of registry references, but no guest-tools
+    # drivers (those only exist inside guests).
+    machine.devices.register("\\\\.\\vmci")
+    reg = machine.registry
+    base = "HKEY_LOCAL_MACHINE\\SOFTWARE\\VMware, Inc.\\VMware Workstation"
+    reg.set_value(base, "InstallPath",
+                  "C:\\Program Files (x86)\\VMware\\VMware Workstation\\")
+    for index in range(150):
+        reg.set_value(f"{base}\\Settings", f"pref.vmware.{index:03d}",
+                      f"value-{index}")
+    for index in range(160):
+        reg.set_value(
+            "HKEY_CURRENT_USER\\Software\\VMware, Inc.\\VMware Workstation",
+            f"mru.vmx.{index:03d}",
+            f"C:\\VMware VMs\\machine{index:03d}\\machine.vmx")
+    machine.filesystem.write_file(
+        "C:\\Program Files (x86)\\VMware\\VMware Workstation\\vmware.exe",
+        b"MZ")
+
+    # A lived-in user profile.
+    fs = machine.filesystem
+    for index in range(40):
+        fs.write_file(f"C:\\Users\\john\\Documents\\report_{index:02d}.docx",
+                      b"Q" * 400)
+    for index in range(25):
+        fs.write_file(f"C:\\Users\\john\\Documents\\photos\\img_{index:03d}.jpg",
+                      b"\xff\xd8" + b"J" * 700)
+    fs.write_file("C:\\Users\\john\\Documents\\budget.xlsx", b"X" * 900)
+    fs.write_file("C:\\Users\\john\\Desktop\\notes.txt", b"remember milk")
+    fs.write_file(
+        "C:\\Users\\john\\AppData\\Local\\Google\\Chrome\\User Data\\"
+        "Default\\History", b"H" * 60_000)
+    fs.write_file(
+        "C:\\Users\\john\\AppData\\Local\\Google\\Chrome\\User Data\\"
+        "Default\\Cookies", b"C" * 25_000)
+    fs.write_file(
+        "C:\\Users\\john\\AppData\\Local\\Google\\Chrome\\User Data\\"
+        "Default\\Bookmarks", b"B" * 4_000)
+
+    _provision_weartear(machine, dnscache_entries=187, event_count=30_000,
+                        event_sources=40, device_classes=180,
+                        autorun_values=9, uninstall_keys=35, shared_dlls=120,
+                        app_paths=40, active_setup=30, userassist=160,
+                        shimcache=220, muicache=75, firewall_rules=90,
+                        usbstor=6, registry_padding_bytes=210 * MIB)
+    # The user is logged in but idle while experiments run (the paper saw
+    # Pafish's mouse check trigger on this machine for exactly that reason).
+    machine.gui.humanized = False
+    machine.gui.move_cursor(811, 404)
+    return machine
+
+
+# ---------------------------------------------------------------------------
+# Public-sandbox machines for the Section II-C crawl
+# ---------------------------------------------------------------------------
+
+#: Unique-resource volumes per public sandbox; their sums are the paper's
+#: collected totals (17,540 files / 24 processes / 1,457 registry entries).
+PUBLIC_SANDBOX_VOLUMES = {
+    # registry_keys counts the generated leaves; each sandbox also carries
+    # one unique container key, so the crawl-diff registry total is
+    # 856 + 599 + 2 = 1,457 entries.
+    "virustotal": {"files": 9820, "registry_keys": 856, "processes": 13},
+    "malwr": {"files": 7720, "registry_keys": 599, "processes": 11},
+}
+
+
+def build_clean_baseline() -> Machine:
+    """The bare-metal comparison image for the crawler diff."""
+    machine = Machine(identity=MachineIdentity(hostname="CLEAN-BASE",
+                                               username="analyst"))
+    machine.filesystem.add_drive("C:", 256 * GIB, used_bytes_base=28 * GIB)
+    machine.boot()
+    _provision_cpu_brand_registry(machine)
+    return machine
+
+
+def build_public_sandbox(name: str) -> Machine:
+    """A VirusTotal/Malwr-style sandbox with its unique resource load."""
+    if name not in PUBLIC_SANDBOX_VOLUMES:
+        raise ValueError(f"unknown public sandbox: {name!r}")
+    volumes = PUBLIC_SANDBOX_VOLUMES[name]
+    machine = Machine(identity=MachineIdentity(
+        hostname=f"{name.upper()}-NODE", username="analyst"))
+    machine.filesystem.add_drive(
+        "C:", (5 if name == "malwr" else 40) * GIB,
+        used_bytes_base=2 * GIB)  # Malwr's famous 5 GB C: drive
+    machine.boot()
+    _provision_cpu_brand_registry(machine)
+    machine.hardware.cpu.cores = 1
+    machine.hardware.total_ram = 1 * GIB - 32 * MIB
+
+    fs = machine.filesystem
+    for index in range(volumes["files"]):
+        digest = hashlib.sha1(f"{name}/file/{index}".encode()).hexdigest()
+        subdir = f"C:\\{name}_analysis\\deps\\{digest[:2]}"
+        fs.write_file(f"{subdir}\\{digest[2:18]}.bin", b"\x00")
+    reg = machine.registry
+    for index in range(volumes["registry_keys"]):
+        digest = hashlib.sha1(f"{name}/reg/{index}".encode()).hexdigest()
+        reg.create_key("HKEY_LOCAL_MACHINE\\SOFTWARE\\"
+                       f"{name.capitalize()}Sandbox\\Component{digest[:10]}")
+    services_proc = machine.processes.find_by_name("services.exe")[0]
+    for index in range(volumes["processes"]):
+        machine.spawn_process(f"{name}_svc_{index:02d}.exe",
+                              f"C:\\{name}_analysis\\bin\\svc{index:02d}.exe",
+                              parent=services_proc)
+    return machine
+
+
+def build_public_sandboxes() -> List[Tuple[str, Machine]]:
+    return [(name, build_public_sandbox(name))
+            for name in PUBLIC_SANDBOX_VOLUMES]

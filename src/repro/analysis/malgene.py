@@ -1,0 +1,128 @@
+"""MalGene-style evasion-signature extraction (Kirat & Vigna, CCS'15).
+
+MalGene aligns two traces of the same sample — one where it evaded, one
+where it detonated — and extracts the *first* system resource at which the
+executions diverge as the evasion signature. Section II-C uses this as the
+continuous feed of new deceptive resources ("One way to continuously learn
+new deceptive resources is to leverage the analysis results from MalGene"),
+including the caveat that only the first deviation-causing resource is
+reported.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+from typing import List, Optional, Tuple
+
+from ..core.database import DeceptionDatabase
+from ..core.resources import Origin
+from ..winsim.bus import KernelEvent
+from .trace import Trace, alignment_key
+
+#: Event shapes that look like environment queries (candidate signatures).
+_QUERY_EVENTS = {
+    ("registry", "RegOpenKey"), ("registry", "RegQueryValue"),
+    ("file", "QueryAttributes"), ("file", "CreateFile"),
+    ("file", "OpenFile"), ("file", "OpenDevice"),
+    ("process", "EnumProcesses"),
+    ("net", "DnsQuery"), ("net", "HttpGet"),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class EvasionSignature:
+    """The resource whose query caused the two executions to diverge."""
+
+    category: str
+    operation: str
+    resource: str
+
+    def describe(self) -> str:
+        return f"{self.category}:{self.operation}({self.resource})"
+
+
+def align_traces(evaded: Trace, detonated: Trace
+                 ) -> List[Tuple[str, int, int, int, int]]:
+    """Sequence-align two traces; returns difflib opcodes over event keys."""
+    keys_a = [alignment_key(e) for e in evaded.events]
+    keys_b = [alignment_key(e) for e in detonated.events]
+    matcher = difflib.SequenceMatcher(a=keys_a, b=keys_b, autojunk=False)
+    return matcher.get_opcodes()
+
+
+def first_divergence_index(evaded: Trace, detonated: Trace) -> Optional[int]:
+    """Index (in the evaded trace) where behaviour first deviates.
+
+    Launch plumbing differs between environments (analysis daemon vs.
+    Scarecrow controller), so a leading non-equal block is treated as noise:
+    the reported divergence is the first deviation *after* the executions
+    have run in lock-step at least once. If the traces never align at all,
+    the first raw deviation is returned.
+    """
+    opcodes = align_traces(evaded, detonated)
+    seen_equal = False
+    fallback: Optional[int] = None
+    for tag, a_start, _a_end, _b_start, _b_end in opcodes:
+        if tag == "equal":
+            seen_equal = True
+            continue
+        if fallback is None:
+            fallback = a_start
+        if seen_equal:
+            return a_start
+    return fallback
+
+
+def _is_query_event(event: KernelEvent) -> bool:
+    return (event.category, event.name) in _QUERY_EVENTS
+
+
+def _resource_of(event: KernelEvent) -> str:
+    for key in ("key", "path", "domain", "value"):
+        value = event.detail(key)
+        if isinstance(value, str) and value:
+            return value
+    return event.name
+
+
+def extract_evasion_signature(evaded: Trace,
+                              detonated: Trace) -> Optional[EvasionSignature]:
+    """MalGene's output: the first deviation-causing resource query.
+
+    Walk back from the divergence point through the evaded trace to the
+    nearest environment-query event — that query's resource is the
+    signature. Returns ``None`` when the traces never diverge.
+    """
+    index = first_divergence_index(evaded, detonated)
+    if index is None:
+        return None
+    for position in range(min(index, len(evaded.events) - 1), -1, -1):
+        event = evaded.events[position]
+        if _is_query_event(event):
+            return EvasionSignature(event.category, event.name,
+                                    _resource_of(event))
+    return None
+
+
+def learn_signature(db: DeceptionDatabase,
+                    signature: EvasionSignature,
+                    profile: str = "sandbox-generic") -> bool:
+    """Feed a MalGene signature back into the deception database.
+
+    Returns ``True`` when the database gained a new resource. This is the
+    II-C learning loop; per the paper's caveat only the *first* resource of
+    a multi-technique sample is ever learned this way.
+    """
+    if signature.category == "registry":
+        if db.lookup_registry_key(signature.resource) is not None:
+            return False
+        db.add_registry_key(signature.resource, profile,
+                            origin=Origin.MALGENE)
+        return True
+    if signature.category == "file":
+        if db.lookup_file(signature.resource) is not None:
+            return False
+        db.add_file(signature.resource, profile, origin=Origin.MALGENE)
+        return True
+    return False

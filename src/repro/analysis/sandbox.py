@@ -1,0 +1,84 @@
+"""Sandbox runner daemons.
+
+Sandboxes launch samples through an *analysis daemon* (so the sample's
+parent is not ``explorer.exe``), optionally inject a monitor DLL (Cuckoo
+hooks ``ShellExecuteExW``) and optionally sinkhole NX domains. Scarecrow's
+controller deliberately imitates this launch procedure — here is the
+genuine article it imitates.
+"""
+
+from __future__ import annotations
+
+from ..hooking.injection import hook_manager_of, inject_dll
+from ..winsim.machine import Machine
+from ..winsim.process import Process
+
+#: IP many sandboxes resolve NX domains to (the paper's WannaCry analysis).
+SANDBOX_SINKHOLE_IP = "10.10.10.10"
+
+
+class CuckooMonitorDll:
+    """Cuckoo 2.x's monitor: hooks ``ShellExecuteExW`` (Pafish's Hook hit).
+
+    The module name is the 2.x one — Pafish still greps for the legacy
+    ``cuckoomon.dll``, which is why its Cuckoo category scores 0 in every
+    Table II column.
+    """
+
+    name = "monitor-x64.dll"
+
+    def on_inject(self, machine: Machine, process: Process) -> None:
+        manager = hook_manager_of(process, create=True)
+        assert manager is not None
+        export = "shell32.dll!ShellExecuteExW"
+        if not manager.is_hooked(export):
+            manager.install(export,
+                            lambda call, *args, **kwargs:
+                            call.original(*args, **kwargs),
+                            owner="cuckoo-monitor")
+        process.tags["cuckoo_monitored"] = True
+
+
+class SandboxRunner:
+    """Launch samples the way an analysis daemon does."""
+
+    def __init__(self, machine: Machine, daemon_name: str = "analyzer.exe",
+                 inject_monitor: bool = False,
+                 sinkhole_nx_domains: bool = False) -> None:
+        self.machine = machine
+        self.inject_monitor = inject_monitor
+        self._monitor = CuckooMonitorDll()
+        self.daemon = machine.spawn_process(
+            daemon_name, f"C:\\analysis\\{daemon_name}",
+            parent=machine.processes.find_by_name("services.exe")[0])
+        if sinkhole_nx_domains:
+            machine.network.nx_sinkhole_ip = SANDBOX_SINKHOLE_IP
+            machine.network.mark_reachable(SANDBOX_SINKHOLE_IP)
+        self._unsubscribe = machine.bus.subscribe(self._on_event)
+        self._tracked = set()
+
+    def launch(self, image_path: str, command_line: str = "") -> Process:
+        name = image_path.rsplit("\\", 1)[-1]
+        target = self.machine.spawn_process(
+            name, image_path, parent=self.daemon,
+            command_line=command_line or image_path)
+        target.tags["untrusted"] = True
+        self._tracked.add(target.pid)
+        if self.inject_monitor:
+            inject_dll(self.machine, target, self._monitor)
+        return target
+
+    def _on_event(self, event) -> None:
+        if event.category != "process" or event.name != "CreateProcess":
+            return
+        if event.detail("ppid") not in self._tracked:
+            return
+        child = self.machine.processes.get(event.pid)
+        if child is None:
+            return
+        self._tracked.add(child.pid)
+        if self.inject_monitor:
+            inject_dll(self.machine, child, self._monitor)
+
+    def shutdown(self) -> None:
+        self._unsubscribe()

@@ -1,0 +1,169 @@
+"""Trace records — the Fibratus-substitute event log of one run.
+
+A :class:`Trace` is an ordered list of kernel events scoped however the
+collector chose (whole machine or one process tree), with the query helpers
+the evaluation needs: which processes were created, which files written or
+renamed, which registry entries modified, which domains contacted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..winsim.bus import KernelEvent
+
+#: Event (category, name) pairs counted as *significant activity* when
+#: deciding deactivation (Section IV-C.1: "creating new processes, writing
+#: files, and modifying registries").
+SIGNIFICANT_FILE_OPS = {"WriteFile", "CreateFile", "RenameFile",
+                        "CreateDirectory"}
+SIGNIFICANT_REGISTRY_OPS = {"RegSetValue", "RegCreateKey", "RegDeleteKey"}
+
+
+@dataclasses.dataclass
+class Trace:
+    """One collected event sequence."""
+
+    label: str
+    events: List[KernelEvent] = dataclasses.field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def append(self, event: KernelEvent) -> None:
+        self.events.append(event)
+
+    # -- filtering --------------------------------------------------------
+
+    def by_category(self, category: str) -> List[KernelEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def by_name(self, name: str) -> List[KernelEvent]:
+        return [e for e in self.events if e.name == name]
+
+    def scoped_to_pids(self, pids: Set[int]) -> "Trace":
+        return Trace(self.label,
+                     [e for e in self.events if e.pid in pids])
+
+    # -- process-tree reconstruction ----------------------------------------
+
+    def process_tree_pids(self, root_pid: int) -> Set[int]:
+        """Every pid reachable from ``root_pid`` via CreateProcess events."""
+        children: Dict[int, List[int]] = {}
+        for event in self.events:
+            if event.category == "process" and event.name == "CreateProcess":
+                children.setdefault(event.detail("ppid"), []).append(event.pid)
+        tree = {root_pid}
+        frontier = [root_pid]
+        while frontier:
+            pid = frontier.pop()
+            for child in children.get(pid, ()):
+                if child not in tree:
+                    tree.add(child)
+                    frontier.append(child)
+        return tree
+
+    # -- significant-activity extraction ----------------------------------------
+
+    def processes_created(self,
+                          exclude_names: Sequence[str] = ()) -> List[str]:
+        excluded = {n.lower() for n in exclude_names}
+        return [e.detail("name") for e in self.events
+                if e.category == "process" and e.name == "CreateProcess"
+                and e.detail("name", "").lower() not in excluded]
+
+    def files_touched(self, exclude_paths: Sequence[str] = ()) -> List[str]:
+        excluded = {p.lower() for p in exclude_paths}
+        touched = []
+        for event in self.events:
+            if event.category != "file" or \
+                    event.name not in SIGNIFICANT_FILE_OPS:
+                continue
+            path = event.detail("path", "")
+            if path.lower() in excluded:
+                continue
+            touched.append(path)
+        return touched
+
+    def registry_modified(self) -> List[str]:
+        return [e.detail("key", "") for e in self.events
+                if e.category == "registry"
+                and e.name in SIGNIFICANT_REGISTRY_OPS]
+
+    def domains_contacted(self) -> List[str]:
+        return [e.detail("domain", "") for e in self.events
+                if e.category == "net"]
+
+    def domains_reached(self) -> List[str]:
+        """Domains that actually resolved (non-NX answers only).
+
+        Fingerprint probes against made-up domains answer ``None`` at the
+        genuine resolver (Scarecrow's sinkhole value is layered on *after*
+        the traced resolution), so this filter keeps real C2 contact while
+        dropping NX-domain evasion probes.
+        """
+        return [e.detail("domain", "") for e in self.events
+                if e.category == "net" and e.detail("answer") is not None]
+
+    def significant_activity(self, sample_exe: str,
+                             sample_image_path: str) -> "SignificantActivity":
+        """Extract Section IV-C.1's significant-activity triple.
+
+        Spawns of the sample's own image are excluded from the process set
+        (they are the *self-spawn* signal, counted separately), and deletes
+        or rewrites of the sample's own image are not significant (the
+        Selfdel caveat).
+        """
+        return SignificantActivity(
+            processes=tuple(self.processes_created(
+                exclude_names=(sample_exe, "scarecrow.exe"))),
+            files=tuple(self.files_touched(
+                exclude_paths=(sample_image_path,))),
+            registry=tuple(self.registry_modified()),
+            network=tuple(self.domains_reached()),
+        )
+
+    def self_spawn_count(self, sample_exe: str) -> int:
+        wanted = sample_exe.lower()
+        return sum(1 for e in self.events
+                   if e.category == "process" and e.name == "CreateProcess"
+                   and e.detail("name", "").lower() == wanted)
+
+
+@dataclasses.dataclass(frozen=True)
+class SignificantActivity:
+    processes: Tuple[str, ...]
+    files: Tuple[str, ...]
+    registry: Tuple[str, ...]
+    network: Tuple[str, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not (self.processes or self.files or self.registry or
+                    self.network)
+
+    @property
+    def creates_processes(self) -> bool:
+        return bool(self.processes)
+
+    @property
+    def modifies_files_or_registry(self) -> bool:
+        return bool(self.files or self.registry)
+
+
+def alignment_key(event: KernelEvent) -> Tuple[str, str, str, str]:
+    """Stable key for trace alignment (MalGene-style diffing).
+
+    Timestamps and pids are excluded on purpose — two runs of the same
+    sample differ in both even when behaviour is identical. Query *outcomes*
+    (the ``found`` flag) are included: the whole point of the alignment is
+    locating the query whose differing answer made the executions diverge.
+    """
+    found = event.detail("found")
+    outcome = "" if found is None else f"found={bool(found)}"
+    for detail_key in ("path", "key", "domain", "name", "image"):
+        value = event.detail(detail_key)
+        if isinstance(value, str) and value:
+            return (event.category, event.name, value.lower(), outcome)
+    return (event.category, event.name, "", outcome)

@@ -1,0 +1,63 @@
+"""Kernel-event tracer — the Fibratus substitute.
+
+Subscribes to the machine event bus and records process/thread, file,
+registry, network, image-load and Scarecrow events ("All the activities
+were uploaded to the proxy in real time" — here the proxy is just the
+owning experiment). API-category events are noisy and off by default.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from ..winsim.bus import KernelEvent
+from ..winsim.machine import Machine
+from .trace import Trace
+
+#: Categories captured by default, mirroring Fibratus event classes.
+DEFAULT_CATEGORIES = frozenset(
+    {"process", "thread", "file", "registry", "net", "image", "system",
+     "scarecrow"})
+
+
+class Tracer:
+    """Attachable event recorder; usable as a context manager."""
+
+    def __init__(self, machine: Machine, label: str = "trace",
+                 categories: Optional[Iterable[str]] = None,
+                 include_api_calls: bool = False) -> None:
+        self.machine = machine
+        self.trace = Trace(label)
+        self._categories: Set[str] = set(categories or DEFAULT_CATEGORIES)
+        if include_api_calls:
+            self._categories.add("api")
+        self._unsubscribe = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "Tracer":
+        if self._unsubscribe is None:
+            self._unsubscribe = self.machine.bus.subscribe(self._on_event)
+        return self
+
+    def stop(self) -> Trace:
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        return self.trace
+
+    def __enter__(self) -> "Tracer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._unsubscribe is not None
+
+    # -- collection -----------------------------------------------------------
+
+    def _on_event(self, event: KernelEvent) -> None:
+        if event.category in self._categories:
+            self.trace.append(event)

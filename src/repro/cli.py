@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1 | table2 | table3 | figure4 | cases | all`` — regenerate the
+  paper's tables/figures and print them;
+* ``demo <sample>`` — run one named sample with and without Scarecrow on a
+  fresh machine and report the verdict
+  (samples: wannacry, wannacry-original, locky, cerber, kasidet);
+* ``pafish [--env ENV] [--scarecrow]`` — run the Pafish reimplementation
+  in one environment and print the triggered checks;
+* ``overhead`` — measure the hook-chain overhead (E8);
+* ``inventory`` — print the deception database inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+DEMO_SAMPLES: Dict[str, str] = {
+    "wannacry": "build_wannacry_variant",
+    "wannacry-original": "build_wannacry_original",
+    "locky": "build_locky",
+    "cerber": "build_cerber_variant",
+    "kasidet": "build_kasidet",
+}
+
+PAFISH_ENVIRONMENTS = ("bare-metal", "vm", "end-user")
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    from .experiments import render_table1, run_table1
+    print(render_table1(run_table1()))
+    return 0
+
+
+def _cmd_table2(_args: argparse.Namespace) -> int:
+    from .experiments import render_table2, run_table2
+    print(render_table2(run_table2()))
+    return 0
+
+
+def _cmd_table3(_args: argparse.Namespace) -> int:
+    from .experiments import render_table3, run_table3
+    print(render_table3(run_table3()))
+    return 0
+
+
+def _cmd_figure4(_args: argparse.Namespace) -> int:
+    from .experiments import render_figure4, run_figure4
+    print(render_figure4(run_figure4()))
+    return 0
+
+
+def _cmd_cases(_args: argparse.Namespace) -> int:
+    from .experiments import (render_case1, render_case2, run_case1,
+                              run_case2)
+    print(render_case1(run_case1()))
+    print()
+    print(render_case2(run_case2()))
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    for command in (_cmd_table1, _cmd_figure4, _cmd_table2, _cmd_table3,
+                    _cmd_cases):
+        command(args)
+        print()
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from . import malware
+    from .analysis.environments import build_end_user_machine
+    from .experiments.runner import run_pair
+    builder = getattr(malware, DEMO_SAMPLES[args.sample])
+    sample = builder()
+
+    def factory():
+        machine = build_end_user_machine()
+        machine.filesystem.write_file(
+            "C:\\Users\\john\\Documents\\valuable.docx", b"data")
+        return machine
+
+    outcome = run_pair(sample, machine_factory=factory)
+    without = outcome.without.result
+    with_sc = outcome.with_scarecrow.result
+    print(f"sample {sample.md5} ({sample.family})")
+    print(f"  without Scarecrow: payload ran = {without.executed_payload}")
+    if without.payload_outcome:
+        print(f"    behaviour: {without.payload_outcome.description}")
+    print(f"  with Scarecrow:    payload ran = {with_sc.executed_payload}"
+          f" (trigger: {with_sc.trigger})")
+    print(f"  verdict: {outcome.comparison.verdict.value}")
+    return 0 if outcome.comparison.deactivated or not sample.check_names \
+        else 1
+
+
+def _cmd_pafish(args: argparse.Namespace) -> int:
+    from . import winapi
+    from .analysis.environments import (build_bare_metal_sandbox,
+                                        build_cuckoo_vm_sandbox,
+                                        build_end_user_machine)
+    from .core import ScarecrowConfig, ScarecrowController
+    from .fingerprint.pafish import run_pafish
+    builders = {"bare-metal": build_bare_metal_sandbox,
+                "vm": lambda: build_cuckoo_vm_sandbox(
+                    transparent=args.scarecrow),
+                "end-user": build_end_user_machine}
+    machine = builders[args.env]()
+    if args.scarecrow:
+        config = ScarecrowConfig(
+            enable_username=(args.env != "end-user"))
+        controller = ScarecrowController(machine, config=config)
+        process = controller.launch("C:\\analysis\\pafish.exe")
+    else:
+        process = machine.spawn_process("pafish.exe",
+                                        "C:\\analysis\\pafish.exe",
+                                        parent=machine.explorer)
+    report = run_pafish(winapi.bind(machine, process))
+    print(f"environment: {args.env}  scarecrow: {args.scarecrow}")
+    print(f"triggered {report.total_triggered()}/56 checks:")
+    for name in report.triggered():
+        print(f"  [traced] {name}")
+    for category, count in report.category_counts().items():
+        print(f"  {category}: {count}")
+    return 0
+
+
+def _cmd_overhead(_args: argparse.Namespace) -> int:
+    from .experiments import render_overhead, run_overhead
+    print(render_overhead(run_overhead()))
+    return 0
+
+
+def _cmd_inventory(_args: argparse.Namespace) -> int:
+    from .core import DeceptionDatabase
+    from .core.handlers import CORE_29_APIS, DECOY_APIS
+    db = DeceptionDatabase()
+    print("deception database inventory (curated):")
+    for kind, count in sorted(db.counts().items()):
+        print(f"  {kind}: {count}")
+    print(f"hooked resource APIs: {len(CORE_29_APIS)}")
+    print(f"decoy hooks: {len(DECOY_APIS)}")
+    print(f"fake hardware: disk={db.hardware.disk_total_bytes >> 30}GB "
+          f"ram={db.hardware.ram_total_bytes >> 20}MB "
+          f"cores={db.hardware.cpu_cores}")
+    print(f"NX-domain sinkhole: {db.network.sinkhole_ip}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scarecrow (DSN 2020) reproduction toolkit")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+            ("table1", "Table I: 13 Joe Security samples"),
+            ("table2", "Table II: Pafish across environments"),
+            ("table3", "Table III: wear-and-tear artifacts"),
+            ("figure4", "Figure 4: the 1,054-sample corpus (slow)"),
+            ("cases", "Section V case studies"),
+            ("all", "everything above"),
+            ("overhead", "hook-chain overhead measurement"),
+            ("inventory", "deception database inventory")):
+        subparsers.add_parser(name, help=help_text)
+    demo = subparsers.add_parser("demo",
+                                 help="run one sample w/ and w/o Scarecrow")
+    demo.add_argument("sample", choices=sorted(DEMO_SAMPLES))
+    pafish = subparsers.add_parser("pafish", help="run Pafish")
+    pafish.add_argument("--env", choices=PAFISH_ENVIRONMENTS,
+                        default="end-user")
+    pafish.add_argument("--scarecrow", action="store_true")
+    return parser
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "table1": _cmd_table1, "table2": _cmd_table2, "table3": _cmd_table3,
+    "figure4": _cmd_figure4, "cases": _cmd_cases, "all": _cmd_all,
+    "demo": _cmd_demo, "pafish": _cmd_pafish, "inventory": _cmd_inventory,
+    "overhead": _cmd_overhead,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Scarecrow — the paper's primary contribution.
+
+Public entry point: create a :class:`ScarecrowController` on a machine and
+``launch()`` untrusted programs through it.
+"""
+
+from .collector import (CrawlerReport, ResourceDiff,
+                        collect_from_public_sandboxes, diff_reports,
+                        extend_database, run_crawler)
+from .controller import CONTROLLER_IMAGE, ScarecrowController
+from .database import (ANALYSIS_DLLS, COMBINED_BIOS_VERSION,
+                       CURATED_REGISTRY_KEYS, DeceptionDatabase,
+                       FakeHardwareProfile, FakeIdentityProfile,
+                       FakeNetworkProfile, PROTECTED_PROCESSES,
+                       WearTearProfile)
+from .dll import ScarecrowDll
+from .engine import DeceptionEngine
+from .events import FingerprintEvent, FingerprintLog
+from .handlers import CORE_29_APIS, DECOY_APIS, build_handlers
+from .policy import (DEFAULT_LOOP_THRESHOLD, SpawnLoopAlarm, SpawnLoopPolicy)
+from .profiles import (ALL_PROFILES, COMPATIBLE_PROFILES, ProfileManager,
+                       ScarecrowConfig, VM_PROFILES)
+from .resources import DeceptiveResource, Origin, ResourceCategory
+from .serialization import (dump_config, dump_database, load_config,
+                            load_database, load_database_file,
+                            save_database)
+from .vaccine import (FamilyVaccine, KNOWN_VACCINES, VaccinationAgent,
+                      build_marker_gated_corpus)
+from .weartear import TABLE3_ROWS, WearTearRow, enable_weartear
+
+__all__ = [
+    "ALL_PROFILES", "ANALYSIS_DLLS", "CONTROLLER_IMAGE", "CORE_29_APIS",
+    "COMBINED_BIOS_VERSION", "COMPATIBLE_PROFILES", "CURATED_REGISTRY_KEYS",
+    "CrawlerReport", "DECOY_APIS", "DEFAULT_LOOP_THRESHOLD",
+    "DeceptionDatabase", "DeceptionEngine", "DeceptiveResource",
+    "FakeHardwareProfile", "FakeIdentityProfile", "FakeNetworkProfile",
+    "FamilyVaccine", "FingerprintEvent", "FingerprintLog", "KNOWN_VACCINES",
+    "Origin", "PROTECTED_PROCESSES", "VaccinationAgent",
+    "build_marker_gated_corpus",
+    "ProfileManager", "ResourceCategory", "ResourceDiff", "ScarecrowConfig",
+    "ScarecrowController", "ScarecrowDll", "SpawnLoopAlarm",
+    "SpawnLoopPolicy", "TABLE3_ROWS", "VM_PROFILES", "WearTearProfile",
+    "WearTearRow", "build_handlers", "collect_from_public_sandboxes",
+    "diff_reports", "dump_config", "dump_database", "enable_weartear",
+    "extend_database", "load_config", "load_database", "load_database_file",
+    "run_crawler", "save_database",
+]

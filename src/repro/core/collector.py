@@ -1,0 +1,130 @@
+"""Deceptive-resource collection from public sandboxes (Section II-C).
+
+The paper submits a crawler binary to VirusTotal and Malwr; the crawler
+inventories files, folders, registries, processes and system configuration
+inside the sandbox and ships the inventory home. Resources present in the
+sandboxes but absent from a clean bare-metal baseline become deceptive
+resources ("17,540 files, 24 processes, and 1,457 registry entries are
+added to SCARECROW").
+
+Here the crawler literally runs inside simulated public-sandbox machines
+(:func:`repro.analysis.environments.build_public_sandbox`) and the same
+collect → diff → extend pipeline produces the same counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set, Tuple
+
+from ..winsim.machine import Machine
+from .database import DeceptionDatabase
+from .resources import Origin
+
+
+@dataclasses.dataclass
+class CrawlerReport:
+    """What the crawler shipped home from one machine."""
+
+    machine_label: str
+    files: Set[str] = dataclasses.field(default_factory=set)
+    processes: Set[str] = dataclasses.field(default_factory=set)
+    registry_keys: Set[str] = dataclasses.field(default_factory=set)
+    registry_values: Set[Tuple[str, str]] = dataclasses.field(
+        default_factory=set)
+    disk_total_bytes: int = 0
+    ram_total_bytes: int = 0
+    cpu_cores: int = 0
+
+    @property
+    def registry_entry_count(self) -> int:
+        return len(self.registry_keys) + len(self.registry_values)
+
+
+def run_crawler(machine: Machine, label: str) -> CrawlerReport:
+    """Inventory one machine the way the submitted crawler binary would."""
+    report = CrawlerReport(machine_label=label)
+    for path in machine.filesystem.all_paths():
+        node = machine.filesystem.stat(path)
+        if node is not None and not node.is_dir:
+            report.files.add(path.lower())
+    report.processes = {p.name.lower()
+                        for p in machine.processes.running()}
+    for key in machine.registry.iter_all_keys():
+        path = key.path()
+        report.registry_keys.add(path.lower())
+        for value in key.values():
+            report.registry_values.add((path.lower(), value.name.lower()))
+    drive = machine.filesystem.drive("C:")
+    report.disk_total_bytes = drive.total_bytes if drive else 0
+    report.ram_total_bytes = machine.hardware.total_ram
+    report.cpu_cores = machine.hardware.cpu.cores
+    return report
+
+
+@dataclasses.dataclass
+class ResourceDiff:
+    """Resources unique to the sandboxes (absent from the clean baseline)."""
+
+    files: Set[str]
+    processes: Set[str]
+    registry_keys: Set[str]
+    registry_values: Set[Tuple[str, str]]
+
+    @property
+    def registry_entry_count(self) -> int:
+        return len(self.registry_keys) + len(self.registry_values)
+
+
+def diff_reports(sandbox_reports: List[CrawlerReport],
+                 baseline: CrawlerReport) -> ResourceDiff:
+    """Union of sandbox inventories minus the clean-baseline inventory.
+
+    Even if the sandboxes serve *deceptive* values themselves, anything
+    unique to them still fingerprints them (the paper makes this point
+    explicitly), so no attempt is made to validate authenticity.
+    """
+    files: Set[str] = set()
+    processes: Set[str] = set()
+    registry_keys: Set[str] = set()
+    registry_values: Set[Tuple[str, str]] = set()
+    for report in sandbox_reports:
+        files |= report.files
+        processes |= report.processes
+        registry_keys |= report.registry_keys
+        registry_values |= report.registry_values
+    return ResourceDiff(
+        files=files - baseline.files,
+        processes=processes - baseline.processes,
+        registry_keys=registry_keys - baseline.registry_keys,
+        registry_values=registry_values - baseline.registry_values,
+    )
+
+
+def extend_database(db: DeceptionDatabase, diff: ResourceDiff,
+                    profile: str = "sandbox-generic") -> Dict[str, int]:
+    """Add crawled resources to the deception database; returns counts."""
+    for path in sorted(diff.files):
+        db.add_file(path, profile, origin=Origin.CRAWLED)
+    for name in sorted(diff.processes):
+        db.add_process(name, profile, origin=Origin.CRAWLED)
+    for key in sorted(diff.registry_keys):
+        db.add_registry_key(key, profile, origin=Origin.CRAWLED)
+    for key, value_name in sorted(diff.registry_values):
+        db.add_registry_value(key, value_name, "", profile,
+                              origin=Origin.CRAWLED)
+    return {
+        "files": len(diff.files),
+        "processes": len(diff.processes),
+        "registry_entries": diff.registry_entry_count,
+    }
+
+
+def collect_from_public_sandboxes(db: DeceptionDatabase,
+                                  sandboxes: List[Tuple[str, Machine]],
+                                  baseline: Machine) -> Dict[str, int]:
+    """End-to-end Section II-C pipeline: crawl, diff, extend."""
+    reports = [run_crawler(machine, label) for label, machine in sandboxes]
+    baseline_report = run_crawler(baseline, "clean-baseline")
+    diff = diff_reports(reports, baseline_report)
+    return extend_database(db, diff)

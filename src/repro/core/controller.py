@@ -1,0 +1,169 @@
+"""scarecrow.exe — the controller of Figure 2.
+
+The controller (a) starts the target program itself, making *itself* the
+parent — deliberately mimicking how sandbox daemons launch samples —
+(b) injects scarecrow.dll, (c) follows every descendant the target spawns
+(suspend → inject → resume), (d) drains fingerprint reports arriving over
+IPC, and (e) runs the self-spawn-loop policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..hooking.injection import inject_dll, inject_into_suspended_child
+from ..hooking.ipc import IpcChannel, IpcMessage
+from ..winsim.bus import KernelEvent
+from ..winsim.machine import Machine
+from ..winsim.process import Process
+from .database import DeceptionDatabase
+from .dll import ScarecrowDll
+from .engine import DeceptionEngine
+from .events import FingerprintEvent
+from .policy import SpawnLoopAlarm, SpawnLoopPolicy
+from .profiles import ScarecrowConfig
+
+CONTROLLER_IMAGE = "C:\\Program Files\\Scarecrow\\scarecrow.exe"
+
+
+class ScarecrowController:
+    """One controller instance protecting one machine."""
+
+    def __init__(self, machine: Machine,
+                 database: Optional[DeceptionDatabase] = None,
+                 config: Optional[ScarecrowConfig] = None,
+                 policy: Optional[SpawnLoopPolicy] = None) -> None:
+        self.machine = machine
+        self.ipc = IpcChannel()
+        self.engine = DeceptionEngine(database, config, ipc=self.ipc.dll)
+        self.dll = ScarecrowDll(self.engine)
+        self.policy = policy or SpawnLoopPolicy()
+        self.process: Optional[Process] = None
+        self._tracked_pids: Set[int] = set()
+        self._unsubscribe = machine.bus.subscribe(self._on_kernel_event)
+        self.alarms: List[SpawnLoopAlarm] = []
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> Process:
+        """Spawn the controller process (idempotent)."""
+        if self.process is None or not self.process.alive:
+            self.process = self.machine.spawn_process(
+                "scarecrow.exe", CONTROLLER_IMAGE, parent=self.machine.explorer)
+        return self.process
+
+    def shutdown(self) -> None:
+        self._unsubscribe()
+        if self.process is not None and self.process.alive:
+            self.machine.processes.terminate(self.process.pid)
+
+    # -- launching targets ------------------------------------------------------
+
+    def launch(self, image_path: str, command_line: str = "") -> Process:
+        """Launch an untrusted target under Scarecrow protection."""
+        controller = self.start()
+        name = image_path.rsplit("\\", 1)[-1]
+        target = self.machine.spawn_process(
+            name, image_path, parent=controller,
+            command_line=command_line or image_path)
+        target.tags["untrusted"] = True
+        self._tracked_pids.add(target.pid)
+        inject_dll(self.machine, target, self.dll)
+        return target
+
+    def protect_existing(self, process: Process) -> None:
+        """Attach to an already-running process (on-demand service mode)."""
+        process.tags["untrusted"] = True
+        self._tracked_pids.add(process.pid)
+        inject_dll(self.machine, process, self.dll)
+
+    def watch_untrusted_origins(self,
+                                path_prefixes: Optional[
+                                    Sequence[str]] = None) -> None:
+        """On-demand service mode (Section II-A).
+
+        "it is preferable that SCARECROW is only visible to suspicious
+        target programs, e.g., newly downloaded programs from the
+        Internet, and E-mail attachments" — watch process creation and
+        transparently protect anything launched from the given directory
+        prefixes (default: the user's Downloads and Temp folders), however
+        it was started.
+        """
+        profile = self.machine.user_profile_dir()
+        prefixes = tuple(
+            p.lower().rstrip("\\") + "\\" for p in (
+                path_prefixes if path_prefixes is not None else
+                (f"{profile}\\Downloads",
+                 f"{profile}\\AppData\\Local\\Temp")))
+        self._watched_prefixes = prefixes
+        self.start()
+
+    def _matches_watched_origin(self, image_path: str) -> bool:
+        prefixes = getattr(self, "_watched_prefixes", ())
+        return any(image_path.lower().startswith(prefix)
+                   for prefix in prefixes)
+
+    def is_tracked(self, pid: int) -> bool:
+        return pid in self._tracked_pids
+
+    @property
+    def tracked_pids(self) -> Set[int]:
+        return set(self._tracked_pids)
+
+    # -- descendant following -------------------------------------------------
+
+    def _on_kernel_event(self, event: KernelEvent) -> None:
+        if event.category != "process" or event.name != "CreateProcess":
+            return
+        in_tree = event.detail("ppid") in self._tracked_pids
+        from_watched_origin = not in_tree and \
+            self._matches_watched_origin(event.detail("image", ""))
+        if not in_tree and not from_watched_origin:
+            return
+        child = self.machine.processes.get(event.pid)
+        if child is None or not child.alive:
+            return
+        if from_watched_origin:
+            child.tags["untrusted"] = True
+        self._tracked_pids.add(child.pid)
+        inject_into_suspended_child(self.machine, child, self.dll)
+        if from_watched_origin:
+            return  # fresh root, not a self-spawn of a tracked tree
+        alarm = self.policy.observe_spawn(self.machine, child)
+        if alarm is not None:
+            self.alarms.append(alarm)
+            self.machine.bus.emit(
+                "scarecrow", "SpawnLoopAlarm", child.pid,
+                self.machine.clock.now_ns, image=alarm.image_name,
+                count=alarm.spawn_count, mitigated=alarm.mitigated)
+
+    # -- reports ------------------------------------------------------------------
+
+    def drain_reports(self) -> List[IpcMessage]:
+        """Fingerprint reports the DLL sent since the last drain."""
+        return self.ipc.controller.drain()
+
+    def fingerprint_events(self) -> List[FingerprintEvent]:
+        return self.engine.log.events()
+
+    def first_trigger(self) -> Optional[FingerprintEvent]:
+        return self.engine.log.first()
+
+    def push_config_update(self, **changes) -> None:
+        """Update engine config at runtime and refresh hooks over IPC."""
+        for key, value in changes.items():
+            if not hasattr(self.engine.config, key):
+                raise AttributeError(f"unknown config field: {key}")
+            setattr(self.engine.config, key, value)
+        self.ipc.controller.send("config_update", **changes)
+        for pid in self._tracked_pids:
+            process = self.machine.processes.get(pid)
+            if process is not None and process.alive:
+                self.dll.refresh_hooks(process)
+
+    def summary(self) -> Dict[str, int]:
+        events = self.engine.log.events()
+        by_category: Dict[str, int] = {}
+        for event in events:
+            by_category[event.category] = by_category.get(event.category, 0) + 1
+        return by_category

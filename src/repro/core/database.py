@@ -1,0 +1,494 @@
+"""The deception database: every resource Scarecrow can fake.
+
+Two populations, per Section II-C:
+
+* **Curated** resources, manually extracted from the anti-analysis
+  literature — VM driver files, guest-addition registry keys, analysis-tool
+  processes/windows/DLLs, sandbox-like hardware values, the NX-domain
+  sinkhole.
+* **Crawled** resources, collected by running the crawler inside public
+  sandboxes (:mod:`repro.core.collector`) and diffing against a clean
+  baseline — the paper lands on 17,540 files, 24 processes and 1,457
+  registry entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..winsim.types import GIB, MIB
+from .resources import (DeceptiveResource, Origin, ResourceCategory,
+                        registry_value_identity)
+
+# ---------------------------------------------------------------------------
+# Curated resource tables
+# ---------------------------------------------------------------------------
+
+#: VM / analysis-tool driver and support files (full paths).
+CURATED_FILES: Tuple[Tuple[str, str], ...] = (
+    # VMware Tools drivers
+    ("C:\\Windows\\System32\\drivers\\vmmouse.sys", "vmware"),
+    ("C:\\Windows\\System32\\drivers\\vmhgfs.sys", "vmware"),
+    ("C:\\Windows\\System32\\drivers\\vm3dmp.sys", "vmware"),
+    ("C:\\Windows\\System32\\drivers\\vmci.sys", "vmware"),
+    ("C:\\Windows\\System32\\drivers\\vmmemctl.sys", "vmware"),
+    ("C:\\Windows\\System32\\drivers\\vmrawdsk.sys", "vmware"),
+    ("C:\\Windows\\System32\\drivers\\vmusbmouse.sys", "vmware"),
+    ("C:\\Windows\\System32\\vm3dgl.dll", "vmware"),
+    ("C:\\Windows\\System32\\vmdum.dll", "vmware"),
+    ("C:\\Windows\\System32\\vmGuestLib.dll", "vmware"),
+    ("C:\\Program Files\\VMware\\VMware Tools\\vmtoolsd.exe", "vmware"),
+    # VirtualBox Guest Additions
+    ("C:\\Windows\\System32\\drivers\\VBoxMouse.sys", "vbox"),
+    ("C:\\Windows\\System32\\drivers\\VBoxGuest.sys", "vbox"),
+    ("C:\\Windows\\System32\\drivers\\VBoxSF.sys", "vbox"),
+    ("C:\\Windows\\System32\\drivers\\VBoxVideo.sys", "vbox"),
+    ("C:\\Windows\\System32\\vboxdisp.dll", "vbox"),
+    ("C:\\Windows\\System32\\vboxhook.dll", "vbox"),
+    ("C:\\Windows\\System32\\vboxogl.dll", "vbox"),
+    ("C:\\Windows\\System32\\vboxservice.exe", "vbox"),
+    ("C:\\Windows\\System32\\vboxtray.exe", "vbox"),
+    ("C:\\Program Files\\Oracle\\VirtualBox Guest Additions\\uninst.exe", "vbox"),
+    # Analysis / forensic tool installs
+    ("C:\\Tools\\ollydbg\\OLLYDBG.EXE", "debugger"),
+    ("C:\\Tools\\ida\\idaq.exe", "debugger"),
+    ("C:\\Program Files\\Wireshark\\wireshark.exe", "forensic"),
+    ("C:\\Program Files\\Fiddler2\\Fiddler.exe", "forensic"),
+    ("C:\\analysis\\sandbox-starter.exe", "sandbox-generic"),
+    ("C:\\sample\\sample.exe", "sandbox-generic"),
+)
+
+#: Folders whose presence marks analysis installs.
+CURATED_FOLDERS: Tuple[Tuple[str, str], ...] = (
+    ("C:\\Program Files\\VMware\\VMware Tools", "vmware"),
+    ("C:\\Program Files\\Oracle\\VirtualBox Guest Additions", "vbox"),
+    ("C:\\Tools\\ollydbg", "debugger"),
+    ("C:\\sandbox", "sandbox-generic"),
+    ("C:\\analysis", "sandbox-generic"),
+    ("C:\\cuckoo", "cuckoo"),
+)
+
+#: The 24 analysis / VM processes Scarecrow advertises *and protects from
+#: termination by untrusted software* (Section II-B(b)). Names follow the
+#: paper where it spells them (``olydbg.exe``, ``idap.exe``, ``PETools.exe``).
+PROTECTED_PROCESSES: Tuple[Tuple[str, str], ...] = (
+    ("olydbg.exe", "debugger"),
+    ("idap.exe", "debugger"),
+    ("PETools.exe", "debugger"),
+    ("windbg.exe", "debugger"),
+    ("x32dbg.exe", "debugger"),
+    ("ImmunityDebugger.exe", "debugger"),
+    ("ProcessHacker.exe", "forensic"),
+    ("procmon.exe", "forensic"),
+    ("procexp.exe", "forensic"),
+    ("regmon.exe", "forensic"),
+    ("filemon.exe", "forensic"),
+    ("autoruns.exe", "forensic"),
+    ("tcpview.exe", "forensic"),
+    ("wireshark.exe", "forensic"),
+    ("dumpcap.exe", "forensic"),
+    ("fiddler.exe", "forensic"),
+    ("VBoxService.exe", "vbox"),
+    ("VBoxTray.exe", "vbox"),
+    ("vmtoolsd.exe", "vmware"),
+    ("vmwaretray.exe", "vmware"),
+    ("vmwareuser.exe", "vmware"),
+    ("SbieSvc.exe", "sandboxie"),
+    ("joeboxserver.exe", "sandbox-generic"),
+    ("joeboxcontrol.exe", "sandbox-generic"),
+)
+
+#: The 15 unique analysis DLLs (Section II-B(c)).
+ANALYSIS_DLLS: Tuple[Tuple[str, str], ...] = (
+    ("SbieDll.dll", "sandboxie"),
+    ("snxhk.dll", "sandbox-generic"),       # Avast sandbox
+    ("sxIn.dll", "sandbox-generic"),        # 360 sandbox
+    ("Sf2.dll", "sandbox-generic"),         # Avast
+    ("cmdvrt32.dll", "sandbox-generic"),    # Comodo
+    ("cmdvrt64.dll", "sandbox-generic"),
+    ("wpespy.dll", "forensic"),             # WPE Pro
+    ("pstorec.dll", "sandbox-generic"),     # SunBelt
+    ("vmcheck.dll", "sandbox-generic"),     # Virtual PC
+    ("api_log.dll", "sandbox-generic"),     # iDefense
+    ("dir_watch.dll", "sandbox-generic"),   # iDefense
+    ("dbghelp.dll", "debugger"),
+    ("avghookx.dll", "forensic"),           # AVG hook
+    ("avghooka.dll", "forensic"),
+    ("VBoxHook.dll", "vbox"),
+)
+
+#: 6 debugger GUI windows + 4 sandbox-related windows (Section II-B(d)).
+DEBUGGER_WINDOWS: Tuple[Tuple[str, Optional[str], str], ...] = (
+    ("OLLYDBG", None, "debugger"),
+    ("WinDbgFrameClass", None, "debugger"),
+    ("ID", "Immunity Debugger", "debugger"),
+    ("Zeta Debugger", None, "debugger"),
+    ("Rock Debugger", None, "debugger"),
+    ("ObsidianGUI", None, "debugger"),
+)
+SANDBOX_WINDOWS: Tuple[Tuple[str, Optional[str], str], ...] = (
+    ("SandboxieControlWndClass", None, "sandboxie"),
+    ("CuckooAnalyzer", None, "cuckoo"),
+    ("JoeSandboxWnd", None, "sandbox-generic"),
+    ("VBoxTrayToolWndClass", None, "vbox"),
+)
+
+#: Deceptive registry keys (existence is the signal).
+CURATED_REGISTRY_KEYS: Tuple[Tuple[str, str], ...] = (
+    ("HKEY_LOCAL_MACHINE\\SOFTWARE\\Oracle\\VirtualBox Guest Additions", "vbox"),
+    ("HKEY_LOCAL_MACHINE\\SOFTWARE\\VMware, Inc.\\VMware Tools", "vmware"),
+    ("HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Services\\VBoxGuest", "vbox"),
+    ("HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Services\\VBoxService", "vbox"),
+    ("HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Services\\VBoxSF", "vbox"),
+    ("HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Services\\vmci", "vmware"),
+    ("HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Enum\\IDE\\DiskVBOX_HARDDISK", "vbox"),
+    ("HKEY_LOCAL_MACHINE\\HARDWARE\\ACPI\\DSDT\\VBOX__", "vbox"),
+    ("HKEY_LOCAL_MACHINE\\HARDWARE\\ACPI\\FADT\\VBOX__", "vbox"),
+    ("HKEY_LOCAL_MACHINE\\HARDWARE\\ACPI\\RSDT\\VBOX__", "vbox"),
+    ("HKEY_CURRENT_USER\\Software\\Wine", "wine"),
+    ("HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Uninstall\\Sandboxie", "sandboxie"),
+    ("HKEY_LOCAL_MACHINE\\SOFTWARE\\OllyDbg", "debugger"),
+)
+
+#: Deceptive registry values (``key::value`` -> data). The BIOS strings
+#: combine multiple VM vendor names (Section II-B(e): "fakes such
+#: configuration values by combining multiple virtual machine names").
+COMBINED_BIOS_VERSION = "VBOX QEMU BOCHS - 1"
+CURATED_REGISTRY_VALUES: Tuple[Tuple[str, str, object, str], ...] = (
+    ("HKEY_LOCAL_MACHINE\\HARDWARE\\Description\\System",
+     "SystemBiosVersion", COMBINED_BIOS_VERSION, "vbox"),
+    ("HKEY_LOCAL_MACHINE\\HARDWARE\\Description\\System",
+     "VideoBiosVersion", "VIRTUALBOX VGA BIOS", "vbox"),
+    ("HKEY_LOCAL_MACHINE\\HARDWARE\\Description\\System",
+     "SystemBiosDate", "06/23/99", "vbox"),
+    ("HKEY_LOCAL_MACHINE\\SOFTWARE\\VMware, Inc.\\VMware Tools",
+     "InstallPath", "C:\\Program Files\\VMware\\VMware Tools\\", "vmware"),
+    ("HKEY_LOCAL_MACHINE\\SOFTWARE\\Oracle\\VirtualBox Guest Additions",
+     "Version", "5.2.8", "vbox"),
+    ("HKEY_LOCAL_MACHINE\\HARDWARE\\DEVICEMAP\\Scsi\\Scsi Port 0\\"
+     "Scsi Bus 0\\Target Id 0\\Logical Unit Id 0",
+     "Identifier", "VBOX HARDDISK", "vbox"),
+)
+
+#: Devices faked through the CreateFile/NtCreateFile hooks.
+CURATED_DEVICES: Tuple[Tuple[str, str], ...] = (
+    ("\\\\.\\vmci", "vmware"),
+    ("\\\\.\\VBoxGuest", "vbox"),
+    ("\\\\.\\VBoxMiniRdrDN", "vbox"),
+)
+
+#: Well-known analysis-product mutexes faked through the OpenMutex hook.
+CURATED_MUTEXES: Tuple[Tuple[str, str], ...] = (
+    ("Sandboxie_SingleInstanceMutex_Control", "sandboxie"),
+    ("Frz_State", "sandbox-generic"),           # Deep Freeze
+    ("MutexNPA_UN", "sandbox-generic"),         # Norman sandbox
+)
+
+
+@dataclasses.dataclass
+class FakeHardwareProfile:
+    """Sandbox-like hardware answers (Section II-B, hardware resources).
+
+    "SCARECROW provides faked system configurations, such as disk size
+    (50GB), memory size (1GB), and the number of cores (1)." RAM is just
+    under 1 GiB, as a 1 GB guest reports after firmware reservations —
+    which is also what the <1 GiB sandbox heuristics key on.
+    """
+
+    disk_total_bytes: int = 50 * GIB
+    disk_free_bytes: int = 26 * GIB
+    ram_total_bytes: int = 1 * GIB - 64 * MIB
+    ram_available_bytes: int = 512 * MIB
+    cpu_cores: int = 1
+
+
+@dataclasses.dataclass
+class FakeIdentityProfile:
+    """Identity answers for the generic-sandbox checks."""
+
+    username: str = "currentuser"
+    sample_directory: str = "C:\\sample"
+    fake_uptime_base_ms: int = 3 * 60 * 1000  # sandboxes run minutes, not days
+    #: Fake tick timeline advances at this rate relative to real time; a
+    #: rate < 1 makes Sleep() appear fast-forwarded (sandbox-like).
+    tick_rate: float = 0.5
+
+
+@dataclasses.dataclass
+class FakeNetworkProfile:
+    """NX-domain sinkhole configuration (Section II-B, network resources)."""
+
+    sinkhole_ip: str = "192.0.2.66"
+
+
+@dataclasses.dataclass
+class WearTearProfile:
+    """Faked wear-and-tear artifact values (Table III).
+
+    Values follow the table: 4 recent DNS cache entries, 8K system events,
+    29 DeviceClasses subkeys, 3 autorun entries, 53 MB registry quota use.
+    The remaining registry-category counts are sandbox-typical statistics
+    from the wear-and-tear paper's sandbox measurements.
+    """
+
+    dnscache_entries: int = 4
+    sysevt_count: int = 8000
+    sysevt_sources: int = 6
+    device_cls_count: int = 29
+    autorun_count: int = 3
+    regsize_bytes: int = 53 * 1024 * 1024
+    uninstall_count: int = 9
+    shared_dlls_count: int = 14
+    app_paths_count: int = 21
+    active_setup_count: int = 12
+    missing_dlls_count: int = 2
+    userassist_count: int = 18
+    shimcache_count: int = 31
+    muicache_entries: int = 8
+    firewall_rules_count: int = 27
+    usbstor_count: int = 1
+
+    #: Registry keys whose subkey/value cardinality the wear-and-tear
+    #: hooks clamp, mapped to (subkey_count_attr, value_count_attr).
+    def managed_keys(self) -> Dict[str, Tuple[int, int]]:
+        return {
+            "HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Control\\DeviceClasses":
+                (self.device_cls_count, 0),
+            "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run":
+                (0, self.autorun_count),
+            "HKEY_CURRENT_USER\\Software\\Microsoft\\Windows\\CurrentVersion\\Run":
+                (0, self.autorun_count),
+            "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Uninstall":
+                (self.uninstall_count, 0),
+            "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\SharedDlls":
+                (0, self.shared_dlls_count),
+            "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\App Paths":
+                (self.app_paths_count, 0),
+            "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Active Setup\\Installed Components":
+                (self.active_setup_count, 0),
+            "HKEY_CURRENT_USER\\Software\\Microsoft\\Windows\\CurrentVersion\\Explorer\\UserAssist":
+                (self.userassist_count, 0),
+            "HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Control\\Session Manager\\AppCompatCache":
+                (0, self.shimcache_count),
+            "HKEY_CURRENT_USER\\Software\\Classes\\Local Settings\\Software\\Microsoft\\Windows\\Shell\\MuiCache":
+                (0, self.muicache_entries),
+            "HKEY_LOCAL_MACHINE\\SYSTEM\\ControlSet001\\services\\SharedAccess\\Parameters\\FirewallPolicy\\FirewallRules":
+                (0, self.firewall_rules_count),
+            "HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Services\\UsbStor":
+                (self.usbstor_count, 0),
+        }
+
+
+class DeceptionDatabase:
+    """All deceptive resources, indexed for the hook handlers."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, DeceptiveResource] = {}
+        self._basenames: Dict[str, DeceptiveResource] = {}
+        self._folders: Dict[str, DeceptiveResource] = {}
+        self._processes: Dict[str, DeceptiveResource] = {}
+        self._libraries: Dict[str, DeceptiveResource] = {}
+        self._windows: List[DeceptiveResource] = []
+        self._registry_keys: Dict[str, DeceptiveResource] = {}
+        self._registry_values: Dict[Tuple[str, str], DeceptiveResource] = {}
+        self._devices: Dict[str, DeceptiveResource] = {}
+        self._mutexes: Dict[str, DeceptiveResource] = {}
+        self.hardware = FakeHardwareProfile()
+        self.identity = FakeIdentityProfile()
+        self.network = FakeNetworkProfile()
+        self.weartear = WearTearProfile()
+        self._load_curated()
+
+    # -- population ---------------------------------------------------------
+
+    def _load_curated(self) -> None:
+        for path, profile in CURATED_FILES:
+            self.add_file(path, profile)
+        for path, profile in CURATED_FOLDERS:
+            self.add_folder(path, profile)
+        for name, profile in PROTECTED_PROCESSES:
+            self.add_process(name, profile, protected=True)
+        for name, profile in ANALYSIS_DLLS:
+            self.add_library(name, profile)
+        for class_name, title, profile in DEBUGGER_WINDOWS + SANDBOX_WINDOWS:
+            self.add_window(class_name, title, profile)
+        for path, profile in CURATED_REGISTRY_KEYS:
+            self.add_registry_key(path, profile)
+        for path, name, data, profile in CURATED_REGISTRY_VALUES:
+            self.add_registry_value(path, name, data, profile)
+        for name, profile in CURATED_DEVICES:
+            self.add_device(name, profile)
+        for name, profile in CURATED_MUTEXES:
+            self.add_mutex(name, profile)
+
+    def add_file(self, path: str, profile: str,
+                 origin: Origin = Origin.CURATED) -> DeceptiveResource:
+        resource = DeceptiveResource(ResourceCategory.FILE, path, profile,
+                                     origin=origin)
+        self._files[path.lower()] = resource
+        self._basenames[path.lower().rsplit("\\", 1)[-1]] = resource
+        return resource
+
+    def add_folder(self, path: str, profile: str,
+                   origin: Origin = Origin.CURATED) -> DeceptiveResource:
+        resource = DeceptiveResource(ResourceCategory.FOLDER, path, profile,
+                                     origin=origin)
+        self._folders[path.lower()] = resource
+        return resource
+
+    def add_process(self, name: str, profile: str, protected: bool = False,
+                    origin: Origin = Origin.CURATED) -> DeceptiveResource:
+        resource = DeceptiveResource(ResourceCategory.PROCESS, name, profile,
+                                     origin=origin, protected=protected)
+        self._processes[name.lower()] = resource
+        return resource
+
+    def add_library(self, name: str, profile: str,
+                    origin: Origin = Origin.CURATED) -> DeceptiveResource:
+        resource = DeceptiveResource(ResourceCategory.LIBRARY, name, profile,
+                                     origin=origin)
+        self._libraries[name.lower()] = resource
+        return resource
+
+    def add_window(self, class_name: str, title: Optional[str],
+                   profile: str) -> DeceptiveResource:
+        identity = f"{class_name}|{title or ''}"
+        resource = DeceptiveResource(ResourceCategory.WINDOW, identity, profile)
+        self._windows.append(resource)
+        return resource
+
+    def add_registry_key(self, path: str, profile: str,
+                         origin: Origin = Origin.CURATED) -> DeceptiveResource:
+        resource = DeceptiveResource(ResourceCategory.REGISTRY_KEY, path,
+                                     profile, origin=origin)
+        self._registry_keys[path.lower()] = resource
+        return resource
+
+    def add_registry_value(self, key_path: str, value_name: str, data: object,
+                           profile: str,
+                           origin: Origin = Origin.CURATED) -> DeceptiveResource:
+        resource = DeceptiveResource(
+            ResourceCategory.REGISTRY_VALUE,
+            registry_value_identity(key_path, value_name), profile, data=data,
+            origin=origin)
+        self._registry_values[(key_path.lower(), value_name.lower())] = resource
+        return resource
+
+    def add_device(self, name: str, profile: str) -> DeceptiveResource:
+        resource = DeceptiveResource(ResourceCategory.DEVICE, name, profile)
+        self._devices[name.lower().strip("\\").replace(".\\", "")] = resource
+        return resource
+
+    def add_mutex(self, name: str, profile: str) -> DeceptiveResource:
+        resource = DeceptiveResource(ResourceCategory.MUTEX, name, profile)
+        self._mutexes[name.lower()] = resource
+        return resource
+
+    # -- lookups used by hook handlers -----------------------------------------
+
+    def lookup_file(self, path: str) -> Optional[DeceptiveResource]:
+        path_l = path.lower()
+        hit = self._files.get(path_l) or self._folders.get(path_l)
+        if hit is not None:
+            return hit
+        return self._basenames.get(path_l.rsplit("\\", 1)[-1])
+
+    def lookup_process(self, name: str) -> Optional[DeceptiveResource]:
+        return self._processes.get(name.lower())
+
+    def lookup_library(self, name: str) -> Optional[DeceptiveResource]:
+        wanted = name.lower()
+        if not wanted.endswith(".dll"):
+            wanted += ".dll"
+        return self._libraries.get(wanted)
+
+    def lookup_window(self, class_name: Optional[str],
+                      title: Optional[str]) -> Optional[DeceptiveResource]:
+        for resource in self._windows:
+            res_class, _, res_title = resource.identity.partition("|")
+            if class_name is not None and res_class.lower() != class_name.lower():
+                continue
+            if title is not None and res_title.lower() != title.lower():
+                continue
+            if class_name is None and title is None:
+                continue
+            return resource
+        return None
+
+    def lookup_registry_key(self, path: str) -> Optional[DeceptiveResource]:
+        """Exact match, or ancestor-of-a-deceptive-key match.
+
+        Opening ``SOFTWARE\\VMware, Inc.`` must succeed when the database
+        fakes ``SOFTWARE\\VMware, Inc.\\VMware Tools`` underneath it.
+        """
+        path_l = path.lower().rstrip("\\")
+        exact = self._registry_keys.get(path_l)
+        if exact is not None:
+            return exact
+        prefix = path_l + "\\"
+        for key_l, resource in self._registry_keys.items():
+            if key_l.startswith(prefix):
+                return resource
+        return None
+
+    def lookup_registry_value(self, key_path: str,
+                              value_name: str) -> Optional[DeceptiveResource]:
+        return self._registry_values.get(
+            (key_path.lower(), value_name.lower()))
+
+    def registry_values_for_key(self, key_path: str) -> List[Tuple[str, object]]:
+        key_l = key_path.lower()
+        return [(identity_key[1], res.data)
+                for identity_key, res in self._registry_values.items()
+                if identity_key[0] == key_l]
+
+    def registry_subkeys_for_key(self, key_path: str) -> List[str]:
+        """Direct deceptive children of ``key_path``."""
+        prefix = key_path.lower().rstrip("\\") + "\\"
+        children = []
+        for key_l, resource in self._registry_keys.items():
+            if key_l.startswith(prefix):
+                remainder = resource.identity[len(prefix):]
+                children.append(remainder.split("\\", 1)[0])
+        return sorted(set(children), key=str.lower)
+
+    def lookup_device(self, name: str) -> Optional[DeceptiveResource]:
+        from ..winsim.devices import normalize_device_name
+        return self._devices.get(normalize_device_name(name))
+
+    def lookup_mutex(self, name: str) -> Optional[DeceptiveResource]:
+        from ..winsim.mutexes import MutexNamespace
+        return self._mutexes.get(MutexNamespace._normalize(name))
+
+    def protected_process_names(self) -> List[str]:
+        return [r.identity for r in self._processes.values() if r.protected]
+
+    def deceptive_process_names(self) -> List[str]:
+        return [r.identity for r in self._processes.values()]
+
+    # -- statistics --------------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "files": len(self._files),
+            "folders": len(self._folders),
+            "processes": len(self._processes),
+            "libraries": len(self._libraries),
+            "windows": len(self._windows),
+            "registry_keys": len(self._registry_keys),
+            "registry_values": len(self._registry_values),
+            "devices": len(self._devices),
+            "mutexes": len(self._mutexes),
+        }
+
+    def counts_by_origin(self, origin: Origin) -> Dict[str, int]:
+        def count(values: Iterable[DeceptiveResource]) -> int:
+            return sum(1 for r in values if r.origin is origin)
+
+        return {
+            "files": count(self._files.values()),
+            "processes": count(self._processes.values()),
+            "registry_entries": count(self._registry_keys.values()) +
+            count(self._registry_values.values()),
+        }

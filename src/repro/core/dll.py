@@ -1,0 +1,58 @@
+"""scarecrow.dll — the injected payload that installs the deception hooks."""
+
+from __future__ import annotations
+
+from ..hooking.injection import hook_manager_of
+from ..winsim.machine import Machine
+from ..winsim.process import Process
+from .engine import DeceptionEngine
+from .handlers import build_handlers
+
+HOOK_OWNER = "scarecrow"
+
+
+class ScarecrowDll:
+    """Injectable DLL model (satisfies the InjectableDll protocol).
+
+    On injection it installs every handler from
+    :func:`repro.core.handlers.build_handlers` as an inline hook in the
+    target process. Exports already hooked by someone else (e.g. Cuckoo's
+    monitor hooking ``ShellExecuteExW``) are left alone — their existing
+    patched prologue already serves Scarecrow's purpose of *looking*
+    monitored.
+    """
+
+    name = "scarecrow.dll"
+
+    def __init__(self, engine: DeceptionEngine) -> None:
+        self.engine = engine
+        self._handlers = build_handlers(engine)
+
+    def on_inject(self, machine: Machine, process: Process) -> None:
+        manager = hook_manager_of(process, create=True)
+        assert manager is not None
+        installed = 0
+        for export, handler in self._handlers.items():
+            if manager.is_hooked(export):
+                continue
+            manager.install(export, handler, owner=HOOK_OWNER)
+            installed += 1
+        self.engine.attach_process(machine, process.pid)
+        process.tags["scarecrow_protected"] = True
+        process.tags["scarecrow_hooks_installed"] = installed
+
+    def refresh_hooks(self, process: Process) -> int:
+        """Re-sync hooks after a config update pushed over IPC."""
+        manager = hook_manager_of(process)
+        if manager is None:
+            return 0
+        manager.remove_all(owner=HOOK_OWNER)
+        self._handlers = build_handlers(self.engine)
+        installed = 0
+        for export, handler in self._handlers.items():
+            if manager.is_hooked(export):
+                continue
+            manager.install(export, handler, owner=HOOK_OWNER)
+            installed += 1
+        process.tags["scarecrow_hooks_installed"] = installed
+        return installed

@@ -1,0 +1,153 @@
+"""The deception engine — shared brain behind every Scarecrow hook.
+
+One engine instance serves a whole protected process tree: the injected
+DLL's hook handlers consult it on every intercepted call, it decides
+whether a deceptive answer applies (category enabled? profile active?),
+records the fingerprint event, and forwards it to the controller over IPC.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..hooking.ipc import IpcEndpoint
+from ..winsim.machine import Machine
+from ..winsim.registry import RegistryKey
+from .database import DeceptionDatabase
+from .events import FingerprintEvent, FingerprintLog
+from .profiles import ProfileManager, ScarecrowConfig
+from .resources import DeceptiveResource
+
+#: Single-vendor BIOS strings served once an exclusive profile commits
+#: (the default combined value deliberately names several vendors, which
+#: the Section VI-B consistency audit would flag).
+VENDOR_BIOS_VALUES = {
+    "vbox": "VBOX   - 1",
+    "qemu": "QEMU   - 1",
+    "bochs": "BOCHS  - 1",
+    "vmware": "INTEL  - 6040000 VMware",
+}
+
+
+class DeceptionEngine:
+    """Policy + state for answering fingerprint probes deceptively."""
+
+    def __init__(self, database: Optional[DeceptionDatabase] = None,
+                 config: Optional[ScarecrowConfig] = None,
+                 ipc: Optional[IpcEndpoint] = None) -> None:
+        self.db = database or DeceptionDatabase()
+        self.config = config or ScarecrowConfig()
+        self.profiles = ProfileManager(self.config)
+        self.log = FingerprintLog()
+        self.ipc = ipc
+        #: Per-process tick bases for the timing deception,
+        #: pid -> (real_tick_at_attach, fake_base_ms).
+        self._tick_bases: dict = {}
+
+    # -- applicability -----------------------------------------------------
+
+    def applies(self, resource: Optional[DeceptiveResource]) -> bool:
+        """Should this resource be faked right now?"""
+        if resource is None:
+            return False
+        if not self.profiles.is_active(resource.profile):
+            return False
+        return True
+
+    # -- event plumbing --------------------------------------------------------
+
+    def report(self, category: str, api: str, resource: str, pid: int,
+               timestamp_ns: int, profile: str = "", **details: Any
+               ) -> FingerprintEvent:
+        """Record a fingerprint probe that Scarecrow answered deceptively."""
+        event = FingerprintEvent(category, api, resource, pid, timestamp_ns,
+                                 dict(details))
+        self.log.record(event)
+        if profile:
+            self.profiles.observe_probe(profile)
+        if self.ipc is not None:
+            self.ipc.send("fingerprint_report", category=category, api=api,
+                          resource=resource, pid=pid)
+        return event
+
+    def present_registry_data(self, resource: DeceptiveResource):
+        """Resource data as it should be served *right now*.
+
+        With exclusive profiles and a committed VM identity, the combined
+        multi-vendor ``SystemBiosVersion`` value collapses to the committed
+        vendor's string, keeping the machine internally consistent against
+        the Section VI-B audit.
+        """
+        data = resource.data
+        if (self.config.exclusive_profiles and
+                self.profiles.committed_vm is not None and
+                isinstance(data, str) and
+                resource.identity.lower().endswith("::systembiosversion")):
+            return VENDOR_BIOS_VALUES.get(self.profiles.committed_vm, data)
+        return data
+
+    # -- timing deception state --------------------------------------------------
+
+    def attach_process(self, machine: Machine, pid: int) -> None:
+        """Record the tick baseline when the DLL lands in a process."""
+        self._tick_bases[pid] = machine.clock.tick_count_ms()
+
+    def fake_tick(self, machine: Machine, pid: int) -> int:
+        """Low-uptime, slowed-down tick timeline (Section II-B(g)).
+
+        The returned timeline starts a few minutes after "boot" and runs at
+        ``identity.tick_rate`` of real time, so sleep-vs-tick comparisons
+        observe the acceleration discrepancies sandboxes exhibit.
+        """
+        base = self._tick_bases.get(pid)
+        real_now = machine.clock.tick_count_ms()
+        if base is None:
+            base = real_now
+            self._tick_bases[pid] = base
+        elapsed = real_now - base
+        identity = self.db.identity
+        return identity.fake_uptime_base_ms + int(
+            elapsed * identity.tick_rate)
+
+    # -- registry materialization -----------------------------------------------
+
+    def materialize_registry_key(self, path: str) -> RegistryKey:
+        """Build an ephemeral key for a deceptive registry path.
+
+        The key chain carries proper parents so ``key.path()`` is correct,
+        and it is populated with the database's deceptive values and
+        subkeys for that path — but it is *not* inserted into the machine
+        registry, so nothing is visible outside the hooked process.
+        """
+        parts = [p for p in path.replace("/", "\\").split("\\") if p]
+        node: Optional[RegistryKey] = None
+        for part in parts:
+            child = RegistryKey(part, parent=node)
+            if node is not None:
+                node._children[part.lower()] = child
+            node = child
+        assert node is not None
+        for value_name, data in self.db.registry_values_for_key(path):
+            node.set_value(value_name, data)
+        for subkey in self.db.registry_subkeys_for_key(path):
+            node.ensure_child(subkey)
+        return node
+
+    def materialize_counted_key(self, path: str, subkeys: int,
+                                values: int) -> RegistryKey:
+        """Ephemeral key with exactly N synthetic subkeys / values.
+
+        Used by the wear-and-tear deception to clamp artifact cardinality
+        (e.g. 29 ``DeviceClasses`` subkeys, 3 autorun entries).
+        """
+        node = self.materialize_registry_key(path)
+        for index in range(subkeys - node.subkey_count()):
+            node.ensure_child(f"{{entry-{index:04d}}}")
+        for index in range(values - node.value_count()):
+            node.set_value(f"entry{index:04d}", f"value{index:04d}")
+        return node
+
+    def reset(self) -> None:
+        self.log.clear()
+        self.profiles.reset()
+        self._tick_bases.clear()

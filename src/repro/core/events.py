@@ -1,0 +1,60 @@
+"""Fingerprint events — what Scarecrow reports when evasive logic probes it.
+
+Every time a hooked API is asked about a deceptive resource, the engine
+records a :class:`FingerprintEvent` and forwards it over IPC to the
+controller. Table I's "Trigger" column is simply the first such event per
+sample.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class FingerprintEvent:
+    """One deceptive-resource probe answered by Scarecrow."""
+
+    #: Which deception answered, e.g. "registry", "file", "debugger",
+    #: "hardware", "network", "window", "library", "process", "timing",
+    #: "weartear", "hook".
+    category: str
+    #: The API the probe came through, e.g. "kernel32.dll!IsDebuggerPresent".
+    api: str
+    #: The resource that matched, e.g. the registry path or file name.
+    resource: str
+    #: Acting pid inside the protected process tree.
+    pid: int
+    timestamp_ns: int
+    details: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def trigger_name(self) -> str:
+        """Human-readable trigger label, Table I style (``API()`` form)."""
+        return self.api.split("!", 1)[1] + "()"
+
+
+class FingerprintLog:
+    """Accumulates events inside the engine; controller drains copies."""
+
+    def __init__(self) -> None:
+        self._events: List[FingerprintEvent] = []
+
+    def record(self, event: FingerprintEvent) -> None:
+        self._events.append(event)
+
+    def events(self) -> List[FingerprintEvent]:
+        return list(self._events)
+
+    def first(self) -> Optional[FingerprintEvent]:
+        return self._events[0] if self._events else None
+
+    def by_category(self, category: str) -> List[FingerprintEvent]:
+        return [e for e in self._events if e.category == category]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,539 @@
+"""Hook handlers — the deceptive implementations behind the 29 hooked APIs.
+
+Each handler closes over one :class:`~repro.core.engine.DeceptionEngine`.
+The contract mirrors the paper's Section III-A: inspect the call's
+parameters; when they touch a deceptive resource, answer with the
+fabricated value and report the fingerprint attempt; otherwise fall through
+to the genuine implementation via ``call.original``.
+
+:data:`CORE_29_APIS` is the paper's "29 APIs that access SCARECROW
+deceptive resources"; :func:`build_handlers` additionally wires the
+CreateProcess child-following hook, the network sinkhole, the decoy hooks
+(present only to be *detected*), and — when enabled — the wear-and-tear
+handlers of Table III.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Callable, Dict, Optional, Tuple
+
+from ..hooking.inline import HookCall
+from ..winsim.errors import NtStatus, Win32Error
+from ..winsim.eventlog import EventRecord
+from ..winsim.filesystem import (FILE_ATTRIBUTE_DIRECTORY,
+                                 FILE_ATTRIBUTE_NORMAL)
+from ..winsim.types import Handle, MemoryStatusEx, SystemInfo
+from ..winapi.ntdll import ProcessInformationClass, SystemInformationClass
+from .engine import DeceptionEngine
+from .resources import ResourceCategory
+
+#: The canonical 29 resource APIs of Section III-A.
+CORE_29_APIS: Tuple[str, ...] = (
+    "advapi32.dll!RegOpenKeyExA",
+    "advapi32.dll!RegQueryValueExA",
+    "advapi32.dll!RegEnumKeyExA",
+    "advapi32.dll!RegQueryInfoKeyA",
+    "ntdll.dll!NtOpenKeyEx",
+    "ntdll.dll!NtQueryKey",
+    "ntdll.dll!NtQueryValueKey",
+    "ntdll.dll!NtEnumerateValueKey",
+    "kernel32.dll!GetFileAttributesA",
+    "kernel32.dll!CreateFileA",
+    "kernel32.dll!FindFirstFileA",
+    "ntdll.dll!NtQueryAttributesFile",
+    "ntdll.dll!NtCreateFile",
+    "ntdll.dll!NtQuerySystemInformation",
+    "ntdll.dll!NtQueryInformationProcess",
+    "kernel32.dll!GlobalMemoryStatusEx",
+    "kernel32.dll!GetSystemInfo",
+    "kernel32.dll!GetDiskFreeSpaceExA",
+    "kernel32.dll!DeviceIoControl",
+    "kernel32.dll!GetModuleHandleA",
+    "kernel32.dll!LoadLibraryA",
+    "kernel32.dll!GetProcAddress",
+    "kernel32.dll!IsDebuggerPresent",
+    "kernel32.dll!CheckRemoteDebuggerPresent",
+    "kernel32.dll!GetTickCount",
+    "advapi32.dll!GetUserNameA",
+    "kernel32.dll!GetModuleFileNameA",
+    "user32.dll!FindWindowA",
+    "kernel32.dll!CreateToolhelp32Snapshot",
+)
+
+#: Wide-char exports routed through the same deception handlers as their
+#: narrow siblings (Section VI-A's bypass discussion: leaving these
+#: unhooked would let W-calling malware evade the deception).
+W_VARIANT_ALIASES: Dict[str, str] = {
+    "kernel32.dll!GetModuleHandleW": "kernel32.dll!GetModuleHandleA",
+    "user32.dll!FindWindowW": "user32.dll!FindWindowA",
+    "kernel32.dll!GetFileAttributesW": "kernel32.dll!GetFileAttributesA",
+    "kernel32.dll!CreateFileW": "kernel32.dll!CreateFileA",
+    "advapi32.dll!RegOpenKeyExW": "advapi32.dll!RegOpenKeyExA",
+    "advapi32.dll!RegQueryValueExW": "advapi32.dll!RegQueryValueExA",
+    "advapi32.dll!GetUserNameW": "advapi32.dll!GetUserNameA",
+    "kernel32.dll!GetModuleFileNameW": "kernel32.dll!GetModuleFileNameA",
+}
+
+#: APIs hooked only so their patched prologues are *visible* to anti-hook
+#: checks (sandboxes hook these; Scarecrow imitates the byte pattern).
+DECOY_APIS: Tuple[str, ...] = (
+    "shell32.dll!ShellExecuteExW",
+    "kernel32.dll!DeleteFileA",
+)
+
+#: Base for fabricated module handles / window handles / pids.
+_FAKE_MODULE_BASE = 0x6F000000
+_FAKE_WINDOW_HWND = 0xDEC0
+_FAKE_PID_BASE = 90000
+
+Handler = Callable[..., object]
+
+
+def build_handlers(engine: DeceptionEngine) -> Dict[str, Handler]:
+    """All hook handlers for ``engine``, keyed by export name."""
+    handlers: Dict[str, Handler] = {}
+    e = engine
+    db = engine.db
+    cfg = engine.config
+
+    def report(call: HookCall, category: str, resource: str,
+               profile: str = "", **details: object) -> None:
+        e.report(category, call.export, resource, call.process.pid,
+                 call.machine.clock.now_ns, profile=profile, **details)
+
+    # -- registry ---------------------------------------------------------
+
+    def open_key_common(call: HookCall, path: str,
+                        native: bool) -> Optional[Handle]:
+        """Deceptive open for both Reg/Nt flavours; None = fall through."""
+        if cfg.enable_weartear:
+            managed = db.weartear.managed_keys()
+            for managed_path, (subkeys, values) in managed.items():
+                if managed_path.lower() == path.lower().rstrip("\\"):
+                    key = e.materialize_counted_key(managed_path, subkeys,
+                                                    values)
+                    report(call, "weartear", managed_path,
+                           subkeys=subkeys, values=values)
+                    return call.machine.handles.open(key, "key")
+        if cfg.enable_software:
+            resource = db.lookup_registry_key(path)
+            if e.applies(resource):
+                key = e.materialize_registry_key(path)
+                report(call, "registry", path, profile=resource.profile)
+                return call.machine.handles.open(key, "key")
+        return None
+
+    def reg_open_key(call: HookCall, hive: str, subkey: str):
+        path = f"{hive}\\{subkey}" if subkey else hive
+        handle = open_key_common(call, path, native=False)
+        if handle is not None:
+            return (Win32Error.ERROR_SUCCESS, handle)
+        return call.original(hive, subkey)
+
+    def nt_open_key(call: HookCall, path: str):
+        handle = open_key_common(call, path, native=True)
+        if handle is not None:
+            return (NtStatus.STATUS_SUCCESS, handle)
+        return call.original(path)
+
+    def query_value_common(call: HookCall, handle: Handle, name: str):
+        key = call.machine.handles.resolve(handle, "key")
+        if key is not None and cfg.enable_software:
+            resource = db.lookup_registry_value(key.path(), name)
+            if e.applies(resource):
+                report(call, "registry", resource.identity,
+                       profile=resource.profile)
+                return resource
+        return None
+
+    def reg_query_value(call: HookCall, handle: Handle, name: str):
+        resource = query_value_common(call, handle, name)
+        if resource is not None:
+            return (Win32Error.ERROR_SUCCESS,
+                    e.present_registry_data(resource))
+        return call.original(handle, name)
+
+    def nt_query_value(call: HookCall, handle: Handle, name: str):
+        resource = query_value_common(call, handle, name)
+        if resource is not None:
+            return (NtStatus.STATUS_SUCCESS,
+                    e.present_registry_data(resource))
+        return call.original(handle, name)
+
+    def passthrough(call: HookCall, *args, **kwargs):
+        return call.original(*args, **kwargs)
+
+    handlers["advapi32.dll!RegOpenKeyExA"] = reg_open_key
+    handlers["ntdll.dll!NtOpenKeyEx"] = nt_open_key
+    handlers["advapi32.dll!RegQueryValueExA"] = reg_query_value
+    handlers["ntdll.dll!NtQueryValueKey"] = nt_query_value
+    # Enumeration / info calls operate on (possibly materialized) handles;
+    # hooked for parity with the paper's API list, behaviourally neutral.
+    handlers["advapi32.dll!RegEnumKeyExA"] = passthrough
+    handlers["advapi32.dll!RegQueryInfoKeyA"] = passthrough
+    handlers["ntdll.dll!NtQueryKey"] = passthrough
+    handlers["ntdll.dll!NtEnumerateValueKey"] = passthrough
+
+    # -- files and devices ---------------------------------------------------
+
+    def file_resource(path: str):
+        if not cfg.enable_software:
+            return None
+        resource = db.lookup_file(path)
+        return resource if e.applies(resource) else None
+
+    def get_file_attributes(call: HookCall, path: str):
+        resource = file_resource(path)
+        if resource is not None:
+            report(call, "file", path, profile=resource.profile)
+            return (FILE_ATTRIBUTE_DIRECTORY
+                    if resource.category is ResourceCategory.FOLDER
+                    else FILE_ATTRIBUTE_NORMAL)
+        return call.original(path)
+
+    def nt_query_attributes(call: HookCall, path: str):
+        resource = file_resource(path)
+        if resource is not None:
+            report(call, "file", path, profile=resource.profile)
+            return (NtStatus.STATUS_SUCCESS, FILE_ATTRIBUTE_NORMAL)
+        return call.original(path)
+
+    def create_file(call: HookCall, path: str, write: bool = False):
+        device = db.lookup_device(path) if path.startswith("\\\\.\\") else None
+        if e.applies(device) and cfg.enable_software:
+            report(call, "device", path, profile=device.profile)
+            return call.machine.handles.open({"device": path, "fake": True},
+                                             "device")
+        resource = file_resource(path)
+        if resource is not None and not write:
+            report(call, "file", path, profile=resource.profile)
+            return call.machine.handles.open(
+                {"path": path, "write": False, "fake": True}, "file")
+        return call.original(path, write)
+
+    def nt_create_file(call: HookCall, path: str, write: bool = False):
+        device = db.lookup_device(path) if path.startswith("\\\\.\\") else None
+        if e.applies(device) and cfg.enable_software:
+            report(call, "device", path, profile=device.profile)
+            return (NtStatus.STATUS_SUCCESS,
+                    call.machine.handles.open({"device": path, "fake": True},
+                                              "device"))
+        resource = file_resource(path)
+        if resource is not None and not write:
+            report(call, "file", path, profile=resource.profile)
+            return (NtStatus.STATUS_SUCCESS,
+                    call.machine.handles.open(
+                        {"path": path, "write": False, "fake": True}, "file"))
+        return call.original(path, write)
+
+    def find_first_file(call: HookCall, pattern: str):
+        result = call.original(pattern)
+        if result is not None or not cfg.enable_software:
+            return result
+        directory, _, mask = pattern.rpartition("\\")
+        for path_l in list(db._files):
+            if not path_l.startswith(directory.lower() + "\\"):
+                continue
+            name = path_l.rsplit("\\", 1)[-1]
+            if fnmatch.fnmatch(name, mask.lower()):
+                resource = db._files[path_l]
+                if e.applies(resource):
+                    report(call, "file", path_l, profile=resource.profile)
+                    return db._files[path_l].identity.rsplit("\\", 1)[-1]
+        return None
+
+    handlers["kernel32.dll!GetFileAttributesA"] = get_file_attributes
+    handlers["ntdll.dll!NtQueryAttributesFile"] = nt_query_attributes
+    handlers["kernel32.dll!CreateFileA"] = create_file
+    handlers["ntdll.dll!NtCreateFile"] = nt_create_file
+    handlers["kernel32.dll!FindFirstFileA"] = find_first_file
+
+    # -- system information -------------------------------------------------
+
+    def nt_query_system(call: HookCall, info_class: int):
+        if info_class == SystemInformationClass.SystemBasicInformation \
+                and cfg.enable_hardware:
+            report(call, "hardware", "SystemBasicInformation")
+            return (NtStatus.STATUS_SUCCESS,
+                    {"number_of_processors": db.hardware.cpu_cores,
+                     "physical_pages": db.hardware.ram_total_bytes // 4096})
+        if info_class == SystemInformationClass.SystemProcessInformation \
+                and cfg.enable_software:
+            status, listing = call.original(info_class)
+            if listing is not None:
+                extra = [{"pid": _FAKE_PID_BASE + i, "name": name, "ppid": 4}
+                         for i, name in enumerate(db.deceptive_process_names())
+                         if not any(p["name"].lower() == name.lower()
+                                    for p in listing)]
+                listing = listing + extra
+                report(call, "process", "SystemProcessInformation",
+                       injected=len(extra))
+            return (status, listing)
+        if info_class == SystemInformationClass.SystemKernelDebuggerInformation \
+                and cfg.enable_debugger:
+            report(call, "debugger", "SystemKernelDebuggerInformation")
+            return (NtStatus.STATUS_SUCCESS,
+                    {"debugger_enabled": True, "debugger_not_present": False})
+        if info_class == SystemInformationClass.SystemRegistryQuotaInformation \
+                and cfg.enable_weartear:
+            report(call, "weartear", "SystemRegistryQuotaInformation",
+                   used=db.weartear.regsize_bytes)
+            return (NtStatus.STATUS_SUCCESS,
+                    {"registry_quota_allowed": 0x20000000,
+                     "registry_quota_used": db.weartear.regsize_bytes})
+        return call.original(info_class)
+
+    def nt_query_process(call: HookCall, info_class: int,
+                         pid: Optional[int] = None):
+        if not cfg.enable_debugger:
+            return call.original(info_class, pid)
+        if info_class == ProcessInformationClass.ProcessDebugPort:
+            report(call, "debugger", "ProcessDebugPort")
+            return (NtStatus.STATUS_SUCCESS, 0xFFFFFFFF)
+        if info_class == ProcessInformationClass.ProcessDebugFlags:
+            report(call, "debugger", "ProcessDebugFlags")
+            return (NtStatus.STATUS_SUCCESS, 0)
+        if info_class == ProcessInformationClass.ProcessDebugObjectHandle:
+            report(call, "debugger", "ProcessDebugObjectHandle")
+            return (NtStatus.STATUS_SUCCESS, 0x1234)
+        return call.original(info_class, pid)
+
+    def global_memory_status(call: HookCall):
+        if not cfg.enable_hardware:
+            return call.original()
+        report(call, "hardware", "GlobalMemoryStatusEx",
+               total=db.hardware.ram_total_bytes)
+        return MemoryStatusEx(total_phys=db.hardware.ram_total_bytes,
+                              avail_phys=db.hardware.ram_available_bytes)
+
+    def get_system_info(call: HookCall):
+        if not cfg.enable_hardware:
+            return call.original()
+        report(call, "hardware", "GetSystemInfo", cores=db.hardware.cpu_cores)
+        return SystemInfo(number_of_processors=db.hardware.cpu_cores)
+
+    def get_disk_free_space(call: HookCall, root: str = "C:\\"):
+        if not cfg.enable_hardware:
+            return call.original(root)
+        report(call, "hardware", "GetDiskFreeSpaceExA",
+               total=db.hardware.disk_total_bytes)
+        return (True, db.hardware.disk_free_bytes,
+                db.hardware.disk_total_bytes)
+
+    def device_io_control(call: HookCall, device: str, ioctl: int):
+        from ..winapi.kernel32 import IOCTL_DISK_GET_DRIVE_GEOMETRY
+        if ioctl == IOCTL_DISK_GET_DRIVE_GEOMETRY and cfg.enable_hardware:
+            report(call, "hardware", "DriveGeometry",
+                   total=db.hardware.disk_total_bytes)
+            bytes_per_sector, sectors, tracks = 512, 63, 255
+            cylinder_bytes = bytes_per_sector * sectors * tracks
+            return {"cylinders": db.hardware.disk_total_bytes // cylinder_bytes,
+                    "tracks_per_cylinder": tracks,
+                    "sectors_per_track": sectors,
+                    "bytes_per_sector": bytes_per_sector}
+        return call.original(device, ioctl)
+
+    handlers["ntdll.dll!NtQuerySystemInformation"] = nt_query_system
+    handlers["ntdll.dll!NtQueryInformationProcess"] = nt_query_process
+    handlers["kernel32.dll!GlobalMemoryStatusEx"] = global_memory_status
+    handlers["kernel32.dll!GetSystemInfo"] = get_system_info
+    handlers["kernel32.dll!GetDiskFreeSpaceExA"] = get_disk_free_space
+    handlers["kernel32.dll!DeviceIoControl"] = device_io_control
+
+    # -- modules / debugger --------------------------------------------------
+
+    def get_module_handle(call: HookCall, name: Optional[str]):
+        if name is not None and cfg.enable_software:
+            resource = db.lookup_library(name)
+            if e.applies(resource):
+                report(call, "library", name, profile=resource.profile)
+                return _FAKE_MODULE_BASE + (hash(name.lower()) & 0xFFFF) * 0x10
+        return call.original(name)
+
+    def load_library(call: HookCall, name: str):
+        if cfg.enable_software:
+            resource = db.lookup_library(name)
+            if e.applies(resource):
+                report(call, "library", name, profile=resource.profile)
+                return _FAKE_MODULE_BASE + (hash(name.lower()) & 0xFFFF) * 0x10
+        return call.original(name)
+
+    def get_proc_address(call: HookCall, module_base: int, proc_name: str):
+        if proc_name == "wine_get_unix_file_name" and cfg.enable_software \
+                and e.profiles.is_active("wine"):
+            report(call, "library", proc_name, profile="wine")
+            return _FAKE_MODULE_BASE + 0x9999
+        return call.original(module_base, proc_name)
+
+    def is_debugger_present(call: HookCall):
+        if not cfg.enable_debugger:
+            return call.original()
+        report(call, "debugger", "IsDebuggerPresent")
+        return True
+
+    def check_remote_debugger(call: HookCall, pid: Optional[int] = None):
+        if not cfg.enable_debugger:
+            return call.original(pid)
+        report(call, "debugger", "CheckRemoteDebuggerPresent")
+        return True
+
+    handlers["kernel32.dll!GetModuleHandleA"] = get_module_handle
+    handlers["kernel32.dll!LoadLibraryA"] = load_library
+    handlers["kernel32.dll!GetProcAddress"] = get_proc_address
+    handlers["kernel32.dll!IsDebuggerPresent"] = is_debugger_present
+    handlers["kernel32.dll!CheckRemoteDebuggerPresent"] = check_remote_debugger
+
+    # -- timing -----------------------------------------------------------------
+
+    def get_tick_count(call: HookCall):
+        if not cfg.enable_timing:
+            return call.original()
+        report(call, "timing", "GetTickCount")
+        return e.fake_tick(call.machine, call.process.pid)
+
+    handlers["kernel32.dll!GetTickCount"] = get_tick_count
+
+    # -- identity ---------------------------------------------------------------
+
+    def get_user_name(call: HookCall):
+        if cfg.enable_identity and cfg.enable_username:
+            report(call, "identity", "GetUserNameA")
+            return db.identity.username
+        return call.original()
+
+    def get_module_file_name(call: HookCall, module_base=None):
+        if module_base is None and cfg.enable_identity:
+            real = call.original(None)
+            basename = real.rsplit("\\", 1)[-1]
+            report(call, "identity", "GetModuleFileNameA")
+            return f"{db.identity.sample_directory}\\{basename}"
+        return call.original(module_base)
+
+    handlers["advapi32.dll!GetUserNameA"] = get_user_name
+    handlers["kernel32.dll!GetModuleFileNameA"] = get_module_file_name
+
+    # -- GUI / process list ------------------------------------------------------
+
+    def find_window(call: HookCall, class_name, title=None):
+        if cfg.enable_software:
+            resource = db.lookup_window(class_name, title)
+            if e.applies(resource):
+                report(call, "window", resource.identity,
+                       profile=resource.profile)
+                return _FAKE_WINDOW_HWND
+        return call.original(class_name, title)
+
+    def toolhelp_snapshot(call: HookCall):
+        handle = call.original()
+        snapshot = call.machine.handles.resolve(handle, "toolhelp")
+        if snapshot is not None and cfg.enable_software:
+            present = {name.lower() for _, name in snapshot["entries"]}
+            added = 0
+            for index, name in enumerate(db.deceptive_process_names()):
+                if name.lower() not in present:
+                    snapshot["entries"].append((_FAKE_PID_BASE + index, name))
+                    added += 1
+            report(call, "process", "CreateToolhelp32Snapshot", injected=added)
+        return handle
+
+    handlers["user32.dll!FindWindowA"] = find_window
+    handlers["kernel32.dll!CreateToolhelp32Snapshot"] = toolhelp_snapshot
+
+    # -- auxiliary: network sinkhole (Section II-B network resources) ------------
+
+    def dns_resolve(call: HookCall, name: str):
+        answer = call.original(name)
+        if answer is None and cfg.enable_network:
+            report(call, "network", name, nx=True)
+            call.machine.network.mark_reachable(db.network.sinkhole_ip)
+            return db.network.sinkhole_ip
+        return answer
+
+    def internet_open_url(call: HookCall, url: str):
+        host = url.split("//", 1)[-1].split("/", 1)[0]
+        if cfg.enable_network and not call.machine.network.domain_exists(host):
+            report(call, "network", host, nx=True, http=True)
+            return True  # the Scarecrow proxy answers for sinkholed names
+        return call.original(url)
+
+    handlers["dnsapi.dll!DnsQuery_A"] = dns_resolve
+    handlers["ws2_32.dll!gethostbyname"] = dns_resolve
+    handlers["wininet.dll!InternetOpenUrlA"] = internet_open_url
+    handlers["wininet.dll!InternetCheckConnectionA"] = internet_open_url
+
+    # -- auxiliary: exception-processing timing (Section II-B(g)) -----------------
+
+    def raise_exception(call: HookCall, code: int = 0xE06D7363):
+        """Inject the analysis-like dispatch delay before the real path.
+
+        "SCARECROW introduces deceptive timing discrepancies in default
+        exception processing with minimal to no impact on benign
+        applications" — benign software raises exceptions rarely and never
+        times them; evasive timing probes read the inflated cost.
+        """
+        if cfg.enable_timing:
+            profile = call.machine.clock.profile
+            call.machine.clock.advance_ns(
+                profile.debugged_exception_dispatch_ns)
+            report(call, "timing", "RaiseException", code=code)
+        return call.original(code)
+
+    handlers["kernel32.dll!RaiseException"] = raise_exception
+
+    # -- auxiliary: analysis-product mutexes --------------------------------------
+
+    def open_mutex(call: HookCall, name: str):
+        if cfg.enable_software:
+            resource = db.lookup_mutex(name)
+            if e.applies(resource):
+                report(call, "mutex", name, profile=resource.profile)
+                return call.machine.handles.open(
+                    {"mutex": name, "fake": True}, "mutex")
+        return call.original(name)
+
+    handlers["kernel32.dll!OpenMutexA"] = open_mutex
+
+    # -- auxiliary: wear-and-tear (Table III) -------------------------------------
+
+    def dns_cache_table(call: HookCall):
+        if not cfg.enable_weartear:
+            return call.original()
+        table = call.original()
+        limit = db.weartear.dnscache_entries
+        report(call, "weartear", "DnsGetCacheDataTable", limit=limit)
+        return table[-limit:] if limit else []
+
+    def evt_query(call: HookCall, channel: str = "System"):
+        if not cfg.enable_weartear:
+            return call.original(channel)
+        count = db.weartear.sysevt_count
+        sources = [f"Service Control Manager",
+                   "Microsoft-Windows-Kernel-General",
+                   "Microsoft-Windows-WindowsUpdateClient", "EventLog",
+                   "Microsoft-Windows-Kernel-Power", "Tcpip"][
+                       :db.weartear.sysevt_sources]
+        records = [EventRecord(i + 1, sources[i % len(sources)],
+                               1000 + i % 97, i * 60_000)
+                   for i in range(count)]
+        report(call, "weartear", "EvtQuery", count=count,
+               sources=len(sources))
+        return call.machine.handles.open({"records": records, "index": 0},
+                                         "event_query")
+
+    handlers["dnsapi.dll!DnsGetCacheDataTable"] = dns_cache_table
+    handlers["wevtapi.dll!EvtQuery"] = evt_query
+
+    # -- wide-character variants share their narrow handlers ----------------
+    # (an unhooked W export would be a clean bypass of the deception).
+
+    for alias, base in W_VARIANT_ALIASES.items():
+        handlers[alias] = handlers[base]
+
+    # -- auxiliary: decoys (hooked to be *seen*, never to change behaviour) ------
+
+    if cfg.enable_decoy_hooks:
+        for export in DECOY_APIS:
+            handlers[export] = passthrough
+
+    return handlers

@@ -1,0 +1,95 @@
+"""Deception profiles and the conflict-masking manager (Section VI-B).
+
+Scarecrow blends resources imitating *many* environments at once (VMware +
+VirtualBox + Sandboxie + debuggers...), which maximizes coverage but is
+itself detectable: no real machine is simultaneously a VMware and a
+VirtualBox guest. The paper sketches the countermeasure as future work:
+keep per-sandbox profiles, and once malware trips a resource belonging to
+one profile, immediately mask every *conflicting* profile. We implement it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Set
+
+#: Profile labels whose coexistence is physically impossible — a machine is
+#: at most one of these at a time.
+VM_PROFILES = frozenset({"vbox", "vmware", "qemu", "bochs", "wine"})
+
+#: Profiles that can coexist with anything (tools installed side by side).
+COMPATIBLE_PROFILES = frozenset({"debugger", "forensic", "sandboxie",
+                                 "cuckoo", "sandbox-generic"})
+
+ALL_PROFILES = VM_PROFILES | COMPATIBLE_PROFILES
+
+
+@dataclasses.dataclass
+class ScarecrowConfig:
+    """Deployment configuration of the deception engine.
+
+    Every deception group maps to a claim in the paper; all default on
+    except the ones the paper itself ships off by default (wear-and-tear is
+    the Section IV-C.2 *extension*; exclusive profiles are Section VI-B
+    future work).
+    """
+
+    enable_software: bool = True     # files/processes/DLLs/windows/registry
+    enable_hardware: bool = True     # disk/RAM/cores fakes
+    enable_network: bool = True      # NX-domain sinkhole
+    enable_debugger: bool = True     # IsDebuggerPresent & friends
+    enable_timing: bool = True       # fake low-uptime accelerated ticks
+    enable_identity: bool = True     # username / module-path deception
+    enable_username: bool = True     # separately togglable (end-user deployments)
+    enable_decoy_hooks: bool = True  # visibly hook APIs sandboxes hook
+    enable_weartear: bool = False    # Table III extension
+    exclusive_profiles: bool = False  # Section VI-B conflict masking
+    #: Profiles active at start; ``None`` means all known profiles.
+    profiles: Optional[Set[str]] = None
+
+    def active_profiles(self) -> Set[str]:
+        return set(self.profiles) if self.profiles is not None \
+            else set(ALL_PROFILES)
+
+
+class ProfileManager:
+    """Tracks which imitation profiles are currently active."""
+
+    def __init__(self, config: ScarecrowConfig) -> None:
+        self.config = config
+        self._active: Set[str] = config.active_profiles()
+        self._committed_vm: Optional[str] = None
+        self.mask_log: List[str] = []
+
+    @property
+    def active(self) -> Set[str]:
+        return set(self._active)
+
+    def is_active(self, profile: str) -> bool:
+        return profile in self._active
+
+    def observe_probe(self, profile: str) -> None:
+        """Malware just probed a resource of ``profile``.
+
+        Under ``exclusive_profiles``, the first probed VM profile becomes
+        the committed identity and all conflicting VM profiles are masked,
+        so later cross-vendor consistency checks find a single coherent VM.
+        """
+        if not self.config.exclusive_profiles:
+            return
+        if profile not in VM_PROFILES or self._committed_vm is not None:
+            return
+        self._committed_vm = profile
+        for other in VM_PROFILES - {profile}:
+            if other in self._active:
+                self._active.discard(other)
+                self.mask_log.append(other)
+
+    @property
+    def committed_vm(self) -> Optional[str]:
+        return self._committed_vm
+
+    def reset(self) -> None:
+        self._active = self.config.active_profiles()
+        self._committed_vm = None
+        self.mask_log.clear()

@@ -1,0 +1,83 @@
+"""Deceptive resource model — the taxonomy of Section II-B.
+
+Resources split into the paper's three groups (software, hardware, network)
+with software subdivided into files/folders, processes, libraries, GUI
+windows, registry entries, function hooks, and exception processing. Each
+concrete resource knows its category and which sandbox/VM/tool profile it
+imitates, so profile filtering (Section VI-B) can mask conflicting subsets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Optional
+
+
+class ResourceCategory(enum.Enum):
+    """Categories of deceptive resources (Section II-B)."""
+
+    FILE = "file"
+    FOLDER = "folder"
+    PROCESS = "process"
+    LIBRARY = "library"
+    WINDOW = "window"
+    REGISTRY_KEY = "registry_key"
+    REGISTRY_VALUE = "registry_value"
+    DEVICE = "device"
+    MUTEX = "mutex"
+    HARDWARE = "hardware"
+    NETWORK = "network"
+    WEARTEAR = "weartear"
+
+
+class Origin(enum.Enum):
+    """Where a deceptive resource came from (Section II-C)."""
+
+    CURATED = "curated"          # manually extracted from papers/articles
+    CRAWLED = "crawled"          # collected from public sandboxes
+    MALGENE = "malgene"          # learned from MalGene evasion signatures
+
+
+@dataclasses.dataclass(frozen=True)
+class DeceptiveResource:
+    """One deceptive resource entry.
+
+    ``identity`` is the matchable name: a full path for files, a process
+    name, a DLL name, a ``(class, title)`` string for windows, a registry
+    path (optionally ``path::value``), a device name, or a config field
+    name for hardware/network values.
+    """
+
+    category: ResourceCategory
+    identity: str
+    #: Which environment the resource imitates: "vbox", "vmware", "qemu",
+    #: "bochs", "wine", "sandboxie", "cuckoo", "debugger", "forensic",
+    #: "sandbox-generic".
+    profile: str
+    #: Payload for value-like resources (registry data, fake sizes).
+    data: Any = None
+    origin: Origin = Origin.CURATED
+    protected: bool = False  # process entries protected from termination
+
+    def matches(self, probe: str) -> bool:
+        """Case-insensitive identity match, with basename fallback for files."""
+        probe_l = probe.lower()
+        identity_l = self.identity.lower()
+        if probe_l == identity_l:
+            return True
+        if self.category in (ResourceCategory.FILE, ResourceCategory.FOLDER):
+            return identity_l.rsplit("\\", 1)[-1] == probe_l.rsplit("\\", 1)[-1]
+        return False
+
+
+def registry_value_identity(key_path: str, value_name: str) -> str:
+    """Identity encoding for REGISTRY_VALUE resources."""
+    return f"{key_path}::{value_name}"
+
+
+def split_registry_value_identity(identity: str) -> Optional[tuple]:
+    if "::" not in identity:
+        return None
+    key_path, _, value_name = identity.rpartition("::")
+    return (key_path, value_name)

@@ -1,0 +1,145 @@
+"""Persistence for the deception database and configuration.
+
+The crawl of Section II-C is expensive (public-sandbox submissions take
+hours in the real pipeline); its output — and any MalGene-learned
+signatures — must survive redeployment. This module round-trips a
+:class:`DeceptionDatabase` and a :class:`ScarecrowConfig` through plain
+JSON so a deployment ships one artifact:
+
+    database -> dump_database() -> scarecrow_db.json -> load_database()
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+from .database import (DeceptionDatabase, FakeHardwareProfile,
+                       FakeIdentityProfile, FakeNetworkProfile,
+                       WearTearProfile)
+from .profiles import ScarecrowConfig
+from .resources import Origin
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Database
+# ---------------------------------------------------------------------------
+
+def dump_database(db: DeceptionDatabase) -> Dict[str, Any]:
+    """Serialize ``db`` to a JSON-compatible dict."""
+
+    def entries(mapping):
+        return [{"identity": r.identity, "profile": r.profile,
+                 "origin": r.origin.value, "protected": r.protected,
+                 "data": r.data if not isinstance(r.data, bytes) else None}
+                for r in mapping]
+
+    return {
+        "version": FORMAT_VERSION,
+        "files": entries(db._files.values()),
+        "folders": entries(db._folders.values()),
+        "processes": entries(db._processes.values()),
+        "libraries": entries(db._libraries.values()),
+        "windows": entries(db._windows),
+        "registry_keys": entries(db._registry_keys.values()),
+        "registry_values": entries(db._registry_values.values()),
+        "devices": entries(db._devices.values()),
+        "mutexes": entries(db._mutexes.values()),
+        "hardware": dataclasses.asdict(db.hardware),
+        "identity": dataclasses.asdict(db.identity),
+        "network": dataclasses.asdict(db.network),
+        "weartear": dataclasses.asdict(db.weartear),
+    }
+
+
+def load_database(blob: Dict[str, Any]) -> DeceptionDatabase:
+    """Rebuild a database previously produced by :func:`dump_database`.
+
+    The curated baseline is *not* re-added implicitly: the dump is the
+    complete inventory, so loading an old artifact reproduces exactly the
+    resources it was saved with.
+    """
+    version = blob.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported database format version: {version!r}")
+    db = DeceptionDatabase.__new__(DeceptionDatabase)
+    db._files = {}
+    db._basenames = {}
+    db._folders = {}
+    db._processes = {}
+    db._libraries = {}
+    db._windows = []
+    db._registry_keys = {}
+    db._registry_values = {}
+    db._devices = {}
+    db._mutexes = {}
+    db.hardware = FakeHardwareProfile(**blob["hardware"])
+    db.identity = FakeIdentityProfile(**blob["identity"])
+    db.network = FakeNetworkProfile(**blob["network"])
+    db.weartear = WearTearProfile(**blob["weartear"])
+
+    def origin_of(entry):
+        return Origin(entry["origin"])
+
+    for entry in blob["files"]:
+        db.add_file(entry["identity"], entry["profile"],
+                    origin=origin_of(entry))
+    for entry in blob["folders"]:
+        db.add_folder(entry["identity"], entry["profile"],
+                      origin=origin_of(entry))
+    for entry in blob["processes"]:
+        db.add_process(entry["identity"], entry["profile"],
+                       protected=entry["protected"], origin=origin_of(entry))
+    for entry in blob["libraries"]:
+        db.add_library(entry["identity"], entry["profile"],
+                       origin=origin_of(entry))
+    for entry in blob["windows"]:
+        class_name, _, title = entry["identity"].partition("|")
+        db.add_window(class_name, title or None, entry["profile"])
+    for entry in blob["registry_keys"]:
+        db.add_registry_key(entry["identity"], entry["profile"],
+                            origin=origin_of(entry))
+    for entry in blob["registry_values"]:
+        key_path, _, value_name = entry["identity"].rpartition("::")
+        db.add_registry_value(key_path, value_name, entry["data"],
+                              entry["profile"], origin=origin_of(entry))
+    for entry in blob["devices"]:
+        db.add_device(entry["identity"], entry["profile"])
+    for entry in blob["mutexes"]:
+        db.add_mutex(entry["identity"], entry["profile"])
+    return db
+
+
+def save_database(db: DeceptionDatabase, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(dump_database(db), handle, indent=1)
+
+
+def load_database_file(path: str) -> DeceptionDatabase:
+    with open(path, encoding="utf-8") as handle:
+        return load_database(json.load(handle))
+
+
+# ---------------------------------------------------------------------------
+# Config
+# ---------------------------------------------------------------------------
+
+def dump_config(config: ScarecrowConfig) -> Dict[str, Any]:
+    blob = dataclasses.asdict(config)
+    if blob["profiles"] is not None:
+        blob["profiles"] = sorted(blob["profiles"])
+    return blob
+
+
+def load_config(blob: Dict[str, Any]) -> ScarecrowConfig:
+    data = dict(blob)
+    if data.get("profiles") is not None:
+        data["profiles"] = set(data["profiles"])
+    valid_fields = {f.name for f in dataclasses.fields(ScarecrowConfig)}
+    unknown = set(data) - valid_fields
+    if unknown:
+        raise ValueError(f"unknown config fields: {sorted(unknown)}")
+    return ScarecrowConfig(**data)

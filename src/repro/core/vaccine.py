@@ -1,0 +1,132 @@
+"""Vaccination baseline — AutoVac-style immunization (related work).
+
+Wichmann & Gerhards-Padilla and Xu et al. (the paper's references [33] and
+[34]) deter malware by planting *family-specific infection markers*: if a
+sample's single-instance guard finds its own marker mutex/file, it believes
+the machine is already infected and stands down.
+
+The paper's critique, which this module lets the benchmarks quantify:
+vaccination "mainly explored malware specific resources. If the malware
+fingerprints analysis environment, it cannot generate resources" — i.e. a
+vaccine only works for families whose markers are already known, and does
+nothing against environment-fingerprinting evasion. Scarecrow inverts the
+trade-off: generic against environment fingerprinting, inert against pure
+marker guards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence
+
+from ..winsim.machine import Machine
+
+
+@dataclasses.dataclass(frozen=True)
+class FamilyVaccine:
+    """The known infection markers of one malware family."""
+
+    family: str
+    mutex_markers: Sequence[str] = ()
+    file_markers: Sequence[str] = ()
+    registry_markers: Sequence[str] = ()
+
+
+#: Representative marker inventory (the real systems extract these
+#: automatically from family corpora; here they are curated).
+KNOWN_VACCINES: tuple = (
+    FamilyVaccine("Zeus", mutex_markers=("_AVIRA_2109",),
+                  file_markers=("C:\\Windows\\System32\\sdra64.exe",)),
+    FamilyVaccine("Conficker", mutex_markers=("Global\\jhdheruhf",)),
+    FamilyVaccine("Sality", mutex_markers=("Ap1mutx7",),
+                  registry_markers=(
+                      "HKEY_CURRENT_USER\\Software\\Aasppapmmxkvs",)),
+    FamilyVaccine("CryptoLocker", mutex_markers=("CryptoLockerMutex",)),
+    FamilyVaccine("Andromeda", mutex_markers=("lol_mutex_v2",)),
+)
+
+
+class VaccinationAgent:
+    """Plants (and tracks) infection markers on a machine."""
+
+    def __init__(self,
+                 vaccines: Optional[Iterable[FamilyVaccine]] = None) -> None:
+        self.vaccines: List[FamilyVaccine] = list(
+            vaccines if vaccines is not None else KNOWN_VACCINES)
+        self.inoculated_families: List[str] = []
+
+    def add_vaccine(self, vaccine: FamilyVaccine) -> None:
+        self.vaccines.append(vaccine)
+
+    def covers(self, family: str) -> bool:
+        return any(v.family.lower() == family.lower() for v in self.vaccines)
+
+    def inoculate(self, machine: Machine,
+                  families: Optional[Sequence[str]] = None) -> int:
+        """Plant markers for the given families (default: all known).
+
+        Returns the number of families inoculated. Idempotent.
+        """
+        wanted = None if families is None else \
+            {f.lower() for f in families}
+        count = 0
+        for vaccine in self.vaccines:
+            if wanted is not None and vaccine.family.lower() not in wanted:
+                continue
+            for mutex in vaccine.mutex_markers:
+                machine.mutexes.create(mutex)
+            for path in vaccine.file_markers:
+                machine.filesystem.write_file(
+                    path, b"", when_ms=machine.clock.tick_count_ms())
+            for key in vaccine.registry_markers:
+                machine.registry.create_key(key)
+            if vaccine.family not in self.inoculated_families:
+                self.inoculated_families.append(vaccine.family)
+            count += 1
+        return count
+
+    def is_inoculated(self, machine: Machine, family: str) -> bool:
+        for vaccine in self.vaccines:
+            if vaccine.family.lower() != family.lower():
+                continue
+            return (
+                all(machine.mutexes.exists(m)
+                    for m in vaccine.mutex_markers) and
+                all(machine.filesystem.exists(p)
+                    for p in vaccine.file_markers) and
+                all(machine.registry.key_exists(k)
+                    for k in vaccine.registry_markers))
+        return False
+
+
+def build_marker_gated_corpus() -> List["EvasiveSample"]:
+    """A corpus of marker-guarded samples for the baseline comparison.
+
+    One sample per known vaccine family (marker-gated only) plus one
+    *hybrid* per family that also carries an environment-fingerprinting
+    check — the population where Scarecrow and vaccination overlap.
+    """
+    from ..malware.payloads import DropperPayload
+    from ..malware.sample import EvadeAction, EvasiveSample
+    samples: List[EvasiveSample] = []
+    for index, vaccine in enumerate(KNOWN_VACCINES):
+        if not vaccine.mutex_markers:
+            continue
+        marker = vaccine.mutex_markers[0]
+        samples.append(EvasiveSample(
+            md5=f"{index:02d}" + "a0" * 15,
+            exe_name=f"{vaccine.family.lower()}_pure.exe",
+            family=vaccine.family,
+            check_names=("infection_marker_mutex",),
+            evade_action=EvadeAction.TERMINATE,
+            payload=DropperPayload((f"{vaccine.family.lower()}_p.exe",)),
+            infection_marker=marker))
+        samples.append(EvasiveSample(
+            md5=f"{index:02d}" + "b1" * 15,
+            exe_name=f"{vaccine.family.lower()}_hybrid.exe",
+            family=vaccine.family,
+            check_names=("infection_marker_mutex", "is_debugger_present"),
+            evade_action=EvadeAction.TERMINATE,
+            payload=DropperPayload((f"{vaccine.family.lower()}_h.exe",)),
+            infection_marker=marker))
+    return samples

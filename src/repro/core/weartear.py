@@ -1,0 +1,90 @@
+"""Wear-and-tear deception — the Table III extension (Section IV-C.2).
+
+Miramirkhani et al. fingerprint *real* machines by their accumulated usage
+("aging"). Scarecrow extends the deception database with sandbox-typical
+values for the top-5 artifacts plus the entire registry category, so an
+aged end-user machine reports the statistics of a pristine sandbox.
+
+This module carries the declarative Table III itself (artifact → faked
+resource → associated APIs) and the helper that switches the extension on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from .controller import ScarecrowController
+from .database import WearTearProfile
+
+
+@dataclasses.dataclass(frozen=True)
+class WearTearRow:
+    """One row of Table III."""
+
+    category: str
+    artifact: str
+    faked_resource: str
+    associated_apis: Tuple[str, ...]
+
+
+#: Table III, verbatim structure.
+TABLE3_ROWS: Tuple[WearTearRow, ...] = (
+    WearTearRow("Top 5", "dnscacheEntries", "Recent 4 entries",
+                ("DnsGetCacheDataTable()",)),
+    WearTearRow("Top 5", "sysevt", "Recent 8K system events", ("EvtNext()",)),
+    WearTearRow("Top 5", "syssrc", "Number of sources in recent 8k events",
+                ("EvtNext()",)),
+    WearTearRow("Top 5", "deviceClsCount",
+                "System\\CurrentControlSet\\Control\\DeviceClasses "
+                "(29 subkeys)", ("NtOpenKeyEx()", "NtQueryKey()")),
+    WearTearRow("Top 5", "autoRunCount",
+                "Software\\Microsoft\\Windows\\CurrentVersion\\Run "
+                "(3 value entries)", ("NtOpenKeyEx()", "NtQueryKey()")),
+    WearTearRow("Registry related", "regSize",
+                "SystemRegistryQuotaInformation 53M (bytes)",
+                ("NtQuerySystemInformation()",)),
+    WearTearRow("Registry related", "uninstallCount",
+                "Software\\Microsoft\\Windows\\CurrentVersion\\Uninstall",
+                ("NtOpenKeyEx()", "NtQueryKey()")),
+    WearTearRow("Registry related", "totalSharedDlls",
+                "Software\\Microsoft\\Windows\\CurrentVersion\\SharedDlls",
+                ("NtOpenKeyEx()", "NtQueryKey()")),
+    WearTearRow("Registry related", "totalAppPaths",
+                "Software\\Microsoft\\Windows\\CurrentVersion\\AppPath",
+                ("NtOpenKeyEx()", "NtQueryKey()")),
+    WearTearRow("Registry related", "totalActiveSetup",
+                "Software\\Microsoft\\ActiveSetup\\InstalledComponents",
+                ("NtOpenKeyEx()", "NtQueryKey()")),
+    WearTearRow("Registry related", "totalMissingDlls",
+                "Software\\Microsoft\\Windows\\CurrentVersion\\SharedDlls",
+                ("NtOpenKeyEx()", "NtQueryKey()", "NtCreateFile()")),
+    WearTearRow("Registry related", "usrassistCount",
+                "Software\\Microsoft\\Windows\\CurrentVersion\\Explorer\\"
+                "UserAssist", ("NtOpenKeyEx()", "NtQueryKey()")),
+    WearTearRow("Registry related", "shimCacheCount",
+                "SYSTEM\\CurrentControlSet\\Control\\SessionManager\\"
+                "AppCompatCache", ("NtOpenKeyEx()", "NtQueryValueKey()")),
+    WearTearRow("Registry related", "MUICacheEntries",
+                "Software\\Classes\\LocalSettings\\Software\\Microsoft\\"
+                "Windows\\Shell\\Muicache", ("NtOpenKeyEx()", "NtQueryKey()")),
+    WearTearRow("Registry related", "FireruleCount()",
+                "SYSTEM\\ControlSet001\\services\\SharedAccess\\Parameters\\"
+                "FirewallPolicy\\FirewallRules",
+                ("NtOpenKeyEx()", "NtQueryKey()")),
+    WearTearRow("Registry related", "USBStorCount",
+                "SYSTEM\\CurrentControlSet\\Services\\UsbStor",
+                ("NtOpenKeyEx()", "NtQueryKey()")),
+)
+
+
+def faked_artifact_names() -> List[str]:
+    return [row.artifact for row in TABLE3_ROWS]
+
+
+def enable_weartear(controller: ScarecrowController,
+                    profile: WearTearProfile = None) -> None:
+    """Switch the wear-and-tear extension on for a running controller."""
+    if profile is not None:
+        controller.engine.db.weartear = profile
+    controller.push_config_update(enable_weartear=True)

@@ -1,0 +1,32 @@
+"""Per-table / per-figure experiment harness."""
+
+from .casestudies import (CaseStudyResult, KasidetResult, render_case1,
+                          render_case2, run_case1, run_case2)
+from .figure4 import (Figure4Result, PAPER_DEACTIVATED,
+                      PAPER_DEACTIVATION_RATE, PAPER_SELF_SPAWNING,
+                      PAPER_SELF_SPAWNING_IDP, PAPER_SYMMI, PAPER_TOTAL,
+                      render_figure4, run_figure4)
+from .overhead import (OverheadResult, OverheadRow, render_overhead,
+                       run_overhead)
+from .report import check_mark, render_kv, render_table
+from .runner import PairOutcome, run_pair, run_pairs
+from .table1 import (Table1Row, effectiveness_count, render_table1,
+                     run_table1)
+from .table2 import (ENVIRONMENTS, PAPER_TABLE2, Table2Cell,
+                     indistinguishability_report, matches_paper,
+                     render_table2, run_table2, table2_matrix)
+from .table3 import Table3Result, render_table3, run_table3
+
+__all__ = [
+    "CaseStudyResult", "ENVIRONMENTS", "Figure4Result", "KasidetResult",
+    "PAPER_DEACTIVATED", "PAPER_DEACTIVATION_RATE", "PAPER_SELF_SPAWNING",
+    "PAPER_SELF_SPAWNING_IDP", "PAPER_SYMMI", "PAPER_TABLE2", "PAPER_TOTAL",
+    "OverheadResult", "OverheadRow", "PairOutcome", "Table1Row", "Table2Cell",
+    "Table3Result", "check_mark", "render_overhead", "run_overhead",
+    "effectiveness_count", "matches_paper", "render_case1", "render_case2",
+    "indistinguishability_report", "render_figure4", "render_kv",
+    "render_table", "render_table1",
+    "render_table2", "render_table3", "run_case1", "run_case2",
+    "run_figure4", "run_pair", "run_pairs", "run_table1", "run_table2",
+    "run_table3", "table2_matrix",
+]

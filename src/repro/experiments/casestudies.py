@@ -1,0 +1,127 @@
+"""Experiments E5/E6 — the Section V case studies.
+
+Case I (Kasidet): a >10-predicate disjunction. The sandbox must defeat
+every predicate; Scarecrow needs to satisfy exactly one.
+
+Case II (ransomware): the WannaCry variant's NX-domain kill switch is
+answered by Scarecrow's network deception before a single file is
+encrypted; Locky and Cerber fall to the registry deception. The original
+(non-evasive) WannaCry is the control — it encrypts regardless, delimiting
+Scarecrow's scope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..analysis.environments import build_end_user_machine
+from ..malware.kasidet import KASIDET_CHECKS, build_kasidet
+from ..malware.ransomware import (build_cerber_variant, build_locky,
+                                  build_wannacry_original,
+                                  build_wannacry_variant)
+from .report import render_table
+from .runner import PairOutcome, run_pair
+
+
+def _end_user_factory():
+    machine = build_end_user_machine()
+    # User documents at risk: what ransomware would encrypt.
+    for index in range(5):
+        machine.filesystem.write_file(
+            f"C:\\Users\\john\\Documents\\précieux_{index}.txt",
+            b"irreplaceable data " + bytes([index]))
+    return machine
+
+
+@dataclasses.dataclass
+class CaseStudyResult:
+    sample_name: str
+    md5: str
+    outcome: PairOutcome
+
+    @property
+    def deactivated(self) -> bool:
+        return self.outcome.comparison.deactivated
+
+    @property
+    def files_encrypted_without(self) -> int:
+        result = self.outcome.without.result
+        if result.payload_outcome is None:
+            return 0
+        return len(result.payload_outcome.files_encrypted)
+
+    @property
+    def files_encrypted_with(self) -> int:
+        result = self.outcome.with_scarecrow.result
+        if result.payload_outcome is None:
+            return 0
+        return len(result.payload_outcome.files_encrypted)
+
+    @property
+    def trigger(self) -> Optional[str]:
+        return self.outcome.with_scarecrow.result.trigger
+
+
+@dataclasses.dataclass
+class KasidetResult:
+    case: CaseStudyResult
+    disjunction_size: int
+    predicates_evaluated_with: int
+    predicates_evaluated_without: int
+
+    @property
+    def single_predicate_sufficed(self) -> bool:
+        """¬𝔻 needs only one pᵢ: Scarecrow stopped it at the first check."""
+        return self.predicates_evaluated_with == 1
+
+
+def run_case1() -> KasidetResult:
+    sample = build_kasidet()
+    outcome = run_pair(sample, machine_factory=_end_user_factory)
+    case = CaseStudyResult("Kasidet.B", sample.md5, outcome)
+    return KasidetResult(
+        case=case,
+        disjunction_size=len(KASIDET_CHECKS),
+        predicates_evaluated_with=len(
+            outcome.with_scarecrow.result.checks_evaluated),
+        predicates_evaluated_without=len(
+            outcome.without.result.checks_evaluated))
+
+
+def run_case2() -> List[CaseStudyResult]:
+    results = []
+    for name, builder in (("WannaCry variant", build_wannacry_variant),
+                          ("WannaCry original", build_wannacry_original),
+                          ("Locky", build_locky),
+                          ("Cerber variant", build_cerber_variant)):
+        sample = builder()
+        outcome = run_pair(sample, machine_factory=_end_user_factory)
+        results.append(CaseStudyResult(name, sample.md5, outcome))
+    return results
+
+
+def render_case1(result: KasidetResult) -> str:
+    rows = [
+        ("disjunction size", result.disjunction_size),
+        ("predicates evaluated without Scarecrow",
+         result.predicates_evaluated_without),
+        ("predicates evaluated with Scarecrow",
+         result.predicates_evaluated_with),
+        ("first trigger", result.case.trigger),
+        ("deactivated", result.case.deactivated),
+        ("single predicate sufficed", result.single_predicate_sufficed),
+    ]
+    return render_table(("Property", "Value"), rows,
+                        title="Case I - Kasidet comprehensive evasive logic")
+
+
+def render_case2(results: List[CaseStudyResult]) -> str:
+    rows = [(r.sample_name, r.files_encrypted_without,
+             r.files_encrypted_with, r.trigger or "-",
+             "deactivated" if r.deactivated else "NOT deactivated")
+            for r in results]
+    return render_table(
+        ("Sample", "Files encrypted w/o", "Files encrypted w/", "Trigger",
+         "Verdict"),
+        rows, title="Case II - ransomware deactivation")

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Monospace table with column alignment (paper-style output)."""
+    materialized: List[List[str]] = [[str(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index])
+                          for index, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * width for width in widths))
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)
+
+
+def render_kv(title: str, pairs: Iterable[Sequence[object]]) -> str:
+    """Simple aligned key/value block."""
+    materialized = [(str(key), str(value)) for key, value in pairs]
+    width = max((len(key) for key, _ in materialized), default=0)
+    lines = [title, "=" * len(title)] if title else []
+    lines.extend(f"{key.ljust(width)} : {value}"
+                 for key, value in materialized)
+    return "\n".join(lines)
+
+
+def check_mark(flag: bool) -> str:
+    return "yes" if flag else "NO"

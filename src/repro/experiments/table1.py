@@ -1,0 +1,79 @@
+"""Experiment E1 — Table I: effectiveness of Scarecrow on 𝓜_JS.
+
+Each of the 13 Joe Security samples runs on a bare-metal-sandbox machine
+with and without Scarecrow (the paper ran both "at about the same time");
+rows report observed behaviour, the first trigger Scarecrow reported, and
+the deactivation verdict, which is checked against the paper's ✓/✗ column.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..malware.joesec import (Table1Expectation, build_joesec_samples,
+                              expectation_for)
+from .report import check_mark, render_table
+from .runner import PairOutcome, run_pair
+
+
+@dataclasses.dataclass
+class Table1Row:
+    md5_prefix: str
+    behaviour_without: str
+    behaviour_with: str
+    trigger: str
+    effective: bool
+    expectation: Optional[Table1Expectation]
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.expectation is not None and \
+            self.effective == self.expectation.effective
+
+
+def _behaviour_without(outcome: PairOutcome) -> str:
+    result = outcome.without.result
+    if result.payload_outcome is not None:
+        return result.payload_outcome.description
+    return "no payload observed"
+
+
+def _behaviour_with(outcome: PairOutcome) -> str:
+    result = outcome.with_scarecrow.result
+    if result.executed_payload and result.payload_outcome is not None:
+        return result.payload_outcome.description
+    action = result.evade_action.value if result.evade_action else "none"
+    return f"evaded ({action})"
+
+
+def run_table1() -> List[Table1Row]:
+    rows: List[Table1Row] = []
+    for sample in build_joesec_samples():
+        outcome = run_pair(sample)
+        scarecrow_trigger = outcome.with_scarecrow.result.trigger
+        rows.append(Table1Row(
+            md5_prefix=sample.md5[:7],
+            behaviour_without=_behaviour_without(outcome),
+            behaviour_with=_behaviour_with(outcome),
+            trigger=scarecrow_trigger or "N/A",
+            effective=outcome.comparison.deactivated,
+            expectation=expectation_for(sample.md5)))
+    return rows
+
+
+def effectiveness_count(rows: List[Table1Row]) -> int:
+    return sum(1 for row in rows if row.effective)
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    body = [(row.md5_prefix, row.behaviour_without, row.behaviour_with,
+             row.trigger, check_mark(row.effective),
+             check_mark(row.matches_paper)) for row in rows]
+    table = render_table(
+        ("Sample", "Without SCARECROW", "With SCARECROW", "Trigger", "Eff.",
+         "Matches paper"),
+        body, title="Table I - Effectiveness of SCARECROW (M_JS)")
+    summary = (f"\n{effectiveness_count(rows)}/{len(rows)} samples "
+               "deactivated (paper: 12/13)")
+    return table + summary

@@ -1,0 +1,172 @@
+"""Experiment E3 — Table II: Pafish across three environments × two configs.
+
+Launch procedure per environment mirrors the paper's setup:
+
+* bare-metal sandbox: launched by the node's agent daemon;
+* Cuckoo/VirtualBox sandbox: launched by the analyzer with the Cuckoo
+  monitor injected (its ``ShellExecuteExW`` hook is Pafish's Hook hit);
+  the with-Scarecrow run uses the *hardened* VM (modified CPUID results,
+  updated MAC, custom DMI strings), as the paper describes;
+* end-user machine: double-clicked (parent ``explorer.exe``); the
+  with-Scarecrow deployment disables username deception (a deployment
+  policy choice documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from ..analysis.environments import (build_bare_metal_sandbox,
+                                     build_cuckoo_vm_sandbox,
+                                     build_end_user_machine)
+from ..analysis.sandbox import SandboxRunner
+from ..core.controller import ScarecrowController
+from ..core.profiles import ScarecrowConfig
+from ..fingerprint.pafish import CATEGORY_ORDER, PafishReport, run_pafish
+from ..winapi.calling import bind
+from .report import render_table
+
+ENVIRONMENTS = ("Bare-metal sandbox", "Virtual machine sandbox",
+                "End-user machine")
+
+#: Table II as printed in the paper: category -> (env, config) -> count.
+PAPER_TABLE2: Dict[str, Dict[Tuple[str, bool], int]] = {}
+_PAPER_ROWS = {
+    "Debuggers": (1, 0, 1, 0, 1, 0),
+    "CPU information": (0, 0, 0, 3, 1, 1),
+    "Generic sandbox": (10, 1, 9, 3, 9, 1),
+    "Hook": (2, 0, 2, 1, 2, 0),
+    "Sandboxie": (1, 0, 1, 0, 1, 0),
+    "Wine": (2, 0, 2, 0, 2, 0),
+    "VirtualBox": (14, 0, 14, 16, 14, 0),
+    "VMware": (4, 0, 4, 0, 4, 1),
+    "Qemu detection": (1, 0, 1, 0, 1, 0),
+    "Bochs": (1, 0, 1, 0, 1, 0),
+    "Cuckoo": (0, 0, 0, 0, 0, 0),
+}
+for _category, _counts in _PAPER_ROWS.items():
+    PAPER_TABLE2[_category] = {
+        (ENVIRONMENTS[0], True): _counts[0],
+        (ENVIRONMENTS[0], False): _counts[1],
+        (ENVIRONMENTS[1], True): _counts[2],
+        (ENVIRONMENTS[1], False): _counts[3],
+        (ENVIRONMENTS[2], True): _counts[4],
+        (ENVIRONMENTS[2], False): _counts[5],
+    }
+
+
+@dataclasses.dataclass
+class Table2Cell:
+    environment: str
+    with_scarecrow: bool
+    report: PafishReport
+
+    def count(self, category: str) -> int:
+        return self.report.category_counts()[category]
+
+
+def _run_bare_metal(with_scarecrow: bool) -> PafishReport:
+    machine = build_bare_metal_sandbox()
+    if with_scarecrow:
+        controller = ScarecrowController(machine)
+        process = controller.launch("C:\\analysis\\pafish.exe")
+    else:
+        runner = SandboxRunner(machine, daemon_name="pythonw.exe")
+        process = runner.launch("C:\\analysis\\pafish.exe")
+    return run_pafish(bind(machine, process))
+
+
+def _run_vm_sandbox(with_scarecrow: bool) -> PafishReport:
+    machine = build_cuckoo_vm_sandbox(transparent=with_scarecrow)
+    runner = SandboxRunner(machine, daemon_name="analyzer.exe",
+                           inject_monitor=True)
+    if with_scarecrow:
+        controller = ScarecrowController(machine)
+        process = controller.launch(
+            "C:\\Users\\user\\AppData\\Local\\Temp\\pafish.exe")
+    else:
+        process = runner.launch(
+            "C:\\Users\\user\\AppData\\Local\\Temp\\pafish.exe")
+    return run_pafish(bind(machine, process))
+
+
+def _run_end_user(with_scarecrow: bool) -> PafishReport:
+    machine = build_end_user_machine()
+    if with_scarecrow:
+        controller = ScarecrowController(
+            machine, config=ScarecrowConfig(enable_username=False))
+        process = controller.launch("C:\\Users\\john\\Downloads\\pafish.exe")
+    else:
+        process = machine.spawn_process(
+            "pafish.exe", "C:\\Users\\john\\Downloads\\pafish.exe",
+            parent=machine.explorer)
+    return run_pafish(bind(machine, process))
+
+
+def run_table2() -> List[Table2Cell]:
+    cells: List[Table2Cell] = []
+    for environment, runner in ((ENVIRONMENTS[0], _run_bare_metal),
+                                (ENVIRONMENTS[1], _run_vm_sandbox),
+                                (ENVIRONMENTS[2], _run_end_user)):
+        for with_scarecrow in (True, False):
+            cells.append(Table2Cell(environment, with_scarecrow,
+                                    runner(with_scarecrow)))
+    return cells
+
+
+def table2_matrix(cells: List[Table2Cell]
+                  ) -> Dict[str, Dict[Tuple[str, bool], int]]:
+    matrix: Dict[str, Dict[Tuple[str, bool], int]] = {
+        category: {} for category in CATEGORY_ORDER}
+    for cell in cells:
+        counts = cell.report.category_counts()
+        for category in CATEGORY_ORDER:
+            matrix[category][(cell.environment,
+                              cell.with_scarecrow)] = counts[category]
+    return matrix
+
+
+def matches_paper(cells: List[Table2Cell]) -> bool:
+    matrix = table2_matrix(cells)
+    return all(matrix[category] == PAPER_TABLE2[category]
+               for category in CATEGORY_ORDER)
+
+
+def indistinguishability_report(cells: List[Table2Cell]
+                                ) -> Dict[str, List[str]]:
+    """Per-check agreement across the three with-Scarecrow environments.
+
+    Returns ``{"agree": [...], "differ": [...]}`` over individual Pafish
+    checks. The paper's claim is that the environments become
+    indistinguishable; the residual differences should all be
+    timing-rooted (CPU checks, the mouse probe, sleep/VHD edge checks).
+    """
+    with_cells = [cell for cell in cells if cell.with_scarecrow]
+    agree: List[str] = []
+    differ: List[str] = []
+    names = with_cells[0].report.results.keys()
+    for name in names:
+        values = {cell.report.results[name] for cell in with_cells}
+        (agree if len(values) == 1 else differ).append(name)
+    return {"agree": sorted(agree), "differ": sorted(differ)}
+
+
+def render_table2(cells: List[Table2Cell]) -> str:
+    matrix = table2_matrix(cells)
+    headers = ["Feature category"]
+    for environment in ENVIRONMENTS:
+        headers.extend([f"{environment} w/", f"{environment} w/o"])
+    rows = []
+    for category in CATEGORY_ORDER:
+        row = [category]
+        for environment in ENVIRONMENTS:
+            row.append(matrix[category][(environment, True)])
+            row.append(matrix[category][(environment, False)])
+        rows.append(row)
+    table = render_table(headers, rows,
+                         title="Table II - SCARECROW vs Pafish")
+    verdict = ("\nAll cells match the paper."
+               if matches_paper(cells) else
+               "\nWARNING: some cells diverge from the paper.")
+    return table + verdict

@@ -1,0 +1,119 @@
+"""Experiment E4 — Table III: wear-and-tear artifacts faked by Scarecrow.
+
+On the actively-used end-user machine, the wear-and-tear fingerprinting
+tool (our Miramirkhani reimplementation) classifies the bare machine as
+*real*; with Scarecrow's wear-and-tear extension enabled, every faked
+artifact reads a sandbox-typical value and the classifier flips to
+*sandbox*. The per-artifact rows reproduce Table III's faked resources and
+associated APIs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..analysis.environments import (build_bare_metal_sandbox,
+                                     build_end_user_machine)
+from ..core.controller import ScarecrowController
+from ..core.profiles import ScarecrowConfig
+from ..core.weartear import TABLE3_ROWS, WearTearRow
+from ..fingerprint.weartear import Classification, classify, \
+    measure_artifacts
+from ..winapi.calling import bind
+from .report import render_table
+
+#: Table III artifact label -> measured artifact name.
+_ARTIFACT_NAME_MAP = {
+    "dnscacheEntries": "dnscacheEntries",
+    "sysevt": "sysevt",
+    "syssrc": "syssrc",
+    "deviceClsCount": "deviceClsCount",
+    "autoRunCount": "autoRunCount",
+    "regSize": "regSize",
+    "uninstallCount": "uninstallCount",
+    "totalSharedDlls": "totalSharedDlls",
+    "totalAppPaths": "totalAppPaths",
+    "totalActiveSetup": "totalActiveSetup",
+    "totalMissingDlls": "totalMissingDlls",
+    "usrassistCount": "usrassistCount",
+    "shimCacheCount": "shimCacheCount",
+    "MUICacheEntries": "MUICacheEntries",
+    "FireruleCount()": "FireruleCount",
+    "USBStorCount": "USBStorCount",
+}
+
+
+@dataclasses.dataclass
+class Table3Result:
+    rows: List[WearTearRow]
+    values_without: Dict[str, float]
+    values_with: Dict[str, float]
+    values_sandbox: Dict[str, float]
+    verdict_without: Classification
+    verdict_with: Classification
+    verdict_sandbox: Classification
+
+    @property
+    def scarecrow_flips_verdict(self) -> bool:
+        return (not self.verdict_without.is_sandbox) and \
+            self.verdict_with.is_sandbox
+
+    def faked_value(self, artifact_label: str) -> Optional[float]:
+        name = _ARTIFACT_NAME_MAP.get(artifact_label)
+        return self.values_with.get(name) if name else None
+
+    def real_value(self, artifact_label: str) -> Optional[float]:
+        name = _ARTIFACT_NAME_MAP.get(artifact_label)
+        return self.values_without.get(name) if name else None
+
+
+def run_table3() -> Table3Result:
+    # End-user machine, bare.
+    machine = build_end_user_machine()
+    process = machine.spawn_process(
+        "weartool.exe", "C:\\Users\\john\\Downloads\\weartool.exe",
+        parent=machine.explorer)
+    values_without = measure_artifacts(bind(machine, process))
+
+    # Same machine model, Scarecrow with the wear-and-tear extension.
+    protected = build_end_user_machine()
+    controller = ScarecrowController(
+        protected, config=ScarecrowConfig(enable_weartear=True,
+                                          enable_username=False))
+    target = controller.launch("C:\\Users\\john\\Downloads\\weartool.exe")
+    values_with = measure_artifacts(bind(protected, target))
+
+    # Reference: a genuine pristine sandbox.
+    sandbox = build_bare_metal_sandbox()
+    sandbox_proc = sandbox.spawn_process(
+        "weartool.exe", "C:\\analysis\\weartool.exe", parent=sandbox.explorer)
+    values_sandbox = measure_artifacts(bind(sandbox, sandbox_proc))
+
+    return Table3Result(
+        rows=list(TABLE3_ROWS),
+        values_without=values_without, values_with=values_with,
+        values_sandbox=values_sandbox,
+        verdict_without=classify(values_without),
+        verdict_with=classify(values_with),
+        verdict_sandbox=classify(values_sandbox))
+
+
+def render_table3(result: Table3Result) -> str:
+    body = []
+    for row in result.rows:
+        real = result.real_value(row.artifact)
+        faked = result.faked_value(row.artifact)
+        body.append((row.category, row.artifact,
+                     f"{real:g}" if real is not None else "-",
+                     f"{faked:g}" if faked is not None else "-",
+                     ", ".join(row.associated_apis)))
+    table = render_table(
+        ("Category", "Artifact", "End-user value", "Faked value",
+         "Associated APIs"),
+        body, title="Table III - wear-and-tear artifacts faked by SCARECROW")
+    verdicts = (
+        f"\nClassifier verdicts: end-user w/o = {result.verdict_without.label}"
+        f", end-user w/ SCARECROW = {result.verdict_with.label}"
+        f", bare-metal sandbox = {result.verdict_sandbox.label}")
+    return table + verdicts

@@ -1,0 +1,18 @@
+"""Third-party fingerprinting tools the evaluation pits Scarecrow against."""
+
+from . import pafish, sandprint, weartear
+from .pafish import (CATEGORY_ORDER, PafishCheck, PafishReport, run_pafish)
+from .sandprint import (Fingerprint, SandboxMatcher, cluster_fingerprints,
+                        collect_fingerprint, sandbox_indicators, similarity)
+from .scarecrow_detector import (ConsistencyFinding, detect_scarecrow)
+from .weartear import (Artifact, Classification, TOP5_RULES, all_artifacts,
+                       classify, fingerprint, measure_artifacts)
+
+__all__ = [
+    "Artifact", "CATEGORY_ORDER", "Classification", "ConsistencyFinding",
+    "Fingerprint", "PafishCheck", "SandboxMatcher", "cluster_fingerprints",
+    "collect_fingerprint", "detect_scarecrow", "sandbox_indicators",
+    "sandprint", "similarity",
+    "PafishReport", "TOP5_RULES", "all_artifacts", "classify",
+    "fingerprint", "measure_artifacts", "pafish", "run_pafish", "weartear",
+]

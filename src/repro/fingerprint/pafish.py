@@ -1,0 +1,562 @@
+"""Pafish (Paranoid Fish) reimplementation — the Table II adversary.
+
+Every check reads the simulated machine through the same API surface real
+Pafish uses, so Scarecrow's hooks steer it exactly as in the paper. The
+category inventory follows Table II's row structure (11 categories; the
+per-category feature counts in parentheses match the table).
+
+A check returning ``True`` means "traced" — evidence of an analysis
+environment was found.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Tuple
+
+from ..hooking.prologue import looks_hooked
+from ..winapi.calling import ApiContext
+from ..winsim.errors import Win32Error
+from ..winsim.hardware import KNOWN_HV_VENDORS
+from ..winsim.network import VBOX_OUI, VMWARE_OUIS
+
+GIB = 1024 ** 3
+
+#: Category display order, exactly as in Table II.
+CATEGORY_ORDER: Tuple[str, ...] = (
+    "Debuggers", "CPU information", "Generic sandbox", "Hook", "Sandboxie",
+    "Wine", "VirtualBox", "VMware", "Qemu detection", "Bochs", "Cuckoo")
+
+CheckFn = Callable[[ApiContext], bool]
+
+
+@dataclasses.dataclass(frozen=True)
+class PafishCheck:
+    name: str
+    category: str
+    probe: CheckFn
+
+
+_CHECKS: List[PafishCheck] = []
+
+
+def _check(name: str, category: str) -> Callable[[CheckFn], CheckFn]:
+    def decorator(probe: CheckFn) -> CheckFn:
+        _CHECKS.append(PafishCheck(name, category, probe))
+        return probe
+
+    return decorator
+
+
+def all_checks() -> List[PafishCheck]:
+    return list(_CHECKS)
+
+
+def category_sizes() -> Dict[str, int]:
+    sizes: Dict[str, int] = {}
+    for check in _CHECKS:
+        sizes[check.category] = sizes.get(check.category, 0) + 1
+    return sizes
+
+
+# ---------------------------------------------------------------------------
+# Debuggers (1)
+# ---------------------------------------------------------------------------
+
+@_check("dbg_isdebuggerpresent", "Debuggers")
+def _dbg_isdebuggerpresent(api: ApiContext) -> bool:
+    return bool(api.IsDebuggerPresent())
+
+
+# ---------------------------------------------------------------------------
+# CPU information (4)
+# ---------------------------------------------------------------------------
+
+@_check("cpu_rdtsc", "CPU information")
+def _cpu_rdtsc(api: ApiContext) -> bool:
+    """Plain back-to-back RDTSC deltas (unreliable; rarely fires)."""
+    deltas = []
+    for _ in range(8):
+        before = api.rdtsc()
+        after = api.rdtsc()
+        deltas.append(after - before)
+    return sum(deltas) / len(deltas) > 750
+
+
+@_check("cpu_rdtsc_force_vmexit", "CPU information")
+def _cpu_rdtsc_force_vmexit(api: ApiContext) -> bool:
+    """RDTSC around CPUID: a trapping hypervisor inflates the delta."""
+    deltas = []
+    for _ in range(4):
+        before = api.rdtsc()
+        api.cpuid(1)
+        after = api.rdtsc()
+        deltas.append(after - before)
+    return sum(deltas) / len(deltas) > 1000
+
+
+@_check("cpu_hv_bit", "CPU information")
+def _cpu_hv_bit(api: ApiContext) -> bool:
+    return bool(api.cpuid(1)["ecx"] & (1 << 31))
+
+
+@_check("cpu_known_vm_vendors", "CPU information")
+def _cpu_known_vm_vendors(api: ApiContext) -> bool:
+    regs = api.cpuid(0x40000000)
+    raw = b"".join(regs[r].to_bytes(4, "little") for r in ("ebx", "ecx",
+                                                           "edx"))
+    vendor = raw.rstrip(b"\x00").decode("ascii", errors="replace")
+    return vendor in KNOWN_HV_VENDORS
+
+
+# ---------------------------------------------------------------------------
+# Generic sandbox (12)
+# ---------------------------------------------------------------------------
+
+@_check("gen_mouse_activity", "Generic sandbox")
+def _gen_mouse_activity(api: ApiContext) -> bool:
+    """No cursor movement across a 2-second sleep ⇒ nobody is home."""
+    first = api.GetCursorPos()
+    api.Sleep(2000)
+    second = api.GetCursorPos()
+    return first == second
+
+
+@_check("gen_username", "Generic sandbox")
+def _gen_username(api: ApiContext) -> bool:
+    return api.GetUserNameA().lower() in {
+        "sandbox", "virus", "malware", "sample", "currentuser", "cuckoo",
+        "honey"}
+
+
+@_check("gen_filepath", "Generic sandbox")
+def _gen_filepath(api: ApiContext) -> bool:
+    path = api.GetModuleFileNameA(None).lower()
+    return any(marker in path for marker in ("\\sample", "\\virus",
+                                             "\\malware", "\\sandbox"))
+
+
+@_check("gen_samplename", "Generic sandbox")
+def _gen_samplename(api: ApiContext) -> bool:
+    basename = api.GetModuleFileNameA(None).rsplit("\\", 1)[-1].lower()
+    return basename in {"sample.exe", "malware.exe", "virus.exe", "test.exe"}
+
+
+@_check("gen_disk_small", "Generic sandbox")
+def _gen_disk_small(api: ApiContext) -> bool:
+    ok, _, total = api.GetDiskFreeSpaceExA("C:\\")
+    return ok and total < 60 * GIB
+
+
+@_check("gen_disk_geometry", "Generic sandbox")
+def _gen_disk_geometry(api: ApiContext) -> bool:
+    from ..winapi.kernel32 import IOCTL_DISK_GET_DRIVE_GEOMETRY
+    geometry = api.DeviceIoControl("\\\\.\\PhysicalDrive0",
+                                   IOCTL_DISK_GET_DRIVE_GEOMETRY)
+    if geometry is None:
+        return False
+    total = (geometry["cylinders"] * geometry["tracks_per_cylinder"] *
+             geometry["sectors_per_track"] * geometry["bytes_per_sector"])
+    return total < 80 * GIB
+
+
+@_check("gen_ram_low", "Generic sandbox")
+def _gen_ram_low(api: ApiContext) -> bool:
+    return api.GlobalMemoryStatusEx().total_phys < 1 * GIB
+
+
+@_check("gen_uptime", "Generic sandbox")
+def _gen_uptime(api: ApiContext) -> bool:
+    return api.GetTickCount() < 12 * 60 * 1000
+
+
+@_check("gen_one_cpu", "Generic sandbox")
+def _gen_one_cpu(api: ApiContext) -> bool:
+    return api.GetSystemInfo().number_of_processors < 2
+
+
+@_check("gen_sleep_patched", "Generic sandbox")
+def _gen_sleep_patched(api: ApiContext) -> bool:
+    before = api.GetTickCount()
+    api.Sleep(500)
+    after = api.GetTickCount()
+    return (after - before) < 450
+
+
+@_check("gen_vhd_boot", "Generic sandbox")
+def _gen_vhd_boot(api: ApiContext) -> bool:
+    supported, native = api.IsNativeVhdBoot()
+    return supported and native
+
+
+@_check("gen_dns_sinkhole", "Generic sandbox")
+def _gen_dns_sinkhole(api: ApiContext) -> bool:
+    return api.DnsQuery_A("pafish-canary.invalid-example-zone.com") is not None
+
+
+# ---------------------------------------------------------------------------
+# Hook (2)
+# ---------------------------------------------------------------------------
+
+@_check("hook_shellexecuteexw", "Hook")
+def _hook_shellexecuteexw(api: ApiContext) -> bool:
+    return looks_hooked(
+        api.read_function_prologue("shell32.dll!ShellExecuteExW", 2))
+
+
+@_check("hook_deletefile", "Hook")
+def _hook_deletefile(api: ApiContext) -> bool:
+    return looks_hooked(
+        api.read_function_prologue("kernel32.dll!DeleteFileA", 2))
+
+
+# ---------------------------------------------------------------------------
+# Sandboxie (1) and Wine (2)
+# ---------------------------------------------------------------------------
+
+@_check("sbie_dll", "Sandboxie")
+def _sbie_dll(api: ApiContext) -> bool:
+    return api.GetModuleHandleA("SbieDll.dll") is not None
+
+
+@_check("wine_export", "Wine")
+def _wine_export(api: ApiContext) -> bool:
+    base = api.GetModuleHandleA("kernel32.dll")
+    return base is not None and \
+        api.GetProcAddress(base, "wine_get_unix_file_name") is not None
+
+
+@_check("wine_reg_key", "Wine")
+def _wine_reg_key(api: ApiContext) -> bool:
+    err, handle = api.RegOpenKeyExA("HKEY_CURRENT_USER", "Software\\Wine")
+    if err == Win32Error.ERROR_SUCCESS:
+        api.RegCloseKey(handle)
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# VirtualBox (17)
+# ---------------------------------------------------------------------------
+
+def _reg_key_exists(api: ApiContext, hive: str, subkey: str) -> bool:
+    err, handle = api.RegOpenKeyExA(hive, subkey)
+    if err == Win32Error.ERROR_SUCCESS:
+        api.RegCloseKey(handle)
+        return True
+    return False
+
+
+def _reg_value_contains(api: ApiContext, hive: str, subkey: str,
+                        value: str, needle: str) -> bool:
+    err, handle = api.RegOpenKeyExA(hive, subkey)
+    if err != Win32Error.ERROR_SUCCESS:
+        return False
+    err, data = api.RegQueryValueExA(handle, value)
+    api.RegCloseKey(handle)
+    return err == Win32Error.ERROR_SUCCESS and isinstance(data, str) and \
+        needle.lower() in data.lower()
+
+
+_SCSI_KEY = ("HARDWARE\\DEVICEMAP\\Scsi\\Scsi Port 0\\Scsi Bus 0\\"
+             "Target Id 0\\Logical Unit Id 0")
+
+
+@_check("vbox_reg_guest_additions", "VirtualBox")
+def _vbox_reg_guest_additions(api: ApiContext) -> bool:
+    return _reg_key_exists(api, "HKEY_LOCAL_MACHINE",
+                           "SOFTWARE\\Oracle\\VirtualBox Guest Additions")
+
+
+@_check("vbox_reg_bios_version", "VirtualBox")
+def _vbox_reg_bios_version(api: ApiContext) -> bool:
+    return _reg_value_contains(api, "HKEY_LOCAL_MACHINE",
+                               "HARDWARE\\Description\\System",
+                               "SystemBiosVersion", "VBOX")
+
+
+@_check("vbox_reg_video_bios", "VirtualBox")
+def _vbox_reg_video_bios(api: ApiContext) -> bool:
+    return _reg_value_contains(api, "HKEY_LOCAL_MACHINE",
+                               "HARDWARE\\Description\\System",
+                               "VideoBiosVersion", "VIRTUALBOX")
+
+
+@_check("vbox_reg_bios_date", "VirtualBox")
+def _vbox_reg_bios_date(api: ApiContext) -> bool:
+    return _reg_value_contains(api, "HKEY_LOCAL_MACHINE",
+                               "HARDWARE\\Description\\System",
+                               "SystemBiosDate", "06/23/99")
+
+
+@_check("vbox_reg_acpi_dsdt", "VirtualBox")
+def _vbox_reg_acpi_dsdt(api: ApiContext) -> bool:
+    return _reg_key_exists(api, "HKEY_LOCAL_MACHINE",
+                           "HARDWARE\\ACPI\\DSDT\\VBOX__")
+
+
+@_check("vbox_reg_acpi_fadt", "VirtualBox")
+def _vbox_reg_acpi_fadt(api: ApiContext) -> bool:
+    return _reg_key_exists(api, "HKEY_LOCAL_MACHINE",
+                           "HARDWARE\\ACPI\\FADT\\VBOX__")
+
+
+@_check("vbox_reg_acpi_rsdt", "VirtualBox")
+def _vbox_reg_acpi_rsdt(api: ApiContext) -> bool:
+    return _reg_key_exists(api, "HKEY_LOCAL_MACHINE",
+                           "HARDWARE\\ACPI\\RSDT\\VBOX__")
+
+
+@_check("vbox_reg_ide_disk", "VirtualBox")
+def _vbox_reg_ide_disk(api: ApiContext) -> bool:
+    err, handle = api.RegOpenKeyExA(
+        "HKEY_LOCAL_MACHINE", "SYSTEM\\CurrentControlSet\\Enum\\IDE")
+    if err != Win32Error.ERROR_SUCCESS:
+        return False
+    index = 0
+    found = False
+    while True:
+        err, name = api.RegEnumKeyExA(handle, index)
+        if err != Win32Error.ERROR_SUCCESS or name is None:
+            break
+        if "vbox" in name.lower():
+            found = True
+            break
+        index += 1
+    api.RegCloseKey(handle)
+    return found
+
+
+@_check("vbox_reg_services", "VirtualBox")
+def _vbox_reg_services(api: ApiContext) -> bool:
+    return _reg_key_exists(
+        api, "HKEY_LOCAL_MACHINE",
+        "SYSTEM\\CurrentControlSet\\Services\\VBoxService")
+
+
+@_check("vbox_driver_files", "VirtualBox")
+def _vbox_driver_files(api: ApiContext) -> bool:
+    from ..winapi.kernel32 import INVALID_FILE_ATTRIBUTES
+    for name in ("VBoxMouse.sys", "VBoxGuest.sys", "VBoxSF.sys"):
+        path = f"C:\\Windows\\System32\\drivers\\{name}"
+        if api.GetFileAttributesA(path) != INVALID_FILE_ATTRIBUTES:
+            return True
+    return False
+
+
+@_check("vbox_window", "VirtualBox")
+def _vbox_window(api: ApiContext) -> bool:
+    return api.FindWindowA("VBoxTrayToolWndClass") is not None
+
+
+@_check("vbox_processes", "VirtualBox")
+def _vbox_processes(api: ApiContext) -> bool:
+    wanted = {"vboxservice.exe", "vboxtray.exe"}
+    snapshot = api.CreateToolhelp32Snapshot()
+    entry = api.Process32First(snapshot)
+    found = False
+    while entry is not None:
+        if entry[1].lower() in wanted:
+            found = True
+            break
+        entry = api.Process32Next(snapshot)
+    api.CloseHandle(snapshot)
+    return found
+
+
+@_check("vbox_devices", "VirtualBox")
+def _vbox_devices(api: ApiContext) -> bool:
+    for device in ("\\\\.\\VBoxGuest", "\\\\.\\VBoxMiniRdrDN"):
+        handle = api.CreateFileA(device)
+        if handle:
+            api.CloseHandle(handle)
+            return True
+    return False
+
+
+@_check("vbox_scsi_identifier", "VirtualBox")
+def _vbox_scsi_identifier(api: ApiContext) -> bool:
+    return _reg_value_contains(api, "HKEY_LOCAL_MACHINE", _SCSI_KEY,
+                               "Identifier", "VBOX")
+
+
+@_check("vbox_mac", "VirtualBox")
+def _vbox_mac(api: ApiContext) -> bool:
+    return any(":".join(mac.upper().split(":")[:3]) == VBOX_OUI
+               for _, mac, _ in api.GetAdaptersInfo())
+
+
+@_check("vbox_firmware", "VirtualBox")
+def _vbox_firmware(api: ApiContext) -> bool:
+    blob = api.GetSystemFirmwareTable("RSMB").lower()
+    return b"vbox" in blob or b"virtualbox" in blob or b"innotek" in blob
+
+
+@_check("vbox_net_share", "VirtualBox")
+def _vbox_net_share(api: ApiContext) -> bool:
+    provider = api.WNetGetProviderNameA(0x00250000)
+    return provider is not None and "virtualbox" in provider.lower()
+
+
+# ---------------------------------------------------------------------------
+# VMware (8)
+# ---------------------------------------------------------------------------
+
+@_check("vmware_reg_tools", "VMware")
+def _vmware_reg_tools(api: ApiContext) -> bool:
+    return _reg_key_exists(api, "HKEY_LOCAL_MACHINE",
+                           "SOFTWARE\\VMware, Inc.\\VMware Tools")
+
+
+@_check("vmware_driver_vmmouse", "VMware")
+def _vmware_driver_vmmouse(api: ApiContext) -> bool:
+    from ..winapi.kernel32 import INVALID_FILE_ATTRIBUTES
+    return api.GetFileAttributesA(
+        "C:\\Windows\\System32\\drivers\\vmmouse.sys") != \
+        INVALID_FILE_ATTRIBUTES
+
+
+@_check("vmware_driver_vmhgfs", "VMware")
+def _vmware_driver_vmhgfs(api: ApiContext) -> bool:
+    from ..winapi.kernel32 import INVALID_FILE_ATTRIBUTES
+    return api.GetFileAttributesA(
+        "C:\\Windows\\System32\\drivers\\vmhgfs.sys") != \
+        INVALID_FILE_ATTRIBUTES
+
+
+@_check("vmware_device_vmci", "VMware")
+def _vmware_device_vmci(api: ApiContext) -> bool:
+    handle = api.CreateFileA("\\\\.\\vmci")
+    if handle:
+        api.CloseHandle(handle)
+        return True
+    return False
+
+
+@_check("vmware_mac", "VMware")
+def _vmware_mac(api: ApiContext) -> bool:
+    return any(":".join(mac.upper().split(":")[:3]) in VMWARE_OUIS
+               for _, mac, _ in api.GetAdaptersInfo())
+
+
+@_check("vmware_scsi_identifier", "VMware")
+def _vmware_scsi_identifier(api: ApiContext) -> bool:
+    return _reg_value_contains(api, "HKEY_LOCAL_MACHINE", _SCSI_KEY,
+                               "Identifier", "VMWARE")
+
+
+@_check("vmware_firmware", "VMware")
+def _vmware_firmware(api: ApiContext) -> bool:
+    return b"vmware" in api.GetSystemFirmwareTable("RSMB").lower()
+
+
+@_check("vmware_adapter_name", "VMware")
+def _vmware_adapter_name(api: ApiContext) -> bool:
+    return any("vmware" in description.lower()
+               for _, _, description in api.GetAdaptersInfo())
+
+
+# ---------------------------------------------------------------------------
+# Qemu (3) and Bochs (3)
+# ---------------------------------------------------------------------------
+
+_CPU_BRAND_KEY = "HARDWARE\\DESCRIPTION\\System\\CentralProcessor\\0"
+
+
+@_check("qemu_reg_bios", "Qemu detection")
+def _qemu_reg_bios(api: ApiContext) -> bool:
+    return _reg_value_contains(api, "HKEY_LOCAL_MACHINE",
+                               "HARDWARE\\Description\\System",
+                               "SystemBiosVersion", "QEMU")
+
+
+@_check("qemu_cpu_brand", "Qemu detection")
+def _qemu_cpu_brand(api: ApiContext) -> bool:
+    return _reg_value_contains(api, "HKEY_LOCAL_MACHINE", _CPU_BRAND_KEY,
+                               "ProcessorNameString", "QEMU")
+
+
+@_check("qemu_scsi_identifier", "Qemu detection")
+def _qemu_scsi_identifier(api: ApiContext) -> bool:
+    return _reg_value_contains(api, "HKEY_LOCAL_MACHINE", _SCSI_KEY,
+                               "Identifier", "QEMU")
+
+
+@_check("bochs_reg_bios", "Bochs")
+def _bochs_reg_bios(api: ApiContext) -> bool:
+    return _reg_value_contains(api, "HKEY_LOCAL_MACHINE",
+                               "HARDWARE\\Description\\System",
+                               "SystemBiosVersion", "BOCHS")
+
+
+@_check("bochs_cpu_brand", "Bochs")
+def _bochs_cpu_brand(api: ApiContext) -> bool:
+    return _reg_value_contains(api, "HKEY_LOCAL_MACHINE", _CPU_BRAND_KEY,
+                               "ProcessorNameString", "BOCHS")
+
+
+@_check("bochs_cpu_amd_quirk", "Bochs")
+def _bochs_cpu_amd_quirk(api: ApiContext) -> bool:
+    """Bochs reports AMD vendor with missing brand leaves — probe both."""
+    regs = api.cpuid(0)
+    raw = b"".join(regs[r].to_bytes(4, "little")
+                   for r in ("ebx", "edx", "ecx"))
+    vendor = raw.rstrip(b"\x00").decode("ascii", errors="replace")
+    return vendor == "AuthenticAMD" and _reg_value_contains(
+        api, "HKEY_LOCAL_MACHINE", _CPU_BRAND_KEY, "ProcessorNameString",
+        "Bochs")
+
+
+# ---------------------------------------------------------------------------
+# Cuckoo (3)
+# ---------------------------------------------------------------------------
+
+@_check("cuckoo_monitor_dll", "Cuckoo")
+def _cuckoo_monitor_dll(api: ApiContext) -> bool:
+    return api.GetModuleHandleA("cuckoomon.dll") is not None
+
+
+@_check("cuckoo_pipe", "Cuckoo")
+def _cuckoo_pipe(api: ApiContext) -> bool:
+    handle = api.CreateFileA("\\\\.\\pipe\\cuckoo")
+    if handle:
+        api.CloseHandle(handle)
+        return True
+    return False
+
+
+@_check("cuckoo_agent_file", "Cuckoo")
+def _cuckoo_agent_file(api: ApiContext) -> bool:
+    from ..winapi.kernel32 import INVALID_FILE_ATTRIBUTES
+    return api.GetFileAttributesA("C:\\agent.py") != INVALID_FILE_ATTRIBUTES
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class PafishReport:
+    """Outcome of one Pafish execution."""
+
+    results: Dict[str, bool]
+
+    def triggered(self) -> List[str]:
+        return [name for name, hit in self.results.items() if hit]
+
+    def category_counts(self) -> Dict[str, int]:
+        counts = {category: 0 for category in CATEGORY_ORDER}
+        by_name = {check.name: check.category for check in _CHECKS}
+        for name, hit in self.results.items():
+            if hit:
+                counts[by_name[name]] += 1
+        return counts
+
+    def total_triggered(self) -> int:
+        return sum(self.results.values())
+
+
+def run_pafish(api: ApiContext) -> PafishReport:
+    """Execute every check as the given process on the given machine."""
+    return PafishReport({check.name: bool(check.probe(api))
+                         for check in _CHECKS})

@@ -1,0 +1,176 @@
+"""SandPrint-style sandbox fingerprinting (Yokoyama et al., RAID'16).
+
+SandPrint submits a probe binary to many analysis services, collects an
+environment fingerprint from each execution, and clusters the returns:
+submissions landing in a dense cluster came from the same sandbox fleet,
+and a fresh execution matching a known cluster is running *in* a sandbox —
+even a bare-metal one, which Pafish-style checks miss.
+
+We reproduce the pipeline: :func:`collect_fingerprint` is the probe,
+:func:`cluster_fingerprints` the aggregation, and
+:class:`SandboxMatcher` the detection step. The Scarecrow twist the tests
+exercise: a protected end-user machine *matches the sandbox clusters*,
+which is exactly the indistinguishability the paper claims — from the
+attacker's intelligence pipeline's point of view, the end host looks like
+yet another analysis node.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, List, Sequence, Tuple
+
+from ..winapi.calling import ApiContext
+
+GIB = 1024 ** 3
+
+
+@dataclasses.dataclass(frozen=True)
+class Fingerprint:
+    """One probe submission's view of its execution environment."""
+
+    label: str
+    hostname: str
+    username: str
+    cpu_cores: int
+    ram_bucket_gb: int
+    disk_bucket_gb: int
+    uptime_bucket: str           # "minutes" | "hours" | "days"
+    parent_process: str
+    debugger_present: bool
+    analysis_processes: FrozenSet[str]
+    mac_oui: str
+
+    def feature_items(self) -> FrozenSet[str]:
+        """The fingerprint as a comparable feature set."""
+        items = {
+            f"user:{self.username.lower()}",
+            f"cores:{self.cpu_cores}",
+            f"ram:{self.ram_bucket_gb}",
+            f"disk:{self.disk_bucket_gb}",
+            f"uptime:{self.uptime_bucket}",
+            f"parent:{self.parent_process.lower()}",
+            f"dbg:{self.debugger_present}",
+            f"oui:{self.mac_oui}",
+        }
+        items.update(f"proc:{name}" for name in self.analysis_processes)
+        return frozenset(items)
+
+
+def _uptime_bucket(tick_ms: int) -> str:
+    if tick_ms < 60 * 60 * 1000:
+        return "minutes"
+    if tick_ms < 24 * 60 * 60 * 1000:
+        return "hours"
+    return "days"
+
+
+_ANALYSIS_PROCESS_MARKERS = (
+    "vbox", "vmware", "wireshark", "procmon", "olydbg", "ollydbg", "idaq",
+    "idap", "windbg", "fiddler", "sbie", "joebox", "python", "analyzer",
+)
+
+
+def collect_fingerprint(api: ApiContext, label: str = "") -> Fingerprint:
+    """What the submitted probe binary reports home."""
+    from ..winapi.ntdll import ProcessInformationClass
+    memory = api.GlobalMemoryStatusEx()
+    ok, _, disk_total = api.GetDiskFreeSpaceExA("C:\\")
+    _, info = api.NtQueryInformationProcess(
+        ProcessInformationClass.ProcessBasicInformation)
+    parent_name = "?"
+    analysis: set = set()
+    snapshot = api.CreateToolhelp32Snapshot()
+    entry = api.Process32First(snapshot)
+    while entry is not None:
+        pid, name = entry
+        if info and pid == info["parent_pid"]:
+            parent_name = name
+        lowered = name.lower()
+        if any(marker in lowered for marker in _ANALYSIS_PROCESS_MARKERS):
+            analysis.add(lowered)
+        entry = api.Process32Next(snapshot)
+    api.CloseHandle(snapshot)
+    adapters = api.GetAdaptersInfo()
+    oui = ":".join(adapters[0][1].upper().split(":")[:3]) if adapters else ""
+    return Fingerprint(
+        label=label,
+        hostname=api.GetComputerNameA(),
+        username=api.GetUserNameA(),
+        cpu_cores=api.GetSystemInfo().number_of_processors,
+        ram_bucket_gb=max(1, round(memory.total_phys / GIB)),
+        disk_bucket_gb=max(1, round(disk_total / (10 * GIB)) * 10)
+        if ok else 0,
+        uptime_bucket=_uptime_bucket(api.GetTickCount()),
+        parent_process=parent_name,
+        debugger_present=bool(api.IsDebuggerPresent()),
+        analysis_processes=frozenset(analysis),
+        mac_oui=oui)
+
+
+def similarity(first: Fingerprint, second: Fingerprint) -> float:
+    """Jaccard similarity over feature items."""
+    a, b = first.feature_items(), second.feature_items()
+    union = a | b
+    return len(a & b) / len(union) if union else 1.0
+
+
+def cluster_fingerprints(fingerprints: Sequence[Fingerprint],
+                         threshold: float = 0.6) -> List[List[Fingerprint]]:
+    """Greedy agglomerative clustering by pairwise similarity.
+
+    Deterministic: fingerprints join the first existing cluster whose
+    *seed* they resemble beyond ``threshold``.
+    """
+    clusters: List[List[Fingerprint]] = []
+    for fingerprint in fingerprints:
+        for cluster in clusters:
+            if similarity(cluster[0], fingerprint) >= threshold:
+                cluster.append(fingerprint)
+                break
+        else:
+            clusters.append([fingerprint])
+    return clusters
+
+
+#: Feature predicates marking a fingerprint as analysis-like. SandPrint's
+#: cluster matching identifies *specific* sandbox installations; these
+#: indicators capture the generic "this looks like an analysis node"
+#: signal that a Scarecrow-protected host deliberately emits.
+def sandbox_indicators(fingerprint: Fingerprint) -> FrozenSet[str]:
+    indicators = set()
+    if fingerprint.cpu_cores <= 1:
+        indicators.add("single-core")
+    if fingerprint.ram_bucket_gb <= 1:
+        indicators.add("tiny-ram")
+    if fingerprint.disk_bucket_gb <= 100:
+        indicators.add("small-disk")
+    if fingerprint.uptime_bucket == "minutes":
+        indicators.add("fresh-boot")
+    if fingerprint.parent_process.lower() not in ("explorer.exe", "?"):
+        indicators.add("daemon-parent")
+    if fingerprint.debugger_present:
+        indicators.add("debugger")
+    if fingerprint.analysis_processes:
+        indicators.add("analysis-processes")
+    return frozenset(indicators)
+
+
+class SandboxMatcher:
+    """Detection step: does a fresh execution match a known sandbox?"""
+
+    def __init__(self, known_sandbox_fingerprints: Sequence[Fingerprint],
+                 threshold: float = 0.6) -> None:
+        self.known = list(known_sandbox_fingerprints)
+        self.threshold = threshold
+
+    def match(self, fingerprint: Fingerprint
+              ) -> Tuple[bool, float, str]:
+        """Returns ``(is_sandbox, best_score, best_label)``."""
+        best_score = 0.0
+        best_label = ""
+        for known in self.known:
+            score = similarity(known, fingerprint)
+            if score > best_score:
+                best_score, best_label = score, known.label
+        return (best_score >= self.threshold, best_score, best_label)

@@ -1,0 +1,102 @@
+"""The anti-Scarecrow adversary of Section VI-B.
+
+"Once the malware authors are aware of SCARECROW ... the best way to
+detect SCARECROW is to check conflicting resources. For example, malware
+can check whether the underlying system bestows multiple VM features from
+different vendors ... This could be considered impossible because neither a
+production nor an analysis environment could belong to multiple VMs
+simultaneously."
+
+:func:`detect_scarecrow` implements exactly that consistency audit; the
+tests show the paper's sketched countermeasure — exclusive profiles —
+defeating it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from ..winapi.calling import ApiContext
+from ..winsim.errors import Win32Error, nt_success
+
+
+@dataclasses.dataclass(frozen=True)
+class ConsistencyFinding:
+    """One impossible combination observed on the machine."""
+
+    description: str
+    vendors: Tuple[str, ...]
+
+
+def _vendor_evidence(api: ApiContext) -> dict:
+    """Collect per-vendor VM evidence through the (hookable) API surface."""
+    evidence = {"vbox": [], "vmware": [], "qemu": [], "bochs": [],
+                "wine": []}
+
+    err, handle = api.RegOpenKeyExA(
+        "HKEY_LOCAL_MACHINE",
+        "SOFTWARE\\Oracle\\VirtualBox Guest Additions")
+    if err == Win32Error.ERROR_SUCCESS:
+        evidence["vbox"].append("guest-additions registry key")
+        api.RegCloseKey(handle)
+    err, handle = api.RegOpenKeyExA("HKEY_LOCAL_MACHINE",
+                                    "SOFTWARE\\VMware, Inc.\\VMware Tools")
+    if err == Win32Error.ERROR_SUCCESS:
+        evidence["vmware"].append("VMware Tools registry key")
+        api.RegCloseKey(handle)
+
+    status, _ = api.NtQueryAttributesFile(
+        "C:\\Windows\\System32\\drivers\\VBoxMouse.sys")
+    if nt_success(status):
+        evidence["vbox"].append("VBoxMouse.sys")
+    status, _ = api.NtQueryAttributesFile(
+        "C:\\Windows\\System32\\drivers\\vmmouse.sys")
+    if nt_success(status):
+        evidence["vmware"].append("vmmouse.sys")
+
+    err, handle = api.RegOpenKeyExA("HKEY_LOCAL_MACHINE",
+                                    "HARDWARE\\Description\\System")
+    if err == Win32Error.ERROR_SUCCESS:
+        err, bios = api.RegQueryValueExA(handle, "SystemBiosVersion")
+        api.RegCloseKey(handle)
+        if err == Win32Error.ERROR_SUCCESS and isinstance(bios, str):
+            lowered = bios.lower()
+            for vendor, marker in (("vbox", "vbox"), ("qemu", "qemu"),
+                                   ("bochs", "bochs"), ("vmware", "vmware")):
+                if marker in lowered:
+                    evidence[vendor].append("SystemBiosVersion marker")
+
+    base = api.GetModuleHandleA("kernel32.dll")
+    if base is not None and \
+            api.GetProcAddress(base, "wine_get_unix_file_name") is not None:
+        evidence["wine"].append("wine export")
+    return evidence
+
+
+def detect_scarecrow(api: ApiContext) -> List[ConsistencyFinding]:
+    """Audit the environment for physically impossible vendor mixes.
+
+    Returns the list of impossible combinations found; empty means the
+    environment is (from this angle) internally consistent.
+    """
+    evidence = _vendor_evidence(api)
+    present = tuple(sorted(vendor for vendor, items in evidence.items()
+                           if items))
+    findings: List[ConsistencyFinding] = []
+    if len(present) >= 2:
+        findings.append(ConsistencyFinding(
+            "machine claims to be a guest of multiple hypervisors at once",
+            present))
+    bios_vendors = [vendor for vendor, items in evidence.items()
+                    if "SystemBiosVersion marker" in items]
+    if len(bios_vendors) >= 2:
+        findings.append(ConsistencyFinding(
+            "one BIOS string names multiple virtualization vendors",
+            tuple(sorted(bios_vendors))))
+    if evidence["wine"] and (evidence["vbox"] or evidence["vmware"]):
+        findings.append(ConsistencyFinding(
+            "Wine and a hardware hypervisor guest simultaneously",
+            tuple(sorted(v for v in ("wine", "vbox", "vmware")
+                         if evidence[v]))))
+    return findings

@@ -1,0 +1,477 @@
+"""Wear-and-tear analysis-environment detection (Miramirkhani et al.,
+S&P'17) — the Table III adversary.
+
+44 "aging" artifacts across five categories characterize how *used* a
+system is: pristine sandboxes score near zero on almost all of them, real
+workstations accumulate large values. A decision tree over the artifacts
+classifies a machine as ``sandbox`` or ``real``; per the paper, the top-5
+artifacts (dnscacheEntries, sysevt, syssrc, deviceClsCount, autoRunCount)
+appear in every tree, so Scarecrow only fakes those plus the whole
+registry category to flip the verdict.
+
+Artifacts whose sources Scarecrow hooks (DNS cache, event log, registry
+cardinalities, registry quota) are measured strictly through the hooked API
+surface; purely local enumerations (file counts) go through the filesystem
+layer directly, matching the original tool's direct Win32 enumeration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Tuple
+
+from ..winapi.calling import ApiContext
+from ..winsim.errors import nt_success
+
+ArtifactFn = Callable[[ApiContext], float]
+
+
+@dataclasses.dataclass(frozen=True)
+class Artifact:
+    name: str
+    category: str
+    probe: ArtifactFn
+
+
+_ARTIFACTS: List[Artifact] = []
+
+
+def _artifact(name: str, category: str) -> Callable[[ArtifactFn], ArtifactFn]:
+    def decorator(probe: ArtifactFn) -> ArtifactFn:
+        _ARTIFACTS.append(Artifact(name, category, probe))
+        return probe
+
+    return decorator
+
+
+def all_artifacts() -> List[Artifact]:
+    return list(_ARTIFACTS)
+
+
+def category_sizes() -> Dict[str, int]:
+    sizes: Dict[str, int] = {}
+    for artifact in _ARTIFACTS:
+        sizes[artifact.category] = sizes.get(artifact.category, 0) + 1
+    return sizes
+
+
+# -- shared registry-probing helpers ----------------------------------------
+
+def _key_subkey_count(api: ApiContext, path: str) -> int:
+    status, handle = api.NtOpenKeyEx(path)
+    if not nt_success(status):
+        return 0
+    status, info = api.NtQueryKey(handle)
+    api.NtClose(handle)
+    return info["subkeys"] if nt_success(status) and info else 0
+
+
+def _key_value_count(api: ApiContext, path: str) -> int:
+    status, handle = api.NtOpenKeyEx(path)
+    if not nt_success(status):
+        return 0
+    status, info = api.NtQueryKey(handle)
+    api.NtClose(handle)
+    return info["values"] if nt_success(status) and info else 0
+
+
+def _count_files(api: ApiContext, directory: str) -> int:
+    return sum(1 for _, node in api.machine.filesystem.walk(directory)
+               if not node.is_dir)
+
+
+def _file_size(api: ApiContext, path: str) -> int:
+    node = api.machine.filesystem.stat(path)
+    return node.size if node is not None and not node.is_dir else 0
+
+
+def _profile_dir(api: ApiContext) -> str:
+    return api.machine.user_profile_dir()
+
+
+# ---------------------------------------------------------------------------
+# System (8)
+# ---------------------------------------------------------------------------
+
+@_artifact("sysevt", "system")
+def _sysevt(api: ApiContext) -> float:
+    """Total system events, via EvtQuery/EvtNext (hooked by Scarecrow)."""
+    query = api.EvtQuery("System")
+    total = 0
+    while True:
+        batch = api.EvtNext(query, 512)
+        if not batch:
+            break
+        total += len(batch)
+    api.CloseHandle(query)
+    return total
+
+
+@_artifact("syssrc", "system")
+def _syssrc(api: ApiContext) -> float:
+    """Distinct sources among the most recent 8K system events."""
+    query = api.EvtQuery("System")
+    records = []
+    while True:
+        batch = api.EvtNext(query, 512)
+        if not batch:
+            break
+        records.extend(batch)
+    api.CloseHandle(query)
+    return len({record.source for record in records[-8000:]})
+
+
+@_artifact("uptimeMinutes", "system")
+def _uptime_minutes(api: ApiContext) -> float:
+    return api.GetTickCount() / 60_000
+
+
+@_artifact("processCount", "system")
+def _process_count(api: ApiContext) -> float:
+    snapshot = api.CreateToolhelp32Snapshot()
+    count = 0
+    entry = api.Process32First(snapshot)
+    while entry is not None:
+        count += 1
+        entry = api.Process32Next(snapshot)
+    api.CloseHandle(snapshot)
+    return count
+
+
+@_artifact("windowCount", "system")
+def _window_count(api: ApiContext) -> float:
+    return len(api.EnumWindows())
+
+
+@_artifact("installedServices", "system")
+def _installed_services(api: ApiContext) -> float:
+    return len(api.EnumServicesStatusA())
+
+
+@_artifact("userTempFiles", "system")
+def _user_temp_files(api: ApiContext) -> float:
+    return _count_files(api,
+                        f"{_profile_dir(api)}\\AppData\\Local\\Temp")
+
+
+@_artifact("cpuCount", "system")
+def _cpu_count(api: ApiContext) -> float:
+    return api.GetSystemInfo().number_of_processors
+
+
+# ---------------------------------------------------------------------------
+# Disk (9)
+# ---------------------------------------------------------------------------
+
+@_artifact("totalDiskGB", "disk")
+def _total_disk_gb(api: ApiContext) -> float:
+    ok, _, total = api.GetDiskFreeSpaceExA("C:\\")
+    return total / 1024 ** 3 if ok else 0
+
+
+@_artifact("freeDiskRatio", "disk")
+def _free_disk_ratio(api: ApiContext) -> float:
+    ok, free, total = api.GetDiskFreeSpaceExA("C:\\")
+    return free / total if ok and total else 0
+
+
+@_artifact("userDocsCount", "disk")
+def _user_docs_count(api: ApiContext) -> float:
+    return _count_files(api, f"{_profile_dir(api)}\\Documents")
+
+
+@_artifact("desktopFileCount", "disk")
+def _desktop_file_count(api: ApiContext) -> float:
+    return _count_files(api, f"{_profile_dir(api)}\\Desktop")
+
+
+@_artifact("downloadsCount", "disk")
+def _downloads_count(api: ApiContext) -> float:
+    return _count_files(api, f"{_profile_dir(api)}\\Downloads")
+
+
+@_artifact("prefetchCount", "disk")
+def _prefetch_count(api: ApiContext) -> float:
+    return _count_files(api, "C:\\Windows\\Prefetch")
+
+
+@_artifact("tempFileCount", "disk")
+def _temp_file_count(api: ApiContext) -> float:
+    return _count_files(api, "C:\\Windows\\Temp")
+
+
+@_artifact("programFilesCount", "disk")
+def _program_files_count(api: ApiContext) -> float:
+    return len(api.machine.filesystem.listdir("C:\\Program Files"))
+
+
+@_artifact("recentDocsCount", "disk")
+def _recent_docs_count(api: ApiContext) -> float:
+    return _count_files(
+        api, f"{_profile_dir(api)}\\AppData\\Roaming\\Microsoft\\Windows\\"
+             "Recent")
+
+
+# ---------------------------------------------------------------------------
+# Network (7)
+# ---------------------------------------------------------------------------
+
+@_artifact("dnscacheEntries", "network")
+def _dnscache_entries(api: ApiContext) -> float:
+    """The #1 artifact — via DnsGetCacheDataTable (hooked by Scarecrow)."""
+    return len(api.DnsGetCacheDataTable())
+
+
+@_artifact("adapterCount", "network")
+def _adapter_count(api: ApiContext) -> float:
+    return len(api.GetAdaptersInfo())
+
+
+@_artifact("wifiProfilesCount", "network")
+def _wifi_profiles_count(api: ApiContext) -> float:
+    return _key_subkey_count(
+        api, "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows NT\\"
+             "CurrentVersion\\NetworkList\\Profiles")
+
+
+@_artifact("hostsFileSize", "network")
+def _hosts_file_size(api: ApiContext) -> float:
+    return _file_size(api, "C:\\Windows\\System32\\drivers\\etc\\hosts")
+
+
+@_artifact("networkCardsCount", "network")
+def _network_cards_count(api: ApiContext) -> float:
+    return _key_subkey_count(
+        api, "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows NT\\"
+             "CurrentVersion\\NetworkCards")
+
+
+@_artifact("certCount", "network")
+def _cert_count(api: ApiContext) -> float:
+    return _key_subkey_count(
+        api, "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\SystemCertificates\\"
+             "ROOT\\Certificates")
+
+
+@_artifact("proxyConfigured", "network")
+def _proxy_configured(api: ApiContext) -> float:
+    status, handle = api.NtOpenKeyEx(
+        "HKEY_CURRENT_USER\\Software\\Microsoft\\Windows\\CurrentVersion\\"
+        "Internet Settings")
+    if not nt_success(status):
+        return 0
+    status, data = api.NtQueryValueKey(handle, "ProxyEnable")
+    api.NtClose(handle)
+    return float(bool(nt_success(status) and data))
+
+
+# ---------------------------------------------------------------------------
+# Registry (13: the 11 Table III rows + the two top-5 registry reads)
+# ---------------------------------------------------------------------------
+
+@_artifact("deviceClsCount", "registry")
+def _device_cls_count(api: ApiContext) -> float:
+    return _key_subkey_count(
+        api, "HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Control\\"
+             "DeviceClasses")
+
+
+@_artifact("autoRunCount", "registry")
+def _auto_run_count(api: ApiContext) -> float:
+    return _key_value_count(
+        api, "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\"
+             "CurrentVersion\\Run")
+
+
+@_artifact("regSize", "registry")
+def _reg_size(api: ApiContext) -> float:
+    from ..winapi.ntdll import SystemInformationClass
+    status, info = api.NtQuerySystemInformation(
+        SystemInformationClass.SystemRegistryQuotaInformation)
+    return info["registry_quota_used"] if nt_success(status) and info else 0
+
+
+@_artifact("uninstallCount", "registry")
+def _uninstall_count(api: ApiContext) -> float:
+    return _key_subkey_count(
+        api, "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\"
+             "CurrentVersion\\Uninstall")
+
+
+@_artifact("totalSharedDlls", "registry")
+def _total_shared_dlls(api: ApiContext) -> float:
+    return _key_value_count(
+        api, "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\"
+             "CurrentVersion\\SharedDlls")
+
+
+@_artifact("totalAppPaths", "registry")
+def _total_app_paths(api: ApiContext) -> float:
+    return _key_subkey_count(
+        api, "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\"
+             "CurrentVersion\\App Paths")
+
+
+@_artifact("totalActiveSetup", "registry")
+def _total_active_setup(api: ApiContext) -> float:
+    return _key_subkey_count(
+        api, "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Active Setup\\"
+             "Installed Components")
+
+
+@_artifact("totalMissingDlls", "registry")
+def _total_missing_dlls(api: ApiContext) -> float:
+    """SharedDlls entries whose backing file no longer exists."""
+    status, handle = api.NtOpenKeyEx(
+        "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\"
+        "SharedDlls")
+    if not nt_success(status):
+        return 0
+    missing = 0
+    index = 0
+    while True:
+        st, entry = api.NtEnumerateValueKey(handle, index)
+        if not nt_success(st) or entry is None:
+            break
+        path = entry[0]
+        st_file, _ = api.NtQueryAttributesFile(path)
+        if not nt_success(st_file):
+            missing += 1
+        index += 1
+    api.NtClose(handle)
+    return missing
+
+
+@_artifact("usrassistCount", "registry")
+def _usrassist_count(api: ApiContext) -> float:
+    return _key_subkey_count(
+        api, "HKEY_CURRENT_USER\\Software\\Microsoft\\Windows\\"
+             "CurrentVersion\\Explorer\\UserAssist")
+
+
+@_artifact("shimCacheCount", "registry")
+def _shim_cache_count(api: ApiContext) -> float:
+    return _key_value_count(
+        api, "HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Control\\"
+             "Session Manager\\AppCompatCache")
+
+
+@_artifact("MUICacheEntries", "registry")
+def _muicache_entries(api: ApiContext) -> float:
+    return _key_value_count(
+        api, "HKEY_CURRENT_USER\\Software\\Classes\\Local Settings\\"
+             "Software\\Microsoft\\Windows\\Shell\\MuiCache")
+
+
+@_artifact("FireruleCount", "registry")
+def _firerule_count(api: ApiContext) -> float:
+    return _key_value_count(
+        api, "HKEY_LOCAL_MACHINE\\SYSTEM\\ControlSet001\\services\\"
+             "SharedAccess\\Parameters\\FirewallPolicy\\FirewallRules")
+
+
+@_artifact("USBStorCount", "registry")
+def _usbstor_count(api: ApiContext) -> float:
+    return _key_subkey_count(
+        api, "HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Services\\"
+             "UsbStor")
+
+
+# ---------------------------------------------------------------------------
+# Browser (7)
+# ---------------------------------------------------------------------------
+
+def _chrome_profile(api: ApiContext) -> str:
+    return (f"{_profile_dir(api)}\\AppData\\Local\\Google\\Chrome\\"
+            "User Data\\Default")
+
+
+@_artifact("browserHistorySize", "browser")
+def _browser_history_size(api: ApiContext) -> float:
+    return _file_size(api, f"{_chrome_profile(api)}\\History")
+
+
+@_artifact("browserCookiesSize", "browser")
+def _browser_cookies_size(api: ApiContext) -> float:
+    return _file_size(api, f"{_chrome_profile(api)}\\Cookies")
+
+
+@_artifact("browserBookmarksSize", "browser")
+def _browser_bookmarks_size(api: ApiContext) -> float:
+    return _file_size(api, f"{_chrome_profile(api)}\\Bookmarks")
+
+
+@_artifact("browserCacheEntries", "browser")
+def _browser_cache_entries(api: ApiContext) -> float:
+    return _count_files(api, f"{_chrome_profile(api)}\\Cache")
+
+
+@_artifact("browserExtensionsCount", "browser")
+def _browser_extensions_count(api: ApiContext) -> float:
+    return len(api.machine.filesystem.listdir(
+        f"{_chrome_profile(api)}\\Extensions"))
+
+
+@_artifact("typedUrlsCount", "browser")
+def _typed_urls_count(api: ApiContext) -> float:
+    return _key_value_count(
+        api, "HKEY_CURRENT_USER\\Software\\Microsoft\\Internet Explorer\\"
+             "TypedURLs")
+
+
+@_artifact("browserDownloadsCount", "browser")
+def _browser_downloads_count(api: ApiContext) -> float:
+    return _count_files(api, f"{_profile_dir(api)}\\Downloads")
+
+
+# ---------------------------------------------------------------------------
+# Measurement + classification
+# ---------------------------------------------------------------------------
+
+def measure_artifacts(api: ApiContext) -> Dict[str, float]:
+    return {artifact.name: float(artifact.probe(api))
+            for artifact in _ARTIFACTS}
+
+
+#: The top-5 artifacts ("the most effective artifacts ... used by all of
+#: their decision trees") with the sandbox-side thresholds of our tree.
+TOP5_RULES: Tuple[Tuple[str, float], ...] = (
+    ("dnscacheEntries", 10),
+    ("sysevt", 12_000),
+    ("syssrc", 12),
+    ("deviceClsCount", 40),
+    ("autoRunCount", 5),
+)
+
+
+@dataclasses.dataclass
+class Classification:
+    label: str                      # "sandbox" | "real"
+    decisive_artifact: str
+    decision_path: List[str]
+
+    @property
+    def is_sandbox(self) -> bool:
+        return self.label == "sandbox"
+
+
+def classify(values: Dict[str, float]) -> Classification:
+    """Decision tree over the top-5 artifacts.
+
+    Any artifact scoring below its sandbox threshold classifies the
+    machine as an analysis environment — real machines comfortably clear
+    every threshold, pristine images fail the very first.
+    """
+    path: List[str] = []
+    for name, threshold in TOP5_RULES:
+        value = values.get(name, 0.0)
+        if value < threshold:
+            path.append(f"{name}={value:g} < {threshold:g} -> sandbox")
+            return Classification("sandbox", name, path)
+        path.append(f"{name}={value:g} >= {threshold:g}")
+    return Classification("real", "", path)
+
+
+def fingerprint(api: ApiContext) -> Classification:
+    """Measure then classify, in one call."""
+    return classify(measure_artifacts(api))

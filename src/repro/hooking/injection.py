@@ -1,0 +1,80 @@
+"""DLL injection into simulated processes.
+
+EasyHook-style injection: map the DLL into the target's module list, create
+a :class:`~repro.hooking.inline.HookManager` in the target if it has none,
+then run the DLL's entry point (which installs hooks). Child processes are
+handled the way the paper describes — spawn suspended, inject, resume.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol
+
+from ..winsim.machine import Machine
+from ..winsim.process import Process
+from .inline import HookManager
+
+#: Tag key under which a process stores its hook manager.
+HOOK_MANAGER_TAG = "hook_manager"
+#: Tag key listing names of DLLs injected (not legitimately loaded).
+INJECTED_DLLS_TAG = "injected_dlls"
+
+
+class InjectableDll(Protocol):
+    """Anything that can be injected: a name plus an on-load entry point."""
+
+    name: str
+
+    def on_inject(self, machine: Machine, process: Process) -> None:
+        """DllMain(PROCESS_ATTACH) equivalent — install hooks etc."""
+
+
+def hook_manager_of(process: Process,
+                    create: bool = False) -> Optional[HookManager]:
+    """Fetch (optionally creating) the process's hook manager."""
+    manager = process.tags.get(HOOK_MANAGER_TAG)
+    if manager is None and create:
+        manager = HookManager()
+        process.tags[HOOK_MANAGER_TAG] = manager
+    return manager
+
+
+def inject_dll(machine: Machine, process: Process, dll: InjectableDll) -> bool:
+    """Inject ``dll`` into ``process``; returns ``False`` if already there.
+
+    The injected module appears in the target's module list (so module
+    enumeration sees it — deliberately, in Scarecrow's case) and the DLL
+    entry point runs inside the target.
+    """
+    if not process.alive:
+        raise ValueError(f"cannot inject into dead process pid={process.pid}")
+    injected = process.tags.setdefault(INJECTED_DLLS_TAG, [])
+    if dll.name.lower() in (n.lower() for n in injected):
+        return False
+    hook_manager_of(process, create=True)
+    process.modules.load(dll.name)
+    injected.append(dll.name)
+    machine.bus.emit("image", "LoadImage", process.pid, machine.clock.now_ns,
+                     name=dll.name, injected=True)
+    dll.on_inject(machine, process)
+    return True
+
+
+def inject_into_suspended_child(machine: Machine, child: Process,
+                                dll: InjectableDll) -> bool:
+    """The paper's child-following trick.
+
+    "We suspend the running thread of the new process to inject
+    scarecrow.dll into the address space of the new process and then
+    resume it."
+    """
+    child.suspend()
+    try:
+        return inject_dll(machine, child, dll)
+    finally:
+        child.resume()
+
+
+def is_injected(process: Process, dll_name: str) -> bool:
+    injected = process.tags.get(INJECTED_DLLS_TAG, [])
+    return dll_name.lower() in (n.lower() for n in injected)

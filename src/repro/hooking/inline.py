@@ -1,0 +1,136 @@
+"""Inline hook management for one process.
+
+A :class:`HookManager` lives inside a target process (planted there by DLL
+injection). Installing a hook patches the export's prologue bytes — making
+the hook *detectable*, which for Scarecrow is a feature — and registers a
+handler the API dispatcher routes calls through.
+
+Handlers receive ``(call, *args, **kwargs)`` where ``call`` is a
+:class:`HookCall` giving access to the calling context and an
+``original(*args, **kwargs)`` trampoline invoking the unhooked
+implementation. Returning from the handler returns to the caller.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional
+
+from .prologue import CodeImage, PATCH_LEN
+
+HookHandler = Callable[..., Any]
+
+#: Where hook thunks live in the synthetic address space (inside the
+#: injected DLL's image, far from the patched exports).
+_HOOK_CODE_BASE = 0x10000000
+
+
+@dataclasses.dataclass
+class HookCall:
+    """Context handed to a hook handler for one intercepted call."""
+
+    export: str
+    context: Any                     # the winapi ApiContext of the caller
+    original: Callable[..., Any]     # trampoline to the real implementation
+
+    @property
+    def machine(self):
+        return self.context.machine
+
+    @property
+    def process(self):
+        return self.context.process
+
+
+@dataclasses.dataclass
+class InlineHook:
+    export: str
+    handler: HookHandler
+    saved_prologue: bytes
+    hook_address: int
+    enabled: bool = True
+    #: Free-form label ("scarecrow", "cuckoo-monitor", "decoy") so traces
+    #: and tests can tell whose hook fired.
+    owner: str = ""
+
+
+class HookManager:
+    """All inline hooks installed inside one process."""
+
+    def __init__(self) -> None:
+        self.code = CodeImage()
+        self._hooks: Dict[str, InlineHook] = {}
+        self._next_hook_address = _HOOK_CODE_BASE
+
+    # -- install / remove ------------------------------------------------------
+
+    def install(self, export: str, handler: HookHandler,
+                owner: str = "") -> InlineHook:
+        """Install an inline hook on ``export``.
+
+        Raises ``ValueError`` when the export is already hooked — layered
+        hooking of the same export is out of scope for the reproduction
+        (the paper never stacks Scarecrow on top of another monitor's hook
+        for the same API inside the same process).
+        """
+        key = export.lower()
+        if key in self._hooks:
+            raise ValueError(f"{export} is already hooked")
+        hook_address = self._next_hook_address
+        self._next_hook_address += 0x40
+        saved = self.code.patch_jmp(export, hook_address)
+        hook = InlineHook(export, handler, saved, hook_address, owner=owner)
+        self._hooks[key] = hook
+        return hook
+
+    def remove(self, export: str) -> bool:
+        hook = self._hooks.pop(export.lower(), None)
+        if hook is None:
+            return False
+        self.code.unpatch(export, hook.saved_prologue)
+        return True
+
+    def remove_all(self, owner: Optional[str] = None) -> int:
+        removed = 0
+        for export in list(self._hooks):
+            if owner is None or self._hooks[export].owner == owner:
+                self.remove(export)
+                removed += 1
+        return removed
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def active_hook(self, export: str) -> Optional[InlineHook]:
+        hook = self._hooks.get(export.lower())
+        return hook if hook is not None and hook.enabled else None
+
+    def dispatch(self, export: str, context: Any,
+                 implementation: Callable[..., Any],
+                 args: tuple, kwargs: dict) -> Any:
+        """Route one API call through its hook (if any)."""
+        hook = self.active_hook(export)
+        if hook is None:
+            return implementation(context, *args, **kwargs)
+
+        def original(*o_args: Any, **o_kwargs: Any) -> Any:
+            return implementation(context, *o_args, **o_kwargs)
+
+        call = HookCall(export=export, context=context, original=original)
+        return hook.handler(call, *args, **kwargs)
+
+    # -- inspection (what anti-hook code does) -------------------------------
+
+    def read_prologue(self, export: str, length: int = PATCH_LEN) -> bytes:
+        return self.code.read(export, length)
+
+    def is_hooked(self, export: str) -> bool:
+        return export.lower() in self._hooks
+
+    def hooks(self) -> List[InlineHook]:
+        return list(self._hooks.values())
+
+    def hooked_exports(self) -> List[str]:
+        return [hook.export for hook in self._hooks.values()]
+
+    def __len__(self) -> int:
+        return len(self._hooks)

@@ -1,0 +1,65 @@
+"""Inter-process communication between scarecrow.exe and scarecrow.dll.
+
+The paper: "scarecrow.dll communicates with scarecrow.exe through
+interprocess communication (IPC) channels when a deceptive execution
+environment is fingerprinted by evasive malware. SCARECROW controller
+dynamically updates the hooks and configurations through IPC."
+
+We model a synchronous duplex channel: the DLL side posts fingerprint
+reports; the controller side posts configuration updates. Both ends drain
+their inbox explicitly, which keeps the simulation deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class IpcMessage:
+    seq: int
+    kind: str            # "fingerprint_report" | "config_update" | ...
+    payload: Dict[str, Any]
+
+
+class IpcEndpoint:
+    """One side of a channel; ``peer`` is wired by :class:`IpcChannel`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._inbox: Deque[IpcMessage] = deque()
+        self.peer: Optional["IpcEndpoint"] = None
+        self._seq = itertools.count(1)
+
+    def send(self, kind: str, **payload: Any) -> IpcMessage:
+        if self.peer is None:
+            raise RuntimeError(f"endpoint {self.name!r} is not connected")
+        message = IpcMessage(next(self._seq), kind, payload)
+        self.peer._inbox.append(message)
+        return message
+
+    def receive(self) -> Optional[IpcMessage]:
+        return self._inbox.popleft() if self._inbox else None
+
+    def drain(self) -> List[IpcMessage]:
+        messages = list(self._inbox)
+        self._inbox.clear()
+        return messages
+
+    @property
+    def pending(self) -> int:
+        return len(self._inbox)
+
+
+class IpcChannel:
+    """A connected controller/DLL endpoint pair."""
+
+    def __init__(self, controller_name: str = "scarecrow.exe",
+                 dll_name: str = "scarecrow.dll") -> None:
+        self.controller = IpcEndpoint(controller_name)
+        self.dll = IpcEndpoint(dll_name)
+        self.controller.peer = self.dll
+        self.dll.peer = self.controller

@@ -1,0 +1,23 @@
+"""Simulated Win32 / Native API layer.
+
+Importing this package registers every export into the global API table;
+:func:`bind` then gives a per-process :class:`ApiContext` through which
+simulated programs call the APIs (and through which inline hooks fire).
+"""
+
+from . import (advapi32, dnsapi, iphlpapi, kernel32, ntdll, shell32, user32,
+               wevtapi, ws2_32)
+from .calling import (API_CALL_COST_NS, ApiContext, CallRecord, EXPORTS,
+                      bind, export_name, winapi)
+from .kernel32 import (CREATE_SUSPENDED, INVALID_FILE_ATTRIBUTES,
+                       IOCTL_DISK_GET_DRIVE_GEOMETRY)
+from .ntdll import ProcessInformationClass, SystemInformationClass
+
+__all__ = [
+    "API_CALL_COST_NS", "ApiContext", "CallRecord", "CREATE_SUSPENDED",
+    "EXPORTS", "INVALID_FILE_ATTRIBUTES", "IOCTL_DISK_GET_DRIVE_GEOMETRY",
+    "ProcessInformationClass", "SystemInformationClass", "bind",
+    "export_name", "winapi",
+    "advapi32", "dnsapi", "iphlpapi", "kernel32", "ntdll", "shell32",
+    "user32", "wevtapi", "ws2_32",
+]

@@ -1,0 +1,162 @@
+"""advapi32.dll — Win32 registry APIs, username, services.
+
+``RegOpenKeyEx`` existence probes are the single most common anti-VM check
+(``SOFTWARE\\Oracle\\VirtualBox Guest Additions``, ``SOFTWARE\\VMware,
+Inc.\\VMware Tools``); Scarecrow's handler answers them with SUCCESS.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..winsim.errors import Win32Error
+from ..winsim.types import Handle, INVALID_HANDLE_VALUE
+from .calling import ApiContext, winapi
+
+DLL = "advapi32.dll"
+
+
+def _join(hive: str, subkey: str) -> str:
+    return f"{hive}\\{subkey}" if subkey else hive
+
+
+# ---------------------------------------------------------------------------
+# Registry, Win32 flavour
+# ---------------------------------------------------------------------------
+
+@winapi(DLL)
+def RegOpenKeyExA(ctx: ApiContext, hive: str,
+                  subkey: str) -> Tuple[int, Handle]:
+    """``(ERROR_SUCCESS, handle)`` or ``(ERROR_FILE_NOT_FOUND, invalid)``."""
+    path = _join(hive, subkey)
+    key = ctx.machine.registry.open_key(path)
+    ctx.emit("registry", "RegOpenKey", key=path, found=key is not None)
+    if key is None:
+        return (Win32Error.ERROR_FILE_NOT_FOUND,
+                Handle(INVALID_HANDLE_VALUE, "key"))
+    return (Win32Error.ERROR_SUCCESS, ctx.machine.handles.open(key, "key"))
+
+
+@winapi(DLL)
+def RegOpenKeyExW(ctx: ApiContext, hive: str,
+                  subkey: str) -> Tuple[int, Handle]:
+    return RegOpenKeyExA(ctx, hive, subkey)
+
+
+@winapi(DLL)
+def RegQueryValueExA(ctx: ApiContext, handle: Handle,
+                     name: str) -> Tuple[int, Optional[Any]]:
+    key = ctx.machine.handles.resolve(handle, "key")
+    if key is None:
+        return (Win32Error.ERROR_INVALID_HANDLE, None)
+    value = key.get_value(name)
+    ctx.emit("registry", "RegQueryValue", key=key.path(), value=name,
+             found=value is not None)
+    if value is None:
+        return (Win32Error.ERROR_FILE_NOT_FOUND, None)
+    return (Win32Error.ERROR_SUCCESS, value.data)
+
+
+@winapi(DLL)
+def RegQueryValueExW(ctx: ApiContext, handle: Handle,
+                     name: str) -> Tuple[int, Optional[Any]]:
+    return RegQueryValueExA(ctx, handle, name)
+
+
+@winapi(DLL)
+def RegEnumKeyExA(ctx: ApiContext, handle: Handle,
+                  index: int) -> Tuple[int, Optional[str]]:
+    key = ctx.machine.handles.resolve(handle, "key")
+    if key is None:
+        return (Win32Error.ERROR_INVALID_HANDLE, None)
+    names = key.subkey_names()
+    if index >= len(names):
+        return (Win32Error.ERROR_NO_MORE_ITEMS, None)
+    return (Win32Error.ERROR_SUCCESS, names[index])
+
+
+@winapi(DLL)
+def RegEnumValueA(ctx: ApiContext, handle: Handle,
+                  index: int) -> Tuple[int, Optional[Tuple[str, Any]]]:
+    key = ctx.machine.handles.resolve(handle, "key")
+    if key is None:
+        return (Win32Error.ERROR_INVALID_HANDLE, None)
+    values = key.values()
+    if index >= len(values):
+        return (Win32Error.ERROR_NO_MORE_ITEMS, None)
+    return (Win32Error.ERROR_SUCCESS, (values[index].name, values[index].data))
+
+
+@winapi(DLL)
+def RegQueryInfoKeyA(ctx: ApiContext,
+                     handle: Handle) -> Tuple[int, Optional[dict]]:
+    key = ctx.machine.handles.resolve(handle, "key")
+    if key is None:
+        return (Win32Error.ERROR_INVALID_HANDLE, None)
+    return (Win32Error.ERROR_SUCCESS,
+            {"subkeys": key.subkey_count(), "values": key.value_count()})
+
+
+@winapi(DLL)
+def RegCloseKey(ctx: ApiContext, handle: Handle) -> int:
+    return (Win32Error.ERROR_SUCCESS if ctx.machine.handles.close(handle)
+            else Win32Error.ERROR_INVALID_HANDLE)
+
+
+@winapi(DLL)
+def RegCreateKeyExA(ctx: ApiContext, hive: str,
+                    subkey: str) -> Tuple[int, Handle]:
+    path = _join(hive, subkey)
+    key = ctx.machine.registry.create_key(path)
+    ctx.emit("registry", "RegCreateKey", key=path)
+    return (Win32Error.ERROR_SUCCESS, ctx.machine.handles.open(key, "key"))
+
+
+@winapi(DLL)
+def RegSetValueExA(ctx: ApiContext, handle: Handle, name: str,
+                   data: Any) -> int:
+    key = ctx.machine.handles.resolve(handle, "key")
+    if key is None:
+        return Win32Error.ERROR_INVALID_HANDLE
+    key.set_value(name, data)
+    ctx.emit("registry", "RegSetValue", key=key.path(), value=name)
+    return Win32Error.ERROR_SUCCESS
+
+
+@winapi(DLL)
+def RegDeleteKeyA(ctx: ApiContext, hive: str, subkey: str) -> int:
+    path = _join(hive, subkey)
+    deleted = ctx.machine.registry.delete_key(path)
+    if deleted:
+        ctx.emit("registry", "RegDeleteKey", key=path)
+    return (Win32Error.ERROR_SUCCESS if deleted
+            else Win32Error.ERROR_FILE_NOT_FOUND)
+
+
+# ---------------------------------------------------------------------------
+# Identity and services
+# ---------------------------------------------------------------------------
+
+@winapi(DLL)
+def GetUserNameA(ctx: ApiContext) -> str:
+    return ctx.machine.identity.username
+
+
+@winapi(DLL)
+def GetUserNameW(ctx: ApiContext) -> str:
+    return GetUserNameA(ctx)
+
+
+@winapi(DLL)
+def EnumServicesStatusA(ctx: ApiContext) -> List[Tuple[str, str]]:
+    """``(name, display_name)`` of every installed service."""
+    return [(s.name, s.display_name) for s in ctx.machine.services.all()]
+
+
+@winapi(DLL)
+def OpenServiceA(ctx: ApiContext, name: str) -> Tuple[int, Optional[str]]:
+    service = ctx.machine.services.get(name)
+    if service is None:
+        ctx.set_last_error(Win32Error.ERROR_SERVICE_DOES_NOT_EXIST)
+        return (Win32Error.ERROR_SERVICE_DOES_NOT_EXIST, None)
+    return (Win32Error.ERROR_SUCCESS, service.name)

@@ -1,0 +1,183 @@
+"""API dispatch: the bridge between simulated programs and the machine.
+
+Simulated programs (malware samples, benign software, Pafish) never touch
+:mod:`repro.winsim` directly for anything an API mediates. They hold an
+:class:`ApiContext` — "this process calling Win32 on this machine" — and
+go through :meth:`ApiContext.call`, which:
+
+1. charges the virtual clock for the call,
+2. publishes an ``api`` kernel event (the Fibratus tap),
+3. routes through the process's inline-hook manager if the export is
+   hooked (this is where Scarecrow lives),
+4. otherwise invokes the genuine implementation against machine state.
+
+Memory reads that bypass the API — direct PEB access, reading a function's
+own prologue bytes — are exposed as explicit ``read_*`` methods so that the
+paper's hook-bypassing behaviours stay visible in call sites.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from typing import Any, Callable, Dict, List, Optional
+
+from ..hooking.injection import hook_manager_of
+from ..hooking.prologue import STANDARD_PROLOGUE
+from ..winsim.machine import Machine
+from ..winsim.process import Process
+from ..winsim.types import Peb
+
+#: Nanoseconds charged per API call (native-ish transition cost).
+API_CALL_COST_NS = 400
+
+ApiImpl = Callable[..., Any]
+
+#: Global export table: "kernel32.dll!IsDebuggerPresent" -> implementation.
+EXPORTS: Dict[str, ApiImpl] = {}
+#: Case-insensitive index into :data:`EXPORTS` plus a bare-name index so
+#: ``api.IsDebuggerPresent(...)`` sugar resolves without scanning.
+_EXPORT_INDEX: Dict[str, str] = {}
+_BARE_NAME_INDEX: Dict[str, str] = {}
+
+
+def export_name(dll: str, function: str) -> str:
+    return f"{dll.lower()}!{function}"
+
+
+def winapi(dll: str, name: Optional[str] = None) -> Callable[[ApiImpl], ApiImpl]:
+    """Register an implementation in the global export table."""
+
+    def decorator(impl: ApiImpl) -> ApiImpl:
+        func_name = name or impl.__name__
+        key = export_name(dll, func_name)
+        if key.lower() in _EXPORT_INDEX:
+            raise ValueError(f"duplicate export {dll}!{func_name}")
+        EXPORTS[key] = impl
+        _EXPORT_INDEX[key.lower()] = key
+        _BARE_NAME_INDEX.setdefault(func_name, key)
+        return impl
+
+    return decorator
+
+
+def _resolve_export(name_lower: str) -> Optional[str]:
+    return _EXPORT_INDEX.get(name_lower)
+
+
+@dataclasses.dataclass
+class CallRecord:
+    """One recorded API call (kept by the context for tests/inspection)."""
+
+    export: str
+    args: tuple
+    result: Any
+
+
+class ApiContext:
+    """One process's view of the Win32 API on one machine."""
+
+    def __init__(self, machine: Machine, process: Process) -> None:
+        self.machine = machine
+        self.process = process
+        self.last_error = 0
+        self.call_log: List[CallRecord] = []
+        #: When True, suppress per-call kernel events (used by tight
+        #: benchmark loops to keep the bus quiet).
+        self.quiet = False
+
+    # -- dispatch ------------------------------------------------------------
+
+    def call(self, export: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke ``export`` ("dll!Function") as this process."""
+        key = _resolve_export(export.lower())
+        if key is None:
+            raise KeyError(f"unknown API export: {export}")
+        implementation = EXPORTS[key]
+        if not self.process.alive:
+            raise RuntimeError(
+                f"terminated process pid={self.process.pid} cannot call APIs")
+        self.machine.clock.advance_ns(API_CALL_COST_NS)
+        if not self.quiet:
+            self.machine.bus.emit(
+                "api", key, self.process.pid, self.machine.clock.now_ns,
+                args=_summarize_args(args))
+        manager = hook_manager_of(self.process)
+        if manager is not None:
+            result = manager.dispatch(key, self, implementation, args, kwargs)
+        else:
+            result = implementation(self, *args, **kwargs)
+        self.call_log.append(CallRecord(key, args, result))
+        return result
+
+    def __getattr__(self, item: str) -> Any:
+        """Allow ``api.IsDebuggerPresent()`` sugar for any known export."""
+        if item.startswith("_"):
+            raise AttributeError(item)
+        key = _BARE_NAME_INDEX.get(item)
+        if key is not None:
+            return functools.partial(self.call, key)
+        raise AttributeError(f"no API export named {item}")
+
+    # -- hook-bypassing memory reads (explicit, per the paper) ------------------
+
+    def read_peb(self) -> Peb:
+        """Direct PEB read — not interceptable by user-mode hooks.
+
+        This is the exact path that let sample ``cbdda64`` defeat Scarecrow
+        (it read ``NumberOfProcessors`` from the PEB instead of calling an
+        API).
+        """
+        return self.process.peb
+
+    def read_function_prologue(self, export: str, length: int = 5) -> bytes:
+        """Read an export's first code bytes — the anti-hook primitive."""
+        manager = hook_manager_of(self.process)
+        if manager is None:
+            return bytes(STANDARD_PROLOGUE[:length])
+        return manager.read_prologue(export, length)
+
+    # -- instruction-level primitives (not exports, not hookable) -----------
+
+    def cpuid(self, leaf: int) -> Dict[str, int]:
+        self.machine.clock.cpuid_cost()
+        if self.machine.hardware.cpu.cpuid_traps:
+            # VM exit: world switch into the hypervisor and back.
+            self.machine.clock.advance_ns(15_000)
+        return self.machine.hardware.cpu.cpuid(leaf)
+
+    def rdtsc(self) -> int:
+        return self.machine.clock.rdtsc()
+
+    # -- event emission used by API implementations --------------------------
+
+    def emit(self, category: str, name: str, /, **details: Any) -> None:
+        """Publish a kernel event attributed to this process."""
+        self.machine.bus.emit(category, name, self.process.pid,
+                              self.machine.clock.now_ns, **details)
+
+    # -- error code plumbing -----------------------------------------------------
+
+    def set_last_error(self, code: int) -> None:
+        self.last_error = int(code)
+
+    def get_last_error(self) -> int:
+        return self.last_error
+
+
+def _summarize_args(args: tuple) -> tuple:
+    """Keep traced args small and hashable-ish."""
+    summary = []
+    for arg in args[:4]:
+        if isinstance(arg, (str, int, bool, type(None))):
+            summary.append(arg if not isinstance(arg, str) else arg[:120])
+        elif isinstance(arg, bytes):
+            summary.append(f"<{len(arg)} bytes>")
+        else:
+            summary.append(type(arg).__name__)
+    return tuple(summary)
+
+
+def bind(machine: Machine, process: Process) -> ApiContext:
+    """Convenience constructor used all over the higher layers."""
+    return ApiContext(machine, process)

@@ -1,0 +1,37 @@
+"""dnsapi.dll — resolver cache table plus DNS queries."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .calling import ApiContext, winapi
+
+DLL = "dnsapi.dll"
+
+
+@winapi(DLL)
+def DnsGetCacheDataTable(ctx: ApiContext) -> List[Tuple[str, int]]:
+    """``(name, type)`` rows of the resolver cache.
+
+    The #1 wear-and-tear artifact: an aged end-user machine returns a long
+    table, a pristine sandbox almost nothing. Scarecrow's wear-and-tear
+    handler truncates this to 4 recent entries.
+    """
+    return [(entry.name, entry.record_type)
+            for entry in ctx.machine.dnscache.entries()]
+
+
+@winapi(DLL)
+def DnsQuery_A(ctx: ApiContext, name: str) -> Optional[str]:
+    """Resolve ``name``; ``None`` models NXDOMAIN."""
+    ip = ctx.machine.network.resolve(name)
+    ctx.emit("net", "DnsQuery", domain=name, answer=ip)
+    if ip is not None:
+        ctx.machine.dnscache.add(name)
+    return ip
+
+
+@winapi(DLL)
+def DnsFlushResolverCache(ctx: ApiContext) -> bool:
+    ctx.machine.dnscache.flush()
+    return True

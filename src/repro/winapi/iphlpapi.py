@@ -1,0 +1,26 @@
+"""iphlpapi.dll + mpr.dll — adapters (MAC OUI checks) and net providers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .calling import ApiContext, winapi
+
+
+@winapi("iphlpapi.dll")
+def GetAdaptersInfo(ctx: ApiContext) -> List[Tuple[str, str, str]]:
+    """``(name, mac, description)`` per adapter — feeds the MAC OUI probes."""
+    return [(a.name, a.mac, a.description)
+            for a in ctx.machine.network.adapters()]
+
+
+@winapi("mpr.dll")
+def WNetGetProviderNameA(ctx: ApiContext, net_type: int) -> Optional[str]:
+    """Network-provider lookup; VirtualBox Shared Folders registers one.
+
+    We model it as: the provider exists iff the ``VBoxSF`` service is
+    installed (which is how the provider gets there in reality).
+    """
+    if ctx.machine.services.exists("VBoxSF"):
+        return "VirtualBox Shared Folders"
+    return None

@@ -1,0 +1,482 @@
+"""kernel32.dll — process, module, timing, memory, disk and file APIs.
+
+Every function takes the calling :class:`~repro.winapi.calling.ApiContext`
+first; programs invoke them as ``api.call("kernel32.dll!Name", ...)`` or via
+the ``api.Name(...)`` sugar. Out-parameters become Pythonic return values
+(tuples where the real API fills multiple buffers).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..winsim.errors import Win32Error
+from ..winsim.types import (INVALID_HANDLE_VALUE, Handle, MemoryStatusEx,
+                            OsVersionInfo, SystemInfo)
+from .calling import ApiContext, winapi
+
+DLL = "kernel32.dll"
+
+#: ``GetFileAttributes`` failure sentinel.
+INVALID_FILE_ATTRIBUTES = 0xFFFFFFFF
+
+#: ``CreateProcess`` creation flag.
+CREATE_SUSPENDED = 0x00000004
+
+#: ``DeviceIoControl`` code for drive geometry.
+IOCTL_DISK_GET_DRIVE_GEOMETRY = 0x00070000
+
+
+# ---------------------------------------------------------------------------
+# Debugger presence
+# ---------------------------------------------------------------------------
+
+@winapi(DLL)
+def IsDebuggerPresent(ctx: ApiContext) -> bool:
+    """Read ``PEB.BeingDebugged`` of the calling process (via the API)."""
+    return bool(ctx.process.peb.being_debugged)
+
+
+@winapi(DLL)
+def CheckRemoteDebuggerPresent(ctx: ApiContext, pid: Optional[int] = None) -> bool:
+    target = ctx.process if pid is None else ctx.machine.processes.get(pid)
+    if target is None:
+        ctx.set_last_error(Win32Error.ERROR_INVALID_PARAMETER)
+        return False
+    return bool(target.peb.being_debugged)
+
+
+@winapi(DLL)
+def OutputDebugStringA(ctx: ApiContext, text: str) -> None:
+    """No-op sink; sets last-error the way the classic anti-debug trick probes."""
+    if not ctx.process.peb.being_debugged:
+        ctx.set_last_error(Win32Error.ERROR_INVALID_HANDLE)
+
+
+# ---------------------------------------------------------------------------
+# Timing
+# ---------------------------------------------------------------------------
+
+@winapi(DLL)
+def GetTickCount(ctx: ApiContext) -> int:
+    return ctx.machine.clock.tick_count_ms()
+
+
+@winapi(DLL)
+def Sleep(ctx: ApiContext, milliseconds: int) -> None:
+    ctx.machine.clock.sleep(float(milliseconds))
+
+
+@winapi(DLL)
+def QueryPerformanceCounter(ctx: ApiContext) -> int:
+    return ctx.machine.clock.now_ns // 100
+
+
+@winapi(DLL)
+def RaiseException(ctx: ApiContext, code: int = 0xE06D7363) -> None:
+    """Dispatch a (handled) user-mode exception.
+
+    The only observable is *time*: a debugger's first-chance interposition
+    makes the dispatch dramatically slower, which Section II-B(g)'s
+    exception-timing probes measure via tick deltas around this call.
+    """
+    profile = ctx.machine.clock.profile
+    cost = (profile.debugged_exception_dispatch_ns
+            if ctx.process.peb.being_debugged
+            else profile.exception_dispatch_ns)
+    ctx.machine.clock.advance_ns(cost)
+    ctx.emit("exception", "RaiseException", code=code)
+
+
+# ---------------------------------------------------------------------------
+# Modules
+# ---------------------------------------------------------------------------
+
+@winapi(DLL)
+def GetModuleHandleA(ctx: ApiContext, name: Optional[str]) -> Optional[int]:
+    """Return the module base or ``None`` (NULL) when not loaded."""
+    if name is None:
+        return ctx.process.modules.executable.base_address
+    module = ctx.process.modules.find(name)
+    if module is None:
+        ctx.set_last_error(Win32Error.ERROR_NOT_FOUND)
+        return None
+    return module.base_address
+
+
+@winapi(DLL)
+def GetModuleHandleW(ctx: ApiContext, name: Optional[str]) -> Optional[int]:
+    return GetModuleHandleA(ctx, name)
+
+
+@winapi(DLL)
+def LoadLibraryA(ctx: ApiContext, name: str) -> Optional[int]:
+    """Load a DLL if its image exists on disk (system DLLs always do)."""
+    module = ctx.process.modules.find(name)
+    if module is not None:
+        return module.base_address
+    system_path = f"C:\\Windows\\System32\\{name}"
+    if not ctx.machine.filesystem.exists(system_path):
+        ctx.set_last_error(Win32Error.ERROR_FILE_NOT_FOUND)
+        return None
+    loaded = ctx.process.modules.load(name, system_path)
+    ctx.emit("image", "LoadImage", name=name, injected=False)
+    return loaded.base_address
+
+
+@winapi(DLL)
+def GetModuleFileNameA(ctx: ApiContext,
+                       module_base: Optional[int] = None) -> str:
+    """Path of a loaded module; defaults to the process executable."""
+    if module_base is None:
+        return ctx.process.image_path
+    module = ctx.process.modules.module_at(module_base)
+    return module.path if module is not None else ""
+
+
+@winapi(DLL)
+def GetModuleFileNameW(ctx: ApiContext,
+                       module_base: Optional[int] = None) -> str:
+    return GetModuleFileNameA(ctx, module_base)
+
+
+@winapi(DLL)
+def GetProcAddress(ctx: ApiContext, module_base: int,
+                   proc_name: str) -> Optional[int]:
+    """Resolve an export. Knows which exports exist per OS version.
+
+    The model: an export "exists" when it is registered in the global API
+    table for that DLL, *except* version-gated ones (``IsNativeVhdBoot`` is
+    Windows 8+) and Wine's ``wine_get_unix_file_name``, which never exists
+    on real Windows.
+    """
+    module = ctx.process.modules.module_at(module_base)
+    if module is None:
+        ctx.set_last_error(Win32Error.ERROR_INVALID_HANDLE)
+        return None
+    from .calling import _BARE_NAME_INDEX  # local import avoids cycle at load
+    if proc_name == "IsNativeVhdBoot" and \
+            not ctx.machine.os_version.is_windows8_or_later:
+        ctx.set_last_error(Win32Error.ERROR_NOT_FOUND)
+        return None
+    if proc_name == "wine_get_unix_file_name":
+        ctx.set_last_error(Win32Error.ERROR_NOT_FOUND)
+        return None
+    key = _BARE_NAME_INDEX.get(proc_name)
+    if key is None or not key.startswith(module.name.lower().split(".")[0]):
+        ctx.set_last_error(Win32Error.ERROR_NOT_FOUND)
+        return None
+    return module.base_address + (hash(proc_name) & 0xFFFF)
+
+
+# ---------------------------------------------------------------------------
+# System information
+# ---------------------------------------------------------------------------
+
+@winapi(DLL)
+def GetSystemInfo(ctx: ApiContext) -> SystemInfo:
+    return ctx.machine.system_info()
+
+
+@winapi(DLL)
+def GlobalMemoryStatusEx(ctx: ApiContext) -> MemoryStatusEx:
+    return ctx.machine.memory_status()
+
+
+@winapi(DLL)
+def GetVersionExA(ctx: ApiContext) -> OsVersionInfo:
+    return ctx.machine.os_version
+
+
+@winapi(DLL)
+def GetComputerNameA(ctx: ApiContext) -> str:
+    return ctx.machine.identity.hostname
+
+
+@winapi(DLL)
+def GetCommandLineA(ctx: ApiContext) -> str:
+    return ctx.process.command_line
+
+
+@winapi(DLL)
+def IsNativeVhdBoot(ctx: ApiContext) -> Tuple[bool, bool]:
+    """Returns ``(supported, native_vhd)`` — unsupported before Windows 8."""
+    if not ctx.machine.os_version.is_windows8_or_later:
+        ctx.set_last_error(Win32Error.ERROR_INVALID_PARAMETER)
+        return (False, False)
+    return (True, False)
+
+
+@winapi(DLL)
+def GetSystemFirmwareTable(ctx: ApiContext, provider: str = "RSMB") -> bytes:
+    """Raw SMBIOS blob — what WMI Win32_BIOS queries boil down to."""
+    firmware = ctx.machine.hardware.firmware
+    fields = [firmware.bios_version, firmware.system_manufacturer,
+              firmware.system_product, firmware.video_bios_version]
+    if firmware.scsi_identifier:
+        fields.append(firmware.scsi_identifier)
+    return ("\x00".join(fields)).encode("ascii", errors="replace")
+
+
+# ---------------------------------------------------------------------------
+# Disk
+# ---------------------------------------------------------------------------
+
+@winapi(DLL)
+def GetDiskFreeSpaceExA(ctx: ApiContext,
+                        root: str = "C:\\") -> Tuple[bool, int, int]:
+    """Returns ``(ok, free_bytes, total_bytes)`` for the drive of ``root``."""
+    drive = ctx.machine.filesystem.drive(root[:2])
+    if drive is None:
+        ctx.set_last_error(Win32Error.ERROR_PATH_NOT_FOUND)
+        return (False, 0, 0)
+    return (True, drive.free_bytes, drive.total_bytes)
+
+
+@winapi(DLL)
+def DeviceIoControl(ctx: ApiContext, device: str, ioctl: int) -> Optional[dict]:
+    """Only the drive-geometry IOCTL Pafish issues is modelled."""
+    if ioctl != IOCTL_DISK_GET_DRIVE_GEOMETRY:
+        ctx.set_last_error(Win32Error.ERROR_INVALID_PARAMETER)
+        return None
+    drive = ctx.machine.filesystem.drive("C:")
+    if drive is None:
+        ctx.set_last_error(Win32Error.ERROR_PATH_NOT_FOUND)
+        return None
+    bytes_per_sector = 512
+    sectors_per_track = 63
+    tracks_per_cylinder = 255
+    cylinder_bytes = bytes_per_sector * sectors_per_track * tracks_per_cylinder
+    return {
+        "cylinders": drive.total_bytes // cylinder_bytes,
+        "tracks_per_cylinder": tracks_per_cylinder,
+        "sectors_per_track": sectors_per_track,
+        "bytes_per_sector": bytes_per_sector,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Files and devices
+# ---------------------------------------------------------------------------
+
+@winapi(DLL)
+def GetFileAttributesA(ctx: ApiContext, path: str) -> int:
+    if path.startswith("\\\\.\\"):
+        ctx.set_last_error(Win32Error.ERROR_FILE_NOT_FOUND)
+        return INVALID_FILE_ATTRIBUTES
+    node = ctx.machine.filesystem.stat(path)
+    ctx.emit("file", "QueryAttributes", path=path, found=node is not None)
+    if node is None:
+        ctx.set_last_error(Win32Error.ERROR_FILE_NOT_FOUND)
+        return INVALID_FILE_ATTRIBUTES
+    return node.attributes
+
+
+@winapi(DLL)
+def GetFileAttributesW(ctx: ApiContext, path: str) -> int:
+    return GetFileAttributesA(ctx, path)
+
+
+@winapi(DLL)
+def CreateFileA(ctx: ApiContext, path: str, write: bool = False) -> Handle:
+    """Open a file or a ``\\\\.\\`` device; returns an invalid handle on miss."""
+    machine = ctx.machine
+    if path.startswith("\\\\.\\"):
+        exists = machine.devices.exists(path)
+        ctx.emit("file", "OpenDevice", path=path, found=exists)
+        if exists:
+            return machine.handles.open({"device": path}, "device")
+        ctx.set_last_error(Win32Error.ERROR_FILE_NOT_FOUND)
+        return Handle(INVALID_HANDLE_VALUE, "device")
+    node = machine.filesystem.stat(path)
+    if not write:
+        ctx.emit("file", "OpenFile", path=path, found=node is not None)
+    if node is None and not write:
+        ctx.set_last_error(Win32Error.ERROR_FILE_NOT_FOUND)
+        return Handle(INVALID_HANDLE_VALUE, "file")
+    if write:
+        # CREATE_ALWAYS semantics: (re)create truncated.
+        machine.filesystem.write_file(
+            path, b"", when_ms=machine.clock.tick_count_ms())
+        ctx.emit("file", "CreateFile", path=path, write=True)
+    return machine.handles.open({"path": path, "write": write}, "file")
+
+
+@winapi(DLL)
+def CreateFileW(ctx: ApiContext, path: str, write: bool = False) -> Handle:
+    return CreateFileA(ctx, path, write)
+
+
+@winapi(DLL)
+def WriteFile(ctx: ApiContext, handle: Handle, data: bytes) -> bool:
+    obj = ctx.machine.handles.resolve(handle, "file")
+    if obj is None:
+        ctx.set_last_error(Win32Error.ERROR_INVALID_HANDLE)
+        return False
+    existing = ctx.machine.filesystem.read_file(obj["path"]) or b""
+    ctx.machine.filesystem.write_file(
+        obj["path"], existing + data,
+        when_ms=ctx.machine.clock.tick_count_ms())
+    ctx.emit("file", "WriteFile", path=obj["path"], size=len(data))
+    return True
+
+
+@winapi(DLL)
+def ReadFile(ctx: ApiContext, handle: Handle) -> Optional[bytes]:
+    obj = ctx.machine.handles.resolve(handle, "file")
+    if obj is None:
+        ctx.set_last_error(Win32Error.ERROR_INVALID_HANDLE)
+        return None
+    return ctx.machine.filesystem.read_file(obj["path"])
+
+
+@winapi(DLL)
+def CloseHandle(ctx: ApiContext, handle: Handle) -> bool:
+    return ctx.machine.handles.close(handle)
+
+
+@winapi(DLL)
+def DeleteFileA(ctx: ApiContext, path: str) -> bool:
+    deleted = ctx.machine.filesystem.delete(path)
+    if deleted:
+        ctx.emit("file", "DeleteFile", path=path)
+    else:
+        ctx.set_last_error(Win32Error.ERROR_FILE_NOT_FOUND)
+    return deleted
+
+
+@winapi(DLL)
+def MoveFileA(ctx: ApiContext, src: str, dst: str) -> bool:
+    moved = ctx.machine.filesystem.rename(
+        src, dst, when_ms=ctx.machine.clock.tick_count_ms())
+    if moved:
+        ctx.emit("file", "RenameFile", path=src, new_path=dst)
+    return moved
+
+
+@winapi(DLL)
+def CreateDirectoryA(ctx: ApiContext, path: str) -> bool:
+    ctx.machine.filesystem.makedirs(
+        path, when_ms=ctx.machine.clock.tick_count_ms())
+    ctx.emit("file", "CreateDirectory", path=path)
+    return True
+
+
+@winapi(DLL)
+def FindFirstFileA(ctx: ApiContext, pattern: str) -> Optional[str]:
+    """Match ``C:\\dir\\*.ext``; returns the first matching name or ``None``."""
+    directory, _, mask = pattern.rpartition("\\")
+    matches = ctx.machine.filesystem.glob(directory, mask)
+    if not matches:
+        ctx.set_last_error(Win32Error.ERROR_FILE_NOT_FOUND)
+        return None
+    return matches[0]
+
+
+# ---------------------------------------------------------------------------
+# Named mutexes
+# ---------------------------------------------------------------------------
+
+@winapi(DLL)
+def CreateMutexA(ctx: ApiContext, name: Optional[str]) -> Handle:
+    """Create/open a named mutex; sets ERROR_ALREADY_EXISTS when it existed.
+
+    The single-instance-guard idiom: malware calls this with its marker
+    name and exits if the mutex was already there — the surface the
+    vaccination baseline exploits.
+    """
+    if name is None:
+        return ctx.machine.handles.open({"mutex": None}, "mutex")
+    created = ctx.machine.mutexes.create(name)
+    ctx.set_last_error(Win32Error.ERROR_SUCCESS if created
+                       else 183)  # ERROR_ALREADY_EXISTS
+    ctx.emit("mutex", "CreateMutex", name=name, existed=not created)
+    return ctx.machine.handles.open({"mutex": name}, "mutex")
+
+
+@winapi(DLL)
+def OpenMutexA(ctx: ApiContext, name: str) -> Optional[Handle]:
+    """Open an existing named mutex; ``None`` (NULL) when absent."""
+    if not ctx.machine.mutexes.exists(name):
+        ctx.set_last_error(Win32Error.ERROR_FILE_NOT_FOUND)
+        return None
+    return ctx.machine.handles.open({"mutex": name}, "mutex")
+
+
+# ---------------------------------------------------------------------------
+# Processes
+# ---------------------------------------------------------------------------
+
+@winapi(DLL)
+def CreateProcessA(ctx: ApiContext, image_path: str, command_line: str = "",
+                   creation_flags: int = 0):
+    """Spawn a child of the calling process; returns the Process object.
+
+    The returned object doubles as the process handle in the simulation.
+    """
+    name = image_path.rsplit("\\", 1)[-1]
+    child = ctx.machine.spawn_process(
+        name, image_path, parent=ctx.process,
+        command_line=command_line or image_path,
+        suspended=bool(creation_flags & CREATE_SUSPENDED))
+    # Untrusted lineage is contagious: children of an untrusted process
+    # are untrusted too (Scarecrow relies on this for kill protection).
+    if ctx.process.tags.get("untrusted"):
+        child.tags["untrusted"] = True
+    return child
+
+
+@winapi(DLL)
+def CreateProcessW(ctx: ApiContext, image_path: str, command_line: str = "",
+                   creation_flags: int = 0):
+    return CreateProcessA(ctx, image_path, command_line, creation_flags)
+
+
+@winapi(DLL)
+def TerminateProcess(ctx: ApiContext, pid: int, exit_code: int = 0) -> bool:
+    """Kill ``pid``. Scarecrow-protected processes resist untrusted callers."""
+    untrusted = bool(ctx.process.tags.get("untrusted"))
+    ok = ctx.machine.processes.terminate(pid, exit_code,
+                                         by_untrusted=untrusted)
+    if not ok:
+        ctx.set_last_error(Win32Error.ERROR_ACCESS_DENIED)
+    return ok
+
+
+@winapi(DLL)
+def ExitProcess(ctx: ApiContext, exit_code: int = 0) -> None:
+    ctx.machine.processes.terminate(ctx.process.pid, exit_code)
+
+
+@winapi(DLL)
+def CreateToolhelp32Snapshot(ctx: ApiContext) -> Handle:
+    """Snapshot the live process list for Process32First/Next iteration."""
+    entries = [(p.pid, p.name) for p in ctx.machine.processes.running()]
+    ctx.emit("process", "EnumProcesses", name="SystemProcessList",
+             count=len(entries))
+    return ctx.machine.handles.open({"entries": entries, "index": 0},
+                                    "toolhelp")
+
+
+@winapi(DLL)
+def Process32First(ctx: ApiContext, snapshot: Handle) -> Optional[Tuple[int, str]]:
+    obj = ctx.machine.handles.resolve(snapshot, "toolhelp")
+    if obj is None:
+        ctx.set_last_error(Win32Error.ERROR_INVALID_HANDLE)
+        return None
+    obj["index"] = 0
+    return Process32Next(ctx, snapshot)
+
+
+@winapi(DLL)
+def Process32Next(ctx: ApiContext, snapshot: Handle) -> Optional[Tuple[int, str]]:
+    obj = ctx.machine.handles.resolve(snapshot, "toolhelp")
+    if obj is None:
+        ctx.set_last_error(Win32Error.ERROR_INVALID_HANDLE)
+        return None
+    if obj["index"] >= len(obj["entries"]):
+        ctx.set_last_error(Win32Error.ERROR_NO_MORE_ITEMS)
+        return None
+    entry = obj["entries"][obj["index"]]
+    obj["index"] += 1
+    return entry

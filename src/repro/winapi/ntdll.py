@@ -1,0 +1,211 @@
+"""ntdll.dll — the native API surface evasive malware prefers.
+
+Calling ``Nt*`` directly is itself an evasion trick (it skips Win32-layer
+hooks), which is why Scarecrow hooks these too. Handles returned by
+``NtOpenKeyEx`` live in the machine handle table so ``NtQueryKey`` /
+``NtQueryValueKey`` can be issued against them exactly as real malware
+chains the calls.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional, Tuple
+
+from ..winsim.errors import NtStatus
+from ..winsim.types import Handle, INVALID_HANDLE_VALUE
+from .calling import ApiContext, winapi
+
+DLL = "ntdll.dll"
+
+
+class SystemInformationClass(enum.IntEnum):
+    """``NtQuerySystemInformation`` classes used by fingerprinting code."""
+
+    SystemBasicInformation = 0
+    SystemProcessInformation = 5
+    SystemKernelDebuggerInformation = 35
+    SystemRegistryQuotaInformation = 37
+
+
+class ProcessInformationClass(enum.IntEnum):
+    """``NtQueryInformationProcess`` classes used by anti-debug code."""
+
+    ProcessBasicInformation = 0
+    ProcessDebugPort = 7
+    ProcessDebugObjectHandle = 30
+    ProcessDebugFlags = 31
+
+
+# ---------------------------------------------------------------------------
+# Registry (native path)
+# ---------------------------------------------------------------------------
+
+@winapi(DLL)
+def NtOpenKeyEx(ctx: ApiContext, path: str) -> Tuple[int, Handle]:
+    """Open a registry key by full path; ``(STATUS, handle)``."""
+    key = ctx.machine.registry.open_key(path)
+    ctx.emit("registry", "RegOpenKey", key=path,
+             found=key is not None, native=True)
+    if key is None:
+        return (NtStatus.STATUS_OBJECT_NAME_NOT_FOUND,
+                Handle(INVALID_HANDLE_VALUE, "key"))
+    return (NtStatus.STATUS_SUCCESS, ctx.machine.handles.open(key, "key"))
+
+
+@winapi(DLL)
+def NtQueryKey(ctx: ApiContext, handle: Handle) -> Tuple[int, Optional[dict]]:
+    """Key cardinality info: subkey and value counts (KEY_FULL_INFORMATION)."""
+    key = ctx.machine.handles.resolve(handle, "key")
+    if key is None:
+        return (NtStatus.STATUS_INVALID_HANDLE, None)
+    return (NtStatus.STATUS_SUCCESS,
+            {"subkeys": key.subkey_count(), "values": key.value_count(),
+             "name": key.name})
+
+
+@winapi(DLL)
+def NtQueryValueKey(ctx: ApiContext, handle: Handle,
+                    name: str) -> Tuple[int, Optional[Any]]:
+    key = ctx.machine.handles.resolve(handle, "key")
+    if key is None:
+        return (NtStatus.STATUS_INVALID_HANDLE, None)
+    value = key.get_value(name)
+    ctx.emit("registry", "RegQueryValue", key=key.path(), value=name,
+             found=value is not None, native=True)
+    if value is None:
+        return (NtStatus.STATUS_OBJECT_NAME_NOT_FOUND, None)
+    return (NtStatus.STATUS_SUCCESS, value.data)
+
+
+@winapi(DLL)
+def NtEnumerateKey(ctx: ApiContext, handle: Handle,
+                   index: int) -> Tuple[int, Optional[str]]:
+    key = ctx.machine.handles.resolve(handle, "key")
+    if key is None:
+        return (NtStatus.STATUS_INVALID_HANDLE, None)
+    names = key.subkey_names()
+    if index >= len(names):
+        return (NtStatus.STATUS_NO_MORE_ENTRIES, None)
+    return (NtStatus.STATUS_SUCCESS, names[index])
+
+
+@winapi(DLL)
+def NtEnumerateValueKey(ctx: ApiContext, handle: Handle,
+                        index: int) -> Tuple[int, Optional[Tuple[str, Any]]]:
+    key = ctx.machine.handles.resolve(handle, "key")
+    if key is None:
+        return (NtStatus.STATUS_INVALID_HANDLE, None)
+    values = key.values()
+    if index >= len(values):
+        return (NtStatus.STATUS_NO_MORE_ENTRIES, None)
+    return (NtStatus.STATUS_SUCCESS, (values[index].name, values[index].data))
+
+
+# ---------------------------------------------------------------------------
+# Files (native path)
+# ---------------------------------------------------------------------------
+
+@winapi(DLL)
+def NtQueryAttributesFile(ctx: ApiContext, path: str) -> Tuple[int, Optional[int]]:
+    """Existence + attributes probe — the ``vmmouse.sys`` check of Table I."""
+    node = ctx.machine.filesystem.stat(path)
+    ctx.emit("file", "QueryAttributes", path=path, found=node is not None)
+    if node is None:
+        return (NtStatus.STATUS_OBJECT_NAME_NOT_FOUND, None)
+    return (NtStatus.STATUS_SUCCESS, node.attributes)
+
+
+@winapi(DLL)
+def NtCreateFile(ctx: ApiContext, path: str,
+                 write: bool = False) -> Tuple[int, Handle]:
+    if path.startswith("\\\\.\\"):
+        exists = ctx.machine.devices.exists(path)
+        ctx.emit("file", "OpenDevice", path=path, found=exists, native=True)
+        if exists:
+            return (NtStatus.STATUS_SUCCESS,
+                    ctx.machine.handles.open({"device": path}, "device"))
+        return (NtStatus.STATUS_OBJECT_NAME_NOT_FOUND,
+                Handle(INVALID_HANDLE_VALUE, "device"))
+    node = ctx.machine.filesystem.stat(path)
+    if node is None and not write:
+        return (NtStatus.STATUS_NO_SUCH_FILE,
+                Handle(INVALID_HANDLE_VALUE, "file"))
+    if write:
+        # FILE_OVERWRITE_IF semantics: (re)create truncated.
+        ctx.machine.filesystem.write_file(
+            path, b"", when_ms=ctx.machine.clock.tick_count_ms())
+        ctx.emit("file", "CreateFile", path=path, write=True, native=True)
+    return (NtStatus.STATUS_SUCCESS,
+            ctx.machine.handles.open({"path": path, "write": write}, "file"))
+
+
+@winapi(DLL)
+def NtClose(ctx: ApiContext, handle: Handle) -> int:
+    return (NtStatus.STATUS_SUCCESS if ctx.machine.handles.close(handle)
+            else NtStatus.STATUS_INVALID_HANDLE)
+
+
+# ---------------------------------------------------------------------------
+# System / process information
+# ---------------------------------------------------------------------------
+
+@winapi(DLL)
+def NtQuerySystemInformation(ctx: ApiContext,
+                             info_class: int) -> Tuple[int, Optional[Any]]:
+    machine = ctx.machine
+    if info_class == SystemInformationClass.SystemBasicInformation:
+        return (NtStatus.STATUS_SUCCESS,
+                {"number_of_processors": machine.hardware.cpu.cores,
+                 "physical_pages": machine.hardware.total_ram // 4096})
+    if info_class == SystemInformationClass.SystemProcessInformation:
+        return (NtStatus.STATUS_SUCCESS,
+                [{"pid": p.pid, "name": p.name, "ppid": p.parent_pid}
+                 for p in machine.processes.running()])
+    if info_class == SystemInformationClass.SystemKernelDebuggerInformation:
+        return (NtStatus.STATUS_SUCCESS,
+                {"debugger_enabled": False, "debugger_not_present": True})
+    if info_class == SystemInformationClass.SystemRegistryQuotaInformation:
+        return (NtStatus.STATUS_SUCCESS,
+                {"registry_quota_allowed": 0x20000000,
+                 "registry_quota_used": machine.registry.estimated_size_bytes()})
+    return (NtStatus.STATUS_INVALID_PARAMETER, None)
+
+
+@winapi(DLL)
+def NtQueryInformationProcess(ctx: ApiContext, info_class: int,
+                              pid: Optional[int] = None
+                              ) -> Tuple[int, Optional[Any]]:
+    process = ctx.process if pid is None else ctx.machine.processes.get(pid)
+    if process is None:
+        return (NtStatus.STATUS_INVALID_PARAMETER, None)
+    if info_class == ProcessInformationClass.ProcessBasicInformation:
+        return (NtStatus.STATUS_SUCCESS,
+                {"pid": process.pid, "parent_pid": process.parent_pid,
+                 "peb_being_debugged": process.peb.being_debugged})
+    if info_class == ProcessInformationClass.ProcessDebugPort:
+        return (NtStatus.STATUS_SUCCESS,
+                0xFFFFFFFF if process.peb.being_debugged else 0)
+    if info_class == ProcessInformationClass.ProcessDebugFlags:
+        # NoDebugInherit == 0 means "being debugged".
+        return (NtStatus.STATUS_SUCCESS,
+                0 if process.peb.being_debugged else 1)
+    if info_class == ProcessInformationClass.ProcessDebugObjectHandle:
+        if process.peb.being_debugged:
+            return (NtStatus.STATUS_SUCCESS, 0x1234)
+        return (NtStatus.STATUS_OBJECT_NAME_NOT_FOUND, None)
+    return (NtStatus.STATUS_INVALID_PARAMETER, None)
+
+
+@winapi(DLL)
+def NtDelayExecution(ctx: ApiContext, milliseconds: int) -> int:
+    ctx.machine.clock.sleep(float(milliseconds))
+    return NtStatus.STATUS_SUCCESS
+
+
+@winapi(DLL)
+def NtSetInformationThread(ctx: ApiContext, info_class: int,
+                           value: Any = None) -> int:
+    """ThreadHideFromDebugger et al. — accepted and recorded, no behaviour."""
+    ctx.process.tags.setdefault("thread_info_set", []).append(info_class)
+    return NtStatus.STATUS_SUCCESS

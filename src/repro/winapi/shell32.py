@@ -1,0 +1,25 @@
+"""shell32.dll — only ``ShellExecuteExW``, which Cuckoo's monitor hooks.
+
+Pafish's Hook category reads this export's prologue; in our Cuckoo-sandbox
+environment the sandbox monitor installs an inline hook here, so the probe
+fires exactly as in Table II.
+"""
+
+from __future__ import annotations
+
+from .calling import ApiContext, winapi
+
+DLL = "shell32.dll"
+
+
+@winapi(DLL)
+def ShellExecuteExW(ctx: ApiContext, image_path: str,
+                    parameters: str = ""):
+    """Launch via the shell; parent becomes the caller, as with CreateProcess."""
+    name = image_path.rsplit("\\", 1)[-1]
+    child = ctx.machine.spawn_process(
+        name, image_path, parent=ctx.process,
+        command_line=f"{image_path} {parameters}".strip())
+    if ctx.process.tags.get("untrusted"):
+        child.tags["untrusted"] = True
+    return child

@@ -1,0 +1,58 @@
+"""user32.dll — window and input surface."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..winsim.errors import Win32Error
+from .calling import ApiContext, winapi
+
+DLL = "user32.dll"
+
+
+@winapi(DLL)
+def FindWindowA(ctx: ApiContext, class_name: Optional[str],
+                title: Optional[str] = None) -> Optional[int]:
+    """HWND of the first window matching class/title, or ``None``.
+
+    This is the debugger-window probe of Section II-B(d): malware passes
+    ``"OLLYDBG"`` / ``"WinDbgFrameClass"`` and treats a hit as a debugger.
+    """
+    window = ctx.machine.gui.find_window(class_name, title)
+    if window is None:
+        ctx.set_last_error(Win32Error.ERROR_NOT_FOUND)
+        return None
+    return window.hwnd
+
+
+@winapi(DLL)
+def FindWindowW(ctx: ApiContext, class_name: Optional[str],
+                title: Optional[str] = None) -> Optional[int]:
+    return FindWindowA(ctx, class_name, title)
+
+
+@winapi(DLL)
+def GetCursorPos(ctx: ApiContext) -> Tuple[int, int]:
+    return ctx.machine.gui.cursor_at_time(ctx.machine.clock.now_ns)
+
+
+@winapi(DLL)
+def GetForegroundWindow(ctx: ApiContext) -> Optional[int]:
+    windows = ctx.machine.gui.windows()
+    return windows[-1].hwnd if windows else None
+
+
+@winapi(DLL)
+def EnumWindows(ctx: ApiContext) -> List[Tuple[int, Optional[str], Optional[str]]]:
+    """``(hwnd, class_name, title)`` of every top-level window."""
+    return [(w.hwnd, w.class_name, w.title) for w in ctx.machine.gui.windows()]
+
+
+@winapi(DLL)
+def GetSystemMetrics(ctx: ApiContext, index: int) -> int:
+    # SM_CXSCREEN / SM_CYSCREEN: a plausible desktop resolution.
+    if index == 0:
+        return 1920
+    if index == 1:
+        return 1080
+    return 0

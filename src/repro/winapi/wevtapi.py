@@ -1,0 +1,44 @@
+"""wevtapi.dll — event log query surface for the wear-and-tear artifacts."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..winsim.errors import Win32Error
+from ..winsim.eventlog import EventRecord
+from ..winsim.types import Handle, INVALID_HANDLE_VALUE
+from .calling import ApiContext, winapi
+
+DLL = "wevtapi.dll"
+
+
+@winapi(DLL)
+def EvtQuery(ctx: ApiContext, channel: str = "System") -> Handle:
+    log = ctx.machine.eventlog
+    if log.channel.lower() != channel.lower():
+        ctx.set_last_error(Win32Error.ERROR_NOT_FOUND)
+        return Handle(INVALID_HANDLE_VALUE, "event_query")
+    cursor = {"records": log.records(), "index": 0}
+    return ctx.machine.handles.open(cursor, "event_query")
+
+
+@winapi(DLL)
+def EvtNext(ctx: ApiContext, query: Handle,
+            count: int = 64) -> Optional[List[EventRecord]]:
+    """Next batch of records; ``None`` once exhausted (ERROR_NO_MORE_ITEMS).
+
+    Scarecrow's ``sysevt``/``syssrc`` deception hooks exactly here and caps
+    the total records yielded at the sandbox-typical 8,000.
+    """
+    cursor = ctx.machine.handles.resolve(query, "event_query")
+    if cursor is None:
+        ctx.set_last_error(Win32Error.ERROR_INVALID_HANDLE)
+        return None
+    records = cursor["records"]
+    index = cursor["index"]
+    if index >= len(records):
+        ctx.set_last_error(Win32Error.ERROR_NO_MORE_ITEMS)
+        return None
+    batch = records[index:index + count]
+    cursor["index"] = index + len(batch)
+    return batch

@@ -1,0 +1,36 @@
+"""ws2_32.dll + wininet.dll — sockets-level resolution and HTTP probing."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .calling import ApiContext, winapi
+
+
+@winapi("ws2_32.dll")
+def gethostbyname(ctx: ApiContext, name: str) -> Optional[str]:
+    """Classic resolver entry point; ``None`` models WSAHOST_NOT_FOUND."""
+    ip = ctx.machine.network.resolve(name)
+    ctx.emit("net", "DnsQuery", domain=name, answer=ip)
+    if ip is not None:
+        ctx.machine.dnscache.add(name)
+    return ip
+
+
+@winapi("wininet.dll")
+def InternetOpenUrlA(ctx: ApiContext, url: str) -> bool:
+    """``True`` when an HTTP GET to ``url``'s host gets any response.
+
+    This is the exact call shape of the WannaCry kill switch: resolve the
+    hard-coded domain, try an HTTP GET, and *exit if it succeeds*.
+    """
+    host = url.split("//", 1)[-1].split("/", 1)[0]
+    ip = ctx.machine.network.resolve(host)
+    reachable = ctx.machine.network.http_get(ip)
+    ctx.emit("net", "HttpGet", domain=host, answer=ip, reachable=reachable)
+    return reachable
+
+
+@winapi("wininet.dll")
+def InternetCheckConnectionA(ctx: ApiContext, url: str) -> bool:
+    return InternetOpenUrlA(ctx, url)

@@ -1,0 +1,38 @@
+"""Simulated Windows substrate.
+
+Every resource an evasive-malware fingerprint can observe — registry,
+filesystem, processes (with PEB), loaded modules, GUI windows, device
+namespace, services, event log, DNS cache, network stack, CPU/firmware,
+virtual clock — modelled as one :class:`~repro.winsim.machine.Machine`.
+"""
+
+from .clock import TimingProfile, VirtualClock
+from .devices import DeviceNamespace
+from .dnscache import DnsCache, DnsCacheEntry
+from .errors import NtStatus, Win32Error, nt_success
+from .eventlog import EventLog, EventRecord
+from .filesystem import FileSystem
+from .gui import Window, WindowManager
+from .hardware import Cpu, Firmware, Hardware
+from .machine import Machine, MachineIdentity
+from .modules import Module, ModuleList
+from .mutexes import MutexNamespace
+from .network import Adapter, NetworkStack
+from .process import Process, ProcessState, ProcessTable
+from .registry import Registry, RegistryKey, RegistryValue, RegType
+from .services import Service, ServiceManager, ServiceState
+from .types import (GIB, KIB, MIB, Handle, HandleTable, MemoryStatusEx,
+                    OsVersionInfo, Peb, SystemInfo)
+
+__all__ = [
+    "Adapter", "Cpu", "DeviceNamespace", "DnsCache", "DnsCacheEntry",
+    "EventLog", "EventRecord", "FileSystem", "Firmware", "GIB", "Handle",
+    "HandleTable", "Hardware", "KIB", "Machine", "MachineIdentity",
+    "MemoryStatusEx", "MIB", "Module", "ModuleList", "MutexNamespace",
+    "NetworkStack",
+    "NtStatus", "OsVersionInfo", "Peb", "Process", "ProcessState",
+    "ProcessTable", "Registry", "RegistryKey", "RegistryValue", "RegType",
+    "Service", "ServiceManager", "ServiceState", "SystemInfo",
+    "TimingProfile", "VirtualClock", "Win32Error", "Window", "WindowManager",
+    "nt_success",
+]

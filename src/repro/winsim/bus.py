@@ -1,0 +1,68 @@
+"""Machine-wide event bus.
+
+Every observable action in the simulation — API calls, file writes,
+registry mutations, process creation/termination, DNS queries — is
+published here as a :class:`KernelEvent`. The Fibratus-substitute tracer
+(:mod:`repro.analysis.tracer`) is just a subscriber; so is Scarecrow's
+controller when it records fingerprint attempts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelEvent:
+    """One machine-level event.
+
+    ``category`` mirrors Fibratus event classes: ``process``, ``thread``,
+    ``file``, ``registry``, ``net``, ``image`` (DLL load/unload), ``api``.
+    ``name`` is the concrete operation (``CreateProcess``, ``RegOpenKey``,
+    ``WriteFile``...). ``pid`` is the acting process. ``details`` carries
+    operation-specific fields (paths, key names, domains, flags).
+    """
+
+    category: str
+    name: str
+    pid: int
+    timestamp_ns: int
+    details: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def detail(self, key: str, default: Any = None) -> Any:
+        return self.details.get(key, default)
+
+
+Subscriber = Callable[[KernelEvent], None]
+
+
+class EventBus:
+    """Synchronous fan-out publisher."""
+
+    def __init__(self) -> None:
+        self._subscribers: List[Subscriber] = []
+
+    def subscribe(self, callback: Subscriber) -> Callable[[], None]:
+        """Attach ``callback``; returns an unsubscribe function."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
+
+        return unsubscribe
+
+    def publish(self, event: KernelEvent) -> None:
+        for callback in list(self._subscribers):
+            callback(event)
+
+    def emit(self, category: str, name: str, pid: int, timestamp_ns: int,
+             /, **details: Any) -> KernelEvent:
+        event = KernelEvent(category, name, pid, timestamp_ns, details)
+        self.publish(event)
+        return event
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)

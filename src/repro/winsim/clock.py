@@ -1,0 +1,118 @@
+"""Virtual time for the simulated machine.
+
+All timing-sensitive behaviour in the reproduction — ``GetTickCount`` deltas,
+``RDTSC`` pairs around ``CPUID``, ``Sleep`` acceleration detection — runs off
+this deterministic clock rather than the host's. That keeps every experiment
+reproducible and lets environment builders model the *relationships* the
+paper relies on (e.g. a hypervisor's CPUID trap inflating RDTSC deltas by
+orders of magnitude) without depending on real silicon.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+#: Nominal TSC frequency of the simulated CPU, ticks per second.
+TSC_HZ = 2_400_000_000
+
+#: Windows FILETIME epoch offset handling is not needed; we keep an abstract
+#: nanosecond timeline starting at machine boot.
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+@dataclasses.dataclass
+class TimingProfile:
+    """Per-environment timing characteristics.
+
+    ``cpuid_overhead_ns`` is the extra wall time a CPUID instruction costs.
+    On bare metal this is ~100-200 cycles; under a trapping hypervisor the
+    VM exit costs thousands of cycles, which is exactly what Pafish's
+    ``rdtsc_diff_vmexit`` measures. ``rdtsc_jitter_ns`` adds deterministic
+    pseudo-jitter so back-to-back RDTSC reads are never identical.
+    """
+
+    cpuid_overhead_ns: int = 60
+    rdtsc_base_cost_ns: int = 10
+    rdtsc_jitter_ns: int = 4
+    sleep_acceleration: float = 1.0  # >1.0 means sandbox fast-forwards sleeps
+    tick_resolution_ms: int = 16  # GetTickCount granularity
+    #: Cost of dispatching one user-mode exception. Debuggers interpose on
+    #: the dispatch path (first-chance handling), inflating this by orders
+    #: of magnitude — the Section II-B(g) side channel.
+    exception_dispatch_ns: int = 900
+    debugged_exception_dispatch_ns: int = 220_000
+
+
+class VirtualClock:
+    """Deterministic monotonically-advancing clock.
+
+    Time only moves when simulated work happens (API calls, sleeps,
+    instruction execution), which is enough for every timing probe in the
+    paper and keeps runs bit-for-bit reproducible.
+    """
+
+    def __init__(self, profile: Optional[TimingProfile] = None,
+                 boot_tick_ms: int = 19_237_512) -> None:
+        # Boot tick: real end-user machines have large uptimes; sandboxes
+        # reboot constantly. Environment builders override this.
+        self.profile = profile or TimingProfile()
+        self._ns = boot_tick_ms * NS_PER_MS
+        self._jitter_state = 0x9E3779B9
+
+    # -- advancing ---------------------------------------------------------
+
+    def advance_ns(self, ns: int) -> None:
+        """Advance the timeline by ``ns`` nanoseconds of simulated work."""
+        if ns < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._ns += ns
+
+    def advance_ms(self, ms: float) -> None:
+        self.advance_ns(int(ms * NS_PER_MS))
+
+    def sleep(self, ms: float) -> float:
+        """Simulate ``Sleep(ms)``; returns the wall ms actually elapsed.
+
+        Sandboxes that fast-forward sleeps advance the *tick* clock by the
+        full duration while burning less wall time; from inside the machine
+        the only observable is the tick delta, so we advance by the full
+        requested duration scaled down by acceleration errors is modelled
+        in :mod:`repro.winapi.kernel32` where both clocks are compared.
+        """
+        elapsed = ms / self.profile.sleep_acceleration
+        self.advance_ms(ms)
+        return elapsed
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def now_ns(self) -> int:
+        return self._ns
+
+    def tick_count_ms(self) -> int:
+        """``GetTickCount``: milliseconds since boot, at timer granularity."""
+        ms = self._ns // NS_PER_MS
+        res = self.profile.tick_resolution_ms
+        return (ms // res) * res
+
+    def rdtsc(self) -> int:
+        """Read the simulated time-stamp counter (with pseudo-jitter)."""
+        self._jitter_state = (self._jitter_state * 1103515245 + 12345) & 0xFFFFFFFF
+        jitter = self._jitter_state % max(1, self.profile.rdtsc_jitter_ns)
+        self.advance_ns(self.profile.rdtsc_base_cost_ns + jitter)
+        return (self._ns * TSC_HZ) // NS_PER_S
+
+    def cpuid_cost(self) -> None:
+        """Charge the timeline for one CPUID execution."""
+        self.advance_ns(self.profile.cpuid_overhead_ns)
+
+    def snapshot(self) -> dict:
+        return {"ns": self._ns, "jitter": self._jitter_state,
+                "profile": dataclasses.replace(self.profile)}
+
+    def restore(self, state: dict) -> None:
+        self._ns = state["ns"]
+        self._jitter_state = state["jitter"]
+        self.profile = dataclasses.replace(state["profile"])

@@ -1,0 +1,54 @@
+r"""Device namespace (``\\.\...``) of the simulated machine.
+
+Pafish and real malware probe VM guest devices by opening names like
+``\\.\VBoxGuest``, ``\\.\VBoxMiniRdrDN``, ``\\.\vmci`` and ``\\.\HGFS``.
+A successful ``CreateFile`` on one of these is hard evidence of a VM guest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+def normalize_device_name(name: str) -> str:
+    r"""Normalize ``\\.\VBoxGuest`` / ``\\\\.\\VBoxGuest`` to ``vboxguest``."""
+    stripped = name.replace("/", "\\")
+    while stripped.startswith("\\"):
+        stripped = stripped[1:]
+    if stripped.startswith(".\\"):
+        stripped = stripped[2:]
+    return stripped.lower()
+
+
+class DeviceNamespace:
+    """Openable device objects, by normalized name."""
+
+    def __init__(self) -> None:
+        self._devices: Dict[str, str] = {}  # normalized -> display name
+
+    def register(self, name: str) -> None:
+        self._devices[normalize_device_name(name)] = name
+
+    def unregister(self, name: str) -> bool:
+        return self._devices.pop(normalize_device_name(name), None) is not None
+
+    def exists(self, name: str) -> bool:
+        return normalize_device_name(name) in self._devices
+
+    def names(self) -> List[str]:
+        return list(self._devices.values())
+
+    def snapshot(self) -> dict:
+        return dict(self._devices)
+
+    def restore(self, state: dict) -> None:
+        self._devices = dict(state)
+
+
+#: Devices exposed by VirtualBox Guest Additions.
+VBOX_DEVICES = ("\\\\.\\VBoxMiniRdrDN", "\\\\.\\VBoxGuest",
+                "\\\\.\\VBoxTrayIPC", "\\\\.\\pipe\\VBoxMiniRdDN",
+                "\\\\.\\pipe\\VBoxTrayIPC")
+
+#: Devices exposed by VMware Tools.
+VMWARE_DEVICES = ("\\\\.\\HGFS", "\\\\.\\vmci")

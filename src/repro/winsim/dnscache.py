@@ -1,0 +1,55 @@
+"""Resolver cache of the simulated machine.
+
+The top wear-and-tear artifact in Miramirkhani et al. is
+``dnscacheEntries`` — the number of entries ``DnsGetCacheDataTable``
+returns. Browsing users accumulate hundreds of cached names; a sandbox
+that has resolved almost nothing has a near-empty cache. Scarecrow's
+wear-and-tear extension truncates the returned table to 4 entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List
+
+
+@dataclasses.dataclass(frozen=True)
+class DnsCacheEntry:
+    name: str
+    record_type: int = 1  # A record
+    ttl: int = 300
+
+
+class DnsCache:
+    """Ordered DNS cache (most recent last)."""
+
+    def __init__(self) -> None:
+        self._entries: List[DnsCacheEntry] = []
+
+    def add(self, name: str, record_type: int = 1, ttl: int = 300) -> None:
+        entry = DnsCacheEntry(name.lower(), record_type, ttl)
+        # Re-resolving moves the entry to most-recent position.
+        self._entries = [e for e in self._entries if e.name != entry.name]
+        self._entries.append(entry)
+
+    def populate(self, names: Iterable[str]) -> None:
+        for name in names:
+            self.add(name)
+
+    def entries(self) -> List[DnsCacheEntry]:
+        return list(self._entries)
+
+    def recent(self, limit: int) -> List[DnsCacheEntry]:
+        return self._entries[-limit:] if limit > 0 else []
+
+    def count(self) -> int:
+        return len(self._entries)
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def snapshot(self) -> dict:
+        return {"entries": list(self._entries)}
+
+    def restore(self, state: dict) -> None:
+        self._entries = list(state["entries"])

@@ -1,0 +1,84 @@
+"""Windows status and error codes used throughout the simulated substrate.
+
+The simulated Win32 layer (:mod:`repro.winapi`) mirrors the real API
+convention: Win32 functions return ``ERROR_*`` codes (``ERROR_SUCCESS`` on
+success) while native (``Nt*``) functions return ``STATUS_*`` NTSTATUS
+values. Evasive malware branches on these exact values — e.g. a registry
+probe treats ``ERROR_SUCCESS`` from ``RegOpenKeyEx`` on a VirtualBox key as
+proof of a VM — so we reproduce the numeric constants faithfully.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Win32Error(enum.IntEnum):
+    """Win32 last-error / return codes (subset relevant to fingerprinting)."""
+
+    ERROR_SUCCESS = 0
+    ERROR_FILE_NOT_FOUND = 2
+    ERROR_PATH_NOT_FOUND = 3
+    ERROR_ACCESS_DENIED = 5
+    ERROR_INVALID_HANDLE = 6
+    ERROR_NOT_ENOUGH_MEMORY = 8
+    ERROR_INVALID_PARAMETER = 87
+    ERROR_INSUFFICIENT_BUFFER = 122
+    ERROR_MORE_DATA = 234
+    ERROR_NO_MORE_ITEMS = 259
+    ERROR_SERVICE_DOES_NOT_EXIST = 1060
+    ERROR_NOT_FOUND = 1168
+
+
+class NtStatus(enum.IntEnum):
+    """NTSTATUS values (subset relevant to fingerprinting)."""
+
+    STATUS_SUCCESS = 0x00000000
+    STATUS_BUFFER_OVERFLOW = 0x80000005
+    STATUS_NO_MORE_ENTRIES = 0x8000001A
+    STATUS_INFO_LENGTH_MISMATCH = 0xC0000004
+    STATUS_ACCESS_VIOLATION = 0xC0000005
+    STATUS_INVALID_HANDLE = 0xC0000008
+    STATUS_INVALID_PARAMETER = 0xC000000D
+    STATUS_NO_SUCH_FILE = 0xC000000F
+    STATUS_ACCESS_DENIED = 0xC0000022
+    STATUS_BUFFER_TOO_SMALL = 0xC0000023
+    STATUS_OBJECT_NAME_NOT_FOUND = 0xC0000034
+    STATUS_OBJECT_PATH_NOT_FOUND = 0xC000003A
+    STATUS_NOT_IMPLEMENTED = 0xC0000002
+
+
+def nt_success(status: int) -> bool:
+    """Return ``True`` when an NTSTATUS value denotes success.
+
+    Mirrors the ``NT_SUCCESS`` macro: success and informational severities
+    (high bit clear, top two bits not ``0b10``... in practice status < 0x8000_0000).
+    """
+    return 0 <= int(status) < 0x80000000
+
+
+def nt_information(status: int) -> bool:
+    """Return ``True`` for warning-severity NTSTATUS values (0x8000_xxxx)."""
+    return 0x80000000 <= int(status) < 0xC0000000
+
+
+def nt_error(status: int) -> bool:
+    """Return ``True`` for error-severity NTSTATUS values (0xC000_xxxx)."""
+    return int(status) >= 0xC0000000
+
+
+class WinsimError(Exception):
+    """Base class for errors raised by the simulated substrate itself.
+
+    These indicate *simulation* misuse (e.g. operating on a dead process
+    object from test code), never conditions a simulated program observes;
+    simulated programs observe ``Win32Error`` / ``NtStatus`` return values.
+    """
+
+
+class InvalidHandleError(WinsimError):
+    """A handle value did not resolve to a live kernel object."""
+
+
+class SnapshotError(WinsimError):
+    """Snapshot/restore (Deep Freeze) failed, e.g. restoring a foreign snapshot."""

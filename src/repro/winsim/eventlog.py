@@ -1,0 +1,81 @@
+"""Windows event log of the simulated machine.
+
+Two wear-and-tear artifacts read this log through ``EvtQuery``/``EvtNext``:
+``sysevt`` (total number of system events) and ``syssrc`` (number of
+distinct sources among recent events). An actively-used machine accumulates
+tens of thousands of events from many sources; a freshly-imaged sandbox has
+only the few hundred that installation produced. Scarecrow's wear-and-tear
+extension truncates what ``EvtNext`` yields to sandbox-typical statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Set
+
+
+@dataclasses.dataclass(frozen=True)
+class EventRecord:
+    """One log record (the fields the artifacts consume)."""
+
+    record_id: int
+    source: str
+    event_id: int
+    timestamp_ms: int
+    level: str = "Information"
+
+
+class EventLog:
+    """An append-only channel (we model the ``System`` channel)."""
+
+    def __init__(self, channel: str = "System") -> None:
+        self.channel = channel
+        self._records: List[EventRecord] = []
+
+    def append(self, source: str, event_id: int, timestamp_ms: int = 0,
+               level: str = "Information") -> EventRecord:
+        record = EventRecord(len(self._records) + 1, source, event_id,
+                             timestamp_ms, level)
+        self._records.append(record)
+        return record
+
+    def extend_synthetic(self, count: int, sources: Iterable[str],
+                         start_ms: int = 0, step_ms: int = 60_000) -> None:
+        """Bulk-generate ``count`` events cycling over ``sources``.
+
+        Environment builders use this to "age" a machine: an end-user host
+        gets ~hundreds of thousands of events over many sources, a sandbox
+        image only its provisioning burst.
+        """
+        source_list = list(sources)
+        if not source_list:
+            raise ValueError("need at least one event source")
+        for index in range(count):
+            self.append(source_list[index % len(source_list)],
+                        event_id=1000 + index % 97,
+                        timestamp_ms=start_ms + index * step_ms)
+
+    # -- queries -----------------------------------------------------------
+
+    def records(self) -> List[EventRecord]:
+        return list(self._records)
+
+    def recent(self, limit: int) -> List[EventRecord]:
+        """Most recent ``limit`` records, newest last."""
+        return self._records[-limit:] if limit > 0 else []
+
+    def count(self) -> int:
+        return len(self._records)
+
+    def distinct_sources(self, limit: int = 0) -> Set[str]:
+        records = self.recent(limit) if limit else self._records
+        return {r.source for r in records}
+
+    # -- snapshot ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {"channel": self.channel, "records": list(self._records)}
+
+    def restore(self, state: dict) -> None:
+        self.channel = state["channel"]
+        self._records = list(state["records"])

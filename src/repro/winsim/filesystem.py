@@ -1,0 +1,275 @@
+"""NTFS-like filesystem tree for the simulated machine.
+
+Files and folders are the second major fingerprinting surface: VM driver
+files (``vmmouse.sys``, ``vboxmouse.sys``), sandbox agent binaries, analysis
+tool installs. Payload behaviour also lands here — ransomware encrypting
+user documents is observable as writes plus renames to ``.WCRY`` extension.
+
+Paths are case-insensitive, backslash-separated, rooted at drive letters
+(``C:``). Each file carries attributes, timestamps and optional content.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fnmatch
+from typing import Dict, Iterator, List, Optional, Tuple
+
+FILE_ATTRIBUTE_READONLY = 0x0001
+FILE_ATTRIBUTE_HIDDEN = 0x0002
+FILE_ATTRIBUTE_SYSTEM = 0x0004
+FILE_ATTRIBUTE_DIRECTORY = 0x0010
+FILE_ATTRIBUTE_ARCHIVE = 0x0020
+FILE_ATTRIBUTE_NORMAL = 0x0080
+
+
+def split_path(path: str) -> Tuple[str, List[str]]:
+    """Split ``C:\\a\\b`` into drive ``"C:"`` and component list."""
+    normalized = path.replace("/", "\\")
+    parts = [p for p in normalized.split("\\") if p]
+    if not parts or not parts[0].endswith(":"):
+        raise ValueError(f"path must start with a drive letter: {path!r}")
+    return parts[0].upper(), parts[1:]
+
+
+@dataclasses.dataclass
+class FileNode:
+    """A file or directory node."""
+
+    name: str
+    is_dir: bool
+    attributes: int = FILE_ATTRIBUTE_NORMAL
+    content: bytes = b""
+    creation_time_ms: int = 0
+    last_write_time_ms: int = 0
+    children: Dict[str, "FileNode"] = dataclasses.field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return 0 if self.is_dir else len(self.content)
+
+    def child(self, name: str) -> Optional["FileNode"]:
+        return self.children.get(name.lower())
+
+
+@dataclasses.dataclass
+class Drive:
+    """A mounted volume; ``total_bytes`` is the hardware-resource surface."""
+
+    letter: str
+    total_bytes: int
+    used_bytes_base: int = 0  # space charged by the OS image itself
+    root: FileNode = dataclasses.field(
+        default_factory=lambda: FileNode("", is_dir=True,
+                                         attributes=FILE_ATTRIBUTE_DIRECTORY))
+
+    def content_bytes(self) -> int:
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            total += node.size
+            stack.extend(node.children.values())
+        return total
+
+    @property
+    def free_bytes(self) -> int:
+        return max(0, self.total_bytes - self.used_bytes_base - self.content_bytes())
+
+
+class FileSystem:
+    """All mounted drives of one machine."""
+
+    def __init__(self) -> None:
+        self._drives: Dict[str, Drive] = {}
+
+    # -- drives --------------------------------------------------------------
+
+    def add_drive(self, letter: str, total_bytes: int,
+                  used_bytes_base: int = 0) -> Drive:
+        letter = letter.upper().rstrip(":") + ":"
+        drive = Drive(letter, total_bytes, used_bytes_base)
+        self._drives[letter] = drive
+        return drive
+
+    def drive(self, letter: str) -> Optional[Drive]:
+        return self._drives.get(letter.upper().rstrip(":") + ":")
+
+    def drives(self) -> List[Drive]:
+        return list(self._drives.values())
+
+    # -- node resolution -----------------------------------------------------
+
+    def _resolve(self, path: str) -> Optional[FileNode]:
+        try:
+            drive_letter, parts = split_path(path)
+        except ValueError:
+            return None
+        drive = self._drives.get(drive_letter)
+        if drive is None:
+            return None
+        node = drive.root
+        for part in parts:
+            nxt = node.child(part)
+            if nxt is None:
+                return None
+            node = nxt
+        return node
+
+    def exists(self, path: str) -> bool:
+        return self._resolve(path) is not None
+
+    def is_dir(self, path: str) -> bool:
+        node = self._resolve(path)
+        return node is not None and node.is_dir
+
+    def stat(self, path: str) -> Optional[FileNode]:
+        return self._resolve(path)
+
+    # -- mutation --------------------------------------------------------------
+
+    def makedirs(self, path: str, when_ms: int = 0) -> FileNode:
+        drive_letter, parts = split_path(path)
+        drive = self._drives.get(drive_letter)
+        if drive is None:
+            raise FileNotFoundError(f"no such drive: {drive_letter}")
+        node = drive.root
+        for part in parts:
+            nxt = node.child(part)
+            if nxt is None:
+                nxt = FileNode(part, is_dir=True,
+                               attributes=FILE_ATTRIBUTE_DIRECTORY,
+                               creation_time_ms=when_ms,
+                               last_write_time_ms=when_ms)
+                node.children[part.lower()] = nxt
+            node = nxt
+        if not node.is_dir:
+            raise NotADirectoryError(path)
+        return node
+
+    def write_file(self, path: str, content: bytes = b"",
+                   attributes: int = FILE_ATTRIBUTE_NORMAL,
+                   when_ms: int = 0) -> FileNode:
+        drive_letter, parts = split_path(path)
+        if not parts:
+            raise IsADirectoryError(path)
+        parent = self.makedirs(
+            drive_letter + "\\" + "\\".join(parts[:-1]) if len(parts) > 1
+            else drive_letter + "\\", when_ms=when_ms)
+        name = parts[-1]
+        existing = parent.child(name)
+        if existing is not None and existing.is_dir:
+            raise IsADirectoryError(path)
+        node = FileNode(name, is_dir=False, attributes=attributes,
+                        content=content,
+                        creation_time_ms=(existing.creation_time_ms
+                                          if existing else when_ms),
+                        last_write_time_ms=when_ms)
+        parent.children[name.lower()] = node
+        return node
+
+    def read_file(self, path: str) -> Optional[bytes]:
+        node = self._resolve(path)
+        if node is None or node.is_dir:
+            return None
+        return node.content
+
+    def delete(self, path: str) -> bool:
+        try:
+            drive_letter, parts = split_path(path)
+        except ValueError:
+            return False
+        if not parts:
+            return False
+        drive = self._drives.get(drive_letter)
+        if drive is None:
+            return False
+        node = drive.root
+        for part in parts[:-1]:
+            nxt = node.child(part)
+            if nxt is None:
+                return False
+            node = nxt
+        return node.children.pop(parts[-1].lower(), None) is not None
+
+    def rename(self, src: str, dst: str, when_ms: int = 0) -> bool:
+        node = self._resolve(src)
+        if node is None:
+            return False
+        content = node.content
+        attributes = node.attributes
+        if node.is_dir:
+            raise IsADirectoryError(src)
+        if not self.delete(src):
+            return False
+        self.write_file(dst, content, attributes, when_ms=when_ms)
+        return True
+
+    # -- enumeration --------------------------------------------------------
+
+    def listdir(self, path: str) -> List[str]:
+        node = self._resolve(path)
+        if node is None or not node.is_dir:
+            return []
+        return [child.name for child in node.children.values()]
+
+    def walk(self, path: str) -> Iterator[Tuple[str, FileNode]]:
+        """Yield ``(full_path, node)`` for every node under ``path``."""
+        node = self._resolve(path)
+        if node is None:
+            return
+        base = path.rstrip("\\")
+        stack: List[Tuple[str, FileNode]] = [(base, node)]
+        while stack:
+            prefix, current = stack.pop()
+            for child in current.children.values():
+                full = f"{prefix}\\{child.name}"
+                yield full, child
+                if child.is_dir:
+                    stack.append((full, child))
+
+    def glob(self, directory: str, pattern: str) -> List[str]:
+        """Shell-style matching of direct children, e.g. ``*.tmp.exe``."""
+        return [name for name in self.listdir(directory)
+                if fnmatch.fnmatch(name.lower(), pattern.lower())]
+
+    def all_paths(self) -> List[str]:
+        paths: List[str] = []
+        for drive in self._drives.values():
+            paths.extend(p for p, _ in self.walk(drive.letter + "\\"))
+        return paths
+
+    def file_count(self) -> int:
+        return sum(1 for drive in self._drives.values()
+                   for _, node in self.walk(drive.letter + "\\")
+                   if not node.is_dir)
+
+    # -- snapshot -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        def dump(node: FileNode) -> dict:
+            return {
+                "name": node.name, "is_dir": node.is_dir,
+                "attributes": node.attributes, "content": node.content,
+                "ctime": node.creation_time_ms, "mtime": node.last_write_time_ms,
+                "children": [dump(c) for c in node.children.values()],
+            }
+
+        return {letter: {"total": d.total_bytes, "base": d.used_bytes_base,
+                         "root": dump(d.root)}
+                for letter, d in self._drives.items()}
+
+    def restore(self, state: dict) -> None:
+        def load(blob: dict) -> FileNode:
+            node = FileNode(blob["name"], blob["is_dir"], blob["attributes"],
+                            blob["content"], blob["ctime"], blob["mtime"])
+            for child_blob in blob["children"]:
+                child = load(child_blob)
+                node.children[child.name.lower()] = child
+            return node
+
+        self._drives.clear()
+        for letter, drive_blob in state.items():
+            drive = Drive(letter, drive_blob["total"], drive_blob["base"],
+                          load(drive_blob["root"]))
+            self._drives[letter] = drive

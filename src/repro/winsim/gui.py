@@ -1,0 +1,116 @@
+"""GUI window manager surface for the simulated machine.
+
+``FindWindow`` over debugger window classes (``OLLYDBG``, ``WinDbgFrameClass``)
+is a classic anti-debug probe; Scarecrow registers deceptive windows so the
+probe *succeeds* on a protected end-user machine. We also model cursor
+position history so Pafish's mouse-activity check has something to read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import List, Optional, Tuple
+
+
+@dataclasses.dataclass
+class Window:
+    """A top-level window: class name + title, owned by a pid."""
+
+    hwnd: int
+    class_name: Optional[str]
+    title: Optional[str]
+    owner_pid: int = 0
+    visible: bool = True
+
+
+class WindowManager:
+    """Registry of top-level windows plus input-activity state."""
+
+    def __init__(self) -> None:
+        self._windows: List[Window] = []
+        self._hwnd_counter = itertools.count(0x10010, 2)
+        self._cursor: Tuple[int, int] = (0, 0)
+        self._cursor_moves = 0
+        #: When set, a human (or a Cuckoo "human" auxiliary module) is
+        #: moving the mouse: cursor position becomes a function of time,
+        #: so two reads separated by a sleep observe movement.
+        self.humanized = False
+
+    # -- windows ---------------------------------------------------------------
+
+    def create_window(self, class_name: Optional[str], title: Optional[str],
+                      owner_pid: int = 0, visible: bool = True) -> Window:
+        window = Window(next(self._hwnd_counter), class_name, title,
+                        owner_pid, visible)
+        self._windows.append(window)
+        return window
+
+    def destroy_window(self, hwnd: int) -> bool:
+        for window in self._windows:
+            if window.hwnd == hwnd:
+                self._windows.remove(window)
+                return True
+        return False
+
+    def find_window(self, class_name: Optional[str] = None,
+                    title: Optional[str] = None) -> Optional[Window]:
+        """``FindWindow`` semantics: match class and/or title, first hit wins.
+
+        ``None`` for either argument is a wildcard, as in the real API.
+        """
+        for window in self._windows:
+            if class_name is not None:
+                if window.class_name is None or \
+                        window.class_name.lower() != class_name.lower():
+                    continue
+            if title is not None:
+                if window.title is None or \
+                        window.title.lower() != title.lower():
+                    continue
+            return window
+        return None
+
+    def windows(self) -> List[Window]:
+        return list(self._windows)
+
+    def windows_for_pid(self, pid: int) -> List[Window]:
+        return [w for w in self._windows if w.owner_pid == pid]
+
+    # -- input activity ---------------------------------------------------------
+
+    @property
+    def cursor_pos(self) -> Tuple[int, int]:
+        return self._cursor
+
+    def move_cursor(self, x: int, y: int) -> None:
+        if (x, y) != self._cursor:
+            self._cursor_moves += 1
+        self._cursor = (x, y)
+
+    @property
+    def cursor_move_count(self) -> int:
+        return self._cursor_moves
+
+    # -- snapshot ---------------------------------------------------------------
+
+    def cursor_at_time(self, now_ns: int) -> Tuple[int, int]:
+        """Cursor position for humanized sessions (moves every ~50 ms)."""
+        if not self.humanized:
+            return self._cursor
+        return (int(now_ns // 50_000_000) % 800,
+                int(now_ns // 70_000_000) % 600)
+
+    def snapshot(self) -> dict:
+        return {
+            "windows": [dataclasses.replace(w) for w in self._windows],
+            "cursor": self._cursor,
+            "moves": self._cursor_moves,
+            "humanized": self.humanized,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._windows = [dataclasses.replace(w) for w in state["windows"]]
+        self._cursor = state["cursor"]
+        self._cursor_moves = state["moves"]
+        self.humanized = state.get("humanized", False)

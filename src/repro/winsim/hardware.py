@@ -1,0 +1,128 @@
+"""Hardware model of the simulated machine: CPU, memory, firmware strings.
+
+This is where the CPU-level fingerprints live:
+
+* **CPUID leaf 1, ECX bit 31** — the hypervisor-present bit. Physical CPUs
+  report 0; hypervisors report 1 (unless masked, which both VMware and
+  VirtualBox support and which we expose as ``mask_hypervisor_bit``).
+* **CPUID leaf 0x40000000** — the hypervisor vendor string
+  (``VBoxVBoxVBox``, ``VMwareVMware``, ``KVMKVMKVM``...).
+* **RDTSC deltas around CPUID** — the VM-exit timing probe; the cost model
+  lives in :class:`repro.winsim.clock.TimingProfile`, this module only says
+  whether CPUID traps.
+
+Memory and disk sizes are *hardware resources* in the paper's taxonomy —
+Scarecrow fakes them at the API layer (disk 50GB, RAM 1GB, 1 core), so the
+true values here stay untouched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from .types import GIB
+
+#: Hypervisor vendor strings as returned in CPUID leaf 0x40000000.
+HV_VENDOR_VBOX = "VBoxVBoxVBox"
+HV_VENDOR_VMWARE = "VMwareVMware"
+HV_VENDOR_KVM = "KVMKVMKVM"
+HV_VENDOR_HYPERV = "Microsoft Hv"
+HV_VENDOR_XEN = "XenVMMXenVMM"
+
+KNOWN_HV_VENDORS = (HV_VENDOR_VBOX, HV_VENDOR_VMWARE, HV_VENDOR_KVM,
+                    HV_VENDOR_HYPERV, HV_VENDOR_XEN)
+
+
+@dataclasses.dataclass
+class Cpu:
+    """CPU identity and virtualization-visible behaviour."""
+
+    vendor: str = "GenuineIntel"
+    brand: str = "Intel(R) Core(TM) i5-4590 CPU @ 3.30GHz"
+    cores: int = 4
+    hypervisor_present: bool = False
+    hypervisor_vendor: Optional[str] = None
+    #: VMM-level masking of the hypervisor bit / vendor leaf (the
+    #: "easily manipulated" countermeasure Table II's discussion mentions).
+    mask_hypervisor_bit: bool = False
+    #: Whether CPUID causes a VM exit (drives the rdtsc_diff_vmexit probe).
+    cpuid_traps: bool = False
+
+    def cpuid(self, leaf: int) -> Dict[str, int]:
+        """Execute CPUID; returns the EAX/EBX/ECX/EDX register dict.
+
+        Only the leaves fingerprinting cares about are modelled; other
+        leaves return zeros, as safe defaults.
+        """
+        if leaf == 0:
+            return {"eax": 0x16, **_pack_vendor_leaf0(self.vendor)}
+        if leaf == 1:
+            hv_visible = self.hypervisor_present and not self.mask_hypervisor_bit
+            ecx = (1 << 31) if hv_visible else 0
+            return {"eax": 0x306C3, "ebx": 0, "ecx": ecx, "edx": 0}
+        if leaf == 0x40000000:
+            if self.hypervisor_present and not self.mask_hypervisor_bit \
+                    and self.hypervisor_vendor:
+                return {"eax": 0x40000001,
+                        **_pack_vendor_hv(self.hypervisor_vendor)}
+            return {"eax": 0, "ebx": 0, "ecx": 0, "edx": 0}
+        return {"eax": 0, "ebx": 0, "ecx": 0, "edx": 0}
+
+    def hypervisor_vendor_string(self) -> str:
+        """Decode leaf 0x40000000 EBX/ECX/EDX into the vendor string."""
+        regs = self.cpuid(0x40000000)
+        raw = b"".join(regs[r].to_bytes(4, "little")
+                       for r in ("ebx", "ecx", "edx"))
+        return raw.rstrip(b"\x00").decode("ascii", errors="replace")
+
+
+def _pack_vendor_leaf0(vendor: str) -> Dict[str, int]:
+    padded = vendor.encode("ascii").ljust(12, b"\x00")[:12]
+    # Leaf-0 register order is EBX, EDX, ECX.
+    return {"ebx": int.from_bytes(padded[0:4], "little"),
+            "edx": int.from_bytes(padded[4:8], "little"),
+            "ecx": int.from_bytes(padded[8:12], "little")}
+
+
+def _pack_vendor_hv(vendor: str) -> Dict[str, int]:
+    padded = vendor.encode("ascii").ljust(12, b"\x00")[:12]
+    # Hypervisor leaf order is EBX, ECX, EDX.
+    return {"ebx": int.from_bytes(padded[0:4], "little"),
+            "ecx": int.from_bytes(padded[4:8], "little"),
+            "edx": int.from_bytes(padded[8:12], "little")}
+
+
+@dataclasses.dataclass
+class Firmware:
+    """SMBIOS/ACPI strings surfaced through the registry by builders."""
+
+    bios_version: str = "DELL   - 1072009"
+    system_manufacturer: str = "Dell Inc."
+    system_product: str = "OptiPlex 9020"
+    video_bios_version: str = "Intel Video BIOS"
+    scsi_identifier: Optional[str] = None  # e.g. "VBOX HARDDISK"
+
+
+@dataclasses.dataclass
+class Hardware:
+    """Aggregate hardware state."""
+
+    cpu: Cpu = dataclasses.field(default_factory=Cpu)
+    firmware: Firmware = dataclasses.field(default_factory=Firmware)
+    total_ram: int = 8 * GIB
+    available_ram: int = 5 * GIB
+
+    def snapshot(self) -> dict:
+        return {
+            "cpu": dataclasses.replace(self.cpu),
+            "firmware": dataclasses.replace(self.firmware),
+            "total_ram": self.total_ram,
+            "available_ram": self.available_ram,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.cpu = dataclasses.replace(state["cpu"])
+        self.firmware = dataclasses.replace(state["firmware"])
+        self.total_ram = state["total_ram"]
+        self.available_ram = state["available_ram"]

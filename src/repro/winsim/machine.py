@@ -1,0 +1,191 @@
+"""The :class:`Machine` aggregate — one simulated Windows host.
+
+A ``Machine`` bundles every subsystem (registry, filesystem, processes,
+GUI, devices, services, event log, DNS cache, network, hardware, clock)
+plus a handle table, and supports whole-state snapshot/restore (the Deep
+Freeze substitute used between experiment runs).
+
+Environment builders in :mod:`repro.analysis.environments` produce machines
+in three flavours matching the paper's testbeds: bare-metal sandbox,
+Cuckoo-on-VirtualBox sandbox, and an actively-used end-user host.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from .bus import EventBus
+from .clock import TimingProfile, VirtualClock
+from .devices import DeviceNamespace
+from .dnscache import DnsCache
+from .eventlog import EventLog
+from .filesystem import FileSystem
+from .gui import WindowManager
+from .hardware import Hardware
+from .mutexes import MutexNamespace
+from .network import NetworkStack
+from .process import Process, ProcessTable, populate_baseline
+from .registry import Registry
+from .services import ServiceManager
+from .types import HandleTable, MemoryStatusEx, OsVersionInfo, SystemInfo
+
+
+@dataclasses.dataclass
+class MachineIdentity:
+    hostname: str = "DESKTOP-1"
+    username: str = "user"
+    domain: str = "WORKGROUP"
+
+
+class Machine:
+    """One simulated Windows host."""
+
+    def __init__(self, identity: Optional[MachineIdentity] = None,
+                 timing: Optional[TimingProfile] = None,
+                 boot_tick_ms: int = 19_237_512) -> None:
+        self.identity = identity or MachineIdentity()
+        self.os_version = OsVersionInfo()
+        self.clock = VirtualClock(timing, boot_tick_ms=boot_tick_ms)
+        self.registry = Registry()
+        self.filesystem = FileSystem()
+        self.processes = ProcessTable()
+        self.gui = WindowManager()
+        self.devices = DeviceNamespace()
+        self.mutexes = MutexNamespace()
+        self.services = ServiceManager()
+        self.eventlog = EventLog()
+        self.dnscache = DnsCache()
+        self.network = NetworkStack()
+        self.hardware = Hardware()
+        self.handles = HandleTable()
+        self.bus = EventBus()
+        self.explorer: Optional[Process] = None
+        self.processes.on_create(self._publish_process_create)
+        self.processes.on_terminate(self._publish_process_terminate)
+
+    def _publish_process_create(self, process: Process) -> None:
+        self.bus.emit("process", "CreateProcess", process.pid,
+                      self.clock.now_ns, name=process.name,
+                      image=process.image_path, ppid=process.parent_pid)
+
+    def _publish_process_terminate(self, process: Process) -> None:
+        self.bus.emit("process", "TerminateProcess", process.pid,
+                      self.clock.now_ns, name=process.name,
+                      exit_code=process.exit_code)
+
+    # -- provisioning -------------------------------------------------------
+
+    def boot(self) -> "Machine":
+        """Create the baseline OS state (process tree, system dirs, hives)."""
+        self.explorer = populate_baseline(self.processes)
+        fs = self.filesystem
+        if fs.drive("C:") is None:
+            from .types import GIB
+            fs.add_drive("C:", total_bytes=256 * GIB, used_bytes_base=30 * GIB)
+        for directory in ("C:\\Windows\\System32", "C:\\Windows\\Temp",
+                          "C:\\Program Files", "C:\\Program Files (x86)",
+                          f"C:\\Users\\{self.identity.username}\\Desktop",
+                          f"C:\\Users\\{self.identity.username}\\Documents",
+                          f"C:\\Users\\{self.identity.username}\\AppData\\Local\\Temp"):
+            fs.makedirs(directory)
+        reg = self.registry
+        reg.set_value("HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion",
+                      "ProductName", self.os_version.product_name)
+        reg.set_value("HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion",
+                      "CurrentVersion",
+                      f"{self.os_version.major}.{self.os_version.minor}")
+        reg.set_value("HKEY_LOCAL_MACHINE\\HARDWARE\\Description\\System",
+                      "SystemBiosVersion", self.hardware.firmware.bios_version)
+        reg.set_value("HKEY_LOCAL_MACHINE\\HARDWARE\\Description\\System",
+                      "VideoBiosVersion",
+                      self.hardware.firmware.video_bios_version)
+        reg.create_key("HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run")
+        reg.create_key("HKEY_CURRENT_USER\\Software\\Microsoft\\Windows\\CurrentVersion\\Run")
+        self._sync_peb_all()
+        return self
+
+    def _sync_peb_all(self) -> None:
+        for process in self.processes.all():
+            process.peb.number_of_processors = self.hardware.cpu.cores
+            process.peb.os_major_version = self.os_version.major
+            process.peb.os_minor_version = self.os_version.minor
+
+    # -- conveniences the API layer uses -------------------------------------
+
+    def memory_status(self) -> MemoryStatusEx:
+        return MemoryStatusEx(total_phys=self.hardware.total_ram,
+                              avail_phys=self.hardware.available_ram)
+
+    def system_info(self) -> SystemInfo:
+        return SystemInfo(number_of_processors=self.hardware.cpu.cores)
+
+    def user_profile_dir(self) -> str:
+        return f"C:\\Users\\{self.identity.username}"
+
+    def spawn_process(self, name: str, image_path: Optional[str] = None,
+                      parent: Optional[Process] = None,
+                      command_line: str = "",
+                      protected: bool = False,
+                      suspended: bool = False) -> Process:
+        """Spawn a process with its PEB synced to this machine's hardware."""
+        process = self.processes.spawn(name, image_path, parent, command_line,
+                                       protected, suspended)
+        process.peb.number_of_processors = self.hardware.cpu.cores
+        process.peb.os_major_version = self.os_version.major
+        process.peb.os_minor_version = self.os_version.minor
+        return process
+
+    def reset_processes(self) -> None:
+        """Discard the process table and reboot the baseline process tree.
+
+        Used by the Deep Freeze substitute: a reset machine comes back with
+        the standard boot-time processes only.
+        """
+        self.processes = ProcessTable()
+        self.processes.on_create(self._publish_process_create)
+        self.processes.on_terminate(self._publish_process_terminate)
+        self.handles = HandleTable()
+        self.explorer = populate_baseline(self.processes)
+        self._sync_peb_all()
+
+    # -- snapshot / restore (Deep Freeze substitute) ---------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "identity": dataclasses.replace(self.identity),
+            "os_version": dataclasses.replace(self.os_version),
+            "clock": self.clock.snapshot(),
+            "registry": self.registry.snapshot(),
+            "filesystem": self.filesystem.snapshot(),
+            "gui": self.gui.snapshot(),
+            "devices": self.devices.snapshot(),
+            "mutexes": self.mutexes.snapshot(),
+            "services": self.services.snapshot(),
+            "eventlog": self.eventlog.snapshot(),
+            "dnscache": self.dnscache.snapshot(),
+            "network": self.network.snapshot(),
+            "hardware": self.hardware.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore everything except the process table.
+
+        Processes are rebuilt by re-running :meth:`boot` semantics in
+        :class:`repro.analysis.deepfreeze.DeepFreeze`, matching the paper's
+        reboot-and-reset cycle where the process tree is recreated by the OS.
+        """
+        self.identity = dataclasses.replace(state["identity"])
+        self.os_version = dataclasses.replace(state["os_version"])
+        self.clock.restore(state["clock"])
+        self.registry.restore(state["registry"])
+        self.filesystem.restore(state["filesystem"])
+        self.gui.restore(state["gui"])
+        self.devices.restore(state["devices"])
+        self.mutexes.restore(state.get("mutexes", {}))
+        self.services.restore(state["services"])
+        self.eventlog.restore(state["eventlog"])
+        self.dnscache.restore(state["dnscache"])
+        self.network.restore(state["network"])
+        self.hardware.restore(state["hardware"])
+        self._sync_peb_all()

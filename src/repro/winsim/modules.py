@@ -1,0 +1,113 @@
+"""Per-process loaded-module (DLL) tracking.
+
+Evasive malware calls ``GetModuleHandleA("SbieDll.dll")`` and friends to see
+whether sandbox or analysis DLLs are mapped into its address space. Each
+module also owns a synthetic base address so injected code (scarecrow.dll)
+occupies a believable place in the module list.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+
+@dataclasses.dataclass
+class Module:
+    """One mapped image in a process address space."""
+
+    name: str          # e.g. "kernel32.dll"
+    path: str          # e.g. "C:\\Windows\\System32\\kernel32.dll"
+    base_address: int
+    size: int = 0x10000
+
+    def contains(self, address: int) -> bool:
+        return self.base_address <= address < self.base_address + self.size
+
+
+class ModuleList:
+    """Ordered module list of a single process (mimics the PEB Ldr list)."""
+
+    #: Base address where the first non-exe module is mapped; subsequent
+    #: modules are packed upward. Arbitrary but stable values make tests
+    #: deterministic.
+    _FIRST_DLL_BASE = 0x7FF00000
+
+    def __init__(self, exe_name: str, exe_path: str,
+                 image_base: int = 0x400000) -> None:
+        self._modules: List[Module] = [
+            Module(exe_name, exe_path, image_base, size=0x80000)]
+        self._next_base = self._FIRST_DLL_BASE
+
+    def load(self, name: str, path: Optional[str] = None,
+             size: int = 0x40000) -> Module:
+        """Map ``name`` (idempotent: re-loading returns the existing module)."""
+        existing = self.find(name)
+        if existing is not None:
+            return existing
+        module = Module(name, path or f"C:\\Windows\\System32\\{name}",
+                        self._next_base, size)
+        self._next_base += max(size, 0x10000)
+        self._modules.append(module)
+        return module
+
+    def unload(self, name: str) -> bool:
+        module = self.find(name)
+        if module is None or module is self._modules[0]:
+            return False
+        self._modules.remove(module)
+        return True
+
+    def find(self, name: str) -> Optional[Module]:
+        """Look a module up by name (case-insensitive, ``.dll`` optional)."""
+        wanted = name.lower()
+        candidates = {wanted}
+        if not wanted.endswith(".dll") and "." not in wanted:
+            candidates.add(wanted + ".dll")
+        for module in self._modules:
+            if module.name.lower() in candidates:
+                return module
+        return None
+
+    def is_loaded(self, name: str) -> bool:
+        return self.find(name) is not None
+
+    def module_at(self, address: int) -> Optional[Module]:
+        for module in self._modules:
+            if module.contains(address):
+                return module
+        return None
+
+    def names(self) -> List[str]:
+        return [m.name for m in self._modules]
+
+    @property
+    def executable(self) -> Module:
+        return self._modules[0]
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __iter__(self):
+        return iter(self._modules)
+
+
+#: Modules every Windows process maps at startup.
+DEFAULT_SYSTEM_MODULES = (
+    "ntdll.dll",
+    "kernel32.dll",
+    "KernelBase.dll",
+    "advapi32.dll",
+    "user32.dll",
+    "gdi32.dll",
+    "msvcrt.dll",
+    "rpcrt4.dll",
+    "sechost.dll",
+    "ws2_32.dll",
+)
+
+
+def populate_default_modules(modules: ModuleList) -> None:
+    """Load the standard system DLL set into a fresh process."""
+    for name in DEFAULT_SYSTEM_MODULES:
+        modules.load(name)

@@ -1,0 +1,54 @@
+"""Named kernel mutex namespace.
+
+Two roles in the reproduction:
+
+* **Infection markers.** Many families create a named mutex on first run
+  and exit if it already exists (single-instance guard). The vaccination
+  baseline (:mod:`repro.core.vaccine`, after Wichmann et al. / Xu et al.)
+  pre-creates exactly these markers.
+* **Sandbox-product mutexes** (e.g. Sandboxie's ``Sandboxie_SingleInstanceMutex_Control``)
+  are another fingerprint surface evasive malware probes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class MutexNamespace:
+    """Named mutexes of one machine (Global\\ and Local\\ collapse to one
+    session namespace — the simulation models a single session)."""
+
+    def __init__(self) -> None:
+        self._mutexes: Dict[str, str] = {}  # normalized -> display name
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        stripped = name
+        for prefix in ("Global\\", "Local\\"):
+            if stripped.startswith(prefix):
+                stripped = stripped[len(prefix):]
+        return stripped.lower()
+
+    def create(self, name: str) -> bool:
+        """Create a mutex; returns ``False`` when it already existed
+        (the ``ERROR_ALREADY_EXISTS`` signal single-instance guards use)."""
+        key = self._normalize(name)
+        existed = key in self._mutexes
+        self._mutexes[key] = name
+        return not existed
+
+    def exists(self, name: str) -> bool:
+        return self._normalize(name) in self._mutexes
+
+    def release(self, name: str) -> bool:
+        return self._mutexes.pop(self._normalize(name), None) is not None
+
+    def names(self) -> List[str]:
+        return list(self._mutexes.values())
+
+    def snapshot(self) -> dict:
+        return dict(self._mutexes)
+
+    def restore(self, state: dict) -> None:
+        self._mutexes = dict(state)

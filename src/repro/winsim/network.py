@@ -1,0 +1,123 @@
+"""Network stack of the simulated machine.
+
+Two behaviours matter for the reproduction:
+
+* **DNS resolution.** Real end-user resolvers return NXDOMAIN for
+  non-existent names; most sandboxes sinkhole *every* name to a controlled
+  address to elicit C2 traffic. The WannaCry variant's kill switch — and
+  Scarecrow's network deception — both live exactly here.
+* **HTTP-ish reachability.** After resolving its kill-switch domain, the
+  WannaCry variant checks whether an HTTP GET succeeds. We model a set of
+  reachable IPs (the sandbox's fake web server / Scarecrow's proxy).
+
+The stack also exposes adapter MAC addresses, an old-school VM fingerprint
+(VirtualBox OUI ``08:00:27``, VMware OUIs ``00:05:69``/``00:0C:29``/...).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, List, Optional, Set
+
+#: Well-known virtualization OUIs.
+VBOX_OUI = "08:00:27"
+VMWARE_OUIS = ("00:05:69", "00:0C:29", "00:1C:14", "00:50:56")
+
+
+@dataclasses.dataclass
+class Adapter:
+    name: str
+    mac: str
+    description: str = ""
+
+    @property
+    def oui(self) -> str:
+        return ":".join(self.mac.upper().split(":")[:3])
+
+
+def _stable_fake_ip(name: str) -> str:
+    """Deterministic pseudo-IP for a registered (resolvable) domain."""
+    digest = hashlib.sha256(name.lower().encode()).digest()
+    return f"93.{digest[0]}.{digest[1]}.{max(1, digest[2])}"
+
+
+class NetworkStack:
+    """DNS + reachability + adapters for one machine."""
+
+    def __init__(self) -> None:
+        self._adapters: List[Adapter] = []
+        self._zones: Dict[str, str] = {}          # real, registered names
+        self._reachable_ips: Set[str] = set()     # IPs that answer HTTP
+        #: When set, every otherwise-NX name resolves here (sandbox
+        #: sinkhole, or Scarecrow's NX-domain deception).
+        self.nx_sinkhole_ip: Optional[str] = None
+        self.query_log: List[str] = []
+
+    # -- adapters ---------------------------------------------------------
+
+    def add_adapter(self, name: str, mac: str, description: str = "") -> Adapter:
+        adapter = Adapter(name, mac.upper(), description)
+        self._adapters.append(adapter)
+        return adapter
+
+    def adapters(self) -> List[Adapter]:
+        return list(self._adapters)
+
+    def has_vm_mac(self) -> bool:
+        vm_ouis = {VBOX_OUI, *VMWARE_OUIS}
+        return any(a.oui in vm_ouis for a in self._adapters)
+
+    # -- DNS ---------------------------------------------------------------
+
+    def register_domain(self, name: str, ip: Optional[str] = None) -> str:
+        """Make ``name`` genuinely resolvable (a registered internet name)."""
+        ip = ip or _stable_fake_ip(name)
+        self._zones[name.lower()] = ip
+        return ip
+
+    def domain_exists(self, name: str) -> bool:
+        return name.lower() in self._zones
+
+    def resolve(self, name: str) -> Optional[str]:
+        """Resolve ``name``; ``None`` means NXDOMAIN.
+
+        The sinkhole answers for names that do not exist — which is exactly
+        the tell evasive malware (and the WannaCry kill switch) looks for.
+        """
+        self.query_log.append(name.lower())
+        ip = self._zones.get(name.lower())
+        if ip is not None:
+            return ip
+        return self.nx_sinkhole_ip
+
+    # -- reachability -------------------------------------------------------
+
+    def mark_reachable(self, ip: str) -> None:
+        self._reachable_ips.add(ip)
+
+    def http_get(self, ip: Optional[str]) -> bool:
+        """``True`` when an HTTP request to ``ip`` would get a response."""
+        return ip is not None and ip in self._reachable_ips
+
+    def http_get_domain(self, name: str) -> bool:
+        """Resolve ``name`` and probe it — the WannaCry kill-switch path."""
+        return self.http_get(self.resolve(name))
+
+    # -- snapshot --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "adapters": [dataclasses.replace(a) for a in self._adapters],
+            "zones": dict(self._zones),
+            "reachable": set(self._reachable_ips),
+            "sinkhole": self.nx_sinkhole_ip,
+            "log": list(self.query_log),
+        }
+
+    def restore(self, state: dict) -> None:
+        self._adapters = [dataclasses.replace(a) for a in state["adapters"]]
+        self._zones = dict(state["zones"])
+        self._reachable_ips = set(state["reachable"])
+        self.nx_sinkhole_ip = state["sinkhole"]
+        self.query_log = list(state["log"])

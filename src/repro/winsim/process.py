@@ -1,0 +1,215 @@
+"""Process and thread table of the simulated machine.
+
+Processes matter to the reproduction in four ways:
+
+* Process *names* are fingerprint surface: ``VBoxTray.exe``,
+  ``VBoxService.exe``, debugger/forensic-tool processes.
+* The *parent* of the target process is fingerprint surface: malware run by
+  a sandbox daemon has that daemon as parent instead of ``explorer.exe``;
+  Scarecrow's controller deliberately mimics this (Section III-B).
+* The PEB hangs off each process and can be read directly from memory,
+  bypassing API hooks (the paper's one deactivation failure).
+* Payload and evasion behaviour (self-spawn loops, process injection,
+  terminating forensic tools) is process-table mutation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .modules import ModuleList, populate_default_modules
+from .types import Peb
+
+
+class ProcessState(enum.Enum):
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+    TERMINATED = "terminated"
+
+
+@dataclasses.dataclass
+class Thread:
+    tid: int
+    suspended: bool = False
+
+
+class Process:
+    """One process: identity, lineage, PEB, modules, threads."""
+
+    def __init__(self, pid: int, name: str, image_path: str,
+                 parent: Optional["Process"], command_line: str = "",
+                 protected: bool = False) -> None:
+        self.pid = pid
+        self.name = name
+        self.image_path = image_path
+        self.parent = parent
+        self.parent_pid = parent.pid if parent is not None else 0
+        self.command_line = command_line or image_path
+        self.state = ProcessState.RUNNING
+        self.exit_code: Optional[int] = None
+        #: Protected processes resist termination by untrusted callers —
+        #: Scarecrow protects its 24 deceptive analysis-tool processes.
+        self.protected = protected
+        self.peb = Peb(process_parameters_command_line=self.command_line)
+        self.modules = ModuleList(name, image_path)
+        populate_default_modules(self.modules)
+        self.threads: List[Thread] = [Thread(tid=pid + 1)]
+        self._tid_counter = itertools.count(pid + 2)
+        #: Arbitrary per-process annotations (e.g. which sample spawned it,
+        #: whether scarecrow.dll is injected). Kept open-ended on purpose.
+        self.tags: Dict[str, object] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not ProcessState.TERMINATED
+
+    def terminate(self, exit_code: int = 0) -> None:
+        self.state = ProcessState.TERMINATED
+        self.exit_code = exit_code
+
+    def suspend(self) -> None:
+        if self.alive:
+            self.state = ProcessState.SUSPENDED
+            for thread in self.threads:
+                thread.suspended = True
+
+    def resume(self) -> None:
+        if self.alive:
+            self.state = ProcessState.RUNNING
+            for thread in self.threads:
+                thread.suspended = False
+
+    def spawn_thread(self) -> Thread:
+        thread = Thread(tid=next(self._tid_counter))
+        self.threads.append(thread)
+        return thread
+
+    # -- lineage -------------------------------------------------------------
+
+    def ancestors(self) -> Iterable["Process"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process pid={self.pid} {self.name!r} {self.state.value}>"
+
+
+class ProcessTable:
+    """All processes of one machine."""
+
+    def __init__(self) -> None:
+        self._by_pid: Dict[int, Process] = {}
+        self._pid_counter = itertools.count(4, 4)
+        self._create_listeners: List[Callable[[Process], None]] = []
+        self._terminate_listeners: List[Callable[[Process], None]] = []
+
+    # -- events (tracer taps) -------------------------------------------------
+
+    def on_create(self, callback: Callable[[Process], None]) -> None:
+        self._create_listeners.append(callback)
+
+    def on_terminate(self, callback: Callable[[Process], None]) -> None:
+        self._terminate_listeners.append(callback)
+
+    # -- creation / termination -----------------------------------------------
+
+    def spawn(self, name: str, image_path: Optional[str] = None,
+              parent: Optional[Process] = None, command_line: str = "",
+              protected: bool = False, suspended: bool = False) -> Process:
+        pid = next(self._pid_counter)
+        process = Process(pid, name,
+                          image_path or f"C:\\Windows\\System32\\{name}",
+                          parent, command_line, protected)
+        if suspended:
+            process.suspend()
+        self._by_pid[pid] = process
+        for callback in self._create_listeners:
+            callback(process)
+        return process
+
+    def terminate(self, pid: int, exit_code: int = 0,
+                  by_untrusted: bool = False) -> bool:
+        """Terminate ``pid``. Protected processes shrug off untrusted kills.
+
+        Returns ``True`` when the process actually terminated. The paper:
+        "we include 24 processes ... and protect them from being terminated
+        by untrusted software" — ``by_untrusted=True`` models a kill
+        attempted by a (potentially malicious) target program.
+        """
+        process = self._by_pid.get(pid)
+        if process is None or not process.alive:
+            return False
+        if by_untrusted and process.protected:
+            return False
+        process.terminate(exit_code)
+        for callback in self._terminate_listeners:
+            callback(process)
+        return True
+
+    # -- queries ---------------------------------------------------------------
+
+    def get(self, pid: int) -> Optional[Process]:
+        return self._by_pid.get(pid)
+
+    def find_by_name(self, name: str) -> List[Process]:
+        wanted = name.lower()
+        return [p for p in self._by_pid.values()
+                if p.alive and p.name.lower() == wanted]
+
+    def name_exists(self, name: str) -> bool:
+        return bool(self.find_by_name(name))
+
+    def running(self) -> List[Process]:
+        return [p for p in self._by_pid.values() if p.alive]
+
+    def running_names(self) -> List[str]:
+        return [p.name for p in self.running()]
+
+    def all(self) -> List[Process]:
+        return list(self._by_pid.values())
+
+    def descendants(self, root: Process) -> List[Process]:
+        """Every process with ``root`` in its ancestor chain."""
+        result = []
+        for process in self._by_pid.values():
+            if any(anc is root for anc in process.ancestors()):
+                result.append(process)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._by_pid)
+
+
+#: Baseline processes present on any Windows 7 machine.
+BASELINE_PROCESSES = (
+    ("System", "C:\\Windows\\System32\\ntoskrnl.exe"),
+    ("smss.exe", "C:\\Windows\\System32\\smss.exe"),
+    ("csrss.exe", "C:\\Windows\\System32\\csrss.exe"),
+    ("wininit.exe", "C:\\Windows\\System32\\wininit.exe"),
+    ("services.exe", "C:\\Windows\\System32\\services.exe"),
+    ("lsass.exe", "C:\\Windows\\System32\\lsass.exe"),
+    ("svchost.exe", "C:\\Windows\\System32\\svchost.exe"),
+    ("winlogon.exe", "C:\\Windows\\System32\\winlogon.exe"),
+    ("explorer.exe", "C:\\Windows\\explorer.exe"),
+    ("taskhost.exe", "C:\\Windows\\System32\\taskhost.exe"),
+    ("dwm.exe", "C:\\Windows\\System32\\dwm.exe"),
+)
+
+
+def populate_baseline(table: ProcessTable) -> Process:
+    """Create the standard boot-time process tree; returns ``explorer.exe``."""
+    system = table.spawn("System", "C:\\Windows\\System32\\ntoskrnl.exe")
+    explorer: Optional[Process] = None
+    for name, path in BASELINE_PROCESSES[1:]:
+        process = table.spawn(name, path, parent=system)
+        if name == "explorer.exe":
+            explorer = process
+    assert explorer is not None
+    return explorer

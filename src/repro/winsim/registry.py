@@ -1,0 +1,302 @@
+"""Hierarchical registry hive for the simulated machine.
+
+The registry is the single richest fingerprinting surface in the paper:
+VM guest-additions keys, BIOS strings carrying ``VBOX``/``VMware``, IDE
+device enumerations, and all of the wear-and-tear registry artifacts
+(Run entries, Uninstall entries, SharedDlls, UserAssist, MUICache,
+AppCompatCache, firewall rules, USBStor history...).
+
+Paths are case-insensitive and backslash-separated, as on Windows. Keys
+hold named values; values carry a REG_* type tag plus data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+RegData = Union[str, int, bytes, List[str]]
+
+
+class RegType(enum.IntEnum):
+    """Registry value types (subset)."""
+
+    REG_NONE = 0
+    REG_SZ = 1
+    REG_EXPAND_SZ = 2
+    REG_BINARY = 3
+    REG_DWORD = 4
+    REG_MULTI_SZ = 7
+    REG_QWORD = 11
+
+
+#: Canonical hive names. ``HKCU`` is modelled per-machine (single user).
+HIVES = ("HKEY_LOCAL_MACHINE", "HKEY_CURRENT_USER", "HKEY_CLASSES_ROOT", "HKEY_USERS")
+
+_HIVE_ALIASES = {
+    "HKLM": "HKEY_LOCAL_MACHINE",
+    "HKCU": "HKEY_CURRENT_USER",
+    "HKCR": "HKEY_CLASSES_ROOT",
+    "HKU": "HKEY_USERS",
+}
+
+
+def split_path(path: str) -> List[str]:
+    """Split a registry path into normalized components."""
+    parts = [p for p in path.replace("/", "\\").split("\\") if p]
+    if parts and parts[0].upper() in _HIVE_ALIASES:
+        parts[0] = _HIVE_ALIASES[parts[0].upper()]
+    return parts
+
+
+def default_type_for(data: RegData) -> RegType:
+    """Infer a REG_* type from a Python value."""
+    if isinstance(data, str):
+        return RegType.REG_SZ
+    if isinstance(data, bool) or isinstance(data, int):
+        return RegType.REG_DWORD
+    if isinstance(data, bytes):
+        return RegType.REG_BINARY
+    if isinstance(data, list):
+        return RegType.REG_MULTI_SZ
+    raise TypeError(f"unsupported registry data type: {type(data)!r}")
+
+
+@dataclasses.dataclass
+class RegistryValue:
+    """A single named value under a key."""
+
+    name: str
+    data: RegData
+    type: RegType
+
+
+class RegistryKey:
+    """One key node: case-insensitive children plus named values."""
+
+    def __init__(self, name: str, parent: Optional["RegistryKey"] = None) -> None:
+        self.name = name
+        self.parent = parent
+        self._children: Dict[str, RegistryKey] = {}  # lower-case -> key
+        self._values: Dict[str, RegistryValue] = {}  # lower-case -> value
+
+    # -- structure ---------------------------------------------------------
+
+    def child(self, name: str) -> Optional["RegistryKey"]:
+        return self._children.get(name.lower())
+
+    def ensure_child(self, name: str) -> "RegistryKey":
+        key = self._children.get(name.lower())
+        if key is None:
+            key = RegistryKey(name, parent=self)
+            self._children[name.lower()] = key
+        return key
+
+    def remove_child(self, name: str) -> bool:
+        return self._children.pop(name.lower(), None) is not None
+
+    def subkey_names(self) -> List[str]:
+        """Child key names in stable (insertion) order."""
+        return [k.name for k in self._children.values()]
+
+    def subkey_count(self) -> int:
+        return len(self._children)
+
+    # -- values ------------------------------------------------------------
+
+    def set_value(self, name: str, data: RegData,
+                  type_: Optional[RegType] = None) -> None:
+        self._values[name.lower()] = RegistryValue(
+            name, data, type_ if type_ is not None else default_type_for(data))
+
+    def get_value(self, name: str) -> Optional[RegistryValue]:
+        return self._values.get(name.lower())
+
+    def delete_value(self, name: str) -> bool:
+        return self._values.pop(name.lower(), None) is not None
+
+    def value_names(self) -> List[str]:
+        return [v.name for v in self._values.values()]
+
+    def value_count(self) -> int:
+        return len(self._values)
+
+    def values(self) -> List[RegistryValue]:
+        return list(self._values.values())
+
+    # -- misc ----------------------------------------------------------------
+
+    def path(self) -> str:
+        parts: List[str] = []
+        node: Optional[RegistryKey] = self
+        while node is not None and node.parent is not None:
+            parts.append(node.name)
+            node = node.parent
+        if node is not None and node.name:
+            parts.append(node.name)
+        return "\\".join(reversed(parts))
+
+    def walk(self) -> Iterator["RegistryKey"]:
+        """Depth-first traversal of this key and every descendant."""
+        yield self
+        for child in list(self._children.values()):
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RegistryKey {self.path()!r} keys={len(self._children)} values={len(self._values)}>"
+
+
+class Registry:
+    """A full registry: four hives of :class:`RegistryKey` trees."""
+
+    def __init__(self) -> None:
+        self._root = RegistryKey("")
+        #: Bulk hive bytes not represented by individual simulated entries
+        #: (a real hive holds hundreds of thousands of keys; simulating the
+        #: interesting ones and padding the rest keeps builds fast while
+        #: the ``regSize`` wear-and-tear artifact stays meaningful).
+        self.bulk_padding_bytes = 0
+        for hive in HIVES:
+            self._root.ensure_child(hive)
+
+    # -- resolution ----------------------------------------------------------
+
+    def open_key(self, path: str) -> Optional[RegistryKey]:
+        """Resolve ``path`` to a key, or ``None`` when absent."""
+        node = self._root
+        for part in split_path(path):
+            nxt = node.child(part)
+            if nxt is None:
+                return None
+            node = nxt
+        return node if node is not self._root else None
+
+    def key_exists(self, path: str) -> bool:
+        return self.open_key(path) is not None
+
+    def create_key(self, path: str) -> RegistryKey:
+        """Create ``path`` (and intermediate keys), returning the leaf."""
+        parts = split_path(path)
+        if not parts or parts[0] not in HIVES:
+            raise ValueError(f"registry path must start with a hive: {path!r}")
+        node = self._root
+        for part in parts:
+            node = node.ensure_child(part)
+        return node
+
+    def delete_key(self, path: str) -> bool:
+        """Delete the key at ``path`` (with its subtree)."""
+        parts = split_path(path)
+        if len(parts) < 2:
+            return False
+        parent = self.open_key("\\".join(parts[:-1]))
+        if parent is None:
+            return False
+        return parent.remove_child(parts[-1])
+
+    # -- value convenience -----------------------------------------------------
+
+    def set_value(self, key_path: str, name: str, data: RegData,
+                  type_: Optional[RegType] = None) -> None:
+        self.create_key(key_path).set_value(name, data, type_)
+
+    def get_value(self, key_path: str, name: str) -> Optional[RegistryValue]:
+        key = self.open_key(key_path)
+        return key.get_value(name) if key is not None else None
+
+    def get_data(self, key_path: str, name: str,
+                 default: Optional[RegData] = None) -> Optional[RegData]:
+        value = self.get_value(key_path, name)
+        return value.data if value is not None else default
+
+    # -- search / stats ----------------------------------------------------
+
+    def iter_all_keys(self) -> Iterator[RegistryKey]:
+        for hive in HIVES:
+            root = self._root.child(hive)
+            assert root is not None
+            yield from root.walk()
+
+    def find_keys(self, predicate: Callable[[RegistryKey], bool]) -> List[RegistryKey]:
+        return [key for key in self.iter_all_keys() if predicate(key)]
+
+    def count_references(self, needle: str) -> int:
+        """Count keys/values whose name or string data mentions ``needle``.
+
+        The paper notes "over 300 references in a registry to VMware" on a
+        machine with VMware installed; this powers that measurement.
+        """
+        needle_l = needle.lower()
+        count = 0
+        for key in self.iter_all_keys():
+            if needle_l in key.name.lower():
+                count += 1
+            for value in key.values():
+                if needle_l in value.name.lower():
+                    count += 1
+                elif isinstance(value.data, str) and needle_l in value.data.lower():
+                    count += 1
+                elif isinstance(value.data, list) and any(
+                        needle_l in item.lower() for item in value.data):
+                    count += 1
+        return count
+
+    def total_entries(self) -> int:
+        """Total number of keys plus values across all hives."""
+        keys = 0
+        values = 0
+        for key in self.iter_all_keys():
+            keys += 1
+            values += key.value_count()
+        return keys + values
+
+    def estimated_size_bytes(self) -> int:
+        """Rough hive size, the ``regSize`` wear-and-tear artifact.
+
+        Real hives average a few hundred bytes per entry; we charge name and
+        data sizes (plus any bulk padding the environment builder applied)
+        so that machines with more installed software report larger hives.
+        """
+        total = self.bulk_padding_bytes
+        for key in self.iter_all_keys():
+            total += 96 + 2 * len(key.name)
+            for value in key.values():
+                total += 48 + 2 * len(value.name)
+                if isinstance(value.data, str):
+                    total += 2 * len(value.data)
+                elif isinstance(value.data, bytes):
+                    total += len(value.data)
+                elif isinstance(value.data, list):
+                    total += sum(2 * len(item) + 2 for item in value.data)
+                else:
+                    total += 8
+        return total
+
+    # -- snapshot ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        def dump(key: RegistryKey) -> dict:
+            return {
+                "name": key.name,
+                "values": [(v.name, v.data, int(v.type)) for v in key.values()],
+                "children": [dump(c) for c in key._children.values()],
+            }
+
+        return {"tree": dump(self._root),
+                "bulk_padding": self.bulk_padding_bytes}
+
+    def restore(self, state: dict) -> None:
+        def load(node: RegistryKey, blob: dict) -> None:
+            node._children.clear()
+            node._values.clear()
+            for name, data, type_ in blob["values"]:
+                node.set_value(name, data, RegType(type_))
+            for child_blob in blob["children"]:
+                child = node.ensure_child(child_blob["name"])
+                load(child, child_blob)
+
+        load(self._root, state["tree"])
+        self.bulk_padding_bytes = state["bulk_padding"]
+        for hive in HIVES:
+            self._root.ensure_child(hive)

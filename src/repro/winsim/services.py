@@ -1,0 +1,64 @@
+"""Service Control Manager of the simulated machine.
+
+VM guest tools install services (``VBoxService``, ``VMTools``, ``vmware``)
+that both Pafish and malware enumerate. Services are also mirrored into
+``SYSTEM\\CurrentControlSet\\Services`` by the environment builders so
+registry-based probes see consistent state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional
+
+
+class ServiceState(enum.Enum):
+    STOPPED = "stopped"
+    RUNNING = "running"
+
+
+@dataclasses.dataclass
+class Service:
+    name: str
+    display_name: str
+    image_path: str
+    state: ServiceState = ServiceState.RUNNING
+
+
+class ServiceManager:
+    """All installed services of one machine."""
+
+    def __init__(self) -> None:
+        self._services: Dict[str, Service] = {}
+
+    def install(self, name: str, display_name: Optional[str] = None,
+                image_path: str = "",
+                state: ServiceState = ServiceState.RUNNING) -> Service:
+        service = Service(name, display_name or name,
+                          image_path or f"C:\\Windows\\System32\\{name}.exe",
+                          state)
+        self._services[name.lower()] = service
+        return service
+
+    def uninstall(self, name: str) -> bool:
+        return self._services.pop(name.lower(), None) is not None
+
+    def get(self, name: str) -> Optional[Service]:
+        return self._services.get(name.lower())
+
+    def exists(self, name: str) -> bool:
+        return name.lower() in self._services
+
+    def running(self) -> List[Service]:
+        return [s for s in self._services.values()
+                if s.state is ServiceState.RUNNING]
+
+    def all(self) -> List[Service]:
+        return list(self._services.values())
+
+    def snapshot(self) -> dict:
+        return {k: dataclasses.replace(v) for k, v in self._services.items()}
+
+    def restore(self, state: dict) -> None:
+        self._services = {k: dataclasses.replace(v) for k, v in state.items()}

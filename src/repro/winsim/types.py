@@ -1,0 +1,175 @@
+"""Core value types shared by the simulated Windows substrate.
+
+These mirror the C structures evasive malware inspects — ``MEMORYSTATUSEX``,
+``SYSTEM_INFO``, the PEB — plus the handle machinery that the simulated
+kernel uses to hand object references to user code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Dict, Iterator, Optional
+
+#: Handle value returned for invalid handles, as on Windows.
+INVALID_HANDLE_VALUE = -1
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+@dataclasses.dataclass(frozen=True)
+class Handle:
+    """An opaque kernel-object handle.
+
+    ``kind`` records what namespace the handle belongs to (``"key"``,
+    ``"file"``, ``"process"``, ``"event_query"``...); the kernel-side table
+    maps ``value`` back to the live object.
+    """
+
+    value: int
+    kind: str
+
+    def __bool__(self) -> bool:
+        return self.value != INVALID_HANDLE_VALUE
+
+    def __index__(self) -> int:
+        return self.value
+
+
+class HandleTable:
+    """Per-machine table mapping handle values to kernel objects."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(4)  # low values reserved, as on NT
+        self._objects: Dict[int, Any] = {}
+        self._kinds: Dict[int, str] = {}
+
+    def open(self, obj: Any, kind: str) -> Handle:
+        """Register ``obj`` and return a fresh handle of ``kind``."""
+        value = next(self._counter) * 4  # NT handles are multiples of 4
+        self._objects[value] = obj
+        self._kinds[value] = kind
+        return Handle(value, kind)
+
+    def resolve(self, handle: Handle, kind: Optional[str] = None) -> Any:
+        """Return the object behind ``handle`` or ``None`` if stale/invalid."""
+        if not isinstance(handle, Handle) or handle.value not in self._objects:
+            return None
+        if kind is not None and self._kinds.get(handle.value) != kind:
+            return None
+        return self._objects[handle.value]
+
+    def close(self, handle: Handle) -> bool:
+        """Close ``handle``; returns ``False`` when it was not open."""
+        if not isinstance(handle, Handle):
+            return False
+        self._kinds.pop(handle.value, None)
+        return self._objects.pop(handle.value, None) is not None
+
+    def live_count(self) -> int:
+        """Number of currently-open handles (used by leak-checking tests)."""
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._objects)
+
+
+@dataclasses.dataclass
+class MemoryStatusEx:
+    """Mirror of ``MEMORYSTATUSEX`` as filled by ``GlobalMemoryStatusEx``."""
+
+    total_phys: int
+    avail_phys: int
+    memory_load: int = 0
+    total_page_file: int = 0
+    avail_page_file: int = 0
+    total_virtual: int = 2 * GIB
+    avail_virtual: int = 2 * GIB
+
+    def __post_init__(self) -> None:
+        if self.total_page_file == 0:
+            self.total_page_file = self.total_phys * 2
+        if self.avail_page_file == 0:
+            self.avail_page_file = self.avail_phys * 2
+        if self.memory_load == 0 and self.total_phys:
+            used = self.total_phys - self.avail_phys
+            self.memory_load = max(0, min(100, round(100 * used / self.total_phys)))
+
+
+@dataclasses.dataclass
+class SystemInfo:
+    """Mirror of ``SYSTEM_INFO`` as filled by ``GetSystemInfo``."""
+
+    number_of_processors: int
+    processor_architecture: int = 9  # PROCESSOR_ARCHITECTURE_AMD64
+    page_size: int = 4096
+    allocation_granularity: int = 64 * KIB
+
+
+@dataclasses.dataclass
+class OsVersionInfo:
+    """Mirror of ``OSVERSIONINFOEX`` (enough for version gating)."""
+
+    major: int = 6
+    minor: int = 1  # Windows 7
+    build: int = 7601
+    service_pack: str = "Service Pack 1"
+    product_name: str = "Windows 7 Professional"
+
+    @property
+    def is_windows7(self) -> bool:
+        return (self.major, self.minor) == (6, 1)
+
+    @property
+    def is_windows8_or_later(self) -> bool:
+        return (self.major, self.minor) >= (6, 2)
+
+
+@dataclasses.dataclass
+class Peb:
+    """Process Environment Block — the fields evasive malware reads directly.
+
+    The paper's single Table I failure (sample ``cbdda64``) read
+    ``NumberOfProcessors`` straight out of the PEB, bypassing every API hook.
+    We reproduce that bypass: PEB reads never route through
+    :mod:`repro.winapi`, so Scarecrow cannot intercept them.
+    """
+
+    being_debugged: bool = False
+    number_of_processors: int = 1
+    nt_global_flag: int = 0
+    image_base_address: int = 0x400000
+    os_major_version: int = 6
+    os_minor_version: int = 1
+    process_parameters_command_line: str = ""
+
+    # Heap flags consulted by anti-debug checks: debugged processes get
+    # HEAP_TAIL_CHECKING_ENABLED | HEAP_FREE_CHECKING_ENABLED etc.
+    heap_flags: int = 0x00000002  # HEAP_GROWABLE only, for normal processes
+    heap_force_flags: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class FileBasicInformation:
+    """Subset of ``FILE_BASIC_INFORMATION`` for ``NtQueryAttributesFile``."""
+
+    attributes: int
+    creation_time: int
+    last_write_time: int
+
+
+def format_mac(raw: bytes) -> str:
+    """Render a 6-byte MAC address as ``AA:BB:CC:DD:EE:FF``."""
+    if len(raw) != 6:
+        raise ValueError(f"MAC must be 6 bytes, got {len(raw)}")
+    return ":".join(f"{b:02X}" for b in raw)
+
+
+def parse_mac(text: str) -> bytes:
+    """Parse ``AA:BB:CC:DD:EE:FF`` (or ``-`` separated) into 6 raw bytes."""
+    parts = text.replace("-", ":").split(":")
+    if len(parts) != 6:
+        raise ValueError(f"malformed MAC address: {text!r}")
+    return bytes(int(p, 16) for p in parts)

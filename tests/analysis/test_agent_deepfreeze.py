@@ -1,0 +1,152 @@
+"""Deep Freeze resets, sandbox runner daemons, the Fig. 3 agent/proxy rig."""
+
+import pytest
+
+from repro import winapi
+from repro.analysis.agent import (Agent, ExperimentCluster, Proxy,
+                                  run_sample)
+from repro.analysis.deepfreeze import DeepFreeze
+from repro.analysis.environments import build_bare_metal_sandbox
+from repro.analysis.sandbox import (SANDBOX_SINKHOLE_IP, SandboxRunner)
+from repro.hooking import hook_manager_of, is_injected
+from repro.malware.payloads import DropperPayload
+from repro.malware.sample import EvadeAction, EvasiveSample
+from repro.winsim.errors import SnapshotError
+
+
+def _sample(checks=("is_debugger_present",),
+            action=EvadeAction.TERMINATE):
+    return EvasiveSample(md5="cd" * 16, exe_name="spec.exe", family="T",
+                         check_names=checks, evade_action=action,
+                         payload=DropperPayload(("dropped.exe",)))
+
+
+class TestDeepFreeze:
+    def test_reset_requires_freeze(self, machine):
+        with pytest.raises(SnapshotError):
+            DeepFreeze(machine).reset()
+
+    def test_reset_rolls_back_state(self, machine):
+        freeze = DeepFreeze(machine)
+        freeze.freeze()
+        machine.filesystem.write_file("C:\\infected.bin", b"x")
+        machine.registry.set_value("HKLM\\SOFTWARE\\Malware", "run", 1)
+        machine.spawn_process("malware.exe")
+        freeze.reset()
+        assert not machine.filesystem.exists("C:\\infected.bin")
+        assert not machine.registry.key_exists("HKLM\\SOFTWARE\\Malware")
+        assert not machine.processes.name_exists("malware.exe")
+        assert machine.processes.name_exists("explorer.exe")
+
+    def test_reset_count(self, machine):
+        freeze = DeepFreeze(machine)
+        freeze.freeze()
+        freeze.reset()
+        freeze.reset()
+        assert freeze.reset_count == 2
+
+    def test_machine_usable_after_reset(self, machine):
+        freeze = DeepFreeze(machine)
+        freeze.freeze()
+        freeze.reset()
+        process = machine.spawn_process("post.exe", parent=machine.explorer)
+        api = winapi.bind(machine, process)
+        assert api.GetTickCount() >= 0
+
+
+class TestSandboxRunner:
+    def test_daemon_is_parent(self, machine):
+        runner = SandboxRunner(machine, daemon_name="analyzer.exe")
+        target = runner.launch("C:\\submit\\sample.exe")
+        assert target.parent.name == "analyzer.exe"
+        assert target.tags["untrusted"]
+
+    def test_monitor_injection(self, machine):
+        runner = SandboxRunner(machine, inject_monitor=True)
+        target = runner.launch("C:\\submit\\sample.exe")
+        assert is_injected(target, "monitor-x64.dll")
+        manager = hook_manager_of(target)
+        assert manager.is_hooked("shell32.dll!ShellExecuteExW")
+
+    def test_monitor_follows_children(self, machine):
+        runner = SandboxRunner(machine, inject_monitor=True)
+        target = runner.launch("C:\\submit\\sample.exe")
+        api = winapi.bind(machine, target)
+        child = api.CreateProcessA("C:\\submit\\child.exe")
+        assert is_injected(child, "monitor-x64.dll")
+
+    def test_sinkhole_configuration(self, machine):
+        SandboxRunner(machine, sinkhole_nx_domains=True)
+        assert machine.network.resolve("nx.invalid") == SANDBOX_SINKHOLE_IP
+        assert machine.network.http_get_domain("nx.invalid")
+
+    def test_shutdown_stops_following(self, machine):
+        runner = SandboxRunner(machine, inject_monitor=True)
+        target = runner.launch("C:\\submit\\sample.exe")
+        runner.shutdown()
+        child = machine.spawn_process("late.exe", parent=target)
+        assert not is_injected(child, "monitor-x64.dll")
+
+
+class TestRunSample:
+    def test_without_scarecrow_detonates(self):
+        record = run_sample(build_bare_metal_sandbox(aged=False), _sample(),
+                            with_scarecrow=False)
+        assert record.result.executed_payload
+        assert not record.with_scarecrow
+        assert record.controller is None
+
+    def test_with_scarecrow_deactivates(self):
+        record = run_sample(build_bare_metal_sandbox(aged=False), _sample(),
+                            with_scarecrow=True)
+        assert record.result.evaded
+        assert record.first_trigger == "IsDebuggerPresent()"
+        assert record.controller is not None
+
+    def test_sample_image_seeded(self):
+        machine = build_bare_metal_sandbox(aged=False)
+        run_sample(machine, _sample(), with_scarecrow=False)
+        assert machine.filesystem.exists(
+            "C:\\Users\\user\\Downloads\\spec.exe")
+
+    def test_trace_attached(self):
+        record = run_sample(build_bare_metal_sandbox(aged=False), _sample(),
+                            with_scarecrow=False)
+        assert any(e.name == "CreateProcess" for e in record.trace.events)
+
+
+class TestProxyAndAgents:
+    def test_proxy_fifo(self):
+        proxy = Proxy()
+        proxy.submit(_sample(), with_scarecrow=False)
+        proxy.submit(_sample(), with_scarecrow=True)
+        assert proxy.pending == 2
+        assert proxy.fetch().with_scarecrow is False
+        assert proxy.fetch().with_scarecrow is True
+        assert proxy.fetch() is None
+
+    def test_agent_drains_queue(self):
+        proxy = Proxy()
+        proxy.submit_pair(_sample())
+        agent = Agent(proxy, lambda: build_bare_metal_sandbox(aged=False))
+        assert agent.run_until_idle() == 2
+        assert agent.jobs_completed == 2
+        assert len(proxy.uploads) == 2
+
+    def test_agent_idle_returns_false(self):
+        agent = Agent(Proxy(), lambda: build_bare_metal_sandbox(aged=False))
+        assert not agent.run_one()
+
+    def test_cluster_run_pair_ordering(self):
+        cluster = ExperimentCluster(
+            lambda: build_bare_metal_sandbox(aged=False))
+        without, with_sc = cluster.run_pair(_sample())
+        assert not without.with_scarecrow and with_sc.with_scarecrow
+        assert without.result.executed_payload
+        assert with_sc.result.evaded
+
+    def test_cluster_run_corpus(self):
+        cluster = ExperimentCluster(
+            lambda: build_bare_metal_sandbox(aged=False))
+        results = cluster.run_corpus([_sample()])
+        assert set(results) == {"cd" * 16}

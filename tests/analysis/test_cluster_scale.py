@@ -1,0 +1,68 @@
+"""Multi-agent cluster runs, subset verdict consistency, determinism."""
+
+import pytest
+
+from repro.analysis.agent import ExperimentCluster
+from repro.analysis.comparison import compare_runs, summarize
+from repro.analysis.environments import build_bare_metal_sandbox
+from repro.malware.corpus import build_malgene_corpus
+from repro.malware.families import FamilySpec
+
+
+def _factory():
+    return build_bare_metal_sandbox(aged=False)
+
+
+@pytest.fixture(scope="module")
+def mixed_spec():
+    return FamilySpec("Mixed", (("spawn_idp", 4), ("term_vm", 3),
+                                ("sleep_sbx", 2), ("fail_peb", 2),
+                                ("selfdel", 1)))
+
+
+class TestClusterRuns:
+    def test_multi_agent_cluster_drains_queue(self, mixed_spec):
+        corpus = build_malgene_corpus([mixed_spec])
+        cluster = ExperimentCluster(_factory, agents=4)
+        results = cluster.run_corpus(corpus)
+        assert len(results) == mixed_spec.total
+
+    def test_verdicts_match_spec_prediction(self, mixed_spec):
+        corpus = build_malgene_corpus([mixed_spec])
+        cluster = ExperimentCluster(_factory, agents=2)
+        comparisons = []
+        for sample in corpus:
+            without, with_sc = cluster.run_pair(sample)
+            comparisons.append(compare_runs(
+                sample, without.trace, without.result, with_sc.trace,
+                with_sc.result, without.root_pid, with_sc.root_pid))
+        summary = summarize(comparisons)
+        assert summary.total == mixed_spec.total
+        assert summary.deactivated == mixed_spec.expected_deactivated()
+        assert summary.self_spawning == mixed_spec.expected_self_spawning()
+        assert summary.inconclusive == 1       # the selfdel sample
+        assert summary.not_deactivated == 2    # the PEB-gated pair
+
+    def test_shared_database_across_agents(self, mixed_spec):
+        cluster = ExperimentCluster(_factory, agents=3)
+        sample = build_malgene_corpus([mixed_spec])[0]
+        _, with_sc = cluster.run_pair(sample)
+        assert with_sc.controller is not None
+        assert with_sc.controller.engine.db is cluster.database
+
+    def test_cluster_determinism(self, mixed_spec):
+        corpus = build_malgene_corpus([mixed_spec])
+
+        def verdicts():
+            cluster = ExperimentCluster(_factory, agents=2)
+            out = []
+            for sample in corpus:
+                without, with_sc = cluster.run_pair(sample)
+                result = compare_runs(
+                    sample, without.trace, without.result, with_sc.trace,
+                    with_sc.result, without.root_pid, with_sc.root_pid)
+                out.append((sample.md5, result.verdict,
+                            result.self_spawn_count, result.trigger))
+            return out
+
+        assert verdicts() == verdicts()

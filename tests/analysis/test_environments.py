@@ -1,0 +1,138 @@
+"""Environment builders: the three Table II machines + public sandboxes."""
+
+import pytest
+
+from repro.analysis.environments import (PUBLIC_SANDBOX_VOLUMES,
+                                         build_bare_metal_sandbox,
+                                         build_clean_baseline,
+                                         build_cuckoo_vm_sandbox,
+                                         build_end_user_machine,
+                                         build_public_sandboxes)
+
+
+class TestBareMetalSandbox:
+    @pytest.fixture(scope="class")
+    def bm(self):
+        return build_bare_metal_sandbox()
+
+    def test_no_vm_artifacts(self, bm):
+        assert not bm.hardware.cpu.hypervisor_present
+        assert not bm.registry.key_exists(
+            "HKLM\\SOFTWARE\\Oracle\\VirtualBox Guest Additions")
+        assert not bm.network.has_vm_mac()
+
+    def test_decent_hardware(self, bm):
+        assert bm.hardware.cpu.cores == 4
+        assert bm.filesystem.drive("C:").total_bytes > 100 * 1024 ** 3
+
+    def test_uptime_above_pafish_threshold(self, bm):
+        assert bm.clock.tick_count_ms() > 12 * 60 * 1000
+
+    def test_pristine_wear(self, bm):
+        assert bm.dnscache.count() < 10
+        assert bm.eventlog.count() < 5000
+
+    def test_idle_console(self, bm):
+        assert not bm.gui.humanized
+
+    def test_light_build_skips_aging(self):
+        light = build_bare_metal_sandbox(aged=False)
+        assert light.eventlog.count() == 0
+        assert light.clock.tick_count_ms() > 12 * 60 * 1000
+
+
+class TestCuckooVmSandbox:
+    @pytest.fixture(scope="class")
+    def vm(self):
+        return build_cuckoo_vm_sandbox()
+
+    def test_vbox_guest_artifacts(self, vm):
+        assert vm.registry.key_exists(
+            "HKLM\\SOFTWARE\\Oracle\\VirtualBox Guest Additions")
+        assert vm.filesystem.exists(
+            "C:\\Windows\\System32\\drivers\\VBoxMouse.sys")
+        assert vm.devices.exists("\\\\.\\VBoxGuest")
+        assert vm.processes.name_exists("VBoxService.exe")
+        assert vm.gui.find_window("VBoxTrayToolWndClass") is not None
+
+    def test_hypervisor_visible(self, vm):
+        assert vm.hardware.cpu.cpuid(1)["ecx"] & (1 << 31)
+        assert vm.hardware.cpu.cpuid_traps
+
+    def test_vm_mac(self, vm):
+        assert vm.network.has_vm_mac()
+
+    def test_small_guest(self, vm):
+        assert vm.hardware.cpu.cores == 1
+        assert vm.hardware.total_ram < 1024 ** 3
+
+    def test_fresh_boot(self, vm):
+        assert vm.clock.tick_count_ms() < 12 * 60 * 1000
+
+    def test_human_module(self, vm):
+        assert vm.gui.humanized
+
+    def test_no_shared_folders(self, vm):
+        assert not vm.services.exists("VBoxSF")
+
+    def test_transparent_variant_hardened(self):
+        vm = build_cuckoo_vm_sandbox(transparent=True)
+        assert not vm.hardware.cpu.cpuid(1)["ecx"] & (1 << 31)
+        assert not vm.hardware.cpu.cpuid_traps
+        assert not vm.network.has_vm_mac()
+        assert "VBOX" not in vm.hardware.firmware.bios_version
+        # Registry artifacts remain: hardening only touched CPUID/MAC/DMI.
+        assert vm.registry.key_exists(
+            "HKLM\\SOFTWARE\\Oracle\\VirtualBox Guest Additions")
+
+
+class TestEndUserMachine:
+    @pytest.fixture(scope="class")
+    def eu(self):
+        return build_end_user_machine()
+
+    def test_long_uptime(self, eu):
+        assert eu.clock.tick_count_ms() > 24 * 60 * 60 * 1000
+
+    def test_vmware_workstation_host_artifacts(self, eu):
+        assert eu.devices.exists("\\\\.\\vmci")
+        assert eu.registry.key_exists(
+            "HKLM\\SOFTWARE\\VMware, Inc.\\VMware Workstation")
+        # But no guest-tools key (that only exists inside guests).
+        assert not eu.registry.key_exists(
+            "HKLM\\SOFTWARE\\VMware, Inc.\\VMware Tools")
+
+    def test_over_300_vmware_references(self, eu):
+        """'there are over 300 references in a registry to VMware'."""
+        assert eu.registry.count_references("vmware") > 300
+
+    def test_noisy_timing(self, eu):
+        assert eu.clock.profile.cpuid_overhead_ns > 1000
+
+    def test_heavily_worn(self, eu):
+        assert eu.dnscache.count() > 100
+        assert eu.eventlog.count() >= 30_000
+        assert eu.filesystem.exists(
+            "C:\\Users\\john\\AppData\\Local\\Google\\Chrome\\User Data\\"
+            "Default\\History")
+
+    def test_physical_cpu(self, eu):
+        assert not eu.hardware.cpu.hypervisor_present
+
+
+class TestPublicSandboxes:
+    def test_volumes_sum_to_paper_counts(self):
+        files = sum(v["files"] for v in PUBLIC_SANDBOX_VOLUMES.values())
+        processes = sum(v["processes"]
+                        for v in PUBLIC_SANDBOX_VOLUMES.values())
+        assert files == 17540
+        assert processes == 24
+
+    def test_builders_yield_both(self):
+        sandboxes = build_public_sandboxes()
+        assert [name for name, _ in sandboxes] == ["virustotal", "malwr"]
+
+    def test_baseline_is_clean(self):
+        baseline = build_clean_baseline()
+        assert baseline.filesystem.file_count() == 0
+        assert not baseline.hardware.cpu.hypervisor_present

@@ -1,0 +1,172 @@
+"""MalGene trace alignment + the deactivation-verdict machinery."""
+
+import pytest
+
+from repro.analysis.agent import run_sample
+from repro.analysis.comparison import (Verdict, aggregate_by_family,
+                                       compare_runs, summarize)
+from repro.analysis.environments import build_bare_metal_sandbox
+from repro.analysis.malgene import (align_traces, extract_evasion_signature,
+                                    first_divergence_index, learn_signature)
+from repro.core.database import DeceptionDatabase
+from repro.malware.payloads import (DropperPayload, SelfDeletePayload)
+from repro.malware.sample import EvadeAction, EvasiveSample
+
+
+def _factory():
+    return build_bare_metal_sandbox(aged=False)
+
+
+def _run_pair(sample):
+    without = run_sample(_factory(), sample, with_scarecrow=False)
+    with_sc = run_sample(_factory(), sample, with_scarecrow=True)
+    return without, with_sc
+
+
+def _sample(checks, action, payload=None, md5="ee" * 16):
+    return EvasiveSample(md5=md5, exe_name="cmp.exe", family="Fam",
+                         check_names=checks, evade_action=action,
+                         payload=payload or DropperPayload(("d.exe",)))
+
+
+class TestCompareRuns:
+    def _compare(self, sample):
+        without, with_sc = _run_pair(sample)
+        return compare_runs(sample, without.trace, without.result,
+                            with_sc.trace, with_sc.result,
+                            without.root_pid, with_sc.root_pid)
+
+    def test_suppressed_activity_verdict(self):
+        result = self._compare(_sample(("vbox_registry_key",),
+                                       EvadeAction.TERMINATE))
+        assert result.verdict is Verdict.DEACTIVATED_SUPPRESSED
+        assert result.deactivated
+        assert result.activity_without.files
+        assert result.activity_with.empty
+
+    def test_self_spawn_verdict(self):
+        result = self._compare(_sample(("is_debugger_present",),
+                                       EvadeAction.SELF_SPAWN))
+        assert result.verdict is Verdict.DEACTIVATED_SELF_SPAWN
+        assert result.self_spawning and result.self_spawn_count >= 10
+        assert result.used_is_debugger_present
+
+    def test_not_deactivated_verdict(self):
+        result = self._compare(_sample(("cpu_count_peb",),
+                                       EvadeAction.TERMINATE))
+        assert result.verdict is Verdict.NOT_DEACTIVATED
+        assert not result.deactivated
+
+    def test_inconclusive_verdict_selfdel(self):
+        result = self._compare(_sample(("is_debugger_present",),
+                                       EvadeAction.TERMINATE,
+                                       payload=SelfDeletePayload()))
+        assert result.verdict is Verdict.INCONCLUSIVE
+
+    def test_trigger_recorded(self):
+        result = self._compare(_sample(("vbox_registry_key",),
+                                       EvadeAction.TERMINATE))
+        assert result.trigger == "RegOpenKeyEx()"
+
+
+class TestAggregation:
+    def _results(self):
+        samples = [
+            _sample(("is_debugger_present",), EvadeAction.SELF_SPAWN,
+                    md5="01" * 16),
+            _sample(("vbox_registry_key",), EvadeAction.TERMINATE,
+                    md5="02" * 16),
+            _sample(("cpu_count_peb",), EvadeAction.TERMINATE,
+                    md5="03" * 16),
+        ]
+        results = []
+        for sample in samples:
+            without, with_sc = _run_pair(sample)
+            results.append(compare_runs(
+                sample, without.trace, without.result, with_sc.trace,
+                with_sc.result, without.root_pid, with_sc.root_pid))
+        return results
+
+    def test_summary(self):
+        summary = summarize(self._results())
+        assert summary.total == 3
+        assert summary.deactivated == 2
+        assert summary.self_spawning == 1
+        assert summary.self_spawning_using_idp == 1
+        assert summary.not_deactivated == 1
+        assert summary.deactivation_rate == pytest.approx(2 / 3)
+
+    def test_family_breakdown(self):
+        families = aggregate_by_family(self._results())
+        family = families["Fam"]
+        assert family.total == 3 and family.deactivated == 2
+        assert family.self_spawning == 1
+        # Sub-counts cover deactivated samples' without-Scarecrow payloads.
+        assert family.created_processes_without >= 1
+        assert family.modified_files_registry_without >= 1
+        assert 0 < family.deactivation_rate < 1
+
+
+class TestMalGene:
+    def _traces(self):
+        """MalGene's real setting: the same sample in two *analysis*
+        environments — evading in the VBox guest, detonating on bare
+        metal — with no Scarecrow anywhere."""
+        from repro.analysis.environments import build_cuckoo_vm_sandbox
+        sample = _sample(("vbox_registry_key", "vm_driver_files"),
+                         EvadeAction.TERMINATE)
+        detonated = run_sample(_factory(), sample, with_scarecrow=False)
+        evaded = run_sample(build_cuckoo_vm_sandbox(), sample,
+                            with_scarecrow=False)
+        return evaded.trace, detonated.trace
+
+    def test_traces_diverge(self):
+        evaded, detonated = self._traces()
+        index = first_divergence_index(evaded, detonated)
+        assert index is not None
+
+    def test_identical_traces_no_divergence(self):
+        evaded, _ = self._traces()
+        assert first_divergence_index(evaded, evaded) is None
+        assert extract_evasion_signature(evaded, evaded) is None
+
+    def test_signature_points_at_fingerprint_resource(self):
+        evaded, detonated = self._traces()
+        signature = extract_evasion_signature(evaded, detonated)
+        assert signature is not None
+        assert signature.category == "registry"
+        assert "virtualbox" in signature.resource.lower()
+        assert "RegOpenKey" in signature.describe()
+
+    def test_align_traces_opcode_stream(self):
+        evaded, detonated = self._traces()
+        opcodes = align_traces(evaded, detonated)
+        assert opcodes and any(tag != "equal" for tag, *_ in opcodes)
+
+    def test_learning_loop_extends_database(self):
+        evaded, detonated = self._traces()
+        signature = extract_evasion_signature(evaded, detonated)
+        db = DeceptionDatabase()
+        # Already curated -> nothing new.
+        assert not learn_signature(db, signature)
+        # A novel resource gets learned.
+        from repro.analysis.malgene import EvasionSignature
+        novel = EvasionSignature("registry", "RegOpenKey",
+                                 "HKLM\\SOFTWARE\\BrandNewSandboxVendor")
+        assert learn_signature(db, novel)
+        assert db.lookup_registry_key(novel.resource) is not None
+        assert not learn_signature(db, novel)  # idempotent
+
+    def test_learning_file_signature(self):
+        from repro.analysis.malgene import EvasionSignature
+        db = DeceptionDatabase()
+        novel = EvasionSignature("file", "QueryAttributes",
+                                 "C:\\brand\\new\\agent_v2.sys")
+        assert learn_signature(db, novel)
+        assert db.lookup_file(novel.resource) is not None
+
+    def test_learning_ignores_non_resource_categories(self):
+        from repro.analysis.malgene import EvasionSignature
+        db = DeceptionDatabase()
+        assert not learn_signature(
+            db, EvasionSignature("net", "DnsQuery", "x.com"))

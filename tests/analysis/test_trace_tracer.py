@@ -1,0 +1,130 @@
+"""Trace collection, scoping, significant-activity extraction."""
+
+import pytest
+
+from repro import winapi
+from repro.analysis.trace import Trace, alignment_key
+from repro.analysis.tracer import Tracer
+from repro.winsim.bus import KernelEvent
+
+
+def _event(category, event_name, pid=4, **details):
+    return KernelEvent(category, event_name, pid, 0, details)
+
+
+class TestTracer:
+    def test_records_process_events(self, machine):
+        with Tracer(machine) as tracer:
+            machine.spawn_process("x.exe")
+        assert any(e.name == "CreateProcess" for e in tracer.trace.events)
+
+    def test_stop_detaches(self, machine):
+        tracer = Tracer(machine).start()
+        tracer.stop()
+        machine.spawn_process("late.exe")
+        assert not any(e.detail("name") == "late.exe"
+                       for e in tracer.trace.events)
+        assert not tracer.running
+
+    def test_api_events_excluded_by_default(self, machine, api):
+        with Tracer(machine) as tracer:
+            api.GetTickCount()
+        assert not tracer.trace.by_category("api")
+
+    def test_api_events_opt_in(self, machine, api):
+        with Tracer(machine, include_api_calls=True) as tracer:
+            api.GetTickCount()
+        assert tracer.trace.by_category("api")
+
+    def test_file_registry_net_captured(self, machine, api):
+        machine.network.register_domain("c2.test")
+        with Tracer(machine) as tracer:
+            handle = api.CreateFileA("C:\\drop.bin", write=True)
+            api.WriteFile(handle, b"x")
+            err, key = api.RegCreateKeyExA("HKEY_CURRENT_USER",
+                                           "Software\\M")
+            api.RegSetValueExA(key, "v", 1)
+            api.DnsQuery_A("c2.test")
+        trace = tracer.trace
+        assert trace.by_category("file")
+        assert trace.by_category("registry")
+        assert trace.by_category("net")
+
+
+class TestTraceQueries:
+    def test_process_tree_pids(self):
+        trace = Trace("t", [
+            _event("process", "CreateProcess", pid=8, ppid=4, name="a"),
+            _event("process", "CreateProcess", pid=12, ppid=8, name="b"),
+            _event("process", "CreateProcess", pid=90, ppid=77, name="c"),
+        ])
+        assert trace.process_tree_pids(4) == {4, 8, 12}
+
+    def test_scoped_to_pids(self):
+        trace = Trace("t", [_event("file", "WriteFile", pid=8, path="a"),
+                            _event("file", "WriteFile", pid=9, path="b")])
+        scoped = trace.scoped_to_pids({8})
+        assert len(scoped) == 1
+
+    def test_processes_created_excludes(self):
+        trace = Trace("t", [
+            _event("process", "CreateProcess", name="evil.exe"),
+            _event("process", "CreateProcess", name="scarecrow.exe"),
+            _event("process", "CreateProcess", name="drop.exe")])
+        assert trace.processes_created(
+            exclude_names=("evil.exe", "scarecrow.exe")) == ["drop.exe"]
+
+    def test_files_touched_excludes_own_image(self):
+        trace = Trace("t", [
+            _event("file", "WriteFile", path="C:\\dl\\self.exe"),
+            _event("file", "WriteFile", path="C:\\other.bin"),
+            _event("file", "QueryAttributes", path="C:\\probe.sys")])
+        touched = trace.files_touched(exclude_paths=("C:\\dl\\self.exe",))
+        assert touched == ["C:\\other.bin"]
+
+    def test_registry_modified_only_mutations(self):
+        trace = Trace("t", [
+            _event("registry", "RegOpenKey", key="HKLM\\X"),
+            _event("registry", "RegSetValue", key="HKLM\\Y")])
+        assert trace.registry_modified() == ["HKLM\\Y"]
+
+    def test_domains_reached_filters_nx(self):
+        trace = Trace("t", [
+            _event("net", "DnsQuery", domain="nx.invalid", answer=None),
+            _event("net", "DnsQuery", domain="real.com", answer="1.2.3.4")])
+        assert trace.domains_reached() == ["real.com"]
+        assert len(trace.domains_contacted()) == 2
+
+    def test_self_spawn_count(self):
+        trace = Trace("t", [
+            _event("process", "CreateProcess", name="evil.exe")
+            for _ in range(5)])
+        assert trace.self_spawn_count("EVIL.EXE") == 5
+
+    def test_significant_activity_empty_flag(self):
+        trace = Trace("t", [])
+        activity = trace.significant_activity("x.exe", "C:\\x.exe")
+        assert activity.empty
+        assert not activity.creates_processes
+        assert not activity.modifies_files_or_registry
+
+
+class TestAlignmentKey:
+    def test_uses_resource_detail(self):
+        event = _event("registry", "RegOpenKey", key="HKLM\\SOFTWARE\\VM")
+        assert alignment_key(event) == \
+            ("registry", "RegOpenKey", "hklm\\software\\vm", "")
+
+    def test_pid_and_time_invariant(self):
+        a = KernelEvent("file", "WriteFile", 4, 100, {"path": "C:\\x"})
+        b = KernelEvent("file", "WriteFile", 88, 999, {"path": "c:\\X"})
+        assert alignment_key(a) == alignment_key(b)
+
+    def test_query_outcome_distinguishes(self):
+        hit = _event("registry", "RegOpenKey", key="HKLM\\VM", found=True)
+        miss = _event("registry", "RegOpenKey", key="HKLM\\VM", found=False)
+        assert alignment_key(hit) != alignment_key(miss)
+
+    def test_fallback_without_details(self):
+        assert alignment_key(_event("system", "ForcedRestart")) == \
+            ("system", "ForcedRestart", "", "")

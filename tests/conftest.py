@@ -1,0 +1,46 @@
+"""Shared fixtures: booted machines, target processes, API bindings."""
+
+import pytest
+
+from repro import winapi
+from repro.core import ScarecrowController
+from repro.winsim import Machine
+
+
+@pytest.fixture
+def machine():
+    """A plain booted Windows 7 machine (no analysis artifacts)."""
+    return Machine().boot()
+
+
+@pytest.fixture
+def target(machine):
+    """An untrusted process launched from Downloads under explorer."""
+    process = machine.spawn_process(
+        "target.exe", "C:\\Users\\user\\Downloads\\target.exe",
+        parent=machine.explorer)
+    process.tags["untrusted"] = True
+    return process
+
+
+@pytest.fixture
+def api(machine, target):
+    """The target process's API view."""
+    return winapi.bind(machine, target)
+
+
+@pytest.fixture
+def controller(machine):
+    """A Scarecrow controller on the plain machine."""
+    return ScarecrowController(machine)
+
+
+@pytest.fixture
+def protected(machine, controller):
+    """A target launched under Scarecrow protection."""
+    return controller.launch("C:\\Users\\user\\Downloads\\suspicious.exe")
+
+
+@pytest.fixture
+def protected_api(machine, protected):
+    return winapi.bind(machine, protected)

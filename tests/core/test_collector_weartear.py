@@ -1,0 +1,127 @@
+"""Section II-C collector pipeline and the Table III wear-and-tear module."""
+
+import pytest
+
+from repro.analysis.environments import (build_clean_baseline,
+                                         build_public_sandbox,
+                                         build_public_sandboxes)
+from repro.core import (DeceptionDatabase, ScarecrowController,
+                        collect_from_public_sandboxes, diff_reports,
+                        enable_weartear, extend_database, run_crawler)
+from repro.core.resources import Origin
+from repro.core.weartear import TABLE3_ROWS, faked_artifact_names
+
+
+@pytest.fixture(scope="module")
+def crawl_counts():
+    db = DeceptionDatabase()
+    counts = collect_from_public_sandboxes(
+        db, build_public_sandboxes(), build_clean_baseline())
+    return db, counts
+
+
+class TestCrawler:
+    def test_crawler_inventories_machine(self):
+        baseline = build_clean_baseline()
+        report = run_crawler(baseline, "clean")
+        assert report.machine_label == "clean"
+        assert "explorer.exe" in report.processes
+        assert report.disk_total_bytes > 0
+        assert report.cpu_cores > 0
+
+    def test_malwr_has_famous_5gb_drive(self):
+        malwr = build_public_sandbox("malwr")
+        report = run_crawler(malwr, "malwr")
+        assert report.disk_total_bytes == 5 * 1024 ** 3
+
+    def test_unknown_sandbox_rejected(self):
+        with pytest.raises(ValueError):
+            build_public_sandbox("hybrid-analysis")
+
+
+class TestDiff:
+    def test_paper_counts_reproduced(self, crawl_counts):
+        """Section II-C: 17,540 files / 24 processes / 1,457 reg entries."""
+        _, counts = crawl_counts
+        assert counts == {"files": 17540, "processes": 24,
+                          "registry_entries": 1457}
+
+    def test_crawled_resources_marked(self, crawl_counts):
+        db, _ = crawl_counts
+        crawled = db.counts_by_origin(Origin.CRAWLED)
+        assert crawled["files"] == 17540
+        assert crawled["processes"] == 24
+
+    def test_baseline_resources_not_included(self, crawl_counts):
+        db, _ = crawl_counts
+        assert db.lookup_process("explorer.exe") is None
+        assert db.lookup_registry_key(
+            "HKLM\\SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion") is None
+
+    def test_diff_empty_against_self(self):
+        baseline = build_clean_baseline()
+        report = run_crawler(baseline, "x")
+        diff = diff_reports([report], report)
+        assert not diff.files and not diff.processes
+        assert diff.registry_entry_count == 0
+
+    def test_extend_database_counts_match_diff(self):
+        baseline = build_clean_baseline()
+        sandbox = build_public_sandbox("malwr")
+        diff = diff_reports([run_crawler(sandbox, "m")],
+                            run_crawler(baseline, "b"))
+        db = DeceptionDatabase()
+        counts = extend_database(db, diff)
+        assert counts["files"] == len(diff.files)
+
+    def test_crawled_resource_usable_for_deception(self, machine,
+                                                   crawl_counts):
+        db, _ = crawl_counts
+        from repro import winapi
+        controller = ScarecrowController(machine, database=db)
+        target = controller.launch("C:\\dl\\x.exe")
+        api = winapi.bind(machine, target)
+        # A crawled Malwr-unique process name is now advertised.
+        snapshot = api.CreateToolhelp32Snapshot()
+        names = set()
+        entry = api.Process32First(snapshot)
+        while entry is not None:
+            names.add(entry[1])
+            entry = api.Process32Next(snapshot)
+        assert "malwr_svc_00.exe" in names
+
+
+class TestWearTearModule:
+    def test_table3_row_count(self):
+        """Top 5 + 11 registry rows, exactly as printed."""
+        assert len(TABLE3_ROWS) == 16
+        assert sum(1 for r in TABLE3_ROWS if r.category == "Top 5") == 5
+        assert sum(1 for r in TABLE3_ROWS
+                   if r.category == "Registry related") == 11
+
+    def test_faked_artifact_names(self):
+        names = faked_artifact_names()
+        assert "dnscacheEntries" in names and "USBStorCount" in names
+
+    def test_associated_apis_from_table(self):
+        by_artifact = {r.artifact: r for r in TABLE3_ROWS}
+        assert by_artifact["dnscacheEntries"].associated_apis == \
+            ("DnsGetCacheDataTable()",)
+        assert "NtQuerySystemInformation()" in \
+            by_artifact["regSize"].associated_apis
+        assert "NtQueryValueKey()" in \
+            by_artifact["shimCacheCount"].associated_apis
+
+    def test_enable_weartear_helper(self, machine):
+        controller = ScarecrowController(machine)
+        controller.launch("C:\\dl\\x.exe")
+        assert not controller.engine.config.enable_weartear
+        enable_weartear(controller)
+        assert controller.engine.config.enable_weartear
+
+    def test_enable_weartear_custom_profile(self, machine):
+        from repro.core import WearTearProfile
+        controller = ScarecrowController(machine)
+        controller.launch("C:\\dl\\x.exe")
+        enable_weartear(controller, WearTearProfile(dnscache_entries=7))
+        assert controller.engine.db.weartear.dnscache_entries == 7

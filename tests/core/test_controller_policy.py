@@ -1,0 +1,175 @@
+"""Controller lifecycle, child following, IPC reports, spawn-loop policy."""
+
+import pytest
+
+from repro import winapi
+from repro.core import (ScarecrowConfig, ScarecrowController, SpawnLoopPolicy)
+from repro.core.controller import CONTROLLER_IMAGE
+from repro.hooking import hook_manager_of, is_injected
+
+
+class TestLaunch:
+    def test_controller_process_spawned(self, controller, protected):
+        assert controller.process.name == "scarecrow.exe"
+        assert controller.process.image_path == CONTROLLER_IMAGE
+
+    def test_start_idempotent(self, controller):
+        first = controller.start()
+        assert controller.start() is first
+
+    def test_target_parent_is_controller(self, controller, protected):
+        assert protected.parent is controller.process
+
+    def test_target_marked_untrusted(self, protected):
+        assert protected.tags["untrusted"] is True
+
+    def test_dll_injected(self, protected):
+        assert is_injected(protected, "scarecrow.dll")
+        assert protected.modules.is_loaded("scarecrow.dll")
+
+    def test_hooks_installed_counted(self, protected):
+        assert protected.tags["scarecrow_hooks_installed"] >= 29
+
+    def test_protect_existing(self, machine, controller):
+        existing = machine.spawn_process("running.exe",
+                                         parent=machine.explorer)
+        controller.protect_existing(existing)
+        assert is_injected(existing, "scarecrow.dll")
+        assert controller.is_tracked(existing.pid)
+
+
+class TestChildFollowing:
+    def test_child_injected(self, machine, controller, protected):
+        api = winapi.bind(machine, protected)
+        child = api.CreateProcessA("C:\\evil\\stage2.exe")
+        assert is_injected(child, "scarecrow.dll")
+        assert controller.is_tracked(child.pid)
+
+    def test_grandchild_injected(self, machine, controller, protected):
+        api = winapi.bind(machine, protected)
+        child = api.CreateProcessA("C:\\evil\\stage2.exe")
+        child_api = winapi.bind(machine, child)
+        grandchild = child_api.CreateProcessA("C:\\evil\\stage3.exe")
+        assert is_injected(grandchild, "scarecrow.dll")
+
+    def test_unrelated_processes_not_injected(self, machine, controller,
+                                              protected):
+        bystander = machine.spawn_process("benign.exe",
+                                          parent=machine.explorer)
+        assert not is_injected(bystander, "scarecrow.dll")
+
+    def test_child_sees_deception(self, machine, controller, protected):
+        api = winapi.bind(machine, protected)
+        child = api.CreateProcessA("C:\\evil\\stage2.exe")
+        child_api = winapi.bind(machine, child)
+        assert child_api.IsDebuggerPresent() is True
+
+    def test_shutdown_stops_following(self, machine, controller, protected):
+        controller.shutdown()
+        child = machine.spawn_process("late.exe", parent=protected)
+        assert not is_injected(child, "scarecrow.dll")
+        assert not controller.process.alive
+
+
+class TestReports:
+    def test_fingerprint_events_recorded(self, machine, controller,
+                                         protected_api):
+        protected_api.IsDebuggerPresent()
+        events = controller.fingerprint_events()
+        assert events and events[0].category == "debugger"
+        assert controller.first_trigger().trigger_name == \
+            "IsDebuggerPresent()"
+
+    def test_ipc_reports_delivered(self, controller, protected_api):
+        protected_api.IsDebuggerPresent()
+        protected_api.GetModuleHandleA("SbieDll.dll")
+        messages = controller.drain_reports()
+        assert len(messages) == 2
+        assert messages[0].kind == "fingerprint_report"
+        assert controller.drain_reports() == []
+
+    def test_summary_by_category(self, controller, protected_api):
+        protected_api.IsDebuggerPresent()
+        protected_api.GetTickCount()
+        summary = controller.summary()
+        assert summary["debugger"] == 1
+        assert summary["timing"] == 1
+
+
+class TestConfigUpdates:
+    def test_push_config_disables_group(self, machine, controller,
+                                         protected_api):
+        assert protected_api.IsDebuggerPresent() is True
+        controller.push_config_update(enable_debugger=False)
+        assert protected_api.IsDebuggerPresent() is False
+
+    def test_push_config_unknown_field_rejected(self, controller, protected):
+        with pytest.raises(AttributeError):
+            controller.push_config_update(no_such_flag=True)
+
+    def test_config_update_sent_over_ipc(self, controller, protected):
+        controller.push_config_update(enable_network=False)
+        messages = controller.ipc.dll.drain()
+        assert any(m.kind == "config_update" for m in messages)
+
+    def test_weartear_enable_at_runtime(self, machine, controller,
+                                        protected_api):
+        machine.dnscache.populate(f"h{i}.com" for i in range(50))
+        assert len(protected_api.DnsGetCacheDataTable()) == 50
+        controller.push_config_update(enable_weartear=True)
+        assert len(protected_api.DnsGetCacheDataTable()) == 4
+
+
+class TestSpawnLoopPolicy:
+    def _spawn_loop(self, machine, controller, protected, count):
+        current = protected
+        for _ in range(count):
+            api = winapi.bind(machine, current)
+            current = api.CreateProcessW(protected.image_path)
+        return current
+
+    def test_alarm_raised_at_threshold(self, machine, controller, protected):
+        self._spawn_loop(machine, controller, protected, 10)
+        assert len(controller.alarms) == 1
+        alarm = controller.alarms[0]
+        assert alarm.spawn_count == 10 and not alarm.mitigated
+
+    def test_single_alarm_per_image(self, machine, controller, protected):
+        self._spawn_loop(machine, controller, protected, 15)
+        assert len(controller.alarms) == 1
+
+    def test_below_threshold_no_alarm(self, machine, controller, protected):
+        self._spawn_loop(machine, controller, protected, 5)
+        assert controller.alarms == []
+
+    def test_alarm_event_published(self, machine, controller, protected):
+        events = []
+        machine.bus.subscribe(events.append)
+        self._spawn_loop(machine, controller, protected, 10)
+        assert any(e.category == "scarecrow" and e.name == "SpawnLoopAlarm"
+                   for e in events)
+
+    def test_active_mitigation_kills_lineage(self, machine):
+        controller = ScarecrowController(
+            machine, policy=SpawnLoopPolicy(active_mitigation=True))
+        protected = controller.launch("C:\\dl\\bomb.exe")
+        current = protected
+        for _ in range(10):
+            api = winapi.bind(machine, current)
+            current = api.CreateProcessW(protected.image_path)
+            if not current.alive:
+                break
+        assert controller.alarms and controller.alarms[0].mitigated
+        assert not current.alive
+
+    def test_policy_counts(self):
+        policy = SpawnLoopPolicy(threshold=3)
+        assert policy.spawn_count("x.exe") == 0
+        assert not policy.is_looping("x.exe")
+
+    def test_non_self_spawn_not_counted(self, machine, controller,
+                                        protected):
+        api = winapi.bind(machine, protected)
+        for index in range(12):
+            api.CreateProcessA(f"C:\\drop\\unique_{index}.exe")
+        assert controller.alarms == []

@@ -1,0 +1,166 @@
+"""Deception database: curated inventory, lookups, crawled extension."""
+
+import pytest
+
+from repro.core.database import (ANALYSIS_DLLS, COMBINED_BIOS_VERSION,
+                                 DEBUGGER_WINDOWS, DeceptionDatabase,
+                                 PROTECTED_PROCESSES, SANDBOX_WINDOWS)
+from repro.core.resources import Origin, ResourceCategory
+
+
+@pytest.fixture
+def db():
+    return DeceptionDatabase()
+
+
+class TestCuratedInventory:
+    def test_paper_counts(self, db):
+        """Section II-B inventory: 24 processes, 15 DLLs, 6+4 windows."""
+        assert len(PROTECTED_PROCESSES) == 24
+        assert len(ANALYSIS_DLLS) == 15
+        assert len(DEBUGGER_WINDOWS) == 6
+        assert len(SANDBOX_WINDOWS) == 4
+        counts = db.counts()
+        assert counts["processes"] == 24
+        assert counts["libraries"] == 15
+        assert counts["windows"] == 10
+
+    def test_all_processes_protected(self, db):
+        assert len(db.protected_process_names()) == 24
+
+    def test_combined_bios_covers_three_vms(self):
+        for marker in ("VBOX", "QEMU", "BOCHS"):
+            assert marker in COMBINED_BIOS_VERSION
+
+
+class TestFileLookups:
+    def test_full_path_match(self, db):
+        hit = db.lookup_file("C:\\Windows\\System32\\drivers\\vmmouse.sys")
+        assert hit is not None and hit.profile == "vmware"
+
+    def test_basename_fallback(self, db):
+        assert db.lookup_file("D:\\elsewhere\\vmmouse.sys") is not None
+
+    def test_folder_match(self, db):
+        hit = db.lookup_file("C:\\Program Files\\VMware\\VMware Tools")
+        assert hit is not None
+        assert hit.category is ResourceCategory.FOLDER
+
+    def test_miss(self, db):
+        assert db.lookup_file("C:\\Windows\\notepad.exe") is None
+
+    def test_case_insensitive(self, db):
+        assert db.lookup_file("C:\\WINDOWS\\SYSTEM32\\DRIVERS\\VMMOUSE.SYS")
+
+
+class TestProcessLibraryWindowLookups:
+    def test_process(self, db):
+        assert db.lookup_process("vboxservice.exe").protected
+        assert db.lookup_process("notepad.exe") is None
+
+    def test_library_dll_suffix_optional(self, db):
+        assert db.lookup_library("SbieDll") is not None
+        assert db.lookup_library("SbieDll.dll") is not None
+        assert db.lookup_library("harmless.dll") is None
+
+    def test_window_by_class(self, db):
+        assert db.lookup_window("OLLYDBG", None) is not None
+        assert db.lookup_window("VBoxTrayToolWndClass", None) is not None
+
+    def test_window_by_title(self, db):
+        assert db.lookup_window(None, "Immunity Debugger") is not None
+
+    def test_window_both_none(self, db):
+        assert db.lookup_window(None, None) is None
+
+    def test_window_mismatch(self, db):
+        assert db.lookup_window("OLLYDBG", "Wrong Title") is None
+
+
+class TestRegistryLookups:
+    def test_exact_key(self, db):
+        assert db.lookup_registry_key(
+            "HKEY_LOCAL_MACHINE\\SOFTWARE\\Oracle\\"
+            "VirtualBox Guest Additions") is not None
+
+    def test_ancestor_match(self, db):
+        assert db.lookup_registry_key(
+            "HKEY_LOCAL_MACHINE\\SOFTWARE\\VMware, Inc.") is not None
+
+    def test_no_descendant_match(self, db):
+        assert db.lookup_registry_key(
+            "HKEY_LOCAL_MACHINE\\SOFTWARE\\Oracle\\"
+            "VirtualBox Guest Additions\\Deeper\\Than\\Db") is None
+
+    def test_miss(self, db):
+        assert db.lookup_registry_key("HKLM\\SOFTWARE\\Microsoft") is None
+
+    def test_value_lookup(self, db):
+        hit = db.lookup_registry_value(
+            "HKEY_LOCAL_MACHINE\\HARDWARE\\Description\\System",
+            "SystemBiosVersion")
+        assert hit.data == COMBINED_BIOS_VERSION
+
+    def test_values_for_key(self, db):
+        values = dict(db.registry_values_for_key(
+            "HKEY_LOCAL_MACHINE\\HARDWARE\\Description\\System"))
+        assert "systembiosversion" in values
+        assert "videobiosversion" in values
+
+    def test_subkeys_for_key(self, db):
+        children = db.registry_subkeys_for_key(
+            "HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Enum\\IDE")
+        assert any("vbox" in child.lower() for child in children)
+
+
+class TestDeviceLookups:
+    def test_vmci(self, db):
+        assert db.lookup_device("\\\\.\\vmci").profile == "vmware"
+
+    def test_vboxguest(self, db):
+        assert db.lookup_device("\\\\.\\VBoxGuest").profile == "vbox"
+
+    def test_miss(self, db):
+        assert db.lookup_device("\\\\.\\PhysicalDrive0") is None
+
+
+class TestExtension:
+    def test_add_crawled_resources_tracked_by_origin(self, db):
+        db.add_file("C:\\vt\\unique.bin", "sandbox-generic",
+                    origin=Origin.CRAWLED)
+        db.add_process("vt_agent.exe", "sandbox-generic",
+                       origin=Origin.CRAWLED)
+        db.add_registry_key("HKLM\\SOFTWARE\\VtSandbox", "sandbox-generic",
+                            origin=Origin.CRAWLED)
+        crawled = db.counts_by_origin(Origin.CRAWLED)
+        assert crawled == {"files": 1, "processes": 1, "registry_entries": 1}
+
+    def test_curated_origin_default(self, db):
+        curated = db.counts_by_origin(Origin.CURATED)
+        assert curated["files"] == db.counts()["files"]
+
+
+class TestProfiles:
+    def test_hardware_profile_paper_values(self, db):
+        assert db.hardware.disk_total_bytes == 50 * 1024 ** 3
+        assert db.hardware.cpu_cores == 1
+        assert db.hardware.ram_total_bytes < 1024 ** 3
+
+    def test_weartear_profile_table3_values(self, db):
+        assert db.weartear.dnscache_entries == 4
+        assert db.weartear.sysevt_count == 8000
+        assert db.weartear.device_cls_count == 29
+        assert db.weartear.autorun_count == 3
+        assert db.weartear.regsize_bytes == 53 * 1024 * 1024
+
+    def test_weartear_managed_keys_cover_table3(self, db):
+        managed = db.weartear.managed_keys()
+        assert any("DeviceClasses" in key for key in managed)
+        assert any("UserAssist" in key for key in managed)
+        assert any("FirewallRules" in key for key in managed)
+        assert any("UsbStor" in key for key in managed)
+
+    def test_identity_profile(self, db):
+        assert db.identity.username == "currentuser"
+        assert db.identity.sample_directory == "C:\\sample"
+        assert 0 < db.identity.tick_rate < 1

@@ -1,0 +1,191 @@
+"""Engine internals, fingerprint log, profile conflict masking (VI-B)."""
+
+import pytest
+
+from repro.core.engine import DeceptionEngine
+from repro.core.events import FingerprintEvent, FingerprintLog
+from repro.core.profiles import (ALL_PROFILES, ProfileManager,
+                                 ScarecrowConfig, VM_PROFILES)
+from repro.core.resources import (DeceptiveResource, Origin,
+                                  ResourceCategory,
+                                  registry_value_identity,
+                                  split_registry_value_identity)
+
+
+class TestFingerprintLog:
+    def _event(self, category="debugger", api="kernel32.dll!IsDebuggerPresent"):
+        return FingerprintEvent(category, api, "r", 4, 0)
+
+    def test_record_and_first(self):
+        log = FingerprintLog()
+        assert log.first() is None
+        log.record(self._event())
+        log.record(self._event("registry", "ntdll.dll!NtOpenKeyEx"))
+        assert log.first().category == "debugger"
+        assert len(log) == 2
+
+    def test_by_category(self):
+        log = FingerprintLog()
+        log.record(self._event())
+        log.record(self._event("registry"))
+        assert len(log.by_category("registry")) == 1
+
+    def test_trigger_name_format(self):
+        assert self._event().trigger_name == "IsDebuggerPresent()"
+
+    def test_clear(self):
+        log = FingerprintLog()
+        log.record(self._event())
+        log.clear()
+        assert len(log) == 0
+
+
+class TestResources:
+    def test_matches_exact(self):
+        resource = DeceptiveResource(ResourceCategory.PROCESS,
+                                     "VBoxTray.exe", "vbox")
+        assert resource.matches("vboxtray.exe")
+        assert not resource.matches("other.exe")
+
+    def test_file_basename_match(self):
+        resource = DeceptiveResource(
+            ResourceCategory.FILE,
+            "C:\\Windows\\System32\\drivers\\vmmouse.sys", "vmware")
+        assert resource.matches("vmmouse.sys")
+        assert resource.matches("D:\\other\\vmmouse.sys")
+
+    def test_registry_value_identity_roundtrip(self):
+        identity = registry_value_identity("HKLM\\A\\B", "Version")
+        assert split_registry_value_identity(identity) == \
+            ("HKLM\\A\\B", "Version")
+        assert split_registry_value_identity("no-separator") is None
+
+
+class TestEngine:
+    def test_applies_checks_profile(self):
+        engine = DeceptionEngine(
+            config=ScarecrowConfig(profiles={"vmware"}))
+        vbox = DeceptiveResource(ResourceCategory.FILE, "f", "vbox")
+        vmware = DeceptiveResource(ResourceCategory.FILE, "f", "vmware")
+        assert not engine.applies(vbox)
+        assert engine.applies(vmware)
+        assert not engine.applies(None)
+
+    def test_report_appends_and_ipc(self):
+        from repro.hooking.ipc import IpcChannel
+        channel = IpcChannel()
+        engine = DeceptionEngine(ipc=channel.dll)
+        engine.report("debugger", "kernel32.dll!IsDebuggerPresent",
+                      "IsDebuggerPresent", 4, 0)
+        assert len(engine.log) == 1
+        assert channel.controller.receive().kind == "fingerprint_report"
+
+    def test_fake_tick_low_and_slow(self, machine):
+        engine = DeceptionEngine()
+        engine.attach_process(machine, 400)
+        first = engine.fake_tick(machine, 400)
+        assert first == engine.db.identity.fake_uptime_base_ms
+        machine.clock.advance_ms(1000)
+        second = engine.fake_tick(machine, 400)
+        assert second - first == pytest.approx(500, abs=32)
+
+    def test_fake_tick_unattached_pid_selfbases(self, machine):
+        engine = DeceptionEngine()
+        assert engine.fake_tick(machine, 999) == \
+            engine.db.identity.fake_uptime_base_ms
+
+    def test_materialize_registry_key_path(self):
+        engine = DeceptionEngine()
+        key = engine.materialize_registry_key(
+            "HKEY_LOCAL_MACHINE\\SOFTWARE\\Oracle\\"
+            "VirtualBox Guest Additions")
+        assert key.path().endswith("VirtualBox Guest Additions")
+        assert key.get_value("Version") is not None
+
+    def test_materialize_counted_key(self):
+        engine = DeceptionEngine()
+        key = engine.materialize_counted_key("HKLM\\SOFTWARE\\Counted",
+                                             subkeys=29, values=3)
+        assert key.subkey_count() == 29
+        assert key.value_count() == 3
+
+    def test_reset(self, machine):
+        engine = DeceptionEngine()
+        engine.report("debugger", "a!b", "r", 4, 0)
+        engine.attach_process(machine, 4)
+        engine.reset()
+        assert len(engine.log) == 0
+
+
+class TestProfileManager:
+    def test_all_profiles_active_by_default(self):
+        manager = ProfileManager(ScarecrowConfig())
+        assert manager.active == set(ALL_PROFILES)
+
+    def test_restricted_profiles(self):
+        manager = ProfileManager(ScarecrowConfig(profiles={"vbox"}))
+        assert manager.is_active("vbox")
+        assert not manager.is_active("vmware")
+
+    def test_no_masking_without_exclusive_mode(self):
+        manager = ProfileManager(ScarecrowConfig())
+        manager.observe_probe("vbox")
+        assert manager.is_active("vmware")
+        assert manager.committed_vm is None
+
+    def test_exclusive_mode_masks_conflicting_vms(self):
+        manager = ProfileManager(ScarecrowConfig(exclusive_profiles=True))
+        manager.observe_probe("vbox")
+        assert manager.committed_vm == "vbox"
+        assert manager.is_active("vbox")
+        for other in VM_PROFILES - {"vbox"}:
+            assert not manager.is_active(other)
+
+    def test_exclusive_mode_keeps_compatible_profiles(self):
+        manager = ProfileManager(ScarecrowConfig(exclusive_profiles=True))
+        manager.observe_probe("vmware")
+        assert manager.is_active("debugger")
+        assert manager.is_active("sandboxie")
+
+    def test_commitment_is_sticky(self):
+        manager = ProfileManager(ScarecrowConfig(exclusive_profiles=True))
+        manager.observe_probe("vbox")
+        manager.observe_probe("vmware")  # too late, vbox committed
+        assert manager.committed_vm == "vbox"
+        assert not manager.is_active("vmware")
+
+    def test_compatible_probe_never_commits(self):
+        manager = ProfileManager(ScarecrowConfig(exclusive_profiles=True))
+        manager.observe_probe("debugger")
+        assert manager.committed_vm is None
+
+    def test_reset(self):
+        manager = ProfileManager(ScarecrowConfig(exclusive_profiles=True))
+        manager.observe_probe("vbox")
+        manager.reset()
+        assert manager.committed_vm is None
+        assert manager.is_active("vmware")
+
+
+class TestExclusiveProfilesEndToEnd:
+    def test_cross_vendor_consistency_check_defeated(self, machine):
+        """VI-B: after probing VBox, VMware resources vanish."""
+        from repro.core import ScarecrowController
+        from repro import winapi
+        from repro.winsim.errors import Win32Error
+        controller = ScarecrowController(
+            machine, config=ScarecrowConfig(exclusive_profiles=True))
+        target = controller.launch("C:\\dl\\consistency_checker.exe")
+        api = winapi.bind(machine, target)
+        err, _ = api.RegOpenKeyExA(
+            "HKEY_LOCAL_MACHINE",
+            "SOFTWARE\\Oracle\\VirtualBox Guest Additions")
+        assert err == Win32Error.ERROR_SUCCESS
+        # The conflicting VMware identity is now masked.
+        err, _ = api.RegOpenKeyExA("HKEY_LOCAL_MACHINE",
+                                   "SOFTWARE\\VMware, Inc.\\VMware Tools")
+        assert err == Win32Error.ERROR_FILE_NOT_FOUND
+        status, _ = api.NtQueryAttributesFile(
+            "C:\\Windows\\System32\\drivers\\vmmouse.sys")
+        from repro.winsim.errors import nt_success
+        assert not nt_success(status)

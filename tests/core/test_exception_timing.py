@@ -1,0 +1,56 @@
+"""Section II-B(g): exception-processing timing deception."""
+
+import pytest
+
+from repro import winapi
+from repro.malware.techniques import get_check
+
+
+class TestRaiseExceptionApi:
+    def test_native_dispatch_cheap(self, machine, api):
+        before = machine.clock.now_ns
+        api.RaiseException(0xC0000005)
+        cost = machine.clock.now_ns - before
+        assert cost < 10_000  # well under 10 µs
+
+    def test_debugged_dispatch_expensive(self, machine, api, target):
+        target.peb.being_debugged = True
+        before = machine.clock.now_ns
+        api.RaiseException(0xC0000005)
+        assert machine.clock.now_ns - before > 100_000
+
+    def test_exception_event_published(self, machine, api):
+        events = []
+        machine.bus.subscribe(events.append)
+        api.RaiseException(0xDEAD)
+        assert any(e.category == "exception" and e.detail("code") == 0xDEAD
+                   for e in events)
+
+
+class TestExceptionTimingCheck:
+    def test_clean_machine_negative(self, api):
+        assert not get_check("exception_timing").run(api)
+
+    def test_real_debugger_positive(self, api, target):
+        target.peb.being_debugged = True
+        assert get_check("exception_timing").run(api)
+
+    def test_scarecrow_fakes_the_discrepancy(self, machine, protected_api):
+        """The deception makes the *timing* look debugged even though the
+        PEB flag is untouched (benign software never notices)."""
+        assert get_check("exception_timing").run(protected_api)
+        assert protected_api.read_peb().being_debugged is False
+
+    def test_timing_flag_gates_it(self, machine):
+        from repro.core import ScarecrowConfig, ScarecrowController
+        controller = ScarecrowController(
+            machine, config=ScarecrowConfig(enable_timing=False))
+        target = controller.launch("C:\\dl\\x.exe")
+        api = winapi.bind(machine, target)
+        assert not get_check("exception_timing").run(api)
+
+    def test_reported_as_timing_category(self, machine, controller,
+                                         protected_api):
+        get_check("exception_timing").run(protected_api)
+        assert any(e.category == "timing" and e.resource == "RaiseException"
+                   for e in controller.fingerprint_events())

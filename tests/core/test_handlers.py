@@ -1,0 +1,280 @@
+"""The deception handlers behind the 29 hooked APIs, as seen by a
+protected process. Uses the full controller stack (conftest fixtures)."""
+
+import pytest
+
+from repro.core.handlers import CORE_29_APIS, DECOY_APIS
+from repro.hooking import hook_manager_of, looks_hooked
+from repro.winapi.ntdll import (ProcessInformationClass,
+                                SystemInformationClass)
+from repro.winsim.errors import NtStatus, Win32Error, nt_success
+
+
+class TestHookInventory:
+    def test_core_api_count_is_29(self):
+        assert len(CORE_29_APIS) == 29
+        assert len(set(CORE_29_APIS)) == 29
+
+    def test_all_core_apis_hooked(self, protected):
+        manager = hook_manager_of(protected)
+        for export in CORE_29_APIS:
+            assert manager.is_hooked(export), export
+
+    def test_decoys_hooked(self, protected):
+        manager = hook_manager_of(protected)
+        for export in DECOY_APIS:
+            assert manager.is_hooked(export), export
+
+    def test_network_aux_hooked(self, protected):
+        manager = hook_manager_of(protected)
+        assert manager.is_hooked("dnsapi.dll!DnsQuery_A")
+        assert manager.is_hooked("wininet.dll!InternetOpenUrlA")
+
+
+class TestRegistryDeception:
+    def test_vbox_key_exists(self, protected_api):
+        err, handle = protected_api.RegOpenKeyExA(
+            "HKEY_LOCAL_MACHINE",
+            "SOFTWARE\\Oracle\\VirtualBox Guest Additions")
+        assert err == Win32Error.ERROR_SUCCESS
+        err, version = protected_api.RegQueryValueExA(handle, "Version")
+        assert err == Win32Error.ERROR_SUCCESS and version == "5.2.8"
+
+    def test_native_path_deceived(self, protected_api):
+        status, handle = protected_api.NtOpenKeyEx(
+            "HKEY_LOCAL_MACHINE\\SOFTWARE\\VMware, Inc.\\VMware Tools")
+        assert nt_success(status)
+        status, data = protected_api.NtQueryValueKey(handle, "InstallPath")
+        assert nt_success(status) and "VMware" in data
+
+    def test_bios_value_on_real_key(self, protected_api):
+        err, handle = protected_api.RegOpenKeyExA(
+            "HKEY_LOCAL_MACHINE", "HARDWARE\\Description\\System")
+        err, bios = protected_api.RegQueryValueExA(handle,
+                                                   "SystemBiosVersion")
+        assert "VBOX" in bios and "QEMU" in bios
+
+    def test_ide_enum_materialized_with_children(self, protected_api):
+        status, handle = protected_api.NtOpenKeyEx(
+            "HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Enum\\IDE")
+        assert nt_success(status)
+        status, name = protected_api.NtEnumerateKey(handle, 0)
+        assert nt_success(status) and "vbox" in name.lower()
+
+    def test_non_deceptive_keys_pass_through(self, protected_api, machine):
+        machine.registry.set_value("HKLM\\SOFTWARE\\RealApp", "v", 1)
+        err, handle = protected_api.RegOpenKeyExA("HKEY_LOCAL_MACHINE",
+                                                  "SOFTWARE\\RealApp")
+        assert err == Win32Error.ERROR_SUCCESS
+        err, data = protected_api.RegQueryValueExA(handle, "v")
+        assert data == 1
+
+    def test_missing_non_deceptive_key_still_missing(self, protected_api):
+        err, _ = protected_api.RegOpenKeyExA("HKEY_LOCAL_MACHINE",
+                                             "SOFTWARE\\TotallyAbsent")
+        assert err == Win32Error.ERROR_FILE_NOT_FOUND
+
+    def test_fake_keys_invisible_to_unprotected(self, machine, api):
+        err, _ = api.RegOpenKeyExA(
+            "HKEY_LOCAL_MACHINE",
+            "SOFTWARE\\Oracle\\VirtualBox Guest Additions")
+        assert err == Win32Error.ERROR_FILE_NOT_FOUND
+
+    def test_machine_registry_not_mutated(self, machine, protected_api):
+        protected_api.RegOpenKeyExA(
+            "HKEY_LOCAL_MACHINE",
+            "SOFTWARE\\Oracle\\VirtualBox Guest Additions")
+        assert not machine.registry.key_exists(
+            "HKLM\\SOFTWARE\\Oracle\\VirtualBox Guest Additions")
+
+
+class TestFileDeviceDeception:
+    def test_vm_driver_file_attrs(self, protected_api):
+        from repro.winapi.kernel32 import INVALID_FILE_ATTRIBUTES
+        assert protected_api.GetFileAttributesA(
+            "C:\\Windows\\System32\\drivers\\vmmouse.sys") != \
+            INVALID_FILE_ATTRIBUTES
+
+    def test_nt_query_attributes(self, protected_api):
+        status, _ = protected_api.NtQueryAttributesFile(
+            "C:\\Windows\\System32\\drivers\\VBoxMouse.sys")
+        assert nt_success(status)
+
+    def test_folder_reports_directory(self, protected_api):
+        from repro.winsim.filesystem import FILE_ATTRIBUTE_DIRECTORY
+        attrs = protected_api.GetFileAttributesA("C:\\analysis")
+        assert attrs & FILE_ATTRIBUTE_DIRECTORY
+
+    def test_create_file_fake_handle(self, protected_api):
+        handle = protected_api.CreateFileA(
+            "C:\\Windows\\System32\\drivers\\vmhgfs.sys")
+        assert handle
+
+    def test_device_deceived(self, protected_api):
+        assert protected_api.CreateFileA("\\\\.\\vmci")
+        assert protected_api.CreateFileA("\\\\.\\VBoxGuest")
+
+    def test_find_first_file_matches_db(self, protected_api):
+        name = protected_api.FindFirstFileA(
+            "C:\\Windows\\System32\\drivers\\vm*.sys")
+        assert name is not None and name.lower().startswith("vm")
+
+    def test_real_files_still_pass_through(self, machine, protected_api):
+        machine.filesystem.write_file("C:\\real.txt", b"x")
+        handle = protected_api.CreateFileA("C:\\real.txt")
+        assert protected_api.ReadFile(handle) == b"x"
+
+    def test_writes_never_deceived(self, machine, protected_api):
+        handle = protected_api.CreateFileA("C:\\drop.bin", write=True)
+        assert protected_api.WriteFile(handle, b"payload")
+        assert machine.filesystem.read_file("C:\\drop.bin") == b"payload"
+
+
+class TestSystemInfoDeception:
+    def test_memory_faked(self, protected_api):
+        assert protected_api.GlobalMemoryStatusEx().total_phys < 1024 ** 3
+
+    def test_cores_faked(self, protected_api):
+        assert protected_api.GetSystemInfo().number_of_processors == 1
+
+    def test_disk_faked(self, protected_api):
+        ok, free, total = protected_api.GetDiskFreeSpaceExA("C:\\")
+        assert ok and total == 50 * 1024 ** 3
+
+    def test_geometry_faked(self, protected_api):
+        from repro.winapi.kernel32 import IOCTL_DISK_GET_DRIVE_GEOMETRY
+        geometry = protected_api.DeviceIoControl(
+            "\\\\.\\PhysicalDrive0", IOCTL_DISK_GET_DRIVE_GEOMETRY)
+        total = (geometry["cylinders"] * geometry["tracks_per_cylinder"] *
+                 geometry["sectors_per_track"] * geometry["bytes_per_sector"])
+        assert total < 51 * 1024 ** 3
+
+    def test_nt_basic_information_faked(self, protected_api):
+        _, info = protected_api.NtQuerySystemInformation(
+            SystemInformationClass.SystemBasicInformation)
+        assert info["number_of_processors"] == 1
+
+    def test_process_listing_augmented(self, protected_api):
+        _, listing = protected_api.NtQuerySystemInformation(
+            SystemInformationClass.SystemProcessInformation)
+        names = {p["name"].lower() for p in listing}
+        assert "vboxservice.exe" in names
+        assert "wireshark.exe" in names
+
+    def test_kernel_debugger_faked(self, protected_api):
+        _, info = protected_api.NtQuerySystemInformation(
+            SystemInformationClass.SystemKernelDebuggerInformation)
+        assert info["debugger_enabled"] is True
+
+    def test_peb_not_faked(self, machine, protected_api):
+        """The cbdda64 bypass: PEB reads see the true core count."""
+        assert protected_api.read_peb().number_of_processors == \
+            machine.hardware.cpu.cores
+
+
+class TestDebuggerDeception:
+    def test_is_debugger_present_true(self, protected_api):
+        assert protected_api.IsDebuggerPresent() is True
+
+    def test_check_remote_true(self, protected_api):
+        assert protected_api.CheckRemoteDebuggerPresent() is True
+
+    def test_debug_port_faked(self, protected_api):
+        _, port = protected_api.NtQueryInformationProcess(
+            ProcessInformationClass.ProcessDebugPort)
+        assert port == 0xFFFFFFFF
+
+    def test_debug_flags_faked(self, protected_api):
+        _, flags = protected_api.NtQueryInformationProcess(
+            ProcessInformationClass.ProcessDebugFlags)
+        assert flags == 0
+
+    def test_parent_passthrough(self, protected_api, controller):
+        _, info = protected_api.NtQueryInformationProcess(
+            ProcessInformationClass.ProcessBasicInformation)
+        assert info["parent_pid"] == controller.process.pid
+
+
+class TestModuleWindowDeception:
+    def test_sbiedll_handle_faked(self, protected_api):
+        assert protected_api.GetModuleHandleA("SbieDll.dll") is not None
+
+    def test_load_library_faked(self, protected_api):
+        assert protected_api.LoadLibraryA("api_log.dll") is not None
+
+    def test_wine_export_faked(self, protected_api):
+        base = protected_api.GetModuleHandleA("kernel32.dll")
+        assert protected_api.GetProcAddress(
+            base, "wine_get_unix_file_name") is not None
+
+    def test_normal_modules_pass_through(self, protected_api):
+        assert protected_api.GetModuleHandleA("ghost.dll") is None
+
+    def test_debugger_window_faked(self, protected_api):
+        assert protected_api.FindWindowA("OLLYDBG") is not None
+        assert protected_api.FindWindowA("VBoxTrayToolWndClass") is not None
+
+    def test_unknown_window_passthrough(self, protected_api):
+        assert protected_api.FindWindowA("SomeRandomApp") is None
+
+    def test_toolhelp_augmented_with_fake_pids(self, protected_api, machine):
+        snapshot = protected_api.CreateToolhelp32Snapshot()
+        entries = []
+        entry = protected_api.Process32First(snapshot)
+        while entry is not None:
+            entries.append(entry)
+            entry = protected_api.Process32Next(snapshot)
+        by_name = {name.lower(): pid for pid, name in entries}
+        assert "olydbg.exe" in by_name
+        # The fake pid does not correspond to a live process -> kill-proof.
+        assert machine.processes.get(by_name["olydbg.exe"]) is None
+
+
+class TestTimingIdentityDeception:
+    def test_tick_count_low_uptime(self, protected_api):
+        assert protected_api.GetTickCount() < 12 * 60 * 1000
+
+    def test_tick_rate_slowed(self, protected_api):
+        before = protected_api.GetTickCount()
+        protected_api.Sleep(1000)
+        delta = protected_api.GetTickCount() - before
+        assert delta < 900  # sandbox-like acceleration discrepancy
+
+    def test_username_faked(self, protected_api):
+        assert protected_api.GetUserNameA() == "currentuser"
+
+    def test_module_path_faked_keeps_basename(self, protected_api,
+                                              protected):
+        path = protected_api.GetModuleFileNameA(None)
+        assert path.startswith("C:\\sample\\")
+        assert path.endswith(protected.name)
+
+
+class TestNetworkDeception:
+    def test_nx_domain_sinkholed(self, protected_api):
+        ip = protected_api.DnsQuery_A("dga-feed-98765.example-c2.net")
+        assert ip == "192.0.2.66"
+
+    def test_real_domain_passthrough(self, machine, protected_api):
+        machine.network.register_domain("update.example.com", "4.4.4.4")
+        assert protected_api.DnsQuery_A("update.example.com") == "4.4.4.4"
+
+    def test_gethostbyname_sinkholed(self, protected_api):
+        assert protected_api.gethostbyname("nx-12345.invalid") is not None
+
+    def test_http_to_nx_succeeds(self, protected_api):
+        assert protected_api.InternetOpenUrlA("http://nx-98765.invalid/")
+
+    def test_http_to_real_unreachable_fails(self, machine, protected_api):
+        machine.network.register_domain("dead-site.com", "9.9.9.9")
+        assert not protected_api.InternetOpenUrlA("http://dead-site.com/")
+
+
+class TestDecoyHooks:
+    def test_decoys_detectable_but_neutral(self, machine, protected_api):
+        assert looks_hooked(protected_api.read_function_prologue(
+            "shell32.dll!ShellExecuteExW", 2))
+        assert looks_hooked(protected_api.read_function_prologue(
+            "kernel32.dll!DeleteFileA", 2))
+        machine.filesystem.write_file("C:\\x.txt", b"1")
+        assert protected_api.DeleteFileA("C:\\x.txt")  # behaviour unchanged

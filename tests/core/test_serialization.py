@@ -1,0 +1,101 @@
+"""JSON round-tripping of the deception database and configuration."""
+
+import json
+
+import pytest
+
+from repro.core import DeceptionDatabase, ScarecrowConfig
+from repro.core.resources import Origin
+from repro.core.serialization import (dump_config, dump_database,
+                                      load_config, load_database,
+                                      load_database_file, save_database)
+
+
+class TestDatabaseRoundtrip:
+    def test_curated_roundtrip_preserves_counts(self):
+        db = DeceptionDatabase()
+        loaded = load_database(dump_database(db))
+        assert loaded.counts() == db.counts()
+
+    def test_lookup_equivalence(self):
+        loaded = load_database(dump_database(DeceptionDatabase()))
+        assert loaded.lookup_file(
+            "C:\\Windows\\System32\\drivers\\vmmouse.sys") is not None
+        assert loaded.lookup_process("VBoxTray.exe").protected
+        assert loaded.lookup_window("OLLYDBG", None) is not None
+        assert loaded.lookup_registry_value(
+            "HKEY_LOCAL_MACHINE\\HARDWARE\\Description\\System",
+            "SystemBiosVersion").data == \
+            DeceptionDatabase().lookup_registry_value(
+                "HKEY_LOCAL_MACHINE\\HARDWARE\\Description\\System",
+                "SystemBiosVersion").data
+        assert loaded.lookup_mutex(
+            "Sandboxie_SingleInstanceMutex_Control") is not None
+
+    def test_crawled_resources_survive(self):
+        db = DeceptionDatabase()
+        db.add_file("C:\\vt\\crawled.bin", "sandbox-generic",
+                    origin=Origin.CRAWLED)
+        loaded = load_database(dump_database(db))
+        resource = loaded.lookup_file("C:\\vt\\crawled.bin")
+        assert resource is not None and resource.origin is Origin.CRAWLED
+        assert loaded.counts_by_origin(Origin.CRAWLED)["files"] == 1
+
+    def test_profiles_survive(self):
+        db = DeceptionDatabase()
+        db.hardware.disk_total_bytes = 77
+        db.weartear.dnscache_entries = 9
+        loaded = load_database(dump_database(db))
+        assert loaded.hardware.disk_total_bytes == 77
+        assert loaded.weartear.dnscache_entries == 9
+
+    def test_json_serializable(self):
+        json.dumps(dump_database(DeceptionDatabase()))
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "scarecrow_db.json")
+        db = DeceptionDatabase()
+        db.add_registry_key("HKLM\\SOFTWARE\\Persisted", "sandbox-generic",
+                            origin=Origin.MALGENE)
+        save_database(db, path)
+        loaded = load_database_file(path)
+        hit = loaded.lookup_registry_key("HKLM\\SOFTWARE\\Persisted")
+        assert hit is not None and hit.origin is Origin.MALGENE
+
+    def test_version_gate(self):
+        blob = dump_database(DeceptionDatabase())
+        blob["version"] = 99
+        with pytest.raises(ValueError):
+            load_database(blob)
+
+    def test_loaded_db_drives_deception(self, machine):
+        from repro import winapi
+        from repro.core import ScarecrowController
+        loaded = load_database(dump_database(DeceptionDatabase()))
+        controller = ScarecrowController(machine, database=loaded)
+        target = controller.launch("C:\\dl\\x.exe")
+        api = winapi.bind(machine, target)
+        assert api.IsDebuggerPresent() is True
+        assert api.GetModuleHandleA("SbieDll.dll") is not None
+
+
+class TestConfigRoundtrip:
+    def test_default_roundtrip(self):
+        config = ScarecrowConfig()
+        assert load_config(dump_config(config)) == config
+
+    def test_custom_roundtrip(self):
+        config = ScarecrowConfig(enable_weartear=True,
+                                 enable_username=False,
+                                 exclusive_profiles=True,
+                                 profiles={"vbox", "debugger"})
+        loaded = load_config(dump_config(config))
+        assert loaded == config
+        assert loaded.profiles == {"vbox", "debugger"}
+
+    def test_json_serializable(self):
+        json.dumps(dump_config(ScarecrowConfig(profiles={"vbox"})))
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError):
+            load_config({"enable_everything": True})

@@ -1,0 +1,185 @@
+"""Mutex namespace, new PEB/mutex techniques, and the vaccination baseline."""
+
+import pytest
+
+from repro.core import (KNOWN_VACCINES, ScarecrowController,
+                        VaccinationAgent, build_marker_gated_corpus)
+from repro.core.vaccine import FamilyVaccine
+from repro.malware.techniques import get_check
+from repro.winsim.mutexes import MutexNamespace
+
+
+class TestMutexNamespace:
+    def test_create_then_exists(self):
+        ns = MutexNamespace()
+        assert ns.create("Global\\Marker")
+        assert ns.exists("marker")
+        assert ns.exists("Local\\MARKER")
+
+    def test_second_create_reports_existing(self):
+        ns = MutexNamespace()
+        assert ns.create("M")
+        assert not ns.create("M")
+
+    def test_release(self):
+        ns = MutexNamespace()
+        ns.create("M")
+        assert ns.release("Global\\m")
+        assert not ns.exists("M")
+        assert not ns.release("M")
+
+    def test_snapshot(self):
+        ns = MutexNamespace()
+        ns.create("A")
+        state = ns.snapshot()
+        ns.create("B")
+        ns.restore(state)
+        assert ns.exists("A") and not ns.exists("B")
+
+
+class TestMutexApis:
+    def test_create_mutex_already_exists_error(self, machine, api):
+        handle = api.CreateMutexA("OnlyOnce")
+        assert handle and api.get_last_error() == 0
+        api.CreateMutexA("OnlyOnce")
+        assert api.get_last_error() == 183
+
+    def test_open_mutex(self, machine, api):
+        assert api.OpenMutexA("Ghost") is None
+        machine.mutexes.create("Real")
+        assert api.OpenMutexA("Real") is not None
+
+    def test_anonymous_mutex(self, api):
+        assert api.CreateMutexA(None)
+
+    def test_mutex_event_published(self, machine, api):
+        events = []
+        machine.bus.subscribe(events.append)
+        api.CreateMutexA("Traced")
+        assert any(e.category == "mutex" for e in events)
+
+
+class TestNewTechniques:
+    def test_heap_flags_peb_only(self, api, target):
+        check = get_check("heap_flags_debugged")
+        assert not check.scarecrow_fakeable
+        assert not check.run(api)
+        target.peb.heap_flags |= 0x60
+        assert check.run(api)
+
+    def test_nt_global_flag(self, api, target):
+        check = get_check("nt_global_flag")
+        assert not check.run(api)
+        target.peb.nt_global_flag = 0x70
+        assert check.run(api)
+
+    def test_output_debug_string_trick(self, api, target):
+        check = get_check("output_debug_string")
+        assert not check.run(api)
+        target.peb.being_debugged = True
+        assert check.run(api)
+
+    def test_qpc_gap_never_fires_normally(self, api):
+        assert not get_check("qpc_timing_gap").run(api)
+
+    def test_sandboxie_mutex_deceived_by_scarecrow(self, machine,
+                                                   protected_api, api):
+        check = get_check("sandboxie_mutex")
+        assert check.run(protected_api)
+        assert not check.run(api)
+
+    def test_infection_marker_without_tag(self, api):
+        assert not get_check("infection_marker_mutex").run(api)
+
+    def test_infection_marker_with_existing_mutex(self, machine, api,
+                                                  target):
+        target.tags["infection_marker"] = "FamMarker"
+        machine.mutexes.create("FamMarker")
+        assert get_check("infection_marker_mutex").run(api)
+
+    def test_infection_marker_first_run_creates(self, machine, api, target):
+        target.tags["infection_marker"] = "FamMarker"
+        assert not get_check("infection_marker_mutex").run(api)
+        assert machine.mutexes.exists("FamMarker")
+        # The second run (e.g. re-infection attempt) now stands down.
+        assert get_check("infection_marker_mutex").run(api)
+
+
+class TestVaccinationAgent:
+    def test_inoculate_all(self, machine):
+        agent = VaccinationAgent()
+        count = agent.inoculate(machine)
+        assert count == len(KNOWN_VACCINES)
+        for vaccine in KNOWN_VACCINES:
+            assert agent.is_inoculated(machine, vaccine.family)
+
+    def test_inoculate_selected_family(self, machine):
+        agent = VaccinationAgent()
+        assert agent.inoculate(machine, families=["Zeus"]) == 1
+        assert agent.is_inoculated(machine, "zeus")
+        assert not agent.is_inoculated(machine, "Conficker")
+
+    def test_markers_land_on_all_surfaces(self, machine):
+        agent = VaccinationAgent([FamilyVaccine(
+            "Tri", mutex_markers=("TriM",), file_markers=("C:\\tri.dat",),
+            registry_markers=("HKLM\\SOFTWARE\\Tri",))])
+        agent.inoculate(machine)
+        assert machine.mutexes.exists("TriM")
+        assert machine.filesystem.exists("C:\\tri.dat")
+        assert machine.registry.key_exists("HKLM\\SOFTWARE\\Tri")
+
+    def test_covers(self):
+        agent = VaccinationAgent()
+        assert agent.covers("Sality") and not agent.covers("Unheard")
+
+    def test_unknown_family_not_inoculated(self, machine):
+        assert not VaccinationAgent().is_inoculated(machine, "Unheard")
+
+
+class TestBaselineTradeoff:
+    """The related-work critique, quantified."""
+
+    def test_vaccine_stops_pure_marker_sample(self, machine):
+        sample = build_marker_gated_corpus()[0]
+        VaccinationAgent().inoculate(machine)
+        process = machine.spawn_process(sample.exe_name, sample.image_path,
+                                        parent=machine.explorer)
+        result = sample.run(machine, process)
+        assert not result.executed_payload
+        assert result.trigger == "CreateMutex()"
+
+    def test_scarecrow_misses_pure_marker_sample(self, machine):
+        """Family-specific guards are invisible to environment deception."""
+        sample = build_marker_gated_corpus()[0]
+        controller = ScarecrowController(machine)
+        target = controller.launch(sample.image_path)
+        result = sample.run(machine, target)
+        assert result.executed_payload
+
+    def test_vaccine_misses_environment_fingerprinting_sample(self, machine):
+        """'If the malware fingerprints analysis environment, it cannot
+        generate resources' — vaccination is inert here."""
+        from repro.malware import build_kasidet
+        sample = build_kasidet()
+        VaccinationAgent().inoculate(machine)
+        process = machine.spawn_process(sample.exe_name, sample.image_path,
+                                        parent=machine.explorer)
+        result = sample.run(machine, process)
+        assert result.executed_payload
+
+    def test_scarecrow_stops_hybrid_sample(self, machine):
+        hybrid = build_marker_gated_corpus()[1]
+        controller = ScarecrowController(machine)
+        target = controller.launch(hybrid.image_path)
+        result = hybrid.run(machine, target)
+        assert not result.executed_payload
+        assert result.trigger == "IsDebuggerPresent()"
+
+    def test_unvaccinated_family_detonates(self, machine):
+        """Vaccines require per-family marker knowledge."""
+        agent = VaccinationAgent()
+        agent.inoculate(machine, families=["Conficker"])  # wrong family
+        sample = build_marker_gated_corpus()[0]           # Zeus
+        process = machine.spawn_process(sample.exe_name, sample.image_path,
+                                        parent=machine.explorer)
+        assert sample.run(machine, process).executed_payload

@@ -1,0 +1,85 @@
+"""On-demand service mode: auto-protecting untrusted-origin launches."""
+
+import pytest
+
+from repro import winapi
+from repro.core import ScarecrowController
+from repro.hooking import is_injected
+
+
+@pytest.fixture
+def watching(machine):
+    controller = ScarecrowController(machine)
+    controller.watch_untrusted_origins()
+    return controller
+
+
+def _launch(machine, image_path, name=None):
+    return machine.spawn_process(name or image_path.rsplit("\\", 1)[-1],
+                                 image_path, parent=machine.explorer)
+
+
+class TestWatchedOrigins:
+    def test_download_launch_auto_protected(self, machine, watching):
+        target = _launch(machine,
+                         "C:\\Users\\user\\Downloads\\freebie.exe")
+        assert watching.is_tracked(target.pid)
+        assert is_injected(target, "scarecrow.dll")
+        assert target.tags["untrusted"] is True
+        api = winapi.bind(machine, target)
+        assert api.IsDebuggerPresent() is True
+
+    def test_temp_launch_auto_protected(self, machine, watching):
+        target = _launch(
+            machine,
+            "C:\\Users\\user\\AppData\\Local\\Temp\\attachment.exe")
+        assert watching.is_tracked(target.pid)
+
+    def test_system_binaries_untouched(self, machine, watching):
+        target = _launch(machine, "C:\\Windows\\System32\\notepad.exe")
+        assert not watching.is_tracked(target.pid)
+        assert not is_injected(target, "scarecrow.dll")
+        api = winapi.bind(machine, target)
+        assert api.IsDebuggerPresent() is False
+
+    def test_program_files_untouched(self, machine, watching):
+        target = _launch(machine,
+                         "C:\\Program Files\\Google Chrome\\chrome.exe")
+        assert not watching.is_tracked(target.pid)
+
+    def test_children_of_auto_protected_followed(self, machine, watching):
+        target = _launch(machine,
+                         "C:\\Users\\user\\Downloads\\dropper.exe")
+        api = winapi.bind(machine, target)
+        child = api.CreateProcessA("C:\\Windows\\Temp\\stage2.exe")
+        assert watching.is_tracked(child.pid)
+        assert is_injected(child, "scarecrow.dll")
+
+    def test_custom_prefixes(self, machine):
+        controller = ScarecrowController(machine)
+        controller.watch_untrusted_origins(["D:\\incoming"])
+        machine.filesystem.add_drive("D:", 10 * 1024 ** 3)
+        hot = _launch(machine, "D:\\incoming\\sample.exe")
+        cold = _launch(machine, "C:\\Users\\user\\Downloads\\other.exe")
+        assert controller.is_tracked(hot.pid)
+        assert not controller.is_tracked(cold.pid)
+
+    def test_auto_protected_root_not_counted_as_self_spawn(self, machine,
+                                                           watching):
+        # Two *independent* launches of the same download must not trip
+        # the spawn-loop policy (they are fresh roots, not a respawn loop).
+        for _ in range(12):
+            _launch(machine, "C:\\Users\\user\\Downloads\\popular.exe")
+        assert watching.alarms == []
+
+    def test_spawn_loop_still_detected_inside_tree(self, machine, watching):
+        target = _launch(machine, "C:\\Users\\user\\Downloads\\bomb.exe")
+        current = target
+        for _ in range(10):
+            api = winapi.bind(machine, current)
+            current = api.CreateProcessW(target.image_path)
+        assert watching.alarms
+
+    def test_without_watch_mode_nothing_happens(self, machine, controller):
+        target = _launch(machine, "C:\\Users\\user\\Downloads\\x.exe")
+        assert not controller.is_tracked(target.pid)

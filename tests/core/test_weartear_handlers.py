@@ -1,0 +1,116 @@
+"""Wear-and-tear handler internals: managed keys, event cursor, quota."""
+
+import pytest
+
+from repro import winapi
+from repro.core import ScarecrowConfig, ScarecrowController
+from repro.winapi.ntdll import SystemInformationClass
+from repro.winsim.errors import Win32Error, nt_success
+
+
+@pytest.fixture
+def wt_api(machine):
+    # Age the machine so the clamping is observable.
+    machine.dnscache.populate(f"h{i}.com" for i in range(100))
+    machine.eventlog.extend_synthetic(20_000,
+                                      [f"S{i}" for i in range(30)])
+    for index in range(120):
+        machine.registry.create_key(
+            "HKLM\\SYSTEM\\CurrentControlSet\\Control\\DeviceClasses\\"
+            f"{{real-{index:03d}}}")
+        machine.registry.set_value(
+            "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run",
+            f"Auto{index:03d}", "app.exe")
+    controller = ScarecrowController(
+        machine, config=ScarecrowConfig(enable_weartear=True))
+    target = controller.launch("C:\\dl\\wt.exe")
+    return winapi.bind(machine, target)
+
+
+class TestManagedRegistryKeys:
+    def test_device_classes_clamped_native(self, wt_api):
+        status, handle = wt_api.NtOpenKeyEx(
+            "HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Control\\"
+            "DeviceClasses")
+        assert nt_success(status)
+        status, info = wt_api.NtQueryKey(handle)
+        assert info["subkeys"] == 29
+
+    def test_device_classes_clamped_win32(self, wt_api):
+        err, handle = wt_api.RegOpenKeyExA(
+            "HKEY_LOCAL_MACHINE",
+            "SYSTEM\\CurrentControlSet\\Control\\DeviceClasses")
+        assert err == Win32Error.ERROR_SUCCESS
+        err, info = wt_api.RegQueryInfoKeyA(handle)
+        assert info["subkeys"] == 29
+
+    def test_autorun_values_clamped(self, wt_api):
+        status, handle = wt_api.NtOpenKeyEx(
+            "HKEY_LOCAL_MACHINE\\SOFTWARE\\Microsoft\\Windows\\"
+            "CurrentVersion\\Run")
+        status, info = wt_api.NtQueryKey(handle)
+        assert info["values"] == 3
+
+    def test_counted_key_enumeration_consistent(self, wt_api):
+        """Enumerating the materialized key yields exactly the clamped
+        cardinality — counts and enumeration cannot disagree."""
+        status, handle = wt_api.NtOpenKeyEx(
+            "HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Control\\"
+            "DeviceClasses")
+        names = []
+        index = 0
+        while True:
+            st, name = wt_api.NtEnumerateKey(handle, index)
+            if not nt_success(st) or name is None:
+                break
+            names.append(name)
+            index += 1
+        assert len(names) == 29
+
+    def test_real_registry_untouched(self, machine, wt_api):
+        wt_api.NtOpenKeyEx(
+            "HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Control\\"
+            "DeviceClasses")
+        real = machine.registry.open_key(
+            "HKLM\\SYSTEM\\CurrentControlSet\\Control\\DeviceClasses")
+        assert real.subkey_count() == 120
+
+    def test_unmanaged_keys_unaffected(self, machine, wt_api):
+        machine.registry.create_key("HKLM\\SOFTWARE\\Untouched\\A")
+        status, handle = wt_api.NtOpenKeyEx("HKEY_LOCAL_MACHINE\\SOFTWARE\\"
+                                            "Untouched")
+        status, info = wt_api.NtQueryKey(handle)
+        assert info["subkeys"] == 1
+
+
+class TestEventAndDnsClamps:
+    def test_evt_cursor_yields_exactly_8000(self, wt_api):
+        query = wt_api.EvtQuery("System")
+        total = 0
+        sources = set()
+        while True:
+            batch = wt_api.EvtNext(query, 750)
+            if not batch:
+                break
+            total += len(batch)
+            sources.update(record.source for record in batch)
+        assert total == 8000
+        assert len(sources) == 6
+
+    def test_dns_table_truncated_to_recent_4(self, wt_api):
+        table = wt_api.DnsGetCacheDataTable()
+        assert len(table) == 4
+        # Most-recent entries survive the truncation.
+        assert table[-1][0] == "h99.com"
+
+    def test_registry_quota_53mb(self, wt_api):
+        status, info = wt_api.NtQuerySystemInformation(
+            SystemInformationClass.SystemRegistryQuotaInformation)
+        assert info["registry_quota_used"] == 53 * 1024 * 1024
+
+
+class TestDisabledByDefault:
+    def test_weartear_off_means_passthrough(self, machine, controller,
+                                            protected_api):
+        machine.dnscache.populate(f"x{i}.com" for i in range(40))
+        assert len(protected_api.DnsGetCacheDataTable()) == 40

@@ -1,0 +1,75 @@
+"""Wide-char API variants are deceived identically to their A siblings.
+
+An unhooked ``...W`` export would be a clean deception bypass (malware
+routinely calls the W family); these tests pin the alias coverage.
+"""
+
+import pytest
+
+from repro.core.handlers import W_VARIANT_ALIASES
+from repro.hooking import hook_manager_of
+from repro.winsim.errors import Win32Error
+
+
+class TestAliasInventory:
+    def test_every_alias_targets_registered_handler(self, protected):
+        manager = hook_manager_of(protected)
+        for alias, base in W_VARIANT_ALIASES.items():
+            assert manager.is_hooked(alias), alias
+            assert manager.is_hooked(base), base
+
+    def test_alias_names_are_w_variants(self):
+        for alias, base in W_VARIANT_ALIASES.items():
+            assert alias.endswith("W")
+            assert base.endswith("A")
+            assert alias[:-1] == base[:-1]
+
+
+class TestWideDeception:
+    def test_module_handle_w(self, protected_api):
+        assert protected_api.GetModuleHandleW("SbieDll.dll") is not None
+
+    def test_find_window_w(self, protected_api):
+        assert protected_api.FindWindowW("WinDbgFrameClass") is not None
+
+    def test_reg_open_w(self, protected_api):
+        err, handle = protected_api.RegOpenKeyExW(
+            "HKEY_LOCAL_MACHINE",
+            "SOFTWARE\\Oracle\\VirtualBox Guest Additions")
+        assert err == Win32Error.ERROR_SUCCESS
+        err, version = protected_api.RegQueryValueExW(handle, "Version")
+        assert version == "5.2.8"
+
+    def test_file_attributes_w(self, protected_api):
+        from repro.winapi.kernel32 import INVALID_FILE_ATTRIBUTES
+        assert protected_api.GetFileAttributesW(
+            "C:\\Windows\\System32\\drivers\\vmhgfs.sys") != \
+            INVALID_FILE_ATTRIBUTES
+
+    def test_create_file_w_device(self, protected_api):
+        assert protected_api.CreateFileW("\\\\.\\VBoxGuest")
+
+    def test_username_w(self, protected_api):
+        assert protected_api.GetUserNameW() == "currentuser"
+
+    def test_module_file_name_w(self, protected_api):
+        assert protected_api.GetModuleFileNameW(None).startswith(
+            "C:\\sample\\")
+
+
+class TestWideParityWithNarrow:
+    """W and A answers must agree, hooked or not."""
+
+    @pytest.mark.parametrize("fixture_name", ["api", "protected_api"])
+    def test_agreement(self, fixture_name, request):
+        api = request.getfixturevalue(fixture_name)
+        assert api.GetModuleHandleW("SbieDll.dll") == \
+            api.GetModuleHandleA("SbieDll.dll")
+        assert api.FindWindowW("OLLYDBG") == api.FindWindowA("OLLYDBG")
+        assert api.GetUserNameW() == api.GetUserNameA()
+        assert api.GetModuleFileNameW(None) == api.GetModuleFileNameA(None)
+        w_err, _ = api.RegOpenKeyExW("HKEY_LOCAL_MACHINE",
+                                     "SOFTWARE\\VMware, Inc.\\VMware Tools")
+        a_err, _ = api.RegOpenKeyExA("HKEY_LOCAL_MACHINE",
+                                     "SOFTWARE\\VMware, Inc.\\VMware Tools")
+        assert w_err == a_err

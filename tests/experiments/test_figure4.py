@@ -1,0 +1,74 @@
+"""E2 (Figure 4): headline numbers on family subsets and the full corpus."""
+
+import pytest
+
+from repro.experiments.figure4 import (PAPER_SYMMI, run_figure4)
+from repro.malware.corpus import build_malgene_corpus
+from repro.malware.families import TOP10_FAMILY_SPECS
+
+
+@pytest.fixture(scope="module")
+def symmi_result():
+    symmi_spec = TOP10_FAMILY_SPECS[0]
+    return run_figure4(build_malgene_corpus([symmi_spec]))
+
+
+class TestSymmiFamily:
+    def test_totals(self, symmi_result):
+        family = symmi_result.families["Symmi"]
+        assert family.total == PAPER_SYMMI["total"] == 484
+        assert family.deactivated == PAPER_SYMMI["deactivated"] == 478
+
+    def test_self_spawning(self, symmi_result):
+        family = symmi_result.families["Symmi"]
+        assert family.self_spawning == PAPER_SYMMI["self_spawning"] == 473
+
+    def test_payload_subcounts(self, symmi_result):
+        family = symmi_result.families["Symmi"]
+        assert family.created_processes_without == \
+            PAPER_SYMMI["created_processes"] == 26
+        assert family.modified_files_registry_without == \
+            PAPER_SYMMI["modified_files_registry"] == 449
+
+    def test_deactivation_rate_987(self, symmi_result):
+        family = symmi_result.families["Symmi"]
+        assert family.deactivation_rate == pytest.approx(0.987, abs=0.002)
+
+
+class TestSelfdelFamily:
+    def test_inconclusive(self):
+        selfdel_spec = next(spec for spec in TOP10_FAMILY_SPECS
+                            if spec.name == "Selfdel")
+        result = run_figure4(build_malgene_corpus([selfdel_spec]))
+        family = result.families["Selfdel"]
+        assert family.total == 30
+        assert family.deactivated == 0
+        assert result.summary.inconclusive == 30
+        assert result.summary.not_deactivated == 0
+
+
+class TestSmallMixedSubset:
+    def test_failure_families_fail_for_the_right_reason(self):
+        """Samples gated solely on PEB/CPUID/MAC probes detonate in both
+        configurations — Scarecrow cannot reach those surfaces."""
+        from repro.malware.families import FamilySpec
+        spec = FamilySpec("FailOnly", (("fail_peb", 2), ("fail_cpu", 2),
+                                       ("fail_timing", 1)))
+        result = run_figure4(build_malgene_corpus([spec]))
+        assert result.summary.deactivated == 0
+        assert result.summary.not_deactivated == 5
+
+    def test_showcase_respawner_spawns_474(self):
+        from repro.malware.corpus import (SHOWCASE_RESPAWNER_MD5,
+                                          SHOWCASE_RESPAWNER_SPAWNS)
+        corpus = build_malgene_corpus([TOP10_FAMILY_SPECS[0]])
+        showcase = next(s for s in corpus
+                        if s.md5 == SHOWCASE_RESPAWNER_MD5)
+        from repro.experiments.runner import run_pair
+        from repro.analysis.environments import build_bare_metal_sandbox
+        outcome = run_pair(showcase,
+                           machine_factory=lambda:
+                           build_bare_metal_sandbox(aged=False))
+        assert outcome.with_scarecrow.result.self_spawn_count == \
+            SHOWCASE_RESPAWNER_SPAWNS == 474
+        assert outcome.comparison.deactivated

@@ -1,0 +1,29 @@
+"""E8 overhead experiment module."""
+
+import pytest
+
+from repro.experiments import render_overhead, run_overhead
+
+
+@pytest.fixture(scope="module")
+def overhead():
+    return run_overhead(iterations=300)
+
+
+class TestOverhead:
+    def test_measures_all_operations(self, overhead):
+        assert len(overhead.rows) == 5
+        assert all(row.unhooked_us > 0 and row.hooked_us > 0
+                   for row in overhead.rows)
+
+    def test_hook_chain_overhead_is_modest(self, overhead):
+        """The §III claim, at the scale that matters: routing through the
+        hook chain costs single-digit multipliers, not orders of magnitude."""
+        assert overhead.max_ratio() < 10
+
+    def test_launch_cost_sub_10ms(self, overhead):
+        assert overhead.launch_cost_us < 10_000
+
+    def test_render(self, overhead):
+        text = render_overhead(overhead)
+        assert "Ratio" in text and "protect-a-process" in text

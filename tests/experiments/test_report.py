@@ -1,0 +1,40 @@
+"""Text-table rendering."""
+
+from repro.experiments.report import check_mark, render_kv, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(("A", "Longer"), [("x", 1), ("yyyy", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("A   ")
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_title_underlined(self):
+        text = render_table(("H",), [("v",)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "========"
+
+    def test_handles_non_string_cells(self):
+        text = render_table(("n",), [(42,), (None,)])
+        assert "42" in text and "None" in text
+
+    def test_empty_rows(self):
+        text = render_table(("only", "headers"), [])
+        assert "only" in text
+
+
+class TestRenderKv:
+    def test_aligned_keys(self):
+        text = render_kv("T", [("short", 1), ("much-longer-key", 2)])
+        lines = text.splitlines()
+        assert lines[2].index(":") == lines[3].index(":")
+
+    def test_no_title(self):
+        assert render_kv("", [("k", "v")]).startswith("k")
+
+
+class TestCheckMark:
+    def test_values(self):
+        assert check_mark(True) == "yes"
+        assert check_mark(False) == "NO"

@@ -1,0 +1,102 @@
+"""E1 (Table I) and E5/E6 (case studies) end-to-end reproduction checks."""
+
+import pytest
+
+from repro.experiments import (effectiveness_count, render_case1,
+                               render_case2, render_table1, run_case1,
+                               run_case2, run_table1)
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return run_table1()
+
+
+class TestTable1:
+    def test_twelve_of_thirteen_deactivated(self, table1_rows):
+        assert len(table1_rows) == 13
+        assert effectiveness_count(table1_rows) == 12
+
+    def test_every_row_matches_paper(self, table1_rows):
+        for row in table1_rows:
+            assert row.matches_paper, row.md5_prefix
+
+    def test_triggers_match_paper(self, table1_rows):
+        for row in table1_rows:
+            assert row.trigger == row.expectation.trigger, row.md5_prefix
+
+    def test_single_failure_is_cbdda64(self, table1_rows):
+        failures = [row for row in table1_rows if not row.effective]
+        assert [row.md5_prefix for row in failures] == ["cbdda64"]
+
+    def test_cbdda64_behaves_identically_either_way(self, table1_rows):
+        row = next(r for r in table1_rows if r.md5_prefix == "cbdda64")
+        assert row.behaviour_without == row.behaviour_with == \
+            "create a copy of itself"
+
+    def test_f504ef6_opens_benign_form(self, table1_rows):
+        row = next(r for r in table1_rows if r.md5_prefix == "f504ef6")
+        assert "benign_form" in row.behaviour_with
+
+    def test_render_contains_summary(self, table1_rows):
+        text = render_table1(table1_rows)
+        assert "12/13" in text and "Table I" in text
+
+
+class TestCase1Kasidet:
+    @pytest.fixture(scope="class")
+    def case1(self):
+        return run_case1()
+
+    def test_deactivated(self, case1):
+        assert case1.case.deactivated
+
+    def test_disjunction_over_ten_predicates(self, case1):
+        assert case1.disjunction_size == 11
+        assert case1.predicates_evaluated_without == 11
+
+    def test_single_predicate_sufficed(self, case1):
+        """¬𝔻 = ¬p₁ ∧ ... : one satisfied pᵢ stops the worm."""
+        assert case1.single_predicate_sufficed
+        assert case1.predicates_evaluated_with == 1
+
+    def test_detonates_without_scarecrow(self, case1):
+        assert case1.case.outcome.without.result.executed_payload
+
+    def test_render(self, case1):
+        assert "Kasidet" in render_case1(case1)
+
+
+class TestCase2Ransomware:
+    @pytest.fixture(scope="class")
+    def case2(self):
+        return {result.sample_name: result for result in run_case2()}
+
+    def test_wannacry_variant_deactivated_before_encryption(self, case2):
+        result = case2["WannaCry variant"]
+        assert result.deactivated
+        assert result.files_encrypted_without > 0
+        assert result.files_encrypted_with == 0
+        assert result.trigger == "InternetOpenUrlA()"
+
+    def test_wannacry_original_out_of_scope(self, case2):
+        """Non-evasive malware is explicitly outside Scarecrow's reach."""
+        result = case2["WannaCry original"]
+        assert not result.deactivated
+        assert result.files_encrypted_with == \
+            result.files_encrypted_without > 0
+
+    def test_locky_deactivated(self, case2):
+        assert case2["Locky"].deactivated
+        assert case2["Locky"].files_encrypted_with == 0
+
+    def test_cerber_variant_deactivated_by_old_vm_check(self, case2):
+        """New Cerber evades ML with new tricks but reuses the anti-VM
+        gate — which is exactly what Scarecrow leans on."""
+        result = case2["Cerber variant"]
+        assert result.deactivated
+        assert result.trigger == "NtOpenKeyEx()"
+
+    def test_render(self, case2):
+        text = render_case2(list(case2.values()))
+        assert "WannaCry" in text and "Verdict" in text

@@ -1,0 +1,125 @@
+"""Pafish reimplementation: inventory, individual checks, reports."""
+
+import pytest
+
+from repro.fingerprint.pafish import (CATEGORY_ORDER, all_checks,
+                                      category_sizes, run_pafish)
+
+
+class TestInventory:
+    def test_eleven_categories(self):
+        assert len(CATEGORY_ORDER) == 11
+
+    def test_table2_category_sizes(self):
+        sizes = category_sizes()
+        assert sizes == {
+            "Debuggers": 1, "CPU information": 4, "Generic sandbox": 12,
+            "Hook": 2, "Sandboxie": 1, "Wine": 2, "VirtualBox": 17,
+            "VMware": 8, "Qemu detection": 3, "Bochs": 3, "Cuckoo": 3}
+
+    def test_check_names_unique(self):
+        names = [check.name for check in all_checks()]
+        assert len(names) == len(set(names)) == 56
+
+
+class TestOnPlainMachine:
+    def test_only_mouse_triggers(self, api):
+        report = run_pafish(api)
+        assert report.triggered() == ["gen_mouse_activity"]
+        assert report.total_triggered() == 1
+
+    def test_category_counts_shape(self, api):
+        counts = run_pafish(api).category_counts()
+        assert set(counts) == set(CATEGORY_ORDER)
+        assert counts["Generic sandbox"] == 1
+
+
+class TestIndividualChecks:
+    def _results(self, machine, process):
+        from repro import winapi
+        return run_pafish(winapi.bind(machine, process)).results
+
+    def test_mouse_not_triggered_when_humanized(self, machine, target):
+        machine.gui.humanized = True
+        assert not self._results(machine, target)["gen_mouse_activity"]
+
+    def test_username(self, machine, target):
+        machine.identity.username = "sandbox"
+        assert self._results(machine, target)["gen_username"]
+
+    def test_filepath(self, machine):
+        process = machine.spawn_process("pafish.exe",
+                                        "C:\\sample\\pafish.exe")
+        assert self._results(machine, process)["gen_filepath"]
+
+    def test_samplename(self, machine):
+        process = machine.spawn_process("sample.exe", "C:\\dl\\sample.exe")
+        assert self._results(machine, process)["gen_samplename"]
+
+    def test_small_disk_and_geometry(self, machine, target):
+        machine.filesystem.add_drive("C:", 40 * 1024 ** 3)
+        results = self._results(machine, target)
+        assert results["gen_disk_small"] and results["gen_disk_geometry"]
+
+    def test_low_ram(self, machine, target):
+        machine.hardware.total_ram = 900 * 1024 ** 2
+        machine.hardware.available_ram = 500 * 1024 ** 2
+        assert self._results(machine, target)["gen_ram_low"]
+
+    def test_uptime(self, machine, target):
+        fresh = type(machine)(boot_tick_ms=60_000).boot()
+        process = fresh.spawn_process("pafish.exe")
+        assert self._results(fresh, process)["gen_uptime"]
+
+    def test_one_cpu(self, machine, target):
+        machine.hardware.cpu.cores = 1
+        assert self._results(machine, target)["gen_one_cpu"]
+
+    def test_dns_sinkhole(self, machine, target):
+        machine.network.nx_sinkhole_ip = "10.0.0.1"
+        assert self._results(machine, target)["gen_dns_sinkhole"]
+
+    def test_hv_bit_and_vendor(self, machine, target):
+        from repro.winsim.hardware import HV_VENDOR_VBOX
+        machine.hardware.cpu.hypervisor_present = True
+        machine.hardware.cpu.hypervisor_vendor = HV_VENDOR_VBOX
+        results = self._results(machine, target)
+        assert results["cpu_hv_bit"] and results["cpu_known_vm_vendors"]
+
+    def test_rdtsc_vmexit_on_trapping_cpu(self, machine, target):
+        machine.hardware.cpu.cpuid_traps = True
+        assert self._results(machine, target)["cpu_rdtsc_force_vmexit"]
+
+    def test_vbox_mac(self, machine, target):
+        machine.network.add_adapter("eth0", "08:00:27:00:11:22")
+        assert self._results(machine, target)["vbox_mac"]
+
+    def test_vbox_firmware(self, machine, target):
+        machine.hardware.firmware.bios_version = "VBOX   - 1"
+        assert self._results(machine, target)["vbox_firmware"]
+
+    def test_vbox_net_share(self, machine, target):
+        machine.services.install("VBoxSF")
+        assert self._results(machine, target)["vbox_net_share"]
+
+    def test_vmware_device(self, machine, target):
+        machine.devices.register("\\\\.\\vmci")
+        assert self._results(machine, target)["vmware_device_vmci"]
+
+    def test_vmware_adapter_name(self, machine, target):
+        machine.network.add_adapter("VMnet8", "00:50:56:C0:00:08",
+                                    "VMware Virtual Ethernet Adapter")
+        results = self._results(machine, target)
+        assert results["vmware_adapter_name"] and results["vmware_mac"]
+
+    def test_cuckoo_agent_file(self, machine, target):
+        machine.filesystem.write_file("C:\\agent.py", b"#")
+        assert self._results(machine, target)["cuckoo_agent_file"]
+
+    def test_hook_check_fires_on_cuckoo_monitor(self, machine, target):
+        from repro.analysis.sandbox import CuckooMonitorDll
+        from repro.hooking import inject_dll
+        inject_dll(machine, target, CuckooMonitorDll())
+        results = self._results(machine, target)
+        assert results["hook_shellexecuteexw"]
+        assert not results["hook_deletefile"]

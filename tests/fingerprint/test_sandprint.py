@@ -1,0 +1,132 @@
+"""SandPrint pipeline: collection, clustering, matching, Scarecrow twist."""
+
+import pytest
+
+from repro import winapi
+from repro.analysis.environments import (build_bare_metal_sandbox,
+                                         build_cuckoo_vm_sandbox,
+                                         build_end_user_machine)
+from repro.analysis.sandbox import SandboxRunner
+from repro.core import ScarecrowConfig, ScarecrowController
+from repro.fingerprint.sandprint import (Fingerprint, SandboxMatcher,
+                                         cluster_fingerprints,
+                                         collect_fingerprint, similarity)
+
+
+def _sandbox_submission(builder, label, runs=1):
+    """Model one probe submission to an analysis service."""
+    prints = []
+    for _ in range(runs):
+        machine = builder()
+        runner = SandboxRunner(machine, daemon_name="analyzer.exe")
+        process = runner.launch("C:\\submit\\sandprint_probe.exe")
+        prints.append(collect_fingerprint(winapi.bind(machine, process),
+                                          label=label))
+    return prints
+
+
+def _end_user_print(with_scarecrow):
+    machine = build_end_user_machine()
+    if with_scarecrow:
+        controller = ScarecrowController(
+            machine, config=ScarecrowConfig(enable_username=False))
+        process = controller.launch("C:\\dl\\sandprint_probe.exe")
+    else:
+        process = machine.spawn_process("sandprint_probe.exe",
+                                        "C:\\dl\\sandprint_probe.exe",
+                                        parent=machine.explorer)
+    return collect_fingerprint(winapi.bind(machine, process),
+                               label="end-user")
+
+
+@pytest.fixture(scope="module")
+def sandbox_prints():
+    return (_sandbox_submission(build_bare_metal_sandbox, "bare", runs=3) +
+            _sandbox_submission(build_cuckoo_vm_sandbox, "cuckoo", runs=3))
+
+
+class TestCollection:
+    def test_fields_populated(self, sandbox_prints):
+        fingerprint = sandbox_prints[0]
+        assert fingerprint.hostname and fingerprint.username
+        assert fingerprint.parent_process == "analyzer.exe"
+        assert fingerprint.cpu_cores >= 1
+
+    def test_repeat_submissions_identical(self, sandbox_prints):
+        bare = [f for f in sandbox_prints if f.label == "bare"]
+        assert similarity(bare[0], bare[1]) == 1.0
+
+    def test_vm_fingerprint_carries_vbox_processes(self, sandbox_prints):
+        cuckoo = [f for f in sandbox_prints if f.label == "cuckoo"][0]
+        assert any("vbox" in name for name in cuckoo.analysis_processes)
+        assert cuckoo.mac_oui == "08:00:27"
+
+
+class TestClustering:
+    def test_two_sandboxes_two_clusters(self, sandbox_prints):
+        clusters = cluster_fingerprints(sandbox_prints)
+        assert len(clusters) == 2
+        assert sorted(len(c) for c in clusters) == [3, 3]
+
+    def test_clusters_are_label_pure(self, sandbox_prints):
+        for cluster in cluster_fingerprints(sandbox_prints):
+            assert len({f.label for f in cluster}) == 1
+
+    def test_end_user_forms_own_cluster(self, sandbox_prints):
+        clusters = cluster_fingerprints(
+            sandbox_prints + [_end_user_print(with_scarecrow=False)])
+        assert len(clusters) == 3
+
+
+class TestMatching:
+    def test_sandbox_rerun_detected(self, sandbox_prints):
+        matcher = SandboxMatcher(sandbox_prints)
+        fresh = _sandbox_submission(build_bare_metal_sandbox, "probe")[0]
+        is_sandbox, score, label = matcher.match(fresh)
+        assert is_sandbox and label == "bare" and score > 0.9
+
+    def test_bare_metal_sandbox_detected_unlike_pafish(self, sandbox_prints):
+        """SandPrint's selling point: it catches bare-metal sandboxes."""
+        matcher = SandboxMatcher(sandbox_prints)
+        bare = [f for f in sandbox_prints if f.label == "bare"][0]
+        assert not bare.debugger_present  # nothing Pafish-visible...
+        assert matcher.match(bare)[0]     # ...yet SandPrint matches it.
+
+    def test_plain_end_user_not_matched(self, sandbox_prints):
+        matcher = SandboxMatcher(sandbox_prints)
+        assert not matcher.match(_end_user_print(with_scarecrow=False))[0]
+
+
+class TestScarecrowTwist:
+    """SandPrint's cluster matching keys on *specific installations*, which
+    Scarecrow does not clone — so a protected host does not join, say,
+    VirusTotal's cluster. What it does do is emit the full generic
+    analysis-node indicator profile, which is the paper's deception goal
+    viewed through SandPrint's feature lens."""
+
+    def test_protected_end_user_emits_analysis_indicators(self):
+        from repro.fingerprint.sandprint import sandbox_indicators
+        protected = sandbox_indicators(_end_user_print(with_scarecrow=True))
+        assert {"single-core", "tiny-ram", "small-disk", "fresh-boot",
+                "daemon-parent", "debugger",
+                "analysis-processes"} <= protected
+
+    def test_plain_end_user_emits_almost_none(self):
+        from repro.fingerprint.sandprint import sandbox_indicators
+        plain = sandbox_indicators(_end_user_print(with_scarecrow=False))
+        assert len(plain) <= 1
+
+    def test_real_sandboxes_emit_several(self, sandbox_prints):
+        from repro.fingerprint.sandprint import sandbox_indicators
+        for fingerprint in sandbox_prints:
+            assert len(sandbox_indicators(fingerprint)) >= 2, \
+                fingerprint.label
+
+    def test_protected_host_out_indicates_real_sandboxes(self,
+                                                         sandbox_prints):
+        """Scarecrow over-approximates: it shows *more* analysis indicators
+        than any single genuine sandbox (it imitates all of them at once)."""
+        from repro.fingerprint.sandprint import sandbox_indicators
+        protected = sandbox_indicators(_end_user_print(with_scarecrow=True))
+        for fingerprint in sandbox_prints:
+            assert len(protected) >= len(sandbox_indicators(fingerprint))

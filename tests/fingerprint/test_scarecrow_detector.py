@@ -1,0 +1,86 @@
+"""Section VI-B: detecting Scarecrow by impossible vendor mixes — and the
+exclusive-profiles countermeasure defeating the detector."""
+
+import pytest
+
+from repro import winapi
+from repro.analysis.environments import (build_cuckoo_vm_sandbox,
+                                         build_end_user_machine)
+from repro.core import ScarecrowConfig, ScarecrowController
+from repro.fingerprint.scarecrow_detector import detect_scarecrow
+
+
+class TestHonestEnvironments:
+    def test_plain_end_user_consistent(self, machine, api):
+        assert detect_scarecrow(api) == []
+
+    def test_real_vbox_guest_consistent(self):
+        machine = build_cuckoo_vm_sandbox()
+        process = machine.spawn_process("d.exe", "C:\\d.exe",
+                                        parent=machine.explorer)
+        assert detect_scarecrow(winapi.bind(machine, process)) == []
+
+    def test_vmware_workstation_host_consistent(self):
+        machine = build_end_user_machine()
+        process = machine.spawn_process("d.exe", "C:\\d.exe",
+                                        parent=machine.explorer)
+        assert detect_scarecrow(winapi.bind(machine, process)) == []
+
+
+class TestDefaultScarecrowIsDetectable:
+    """The paper's admitted weakness, reproduced."""
+
+    def test_default_profiles_flagged(self, machine, controller, protected):
+        api = winapi.bind(machine, protected)
+        findings = detect_scarecrow(api)
+        assert findings
+        multi_hv = findings[0]
+        assert "vbox" in multi_hv.vendors and "vmware" in multi_hv.vendors
+
+    def test_combined_bios_string_flagged(self, machine, controller,
+                                          protected):
+        api = winapi.bind(machine, protected)
+        findings = detect_scarecrow(api)
+        assert any("BIOS string" in f.description for f in findings)
+
+    def test_wine_plus_hypervisor_flagged(self, machine, controller,
+                                          protected):
+        api = winapi.bind(machine, protected)
+        findings = detect_scarecrow(api)
+        assert any("Wine" in f.description for f in findings)
+
+
+class TestExclusiveProfilesCountermeasure:
+    def _protected_api(self, machine):
+        controller = ScarecrowController(
+            machine, config=ScarecrowConfig(exclusive_profiles=True))
+        target = controller.launch("C:\\dl\\detector.exe")
+        return winapi.bind(machine, target), controller
+
+    def test_consistency_audit_comes_back_clean(self, machine):
+        """After the first probe commits a VM identity, the remaining
+        audit sees one coherent vendor (the combined-BIOS value is a vbox
+        resource, so committing vbox keeps it self-consistent for the
+        cross-vendor check the paper describes)."""
+        api, controller = self._protected_api(machine)
+        findings = detect_scarecrow(api)
+        assert not any(
+            "multiple hypervisors" in f.description for f in findings)
+        assert controller.engine.profiles.committed_vm is not None
+
+    def test_still_deceptive_after_commitment(self, machine):
+        api, _ = self._protected_api(machine)
+        detect_scarecrow(api)  # commits a profile
+        # The committed vendor's resources still answer.
+        from repro.winsim.errors import Win32Error
+        err, _ = api.RegOpenKeyExA(
+            "HKEY_LOCAL_MACHINE",
+            "SOFTWARE\\Oracle\\VirtualBox Guest Additions")
+        assert err == Win32Error.ERROR_SUCCESS
+        # Non-VM deception groups are untouched.
+        assert api.IsDebuggerPresent() is True
+
+    def test_masking_logged(self, machine):
+        api, controller = self._protected_api(machine)
+        detect_scarecrow(api)
+        assert controller.engine.profiles.mask_log

@@ -1,0 +1,149 @@
+"""Wear-and-tear fingerprinting: artifact inventory, measurement, tree."""
+
+import pytest
+
+from repro import winapi
+from repro.analysis.environments import (build_bare_metal_sandbox,
+                                         build_cuckoo_vm_sandbox,
+                                         build_end_user_machine)
+from repro.fingerprint.weartear import (TOP5_RULES, all_artifacts,
+                                        category_sizes, classify,
+                                        fingerprint, measure_artifacts)
+
+
+def _measure(machine):
+    process = machine.spawn_process("weartool.exe",
+                                    "C:\\dl\\weartool.exe",
+                                    parent=machine.explorer)
+    return measure_artifacts(winapi.bind(machine, process))
+
+
+@pytest.fixture(scope="module")
+def eu_values():
+    return _measure(build_end_user_machine())
+
+
+@pytest.fixture(scope="module")
+def sandbox_values():
+    return _measure(build_bare_metal_sandbox())
+
+
+class TestInventory:
+    def test_44_artifacts_5_categories(self):
+        assert len(all_artifacts()) == 44
+        sizes = category_sizes()
+        assert len(sizes) == 5
+        assert sizes["registry"] == 13  # the 11 Table III rows + 2 top-5
+
+    def test_names_unique(self):
+        names = [a.name for a in all_artifacts()]
+        assert len(set(names)) == 44
+
+    def test_top5_are_the_papers_top5(self):
+        names = [name for name, _ in TOP5_RULES]
+        assert names == ["dnscacheEntries", "sysevt", "syssrc",
+                         "deviceClsCount", "autoRunCount"]
+
+
+class TestMeasurement:
+    def test_measures_every_artifact(self, eu_values):
+        assert set(eu_values) == {a.name for a in all_artifacts()}
+
+    def test_eu_machine_well_worn(self, eu_values):
+        assert eu_values["dnscacheEntries"] == 187
+        assert eu_values["sysevt"] == 30_000
+        assert eu_values["syssrc"] == 40
+        assert eu_values["deviceClsCount"] == 180
+        assert eu_values["autoRunCount"] == 9
+        assert eu_values["browserHistorySize"] > 0
+        assert eu_values["USBStorCount"] == 6
+
+    def test_sandbox_pristine(self, sandbox_values):
+        assert sandbox_values["dnscacheEntries"] == 3
+        assert sandbox_values["sysevt"] < 5000
+        assert sandbox_values["browserHistorySize"] == 0
+
+    def test_uptime_artifact(self, eu_values, sandbox_values):
+        assert eu_values["uptimeMinutes"] > 24 * 60
+        assert sandbox_values["uptimeMinutes"] < 60
+
+    def test_missing_dlls_counts_dangling_entries(self, machine):
+        machine.registry.set_value(
+            "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\SharedDlls",
+            "C:\\Windows\\System32\\ghost.dll", 1)
+        machine.filesystem.write_file("C:\\Windows\\System32\\real.dll",
+                                      b"MZ")
+        machine.registry.set_value(
+            "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\SharedDlls",
+            "C:\\Windows\\System32\\real.dll", 1)
+        values = _measure(machine)
+        assert values["totalMissingDlls"] == 1
+
+
+class TestClassifier:
+    def test_eu_classified_real(self, eu_values):
+        verdict = classify(eu_values)
+        assert verdict.label == "real"
+        assert len(verdict.decision_path) == len(TOP5_RULES)
+
+    def test_sandboxes_classified_sandbox(self, sandbox_values):
+        assert classify(sandbox_values).is_sandbox
+
+    def test_cuckoo_classified_sandbox(self):
+        values = _measure(build_cuckoo_vm_sandbox())
+        assert classify(values).is_sandbox
+
+    def test_decisive_artifact_named(self, sandbox_values):
+        verdict = classify(sandbox_values)
+        assert verdict.decisive_artifact == "dnscacheEntries"
+
+    def test_missing_values_default_to_sandbox(self):
+        assert classify({}).is_sandbox
+
+    def test_single_low_artifact_sufficient(self, eu_values):
+        tweaked = dict(eu_values)
+        tweaked["deviceClsCount"] = 5
+        verdict = classify(tweaked)
+        assert verdict.is_sandbox
+        assert verdict.decisive_artifact == "deviceClsCount"
+
+    def test_fingerprint_end_to_end(self):
+        machine = build_end_user_machine()
+        process = machine.spawn_process("t.exe", "C:\\t.exe",
+                                        parent=machine.explorer)
+        assert fingerprint(winapi.bind(machine, process)).label == "real"
+
+
+class TestScarecrowFlip:
+    def test_weartear_extension_flips_eu_to_sandbox(self):
+        from repro.core import ScarecrowConfig, ScarecrowController
+        machine = build_end_user_machine()
+        controller = ScarecrowController(
+            machine, config=ScarecrowConfig(enable_weartear=True))
+        target = controller.launch("C:\\dl\\weartool.exe")
+        verdict = fingerprint(winapi.bind(machine, target))
+        assert verdict.is_sandbox
+
+    def test_without_extension_eu_stays_real(self):
+        from repro.core import ScarecrowConfig, ScarecrowController
+        machine = build_end_user_machine()
+        controller = ScarecrowController(
+            machine, config=ScarecrowConfig(enable_weartear=False,
+                                            enable_username=False))
+        target = controller.launch("C:\\dl\\weartool.exe")
+        values = measure_artifacts(winapi.bind(machine, target))
+        assert classify(values).label == "real"
+
+    def test_faked_values_match_table3(self):
+        from repro.core import ScarecrowConfig, ScarecrowController
+        machine = build_end_user_machine()
+        controller = ScarecrowController(
+            machine, config=ScarecrowConfig(enable_weartear=True))
+        target = controller.launch("C:\\dl\\weartool.exe")
+        values = measure_artifacts(winapi.bind(machine, target))
+        assert values["dnscacheEntries"] == 4
+        assert values["sysevt"] == 8000
+        assert values["syssrc"] == 6
+        assert values["deviceClsCount"] == 29
+        assert values["autoRunCount"] == 3
+        assert values["regSize"] == 53 * 1024 * 1024

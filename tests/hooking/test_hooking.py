@@ -1,0 +1,140 @@
+"""Inline hooks: byte patching, detection, trampolines, removal."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hooking.inline import HookManager
+from repro.hooking.prologue import (CodeImage, PATCH_LEN, STANDARD_PROLOGUE,
+                                    decode_jmp_target, encode_jmp,
+                                    looks_hooked)
+
+EXPORT = "kernel32.dll!IsDebuggerPresent"
+
+
+class TestPrologueBytes:
+    def test_standard_prologue_starts_mov_edi_edi(self):
+        assert STANDARD_PROLOGUE[:2] == b"\x8b\xff"
+
+    def test_encode_decode_jmp_roundtrip(self):
+        code = encode_jmp(0x601000, 0x10000000)
+        assert code[0] == 0xE9 and len(code) == PATCH_LEN
+        assert decode_jmp_target(code, 0x601000) == 0x10000000
+
+    def test_decode_non_jmp_returns_none(self):
+        assert decode_jmp_target(STANDARD_PROLOGUE, 0x601000) is None
+
+    def test_looks_hooked_on_clean_bytes(self):
+        assert not looks_hooked(STANDARD_PROLOGUE)
+
+    def test_looks_hooked_on_patch(self):
+        assert looks_hooked(encode_jmp(0x601000, 0x10000000))
+
+    def test_looks_hooked_short_buffer(self):
+        assert looks_hooked(b"\xe9")
+
+    @given(src=st.integers(0, 2**31), dst=st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_jmp_roundtrip_property(self, src, dst):
+        assert decode_jmp_target(encode_jmp(src, dst), src) == dst
+
+
+class TestCodeImage:
+    def test_fresh_export_has_standard_prologue(self):
+        image = CodeImage()
+        assert image.read(EXPORT) == STANDARD_PROLOGUE
+
+    def test_addresses_stable_and_distinct(self):
+        image = CodeImage()
+        first = image.address_of(EXPORT)
+        second = image.address_of("ntdll.dll!NtOpenKeyEx")
+        assert first != second
+        assert image.address_of(EXPORT) == first
+
+    def test_patch_and_unpatch(self):
+        image = CodeImage()
+        original = image.patch_jmp(EXPORT, 0x10000000)
+        assert image.is_patched(EXPORT)
+        image.unpatch(EXPORT, original)
+        assert not image.is_patched(EXPORT)
+        assert image.read(EXPORT) == STANDARD_PROLOGUE
+
+    def test_patched_exports_listing(self):
+        image = CodeImage()
+        image.patch_jmp(EXPORT, 0x10000000)
+        assert EXPORT.lower() in image.patched_exports()
+
+    def test_oversized_patch_rejected(self):
+        image = CodeImage()
+        with pytest.raises(ValueError):
+            image.write(EXPORT, b"\x00" * 64)
+
+    def test_case_insensitive_export_names(self):
+        image = CodeImage()
+        image.patch_jmp(EXPORT.upper(), 0x10000000)
+        assert image.is_patched(EXPORT.lower())
+
+
+class TestHookManager:
+    def test_install_patches_prologue(self):
+        manager = HookManager()
+        manager.install(EXPORT, lambda call: True)
+        assert looks_hooked(manager.read_prologue(EXPORT, 2))
+
+    def test_double_install_rejected(self):
+        manager = HookManager()
+        manager.install(EXPORT, lambda call: True)
+        with pytest.raises(ValueError):
+            manager.install(EXPORT, lambda call: False)
+
+    def test_remove_restores_bytes(self):
+        manager = HookManager()
+        manager.install(EXPORT, lambda call: True)
+        assert manager.remove(EXPORT)
+        assert not looks_hooked(manager.read_prologue(EXPORT, 2))
+        assert not manager.remove(EXPORT)
+
+    def test_remove_all_by_owner(self):
+        manager = HookManager()
+        manager.install(EXPORT, lambda call: True, owner="scarecrow")
+        manager.install("kernel32.dll!GetTickCount", lambda call: 0,
+                        owner="cuckoo")
+        assert manager.remove_all(owner="scarecrow") == 1
+        assert manager.is_hooked("kernel32.dll!GetTickCount")
+
+    def test_remove_all(self):
+        manager = HookManager()
+        manager.install(EXPORT, lambda call: True)
+        manager.install("kernel32.dll!GetTickCount", lambda call: 0)
+        assert manager.remove_all() == 2
+        assert len(manager) == 0
+
+    def test_dispatch_routes_to_handler(self):
+        manager = HookManager()
+        manager.install(EXPORT, lambda call, *a: "hooked")
+        result = manager.dispatch(EXPORT, None, lambda ctx: "real", (), {})
+        assert result == "hooked"
+
+    def test_dispatch_unhooked_calls_implementation(self):
+        manager = HookManager()
+        result = manager.dispatch(EXPORT, "ctx",
+                                  lambda ctx, x: (ctx, x), (5,), {})
+        assert result == ("ctx", 5)
+
+    def test_dispatch_original_trampoline(self):
+        manager = HookManager()
+        manager.install(EXPORT, lambda call, x: call.original(x) + 1)
+        result = manager.dispatch(EXPORT, "ctx",
+                                  lambda ctx, x: x * 10, (4,), {})
+        assert result == 41
+
+    def test_hook_owner_recorded(self):
+        manager = HookManager()
+        hook = manager.install(EXPORT, lambda call: True, owner="scarecrow")
+        assert hook.owner == "scarecrow"
+        assert manager.hooks()[0].owner == "scarecrow"
+
+    def test_hooked_exports(self):
+        manager = HookManager()
+        manager.install(EXPORT, lambda call: True)
+        assert manager.hooked_exports() == [EXPORT]

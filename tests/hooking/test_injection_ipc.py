@@ -1,0 +1,107 @@
+"""DLL injection (incl. suspended-child flow) and IPC channels."""
+
+import pytest
+
+from repro.hooking.injection import (HOOK_MANAGER_TAG, hook_manager_of,
+                                     inject_dll, inject_into_suspended_child,
+                                     is_injected)
+from repro.hooking.ipc import IpcChannel, IpcEndpoint
+from repro.winsim.process import ProcessState
+
+
+class RecordingDll:
+    name = "probe.dll"
+
+    def __init__(self):
+        self.injections = []
+
+    def on_inject(self, machine, process):
+        self.injections.append((process.pid, process.state))
+
+
+class TestInjection:
+    def test_inject_loads_module(self, machine, target):
+        dll = RecordingDll()
+        assert inject_dll(machine, target, dll)
+        assert target.modules.is_loaded("probe.dll")
+        assert is_injected(target, "probe.dll")
+
+    def test_inject_creates_hook_manager(self, machine, target):
+        inject_dll(machine, target, RecordingDll())
+        assert hook_manager_of(target) is not None
+
+    def test_inject_idempotent(self, machine, target):
+        dll = RecordingDll()
+        assert inject_dll(machine, target, dll)
+        assert not inject_dll(machine, target, dll)
+        assert len(dll.injections) == 1
+
+    def test_inject_runs_entry_point(self, machine, target):
+        dll = RecordingDll()
+        inject_dll(machine, target, dll)
+        assert dll.injections[0][0] == target.pid
+
+    def test_inject_dead_process_rejected(self, machine, target):
+        machine.processes.terminate(target.pid)
+        with pytest.raises(ValueError):
+            inject_dll(machine, target, RecordingDll())
+
+    def test_inject_emits_image_event(self, machine, target):
+        events = []
+        machine.bus.subscribe(events.append)
+        inject_dll(machine, target, RecordingDll())
+        assert any(e.category == "image" and e.detail("injected")
+                   for e in events)
+
+    def test_suspended_child_flow(self, machine, target):
+        child = machine.spawn_process("child.exe", parent=target)
+        dll = RecordingDll()
+        assert inject_into_suspended_child(machine, child, dll)
+        # Entry point ran while suspended; child resumed afterwards.
+        assert dll.injections[0][1] is ProcessState.SUSPENDED
+        assert child.state is ProcessState.RUNNING
+
+    def test_hook_manager_tag(self, machine, target):
+        manager = hook_manager_of(target, create=True)
+        assert target.tags[HOOK_MANAGER_TAG] is manager
+        assert hook_manager_of(target) is manager
+
+    def test_hook_manager_absent_by_default(self, target):
+        assert hook_manager_of(target) is None
+
+
+class TestIpc:
+    def test_channel_duplex(self):
+        channel = IpcChannel()
+        channel.dll.send("fingerprint_report", api="IsDebuggerPresent")
+        message = channel.controller.receive()
+        assert message.kind == "fingerprint_report"
+        assert message.payload["api"] == "IsDebuggerPresent"
+
+    def test_sequence_numbers_increase(self):
+        channel = IpcChannel()
+        first = channel.dll.send("a")
+        second = channel.dll.send("b")
+        assert second.seq > first.seq
+
+    def test_drain(self):
+        channel = IpcChannel()
+        for index in range(3):
+            channel.controller.send("config_update", index=index)
+        messages = channel.dll.drain()
+        assert [m.payload["index"] for m in messages] == [0, 1, 2]
+        assert channel.dll.pending == 0
+
+    def test_receive_empty_returns_none(self):
+        channel = IpcChannel()
+        assert channel.controller.receive() is None
+
+    def test_disconnected_endpoint_raises(self):
+        endpoint = IpcEndpoint("orphan")
+        with pytest.raises(RuntimeError):
+            endpoint.send("x")
+
+    def test_endpoint_names(self):
+        channel = IpcChannel()
+        assert channel.controller.name == "scarecrow.exe"
+        assert channel.dll.name == "scarecrow.dll"

@@ -1,0 +1,66 @@
+"""CLI smoke + behaviour tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import DEMO_SAMPLES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_demo_sample_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "not-a-sample"])
+        args = build_parser().parse_args(["demo", "wannacry"])
+        assert args.sample == "wannacry"
+
+    def test_pafish_defaults(self):
+        args = build_parser().parse_args(["pafish"])
+        assert args.env == "end-user" and not args.scarecrow
+
+
+class TestCommands:
+    def test_inventory(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "processes: 24" in out
+        assert "hooked resource APIs: 29" in out
+        assert "192.0.2.66" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "12/13" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "sandbox" in capsys.readouterr().out
+
+    def test_cases(self, capsys):
+        assert main(["cases"]) == 0
+        out = capsys.readouterr().out
+        assert "Kasidet" in out and "WannaCry" in out
+
+    @pytest.mark.parametrize("sample", sorted(DEMO_SAMPLES))
+    def test_demo_each_sample(self, sample, capsys):
+        code = main(["demo", sample])
+        out = capsys.readouterr().out
+        assert "verdict:" in out
+        assert code == 0
+
+    def test_pafish_end_user_bare(self, capsys):
+        assert main(["pafish", "--env", "end-user"]) == 0
+        out = capsys.readouterr().out
+        assert "triggered 3/56" in out
+
+    def test_pafish_vm_with_scarecrow(self, capsys):
+        assert main(["pafish", "--env", "vm", "--scarecrow"]) == 0
+        out = capsys.readouterr().out
+        # Table II's VM w/-Scarecrow column: 1+0+9+2+1+2+14+4+1+1+0 = 35.
+        assert "triggered 35/56" in out

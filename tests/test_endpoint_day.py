@@ -1,0 +1,116 @@
+"""A full 'day in the life' integration story on one protected endpoint.
+
+One end-user machine, one Scarecrow controller, Deep Freeze snapshots
+between incidents: benign software installs cleanly, three waves of
+evasive malware arrive and are deactivated, telemetry accumulates, and the
+machine's user data survives the day untouched.
+"""
+
+import pytest
+
+from repro import winapi
+from repro.analysis.deepfreeze import DeepFreeze
+from repro.analysis.environments import build_end_user_machine
+from repro.core import ScarecrowConfig, ScarecrowController
+from repro.malware import (build_cnet_corpus, build_kasidet, build_locky,
+                           build_wannacry_variant)
+from repro.malware.corpus import build_malgene_corpus
+from repro.malware.families import TOP10_FAMILY_SPECS
+
+USER_FILES = ("C:\\Users\\john\\Documents\\q3_report.docx",
+              "C:\\Users\\john\\Documents\\payroll.xlsx")
+
+
+@pytest.fixture(scope="module")
+def day():
+    """Run the whole day once; the tests inspect the aftermath."""
+    machine = build_end_user_machine()
+    for path in USER_FILES:
+        machine.filesystem.write_file(path, b"precious")
+    controller = ScarecrowController(
+        machine, config=ScarecrowConfig(enable_username=False))
+    log = {"benign": [], "hostile": [], "machine": machine,
+           "controller": controller}
+
+    # Morning: the user installs two programs through the controller
+    # (corporate policy: everything downloaded runs under Scarecrow).
+    for program in build_cnet_corpus()[:2]:
+        target = controller.launch(program.image_path)
+        log["benign"].append(program.run(machine, target))
+
+    # Midday onward: three hostile arrivals.
+    hostile = [build_wannacry_variant(), build_locky(), build_kasidet()]
+    spawner = next(s for s in build_malgene_corpus([TOP10_FAMILY_SPECS[0]])
+                   if s.evade_action.value == "self_spawn")
+    hostile.append(spawner)
+    for sample in hostile:
+        machine.filesystem.write_file(sample.image_path, b"MZ")
+        target = controller.launch(sample.image_path)
+        log["hostile"].append((sample, sample.run(machine, target)))
+    return log
+
+
+class TestBenignMorning:
+    def test_installs_clean(self, day):
+        for report in day["benign"]:
+            assert report.installed and report.error is None
+
+    def test_program_files_present(self, day):
+        machine = day["machine"]
+        assert machine.filesystem.is_dir("C:\\Program Files\\Google Chrome")
+
+
+class TestHostileWaves:
+    def test_every_sample_deactivated(self, day):
+        for sample, result in day["hostile"]:
+            assert not result.executed_payload, sample.family
+
+    def test_user_files_intact(self, day):
+        machine = day["machine"]
+        for path in USER_FILES:
+            assert machine.filesystem.read_file(path) == b"precious"
+        assert not any(p.lower().endswith((".wcry", ".locky"))
+                       for p in machine.filesystem.all_paths())
+
+    def test_no_malicious_processes_survive(self, day):
+        machine = day["machine"]
+        for name in ("wormspread.exe", "@WanaDecryptor@.exe"):
+            assert not machine.processes.name_exists(name)
+
+    def test_spawner_alarmed(self, day):
+        assert any(alarm.spawn_count >= 10
+                   for alarm in day["controller"].alarms)
+
+
+class TestTelemetry:
+    def test_fingerprint_log_spans_categories(self, day):
+        summary = day["controller"].summary()
+        assert "network" in summary      # WannaCry kill switch
+        assert "debugger" in summary     # the Symmi spawner
+        assert summary["debugger"] > 100  # one probe per respawn iteration
+
+    def test_triggers_attributable_per_sample(self, day):
+        triggers = {sample.family: result.trigger
+                    for sample, result in day["hostile"]}
+        assert triggers["WannaCry"] == "InternetOpenUrlA()"
+        assert triggers["Locky"] == "RegOpenKeyEx()"
+        assert triggers["Symmi"] == "IsDebuggerPresent()"
+
+
+class TestEndOfDayReset:
+    def test_deepfreeze_rollback_clears_the_day(self):
+        machine = build_end_user_machine()
+        freeze = DeepFreeze(machine)
+        freeze.freeze()
+        controller = ScarecrowController(machine)
+        sample = build_locky()
+        machine.filesystem.write_file(sample.image_path, b"MZ")
+        sample.run(machine, controller.launch(sample.image_path))
+        controller.shutdown()
+        freeze.reset()
+        assert not machine.filesystem.exists(sample.image_path)
+        assert not machine.processes.name_exists("scarecrow.exe")
+        # A fresh controller protects the reset machine just fine.
+        fresh = ScarecrowController(machine)
+        api = winapi.bind(machine, fresh.launch("C:\\dl\\next.exe"))
+        assert api.IsDebuggerPresent() is True

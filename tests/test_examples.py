@@ -1,0 +1,49 @@
+"""The example scripts run end-to-end (their asserts are the checks)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart(capsys):
+    _run("quickstart.py")
+    out = capsys.readouterr().out
+    assert "without Scarecrow" in out and "with Scarecrow" in out
+
+
+def test_protect_endpoint(capsys):
+    _run("protect_endpoint.py")
+    out = capsys.readouterr().out
+    assert "DEACTIVATED" in out and "ALARM" in out
+    assert "benign check" in out
+
+
+def test_fingerprint_arms_race(capsys):
+    _run("fingerprint_arms_race.py")
+    out = capsys.readouterr().out
+    assert "Table II" in out and "Table III" in out
+
+
+def test_malgene_learning_loop(capsys):
+    # The example registers a module-level evasion check; guard against
+    # double registration when the module is re-run in one session.
+    from repro.malware.techniques import _REGISTRY
+    _REGISTRY.pop("novel_vendor_key", None)
+    _run("malgene_learning_loop.py")
+    out = capsys.readouterr().out
+    assert "after learning:  payload ran = False" in out
+
+
+def test_scarecrow_aware_malware(capsys):
+    _run("scarecrow_aware_malware.py")
+    out = capsys.readouterr().out
+    assert "SCARECROW SUSPECTED" in out
+    assert "committed identity" in out

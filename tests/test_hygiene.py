@@ -1,0 +1,78 @@
+"""Resource-hygiene audits: handle leaks, event-bus detachment, determinism."""
+
+import pytest
+
+from repro import winapi
+from repro.analysis.environments import build_end_user_machine
+from repro.core import ScarecrowController
+from repro.fingerprint.pafish import run_pafish
+from repro.fingerprint.weartear import measure_artifacts
+
+
+class TestHandleHygiene:
+    def test_pafish_closes_what_it_opens(self, machine, api):
+        before = machine.handles.live_count()
+        run_pafish(api)
+        leaked = machine.handles.live_count() - before
+        assert leaked == 0, f"pafish leaked {leaked} handles"
+
+    def test_weartear_tool_bounded_leakage(self, machine, api):
+        before = machine.handles.live_count()
+        measure_artifacts(api)
+        leaked = machine.handles.live_count() - before
+        assert leaked == 0, f"wear-and-tear tool leaked {leaked} handles"
+
+    def test_protected_pafish_closes_fake_handles_too(self, machine,
+                                                      controller,
+                                                      protected_api):
+        before = machine.handles.live_count()
+        run_pafish(protected_api)
+        leaked = machine.handles.live_count() - before
+        assert leaked == 0, f"leaked {leaked} (materialized key?) handles"
+
+    def test_evasion_checks_close_handles(self, machine, protected_api):
+        from repro.malware.techniques import all_check_names, get_check
+        before = machine.handles.live_count()
+        for name in all_check_names():
+            get_check(name).run(protected_api)
+        leaked = machine.handles.live_count() - before
+        assert leaked == 0, f"techniques leaked {leaked} handles"
+
+
+class TestBusHygiene:
+    def test_controller_shutdown_detaches(self, machine):
+        before = machine.bus.subscriber_count
+        controller = ScarecrowController(machine)
+        assert machine.bus.subscriber_count == before + 1
+        controller.shutdown()
+        assert machine.bus.subscriber_count == before
+
+    def test_tracer_stop_detaches(self, machine):
+        from repro.analysis import Tracer
+        before = machine.bus.subscriber_count
+        tracer = Tracer(machine).start()
+        tracer.stop()
+        assert machine.bus.subscriber_count == before
+
+
+class TestDeterminism:
+    def test_environment_builders_deterministic(self):
+        first = build_end_user_machine()
+        second = build_end_user_machine()
+        assert first.snapshot() == second.snapshot()
+
+    def test_pafish_run_deterministic(self):
+        results = []
+        for _ in range(2):
+            machine = build_end_user_machine()
+            process = machine.spawn_process("p.exe", "C:\\p.exe",
+                                            parent=machine.explorer)
+            results.append(run_pafish(winapi.bind(machine, process)).results)
+        assert results[0] == results[1]
+
+    def test_table1_run_deterministic(self):
+        from repro.experiments import run_table1
+        first = [(r.md5_prefix, r.effective, r.trigger) for r in run_table1()]
+        second = [(r.md5_prefix, r.effective, r.trigger)
+                  for r in run_table1()]
+        assert first == second

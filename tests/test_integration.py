@@ -1,0 +1,134 @@
+"""Cross-module integration: benign coexistence (E7) and full stories."""
+
+import pytest
+
+from repro import winapi
+from repro.analysis.environments import build_end_user_machine
+from repro.core import (ScarecrowConfig, ScarecrowController)
+from repro.malware.benign import build_cnet_corpus
+
+
+def _run_benign(program, with_scarecrow):
+    machine = build_end_user_machine()
+    if with_scarecrow:
+        controller = ScarecrowController(
+            machine, config=ScarecrowConfig(enable_username=False))
+        process = controller.launch(program.image_path)
+    else:
+        process = machine.spawn_process(
+            program.spec.exe_name, program.image_path,
+            parent=machine.explorer)
+    return program.run(machine, process), machine
+
+
+class TestBenignImpact:
+    """§IV-C.1: 'All of these software programs installed and operated
+    without any issues' — and behaved identically."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        pairs = {}
+        for program in build_cnet_corpus():
+            without, _ = _run_benign(program, with_scarecrow=False)
+            with_sc, _ = _run_benign(program, with_scarecrow=True)
+            pairs[program.spec.name] = (without, with_sc)
+        return pairs
+
+    def test_all_twenty_install_and_run_under_scarecrow(self, reports):
+        for name, (_, with_sc) in reports.items():
+            assert with_sc.installed and with_sc.ran, name
+            assert with_sc.error is None, name
+
+    def test_behaviour_fingerprints_identical(self, reports):
+        for name, (without, with_sc) in reports.items():
+            assert without.fingerprint == with_sc.fingerprint, name
+
+    def test_install_artifacts_real(self):
+        program = build_cnet_corpus()[0]
+        report, machine = _run_benign(program, with_scarecrow=True)
+        assert machine.filesystem.exists(
+            f"{program.install_dir}\\resources.dat")
+        assert machine.registry.key_exists(
+            "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\"
+            f"Uninstall\\{program.spec.name}")
+
+    def test_oversized_requirement_would_fail_as_paper_warns(self):
+        """The documented caveat: software demanding more than the faked
+        50 GB sees the deceptive value and errors out."""
+        from repro.malware.benign import BenignProgram, BenignSpec
+        greedy = BenignProgram(BenignSpec(
+            "HugeGame", "huge_setup.exe", "Big", 80 * 1024 ** 3,
+            512 * 1024 ** 2, "updates.hugegame.example"))
+        without, _ = _run_benign(greedy, with_scarecrow=False)
+        with_sc, _ = _run_benign(greedy, with_scarecrow=True)
+        assert without.installed
+        assert not with_sc.installed
+        assert with_sc.error == "insufficient disk space"
+
+
+class TestOnDemandProtection:
+    def test_protect_existing_process(self, machine):
+        controller = ScarecrowController(machine)
+        running = machine.spawn_process("already.exe",
+                                        parent=machine.explorer)
+        controller.protect_existing(running)
+        api = winapi.bind(machine, running)
+        assert api.IsDebuggerPresent() is True
+
+    def test_multiple_targets_one_controller(self, machine):
+        controller = ScarecrowController(machine)
+        first = controller.launch("C:\\dl\\a.exe")
+        second = controller.launch("C:\\dl\\b.exe")
+        for target in (first, second):
+            api = winapi.bind(machine, target)
+            assert api.IsDebuggerPresent() is True
+        assert first.parent is second.parent is controller.process
+
+
+class TestAblations:
+    """Config groups gate exactly their own deceptions."""
+
+    CASES = [
+        ("enable_debugger", lambda api: api.IsDebuggerPresent() is True),
+        ("enable_hardware",
+         lambda api: api.GetSystemInfo().number_of_processors == 1),
+        ("enable_network",
+         lambda api: api.DnsQuery_A("ablation-nx.invalid") is not None),
+        ("enable_timing",
+         lambda api: api.GetTickCount() < 12 * 60 * 1000),
+        ("enable_identity",
+         lambda api: api.GetModuleFileNameA(None).startswith("C:\\sample")),
+    ]
+
+    @pytest.mark.parametrize("flag,probe", CASES,
+                             ids=[c[0] for c in CASES])
+    def test_flag_off_disables_group(self, flag, probe):
+        machine = build_end_user_machine()
+        controller = ScarecrowController(
+            machine, config=ScarecrowConfig(**{flag: False}))
+        target = controller.launch("C:\\dl\\probe.exe")
+        api = winapi.bind(machine, target)
+        assert not probe(api), flag
+
+    @pytest.mark.parametrize("flag,probe", CASES,
+                             ids=[c[0] for c in CASES])
+    def test_flag_on_enables_group(self, flag, probe):
+        machine = build_end_user_machine()
+        controller = ScarecrowController(machine)
+        target = controller.launch("C:\\dl\\probe.exe")
+        api = winapi.bind(machine, target)
+        assert probe(api), flag
+
+    def test_software_flag_gates_registry_files_windows(self):
+        from repro.winsim.errors import Win32Error
+        machine = build_end_user_machine()
+        controller = ScarecrowController(
+            machine, config=ScarecrowConfig(enable_software=False))
+        target = controller.launch("C:\\dl\\probe.exe")
+        api = winapi.bind(machine, target)
+        err, _ = api.RegOpenKeyExA(
+            "HKEY_LOCAL_MACHINE",
+            "SOFTWARE\\Oracle\\VirtualBox Guest Additions")
+        assert err == Win32Error.ERROR_FILE_NOT_FOUND
+        assert api.GetModuleHandleA("SbieDll.dll") is None
+        assert api.FindWindowA("OLLYDBG") is None

@@ -1,0 +1,166 @@
+"""Cross-layer property-based invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import winapi
+from repro.hooking import hook_manager_of, looks_hooked
+from repro.winsim import Machine
+from repro.winsim.errors import Win32Error
+
+_ascii_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_",
+    min_size=1, max_size=12)
+
+_EXPORT_POOL = (
+    "kernel32.dll!IsDebuggerPresent", "kernel32.dll!GetTickCount",
+    "kernel32.dll!CreateFileA", "ntdll.dll!NtOpenKeyEx",
+    "advapi32.dll!RegOpenKeyExA", "user32.dll!FindWindowA",
+    "shell32.dll!ShellExecuteExW",
+)
+
+
+def _fresh_api():
+    machine = Machine().boot()
+    process = machine.spawn_process("prop.exe", parent=machine.explorer)
+    return machine, process, winapi.bind(machine, process)
+
+
+class TestApiRegistryFaithfulness:
+    """The Win32 registry view agrees with the substrate exactly."""
+
+    @given(names=st.lists(_ascii_names, min_size=1, max_size=5, unique=True),
+           data=st.text(max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_api_writes_visible_directly_and_vice_versa(self, names, data):
+        machine, _, api = _fresh_api()
+        for index, name in enumerate(names):
+            if index % 2 == 0:
+                err, key = api.RegCreateKeyExA("HKEY_CURRENT_USER",
+                                               f"Software\\P\\{name}")
+                api.RegSetValueExA(key, "v", data)
+            else:
+                machine.registry.set_value(
+                    f"HKCU\\Software\\P\\{name}", "v", data)
+        for name in names:
+            assert machine.registry.get_data(
+                f"HKCU\\Software\\P\\{name}", "v") == data
+            err, key = api.RegOpenKeyExA("HKEY_CURRENT_USER",
+                                         f"Software\\P\\{name}")
+            assert err == Win32Error.ERROR_SUCCESS
+            err, read = api.RegQueryValueExA(key, "v")
+            assert read == data
+
+
+class TestHookInstallRemoveInvariants:
+    @given(exports=st.lists(st.sampled_from(_EXPORT_POOL), min_size=1,
+                            max_size=7, unique=True),
+           remove_order=st.randoms())
+    @settings(max_examples=30, deadline=None)
+    def test_install_remove_roundtrip_restores_prologues(self, exports,
+                                                         remove_order):
+        _, process, api = _fresh_api()
+        manager = hook_manager_of(process, create=True)
+        for export in exports:
+            manager.install(export, lambda call, *a, **k:
+                            call.original(*a, **k))
+            assert looks_hooked(api.read_function_prologue(export, 2))
+        shuffled = list(exports)
+        remove_order.shuffle(shuffled)
+        for export in shuffled:
+            assert manager.remove(export)
+        for export in exports:
+            assert not looks_hooked(api.read_function_prologue(export, 2))
+        assert len(manager) == 0
+
+    @given(exports=st.lists(st.sampled_from(_EXPORT_POOL), min_size=1,
+                            max_size=4, unique=True))
+    @settings(max_examples=20, deadline=None)
+    def test_passthrough_hooks_preserve_behaviour(self, exports):
+        machine, process, api = _fresh_api()
+        bare_tick = api.GetTickCount()
+        bare_dbg = api.IsDebuggerPresent()
+        manager = hook_manager_of(process, create=True)
+        for export in exports:
+            manager.install(export, lambda call, *a, **k:
+                            call.original(*a, **k))
+        assert api.IsDebuggerPresent() == bare_dbg
+        assert api.GetTickCount() >= bare_tick
+
+
+class TestSnapshotIdentity:
+    @given(files=st.lists(_ascii_names, max_size=4, unique=True),
+           mutexes=st.lists(_ascii_names, max_size=3, unique=True),
+           domains=st.lists(_ascii_names, max_size=3, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_mutate_restore_returns_to_snapshot(self, files, mutexes,
+                                                domains):
+        machine = Machine().boot()
+        machine.filesystem.write_file("C:\\base.txt", b"base")
+        state = machine.snapshot()
+        for name in files:
+            machine.filesystem.write_file(f"C:\\mut\\{name}.bin", b"x")
+        for name in mutexes:
+            machine.mutexes.create(name)
+        for name in domains:
+            machine.network.register_domain(f"{name}.example")
+        machine.registry.bulk_padding_bytes += 1
+        machine.restore(state)
+        assert machine.snapshot() == state
+        assert machine.filesystem.read_file("C:\\base.txt") == b"base"
+
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_double_restore_idempotent(self, data):
+        machine = Machine().boot()
+        state = machine.snapshot()
+        name = data.draw(_ascii_names)
+        machine.mutexes.create(name)
+        machine.restore(state)
+        first = machine.snapshot()
+        machine.restore(state)
+        assert machine.snapshot() == first
+
+
+class TestDisjunctionSemantics:
+    """Sample evasive logic is a true short-circuit disjunction."""
+
+    @given(order=st.permutations(["is_debugger_present",
+                                  "vbox_registry_key", "sandbox_dlls",
+                                  "low_memory"]))
+    @settings(max_examples=20, deadline=None)
+    def test_any_order_detects_under_scarecrow(self, order):
+        from repro.core import ScarecrowController
+        from repro.malware.payloads import FileWriterPayload
+        from repro.malware.sample import EvadeAction, EvasiveSample
+        machine = Machine().boot()
+        controller = ScarecrowController(machine)
+        sample = EvasiveSample(
+            md5="fe" * 16, exe_name="perm.exe", family="Prop",
+            check_names=tuple(order), evade_action=EvadeAction.TERMINATE,
+            payload=FileWriterPayload(("x.bin",)))
+        target = controller.launch(sample.image_path)
+        result = sample.run(machine, target)
+        assert result.evaded
+        # Short-circuit: exactly one check was evaluated (all are deceived).
+        assert len(result.checks_evaluated) == 1
+        assert result.checks_evaluated[0][0] == order[0]
+
+    @given(order=st.permutations(["is_debugger_present",
+                                  "vbox_registry_key", "sandbox_dlls",
+                                  "low_memory"]))
+    @settings(max_examples=10, deadline=None)
+    def test_any_order_detonates_on_clean_machine(self, order):
+        from repro.malware.payloads import FileWriterPayload
+        from repro.malware.sample import EvadeAction, EvasiveSample
+        machine = Machine().boot()
+        machine.hardware.cpu.cores = 4
+        sample = EvasiveSample(
+            md5="fd" * 16, exe_name="perm.exe", family="Prop",
+            check_names=tuple(order), evade_action=EvadeAction.TERMINATE,
+            payload=FileWriterPayload(("x.bin",)))
+        process = machine.spawn_process(sample.exe_name, sample.image_path,
+                                        parent=machine.explorer)
+        result = sample.run(machine, process)
+        assert result.executed_payload
+        assert len(result.checks_evaluated) == len(order)

@@ -1,0 +1,66 @@
+"""Property-based verdict prediction: for arbitrary (small) family specs,
+the executed verdict distribution matches the spec's static prediction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.comparison import Verdict, compare_runs, summarize
+from repro.analysis.environments import build_bare_metal_sandbox
+from repro.analysis.agent import run_sample
+from repro.malware.corpus import build_family_samples
+from repro.malware.families import ARCHETYPES, FamilySpec
+
+_DEACTIVATABLE = ("spawn_idp", "spawn_hook", "term_vm", "sleep_sbx",
+                  "term_hw")
+_FAILING = ("fail_peb", "fail_cpu", "fail_timing")
+
+
+def _factory():
+    return build_bare_metal_sandbox(aged=False)
+
+
+def _run_spec(spec: FamilySpec):
+    results = []
+    for sample in build_family_samples(spec):
+        without = run_sample(_factory(), sample, with_scarecrow=False)
+        with_sc = run_sample(_factory(), sample, with_scarecrow=True)
+        results.append(compare_runs(
+            sample, without.trace, without.result, with_sc.trace,
+            with_sc.result, without.root_pid, with_sc.root_pid))
+    return summarize(results)
+
+
+_spec_strategy = st.builds(
+    lambda pairs: FamilySpec(
+        "Prop", tuple((name, count) for name, count in pairs.items()
+                      if count > 0)),
+    st.fixed_dictionaries({
+        name: st.integers(0, 2)
+        for name in _DEACTIVATABLE + _FAILING + ("selfdel",)
+    })).filter(lambda spec: 0 < spec.total <= 6)
+
+
+class TestVerdictPrediction:
+    @given(spec=_spec_strategy)
+    @settings(max_examples=12, deadline=None)
+    def test_summary_matches_spec_prediction(self, spec):
+        summary = _run_spec(spec)
+        assert summary.total == spec.total
+        assert summary.deactivated == spec.expected_deactivated()
+        assert summary.self_spawning == spec.expected_self_spawning()
+        expected_inconclusive = sum(
+            count for name, count in spec.archetype_counts
+            if ARCHETYPES[name].inconclusive)
+        expected_failures = sum(
+            count for name, count in spec.archetype_counts
+            if not ARCHETYPES[name].deactivatable)
+        assert summary.inconclusive == expected_inconclusive
+        assert summary.not_deactivated == expected_failures
+
+    @given(spec=_spec_strategy)
+    @settings(max_examples=6, deadline=None)
+    def test_without_scarecrow_everything_detonates_except_selfdel(self,
+                                                                   spec):
+        for sample in build_family_samples(spec):
+            record = run_sample(_factory(), sample, with_scarecrow=False)
+            assert record.result.executed_payload, sample.md5

@@ -1,0 +1,125 @@
+"""API dispatch: export resolution, clock charging, events, hook routing."""
+
+import pytest
+
+from repro import winapi
+from repro.hooking import hook_manager_of
+from repro.winapi.calling import API_CALL_COST_NS, EXPORTS
+
+
+class TestDispatch:
+    def test_unknown_export_raises(self, api):
+        with pytest.raises(KeyError):
+            api.call("kernel32.dll!NoSuchFunction")
+
+    def test_case_insensitive_export_lookup(self, api):
+        assert api.call("KERNEL32.DLL!IsDebuggerPresent") is False
+
+    def test_attribute_sugar(self, api):
+        assert api.IsDebuggerPresent() is False
+
+    def test_unknown_attribute_raises(self, api):
+        with pytest.raises(AttributeError):
+            api.NoSuchApi()
+
+    def test_private_attribute_raises(self, api):
+        with pytest.raises(AttributeError):
+            api._hidden
+
+    def test_calls_charge_virtual_clock(self, machine, api):
+        before = machine.clock.now_ns
+        api.IsDebuggerPresent()
+        assert machine.clock.now_ns >= before + API_CALL_COST_NS
+
+    def test_call_log_records(self, api):
+        api.GetTickCount()
+        assert api.call_log[-1].export == "kernel32.dll!GetTickCount"
+
+    def test_api_events_published(self, machine, api):
+        events = []
+        machine.bus.subscribe(events.append)
+        api.GetTickCount()
+        assert any(e.category == "api" and "GetTickCount" in e.name
+                   for e in events)
+
+    def test_quiet_suppresses_api_events(self, machine, api):
+        events = []
+        machine.bus.subscribe(events.append)
+        api.quiet = True
+        api.GetTickCount()
+        assert not any(e.category == "api" for e in events)
+
+    def test_dead_process_cannot_call(self, machine, api, target):
+        machine.processes.terminate(target.pid)
+        with pytest.raises(RuntimeError):
+            api.GetTickCount()
+
+    def test_exports_registered(self):
+        assert "kernel32.dll!IsDebuggerPresent" in EXPORTS
+        assert "ntdll.dll!NtOpenKeyEx" in EXPORTS
+        assert "advapi32.dll!RegOpenKeyExA" in EXPORTS
+        assert len(EXPORTS) > 50
+
+
+class TestHookRouting:
+    def test_hook_intercepts(self, machine, api, target):
+        manager = hook_manager_of(target, create=True)
+        manager.install("kernel32.dll!IsDebuggerPresent",
+                        lambda call: True)
+        assert api.IsDebuggerPresent() is True
+
+    def test_hook_original_passthrough(self, machine, api, target):
+        manager = hook_manager_of(target, create=True)
+        manager.install("kernel32.dll!GetTickCount",
+                        lambda call: call.original() + 1)
+        unhooked = machine.clock.tick_count_ms()
+        assert api.GetTickCount() >= unhooked + 1
+
+    def test_disabled_hook_bypassed(self, machine, api, target):
+        manager = hook_manager_of(target, create=True)
+        hook = manager.install("kernel32.dll!IsDebuggerPresent",
+                               lambda call: True)
+        hook.enabled = False
+        assert api.IsDebuggerPresent() is False
+
+    def test_hooks_scoped_per_process(self, machine, api, target):
+        manager = hook_manager_of(target, create=True)
+        manager.install("kernel32.dll!IsDebuggerPresent", lambda call: True)
+        other = machine.spawn_process("other.exe")
+        other_api = winapi.bind(machine, other)
+        assert other_api.IsDebuggerPresent() is False
+
+
+class TestMemoryReads:
+    def test_read_peb_is_direct(self, api, target):
+        target.peb.number_of_processors = 7
+        assert api.read_peb().number_of_processors == 7
+
+    def test_peb_read_ignores_hooks(self, machine, api, target):
+        manager = hook_manager_of(target, create=True)
+        manager.install("kernel32.dll!IsDebuggerPresent", lambda call: True)
+        assert api.read_peb().being_debugged is False
+
+    def test_prologue_clean_without_hooks(self, api):
+        assert api.read_function_prologue(
+            "kernel32.dll!IsDebuggerPresent", 2) == b"\x8b\xff"
+
+    def test_cpuid_charges_clock(self, machine, api):
+        before = machine.clock.now_ns
+        api.cpuid(1)
+        assert machine.clock.now_ns > before
+
+    def test_cpuid_trap_cost(self, machine, api):
+        machine.hardware.cpu.cpuid_traps = True
+        before = machine.clock.now_ns
+        api.cpuid(1)
+        assert machine.clock.now_ns - before > 10_000
+
+    def test_rdtsc_increases(self, api):
+        assert api.rdtsc() < api.rdtsc()
+
+
+class TestErrors:
+    def test_last_error_roundtrip(self, api):
+        api.set_last_error(1168)
+        assert api.get_last_error() == 1168

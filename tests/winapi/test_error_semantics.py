@@ -1,0 +1,103 @@
+"""Last-error and status-code semantics across the API surface.
+
+Evasive logic branches on *exact* codes; these tests pin them.
+"""
+
+import pytest
+
+from repro.winsim.errors import (NtStatus, Win32Error, nt_error,
+                                 nt_information, nt_success)
+
+
+class TestStatusPredicates:
+    def test_success_band(self):
+        assert nt_success(NtStatus.STATUS_SUCCESS)
+        assert not nt_success(NtStatus.STATUS_OBJECT_NAME_NOT_FOUND)
+        assert not nt_success(NtStatus.STATUS_NO_MORE_ENTRIES)
+
+    def test_information_band(self):
+        assert nt_information(NtStatus.STATUS_NO_MORE_ENTRIES)
+        assert nt_information(NtStatus.STATUS_BUFFER_OVERFLOW)
+        assert not nt_information(NtStatus.STATUS_SUCCESS)
+
+    def test_error_band(self):
+        assert nt_error(NtStatus.STATUS_ACCESS_DENIED)
+        assert nt_error(NtStatus.STATUS_INVALID_HANDLE)
+        assert not nt_error(NtStatus.STATUS_SUCCESS)
+
+    def test_exact_numeric_values(self):
+        """Codes malware hard-codes."""
+        assert NtStatus.STATUS_OBJECT_NAME_NOT_FOUND == 0xC0000034
+        assert NtStatus.STATUS_ACCESS_VIOLATION == 0xC0000005
+        assert Win32Error.ERROR_FILE_NOT_FOUND == 2
+        assert Win32Error.ERROR_NO_MORE_ITEMS == 259
+
+
+class TestLastErrorPaths:
+    def test_file_miss_sets_file_not_found(self, api):
+        api.set_last_error(0)
+        api.GetFileAttributesA("C:\\nope.bin")
+        assert api.get_last_error() == Win32Error.ERROR_FILE_NOT_FOUND
+
+    def test_module_miss_sets_not_found(self, api):
+        api.set_last_error(0)
+        api.GetModuleHandleA("ghost.dll")
+        assert api.get_last_error() == Win32Error.ERROR_NOT_FOUND
+
+    def test_window_miss_sets_not_found(self, api):
+        api.set_last_error(0)
+        api.FindWindowA("NoSuchClass")
+        assert api.get_last_error() == Win32Error.ERROR_NOT_FOUND
+
+    def test_create_mutex_existing_sets_already_exists(self, machine, api):
+        machine.mutexes.create("M")
+        api.CreateMutexA("M")
+        assert api.get_last_error() == 183
+
+    def test_create_mutex_fresh_clears(self, api):
+        api.set_last_error(99)
+        api.CreateMutexA("Fresh")
+        assert api.get_last_error() == Win32Error.ERROR_SUCCESS
+
+    def test_bad_drive_sets_path_not_found(self, api):
+        api.set_last_error(0)
+        api.GetDiskFreeSpaceExA("Q:\\")
+        assert api.get_last_error() == Win32Error.ERROR_PATH_NOT_FOUND
+
+    def test_output_debug_string_clobbers_when_undebugged(self, api):
+        api.set_last_error(0x5C5C)
+        api.OutputDebugStringA("probe")
+        assert api.get_last_error() != 0x5C5C
+
+    def test_output_debug_string_preserves_when_debugged(self, api, target):
+        target.peb.being_debugged = True
+        api.set_last_error(0x5C5C)
+        api.OutputDebugStringA("probe")
+        assert api.get_last_error() == 0x5C5C
+
+    def test_last_error_is_per_context(self, machine, api):
+        from repro import winapi
+        other = machine.spawn_process("other.exe")
+        other_api = winapi.bind(machine, other)
+        api.set_last_error(7)
+        other_api.set_last_error(9)
+        assert api.get_last_error() == 7
+        assert other_api.get_last_error() == 9
+
+
+class TestNtStatusReturnPaths:
+    def test_registry_chain_statuses(self, machine, api):
+        status, handle = api.NtOpenKeyEx("HKEY_LOCAL_MACHINE\\SOFTWARE")
+        assert status == NtStatus.STATUS_SUCCESS
+        status, _ = api.NtQueryValueKey(handle, "ghost")
+        assert status == NtStatus.STATUS_OBJECT_NAME_NOT_FOUND
+        status, _ = api.NtEnumerateKey(handle, 999)
+        assert status == NtStatus.STATUS_NO_MORE_ENTRIES
+        assert api.NtClose(handle) == NtStatus.STATUS_SUCCESS
+        assert api.NtClose(handle) == NtStatus.STATUS_INVALID_HANDLE
+
+    def test_nt_file_statuses(self, api):
+        status, _ = api.NtQueryAttributesFile("C:\\ghost.sys")
+        assert status == NtStatus.STATUS_OBJECT_NAME_NOT_FOUND
+        status, _ = api.NtCreateFile("C:\\ghost.bin")
+        assert status == NtStatus.STATUS_NO_SUCH_FILE

@@ -1,0 +1,221 @@
+"""kernel32 surface: debugger, timing, modules, sysinfo, files, processes."""
+
+import pytest
+
+from repro.winapi.kernel32 import (CREATE_SUSPENDED, INVALID_FILE_ATTRIBUTES,
+                                   IOCTL_DISK_GET_DRIVE_GEOMETRY)
+from repro.winsim.process import ProcessState
+
+
+class TestDebugger:
+    def test_is_debugger_present_reads_peb(self, api, target):
+        assert api.IsDebuggerPresent() is False
+        target.peb.being_debugged = True
+        assert api.IsDebuggerPresent() is True
+
+    def test_check_remote_debugger_other_pid(self, machine, api):
+        other = machine.spawn_process("o.exe")
+        other.peb.being_debugged = True
+        assert api.CheckRemoteDebuggerPresent(other.pid) is True
+
+    def test_check_remote_debugger_bad_pid(self, api):
+        assert api.CheckRemoteDebuggerPresent(123456) is False
+
+
+class TestTiming:
+    def test_tick_count_matches_clock(self, machine, api):
+        assert abs(api.GetTickCount() - machine.clock.tick_count_ms()) <= 16
+
+    def test_sleep_advances_ticks(self, api):
+        before = api.GetTickCount()
+        api.Sleep(500)
+        assert api.GetTickCount() - before >= 480
+
+    def test_qpc_monotonic(self, api):
+        assert api.QueryPerformanceCounter() <= api.QueryPerformanceCounter()
+
+
+class TestModules:
+    def test_get_module_handle_loaded(self, api):
+        assert api.GetModuleHandleA("kernel32.dll") is not None
+
+    def test_get_module_handle_missing(self, api):
+        assert api.GetModuleHandleA("SbieDll.dll") is None
+
+    def test_get_module_handle_null_returns_exe_base(self, api, target):
+        assert api.GetModuleHandleA(None) == \
+            target.modules.executable.base_address
+
+    def test_load_library_system_dll(self, machine, api):
+        machine.filesystem.write_file(
+            "C:\\Windows\\System32\\extra.dll", b"MZ")
+        base = api.LoadLibraryA("extra.dll")
+        assert base is not None
+        assert api.GetModuleHandleA("extra.dll") == base
+
+    def test_load_library_missing_file(self, api):
+        assert api.LoadLibraryA("ghost.dll") is None
+
+    def test_get_module_file_name_default(self, api, target):
+        assert api.GetModuleFileNameA(None) == target.image_path
+
+    def test_get_proc_address_existing(self, api):
+        base = api.GetModuleHandleA("kernel32.dll")
+        assert api.GetProcAddress(base, "IsDebuggerPresent") is not None
+
+    def test_get_proc_address_wine_absent(self, api):
+        base = api.GetModuleHandleA("kernel32.dll")
+        assert api.GetProcAddress(base, "wine_get_unix_file_name") is None
+
+    def test_get_proc_address_vhd_gated_by_version(self, machine, api):
+        base = api.GetModuleHandleA("kernel32.dll")
+        assert api.GetProcAddress(base, "IsNativeVhdBoot") is None
+        machine.os_version.minor = 2  # Windows 8
+        assert api.GetProcAddress(base, "IsNativeVhdBoot") is not None
+
+    def test_get_proc_address_wrong_module(self, api):
+        base = api.GetModuleHandleA("user32.dll")
+        assert api.GetProcAddress(base, "IsDebuggerPresent") is None
+
+
+class TestSystemInfo:
+    def test_memory_status(self, machine, api):
+        machine.hardware.total_ram = 4 * 1024 ** 3
+        assert api.GlobalMemoryStatusEx().total_phys == 4 * 1024 ** 3
+
+    def test_system_info_cores(self, machine, api):
+        machine.hardware.cpu.cores = 4
+        machine._sync_peb_all()
+        assert api.GetSystemInfo().number_of_processors == 4
+
+    def test_version(self, api):
+        assert api.GetVersionExA().is_windows7
+
+    def test_computer_name(self, machine, api):
+        assert api.GetComputerNameA() == machine.identity.hostname
+
+    def test_vhd_boot_unsupported_on_win7(self, api):
+        assert api.IsNativeVhdBoot() == (False, False)
+
+    def test_firmware_table_contains_bios(self, machine, api):
+        machine.hardware.firmware.bios_version = "VBOX   - 1"
+        assert b"VBOX" in api.GetSystemFirmwareTable()
+
+    def test_disk_free_space(self, api):
+        ok, free, total = api.GetDiskFreeSpaceExA("C:\\")
+        assert ok and 0 < free <= total
+
+    def test_disk_free_space_missing_drive(self, api):
+        assert api.GetDiskFreeSpaceExA("Z:\\")[0] is False
+
+    def test_drive_geometry(self, machine, api):
+        geometry = api.DeviceIoControl("\\\\.\\PhysicalDrive0",
+                                       IOCTL_DISK_GET_DRIVE_GEOMETRY)
+        total = (geometry["cylinders"] * geometry["tracks_per_cylinder"] *
+                 geometry["sectors_per_track"] * geometry["bytes_per_sector"])
+        drive_total = machine.filesystem.drive("C:").total_bytes
+        assert abs(total - drive_total) / drive_total < 0.01
+
+    def test_device_io_control_unknown_ioctl(self, api):
+        assert api.DeviceIoControl("\\\\.\\X", 0xDEAD) is None
+
+
+class TestFiles:
+    def test_get_file_attributes_missing(self, api):
+        assert api.GetFileAttributesA("C:\\ghost.sys") == \
+            INVALID_FILE_ATTRIBUTES
+
+    def test_get_file_attributes_present(self, machine, api):
+        machine.filesystem.write_file("C:\\real.txt", b"x")
+        assert api.GetFileAttributesA("C:\\real.txt") != \
+            INVALID_FILE_ATTRIBUTES
+
+    def test_create_write_read_roundtrip(self, api):
+        handle = api.CreateFileA("C:\\out.bin", write=True)
+        assert api.WriteFile(handle, b"abc")
+        assert api.WriteFile(handle, b"def")
+        assert api.ReadFile(handle) == b"abcdef"
+        assert api.CloseHandle(handle)
+
+    def test_create_file_missing_read(self, api):
+        assert not api.CreateFileA("C:\\missing.bin")
+
+    def test_create_file_device(self, machine, api):
+        machine.devices.register("\\\\.\\VBoxGuest")
+        handle = api.CreateFileA("\\\\.\\VBoxGuest")
+        assert handle
+        assert not api.CreateFileA("\\\\.\\NotThere")
+
+    def test_write_to_closed_handle_fails(self, api):
+        handle = api.CreateFileA("C:\\x.bin", write=True)
+        api.CloseHandle(handle)
+        assert not api.WriteFile(handle, b"z")
+
+    def test_delete_move(self, machine, api):
+        machine.filesystem.write_file("C:\\a.txt", b"1")
+        assert api.MoveFileA("C:\\a.txt", "C:\\b.txt")
+        assert api.DeleteFileA("C:\\b.txt")
+        assert not api.DeleteFileA("C:\\b.txt")
+
+    def test_find_first_file(self, machine, api):
+        machine.filesystem.write_file("C:\\t\\FB_1.tmp.exe", b"")
+        assert api.FindFirstFileA("C:\\t\\*.tmp.exe") == "FB_1.tmp.exe"
+        assert api.FindFirstFileA("C:\\t\\*.doc") is None
+
+    def test_create_directory_emits_event(self, machine, api):
+        events = []
+        machine.bus.subscribe(events.append)
+        api.CreateDirectoryA("C:\\newdir")
+        assert any(e.name == "CreateDirectory" for e in events)
+
+
+class TestProcesses:
+    def test_create_process_parents_caller(self, api, target):
+        child = api.CreateProcessA("C:\\x\\child.exe")
+        assert child.parent is target
+
+    def test_create_process_suspended(self, api):
+        child = api.CreateProcessA("C:\\x\\c.exe",
+                                   creation_flags=CREATE_SUSPENDED)
+        assert child.state is ProcessState.SUSPENDED
+
+    def test_untrusted_lineage_propagates(self, api, target):
+        child = api.CreateProcessA("C:\\x\\c.exe")
+        assert child.tags.get("untrusted") is True
+
+    def test_terminate_process(self, machine, api):
+        victim = machine.spawn_process("victim.exe")
+        assert api.TerminateProcess(victim.pid)
+        assert not victim.alive
+
+    def test_untrusted_cannot_kill_protected(self, machine, api):
+        guard = machine.spawn_process("procmon.exe", protected=True)
+        assert not api.TerminateProcess(guard.pid)
+        assert guard.alive
+
+    def test_exit_process(self, machine, api, target):
+        api.ExitProcess(9)
+        assert not target.alive
+        assert target.exit_code == 9
+
+    def test_toolhelp_iteration(self, machine, api):
+        machine.spawn_process("VBoxService.exe")
+        snapshot = api.CreateToolhelp32Snapshot()
+        names = []
+        entry = api.Process32First(snapshot)
+        while entry is not None:
+            names.append(entry[1])
+            entry = api.Process32Next(snapshot)
+        assert "VBoxService.exe" in names
+        assert "explorer.exe" in names
+
+    def test_toolhelp_first_rewinds(self, api):
+        snapshot = api.CreateToolhelp32Snapshot()
+        first = api.Process32First(snapshot)
+        api.Process32Next(snapshot)
+        assert api.Process32First(snapshot) == first
+
+    def test_toolhelp_bad_handle(self, api):
+        handle = api.CreateToolhelp32Snapshot()
+        api.CloseHandle(handle)
+        assert api.Process32First(handle) is None

@@ -1,0 +1,132 @@
+"""user32, shell32, dnsapi, ws2_32/wininet, wevtapi, iphlpapi/mpr."""
+
+import pytest
+
+
+class TestUser32:
+    def test_find_window_miss(self, api):
+        assert api.FindWindowA("OLLYDBG") is None
+
+    def test_find_window_hit(self, machine, api):
+        machine.gui.create_window("OLLYDBG", "OllyDbg")
+        assert api.FindWindowA("OLLYDBG") is not None
+        assert api.FindWindowW(None, "OllyDbg") is not None
+
+    def test_cursor_pos(self, machine, api):
+        machine.gui.move_cursor(100, 200)
+        assert api.GetCursorPos() == (100, 200)
+
+    def test_cursor_humanized_changes_over_sleep(self, machine, api):
+        machine.gui.humanized = True
+        first = api.GetCursorPos()
+        api.Sleep(2000)
+        assert api.GetCursorPos() != first
+
+    def test_enum_windows(self, machine, api):
+        machine.gui.create_window("A", "t1")
+        machine.gui.create_window("B", "t2")
+        listing = api.EnumWindows()
+        assert len(listing) >= 2
+
+    def test_foreground_window(self, machine, api):
+        assert api.GetForegroundWindow() is None
+        window = machine.gui.create_window("Top", None)
+        assert api.GetForegroundWindow() == window.hwnd
+
+    def test_system_metrics(self, api):
+        assert api.GetSystemMetrics(0) == 1920
+        assert api.GetSystemMetrics(1) == 1080
+        assert api.GetSystemMetrics(99) == 0
+
+
+class TestShell32:
+    def test_shell_execute_spawns_child(self, api, target):
+        child = api.ShellExecuteExW("C:\\apps\\tool.exe", "-v")
+        assert child.parent is target
+        assert "-v" in child.command_line
+
+    def test_shell_execute_untrusted_propagation(self, api):
+        child = api.ShellExecuteExW("C:\\apps\\tool.exe")
+        assert child.tags.get("untrusted") is True
+
+
+class TestDns:
+    def test_query_registered(self, machine, api):
+        machine.network.register_domain("c2.example.com", "7.7.7.7")
+        assert api.DnsQuery_A("c2.example.com") == "7.7.7.7"
+
+    def test_query_nx_returns_none(self, api):
+        assert api.DnsQuery_A("nxdomain.invalid") is None
+
+    def test_query_populates_cache(self, machine, api):
+        machine.network.register_domain("cached.example.com")
+        api.DnsQuery_A("cached.example.com")
+        assert len(api.DnsGetCacheDataTable()) == 1
+
+    def test_flush_cache(self, machine, api):
+        machine.dnscache.add("x.com")
+        assert api.DnsFlushResolverCache()
+        assert api.DnsGetCacheDataTable() == []
+
+    def test_gethostbyname_matches_dnsquery(self, machine, api):
+        machine.network.register_domain("same.example.com", "8.8.8.8")
+        assert api.gethostbyname("same.example.com") == "8.8.8.8"
+        assert api.gethostbyname("missing.invalid") is None
+
+    def test_net_events_published(self, machine, api):
+        events = []
+        machine.bus.subscribe(events.append)
+        api.DnsQuery_A("probe.invalid")
+        assert any(e.category == "net" and e.detail("domain") ==
+                   "probe.invalid" for e in events)
+
+
+class TestWininet:
+    def test_open_url_reachable(self, machine, api):
+        ip = machine.network.register_domain("site.com")
+        machine.network.mark_reachable(ip)
+        assert api.InternetOpenUrlA("http://site.com/index.html")
+
+    def test_open_url_nx_unreachable(self, api):
+        assert not api.InternetOpenUrlA("http://nxdomain.invalid/")
+
+    def test_open_url_sinkholed(self, machine, api):
+        machine.network.nx_sinkhole_ip = "10.0.0.1"
+        machine.network.mark_reachable("10.0.0.1")
+        assert api.InternetOpenUrlA("http://nxdomain.invalid/")
+
+    def test_check_connection_alias(self, machine, api):
+        ip = machine.network.register_domain("alive.com")
+        machine.network.mark_reachable(ip)
+        assert api.InternetCheckConnectionA("http://alive.com")
+
+
+class TestWevtApi:
+    def test_query_and_next(self, machine, api):
+        machine.eventlog.extend_synthetic(10, ["Src"])
+        query = api.EvtQuery("System")
+        batch = api.EvtNext(query, 4)
+        assert len(batch) == 4
+        batch = api.EvtNext(query, 100)
+        assert len(batch) == 6
+        assert api.EvtNext(query) is None
+
+    def test_query_unknown_channel(self, api):
+        assert not api.EvtQuery("Security")
+
+    def test_next_bad_handle(self, api):
+        query = api.EvtQuery("System")
+        api.CloseHandle(query)
+        assert api.EvtNext(query) is None
+
+
+class TestAdaptersAndProviders:
+    def test_adapters_info(self, machine, api):
+        machine.network.add_adapter("eth0", "08:00:27:01:02:03", "Intel")
+        listing = api.GetAdaptersInfo()
+        assert listing == [("eth0", "08:00:27:01:02:03", "Intel")]
+
+    def test_wnet_provider_requires_vboxsf(self, machine, api):
+        assert api.WNetGetProviderNameA(0x250000) is None
+        machine.services.install("VBoxSF")
+        assert "VirtualBox" in api.WNetGetProviderNameA(0x250000)

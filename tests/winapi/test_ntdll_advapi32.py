@@ -1,0 +1,221 @@
+"""Native + Win32 registry APIs, system/process information classes."""
+
+import pytest
+
+from repro.winapi.ntdll import (ProcessInformationClass,
+                                SystemInformationClass)
+from repro.winsim.errors import NtStatus, Win32Error, nt_success
+
+VBOX_KEY = "SOFTWARE\\Oracle\\VirtualBox Guest Additions"
+
+
+class TestNtRegistry:
+    def test_open_missing_key(self, api):
+        status, handle = api.NtOpenKeyEx("HKEY_LOCAL_MACHINE\\" + VBOX_KEY)
+        assert status == NtStatus.STATUS_OBJECT_NAME_NOT_FOUND
+        assert not handle
+
+    def test_open_query_roundtrip(self, machine, api):
+        machine.registry.set_value("HKLM\\" + VBOX_KEY, "Version", "5.2.8")
+        status, handle = api.NtOpenKeyEx("HKEY_LOCAL_MACHINE\\" + VBOX_KEY)
+        assert nt_success(status)
+        status, data = api.NtQueryValueKey(handle, "Version")
+        assert nt_success(status) and data == "5.2.8"
+        assert api.NtClose(handle) == NtStatus.STATUS_SUCCESS
+
+    def test_query_missing_value(self, machine, api):
+        machine.registry.create_key("HKLM\\" + VBOX_KEY)
+        _, handle = api.NtOpenKeyEx("HKEY_LOCAL_MACHINE\\" + VBOX_KEY)
+        status, _ = api.NtQueryValueKey(handle, "Ghost")
+        assert status == NtStatus.STATUS_OBJECT_NAME_NOT_FOUND
+
+    def test_query_key_counts(self, machine, api):
+        machine.registry.create_key("HKLM\\SOFTWARE\\A\\Child")
+        machine.registry.set_value("HKLM\\SOFTWARE\\A", "v", 1)
+        _, handle = api.NtOpenKeyEx("HKEY_LOCAL_MACHINE\\SOFTWARE\\A")
+        status, info = api.NtQueryKey(handle)
+        assert nt_success(status)
+        assert info == {"subkeys": 1, "values": 1, "name": "A"}
+
+    def test_enumerate_key(self, machine, api):
+        machine.registry.create_key(
+            "HKLM\\SYSTEM\\CurrentControlSet\\Enum\\IDE\\DiskVBOX_HARDDISK")
+        _, handle = api.NtOpenKeyEx(
+            "HKEY_LOCAL_MACHINE\\SYSTEM\\CurrentControlSet\\Enum\\IDE")
+        status, name = api.NtEnumerateKey(handle, 0)
+        assert nt_success(status) and "VBOX" in name
+        status, _ = api.NtEnumerateKey(handle, 1)
+        assert status == NtStatus.STATUS_NO_MORE_ENTRIES
+
+    def test_enumerate_values(self, machine, api):
+        machine.registry.set_value("HKLM\\SOFTWARE\\E", "first", 1)
+        _, handle = api.NtOpenKeyEx("HKEY_LOCAL_MACHINE\\SOFTWARE\\E")
+        status, entry = api.NtEnumerateValueKey(handle, 0)
+        assert nt_success(status) and entry == ("first", 1)
+
+    def test_stale_handle(self, api):
+        from repro.winsim.types import Handle
+        status, _ = api.NtQueryKey(Handle(0xBAD, "key"))
+        assert status == NtStatus.STATUS_INVALID_HANDLE
+
+
+class TestNtFiles:
+    def test_query_attributes_missing(self, api):
+        status, _ = api.NtQueryAttributesFile(
+            "C:\\Windows\\System32\\drivers\\vmmouse.sys")
+        assert status == NtStatus.STATUS_OBJECT_NAME_NOT_FOUND
+
+    def test_query_attributes_present(self, machine, api):
+        machine.filesystem.write_file("C:\\present.sys", b"x")
+        status, attrs = api.NtQueryAttributesFile("C:\\present.sys")
+        assert nt_success(status) and attrs is not None
+
+    def test_nt_create_file_read_missing(self, api):
+        status, handle = api.NtCreateFile("C:\\ghost.bin")
+        assert status == NtStatus.STATUS_NO_SUCH_FILE and not handle
+
+    def test_nt_create_file_write(self, machine, api):
+        status, handle = api.NtCreateFile("C:\\new.bin", write=True)
+        assert nt_success(status) and handle
+        assert machine.filesystem.exists("C:\\new.bin")
+
+    def test_nt_create_device(self, machine, api):
+        machine.devices.register("\\\\.\\vmci")
+        status, handle = api.NtCreateFile("\\\\.\\vmci")
+        assert nt_success(status) and handle
+
+
+class TestNtSystemInformation:
+    def test_basic_information(self, machine, api):
+        machine.hardware.cpu.cores = 4
+        status, info = api.NtQuerySystemInformation(
+            SystemInformationClass.SystemBasicInformation)
+        assert nt_success(status)
+        assert info["number_of_processors"] == 4
+
+    def test_process_information_lists_processes(self, api):
+        status, listing = api.NtQuerySystemInformation(
+            SystemInformationClass.SystemProcessInformation)
+        assert nt_success(status)
+        assert any(p["name"] == "explorer.exe" for p in listing)
+
+    def test_kernel_debugger_information(self, api):
+        status, info = api.NtQuerySystemInformation(
+            SystemInformationClass.SystemKernelDebuggerInformation)
+        assert nt_success(status)
+        assert info["debugger_enabled"] is False
+
+    def test_registry_quota(self, machine, api):
+        machine.registry.bulk_padding_bytes = 99_000_000
+        status, info = api.NtQuerySystemInformation(
+            SystemInformationClass.SystemRegistryQuotaInformation)
+        assert nt_success(status)
+        assert info["registry_quota_used"] >= 99_000_000
+
+    def test_unknown_class(self, api):
+        status, info = api.NtQuerySystemInformation(0x7777)
+        assert status == NtStatus.STATUS_INVALID_PARAMETER and info is None
+
+
+class TestNtProcessInformation:
+    def test_basic_information_parent(self, machine, api, target):
+        status, info = api.NtQueryInformationProcess(
+            ProcessInformationClass.ProcessBasicInformation)
+        assert nt_success(status)
+        assert info["parent_pid"] == machine.explorer.pid
+
+    def test_debug_port_clean(self, api):
+        status, port = api.NtQueryInformationProcess(
+            ProcessInformationClass.ProcessDebugPort)
+        assert nt_success(status) and port == 0
+
+    def test_debug_port_debugged(self, api, target):
+        target.peb.being_debugged = True
+        _, port = api.NtQueryInformationProcess(
+            ProcessInformationClass.ProcessDebugPort)
+        assert port == 0xFFFFFFFF
+
+    def test_debug_flags_inverted_semantics(self, api, target):
+        _, flags = api.NtQueryInformationProcess(
+            ProcessInformationClass.ProcessDebugFlags)
+        assert flags == 1  # NoDebugInherit set = NOT debugged
+        target.peb.being_debugged = True
+        _, flags = api.NtQueryInformationProcess(
+            ProcessInformationClass.ProcessDebugFlags)
+        assert flags == 0
+
+    def test_debug_object_handle(self, api, target):
+        status, _ = api.NtQueryInformationProcess(
+            ProcessInformationClass.ProcessDebugObjectHandle)
+        assert status == NtStatus.STATUS_OBJECT_NAME_NOT_FOUND
+
+    def test_delay_execution(self, machine, api):
+        before = machine.clock.now_ns
+        api.NtDelayExecution(100)
+        assert machine.clock.now_ns > before
+
+    def test_set_information_thread_recorded(self, api, target):
+        api.NtSetInformationThread(0x11)  # ThreadHideFromDebugger
+        assert 0x11 in target.tags["thread_info_set"]
+
+
+class TestWin32Registry:
+    def test_open_query_close(self, machine, api):
+        machine.registry.set_value("HKLM\\" + VBOX_KEY, "Version", "5.2.8")
+        err, handle = api.RegOpenKeyExA("HKEY_LOCAL_MACHINE", VBOX_KEY)
+        assert err == Win32Error.ERROR_SUCCESS
+        err, data = api.RegQueryValueExA(handle, "Version")
+        assert (err, data) == (Win32Error.ERROR_SUCCESS, "5.2.8")
+        assert api.RegCloseKey(handle) == Win32Error.ERROR_SUCCESS
+
+    def test_open_missing(self, api):
+        err, handle = api.RegOpenKeyExA("HKEY_LOCAL_MACHINE", VBOX_KEY)
+        assert err == Win32Error.ERROR_FILE_NOT_FOUND and not handle
+
+    def test_enum_keys_and_values(self, machine, api):
+        machine.registry.create_key("HKLM\\SOFTWARE\\R\\Alpha")
+        machine.registry.set_value("HKLM\\SOFTWARE\\R", "v0", "d0")
+        err, handle = api.RegOpenKeyExA("HKEY_LOCAL_MACHINE", "SOFTWARE\\R")
+        assert api.RegEnumKeyExA(handle, 0) == \
+            (Win32Error.ERROR_SUCCESS, "Alpha")
+        assert api.RegEnumKeyExA(handle, 9)[0] == \
+            Win32Error.ERROR_NO_MORE_ITEMS
+        assert api.RegEnumValueA(handle, 0) == \
+            (Win32Error.ERROR_SUCCESS, ("v0", "d0"))
+
+    def test_query_info_key(self, machine, api):
+        machine.registry.create_key("HKLM\\SOFTWARE\\Q\\S1")
+        err, handle = api.RegOpenKeyExA("HKEY_LOCAL_MACHINE", "SOFTWARE\\Q")
+        err, info = api.RegQueryInfoKeyA(handle)
+        assert info == {"subkeys": 1, "values": 0}
+
+    def test_create_set_delete(self, machine, api):
+        err, handle = api.RegCreateKeyExA("HKEY_CURRENT_USER",
+                                          "Software\\TestApp")
+        assert err == Win32Error.ERROR_SUCCESS
+        assert api.RegSetValueExA(handle, "cfg", "on") == \
+            Win32Error.ERROR_SUCCESS
+        assert machine.registry.get_data(
+            "HKCU\\Software\\TestApp", "cfg") == "on"
+        assert api.RegDeleteKeyA("HKEY_CURRENT_USER",
+                                 "Software\\TestApp") == \
+            Win32Error.ERROR_SUCCESS
+
+    def test_registry_events_published(self, machine, api):
+        events = []
+        machine.bus.subscribe(events.append)
+        api.RegOpenKeyExA("HKEY_LOCAL_MACHINE", "SOFTWARE\\Ghost")
+        assert any(e.category == "registry" and e.name == "RegOpenKey"
+                   and e.detail("found") is False for e in events)
+
+    def test_username(self, machine, api):
+        assert api.GetUserNameA() == machine.identity.username
+
+    def test_services_enum(self, machine, api):
+        machine.services.install("VBoxService", "VirtualBox Guest Service")
+        assert ("VBoxService", "VirtualBox Guest Service") in \
+            api.EnumServicesStatusA()
+        err, name = api.OpenServiceA("VBoxService")
+        assert err == Win32Error.ERROR_SUCCESS and name == "VBoxService"
+        err, _ = api.OpenServiceA("Ghost")
+        assert err == Win32Error.ERROR_SERVICE_DOES_NOT_EXIST

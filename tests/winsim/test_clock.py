@@ -1,0 +1,101 @@
+"""Virtual clock: determinism, tick granularity, timing profiles."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.winsim.clock import NS_PER_MS, TimingProfile, VirtualClock
+
+
+class TestAdvancing:
+    def test_advance_moves_time(self):
+        clock = VirtualClock(boot_tick_ms=0)
+        clock.advance_ms(100)
+        assert clock.now_ns == 100 * NS_PER_MS
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance_ns(-1)
+
+    def test_sleep_advances_full_duration(self):
+        clock = VirtualClock(boot_tick_ms=0)
+        clock.sleep(500)
+        assert clock.now_ns == 500 * NS_PER_MS
+
+
+class TestTickCount:
+    def test_boot_tick_baseline(self):
+        clock = VirtualClock(boot_tick_ms=60_000)
+        assert abs(clock.tick_count_ms() - 60_000) <= 16
+
+    def test_tick_granularity(self):
+        clock = VirtualClock(TimingProfile(tick_resolution_ms=16),
+                             boot_tick_ms=0)
+        clock.advance_ms(20)
+        assert clock.tick_count_ms() % 16 == 0
+
+    def test_tick_monotonic(self):
+        clock = VirtualClock(boot_tick_ms=0)
+        previous = clock.tick_count_ms()
+        for _ in range(50):
+            clock.advance_ms(7)
+            current = clock.tick_count_ms()
+            assert current >= previous
+            previous = current
+
+
+class TestRdtsc:
+    def test_rdtsc_strictly_increases(self):
+        clock = VirtualClock(boot_tick_ms=0)
+        first = clock.rdtsc()
+        second = clock.rdtsc()
+        assert second > first
+
+    def test_rdtsc_deterministic_across_instances(self):
+        a = VirtualClock(boot_tick_ms=0)
+        b = VirtualClock(boot_tick_ms=0)
+        assert [a.rdtsc() for _ in range(5)] == [b.rdtsc() for _ in range(5)]
+
+    def test_cpuid_cost_charged(self):
+        clock = VirtualClock(TimingProfile(cpuid_overhead_ns=1000),
+                             boot_tick_ms=0)
+        before = clock.now_ns
+        clock.cpuid_cost()
+        assert clock.now_ns - before == 1000
+
+
+class TestSnapshot:
+    def test_roundtrip(self):
+        clock = VirtualClock(boot_tick_ms=1000)
+        clock.rdtsc()
+        state = clock.snapshot()
+        sequence = [clock.rdtsc() for _ in range(3)]
+        clock.restore(state)
+        assert [clock.rdtsc() for _ in range(3)] == sequence
+
+    def test_restore_profile(self):
+        clock = VirtualClock(TimingProfile(cpuid_overhead_ns=77))
+        state = clock.snapshot()
+        clock.profile.cpuid_overhead_ns = 1
+        clock.restore(state)
+        assert clock.profile.cpuid_overhead_ns == 77
+
+
+class TestProperties:
+    @given(steps=st.lists(st.integers(0, 10_000), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_time_never_goes_backwards(self, steps):
+        clock = VirtualClock(boot_tick_ms=0)
+        previous = clock.now_ns
+        for step in steps:
+            clock.advance_ns(step)
+            assert clock.now_ns >= previous
+            previous = clock.now_ns
+
+    @given(ms=st.integers(0, 100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_tick_rounding_bound(self, ms):
+        clock = VirtualClock(boot_tick_ms=0)
+        clock.advance_ms(ms)
+        assert 0 <= ms - clock.tick_count_ms() < 16

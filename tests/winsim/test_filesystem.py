@@ -1,0 +1,196 @@
+"""Filesystem tree: paths, drives, CRUD, globbing, snapshot, invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.winsim.filesystem import (FILE_ATTRIBUTE_DIRECTORY,
+                                     FILE_ATTRIBUTE_HIDDEN, FileSystem,
+                                     split_path)
+from repro.winsim.types import GIB
+
+
+@pytest.fixture
+def fs():
+    filesystem = FileSystem()
+    filesystem.add_drive("C:", 100 * GIB, used_bytes_base=10 * GIB)
+    return filesystem
+
+
+class TestPathParsing:
+    def test_split_path(self):
+        assert split_path("C:\\Windows\\System32") == \
+            ("C:", ["Windows", "System32"])
+
+    def test_split_path_forward_slashes(self):
+        assert split_path("C:/Windows") == ("C:", ["Windows"])
+
+    def test_split_path_requires_drive(self):
+        with pytest.raises(ValueError):
+            split_path("\\Windows\\System32")
+
+    def test_drive_letter_case_normalized(self):
+        assert split_path("c:\\x")[0] == "C:"
+
+
+class TestFileCrud:
+    def test_write_and_read(self, fs):
+        fs.write_file("C:\\data\\file.bin", b"payload")
+        assert fs.read_file("C:\\data\\file.bin") == b"payload"
+
+    def test_write_creates_parents(self, fs):
+        fs.write_file("C:\\a\\b\\c\\d.txt", b"x")
+        assert fs.is_dir("C:\\a\\b\\c")
+
+    def test_case_insensitive_resolution(self, fs):
+        fs.write_file("C:\\Windows\\System32\\drivers\\VMMOUSE.SYS", b"d")
+        assert fs.exists("c:\\windows\\system32\\drivers\\vmmouse.sys")
+
+    def test_read_missing_returns_none(self, fs):
+        assert fs.read_file("C:\\nope.txt") is None
+
+    def test_read_directory_returns_none(self, fs):
+        fs.makedirs("C:\\dir")
+        assert fs.read_file("C:\\dir") is None
+
+    def test_overwrite_preserves_creation_time(self, fs):
+        fs.write_file("C:\\f.txt", b"1", when_ms=100)
+        fs.write_file("C:\\f.txt", b"2", when_ms=200)
+        node = fs.stat("C:\\f.txt")
+        assert node.creation_time_ms == 100
+        assert node.last_write_time_ms == 200
+
+    def test_delete(self, fs):
+        fs.write_file("C:\\f.txt", b"x")
+        assert fs.delete("C:\\f.txt")
+        assert not fs.exists("C:\\f.txt")
+
+    def test_delete_missing_returns_false(self, fs):
+        assert not fs.delete("C:\\ghost.txt")
+
+    def test_rename(self, fs):
+        fs.write_file("C:\\doc.txt", b"secret")
+        assert fs.rename("C:\\doc.txt", "C:\\doc.txt.WCRY")
+        assert not fs.exists("C:\\doc.txt")
+        assert fs.read_file("C:\\doc.txt.WCRY") == b"secret"
+
+    def test_rename_missing_returns_false(self, fs):
+        assert not fs.rename("C:\\ghost", "C:\\other")
+
+    def test_write_over_directory_raises(self, fs):
+        fs.makedirs("C:\\dir")
+        with pytest.raises(IsADirectoryError):
+            fs.write_file("C:\\dir", b"x")
+
+    def test_attributes_preserved(self, fs):
+        fs.write_file("C:\\h.txt", b"x", attributes=FILE_ATTRIBUTE_HIDDEN)
+        assert fs.stat("C:\\h.txt").attributes == FILE_ATTRIBUTE_HIDDEN
+
+    def test_directory_attribute(self, fs):
+        fs.makedirs("C:\\dir")
+        assert fs.stat("C:\\dir").attributes & FILE_ATTRIBUTE_DIRECTORY
+
+
+class TestEnumeration:
+    def test_listdir(self, fs):
+        fs.write_file("C:\\d\\a.txt", b"")
+        fs.write_file("C:\\d\\b.txt", b"")
+        assert sorted(fs.listdir("C:\\d")) == ["a.txt", "b.txt"]
+
+    def test_listdir_missing_dir_empty(self, fs):
+        assert fs.listdir("C:\\ghost") == []
+
+    def test_glob(self, fs):
+        fs.write_file("C:\\t\\FB_473.tmp.exe", b"")
+        fs.write_file("C:\\t\\readme.txt", b"")
+        assert fs.glob("C:\\t", "*.tmp.exe") == ["FB_473.tmp.exe"]
+
+    def test_glob_case_insensitive(self, fs):
+        fs.write_file("C:\\t\\VMMOUSE.SYS", b"")
+        assert fs.glob("C:\\t", "vm*.sys") == ["VMMOUSE.SYS"]
+
+    def test_walk_yields_all_descendants(self, fs):
+        fs.write_file("C:\\w\\sub\\deep.txt", b"")
+        fs.write_file("C:\\w\\top.txt", b"")
+        paths = {path for path, _ in fs.walk("C:\\w")}
+        assert "C:\\w\\sub\\deep.txt" in paths
+        assert "C:\\w\\top.txt" in paths
+        assert "C:\\w\\sub" in paths
+
+    def test_file_count(self, fs):
+        before = fs.file_count()
+        fs.write_file("C:\\x\\1.txt", b"")
+        fs.write_file("C:\\x\\2.txt", b"")
+        assert fs.file_count() == before + 2
+
+
+class TestDrives:
+    def test_free_space_accounts_for_content(self, fs):
+        drive = fs.drive("C:")
+        free_before = drive.free_bytes
+        fs.write_file("C:\\big.bin", b"\x00" * 4096)
+        assert drive.free_bytes == free_before - 4096
+
+    def test_total_bytes(self, fs):
+        assert fs.drive("C:").total_bytes == 100 * GIB
+
+    def test_unknown_drive_is_none(self, fs):
+        assert fs.drive("Z:") is None
+
+    def test_drive_letter_normalization(self, fs):
+        assert fs.drive("c") is fs.drive("C:")
+
+
+class TestSnapshot:
+    def test_roundtrip(self, fs):
+        fs.write_file("C:\\docs\\a.txt", b"original")
+        state = fs.snapshot()
+        fs.write_file("C:\\docs\\a.txt", b"ENCRYPTED")
+        fs.write_file("C:\\docs\\ransom_note.txt", b"pay up")
+        fs.restore(state)
+        assert fs.read_file("C:\\docs\\a.txt") == b"original"
+        assert not fs.exists("C:\\docs\\ransom_note.txt")
+
+    def test_restore_preserves_drive_geometry(self, fs):
+        state = fs.snapshot()
+        fs.restore(state)
+        assert fs.drive("C:").total_bytes == 100 * GIB
+
+
+# ASCII-only: case-insensitivity is modelled with str.lower(), which only
+# matches Windows' invariant-culture folding for ASCII names.
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-",
+    min_size=1, max_size=12).filter(
+        lambda s: s.strip(". ") and s not in (".", ".."))
+
+
+class TestProperties:
+    @given(parts=st.lists(_names, min_size=1, max_size=4),
+           content=st.binary(max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_write_read_roundtrip(self, parts, content):
+        fs = FileSystem()
+        fs.add_drive("C:", GIB)
+        path = "C:\\" + "\\".join(parts)
+        fs.write_file(path, content)
+        assert fs.read_file(path) == content
+        assert fs.exists(path.upper())
+
+    @given(parts=st.lists(_names, min_size=1, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_delete_inverts_write(self, parts):
+        fs = FileSystem()
+        fs.add_drive("C:", GIB)
+        path = "C:\\" + "\\".join(parts)
+        fs.write_file(path, b"x")
+        assert fs.delete(path)
+        assert not fs.exists(path)
+
+    @given(content=st.binary(max_size=256))
+    @settings(max_examples=40, deadline=None)
+    def test_free_space_never_negative(self, content):
+        fs = FileSystem()
+        fs.add_drive("C:", 1024, used_bytes_base=900)
+        fs.write_file("C:\\f.bin", content)
+        assert fs.drive("C:").free_bytes >= 0

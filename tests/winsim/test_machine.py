@@ -1,0 +1,124 @@
+"""Machine aggregate: boot, snapshot/restore, process reset, event bus."""
+
+import pytest
+
+from repro.winsim import Machine, MachineIdentity
+from repro.winsim.bus import EventBus, KernelEvent
+
+
+class TestBoot:
+    def test_boot_creates_baseline_tree(self, machine):
+        assert machine.explorer is not None
+        assert machine.processes.name_exists("explorer.exe")
+
+    def test_boot_creates_system_dirs(self, machine):
+        assert machine.filesystem.is_dir("C:\\Windows\\System32")
+        assert machine.filesystem.is_dir("C:\\Users\\user\\Documents")
+
+    def test_boot_seeds_registry(self, machine):
+        assert machine.registry.get_data(
+            "HKLM\\SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion",
+            "ProductName") == "Windows 7 Professional"
+
+    def test_boot_adds_default_drive(self):
+        machine = Machine().boot()
+        assert machine.filesystem.drive("C:") is not None
+
+    def test_pebs_synced_to_hardware(self, machine):
+        process = machine.spawn_process("x.exe")
+        assert process.peb.number_of_processors == \
+            machine.hardware.cpu.cores
+
+    def test_identity(self):
+        machine = Machine(MachineIdentity(hostname="HOST-9",
+                                          username="alice")).boot()
+        assert machine.user_profile_dir() == "C:\\Users\\alice"
+
+
+class TestConveniences:
+    def test_memory_status_reflects_hardware(self, machine):
+        machine.hardware.total_ram = 4 * 1024 ** 3
+        assert machine.memory_status().total_phys == 4 * 1024 ** 3
+
+    def test_system_info_reflects_cores(self, machine):
+        machine.hardware.cpu.cores = 2
+        assert machine.system_info().number_of_processors == 2
+
+
+class TestSnapshotRestore:
+    def test_full_roundtrip(self, machine):
+        machine.registry.set_value("HKLM\\SOFTWARE\\Mark", "v", 1)
+        state = machine.snapshot()
+        machine.registry.set_value("HKLM\\SOFTWARE\\Mark", "v", 2)
+        machine.filesystem.write_file("C:\\tampered.txt", b"x")
+        machine.devices.register("\\\\.\\Evil")
+        machine.restore(state)
+        assert machine.registry.get_data("HKLM\\SOFTWARE\\Mark", "v") == 1
+        assert not machine.filesystem.exists("C:\\tampered.txt")
+        assert not machine.devices.exists("\\\\.\\Evil")
+
+    def test_reset_processes_reboots_baseline(self, machine):
+        machine.spawn_process("malware.exe")
+        machine.reset_processes()
+        assert not machine.processes.name_exists("malware.exe")
+        assert machine.processes.name_exists("explorer.exe")
+        assert machine.explorer.alive
+
+    def test_restore_does_not_touch_processes(self, machine):
+        state = machine.snapshot()
+        process = machine.spawn_process("still-here.exe")
+        machine.restore(state)
+        assert machine.processes.get(process.pid) is not None
+
+
+class TestEventBus:
+    def test_process_creation_published(self, machine):
+        events = []
+        machine.bus.subscribe(events.append)
+        machine.spawn_process("x.exe")
+        assert any(e.name == "CreateProcess" and e.detail("name") == "x.exe"
+                   for e in events)
+
+    def test_process_termination_published(self, machine):
+        events = []
+        machine.bus.subscribe(events.append)
+        process = machine.spawn_process("x.exe")
+        machine.processes.terminate(process.pid, 5)
+        terminate = [e for e in events if e.name == "TerminateProcess"]
+        assert terminate and terminate[0].detail("exit_code") == 5
+
+    def test_events_survive_process_reset(self, machine):
+        events = []
+        machine.bus.subscribe(events.append)
+        machine.reset_processes()
+        machine.spawn_process("after-reset.exe")
+        assert any(e.detail("name") == "after-reset.exe" for e in events)
+
+
+class TestBusPrimitive:
+    def test_unsubscribe(self):
+        bus = EventBus()
+        events = []
+        unsubscribe = bus.subscribe(events.append)
+        bus.emit("c", "n", 1, 0)
+        unsubscribe()
+        bus.emit("c", "n", 1, 0)
+        assert len(events) == 1
+        unsubscribe()  # idempotent
+
+    def test_emit_allows_name_detail(self):
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append)
+        bus.emit("image", "LoadImage", 4, 0, name="scarecrow.dll")
+        assert events[0].detail("name") == "scarecrow.dll"
+
+    def test_kernel_event_detail_default(self):
+        event = KernelEvent("c", "n", 1, 0, {})
+        assert event.detail("missing", "fallback") == "fallback"
+
+    def test_subscriber_count(self):
+        bus = EventBus()
+        assert bus.subscriber_count == 0
+        bus.subscribe(lambda e: None)
+        assert bus.subscriber_count == 1

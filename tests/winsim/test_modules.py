@@ -1,0 +1,77 @@
+"""Per-process module lists."""
+
+import pytest
+
+from repro.winsim.modules import (DEFAULT_SYSTEM_MODULES, Module,
+                                  ModuleList, populate_default_modules)
+
+
+@pytest.fixture
+def modules():
+    module_list = ModuleList("target.exe", "C:\\target.exe")
+    populate_default_modules(module_list)
+    return module_list
+
+
+class TestLoading:
+    def test_executable_first(self, modules):
+        assert modules.executable.name == "target.exe"
+        assert modules.executable.base_address == 0x400000
+
+    def test_default_system_set(self, modules):
+        for name in DEFAULT_SYSTEM_MODULES:
+            assert modules.is_loaded(name), name
+
+    def test_load_idempotent(self, modules):
+        first = modules.load("extra.dll")
+        second = modules.load("extra.dll")
+        assert first is second
+
+    def test_bases_distinct_and_nonoverlapping(self, modules):
+        loaded = list(modules)
+        for index, module in enumerate(loaded):
+            for other in loaded[index + 1:]:
+                assert not module.contains(other.base_address)
+
+    def test_find_without_dll_suffix(self, modules):
+        assert modules.find("kernel32") is not None
+        assert modules.find("KERNEL32.DLL") is not None
+
+    def test_find_miss(self, modules):
+        assert modules.find("sbiedll.dll") is None
+        assert not modules.is_loaded("sbiedll")
+
+
+class TestUnloading:
+    def test_unload(self, modules):
+        modules.load("plugin.dll")
+        assert modules.unload("plugin.dll")
+        assert not modules.is_loaded("plugin.dll")
+
+    def test_unload_missing(self, modules):
+        assert not modules.unload("ghost.dll")
+
+    def test_cannot_unload_executable(self, modules):
+        assert not modules.unload("target.exe")
+        assert modules.executable.name == "target.exe"
+
+
+class TestAddressResolution:
+    def test_module_at_base(self, modules):
+        module = modules.load("addr.dll", size=0x1000)
+        assert modules.module_at(module.base_address) is module
+        assert modules.module_at(module.base_address + 0xFFF) is module
+
+    def test_module_at_miss(self, modules):
+        assert modules.module_at(0x1) is None
+
+    def test_names_and_len(self, modules):
+        assert "target.exe" in modules.names()
+        assert len(modules) == 1 + len(DEFAULT_SYSTEM_MODULES)
+
+    def test_contains_bounds(self):
+        module = Module("m.dll", "C:\\m.dll", 0x1000, size=0x100)
+        assert module.contains(0x1000)
+        assert module.contains(0x10FF)
+        assert not module.contains(0x1100)
+        assert not module.contains(0xFFF)

@@ -1,0 +1,136 @@
+"""Network stack (DNS/sinkhole/reachability) and hardware (CPUID) models."""
+
+import pytest
+
+from repro.winsim.hardware import (Cpu, HV_VENDOR_VBOX, HV_VENDOR_VMWARE,
+                                   Hardware, KNOWN_HV_VENDORS)
+from repro.winsim.network import NetworkStack, VBOX_OUI
+
+
+@pytest.fixture
+def net():
+    return NetworkStack()
+
+
+class TestDns:
+    def test_registered_domain_resolves(self, net):
+        ip = net.register_domain("update.example.com")
+        assert net.resolve("update.example.com") == ip
+
+    def test_resolution_case_insensitive(self, net):
+        net.register_domain("Example.COM", "1.2.3.4")
+        assert net.resolve("example.com") == "1.2.3.4"
+
+    def test_nx_domain_returns_none(self, net):
+        assert net.resolve("no-such-domain.invalid") is None
+
+    def test_sinkhole_answers_nx(self, net):
+        net.nx_sinkhole_ip = "10.0.0.1"
+        assert net.resolve("no-such-domain.invalid") == "10.0.0.1"
+
+    def test_sinkhole_does_not_mask_real_answers(self, net):
+        net.register_domain("real.com", "9.9.9.9")
+        net.nx_sinkhole_ip = "10.0.0.1"
+        assert net.resolve("real.com") == "9.9.9.9"
+
+    def test_query_log_records_lookups(self, net):
+        net.resolve("a.com")
+        net.resolve("B.com")
+        assert net.query_log == ["a.com", "b.com"]
+
+    def test_stable_fake_ip_deterministic(self, net):
+        first = net.register_domain("x.com")
+        other = NetworkStack().register_domain("x.com")
+        assert first == other
+
+
+class TestReachability:
+    def test_http_get_requires_reachable(self, net):
+        net.register_domain("site.com", "5.5.5.5")
+        assert not net.http_get_domain("site.com")
+        net.mark_reachable("5.5.5.5")
+        assert net.http_get_domain("site.com")
+
+    def test_http_get_none_ip(self, net):
+        assert not net.http_get(None)
+
+    def test_killswitch_scenario(self, net):
+        """NX domain + sinkhole + reachable sinkhole = HTTP response."""
+        domain = "www.iuqerfsodp9ifjaposdfjhgosurijfaewrwergwea.com"
+        assert not net.http_get_domain(domain)       # end-user: NX
+        net.nx_sinkhole_ip = "10.10.10.10"
+        net.mark_reachable("10.10.10.10")
+        assert net.http_get_domain(domain)           # sandbox: sinkholed
+
+
+class TestAdapters:
+    def test_vm_mac_detection(self, net):
+        net.add_adapter("eth0", "08:00:27:11:22:33")
+        assert net.has_vm_mac()
+
+    def test_physical_mac_not_flagged(self, net):
+        net.add_adapter("eth0", "3C:97:0E:52:AA:10")
+        assert not net.has_vm_mac()
+
+    def test_oui_extraction(self, net):
+        adapter = net.add_adapter("eth0", "08:00:27:aa:bb:cc")
+        assert adapter.oui == VBOX_OUI
+
+    def test_snapshot_roundtrip(self, net):
+        net.add_adapter("eth0", "08:00:27:11:22:33")
+        net.register_domain("a.com")
+        net.nx_sinkhole_ip = "1.1.1.1"
+        state = net.snapshot()
+        net.nx_sinkhole_ip = None
+        net.add_adapter("eth1", "00:11:22:33:44:55")
+        net.restore(state)
+        assert net.nx_sinkhole_ip == "1.1.1.1"
+        assert len(net.adapters()) == 1
+
+
+class TestCpu:
+    def test_physical_cpu_no_hv_bit(self):
+        cpu = Cpu()
+        assert not cpu.cpuid(1)["ecx"] & (1 << 31)
+
+    def test_hypervisor_bit_set(self):
+        cpu = Cpu(hypervisor_present=True, hypervisor_vendor=HV_VENDOR_VBOX)
+        assert cpu.cpuid(1)["ecx"] & (1 << 31)
+
+    def test_hypervisor_bit_maskable(self):
+        cpu = Cpu(hypervisor_present=True, hypervisor_vendor=HV_VENDOR_VBOX,
+                  mask_hypervisor_bit=True)
+        assert not cpu.cpuid(1)["ecx"] & (1 << 31)
+
+    def test_vendor_leaf_roundtrip(self):
+        for vendor in (HV_VENDOR_VBOX, HV_VENDOR_VMWARE):
+            cpu = Cpu(hypervisor_present=True, hypervisor_vendor=vendor)
+            assert cpu.hypervisor_vendor_string() == vendor
+            assert cpu.hypervisor_vendor_string() in KNOWN_HV_VENDORS
+
+    def test_vendor_leaf_masked(self):
+        cpu = Cpu(hypervisor_present=True, hypervisor_vendor=HV_VENDOR_VBOX,
+                  mask_hypervisor_bit=True)
+        assert cpu.hypervisor_vendor_string() == ""
+
+    def test_leaf0_vendor_genuine_intel(self):
+        cpu = Cpu()
+        regs = cpu.cpuid(0)
+        raw = b"".join(regs[r].to_bytes(4, "little")
+                       for r in ("ebx", "edx", "ecx"))
+        assert raw == b"GenuineIntel"
+
+    def test_unknown_leaf_zeroes(self):
+        assert Cpu().cpuid(0x77) == {"eax": 0, "ebx": 0, "ecx": 0, "edx": 0}
+
+
+class TestHardwareSnapshot:
+    def test_roundtrip(self):
+        hardware = Hardware()
+        hardware.cpu.cores = 8
+        state = hardware.snapshot()
+        hardware.cpu.cores = 1
+        hardware.total_ram = 1
+        hardware.restore(state)
+        assert hardware.cpu.cores == 8
+        assert hardware.total_ram > 1

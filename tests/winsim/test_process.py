@@ -1,0 +1,158 @@
+"""Process table: lifecycle, lineage, protection, events."""
+
+import pytest
+
+from repro.winsim.process import (Process, ProcessState, ProcessTable,
+                                  populate_baseline)
+
+
+@pytest.fixture
+def table():
+    return ProcessTable()
+
+
+@pytest.fixture
+def booted():
+    table = ProcessTable()
+    explorer = populate_baseline(table)
+    return table, explorer
+
+
+class TestSpawn:
+    def test_spawn_assigns_unique_pids(self, table):
+        pids = {table.spawn(f"p{i}.exe").pid for i in range(20)}
+        assert len(pids) == 20
+
+    def test_pids_are_multiples_of_four(self, table):
+        assert all(p.pid % 4 == 0 for p in [table.spawn("a.exe"),
+                                            table.spawn("b.exe")])
+
+    def test_parent_lineage(self, table):
+        parent = table.spawn("parent.exe")
+        child = table.spawn("child.exe", parent=parent)
+        grandchild = table.spawn("gc.exe", parent=child)
+        assert [a.name for a in grandchild.ancestors()] == \
+            ["child.exe", "parent.exe"]
+
+    def test_spawn_suspended(self, table):
+        process = table.spawn("s.exe", suspended=True)
+        assert process.state is ProcessState.SUSPENDED
+        process.resume()
+        assert process.state is ProcessState.RUNNING
+
+    def test_command_line_defaults_to_image(self, table):
+        process = table.spawn("x.exe", "C:\\x.exe")
+        assert process.command_line == "C:\\x.exe"
+
+    def test_default_modules_loaded(self, table):
+        process = table.spawn("x.exe")
+        assert process.modules.is_loaded("kernel32.dll")
+        assert process.modules.is_loaded("ntdll.dll")
+
+
+class TestTermination:
+    def test_terminate(self, table):
+        process = table.spawn("x.exe")
+        assert table.terminate(process.pid, exit_code=3)
+        assert not process.alive
+        assert process.exit_code == 3
+
+    def test_double_terminate_returns_false(self, table):
+        process = table.spawn("x.exe")
+        table.terminate(process.pid)
+        assert not table.terminate(process.pid)
+
+    def test_terminate_unknown_pid(self, table):
+        assert not table.terminate(999_999)
+
+    def test_protected_process_resists_untrusted_kill(self, table):
+        protected = table.spawn("wireshark.exe", protected=True)
+        assert not table.terminate(protected.pid, by_untrusted=True)
+        assert protected.alive
+
+    def test_protected_process_allows_trusted_kill(self, table):
+        protected = table.spawn("wireshark.exe", protected=True)
+        assert table.terminate(protected.pid, by_untrusted=False)
+
+    def test_terminated_process_not_in_running(self, table):
+        process = table.spawn("x.exe")
+        table.terminate(process.pid)
+        assert process not in table.running()
+
+
+class TestQueries:
+    def test_find_by_name_case_insensitive(self, table):
+        table.spawn("VBoxService.exe")
+        assert table.name_exists("vboxservice.exe")
+
+    def test_find_by_name_excludes_dead(self, table):
+        process = table.spawn("x.exe")
+        table.terminate(process.pid)
+        assert not table.name_exists("x.exe")
+
+    def test_descendants(self, table):
+        root = table.spawn("root.exe")
+        child = table.spawn("c.exe", parent=root)
+        table.spawn("gc.exe", parent=child)
+        table.spawn("unrelated.exe")
+        assert len(table.descendants(root)) == 2
+
+
+class TestBaseline:
+    def test_baseline_has_explorer(self, booted):
+        table, explorer = booted
+        assert explorer.name == "explorer.exe"
+        assert table.name_exists("explorer.exe")
+
+    def test_baseline_core_processes(self, booted):
+        table, _ = booted
+        for name in ("System", "csrss.exe", "services.exe", "lsass.exe",
+                     "svchost.exe", "winlogon.exe"):
+            assert table.name_exists(name), name
+
+    def test_baseline_rooted_at_system(self, booted):
+        table, explorer = booted
+        ancestors = list(explorer.ancestors())
+        assert ancestors[-1].name == "System"
+
+
+class TestEvents:
+    def test_create_listener_fires(self, table):
+        seen = []
+        table.on_create(lambda p: seen.append(p.name))
+        table.spawn("evil.exe")
+        assert seen == ["evil.exe"]
+
+    def test_terminate_listener_fires(self, table):
+        seen = []
+        table.on_terminate(lambda p: seen.append(p.pid))
+        process = table.spawn("x.exe")
+        table.terminate(process.pid)
+        assert seen == [process.pid]
+
+    def test_untrusted_kill_does_not_fire_terminate(self, table):
+        seen = []
+        table.on_terminate(lambda p: seen.append(p.pid))
+        protected = table.spawn("procmon.exe", protected=True)
+        table.terminate(protected.pid, by_untrusted=True)
+        assert seen == []
+
+
+class TestPeb:
+    def test_peb_defaults(self, table):
+        process = table.spawn("x.exe")
+        assert process.peb.being_debugged is False
+        assert process.peb.number_of_processors == 1
+
+    def test_peb_command_line(self, table):
+        process = table.spawn("x.exe", command_line="x.exe --flag")
+        assert process.peb.process_parameters_command_line == "x.exe --flag"
+
+    def test_threads(self, table):
+        process = table.spawn("x.exe")
+        thread = process.spawn_thread()
+        assert thread.tid != process.threads[0].tid
+        process.suspend()
+        assert all(t.suspended for t in process.threads)
+        process.resume()
+        assert not any(t.suspended for t in process.threads)

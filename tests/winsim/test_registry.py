@@ -1,0 +1,216 @@
+"""Registry hive behaviour: paths, values, search, snapshot, invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.winsim.registry import (Registry, RegType, default_type_for,
+                                   split_path)
+
+VBOX_KEY = "HKEY_LOCAL_MACHINE\\SOFTWARE\\Oracle\\VirtualBox Guest Additions"
+
+
+class TestPathHandling:
+    def test_split_path_normalizes_hive_aliases(self):
+        assert split_path("HKLM\\SOFTWARE")[0] == "HKEY_LOCAL_MACHINE"
+        assert split_path("HKCU\\Software")[0] == "HKEY_CURRENT_USER"
+
+    def test_split_path_handles_forward_slashes(self):
+        assert split_path("HKLM/SOFTWARE/Test") == \
+            ["HKEY_LOCAL_MACHINE", "SOFTWARE", "Test"]
+
+    def test_split_path_drops_empty_components(self):
+        assert split_path("HKLM\\\\SOFTWARE\\") == \
+            ["HKEY_LOCAL_MACHINE", "SOFTWARE"]
+
+
+class TestKeyLifecycle:
+    def test_create_and_open_key(self):
+        registry = Registry()
+        registry.create_key(VBOX_KEY)
+        assert registry.key_exists(VBOX_KEY)
+
+    def test_open_is_case_insensitive(self):
+        registry = Registry()
+        registry.create_key(VBOX_KEY)
+        assert registry.key_exists(VBOX_KEY.upper())
+        assert registry.key_exists(VBOX_KEY.lower())
+
+    def test_open_missing_key_returns_none(self):
+        registry = Registry()
+        assert registry.open_key("HKLM\\SOFTWARE\\NoSuchVendor") is None
+
+    def test_create_key_requires_hive(self):
+        registry = Registry()
+        with pytest.raises(ValueError):
+            registry.create_key("SOFTWARE\\NoHive")
+
+    def test_delete_key_removes_subtree(self):
+        registry = Registry()
+        registry.create_key(VBOX_KEY + "\\Sub\\Deeper")
+        assert registry.delete_key(VBOX_KEY)
+        assert not registry.key_exists(VBOX_KEY)
+        assert not registry.key_exists(VBOX_KEY + "\\Sub\\Deeper")
+
+    def test_delete_missing_key_returns_false(self):
+        assert not Registry().delete_key("HKLM\\SOFTWARE\\Ghost")
+
+    def test_intermediate_keys_created(self):
+        registry = Registry()
+        registry.create_key(VBOX_KEY)
+        assert registry.key_exists("HKLM\\SOFTWARE\\Oracle")
+
+    def test_key_path_roundtrip(self):
+        registry = Registry()
+        key = registry.create_key(VBOX_KEY)
+        assert key.path() == VBOX_KEY
+
+
+class TestValues:
+    def test_set_and_get_value(self):
+        registry = Registry()
+        registry.set_value(VBOX_KEY, "Version", "5.2.8")
+        assert registry.get_data(VBOX_KEY, "Version") == "5.2.8"
+
+    def test_value_names_case_insensitive(self):
+        registry = Registry()
+        registry.set_value(VBOX_KEY, "Version", "5.2.8")
+        assert registry.get_data(VBOX_KEY, "VERSION") == "5.2.8"
+
+    def test_get_data_default(self):
+        registry = Registry()
+        assert registry.get_data("HKLM\\SOFTWARE", "missing", 42) == 42
+
+    def test_type_inference(self):
+        assert default_type_for("text") is RegType.REG_SZ
+        assert default_type_for(7) is RegType.REG_DWORD
+        assert default_type_for(b"\x00") is RegType.REG_BINARY
+        assert default_type_for(["a", "b"]) is RegType.REG_MULTI_SZ
+
+    def test_type_inference_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            default_type_for(3.14)
+
+    def test_delete_value(self):
+        registry = Registry()
+        registry.set_value(VBOX_KEY, "Version", "5.2.8")
+        key = registry.open_key(VBOX_KEY)
+        assert key.delete_value("Version")
+        assert key.get_value("Version") is None
+
+    def test_overwrite_value(self):
+        registry = Registry()
+        registry.set_value(VBOX_KEY, "Version", "5.2.8")
+        registry.set_value(VBOX_KEY, "Version", "6.0.0")
+        assert registry.get_data(VBOX_KEY, "Version") == "6.0.0"
+
+
+class TestEnumerationAndCounts:
+    def test_subkey_names_stable_order(self):
+        registry = Registry()
+        registry.create_key("HKLM\\SOFTWARE\\A\\First")
+        registry.create_key("HKLM\\SOFTWARE\\A\\Second")
+        key = registry.open_key("HKLM\\SOFTWARE\\A")
+        assert key.subkey_names() == ["First", "Second"]
+
+    def test_counts(self):
+        registry = Registry()
+        registry.create_key("HKLM\\SOFTWARE\\A\\One")
+        registry.set_value("HKLM\\SOFTWARE\\A", "v1", 1)
+        registry.set_value("HKLM\\SOFTWARE\\A", "v2", 2)
+        key = registry.open_key("HKLM\\SOFTWARE\\A")
+        assert key.subkey_count() == 1
+        assert key.value_count() == 2
+
+    def test_count_references_matches_names_values_and_data(self):
+        registry = Registry()
+        registry.create_key("HKLM\\SOFTWARE\\VMware, Inc.")
+        registry.set_value("HKLM\\SOFTWARE\\Misc", "VMwarePath",
+                           "C:\\Program Files\\App")
+        registry.set_value("HKLM\\SOFTWARE\\Misc", "Other",
+                           "uses vmware tools")
+        registry.set_value("HKLM\\SOFTWARE\\Misc", "Multi",
+                           ["a", "VMware entry"])
+        assert registry.count_references("vmware") == 4
+
+    def test_total_entries_counts_keys_and_values(self):
+        registry = Registry()
+        registry.create_key("HKLM\\SOFTWARE")
+        base = registry.total_entries()
+        registry.create_key("HKLM\\SOFTWARE\\X")
+        registry.set_value("HKLM\\SOFTWARE\\X", "v", 1)
+        assert registry.total_entries() == base + 2
+
+
+class TestSizeEstimation:
+    def test_size_grows_with_entries(self):
+        registry = Registry()
+        before = registry.estimated_size_bytes()
+        for index in range(50):
+            registry.set_value("HKLM\\SOFTWARE\\Bulk", f"v{index}",
+                               "x" * 100)
+        assert registry.estimated_size_bytes() > before
+
+    def test_bulk_padding_included(self):
+        registry = Registry()
+        registry.bulk_padding_bytes = 10_000_000
+        assert registry.estimated_size_bytes() >= 10_000_000
+
+
+class TestSnapshot:
+    def test_snapshot_restore_roundtrip(self):
+        registry = Registry()
+        registry.set_value(VBOX_KEY, "Version", "5.2.8")
+        registry.bulk_padding_bytes = 123
+        state = registry.snapshot()
+        registry.set_value(VBOX_KEY, "Version", "tampered")
+        registry.create_key("HKLM\\SOFTWARE\\Extra")
+        registry.restore(state)
+        assert registry.get_data(VBOX_KEY, "Version") == "5.2.8"
+        assert not registry.key_exists("HKLM\\SOFTWARE\\Extra")
+        assert registry.bulk_padding_bytes == 123
+
+    def test_snapshot_is_deep(self):
+        registry = Registry()
+        registry.set_value(VBOX_KEY, "Version", "5.2.8")
+        state = registry.snapshot()
+        registry.delete_key(VBOX_KEY)
+        registry.restore(state)
+        assert registry.get_data(VBOX_KEY, "Version") == "5.2.8"
+
+
+# ASCII-only: the simulated registry follows Windows' invariant-culture
+# case folding, which simple str.lower() only matches for ASCII names.
+_key_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ._-",
+    min_size=1, max_size=20).filter(lambda s: s.strip())
+
+
+class TestProperties:
+    @given(parts=st.lists(_key_names, min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_created_keys_always_resolvable(self, parts):
+        registry = Registry()
+        path = "HKEY_LOCAL_MACHINE\\" + "\\".join(parts)
+        registry.create_key(path)
+        assert registry.key_exists(path)
+        assert registry.key_exists(path.upper())
+
+    @given(name=_key_names, data=st.one_of(
+        st.text(max_size=40), st.integers(0, 2**31), st.binary(max_size=32)))
+    @settings(max_examples=50, deadline=None)
+    def test_value_roundtrip(self, name, data):
+        registry = Registry()
+        registry.set_value("HKLM\\SOFTWARE\\Prop", name, data)
+        assert registry.get_data("HKLM\\SOFTWARE\\Prop", name) == data
+
+    @given(parts=st.lists(_key_names, min_size=2, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_snapshot_restore_identity(self, parts):
+        registry = Registry()
+        path = "HKEY_CURRENT_USER\\" + "\\".join(parts)
+        registry.set_value(path, "marker", 1)
+        state = registry.snapshot()
+        registry.restore(state)
+        assert registry.get_data(path, "marker") == 1
+        assert registry.snapshot() == state

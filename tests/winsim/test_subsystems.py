@@ -1,0 +1,209 @@
+"""GUI, devices, services, event log, DNS cache subsystems."""
+
+import pytest
+
+from repro.winsim.devices import (DeviceNamespace, VBOX_DEVICES,
+                                  normalize_device_name)
+from repro.winsim.dnscache import DnsCache
+from repro.winsim.eventlog import EventLog
+from repro.winsim.gui import WindowManager
+from repro.winsim.services import ServiceManager, ServiceState
+
+
+class TestWindowManager:
+    def test_find_by_class(self):
+        gui = WindowManager()
+        gui.create_window("OLLYDBG", "OllyDbg - main")
+        assert gui.find_window("OLLYDBG") is not None
+
+    def test_find_by_title_wildcard_class(self):
+        gui = WindowManager()
+        gui.create_window("SomeClass", "Immunity Debugger")
+        assert gui.find_window(None, "Immunity Debugger") is not None
+
+    def test_find_requires_both_when_given(self):
+        gui = WindowManager()
+        gui.create_window("A", "title-1")
+        assert gui.find_window("A", "title-2") is None
+
+    def test_find_case_insensitive(self):
+        gui = WindowManager()
+        gui.create_window("OLLYDBG", None)
+        assert gui.find_window("ollydbg") is not None
+
+    def test_destroy(self):
+        gui = WindowManager()
+        window = gui.create_window("X", None)
+        assert gui.destroy_window(window.hwnd)
+        assert gui.find_window("X") is None
+        assert not gui.destroy_window(window.hwnd)
+
+    def test_hwnds_unique(self):
+        gui = WindowManager()
+        hwnds = {gui.create_window("C", None).hwnd for _ in range(10)}
+        assert len(hwnds) == 10
+
+    def test_cursor_static_by_default(self):
+        gui = WindowManager()
+        gui.move_cursor(10, 20)
+        assert gui.cursor_at_time(0) == (10, 20)
+        assert gui.cursor_at_time(10 ** 12) == (10, 20)
+
+    def test_cursor_humanized_moves_with_time(self):
+        gui = WindowManager()
+        gui.humanized = True
+        assert gui.cursor_at_time(0) != gui.cursor_at_time(2 * 10 ** 9)
+
+    def test_cursor_move_count(self):
+        gui = WindowManager()
+        gui.move_cursor(1, 1)
+        gui.move_cursor(1, 1)  # no-op
+        gui.move_cursor(2, 2)
+        assert gui.cursor_move_count == 2
+
+    def test_windows_for_pid(self):
+        gui = WindowManager()
+        gui.create_window("A", None, owner_pid=44)
+        gui.create_window("B", None, owner_pid=48)
+        assert len(gui.windows_for_pid(44)) == 1
+
+    def test_snapshot_roundtrip(self):
+        gui = WindowManager()
+        gui.create_window("A", "t")
+        gui.humanized = True
+        state = gui.snapshot()
+        gui.create_window("B", None)
+        gui.humanized = False
+        gui.restore(state)
+        assert gui.find_window("B") is None
+        assert gui.humanized
+
+
+class TestDevices:
+    def test_normalize(self):
+        assert normalize_device_name("\\\\.\\VBoxGuest") == "vboxguest"
+        assert normalize_device_name("\\\\.\\pipe\\cuckoo") == "pipe\\cuckoo"
+
+    def test_register_exists(self):
+        devices = DeviceNamespace()
+        devices.register("\\\\.\\vmci")
+        assert devices.exists("\\\\.\\VMCI")
+
+    def test_unregister(self):
+        devices = DeviceNamespace()
+        devices.register("\\\\.\\vmci")
+        assert devices.unregister("\\\\.\\vmci")
+        assert not devices.exists("\\\\.\\vmci")
+
+    def test_vbox_device_list(self):
+        devices = DeviceNamespace()
+        for name in VBOX_DEVICES:
+            devices.register(name)
+        assert devices.exists("\\\\.\\VBoxGuest")
+
+    def test_snapshot(self):
+        devices = DeviceNamespace()
+        devices.register("\\\\.\\HGFS")
+        state = devices.snapshot()
+        devices.unregister("\\\\.\\HGFS")
+        devices.restore(state)
+        assert devices.exists("\\\\.\\HGFS")
+
+
+class TestServices:
+    def test_install_and_get(self):
+        services = ServiceManager()
+        services.install("VBoxService")
+        assert services.exists("vboxservice")
+        assert services.get("VBoxService").state is ServiceState.RUNNING
+
+    def test_uninstall(self):
+        services = ServiceManager()
+        services.install("VBoxSF")
+        assert services.uninstall("VBoxSF")
+        assert not services.exists("VBoxSF")
+
+    def test_running_filter(self):
+        services = ServiceManager()
+        services.install("A")
+        services.install("B", state=ServiceState.STOPPED)
+        assert [s.name for s in services.running()] == ["A"]
+
+    def test_snapshot(self):
+        services = ServiceManager()
+        services.install("A")
+        state = services.snapshot()
+        services.install("B")
+        services.restore(state)
+        assert not services.exists("B")
+
+
+class TestEventLog:
+    def test_append_assigns_record_ids(self):
+        log = EventLog()
+        first = log.append("Src", 1000)
+        second = log.append("Src", 1001)
+        assert (first.record_id, second.record_id) == (1, 2)
+
+    def test_extend_synthetic_counts(self):
+        log = EventLog()
+        log.extend_synthetic(100, ["A", "B", "C"])
+        assert log.count() == 100
+        assert log.distinct_sources() == {"A", "B", "C"}
+
+    def test_extend_requires_sources(self):
+        log = EventLog()
+        with pytest.raises(ValueError):
+            log.extend_synthetic(10, [])
+
+    def test_recent_limit(self):
+        log = EventLog()
+        log.extend_synthetic(50, ["A"])
+        assert len(log.recent(10)) == 10
+        assert log.recent(10)[-1].record_id == 50
+
+    def test_distinct_sources_recent_window(self):
+        log = EventLog()
+        log.extend_synthetic(10, ["Old"])
+        log.extend_synthetic(10, ["New"])
+        assert log.distinct_sources(limit=10) == {"New"}
+
+    def test_snapshot(self):
+        log = EventLog()
+        log.extend_synthetic(5, ["A"])
+        state = log.snapshot()
+        log.extend_synthetic(5, ["B"])
+        log.restore(state)
+        assert log.count() == 5
+
+
+class TestDnsCache:
+    def test_add_and_count(self):
+        cache = DnsCache()
+        cache.populate(["a.com", "b.com"])
+        assert cache.count() == 2
+
+    def test_readd_moves_to_recent(self):
+        cache = DnsCache()
+        cache.populate(["a.com", "b.com"])
+        cache.add("a.com")
+        assert cache.entries()[-1].name == "a.com"
+        assert cache.count() == 2
+
+    def test_recent(self):
+        cache = DnsCache()
+        cache.populate(f"h{i}.com" for i in range(10))
+        recent = cache.recent(4)
+        assert [e.name for e in recent] == ["h6.com", "h7.com", "h8.com",
+                                            "h9.com"]
+
+    def test_flush(self):
+        cache = DnsCache()
+        cache.add("a.com")
+        cache.flush()
+        assert cache.count() == 0
+
+    def test_names_lowercased(self):
+        cache = DnsCache()
+        cache.add("WWW.Example.COM")
+        assert cache.entries()[0].name == "www.example.com"

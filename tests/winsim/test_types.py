@@ -1,0 +1,112 @@
+"""Handles, structures, MAC helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.winsim.types import (GIB, Handle, HandleTable,
+                                INVALID_HANDLE_VALUE, MemoryStatusEx,
+                                OsVersionInfo, Peb, SystemInfo, format_mac,
+                                parse_mac)
+
+
+class TestHandleTable:
+    def test_open_resolve(self):
+        table = HandleTable()
+        handle = table.open({"x": 1}, "file")
+        assert table.resolve(handle) == {"x": 1}
+
+    def test_kind_checked_resolution(self):
+        table = HandleTable()
+        handle = table.open("obj", "key")
+        assert table.resolve(handle, "key") == "obj"
+        assert table.resolve(handle, "file") is None
+
+    def test_close(self):
+        table = HandleTable()
+        handle = table.open("obj", "key")
+        assert table.close(handle)
+        assert table.resolve(handle) is None
+        assert not table.close(handle)
+
+    def test_handles_are_multiples_of_four(self):
+        table = HandleTable()
+        for _ in range(5):
+            assert table.open("o", "k").value % 4 == 0
+
+    def test_invalid_handle_is_falsy(self):
+        assert not Handle(INVALID_HANDLE_VALUE, "file")
+        table = HandleTable()
+        assert table.open("o", "k")
+
+    def test_live_count(self):
+        table = HandleTable()
+        handles = [table.open(i, "k") for i in range(3)]
+        table.close(handles[0])
+        assert table.live_count() == 2
+
+    def test_resolve_garbage(self):
+        table = HandleTable()
+        assert table.resolve("not-a-handle") is None
+        assert not table.close(42)
+
+    @given(count=st.integers(1, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_handles_unique(self, count):
+        table = HandleTable()
+        values = [table.open(i, "k").value for i in range(count)]
+        assert len(set(values)) == count
+
+
+class TestStructures:
+    def test_memory_status_derives_load(self):
+        status = MemoryStatusEx(total_phys=8 * GIB, avail_phys=2 * GIB)
+        assert status.memory_load == 75
+        assert status.total_page_file == 16 * GIB
+
+    def test_memory_status_load_clamped(self):
+        status = MemoryStatusEx(total_phys=GIB, avail_phys=0)
+        assert 0 <= status.memory_load <= 100
+
+    def test_system_info_defaults(self):
+        info = SystemInfo(number_of_processors=1)
+        assert info.page_size == 4096
+
+    def test_os_version_windows7(self):
+        version = OsVersionInfo()
+        assert version.is_windows7
+        assert not version.is_windows8_or_later
+
+    def test_os_version_windows8(self):
+        version = OsVersionInfo(major=6, minor=2)
+        assert version.is_windows8_or_later
+
+    def test_peb_defaults(self):
+        peb = Peb()
+        assert not peb.being_debugged
+        assert peb.heap_force_flags == 0
+
+
+class TestMac:
+    def test_format(self):
+        assert format_mac(bytes([8, 0, 0x27, 1, 2, 3])) == \
+            "08:00:27:01:02:03"
+
+    def test_parse(self):
+        assert parse_mac("08:00:27:01:02:03") == bytes([8, 0, 0x27, 1, 2, 3])
+
+    def test_parse_dashes(self):
+        assert parse_mac("08-00-27-01-02-03") == bytes([8, 0, 0x27, 1, 2, 3])
+
+    def test_format_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            format_mac(b"\x00\x01")
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_mac("08:00:27")
+
+    @given(raw=st.binary(min_size=6, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, raw):
+        assert parse_mac(format_mac(raw)) == raw
