@@ -1,0 +1,80 @@
+"""E9 — parallel sweep engine: determinism at scale plus worker scaling.
+
+Runs a 32-sample corpus serially and on process pools of 2 and 4 workers,
+checks the verdicts are identical everywhere, and emits the measurements
+as ``BENCH_parallel.json`` next to the repo root. The >=2x-at-4-workers
+speedup assertion only applies on machines with at least 4 CPU cores —
+a single-core container cannot exhibit parallel speedup, but it still
+exercises (and verifies) the real process-pool path.
+
+Run: ``pytest benchmarks/bench_parallel.py --benchmark-only -s``
+"""
+
+import json
+import os
+import pathlib
+
+from repro.analysis.comparison import summarize
+from repro.malware.corpus import build_malgene_corpus
+from repro.malware.families import FamilySpec
+from repro.parallel import ParallelSweep, fork_available
+
+#: 32 samples over the five headline archetypes.
+BENCH_SPEC = FamilySpec("Bench", (("spawn_idp", 12), ("term_vm", 8),
+                                  ("sleep_sbx", 6), ("fail_peb", 4),
+                                  ("selfdel", 2)))
+WORKER_COUNTS = (1, 2, 4)
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_parallel.json"
+
+
+def _run(samples, workers):
+    return ParallelSweep(max_workers=workers,
+                         machine_factory="bare-metal-light").run(samples)
+
+
+def test_bench_parallel_scaling(benchmark):
+    samples = build_malgene_corpus([BENCH_SPEC])
+    assert len(samples) == 32
+
+    serial = benchmark.pedantic(_run, args=(samples, 1),
+                                rounds=1, iterations=1)
+    assert not serial.errors
+    results = {1: serial}
+    for workers in WORKER_COUNTS[1:]:
+        if not fork_available():
+            continue
+        results[workers] = _run(samples, workers)
+        assert results[workers].used_process_pool
+        assert not results[workers].errors
+        # The engine's core guarantee: verdicts identical to serial.
+        assert results[workers].comparisons == serial.comparisons
+
+    summary = summarize(serial.comparisons)
+    assert summary.total == 32
+    assert summary.deactivated == BENCH_SPEC.expected_deactivated()
+
+    measurements = [
+        {"workers": workers, "wall_time_s": round(result.wall_time_s, 4),
+         "speedup": round(serial.wall_time_s / result.wall_time_s, 3),
+         "used_process_pool": result.used_process_pool}
+        for workers, result in sorted(results.items())]
+    payload = {
+        "benchmark": "parallel_sweep_scaling",
+        "corpus_size": len(samples),
+        "cpu_cores": os.cpu_count(),
+        "fork_available": fork_available(),
+        "deactivated": summary.deactivated,
+        "measurements": measurements,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n",
+                      encoding="utf-8")
+    print(f"\nwrote {OUTPUT.name}: " +
+          ", ".join(f"{m['workers']}w={m['wall_time_s']}s"
+                    f" ({m['speedup']}x)" for m in measurements))
+
+    cores = os.cpu_count() or 1
+    if cores >= 4 and fork_available():
+        by_workers = {m["workers"]: m for m in measurements}
+        assert by_workers[4]["speedup"] >= 2.0, \
+            "4-worker pool should be at least 2x faster than serial"

@@ -10,7 +10,10 @@ Commands:
 * ``pafish [--env ENV] [--scarecrow]`` — run the Pafish reimplementation
   in one environment and print the triggered checks;
 * ``overhead`` — measure the hook-chain overhead (E8);
-* ``inventory`` — print the deception database inventory.
+* ``inventory`` — print the deception database inventory;
+* ``sweep [--workers N] [--families F ...] [--limit N] [--factory NAME]``
+  — run a corpus sweep on the parallel execution engine and print the
+  summary plus per-worker statistics (see docs/PARALLEL.md).
 """
 
 from __future__ import annotations
@@ -151,6 +154,62 @@ def _cmd_inventory(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.comparison import summarize
+    from .malware.corpus import build_malgene_corpus
+    from .malware.families import all_family_specs
+    from .parallel import ParallelSweep, resolve_machine_factory
+
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.limit < 0:
+        print("--limit must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        resolve_machine_factory(args.factory)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    specs = all_family_specs()
+    if args.families:
+        wanted = {name.lower() for name in args.families}
+        specs = [s for s in specs if s.name.lower() in wanted]
+        missing = wanted - {s.name.lower() for s in specs}
+        if missing:
+            print(f"unknown families: {', '.join(sorted(missing))}",
+                  file=sys.stderr)
+            return 2
+    samples = build_malgene_corpus(specs)
+    if args.limit:
+        samples = samples[:args.limit]
+
+    sweep = ParallelSweep(max_workers=args.workers,
+                          machine_factory=args.factory)
+    result = sweep.run(samples)
+    summary = summarize(result.comparisons)
+
+    mode = "process pool" if result.used_process_pool else "in-process"
+    print(f"sweep: {len(samples)} samples, {args.workers} worker(s) "
+          f"({mode}), factory={args.factory}")
+    print(f"  wall time: {result.wall_time_s:.2f}s"
+          f"  retries: {result.total_retries()}")
+    print(f"  deactivated: {summary.deactivated}/{summary.total} "
+          f"({summary.deactivation_rate:.1%})")
+    print(f"  self-spawning: {summary.self_spawning} "
+          f"(IsDebuggerPresent: {summary.self_spawning_using_idp})")
+    print(f"  inconclusive: {summary.inconclusive}"
+          f"  not deactivated: {summary.not_deactivated}")
+    workers_used = sorted({s.worker_pid for s in result.stats})
+    print(f"  worker pids: {len(workers_used)} distinct")
+    for error in result.errors:
+        print(f"  ERROR {error.sample_md5}: {error.error_type}: "
+              f"{error.message} (after {error.retry_count} retries)",
+              file=sys.stderr)
+    return 1 if result.errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -173,6 +232,17 @@ def build_parser() -> argparse.ArgumentParser:
     pafish.add_argument("--env", choices=PAFISH_ENVIRONMENTS,
                         default="end-user")
     pafish.add_argument("--scarecrow", action="store_true")
+    sweep = subparsers.add_parser(
+        "sweep", help="parallel corpus sweep (docs/PARALLEL.md)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+    sweep.add_argument("--families", nargs="+", metavar="FAMILY",
+                       help="restrict the corpus to these families")
+    sweep.add_argument("--limit", type=int, default=0,
+                       help="cap the number of samples (0 = no cap)")
+    sweep.add_argument("--factory", default="bare-metal-light",
+                       help="machine factory name "
+                            "(see repro.parallel.available_factories)")
     return parser
 
 
@@ -180,7 +250,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "table1": _cmd_table1, "table2": _cmd_table2, "table3": _cmd_table3,
     "figure4": _cmd_figure4, "cases": _cmd_cases, "all": _cmd_all,
     "demo": _cmd_demo, "pafish": _cmd_pafish, "inventory": _cmd_inventory,
-    "overhead": _cmd_overhead,
+    "overhead": _cmd_overhead, "sweep": _cmd_sweep,
 }
 
 

@@ -9,10 +9,11 @@ from .collector import (CrawlerReport, ResourceDiff,
                         extend_database, run_crawler)
 from .controller import CONTROLLER_IMAGE, ScarecrowController
 from .database import (ANALYSIS_DLLS, COMBINED_BIOS_VERSION,
-                       CURATED_REGISTRY_KEYS, DeceptionDatabase,
-                       FakeHardwareProfile, FakeIdentityProfile,
-                       FakeNetworkProfile, PROTECTED_PROCESSES,
-                       WearTearProfile)
+                       CURATED_REGISTRY_KEYS, DatabaseSnapshot,
+                       DeceptionDatabase, FakeHardwareProfile,
+                       FakeIdentityProfile, FakeNetworkProfile,
+                       FrozenDatabaseError, FrozenDeceptionDatabase,
+                       PROTECTED_PROCESSES, WearTearProfile)
 from .dll import ScarecrowDll
 from .engine import DeceptionEngine
 from .events import FingerprintEvent, FingerprintLog
@@ -32,9 +33,11 @@ __all__ = [
     "ALL_PROFILES", "ANALYSIS_DLLS", "CONTROLLER_IMAGE", "CORE_29_APIS",
     "COMBINED_BIOS_VERSION", "COMPATIBLE_PROFILES", "CURATED_REGISTRY_KEYS",
     "CrawlerReport", "DECOY_APIS", "DEFAULT_LOOP_THRESHOLD",
-    "DeceptionDatabase", "DeceptionEngine", "DeceptiveResource",
+    "DatabaseSnapshot", "DeceptionDatabase", "DeceptionEngine",
+    "DeceptiveResource",
     "FakeHardwareProfile", "FakeIdentityProfile", "FakeNetworkProfile",
-    "FamilyVaccine", "FingerprintEvent", "FingerprintLog", "KNOWN_VACCINES",
+    "FamilyVaccine", "FingerprintEvent", "FingerprintLog",
+    "FrozenDatabaseError", "FrozenDeceptionDatabase", "KNOWN_VACCINES",
     "Origin", "PROTECTED_PROCESSES", "VaccinationAgent",
     "build_marker_gated_corpus",
     "ProfileManager", "ResourceCategory", "ResourceDiff", "ScarecrowConfig",

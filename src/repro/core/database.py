@@ -280,6 +280,36 @@ class WearTearProfile:
         }
 
 
+class FrozenDatabaseError(RuntimeError):
+    """Raised when code attempts to mutate a frozen database snapshot."""
+
+
+@dataclasses.dataclass
+class DatabaseSnapshot:
+    """Picklable, self-contained copy of a database's state.
+
+    Workers of the parallel sweep engine receive one of these (pickled once
+    per pool, through the initializer) and rehydrate their own read-only
+    :class:`FrozenDeceptionDatabase` from it — no live objects are shared
+    across process boundaries.
+    """
+
+    files: Dict[str, DeceptiveResource]
+    basenames: Dict[str, DeceptiveResource]
+    folders: Dict[str, DeceptiveResource]
+    processes: Dict[str, DeceptiveResource]
+    libraries: Dict[str, DeceptiveResource]
+    windows: List[DeceptiveResource]
+    registry_keys: Dict[str, DeceptiveResource]
+    registry_values: Dict[Tuple[str, str], DeceptiveResource]
+    devices: Dict[str, DeceptiveResource]
+    mutexes: Dict[str, DeceptiveResource]
+    hardware: FakeHardwareProfile
+    identity: FakeIdentityProfile
+    network: FakeNetworkProfile
+    weartear: WearTearProfile
+
+
 class DeceptionDatabase:
     """All deceptive resources, indexed for the hook handlers."""
 
@@ -467,6 +497,66 @@ class DeceptionDatabase:
     def deceptive_process_names(self) -> List[str]:
         return [r.identity for r in self._processes.values()]
 
+    # -- snapshot / freeze (parallel-sweep support) ------------------------------
+
+    def snapshot(self) -> DatabaseSnapshot:
+        """A deep, picklable copy of the current state.
+
+        :class:`DeceptiveResource` entries are frozen dataclasses, so the
+        copies only need fresh containers and profile records; the snapshot
+        shares no mutable structure with this database.
+        """
+        return DatabaseSnapshot(
+            files=dict(self._files),
+            basenames=dict(self._basenames),
+            folders=dict(self._folders),
+            processes=dict(self._processes),
+            libraries=dict(self._libraries),
+            windows=list(self._windows),
+            registry_keys=dict(self._registry_keys),
+            registry_values=dict(self._registry_values),
+            devices=dict(self._devices),
+            mutexes=dict(self._mutexes),
+            hardware=dataclasses.replace(self.hardware),
+            identity=dataclasses.replace(self.identity),
+            network=dataclasses.replace(self.network),
+            weartear=dataclasses.replace(self.weartear),
+        )
+
+    @classmethod
+    def from_snapshot(cls, state: DatabaseSnapshot) -> "DeceptionDatabase":
+        """Rebuild a database from a snapshot (curated load is skipped)."""
+        db = cls.__new__(cls)
+        db._restore_snapshot(state)
+        return db
+
+    def _restore_snapshot(self, state: DatabaseSnapshot) -> None:
+        self._files = dict(state.files)
+        self._basenames = dict(state.basenames)
+        self._folders = dict(state.folders)
+        self._processes = dict(state.processes)
+        self._libraries = dict(state.libraries)
+        self._windows = list(state.windows)
+        self._registry_keys = dict(state.registry_keys)
+        self._registry_values = dict(state.registry_values)
+        self._devices = dict(state.devices)
+        self._mutexes = dict(state.mutexes)
+        self.hardware = dataclasses.replace(state.hardware)
+        self.identity = dataclasses.replace(state.identity)
+        self.network = dataclasses.replace(state.network)
+        self.weartear = dataclasses.replace(state.weartear)
+
+    def freeze(self) -> "FrozenDeceptionDatabase":
+        """A read-only deep copy; mutators raise :class:`FrozenDatabaseError`."""
+        return FrozenDeceptionDatabase.from_snapshot(self.snapshot())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeceptionDatabase):
+            return NotImplemented
+        return self.snapshot() == other.snapshot()
+
+    __hash__ = None  # mutable container; unhashable like list/dict
+
     # -- statistics --------------------------------------------------------------
 
     def counts(self) -> Dict[str, int]:
@@ -492,3 +582,72 @@ class DeceptionDatabase:
             "registry_entries": count(self._registry_keys.values()) +
             count(self._registry_values.values()),
         }
+
+
+class FrozenDeceptionDatabase(DeceptionDatabase):
+    """A read-only database: lookups work, every mutator raises.
+
+    Sweep workers operate on one of these so that a bug in a hook handler
+    (or a hostile sample model) can never silently mutate the corpus-wide
+    deception inventory mid-sweep.
+    """
+
+    _frozen = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._frozen = True
+
+    @classmethod
+    def from_snapshot(cls, state: DatabaseSnapshot
+                      ) -> "FrozenDeceptionDatabase":
+        db = cls.__new__(cls)
+        db._restore_snapshot(state)
+        db._frozen = True
+        return db
+
+    def thaw(self) -> DeceptionDatabase:
+        """A mutable deep copy (the inverse of :meth:`freeze`)."""
+        return DeceptionDatabase.from_snapshot(self.snapshot())
+
+    def _reject_mutation(self, operation: str) -> None:
+        if self._frozen:
+            raise FrozenDatabaseError(
+                f"cannot {operation} on a frozen deception database; "
+                "call .thaw() for a mutable copy")
+
+    def add_file(self, *args, **kwargs):
+        self._reject_mutation("add_file")
+        return super().add_file(*args, **kwargs)
+
+    def add_folder(self, *args, **kwargs):
+        self._reject_mutation("add_folder")
+        return super().add_folder(*args, **kwargs)
+
+    def add_process(self, *args, **kwargs):
+        self._reject_mutation("add_process")
+        return super().add_process(*args, **kwargs)
+
+    def add_library(self, *args, **kwargs):
+        self._reject_mutation("add_library")
+        return super().add_library(*args, **kwargs)
+
+    def add_window(self, *args, **kwargs):
+        self._reject_mutation("add_window")
+        return super().add_window(*args, **kwargs)
+
+    def add_registry_key(self, *args, **kwargs):
+        self._reject_mutation("add_registry_key")
+        return super().add_registry_key(*args, **kwargs)
+
+    def add_registry_value(self, *args, **kwargs):
+        self._reject_mutation("add_registry_value")
+        return super().add_registry_value(*args, **kwargs)
+
+    def add_device(self, *args, **kwargs):
+        self._reject_mutation("add_device")
+        return super().add_device(*args, **kwargs)
+
+    def add_mutex(self, *args, **kwargs):
+        self._reject_mutation("add_mutex")
+        return super().add_mutex(*args, **kwargs)

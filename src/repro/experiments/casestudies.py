@@ -21,7 +21,7 @@ from ..malware.ransomware import (build_cerber_variant, build_locky,
                                   build_wannacry_original,
                                   build_wannacry_variant)
 from .report import render_table
-from .runner import PairOutcome, run_pair
+from .runner import PairOutcome, run_pair, run_pairs
 
 
 def _end_user_factory():
@@ -89,16 +89,16 @@ def run_case1() -> KasidetResult:
             outcome.without.result.checks_evaluated))
 
 
-def run_case2() -> List[CaseStudyResult]:
-    results = []
-    for name, builder in (("WannaCry variant", build_wannacry_variant),
-                          ("WannaCry original", build_wannacry_original),
-                          ("Locky", build_locky),
-                          ("Cerber variant", build_cerber_variant)):
-        sample = builder()
-        outcome = run_pair(sample, machine_factory=_end_user_factory)
-        results.append(CaseStudyResult(name, sample.md5, outcome))
-    return results
+def run_case2(max_workers: int = 1) -> List[CaseStudyResult]:
+    named = (("WannaCry variant", build_wannacry_variant),
+             ("WannaCry original", build_wannacry_original),
+             ("Locky", build_locky),
+             ("Cerber variant", build_cerber_variant))
+    samples = [builder() for _, builder in named]
+    outcomes = run_pairs(samples, machine_factory=_end_user_factory,
+                         max_workers=max_workers)
+    return [CaseStudyResult(name, sample.md5, outcome)
+            for (name, _), sample, outcome in zip(named, samples, outcomes)]
 
 
 def render_case1(result: KasidetResult) -> str:

@@ -49,11 +49,16 @@ def _light_bare_metal():
     return build_bare_metal_sandbox(aged=False)
 
 
-def run_figure4(samples: Optional[List[EvasiveSample]] = None
-                ) -> Figure4Result:
-    """Run the corpus (default: all 1,054 samples) and fold the results."""
+def run_figure4(samples: Optional[List[EvasiveSample]] = None,
+                max_workers: int = 1) -> Figure4Result:
+    """Run the corpus (default: all 1,054 samples) and fold the results.
+
+    ``max_workers`` shards the corpus across the parallel sweep engine;
+    verdicts are identical at any worker count.
+    """
     corpus = samples if samples is not None else build_malgene_corpus()
-    outcomes = run_pairs(corpus, machine_factory=_light_bare_metal)
+    outcomes = run_pairs(corpus, machine_factory=_light_bare_metal,
+                         max_workers=max_workers)
     results = [outcome.comparison for outcome in outcomes]
     return Figure4Result(summary=summarize(results),
                          families=aggregate_by_family(results),

@@ -45,8 +45,19 @@ def run_pair(sample: EvasiveSample,
 def run_pairs(samples: List[EvasiveSample],
               machine_factory: Optional[MachineFactory] = None,
               database: Optional[DeceptionDatabase] = None,
-              config: Optional[ScarecrowConfig] = None) -> List[PairOutcome]:
-    """Corpus-scale sweep with one shared (read-only) deception database."""
-    shared_db = database or DeceptionDatabase()
-    return [run_pair(sample, machine_factory, shared_db, config)
-            for sample in samples]
+              config: Optional[ScarecrowConfig] = None,
+              max_workers: int = 1) -> List[PairOutcome]:
+    """Corpus-scale sweep with one shared (read-only) deception database.
+
+    Delegates to :class:`repro.parallel.ParallelSweep`; ``max_workers=1``
+    (the default) runs in-process, larger values shard the corpus across a
+    worker pool with identical ordered output. Failures raise, as the
+    historical serial path did — use :class:`~repro.parallel.ParallelSweep`
+    directly for the graceful-degradation surface (per-sample errors,
+    retry counts, execution stats).
+    """
+    from ..parallel import ParallelSweep
+    sweep = ParallelSweep(max_workers=max_workers,
+                          machine_factory=machine_factory,
+                          database=database, config=config)
+    return sweep.run(samples).outcomes_or_raise()

@@ -14,7 +14,7 @@ from typing import List, Optional
 from ..malware.joesec import (Table1Expectation, build_joesec_samples,
                               expectation_for)
 from .report import check_mark, render_table
-from .runner import PairOutcome, run_pair
+from .runner import PairOutcome, run_pairs
 
 
 @dataclasses.dataclass
@@ -47,10 +47,11 @@ def _behaviour_with(outcome: PairOutcome) -> str:
     return f"evaded ({action})"
 
 
-def run_table1() -> List[Table1Row]:
+def run_table1(max_workers: int = 1) -> List[Table1Row]:
+    samples = build_joesec_samples()
+    outcomes = run_pairs(samples, max_workers=max_workers)
     rows: List[Table1Row] = []
-    for sample in build_joesec_samples():
-        outcome = run_pair(sample)
+    for sample, outcome in zip(samples, outcomes):
         scarecrow_trigger = outcome.with_scarecrow.result.trigger
         rows.append(Table1Row(
             md5_prefix=sample.md5[:7],

@@ -104,15 +104,24 @@ def _run_end_user(with_scarecrow: bool) -> PafishReport:
     return run_pafish(bind(machine, process))
 
 
-def run_table2() -> List[Table2Cell]:
-    cells: List[Table2Cell] = []
-    for environment, runner in ((ENVIRONMENTS[0], _run_bare_metal),
-                                (ENVIRONMENTS[1], _run_vm_sandbox),
-                                (ENVIRONMENTS[2], _run_end_user)):
-        for with_scarecrow in (True, False):
-            cells.append(Table2Cell(environment, with_scarecrow,
-                                    runner(with_scarecrow)))
-    return cells
+#: (environment label, module-level cell runner) — picklable for workers.
+_CELL_RUNNERS = ((ENVIRONMENTS[0], _run_bare_metal),
+                 (ENVIRONMENTS[1], _run_vm_sandbox),
+                 (ENVIRONMENTS[2], _run_end_user))
+
+
+def run_table2(max_workers: int = 1) -> List[Table2Cell]:
+    """Run the 3×2 Pafish matrix; cells are independent, so they shard
+    across the parallel task engine when ``max_workers > 1``."""
+    from ..parallel import run_tasks_or_raise
+    combos = [(environment, runner, with_scarecrow)
+              for environment, runner in _CELL_RUNNERS
+              for with_scarecrow in (True, False)]
+    specs = [(f"{env}/{'scarecrow' if ws else 'bare'}", runner, (ws,))
+             for env, runner, ws in combos]
+    reports = run_tasks_or_raise(specs, max_workers=max_workers)
+    return [Table2Cell(env, ws, report)
+            for (env, _, ws), report in zip(combos, reports)]
 
 
 def table2_matrix(cells: List[Table2Cell]

@@ -68,27 +68,41 @@ class Table3Result:
         return self.values_without.get(name) if name else None
 
 
-def run_table3() -> Table3Result:
-    # End-user machine, bare.
+def _measure_end_user_bare() -> Dict[str, float]:
+    """End-user machine, bare."""
     machine = build_end_user_machine()
     process = machine.spawn_process(
         "weartool.exe", "C:\\Users\\john\\Downloads\\weartool.exe",
         parent=machine.explorer)
-    values_without = measure_artifacts(bind(machine, process))
+    return measure_artifacts(bind(machine, process))
 
-    # Same machine model, Scarecrow with the wear-and-tear extension.
+
+def _measure_end_user_protected() -> Dict[str, float]:
+    """Same machine model, Scarecrow with the wear-and-tear extension."""
     protected = build_end_user_machine()
     controller = ScarecrowController(
         protected, config=ScarecrowConfig(enable_weartear=True,
                                           enable_username=False))
     target = controller.launch("C:\\Users\\john\\Downloads\\weartool.exe")
-    values_with = measure_artifacts(bind(protected, target))
+    return measure_artifacts(bind(protected, target))
 
-    # Reference: a genuine pristine sandbox.
+
+def _measure_pristine_sandbox() -> Dict[str, float]:
+    """Reference: a genuine pristine sandbox."""
     sandbox = build_bare_metal_sandbox()
     sandbox_proc = sandbox.spawn_process(
         "weartool.exe", "C:\\analysis\\weartool.exe", parent=sandbox.explorer)
-    values_sandbox = measure_artifacts(bind(sandbox, sandbox_proc))
+    return measure_artifacts(bind(sandbox, sandbox_proc))
+
+
+def run_table3(max_workers: int = 1) -> Table3Result:
+    """Measure the three independent machines (shardable across workers)."""
+    from ..parallel import run_tasks_or_raise
+    values_without, values_with, values_sandbox = run_tasks_or_raise(
+        [("end-user/bare", _measure_end_user_bare, ()),
+         ("end-user/scarecrow", _measure_end_user_protected, ()),
+         ("sandbox/reference", _measure_pristine_sandbox, ())],
+        max_workers=max_workers)
 
     return Table3Result(
         rows=list(TABLE3_ROWS),

@@ -1,0 +1,97 @@
+"""Picklable result envelopes for the parallel sweep engine.
+
+Workers cannot ship a live :class:`~repro.winsim.machine.Machine` (or its
+attached controller) back to the parent — nor should they: the parent only
+consumes traces, results and verdicts. A :class:`PairEnvelope` carries the
+full :class:`~repro.experiments.runner.PairOutcome` with per-run machine
+references stripped, plus a :class:`SweepStats` record; a
+:class:`SweepError` is the structured failure report a sweep records
+instead of aborting (the graceful-degradation story).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Union
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepStats:
+    """Per-sample execution statistics attached to every outcome."""
+
+    sample_md5: str
+    index: int
+    worker_pid: int
+    retry_count: int
+    wall_time_s: float
+    #: Fingerprint attempts Scarecrow's engine logged during the with-run.
+    fingerprint_events: int
+    #: Evasion predicates the sample evaluated across both configurations.
+    checks_evaluated: int
+    #: Kernel events captured across both traces.
+    trace_events: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepError:
+    """One sample that kept failing after its retry budget."""
+
+    index: int
+    sample_md5: str
+    error_type: str
+    message: str
+    traceback: str
+    worker_pid: int
+    retry_count: int
+
+    def __str__(self) -> str:
+        return (f"sample {self.sample_md5} (#{self.index}): "
+                f"{self.error_type}: {self.message} "
+                f"[worker {self.worker_pid}, {self.retry_count} retries]")
+
+
+@dataclasses.dataclass
+class PairEnvelope:
+    """One successful pair execution, ready to cross a process boundary."""
+
+    index: int
+    outcome: "PairOutcome"
+    stats: SweepStats
+
+    def detached(self) -> "PairEnvelope":
+        """A copy with machine/controller references stripped.
+
+        Everything the experiments consume — traces, run results, root
+        pids, the comparison verdict — survives; only the live simulation
+        objects are dropped.
+        """
+        outcome = dataclasses.replace(
+            self.outcome,
+            without=dataclasses.replace(self.outcome.without,
+                                        machine=None, controller=None),
+            with_scarecrow=dataclasses.replace(self.outcome.with_scarecrow,
+                                               machine=None,
+                                               controller=None))
+        return dataclasses.replace(self, outcome=outcome)
+
+
+SweepEntry = Union[PairEnvelope, SweepError]
+
+
+def build_envelope(index: int, outcome: "PairOutcome", retry_count: int,
+                   wall_time_s: float) -> PairEnvelope:
+    """Wrap a finished pair with its execution statistics."""
+    controller = outcome.with_scarecrow.controller
+    fingerprint_events = (len(controller.fingerprint_events())
+                          if controller is not None else 0)
+    checks = (len(outcome.without.result.checks_evaluated) +
+              len(outcome.with_scarecrow.result.checks_evaluated))
+    trace_events = (len(outcome.without.trace) +
+                    len(outcome.with_scarecrow.trace))
+    stats = SweepStats(
+        sample_md5=outcome.sample.md5, index=index,
+        worker_pid=os.getpid(), retry_count=retry_count,
+        wall_time_s=wall_time_s, fingerprint_events=fingerprint_events,
+        checks_evaluated=checks, trace_events=trace_events)
+    return PairEnvelope(index=index, outcome=outcome, stats=stats)

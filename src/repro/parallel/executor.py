@@ -1,0 +1,85 @@
+"""Executor selection: process pool when possible, in-process otherwise.
+
+The sweep engine runs on a real :class:`concurrent.futures.ProcessPoolExecutor`
+when more than one worker is requested and the platform supports ``fork``
+(the start method whose copy-on-write semantics make worker bring-up cheap
+and deterministic). ``max_workers=1`` — and any platform without ``fork`` —
+gets :class:`SerialExecutor`, an in-process stand-in with the same
+``submit``/``shutdown`` surface, so callers never branch.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from typing import Any, Callable, Optional
+
+
+class ImmediateFuture:
+    """Future-alike whose work ran eagerly at submit time.
+
+    With ``roundtrip`` the result is passed through ``pickle`` exactly as a
+    process-pool result pipe would — the in-process fallback then emits
+    byte-identical payloads to the pool path (object-identity sharing inside
+    results is broken the same way on both).
+    """
+
+    def __init__(self, fn: Callable[..., Any], args: tuple,
+                 roundtrip: bool = False) -> None:
+        self._exception: Optional[BaseException] = None
+        self._result: Any = None
+        try:
+            result = fn(*args)
+            if roundtrip:
+                result = pickle.loads(pickle.dumps(result))
+            self._result = result
+        except BaseException as exc:  # parity with Future.result()
+            self._exception = exc
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None
+                  ) -> Optional[BaseException]:
+        return self._exception
+
+    def done(self) -> bool:
+        return True
+
+
+class SerialExecutor:
+    """In-process fallback with the executor surface the sweep uses.
+
+    An optional ``initializer`` runs once at construction, mirroring the
+    process-pool initializer protocol, so the worker module's state setup
+    is identical on both paths.
+    """
+
+    def __init__(self, initializer: Optional[Callable[..., None]] = None,
+                 initargs: tuple = (), roundtrip: bool = True) -> None:
+        self._roundtrip = roundtrip
+        if initializer is not None:
+            initializer(*initargs)
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> ImmediateFuture:
+        return ImmediateFuture(fn, args, roundtrip=self._roundtrip)
+
+    def shutdown(self, wait: bool = True, **_kwargs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.shutdown()
+
+
+def fork_available() -> bool:
+    """True when the deterministic ``fork`` start method exists."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def should_use_process_pool(max_workers: int) -> bool:
+    return max_workers > 1 and fork_available()

@@ -1,0 +1,101 @@
+"""Named machine-factory registry for the parallel sweep engine.
+
+Worker processes cannot receive closures: a pool worker rebuilds its
+:class:`~repro.winsim.machine.Machine` either from a *named* factory
+(resolved inside the worker after import, so nothing but the short name
+crosses the process boundary) or from a picklable module-level callable.
+
+The built-in names cover every environment the experiments use; call
+:func:`register_machine_factory` to add project-specific ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Union
+
+from ..winsim.machine import Machine
+
+MachineFactory = Callable[[], Machine]
+#: A factory reference: a registered name or a picklable callable.
+FactorySpec = Union[str, MachineFactory]
+
+_REGISTRY: Dict[str, MachineFactory] = {}
+
+
+def register_machine_factory(name: str, factory: MachineFactory,
+                             replace: bool = False) -> None:
+    """Register ``factory`` under ``name`` for use across worker processes.
+
+    Registration happens at import time of the defining module, so worker
+    processes (which import this package afresh) see the same names.
+    """
+    if not replace and name in _REGISTRY and _REGISTRY[name] is not factory:
+        raise ValueError(f"machine factory {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def resolve_machine_factory(spec: FactorySpec) -> MachineFactory:
+    """Turn a factory spec (name or callable) into a callable."""
+    if callable(spec):
+        return spec
+    _ensure_builtins()
+    try:
+        return _REGISTRY[spec]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine factory {spec!r}; known: "
+            f"{', '.join(available_factories())}") from None
+
+
+def available_factories() -> List[str]:
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+# -- built-in factories --------------------------------------------------------
+
+def _bare_metal() -> Machine:
+    from ..analysis.environments import build_bare_metal_sandbox
+    return build_bare_metal_sandbox()
+
+
+def _bare_metal_light() -> Machine:
+    """The Figure 4 factory: bare metal without the aging pass (faster)."""
+    from ..analysis.environments import build_bare_metal_sandbox
+    return build_bare_metal_sandbox(aged=False)
+
+
+def _cuckoo_vm() -> Machine:
+    from ..analysis.environments import build_cuckoo_vm_sandbox
+    return build_cuckoo_vm_sandbox()
+
+
+def _cuckoo_vm_transparent() -> Machine:
+    from ..analysis.environments import build_cuckoo_vm_sandbox
+    return build_cuckoo_vm_sandbox(transparent=True)
+
+
+def _end_user() -> Machine:
+    from ..analysis.environments import build_end_user_machine
+    return build_end_user_machine()
+
+
+def _end_user_with_documents() -> Machine:
+    """The case-study factory: an end-user host with documents at risk."""
+    from ..experiments.casestudies import _end_user_factory
+    return _end_user_factory()
+
+
+_BUILTINS = {
+    "bare-metal": _bare_metal,
+    "bare-metal-light": _bare_metal_light,
+    "cuckoo-vm": _cuckoo_vm,
+    "cuckoo-vm-transparent": _cuckoo_vm_transparent,
+    "end-user": _end_user,
+    "end-user-documents": _end_user_with_documents,
+}
+
+
+def _ensure_builtins() -> None:
+    for name, factory in _BUILTINS.items():
+        _REGISTRY.setdefault(name, factory)

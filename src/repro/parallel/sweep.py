@@ -1,0 +1,217 @@
+"""`ParallelSweep` — the corpus execution engine.
+
+Shards ``(sample, config)`` pairs across a process pool (or the in-process
+fallback), reassembles results in submission order, and degrades
+gracefully: a sample whose execution keeps failing becomes a structured
+:class:`~repro.parallel.envelope.SweepError` entry instead of aborting the
+sweep. With one shared read-only deception database snapshot per pool and
+one fresh machine per run, parallel output is byte-identical to the serial
+path.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import pickle
+import time
+import traceback
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from ..core.database import DeceptionDatabase
+from ..core.profiles import ScarecrowConfig
+from ..malware.sample import EvasiveSample
+from .envelope import PairEnvelope, SweepEntry, SweepError, SweepStats
+from .executor import SerialExecutor, should_use_process_pool
+from .factories import FactorySpec, resolve_machine_factory
+from .worker import (PairJob, TaskJob, TaskResult, execute_pair_job,
+                     execute_task_job, initialize_worker)
+
+#: Default machine factory — matches ``run_pair``'s historical default
+#: (:func:`repro.analysis.environments.build_bare_metal_sandbox`).
+DEFAULT_FACTORY = "bare-metal"
+
+
+class SweepExecutionError(RuntimeError):
+    """Raised by :meth:`SweepResult.outcomes_or_raise` when entries failed."""
+
+    def __init__(self, errors: List[SweepError]) -> None:
+        super().__init__(
+            f"{len(errors)} sample(s) failed: " +
+            "; ".join(str(error) for error in errors[:3]) +
+            ("..." if len(errors) > 3 else ""))
+        self.errors = errors
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Entries in submission order, plus sweep-level metadata."""
+
+    entries: List[SweepEntry]
+    max_workers: int
+    used_process_pool: bool
+    wall_time_s: float
+
+    @property
+    def outcomes(self) -> List["PairOutcome"]:
+        """Successful outcomes, submission-ordered."""
+        return [entry.outcome for entry in self.entries
+                if isinstance(entry, PairEnvelope)]
+
+    @property
+    def errors(self) -> List[SweepError]:
+        return [entry for entry in self.entries
+                if isinstance(entry, SweepError)]
+
+    @property
+    def stats(self) -> List[SweepStats]:
+        return [entry.stats for entry in self.entries
+                if isinstance(entry, PairEnvelope)]
+
+    @property
+    def comparisons(self) -> List["ComparisonResult"]:
+        return [outcome.comparison for outcome in self.outcomes]
+
+    def outcomes_or_raise(self) -> List["PairOutcome"]:
+        errors = self.errors
+        if errors:
+            raise SweepExecutionError(errors)
+        return self.outcomes
+
+    def total_retries(self) -> int:
+        return sum(s.retry_count for s in self.stats) + \
+            sum(e.retry_count for e in self.errors)
+
+
+class ParallelSweep:
+    """Worker-pool corpus executor with deterministic, ordered output.
+
+    ``machine_factory`` is a registered factory name (see
+    :mod:`repro.parallel.factories`) or a picklable module-level callable;
+    closures only work on the in-process path and are rejected up front
+    when a process pool would be used.
+    """
+
+    def __init__(self, max_workers: int = 1,
+                 machine_factory: Optional[FactorySpec] = None,
+                 database: Optional[DeceptionDatabase] = None,
+                 config: Optional[ScarecrowConfig] = None,
+                 max_retries: int = 1) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self.machine_factory = machine_factory or DEFAULT_FACTORY
+        self.database = database
+        self.config = config
+        self.max_retries = max_retries
+
+    def run(self, samples: Sequence[EvasiveSample]) -> SweepResult:
+        """Execute every sample pair; results come back submission-ordered."""
+        start = time.perf_counter()
+        jobs = [PairJob(index, sample, self.max_retries)
+                for index, sample in enumerate(samples)]
+        database = self.database or DeceptionDatabase()
+        snapshot = database.snapshot()
+        config = self.config
+        use_pool = should_use_process_pool(self.max_workers)
+        if use_pool:
+            self._require_picklable_factory()
+        else:
+            # Replicate the pool's *submission* pipe: pool workers receive
+            # deserialized jobs and initializer state, whose strings are
+            # distinct objects from the module literals the run produces.
+            # Round-tripping here keeps serial output byte-identical to the
+            # pool path. (The factory spec is exempt so in-process sweeps
+            # can still use closures.)
+            snapshot, config, jobs = pickle.loads(
+                pickle.dumps((snapshot, config, jobs)))
+        initargs = (self.machine_factory, snapshot, config)
+        entries = _run_jobs(jobs, execute_pair_job, initargs,
+                            self.max_workers if use_pool else 1)
+        return SweepResult(entries=entries, max_workers=self.max_workers,
+                           used_process_pool=use_pool,
+                           wall_time_s=time.perf_counter() - start)
+
+    def _require_picklable_factory(self) -> None:
+        resolve_machine_factory(self.machine_factory)  # fail fast on names
+        try:
+            pickle.dumps(self.machine_factory)
+        except Exception as exc:
+            raise ValueError(
+                "machine_factory is not picklable for the process pool; "
+                "register it via repro.parallel.register_machine_factory "
+                "and pass its name instead") from exc
+
+
+def _run_jobs(jobs: Sequence[Any], worker_fn: Callable[[Any], Any],
+              initargs: Optional[tuple], workers: int) -> List[Any]:
+    """Submit jobs to the chosen executor; collect in submission order.
+
+    Executor-level failures (broken pool, unpicklable payloads) degrade to
+    per-job :class:`SweepError`/:class:`TaskResult` entries so one bad job
+    cannot sink the sweep.
+    """
+    if workers > 1:
+        import multiprocessing
+        executor: Any = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("fork"),
+            initializer=initialize_worker if initargs else None,
+            initargs=initargs or ())
+    else:
+        executor = SerialExecutor(
+            initializer=initialize_worker if initargs else None,
+            initargs=initargs or ())
+    entries: List[Any] = []
+    with executor:
+        futures = [executor.submit(worker_fn, job) for job in jobs]
+        for job, future in zip(jobs, futures):
+            try:
+                entries.append(future.result())
+            except Exception as exc:
+                entries.append(_executor_failure(job, exc))
+    return entries
+
+
+def _executor_failure(job: Any, exc: Exception) -> Any:
+    """Wrap an executor-level failure for one job."""
+    error = SweepError(
+        index=job.index,
+        sample_md5=getattr(getattr(job, "sample", None), "md5",
+                           getattr(job, "label", "?")),
+        error_type=type(exc).__name__, message=str(exc),
+        traceback=traceback.format_exc(), worker_pid=-1, retry_count=0)
+    if isinstance(job, TaskJob):
+        return TaskResult(index=job.index, label=job.label, error=error)
+    return error
+
+
+# -- generic independent-task engine ------------------------------------------
+
+TaskSpec = Tuple[str, Callable[..., Any], Tuple[Any, ...]]
+
+
+def run_tasks(tasks: Sequence[TaskSpec], max_workers: int = 1,
+              max_retries: int = 1) -> List[TaskResult]:
+    """Run independent ``(label, fn, args)`` tasks, ordered like ``tasks``.
+
+    The generic sibling of :class:`ParallelSweep` for experiment cells that
+    are not sample pairs (Table II's environment×config matrix, Table III's
+    per-machine measurements). ``fn`` must be a module-level callable when
+    more than one worker is requested.
+    """
+    jobs = [TaskJob(index, label, fn, tuple(args), max_retries)
+            for index, (label, fn, args) in enumerate(tasks)]
+    workers = max_workers if should_use_process_pool(max_workers) else 1
+    return _run_jobs(jobs, execute_task_job, None, workers)
+
+
+def run_tasks_or_raise(tasks: Sequence[TaskSpec], max_workers: int = 1,
+                       max_retries: int = 1) -> List[Any]:
+    """Like :func:`run_tasks` but unwraps values, raising on any failure."""
+    results = run_tasks(tasks, max_workers=max_workers,
+                        max_retries=max_retries)
+    errors = [r.error for r in results if r.error is not None]
+    if errors:
+        raise SweepExecutionError(errors)
+    return [r.value for r in results]

@@ -1,0 +1,135 @@
+"""Worker-side execution of sweep jobs.
+
+Each pool worker holds its own machine factory, a read-only
+:class:`~repro.core.database.FrozenDeceptionDatabase` rehydrated from the
+snapshot the parent shipped through the pool initializer, and the shared
+:class:`~repro.core.profiles.ScarecrowConfig`. Jobs retry in place (same
+worker, same deserialized sample) up to their retry budget before turning
+into a :class:`~repro.parallel.envelope.SweepError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+import traceback
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..core.database import (DatabaseSnapshot, DeceptionDatabase,
+                             FrozenDeceptionDatabase)
+from ..core.profiles import ScarecrowConfig
+from ..malware.sample import EvasiveSample
+from .envelope import SweepEntry, SweepError, build_envelope
+from .factories import FactorySpec, MachineFactory, resolve_machine_factory
+
+#: Per-process worker state, filled by :func:`initialize_worker`.
+_STATE: Dict[str, Any] = {}
+
+
+@dataclasses.dataclass
+class PairJob:
+    """One (sample, submission index) unit of sweep work."""
+
+    index: int
+    sample: EvasiveSample
+    max_retries: int = 1
+
+
+def initialize_worker(factory_spec: FactorySpec,
+                      db_snapshot: DatabaseSnapshot,
+                      config: Optional[ScarecrowConfig]) -> None:
+    """Pool/serial initializer: build this worker's private fixtures."""
+    _STATE["factory"] = resolve_machine_factory(factory_spec)
+    _STATE["database"] = FrozenDeceptionDatabase.from_snapshot(db_snapshot)
+    _STATE["config"] = config
+
+
+def reset_worker() -> None:
+    """Drop initializer state (test hook)."""
+    _STATE.clear()
+
+
+def execute_pair_job(job: PairJob) -> SweepEntry:
+    """Entry point the executors submit; relies on initializer state."""
+    return run_pair_job(job, _STATE["factory"], _STATE["database"],
+                        _STATE["config"])
+
+
+def run_pair_job(job: PairJob, factory: MachineFactory,
+                 database: DeceptionDatabase,
+                 config: Optional[ScarecrowConfig]) -> SweepEntry:
+    """Run one pair with in-worker retry; never raises."""
+    from ..experiments.runner import run_pair
+    start = time.perf_counter()
+    retries = 0
+    while True:
+        try:
+            outcome = run_pair(job.sample, factory, database, config)
+            break
+        except Exception as exc:
+            if retries >= job.max_retries:
+                return SweepError(
+                    index=job.index, sample_md5=job.sample.md5,
+                    error_type=type(exc).__name__, message=str(exc),
+                    traceback=traceback.format_exc(),
+                    worker_pid=os.getpid(), retry_count=retries)
+            retries += 1
+    envelope = build_envelope(job.index, outcome, retries,
+                              time.perf_counter() - start)
+    return envelope.detached()
+
+
+# -- generic task workers (table2/table3-style independent cells) -------------
+
+@dataclasses.dataclass
+class TaskJob:
+    """One independent callable: module-level ``fn(*args)``."""
+
+    index: int
+    label: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    max_retries: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskResult:
+    """Ordered result of one task; ``error`` is set instead of raising."""
+
+    index: int
+    label: str
+    value: Any = None
+    error: Optional[SweepError] = None
+    worker_pid: int = -1
+    retry_count: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def execute_task_job(job: TaskJob) -> TaskResult:
+    """Run one independent task with in-worker retry; never raises."""
+    start = time.perf_counter()
+    retries = 0
+    while True:
+        try:
+            value = job.fn(*job.args)
+            break
+        except Exception as exc:
+            if retries >= job.max_retries:
+                return TaskResult(
+                    index=job.index, label=job.label,
+                    error=SweepError(
+                        index=job.index, sample_md5=job.label,
+                        error_type=type(exc).__name__, message=str(exc),
+                        traceback=traceback.format_exc(),
+                        worker_pid=os.getpid(), retry_count=retries),
+                    worker_pid=os.getpid(), retry_count=retries,
+                    wall_time_s=time.perf_counter() - start)
+            retries += 1
+    return TaskResult(index=job.index, label=job.label, value=value,
+                      worker_pid=os.getpid(), retry_count=retries,
+                      wall_time_s=time.perf_counter() - start)

@@ -1,0 +1,147 @@
+"""Property-based invariants for database snapshot/freeze (hypothesis).
+
+The parallel sweep engine ships one :class:`DatabaseSnapshot` per worker
+pool and rehydrates a :class:`FrozenDeceptionDatabase` inside each worker.
+Two properties keep that safe:
+
+* arbitrary interleavings of *reads* on a frozen snapshot never mutate the
+  parent database, and
+* a frozen snapshot pickles/unpickles to an equal object (the pool pipe is
+  lossless).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (DeceptionDatabase, FrozenDatabaseError,
+                        FrozenDeceptionDatabase)
+
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_", min_size=1, max_size=10)
+_profiles = st.sampled_from(
+    ["vmware", "vbox", "cuckoo", "debugger", "forensic", "sandbox-generic"])
+
+#: One mutation of the parent database: (method, args-builder).
+_mutations = st.one_of(
+    st.tuples(st.just("add_file"),
+              st.tuples(_names.map(lambda n: f"C:\\extra\\{n}.sys"),
+                        _profiles)),
+    st.tuples(st.just("add_folder"),
+              st.tuples(_names.map(lambda n: f"C:\\extra\\{n}"), _profiles)),
+    st.tuples(st.just("add_process"),
+              st.tuples(_names.map(lambda n: f"{n}.exe"), _profiles)),
+    st.tuples(st.just("add_library"),
+              st.tuples(_names.map(lambda n: f"{n}.dll"), _profiles)),
+    st.tuples(st.just("add_registry_key"),
+              st.tuples(_names.map(lambda n: f"HKEY_LOCAL_MACHINE\\SOFTWARE\\{n}"),
+                        _profiles)),
+    st.tuples(st.just("add_device"),
+              st.tuples(_names.map(lambda n: f"\\\\.\\{n}"), _profiles)),
+    st.tuples(st.just("add_mutex"), st.tuples(_names, _profiles)),
+)
+
+#: One read against a database: (method, args).
+_reads = st.one_of(
+    st.tuples(st.just("lookup_file"),
+              st.tuples(st.one_of(
+                  _names.map(lambda n: f"C:\\probe\\{n}"),
+                  st.just("C:\\Windows\\System32\\drivers\\vmmouse.sys")))),
+    st.tuples(st.just("lookup_process"),
+              st.tuples(st.one_of(_names, st.just("vmtoolsd.exe")))),
+    st.tuples(st.just("lookup_library"),
+              st.tuples(st.one_of(_names, st.just("SbieDll.dll")))),
+    st.tuples(st.just("lookup_registry_key"),
+              st.tuples(st.one_of(
+                  _names.map(lambda n: f"HKEY_LOCAL_MACHINE\\{n}"),
+                  st.just("HKEY_CURRENT_USER\\Software\\Wine")))),
+    st.tuples(st.just("lookup_device"),
+              st.tuples(_names.map(lambda n: f"\\\\.\\{n}"))),
+    st.tuples(st.just("lookup_mutex"),
+              st.tuples(st.one_of(_names, st.just("Frz_State")))),
+    st.tuples(st.just("lookup_window"),
+              st.tuples(st.just("OLLYDBG"), st.none())),
+    st.tuples(st.just("registry_values_for_key"),
+              st.tuples(st.just(
+                  "HKEY_LOCAL_MACHINE\\HARDWARE\\Description\\System"))),
+    st.tuples(st.just("registry_subkeys_for_key"),
+              st.tuples(st.just("HKEY_LOCAL_MACHINE\\SOFTWARE"))),
+    st.tuples(st.just("protected_process_names"), st.tuples()),
+    st.tuples(st.just("deceptive_process_names"), st.tuples()),
+    st.tuples(st.just("counts"), st.tuples()),
+)
+
+
+def _apply(database, calls):
+    for method, args in calls:
+        getattr(database, method)(*args)
+
+
+class TestFrozenReadsNeverMutateParent:
+    @given(mutations=st.lists(_mutations, max_size=8),
+           reads=st.lists(_reads, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_read_interleavings_leave_parent_untouched(self, mutations,
+                                                       reads):
+        parent = DeceptionDatabase()
+        _apply(parent, mutations)
+        before = parent.snapshot()
+        frozen = parent.freeze()
+        for method, args in reads:
+            getattr(frozen, method)(*args)
+        assert parent.snapshot() == before
+        assert parent == DeceptionDatabase.from_snapshot(before)
+
+    @given(mutations=st.lists(_mutations, min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_parent_mutations_never_reach_the_frozen_copy(self, mutations):
+        parent = DeceptionDatabase()
+        frozen = parent.freeze()
+        reference = parent.snapshot()
+        _apply(parent, mutations)
+        assert frozen.snapshot() == reference
+
+    @given(mutation=_mutations)
+    @settings(max_examples=30, deadline=None)
+    def test_every_mutator_raises_on_frozen(self, mutation):
+        frozen = DeceptionDatabase().freeze()
+        method, args = mutation
+        before = frozen.snapshot()
+        with pytest.raises(FrozenDatabaseError):
+            getattr(frozen, method)(*args)
+        assert frozen.snapshot() == before
+
+
+class TestSnapshotPickleFidelity:
+    @given(mutations=st.lists(_mutations, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_frozen_snapshot_pickles_to_equal_object(self, mutations):
+        parent = DeceptionDatabase()
+        _apply(parent, mutations)
+        frozen = parent.freeze()
+        clone = pickle.loads(pickle.dumps(frozen))
+        assert isinstance(clone, FrozenDeceptionDatabase)
+        assert clone == frozen
+        assert clone.snapshot() == frozen.snapshot()
+        with pytest.raises(FrozenDatabaseError):
+            clone.add_mutex("post_pickle", "sandbox-generic")
+
+    @given(mutations=st.lists(_mutations, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_snapshot_roundtrip_preserves_equality(self, mutations):
+        parent = DeceptionDatabase()
+        _apply(parent, mutations)
+        snapshot = pickle.loads(pickle.dumps(parent.snapshot()))
+        rebuilt = DeceptionDatabase.from_snapshot(snapshot)
+        assert rebuilt == parent
+        assert rebuilt.counts() == parent.counts()
+
+    def test_thaw_restores_mutability(self):
+        frozen = DeceptionDatabase().freeze()
+        thawed = frozen.thaw()
+        assert type(thawed) is DeceptionDatabase
+        thawed.add_file("C:\\extra\\post_thaw.sys", "vmware")
+        assert thawed.lookup_file("C:\\extra\\post_thaw.sys") is not None
+        assert frozen.lookup_file("C:\\extra\\post_thaw.sys") is None

@@ -1,0 +1,83 @@
+"""The tentpole's keystone: parallel sweeps are byte-identical to serial.
+
+A 12-sample corpus (spanning every archetype class: respawners, terminators,
+sleepers, failures, selfdel) runs through the legacy serial path and through
+:class:`repro.parallel.ParallelSweep` at ``max_workers=1``, 2 and 4; the
+ordered :class:`ComparisonResult` sequences must agree verdict for verdict —
+and, pickled, byte for byte.
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments.runner import run_pairs
+from repro.malware.corpus import build_malgene_corpus
+from repro.malware.families import FamilySpec
+from repro.parallel import ParallelSweep
+
+#: 12 samples covering deactivatable, failing and inconclusive archetypes.
+MIXED_SPEC = FamilySpec("Mixed", (("spawn_idp", 4), ("term_vm", 3),
+                                  ("sleep_sbx", 2), ("fail_peb", 2),
+                                  ("selfdel", 1)))
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    samples = build_malgene_corpus([MIXED_SPEC])
+    assert len(samples) == 12
+    return samples
+
+
+@pytest.fixture(scope="module")
+def serial_outcomes(corpus):
+    return run_pairs(corpus)
+
+
+@pytest.fixture(scope="module")
+def serial_comparisons(serial_outcomes):
+    return [outcome.comparison for outcome in serial_outcomes]
+
+
+def _sweep_outcomes(corpus, max_workers):
+    result = ParallelSweep(max_workers=max_workers).run(corpus)
+    assert not result.errors, result.errors
+    return result.outcomes
+
+
+class TestDeterminism:
+    def test_single_worker_pool_matches_serial_path(self, corpus,
+                                                    serial_outcomes):
+        parallel = _sweep_outcomes(corpus, max_workers=1)
+        assert [o.comparison for o in parallel] == \
+            [o.comparison for o in serial_outcomes]
+        # The engine's hard guarantee: *full outcomes* — samples, run
+        # records, traces, comparisons — pickle to the same bytestring.
+        # (Byte equality is the strongest check available: payloads
+        # compare by identity, so whole-outcome ``==`` across runs is
+        # meaningless, but their pickled form is pure value.)
+        assert pickle.dumps(parallel) == pickle.dumps(serial_outcomes)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_multi_worker_pool_matches_serial_path(self, corpus,
+                                                   serial_outcomes,
+                                                   workers):
+        parallel = _sweep_outcomes(corpus, max_workers=workers)
+        assert [o.comparison for o in parallel] == \
+            [o.comparison for o in serial_outcomes]
+        assert pickle.dumps(parallel) == pickle.dumps(serial_outcomes)
+
+    def test_order_follows_submission_order(self, corpus):
+        result = ParallelSweep(max_workers=1).run(corpus)
+        assert [o.sample.md5 for o in result.outcomes] == \
+            [s.md5 for s in corpus]
+        assert [s.index for s in result.stats] == list(range(len(corpus)))
+
+    def test_verdict_counts_survive_parallelism(self, corpus,
+                                                serial_comparisons):
+        """Aggregates (the Figure 4 numbers) agree with the serial path."""
+        from repro.analysis.comparison import summarize
+        parallel = [o.comparison
+                    for o in _sweep_outcomes(corpus, max_workers=1)]
+        assert summarize(parallel) == summarize(serial_comparisons)

@@ -1,0 +1,124 @@
+"""Fault injection: the sweep degrades gracefully instead of aborting.
+
+A sample whose ``run()`` raises becomes a structured
+:class:`~repro.parallel.SweepError` (sample id + traceback) while the rest
+of the corpus completes; a transient failure that succeeds on retry is
+recorded with ``retry_count == 1``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.malware.corpus import build_malgene_corpus
+from repro.malware.families import FamilySpec
+from repro.malware.sample import EvasiveSample
+from repro.parallel import ParallelSweep, SweepError, SweepExecutionError
+
+SPEC = FamilySpec("Mixed", (("term_vm", 2), ("sleep_sbx", 1)))
+
+
+class AlwaysFailingSample(EvasiveSample):
+    """`run()` raises every time — the permanent-failure case."""
+
+    def run(self, machine, process):
+        raise RuntimeError("injected permanent failure")
+
+
+class FlakyOnceSample(EvasiveSample):
+    """`run()` raises on the first call only — the transient case.
+
+    The failure flag lives on the instance, so the in-worker retry (which
+    re-runs the same deserialized sample in the same worker) sees it.
+    """
+
+    def run(self, machine, process):
+        if not self.__dict__.get("_already_failed"):
+            self.__dict__["_already_failed"] = True
+            raise OSError("injected transient failure")
+        return super().run(machine, process)
+
+
+def _recast(sample, cls):
+    fields = {f.name: getattr(sample, f.name)
+              for f in dataclasses.fields(EvasiveSample)}
+    return cls(**fields)
+
+
+def _corpus_with_fault(cls, position=1):
+    samples = build_malgene_corpus([SPEC])
+    samples[position] = _recast(samples[position], cls)
+    return samples
+
+
+class TestPermanentFailure:
+    def test_failure_becomes_sweep_error_and_rest_completes(self):
+        samples = _corpus_with_fault(AlwaysFailingSample)
+        result = ParallelSweep(max_workers=1).run(samples)
+        assert len(result.errors) == 1
+        error = result.errors[0]
+        assert isinstance(error, SweepError)
+        assert error.sample_md5 == samples[1].md5
+        assert error.error_type == "RuntimeError"
+        assert "injected permanent failure" in error.traceback
+        assert error.retry_count == 1  # retried once, then gave up
+        # The two healthy samples still completed, in submission order.
+        assert [o.sample.md5 for o in result.outcomes] == \
+            [samples[0].md5, samples[2].md5]
+
+    def test_outcomes_or_raise_reports_failures(self):
+        samples = _corpus_with_fault(AlwaysFailingSample)
+        result = ParallelSweep(max_workers=1).run(samples)
+        with pytest.raises(SweepExecutionError) as excinfo:
+            result.outcomes_or_raise()
+        assert samples[1].md5 in str(excinfo.value)
+        assert excinfo.value.errors == result.errors
+
+    @pytest.mark.slow
+    def test_failure_in_process_pool_does_not_sink_sweep(self):
+        samples = _corpus_with_fault(AlwaysFailingSample)
+        result = ParallelSweep(max_workers=2).run(samples)
+        assert result.used_process_pool
+        assert [e.sample_md5 for e in result.errors] == [samples[1].md5]
+        assert "injected permanent failure" in result.errors[0].traceback
+        assert len(result.outcomes) == 2
+
+    def test_run_pairs_raises_like_the_historical_serial_path(self):
+        from repro.experiments.runner import run_pairs
+        with pytest.raises(SweepExecutionError):
+            run_pairs(_corpus_with_fault(AlwaysFailingSample))
+
+
+class TestRetry:
+    def test_transient_failure_recovers_with_retry_count_one(self):
+        samples = _corpus_with_fault(FlakyOnceSample)
+        result = ParallelSweep(max_workers=1).run(samples)
+        assert not result.errors
+        by_md5 = {s.sample_md5: s for s in result.stats}
+        assert by_md5[samples[1].md5].retry_count == 1
+        assert by_md5[samples[0].md5].retry_count == 0
+        assert by_md5[samples[2].md5].retry_count == 0
+        assert result.total_retries() == 1
+
+    def test_flaky_verdict_matches_healthy_run(self):
+        """A retried sample's verdict equals the never-failing baseline."""
+        healthy = build_malgene_corpus([SPEC])
+        baseline = ParallelSweep(max_workers=1).run(healthy)
+        flaky = ParallelSweep(max_workers=1).run(
+            _corpus_with_fault(FlakyOnceSample))
+        assert flaky.comparisons == baseline.comparisons
+
+    @pytest.mark.slow
+    def test_transient_failure_recovers_in_process_pool(self):
+        samples = _corpus_with_fault(FlakyOnceSample)
+        result = ParallelSweep(max_workers=2).run(samples)
+        assert result.used_process_pool
+        assert not result.errors
+        by_md5 = {s.sample_md5: s for s in result.stats}
+        assert by_md5[samples[1].md5].retry_count == 1
+
+    def test_zero_retries_budget_fails_fast(self):
+        samples = _corpus_with_fault(FlakyOnceSample)
+        result = ParallelSweep(max_workers=1, max_retries=0).run(samples)
+        assert [e.sample_md5 for e in result.errors] == [samples[1].md5]
+        assert result.errors[0].retry_count == 0

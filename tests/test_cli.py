@@ -64,3 +64,42 @@ class TestCommands:
         out = capsys.readouterr().out
         # Table II's VM w/-Scarecrow column: 1+0+9+2+1+2+14+4+1+1+0 = 35.
         assert "triggered 35/56" in out
+
+
+class TestSweepCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workers == 1
+        assert args.limit == 0
+        assert args.factory == "bare-metal-light"
+        assert args.families is None
+
+    def test_sweep_prints_summary(self, capsys):
+        assert main(["sweep", "--families", "Bifrose", "--limit", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 8 samples, 1 worker(s) (in-process)" in out
+        assert "factory=bare-metal-light" in out
+        assert "deactivated:" in out
+        assert "worker pids: 1 distinct" in out
+
+    def test_sweep_family_filter_is_case_insensitive(self, capsys):
+        assert main(["sweep", "--families", "selfdel",
+                     "--limit", "2"]) == 0
+        assert "sweep: 2 samples" in capsys.readouterr().out
+
+    def test_sweep_unknown_family_fails(self, capsys):
+        assert main(["sweep", "--families", "NoSuchFamily"]) == 2
+        assert "unknown families: nosuchfamily" in capsys.readouterr().err
+
+    def test_sweep_unknown_factory_fails_cleanly(self, capsys):
+        assert main(["sweep", "--families", "Selfdel", "--limit", "1",
+                     "--factory", "no-such-env"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown machine factory 'no-such-env'" in err
+        assert "bare-metal" in err  # lists the alternatives
+
+    @pytest.mark.parametrize("argv", [["--workers", "0"],
+                                      ["--limit", "-3"]])
+    def test_sweep_rejects_bad_numbers(self, argv, capsys):
+        assert main(["sweep", "--families", "Selfdel"] + argv) == 2
+        assert "must be >=" in capsys.readouterr().err

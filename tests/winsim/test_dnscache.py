@@ -1,0 +1,93 @@
+"""Direct unit tests for the resolver cache and its NXDOMAIN interplay."""
+
+from repro import winapi
+from repro.winsim import Machine
+from repro.winsim.dnscache import DnsCache, DnsCacheEntry
+
+
+def _api():
+    machine = Machine().boot()
+    process = machine.spawn_process("dns.exe", parent=machine.explorer)
+    return machine, winapi.bind(machine, process)
+
+
+class TestDnsCache:
+    def test_entries_are_ordered_most_recent_last(self):
+        cache = DnsCache()
+        cache.populate(["a.example", "b.example", "c.example"])
+        assert [e.name for e in cache.entries()] == \
+            ["a.example", "b.example", "c.example"]
+        assert cache.count() == 3
+
+    def test_re_resolving_moves_entry_to_most_recent(self):
+        cache = DnsCache()
+        cache.populate(["a.example", "b.example", "c.example"])
+        cache.add("a.example")
+        assert [e.name for e in cache.entries()] == \
+            ["b.example", "c.example", "a.example"]
+        assert cache.count() == 3  # moved, not duplicated
+
+    def test_names_are_case_folded(self):
+        cache = DnsCache()
+        cache.add("WWW.Example.COM")
+        cache.add("www.example.com")
+        assert cache.entries() == [DnsCacheEntry("www.example.com")]
+
+    def test_recent_returns_newest_slice(self):
+        cache = DnsCache()
+        cache.populate([f"host{i}.example" for i in range(6)])
+        assert [e.name for e in cache.recent(2)] == \
+            ["host4.example", "host5.example"]
+        assert cache.recent(0) == []
+        assert len(cache.recent(99)) == 6
+
+    def test_flush_and_snapshot_restore(self):
+        cache = DnsCache()
+        cache.populate(["a.example", "b.example"])
+        state = cache.snapshot()
+        cache.flush()
+        assert cache.count() == 0
+        cache.restore(state)
+        assert [e.name for e in cache.entries()] == ["a.example", "b.example"]
+
+
+class TestNxDomainSinkholing:
+    """The resolver-cache/sinkhole interplay the kill-switch checks probe."""
+
+    def test_nx_name_misses_cache_without_sinkhole(self):
+        machine, api = _api()
+        machine.network.nx_sinkhole_ip = None
+        assert api.DnsQuery_A("definitely-not-registered.invalid") is None
+        # NXDOMAIN answers are never cached.
+        assert api.DnsGetCacheDataTable() == \
+            [(e.name, e.record_type) for e in machine.dnscache.entries()]
+        assert "definitely-not-registered.invalid" not in \
+            [name for name, _ in api.DnsGetCacheDataTable()]
+
+    def test_sinkhole_answers_nx_names_and_caches_them(self):
+        machine, api = _api()
+        machine.network.nx_sinkhole_ip = "192.0.2.66"
+        ip = api.DnsQuery_A("definitely-not-registered.invalid")
+        assert ip == "192.0.2.66"
+        assert ("definitely-not-registered.invalid", 1) in \
+            api.DnsGetCacheDataTable()
+
+    def test_registered_domain_wins_over_sinkhole(self):
+        machine, api = _api()
+        machine.network.nx_sinkhole_ip = "192.0.2.66"
+        real = machine.network.register_domain("update.example.com")
+        assert api.DnsQuery_A("update.example.com") == real
+        assert real != "192.0.2.66"
+
+    def test_queries_are_logged_lowercased(self):
+        machine, api = _api()
+        api.DnsQuery_A("MiXeD.Example.COM")
+        assert machine.network.query_log[-1] == "mixed.example.com"
+
+    def test_flush_resolver_cache_empties_the_table(self):
+        machine, api = _api()
+        machine.network.nx_sinkhole_ip = "192.0.2.66"
+        api.DnsQuery_A("cached.invalid")
+        assert api.DnsGetCacheDataTable()
+        assert api.DnsFlushResolverCache() is True
+        assert api.DnsGetCacheDataTable() == []

@@ -1,0 +1,74 @@
+"""Direct unit tests for the simulated Windows event log."""
+
+import pytest
+
+from repro.winsim.eventlog import EventLog
+
+
+class TestAppend:
+    def test_record_ids_are_sequential_from_one(self):
+        log = EventLog()
+        first = log.append("Service Control Manager", 7036)
+        second = log.append("EventLog", 6005, timestamp_ms=1000)
+        assert (first.record_id, second.record_id) == (1, 2)
+        assert log.count() == 2
+        assert log.records()[0].source == "Service Control Manager"
+        assert second.timestamp_ms == 1000
+        assert second.level == "Information"
+
+    def test_default_channel_is_system(self):
+        assert EventLog().channel == "System"
+        assert EventLog("Application").channel == "Application"
+
+
+class TestExtendSynthetic:
+    def test_cycles_sources_and_spaces_timestamps(self):
+        log = EventLog()
+        log.extend_synthetic(5, ["A", "B"], start_ms=100, step_ms=10)
+        records = log.records()
+        assert [r.source for r in records] == ["A", "B", "A", "B", "A"]
+        assert [r.timestamp_ms for r in records] == [100, 110, 120, 130, 140]
+        assert [r.event_id for r in records] == [1000, 1001, 1002, 1003, 1004]
+
+    def test_event_ids_cycle_modulo_97(self):
+        log = EventLog()
+        log.extend_synthetic(98, ["src"])
+        records = log.records()
+        assert records[0].event_id == 1000
+        assert records[96].event_id == 1096
+        assert records[97].event_id == 1000  # wrapped
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog().extend_synthetic(10, [])
+
+    def test_zero_count_is_a_noop(self):
+        log = EventLog()
+        log.extend_synthetic(0, ["src"])
+        assert log.count() == 0
+
+
+class TestQueries:
+    def test_recent_returns_newest_slice(self):
+        log = EventLog()
+        log.extend_synthetic(10, ["src"])
+        recent = log.recent(3)
+        assert [r.record_id for r in recent] == [8, 9, 10]
+        assert log.recent(0) == []
+
+    def test_distinct_sources_full_and_windowed(self):
+        log = EventLog()
+        log.extend_synthetic(4, ["old-only"])
+        log.extend_synthetic(4, ["new-a", "new-b"])
+        assert log.distinct_sources() == {"old-only", "new-a", "new-b"}
+        # The last four records only cycle the two new sources.
+        assert log.distinct_sources(limit=4) == {"new-a", "new-b"}
+
+    def test_snapshot_restore_roundtrip(self):
+        log = EventLog("Security")
+        log.extend_synthetic(3, ["src"])
+        state = log.snapshot()
+        fresh = EventLog()
+        fresh.restore(state)
+        assert fresh.channel == "Security"
+        assert fresh.records() == log.records()

@@ -1,0 +1,58 @@
+"""Direct unit tests for the named-mutex namespace.
+
+Duplicate creation is the load-bearing behaviour: single-instance guards —
+and the vaccination baseline built on them — key off the
+``ERROR_ALREADY_EXISTS`` signal that ``create`` models by returning False.
+"""
+
+from repro.winsim.mutexes import MutexNamespace
+
+
+class TestCreate:
+    def test_first_create_succeeds_duplicate_signals_already_exists(self):
+        ns = MutexNamespace()
+        assert ns.create("Global\\MsWinZonesCacheCounterMutexA") is True
+        assert ns.create("Global\\MsWinZonesCacheCounterMutexA") is False
+        assert len(ns.names()) == 1
+
+    def test_duplicate_detection_is_case_insensitive(self):
+        ns = MutexNamespace()
+        assert ns.create("Frz_State") is True
+        assert ns.create("FRZ_STATE") is False
+
+    def test_global_and_local_prefixes_collapse_to_one_namespace(self):
+        ns = MutexNamespace()
+        assert ns.create("Global\\single-instance") is True
+        assert ns.create("Local\\single-instance") is False
+        assert ns.create("single-instance") is False
+        assert ns.exists("Global\\Single-Instance")
+
+    def test_duplicate_create_updates_display_name(self):
+        ns = MutexNamespace()
+        ns.create("Global\\Marker")
+        ns.create("Local\\MARKER")
+        assert ns.names() == ["Local\\MARKER"]
+
+
+class TestLifecycle:
+    def test_release_frees_the_name_for_recreation(self):
+        ns = MutexNamespace()
+        ns.create("Global\\Marker")
+        assert ns.release("marker") is True
+        assert not ns.exists("Global\\Marker")
+        assert ns.release("marker") is False  # already gone
+        assert ns.create("Global\\Marker") is True  # fresh again
+
+    def test_exists_on_empty_namespace(self):
+        assert MutexNamespace().exists("anything") is False
+
+    def test_snapshot_restore_roundtrip(self):
+        ns = MutexNamespace()
+        ns.create("Global\\A")
+        ns.create("B")
+        state = ns.snapshot()
+        ns.release("A")
+        fresh = MutexNamespace()
+        fresh.restore(state)
+        assert sorted(fresh.names()) == ["B", "Global\\A"]
+        assert fresh.exists("Local\\a")
