@@ -13,7 +13,12 @@ Commands:
 * ``inventory`` — print the deception database inventory;
 * ``sweep [--workers N] [--families F ...] [--limit N] [--factory NAME]``
   — run a corpus sweep on the parallel execution engine and print the
-  summary plus per-worker statistics (see docs/PARALLEL.md).
+  summary plus per-worker statistics (see docs/PARALLEL.md);
+* ``stats FILE`` — summarise a JSONL telemetry trace written by
+  ``--telemetry`` (see docs/OBSERVABILITY.md).
+
+Experiment commands (and ``sweep``) accept ``--telemetry PATH`` to record
+counters and latency histograms while they run and export them as JSONL.
 """
 
 from __future__ import annotations
@@ -207,7 +212,85 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"  ERROR {error.sample_md5}: {error.error_type}: "
               f"{error.message} (after {error.retry_count} retries)",
               file=sys.stderr)
+    _stash_sweep_telemetry(args, result)
     return 1 if result.errors else 0
+
+
+def _stash_sweep_telemetry(args: argparse.Namespace, result) -> None:
+    """Queue sweep-level records for :func:`main`'s ``--telemetry`` writer.
+
+    The merged envelope metrics already contain every job's activity, so
+    the writer skips its own registry-delta record when it finds a
+    ``metrics`` record here (avoiding double counting on the serial path,
+    where workers share the parent registry).
+    """
+    records = getattr(args, "_telemetry_records", None)
+    if records is None:
+        return
+    from .parallel import PairEnvelope
+    from .telemetry import export
+    merged = result.merged_metrics()
+    if merged is not None:
+        records.append(export.metrics_record(merged, scope="sweep"))
+    for entry in result.entries:
+        if isinstance(entry, PairEnvelope):
+            records.append(export.sample_record(
+                entry.stats,
+                verdict=entry.outcome.comparison.verdict.value))
+        else:
+            records.append(export.error_record(entry))
+
+
+def _render_latency_rows(title: str, rows) -> List[str]:
+    lines = [f"{title}:"]
+    if not rows:
+        lines.append("  (none)")
+        return lines
+    width = max(len(row[0]) for row in rows)
+    lines.append(f"  {'export'.ljust(width)}  {'calls':>8} {'p50_ns':>10} "
+                 f"{'p99_ns':>10} {'mean_ns':>12}")
+    for name, calls, p50, p99, mean in rows:
+        lines.append(f"  {name.ljust(width)}  {calls:>8} {p50:>10} "
+                     f"{p99:>10} {mean:>12.1f}")
+    return lines
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .telemetry.export import (TelemetryFormatError, read_records,
+                                   summarize_records)
+    try:
+        records = read_records(args.path)
+    except OSError as exc:
+        print(f"stats: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    except TelemetryFormatError as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize_records(records)
+    print(f"telemetry file: {args.path}")
+    counts = " ".join(f"{kind}={count}" for kind, count
+                      in sorted(summary.record_counts.items()))
+    print(f"records: {counts or '(empty)'}")
+    if summary.snapshot.counters:
+        print("counters:")
+        for name, value in sorted(summary.snapshot.counters.items()):
+            print(f"  {name}: {value}")
+    if summary.snapshot.gauges:
+        print("gauges:")
+        for name, value in sorted(summary.snapshot.gauges.items()):
+            print(f"  {name}: {value}")
+    for line in _render_latency_rows("api latency (virtual ns)",
+                                     summary.api_rows):
+        print(line)
+    for line in _render_latency_rows("hook handlers (virtual ns)",
+                                     summary.hook_rows):
+        print(line)
+    if summary.event_categories:
+        print("events by category: " + " ".join(
+            f"{category}={count}" for category, count
+            in sorted(summary.event_categories.items())))
+    print(f"samples: {summary.samples}  errors: {summary.errors}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -224,7 +307,9 @@ def build_parser() -> argparse.ArgumentParser:
             ("all", "everything above"),
             ("overhead", "hook-chain overhead measurement"),
             ("inventory", "deception database inventory")):
-        subparsers.add_parser(name, help=help_text)
+        sub = subparsers.add_parser(name, help=help_text)
+        if name != "inventory":
+            _add_telemetry_option(sub)
     demo = subparsers.add_parser("demo",
                                  help="run one sample w/ and w/o Scarecrow")
     demo.add_argument("sample", choices=sorted(DEMO_SAMPLES))
@@ -243,19 +328,58 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--factory", default="bare-metal-light",
                        help="machine factory name "
                             "(see repro.parallel.available_factories)")
+    _add_telemetry_option(sweep)
+    stats = subparsers.add_parser(
+        "stats", help="summarise a --telemetry JSONL trace")
+    stats.add_argument("path", metavar="PATH",
+                       help="telemetry file written by --telemetry")
     return parser
+
+
+def _add_telemetry_option(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--telemetry", metavar="PATH", default=None,
+                     help="record metrics while the command runs and "
+                          "write them to PATH as JSONL (summarise with "
+                          "'repro stats PATH'; docs/OBSERVABILITY.md)")
 
 
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "table1": _cmd_table1, "table2": _cmd_table2, "table3": _cmd_table3,
     "figure4": _cmd_figure4, "cases": _cmd_cases, "all": _cmd_all,
     "demo": _cmd_demo, "pafish": _cmd_pafish, "inventory": _cmd_inventory,
-    "overhead": _cmd_overhead, "sweep": _cmd_sweep,
+    "overhead": _cmd_overhead, "sweep": _cmd_sweep, "stats": _cmd_stats,
 }
+
+
+def _run_with_telemetry(args: argparse.Namespace, path: str) -> int:
+    """Run a command with the telemetry layer enabled; export to JSONL."""
+    from .telemetry import export
+    from .telemetry.metrics import TELEMETRY
+    args._telemetry_records = []
+    prior_enabled = TELEMETRY.enabled
+    TELEMETRY.enabled = True
+    before = TELEMETRY.snapshot()
+    try:
+        code = _COMMANDS[args.command](args)
+    finally:
+        TELEMETRY.enabled = prior_enabled
+    stashed = list(args._telemetry_records)
+    records = [export.meta_record(command=args.command, exit_code=code)]
+    if not any(record.get("type") == "metrics" for record in stashed):
+        delta = TELEMETRY.snapshot().diff_from(before)
+        records.append(export.metrics_record(delta, scope="process"))
+    records.extend(stashed)
+    written = export.write_records(path, records)
+    print(f"telemetry: wrote {written} record(s) to {path}",
+          file=sys.stderr)
+    return code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    telemetry_path = getattr(args, "telemetry", None)
+    if telemetry_path:
+        return _run_with_telemetry(args, telemetry_path)
     return _COMMANDS[args.command](args)
 
 

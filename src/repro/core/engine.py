@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..hooking.ipc import IpcEndpoint
+from ..telemetry.metrics import TELEMETRY
 from ..winsim.machine import Machine
 from ..winsim.registry import RegistryKey
 from .database import DeceptionDatabase
@@ -47,12 +48,26 @@ class DeceptionEngine:
     # -- applicability -----------------------------------------------------
 
     def applies(self, resource: Optional[DeceptiveResource]) -> bool:
-        """Should this resource be faked right now?"""
+        """Should this resource be faked right now? (pure predicate)"""
         if resource is None:
             return False
         if not self.profiles.is_active(resource.profile):
             return False
         return True
+
+    def decide(self, resource: Optional[DeceptiveResource]) -> bool:
+        """Per-call deception decision — :meth:`applies` plus telemetry.
+
+        The hook handlers route every decision through here so the
+        telemetry layer can count how often Scarecrow answered deceptively
+        versus fell through to the genuine implementation.
+        """
+        deceive = self.applies(resource)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("engine.decisions")
+            TELEMETRY.count(
+                "engine.deceived" if deceive else "engine.passthrough")
+        return deceive
 
     # -- event plumbing --------------------------------------------------------
 
@@ -63,6 +78,9 @@ class DeceptionEngine:
         event = FingerprintEvent(category, api, resource, pid, timestamp_ns,
                                  dict(details))
         self.log.record(event)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("engine.reports")
+            TELEMETRY.count("engine.reports." + category)
         if profile:
             self.profiles.observe_probe(profile)
         if self.ipc is not None:

@@ -118,7 +118,7 @@ def build_handlers(engine: DeceptionEngine) -> Dict[str, Handler]:
                     return call.machine.handles.open(key, "key")
         if cfg.enable_software:
             resource = db.lookup_registry_key(path)
-            if e.applies(resource):
+            if e.decide(resource):
                 key = e.materialize_registry_key(path)
                 report(call, "registry", path, profile=resource.profile)
                 return call.machine.handles.open(key, "key")
@@ -141,7 +141,7 @@ def build_handlers(engine: DeceptionEngine) -> Dict[str, Handler]:
         key = call.machine.handles.resolve(handle, "key")
         if key is not None and cfg.enable_software:
             resource = db.lookup_registry_value(key.path(), name)
-            if e.applies(resource):
+            if e.decide(resource):
                 report(call, "registry", resource.identity,
                        profile=resource.profile)
                 return resource
@@ -181,7 +181,7 @@ def build_handlers(engine: DeceptionEngine) -> Dict[str, Handler]:
         if not cfg.enable_software:
             return None
         resource = db.lookup_file(path)
-        return resource if e.applies(resource) else None
+        return resource if e.decide(resource) else None
 
     def get_file_attributes(call: HookCall, path: str):
         resource = file_resource(path)
@@ -201,7 +201,7 @@ def build_handlers(engine: DeceptionEngine) -> Dict[str, Handler]:
 
     def create_file(call: HookCall, path: str, write: bool = False):
         device = db.lookup_device(path) if path.startswith("\\\\.\\") else None
-        if e.applies(device) and cfg.enable_software:
+        if e.decide(device) and cfg.enable_software:
             report(call, "device", path, profile=device.profile)
             return call.machine.handles.open({"device": path, "fake": True},
                                              "device")
@@ -214,7 +214,7 @@ def build_handlers(engine: DeceptionEngine) -> Dict[str, Handler]:
 
     def nt_create_file(call: HookCall, path: str, write: bool = False):
         device = db.lookup_device(path) if path.startswith("\\\\.\\") else None
-        if e.applies(device) and cfg.enable_software:
+        if e.decide(device) and cfg.enable_software:
             report(call, "device", path, profile=device.profile)
             return (NtStatus.STATUS_SUCCESS,
                     call.machine.handles.open({"device": path, "fake": True},
@@ -238,7 +238,7 @@ def build_handlers(engine: DeceptionEngine) -> Dict[str, Handler]:
             name = path_l.rsplit("\\", 1)[-1]
             if fnmatch.fnmatch(name, mask.lower()):
                 resource = db._files[path_l]
-                if e.applies(resource):
+                if e.decide(resource):
                     report(call, "file", path_l, profile=resource.profile)
                     return db._files[path_l].identity.rsplit("\\", 1)[-1]
         return None
@@ -346,7 +346,7 @@ def build_handlers(engine: DeceptionEngine) -> Dict[str, Handler]:
     def get_module_handle(call: HookCall, name: Optional[str]):
         if name is not None and cfg.enable_software:
             resource = db.lookup_library(name)
-            if e.applies(resource):
+            if e.decide(resource):
                 report(call, "library", name, profile=resource.profile)
                 return _FAKE_MODULE_BASE + (hash(name.lower()) & 0xFFFF) * 0x10
         return call.original(name)
@@ -354,7 +354,7 @@ def build_handlers(engine: DeceptionEngine) -> Dict[str, Handler]:
     def load_library(call: HookCall, name: str):
         if cfg.enable_software:
             resource = db.lookup_library(name)
-            if e.applies(resource):
+            if e.decide(resource):
                 report(call, "library", name, profile=resource.profile)
                 return _FAKE_MODULE_BASE + (hash(name.lower()) & 0xFFFF) * 0x10
         return call.original(name)
@@ -418,7 +418,7 @@ def build_handlers(engine: DeceptionEngine) -> Dict[str, Handler]:
     def find_window(call: HookCall, class_name, title=None):
         if cfg.enable_software:
             resource = db.lookup_window(class_name, title)
-            if e.applies(resource):
+            if e.decide(resource):
                 report(call, "window", resource.identity,
                        profile=resource.profile)
                 return _FAKE_WINDOW_HWND
@@ -486,7 +486,7 @@ def build_handlers(engine: DeceptionEngine) -> Dict[str, Handler]:
     def open_mutex(call: HookCall, name: str):
         if cfg.enable_software:
             resource = db.lookup_mutex(name)
-            if e.applies(resource):
+            if e.decide(resource):
                 report(call, "mutex", name, profile=resource.profile)
                 return call.machine.handles.open(
                     {"mutex": name, "fake": True}, "mutex")

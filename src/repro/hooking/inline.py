@@ -16,6 +16,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable, Dict, List, Optional
 
+from ..telemetry.metrics import TELEMETRY
 from .prologue import CodeImage, PATCH_LEN
 
 HookHandler = Callable[..., Any]
@@ -110,13 +111,26 @@ class HookManager:
         """Route one API call through its hook (if any)."""
         hook = self.active_hook(export)
         if hook is None:
+            if TELEMETRY.enabled:
+                TELEMETRY.count("hook.passthrough")
             return implementation(context, *args, **kwargs)
 
+        telemetry_on = TELEMETRY.enabled
+        if telemetry_on:
+            TELEMETRY.count("hook.calls")
+            entered_ns = context.machine.clock.now_ns
+
         def original(*o_args: Any, **o_kwargs: Any) -> Any:
+            if TELEMETRY.enabled:
+                TELEMETRY.count("hook.trampoline")
             return implementation(context, *o_args, **o_kwargs)
 
         call = HookCall(export=export, context=context, original=original)
-        return hook.handler(call, *args, **kwargs)
+        result = hook.handler(call, *args, **kwargs)
+        if telemetry_on:
+            TELEMETRY.observe("hook.handler_ns." + export,
+                              context.machine.clock.now_ns - entered_ns)
+        return result
 
     # -- inspection (what anti-hook code does) -------------------------------
 

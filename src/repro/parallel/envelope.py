@@ -13,7 +13,9 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Union
+from typing import Optional, Union
+
+from ..telemetry.snapshot import MetricsSnapshot
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,6 +46,8 @@ class SweepError:
     traceback: str
     worker_pid: int
     retry_count: int
+    #: Telemetry delta recorded while the job failed (None when disabled).
+    metrics: Optional[MetricsSnapshot] = None
 
     def __str__(self) -> str:
         return (f"sample {self.sample_md5} (#{self.index}): "
@@ -58,6 +62,10 @@ class PairEnvelope:
     index: int
     outcome: "PairOutcome"
     stats: SweepStats
+    #: Telemetry delta recorded while this pair executed (None when the
+    #: telemetry layer is disabled). Deltas from every envelope merge into
+    #: pool-wide totals identical to a serial run.
+    metrics: Optional[MetricsSnapshot] = None
 
     def detached(self) -> "PairEnvelope":
         """A copy with machine/controller references stripped.
@@ -80,7 +88,9 @@ SweepEntry = Union[PairEnvelope, SweepError]
 
 
 def build_envelope(index: int, outcome: "PairOutcome", retry_count: int,
-                   wall_time_s: float) -> PairEnvelope:
+                   wall_time_s: float,
+                   metrics: Optional[MetricsSnapshot] = None
+                   ) -> PairEnvelope:
     """Wrap a finished pair with its execution statistics."""
     controller = outcome.with_scarecrow.controller
     fingerprint_events = (len(controller.fingerprint_events())
@@ -94,4 +104,5 @@ def build_envelope(index: int, outcome: "PairOutcome", retry_count: int,
         worker_pid=os.getpid(), retry_count=retry_count,
         wall_time_s=wall_time_s, fingerprint_events=fingerprint_events,
         checks_evaluated=checks, trace_events=trace_events)
-    return PairEnvelope(index=index, outcome=outcome, stats=stats)
+    return PairEnvelope(index=index, outcome=outcome, stats=stats,
+                        metrics=metrics)

@@ -21,6 +21,8 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 from ..core.database import DeceptionDatabase
 from ..core.profiles import ScarecrowConfig
 from ..malware.sample import EvasiveSample
+from ..telemetry.metrics import TELEMETRY
+from ..telemetry.snapshot import MetricsSnapshot
 from .envelope import PairEnvelope, SweepEntry, SweepError, SweepStats
 from .executor import SerialExecutor, should_use_process_pool
 from .factories import FactorySpec, resolve_machine_factory
@@ -82,6 +84,23 @@ class SweepResult:
         return sum(s.retry_count for s in self.stats) + \
             sum(e.retry_count for e in self.errors)
 
+    def merged_metrics(self) -> Optional[MetricsSnapshot]:
+        """Pool-wide telemetry totals folded from every entry's delta.
+
+        Merging is associative and commutative, so the result is the same
+        regardless of which worker ran which job — and (modulo the
+        ``wallclock.*`` host-time metrics, see
+        :meth:`~repro.telemetry.snapshot.MetricsSnapshot.deterministic`)
+        identical between serial and pooled runs. ``None`` when the sweep
+        ran with telemetry disabled.
+        """
+        merged: Optional[MetricsSnapshot] = None
+        for entry in self.entries:
+            if entry.metrics is not None:
+                merged = (entry.metrics if merged is None
+                          else merged.merge(entry.metrics))
+        return merged
+
 
 class ParallelSweep:
     """Worker-pool corpus executor with deterministic, ordered output.
@@ -96,7 +115,8 @@ class ParallelSweep:
                  machine_factory: Optional[FactorySpec] = None,
                  database: Optional[DeceptionDatabase] = None,
                  config: Optional[ScarecrowConfig] = None,
-                 max_retries: int = 1) -> None:
+                 max_retries: int = 1,
+                 telemetry: Optional[bool] = None) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
@@ -104,6 +124,9 @@ class ParallelSweep:
         self.database = database
         self.config = config
         self.max_retries = max_retries
+        #: None = inherit the process-wide ``TELEMETRY.enabled`` flag at
+        #: :meth:`run` time; True/False force it for this sweep's workers.
+        self.telemetry = telemetry
 
     def run(self, samples: Sequence[EvasiveSample]) -> SweepResult:
         """Execute every sample pair; results come back submission-ordered."""
@@ -125,9 +148,17 @@ class ParallelSweep:
             # can still use closures.)
             snapshot, config, jobs = pickle.loads(
                 pickle.dumps((snapshot, config, jobs)))
-        initargs = (self.machine_factory, snapshot, config)
-        entries = _run_jobs(jobs, execute_pair_job, initargs,
-                            self.max_workers if use_pool else 1)
+        telemetry_on = (TELEMETRY.enabled if self.telemetry is None
+                        else bool(self.telemetry))
+        initargs = (self.machine_factory, snapshot, config, telemetry_on)
+        # On the serial path the initializer runs in *this* process and
+        # flips the shared registry flag; restore it once the sweep ends.
+        prior_enabled = TELEMETRY.enabled
+        try:
+            entries = _run_jobs(jobs, execute_pair_job, initargs,
+                                self.max_workers if use_pool else 1)
+        finally:
+            TELEMETRY.enabled = prior_enabled
         return SweepResult(entries=entries, max_workers=self.max_workers,
                            used_process_pool=use_pool,
                            wall_time_s=time.perf_counter() - start)

@@ -20,6 +20,8 @@ from ..core.database import (DatabaseSnapshot, DeceptionDatabase,
                              FrozenDeceptionDatabase)
 from ..core.profiles import ScarecrowConfig
 from ..malware.sample import EvasiveSample
+from ..telemetry.metrics import TELEMETRY
+from ..telemetry.snapshot import MetricsSnapshot
 from .envelope import SweepEntry, SweepError, build_envelope
 from .factories import FactorySpec, MachineFactory, resolve_machine_factory
 
@@ -38,11 +40,13 @@ class PairJob:
 
 def initialize_worker(factory_spec: FactorySpec,
                       db_snapshot: DatabaseSnapshot,
-                      config: Optional[ScarecrowConfig]) -> None:
+                      config: Optional[ScarecrowConfig],
+                      telemetry: bool = False) -> None:
     """Pool/serial initializer: build this worker's private fixtures."""
     _STATE["factory"] = resolve_machine_factory(factory_spec)
     _STATE["database"] = FrozenDeceptionDatabase.from_snapshot(db_snapshot)
     _STATE["config"] = config
+    TELEMETRY.enabled = bool(telemetry)
 
 
 def reset_worker() -> None:
@@ -56,12 +60,39 @@ def execute_pair_job(job: PairJob) -> SweepEntry:
                         _STATE["config"])
 
 
+def _job_metrics_baseline() -> Optional[MetricsSnapshot]:
+    """Pre-job snapshot, or None when the telemetry layer is disabled.
+
+    Job metrics are captured as a *delta* against this baseline rather
+    than by resetting the registry, so an enclosing measurement (a CLI
+    ``--telemetry`` run, a long-lived serial process) keeps accumulating —
+    and the delta is identical whether the registry started empty (a
+    fresh pool worker) or carried history (the serial path).
+    """
+    return TELEMETRY.snapshot() if TELEMETRY.enabled else None
+
+
+def _finish_job_metrics(baseline: Optional[MetricsSnapshot], kind: str,
+                        retries: int, wall_time_s: float,
+                        failed: bool = False) -> Optional[MetricsSnapshot]:
+    if baseline is None:
+        return None
+    TELEMETRY.count(f"worker.{kind}s")
+    if failed:
+        TELEMETRY.count(f"worker.{kind}s_failed")
+    if retries:
+        TELEMETRY.count("worker.retries", retries)
+    TELEMETRY.observe(f"wallclock.{kind}_ns", int(wall_time_s * 1e9))
+    return TELEMETRY.snapshot().diff_from(baseline)
+
+
 def run_pair_job(job: PairJob, factory: MachineFactory,
                  database: DeceptionDatabase,
                  config: Optional[ScarecrowConfig]) -> SweepEntry:
     """Run one pair with in-worker retry; never raises."""
     from ..experiments.runner import run_pair
     start = time.perf_counter()
+    baseline = _job_metrics_baseline()
     retries = 0
     while True:
         try:
@@ -69,14 +100,20 @@ def run_pair_job(job: PairJob, factory: MachineFactory,
             break
         except Exception as exc:
             if retries >= job.max_retries:
+                metrics = _finish_job_metrics(
+                    baseline, "job", retries, time.perf_counter() - start,
+                    failed=True)
                 return SweepError(
                     index=job.index, sample_md5=job.sample.md5,
                     error_type=type(exc).__name__, message=str(exc),
                     traceback=traceback.format_exc(),
-                    worker_pid=os.getpid(), retry_count=retries)
+                    worker_pid=os.getpid(), retry_count=retries,
+                    metrics=metrics)
             retries += 1
-    envelope = build_envelope(job.index, outcome, retries,
-                              time.perf_counter() - start)
+    wall_time_s = time.perf_counter() - start
+    metrics = _finish_job_metrics(baseline, "job", retries, wall_time_s)
+    envelope = build_envelope(job.index, outcome, retries, wall_time_s,
+                              metrics=metrics)
     return envelope.detached()
 
 
@@ -104,6 +141,8 @@ class TaskResult:
     worker_pid: int = -1
     retry_count: int = 0
     wall_time_s: float = 0.0
+    #: Telemetry delta recorded while the task ran (None when disabled).
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def ok(self) -> bool:
@@ -113,6 +152,7 @@ class TaskResult:
 def execute_task_job(job: TaskJob) -> TaskResult:
     """Run one independent task with in-worker retry; never raises."""
     start = time.perf_counter()
+    baseline = _job_metrics_baseline()
     retries = 0
     while True:
         try:
@@ -120,6 +160,7 @@ def execute_task_job(job: TaskJob) -> TaskResult:
             break
         except Exception as exc:
             if retries >= job.max_retries:
+                wall_time_s = time.perf_counter() - start
                 return TaskResult(
                     index=job.index, label=job.label,
                     error=SweepError(
@@ -128,8 +169,13 @@ def execute_task_job(job: TaskJob) -> TaskResult:
                         traceback=traceback.format_exc(),
                         worker_pid=os.getpid(), retry_count=retries),
                     worker_pid=os.getpid(), retry_count=retries,
-                    wall_time_s=time.perf_counter() - start)
+                    wall_time_s=wall_time_s,
+                    metrics=_finish_job_metrics(baseline, "task", retries,
+                                                wall_time_s, failed=True))
             retries += 1
+    wall_time_s = time.perf_counter() - start
     return TaskResult(index=job.index, label=job.label, value=value,
                       worker_pid=os.getpid(), retry_count=retries,
-                      wall_time_s=time.perf_counter() - start)
+                      wall_time_s=wall_time_s,
+                      metrics=_finish_job_metrics(baseline, "task", retries,
+                                                  wall_time_s))

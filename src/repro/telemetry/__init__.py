@@ -1,0 +1,26 @@
+"""Zero-dependency metrics + tracing for the deception engine.
+
+Three layers (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.telemetry.metrics` — :class:`Counter` /
+  :class:`LatencyHistogram` / :class:`Gauge` primitives and the
+  process-local :data:`TELEMETRY` registry, a cheap no-op while disabled;
+* :mod:`repro.telemetry.snapshot` — mergeable :class:`MetricsSnapshot`
+  objects that workers ship back inside sweep result envelopes, with
+  pool-wide totals that exactly match a serial run;
+* :mod:`repro.telemetry.export` — the JSONL structured-trace schema behind
+  ``repro sweep --telemetry`` and ``repro stats``.
+"""
+
+from . import export
+from .metrics import (Counter, Gauge, LatencyHistogram, MetricsRegistry,
+                      TELEMETRY, get_registry, recording)
+from .snapshot import (HistogramState, MetricsSnapshot, WALLCLOCK_PREFIX,
+                       bucket_index, bucket_upper_bound)
+
+__all__ = [
+    "Counter", "Gauge", "HistogramState", "LatencyHistogram",
+    "MetricsRegistry", "MetricsSnapshot", "TELEMETRY", "WALLCLOCK_PREFIX",
+    "bucket_index", "bucket_upper_bound", "export", "get_registry",
+    "recording",
+]

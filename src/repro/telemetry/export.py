@@ -1,0 +1,213 @@
+"""JSONL structured-trace export and summarisation.
+
+One telemetry file is a sequence of newline-delimited JSON objects, each
+with a ``type`` field. The schema (version 1, documented in
+``docs/OBSERVABILITY.md``):
+
+``meta``
+    First record of a file: ``{"type": "meta", "v": 1, "kind": ...}`` plus
+    free-form fields (command, arguments, worker counts).
+``metrics``
+    ``{"type": "metrics", "scope": ..., "snapshot": {...}}`` where
+    ``snapshot`` is :meth:`MetricsSnapshot.to_dict` output.
+``event``
+    One kernel event from a :class:`~repro.analysis.trace.Trace`:
+    ``{"type": "event", "trace": label, "category", "name", "pid",
+    "ts_ns", "details"}``.
+``sample``
+    Per-sample sweep statistics (md5, index, verdict, worker pid,
+    retries, wall seconds, event counts).
+``error``
+    A structured :class:`~repro.parallel.envelope.SweepError`.
+
+``repro stats FILE`` renders the summary produced by
+:func:`summarize_records`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Iterable, List, Tuple
+
+from .snapshot import MetricsSnapshot
+
+#: Schema version stamped into every ``meta`` record.
+SCHEMA_VERSION = 1
+
+#: Every record type a version-1 file may contain.
+RECORD_TYPES = ("meta", "metrics", "event", "sample", "error")
+
+#: Histogram-name prefix of the per-export API latency instrumentation.
+API_LATENCY_PREFIX = "api.latency_ns."
+
+#: Histogram-name prefix of the per-export hook-handler instrumentation.
+HOOK_LATENCY_PREFIX = "hook.handler_ns."
+
+
+class TelemetryFormatError(ValueError):
+    """A telemetry file (or record) does not follow the JSONL schema."""
+
+
+# -- record constructors -------------------------------------------------------
+
+def meta_record(kind: str = "run", **fields: Any) -> dict:
+    record = {"type": "meta", "v": SCHEMA_VERSION, "kind": kind}
+    record.update(fields)
+    return record
+
+
+def metrics_record(snapshot: MetricsSnapshot, scope: str = "run") -> dict:
+    return {"type": "metrics", "scope": scope,
+            "snapshot": snapshot.to_dict()}
+
+
+def event_record(trace_label: str, event: Any) -> dict:
+    return {"type": "event", "trace": trace_label,
+            "category": event.category, "name": event.name,
+            "pid": event.pid, "ts_ns": event.timestamp_ns,
+            "details": dict(event.details)}
+
+
+def trace_records(trace: Any) -> Iterable[dict]:
+    """Every event of a :class:`~repro.analysis.trace.Trace`, in order."""
+    for event in trace.events:
+        yield event_record(trace.label, event)
+
+
+def sample_record(stats: Any, verdict: str = "") -> dict:
+    return {"type": "sample", "md5": stats.sample_md5, "index": stats.index,
+            "verdict": verdict, "worker_pid": stats.worker_pid,
+            "retries": stats.retry_count,
+            "wall_time_s": round(stats.wall_time_s, 6),
+            "fingerprint_events": stats.fingerprint_events,
+            "checks_evaluated": stats.checks_evaluated,
+            "trace_events": stats.trace_events}
+
+
+def error_record(error: Any) -> dict:
+    return {"type": "error", "md5": error.sample_md5, "index": error.index,
+            "error_type": error.error_type, "message": error.message,
+            "worker_pid": error.worker_pid, "retries": error.retry_count}
+
+
+# -- validation ---------------------------------------------------------------
+
+_REQUIRED_FIELDS = {
+    "meta": ("v", "kind"),
+    "metrics": ("scope", "snapshot"),
+    "event": ("trace", "category", "name", "pid", "ts_ns"),
+    "sample": ("md5", "index"),
+    "error": ("md5", "index", "error_type"),
+}
+
+
+def validate_record(record: Any) -> dict:
+    if not isinstance(record, dict):
+        raise TelemetryFormatError(
+            f"record is not an object: {type(record).__name__}")
+    record_type = record.get("type")
+    if record_type not in RECORD_TYPES:
+        raise TelemetryFormatError(f"unknown record type: {record_type!r}")
+    for field in _REQUIRED_FIELDS[record_type]:
+        if field not in record:
+            raise TelemetryFormatError(
+                f"{record_type} record missing field {field!r}")
+    if record_type == "metrics" and \
+            not isinstance(record["snapshot"], dict):
+        raise TelemetryFormatError("metrics record snapshot is not an object")
+    return record
+
+
+# -- file I/O -----------------------------------------------------------------
+
+def write_records(path: str, records: Iterable[dict]) -> int:
+    """Write validated records to ``path`` as JSONL; returns the count."""
+    written = 0
+    with open(path, "w", encoding="utf-8") as stream:
+        for record in records:
+            validate_record(record)
+            stream.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+            written += 1
+    return written
+
+
+def read_records(path: str) -> List[dict]:
+    """Read and validate a JSONL telemetry file."""
+    records = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryFormatError(
+                    f"{path}:{line_number}: not valid JSON: {exc}") from exc
+            try:
+                records.append(validate_record(payload))
+            except TelemetryFormatError as exc:
+                raise TelemetryFormatError(
+                    f"{path}:{line_number}: {exc}") from exc
+    return records
+
+
+# -- summarisation -------------------------------------------------------------
+
+#: ``(name, calls, p50_ns, p99_ns, mean_ns)`` rows for latency tables.
+LatencyRow = Tuple[str, int, int, int, float]
+
+
+@dataclasses.dataclass
+class StatsSummary:
+    """Everything ``repro stats`` prints, precomputed."""
+
+    record_counts: Dict[str, int]
+    snapshot: MetricsSnapshot
+    event_categories: Dict[str, int]
+    api_rows: List[LatencyRow]
+    hook_rows: List[LatencyRow]
+    samples: int
+    errors: int
+
+
+def _latency_rows(snapshot: MetricsSnapshot, prefix: str) -> List[LatencyRow]:
+    rows = []
+    for name, state in snapshot.histograms.items():
+        if not name.startswith(prefix):
+            continue
+        rows.append((name[len(prefix):], state.count,
+                     state.percentile(50), state.percentile(99),
+                     state.mean))
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    return rows
+
+
+def summarize_records(records: Iterable[dict]) -> StatsSummary:
+    """Fold a record stream into the ``repro stats`` summary."""
+    record_counts: Dict[str, int] = {}
+    event_categories: Dict[str, int] = {}
+    snapshot = MetricsSnapshot.empty()
+    samples = errors = 0
+    for record in records:
+        record_type = record["type"]
+        record_counts[record_type] = record_counts.get(record_type, 0) + 1
+        if record_type == "metrics":
+            snapshot = snapshot.merge(
+                MetricsSnapshot.from_dict(record["snapshot"]))
+        elif record_type == "event":
+            category = record["category"]
+            event_categories[category] = \
+                event_categories.get(category, 0) + 1
+        elif record_type == "sample":
+            samples += 1
+        elif record_type == "error":
+            errors += 1
+    return StatsSummary(
+        record_counts=record_counts, snapshot=snapshot,
+        event_categories=event_categories,
+        api_rows=_latency_rows(snapshot, API_LATENCY_PREFIX),
+        hook_rows=_latency_rows(snapshot, HOOK_LATENCY_PREFIX),
+        samples=samples, errors=errors)

@@ -1,0 +1,206 @@
+"""Metric primitives and the process-local registry.
+
+The live half of the telemetry layer: :class:`Counter`, :class:`Gauge` and
+:class:`LatencyHistogram` accumulate in plain Python attributes, and one
+process-local :data:`TELEMETRY` registry owns them all. Hot paths guard
+every recording with a single ``TELEMETRY.enabled`` attribute check, so the
+disabled-mode cost of instrumentation is one boolean load per call site —
+measured by ``benchmarks/bench_telemetry.py``.
+
+Latencies on simulation hot paths are recorded in **virtual-clock
+nanoseconds** (deterministic); host-clock measurements must use the
+``wallclock.`` prefix (see :mod:`repro.telemetry.snapshot`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional
+
+from .snapshot import (HistogramState, MetricsSnapshot, WALLCLOCK_PREFIX,
+                       _trim, bucket_index)
+
+__all__ = [
+    "Counter", "Gauge", "LatencyHistogram", "MetricsRegistry", "TELEMETRY",
+    "WALLCLOCK_PREFIX", "get_registry", "recording",
+]
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value metric (merged across workers by max)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class LatencyHistogram:
+    """Geometric-bucket histogram of non-negative integer observations.
+
+    Buckets are powers of two (see :func:`~repro.telemetry.snapshot.\
+bucket_index`), so two histograms merge by exact bucket addition and
+    percentile estimates are identical however the observations were
+    sharded across workers.
+    """
+
+    __slots__ = ("name", "_count", "_total", "_buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._count = 0
+        self._total = 0
+        self._buckets: List[int] = []
+
+    def record(self, value: int) -> None:
+        v = int(value)
+        if v < 0:
+            v = 0
+        index = bucket_index(v)
+        buckets = self._buckets
+        if index >= len(buckets):
+            buckets.extend([0] * (index + 1 - len(buckets)))
+        buckets[index] += 1
+        self._count += 1
+        self._total += v
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self.state().mean
+
+    def percentile(self, p: float) -> int:
+        return self.state().percentile(p)
+
+    def state(self) -> HistogramState:
+        return HistogramState(self._count, self._total,
+                              _trim(tuple(self._buckets)))
+
+
+class MetricsRegistry:
+    """All metrics of one process, with cheap no-op behaviour when disabled.
+
+    ``count``/``observe``/``set_gauge`` return immediately unless
+    :attr:`enabled` is set; ``counter``/``gauge``/``histogram`` hand out
+    live metric objects regardless (for callers that manage their own
+    recording, e.g. the overhead experiment). The registry is
+    single-threaded by design, like the simulation it instruments.
+    """
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_histograms")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded values (the enabled flag is left alone)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- metric handles ------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = LatencyHistogram(name)
+        return histogram
+
+    # -- guarded fast-path recording ----------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        if not self.enabled:
+            return
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        counter.value += n
+
+    def observe(self, name: str, value: int) -> None:
+        if not self.enabled:
+            return
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = LatencyHistogram(name)
+        histogram.record(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.gauge(name).set(value)
+
+    # -- snapshotting --------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            {name: c.value for name, c in self._counters.items()},
+            {name: g.value for name, g in self._gauges.items()},
+            {name: h.state() for name, h in self._histograms.items()})
+
+
+#: The process-local registry every instrumented hot path records into.
+TELEMETRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return TELEMETRY
+
+
+@contextlib.contextmanager
+def recording(registry: Optional[MetricsRegistry] = None
+              ) -> Iterator[MetricsRegistry]:
+    """Enable ``registry`` (default: the global one) for the with-block."""
+    reg = registry if registry is not None else TELEMETRY
+    prior = reg.enabled
+    reg.enable()
+    try:
+        yield reg
+    finally:
+        reg.enabled = prior

@@ -1,0 +1,216 @@
+"""Mergeable, picklable metric snapshots.
+
+A :class:`MetricsSnapshot` is the *data* side of the telemetry layer: plain
+counters, gauges and histogram states frozen out of a
+:class:`~repro.telemetry.metrics.MetricsRegistry`. Snapshots cross process
+boundaries inside the parallel sweep's result envelopes, and the parent
+folds them together with :meth:`MetricsSnapshot.merge` — which is
+associative and commutative, so pool-wide totals are independent of worker
+scheduling and exactly match a serial run.
+
+Two conventions keep that determinism guarantee honest:
+
+* Latency histograms on simulation hot paths record **virtual-clock
+  nanoseconds**, which are bit-for-bit reproducible.
+* Anything measured against the *host* clock lives under the
+  ``wallclock.`` name prefix and is excluded by
+  :meth:`MetricsSnapshot.deterministic`, the view the byte-identical
+  serial-vs-pool comparison is defined over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Dict, Mapping, Tuple
+
+#: Name prefix for host-clock measurements (excluded from determinism).
+WALLCLOCK_PREFIX = "wallclock."
+
+
+def bucket_index(value: int) -> int:
+    """Geometric bucket for ``value``: 0 for 0, else ``bit_length``.
+
+    Bucket ``i`` (``i >= 1``) covers ``[2**(i-1), 2**i - 1]``; merging two
+    histograms is therefore exact bucket-wise addition, no rebinning.
+    """
+    v = int(value)
+    return v.bit_length() if v > 0 else 0
+
+
+def bucket_upper_bound(index: int) -> int:
+    return 0 if index == 0 else (1 << index) - 1
+
+
+def _trim(buckets: Tuple[int, ...]) -> Tuple[int, ...]:
+    length = len(buckets)
+    while length and buckets[length - 1] == 0:
+        length -= 1
+    return buckets[:length]
+
+
+@dataclasses.dataclass(frozen=True)
+class HistogramState:
+    """Frozen histogram: count, total, and geometric bucket occupancy."""
+
+    count: int = 0
+    total: int = 0
+    buckets: Tuple[int, ...] = ()
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> int:
+        """Deterministic percentile estimate (bucket upper bound)."""
+        if self.count <= 0:
+            return 0
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        cumulative = 0
+        for index, occupancy in enumerate(self.buckets):
+            cumulative += occupancy
+            if cumulative >= rank:
+                return bucket_upper_bound(index)
+        return bucket_upper_bound(max(0, len(self.buckets) - 1))
+
+    def merge(self, other: "HistogramState") -> "HistogramState":
+        if not other.count:
+            return self
+        if not self.count:
+            return other
+        length = max(len(self.buckets), len(other.buckets))
+        mine, theirs = self.buckets, other.buckets
+        merged = tuple(
+            (mine[i] if i < len(mine) else 0) +
+            (theirs[i] if i < len(theirs) else 0)
+            for i in range(length))
+        return HistogramState(self.count + other.count,
+                              self.total + other.total, merged)
+
+    def diff_from(self, earlier: "HistogramState") -> "HistogramState":
+        """The delta recorded since ``earlier`` (which must be a prefix)."""
+        if earlier.count > self.count or earlier.total > self.total:
+            raise ValueError("earlier histogram is not a subset")
+        length = max(len(self.buckets), len(earlier.buckets))
+        mine, base = self.buckets, earlier.buckets
+        deltas = []
+        for i in range(length):
+            delta = (mine[i] if i < len(mine) else 0) - \
+                (base[i] if i < len(base) else 0)
+            if delta < 0:
+                raise ValueError("earlier histogram is not a subset")
+            deltas.append(delta)
+        return HistogramState(self.count - earlier.count,
+                              self.total - earlier.total,
+                              _trim(tuple(deltas)))
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "total": self.total,
+                "buckets": list(self.buckets)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "HistogramState":
+        return cls(int(data["count"]), int(data["total"]),
+                   _trim(tuple(int(b) for b in data["buckets"])))
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricsSnapshot:
+    """One frozen view of a registry, or a merge of many such views."""
+
+    counters: Dict[str, int] = dataclasses.field(default_factory=dict)
+    gauges: Dict[str, float] = dataclasses.field(default_factory=dict)
+    histograms: Dict[str, HistogramState] = \
+        dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        return cls()
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two snapshots: counters/histograms add, gauges take max.
+
+        All three operations are associative and commutative with
+        :meth:`empty` as the identity, so any fold order over worker
+        snapshots yields identical totals.
+        """
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = dict(self.gauges)
+        for name, value in other.gauges.items():
+            gauges[name] = max(gauges[name], value) if name in gauges \
+                else value
+        histograms = dict(self.histograms)
+        for name, state in other.histograms.items():
+            histograms[name] = histograms[name].merge(state) \
+                if name in histograms else state
+        return MetricsSnapshot(counters, gauges, histograms)
+
+    def diff_from(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Activity recorded since ``earlier``.
+
+        Zero-delta entries are dropped, so a job's delta looks the same
+        whether the registry started empty (a fresh pool worker) or
+        carried history (the serial path, a reused worker) — the property
+        the serial-vs-pool byte-identity guarantee rests on. Gauges keep
+        only values that changed or appeared.
+        """
+        counters = {}
+        for name, value in self.counters.items():
+            delta = value - earlier.counters.get(name, 0)
+            if delta < 0:
+                raise ValueError(f"counter {name} went backwards")
+            if delta:
+                counters[name] = delta
+        gauges = {name: value for name, value in self.gauges.items()
+                  if earlier.gauges.get(name) != value}
+        histograms = {}
+        for name, state in self.histograms.items():
+            base = earlier.histograms.get(name)
+            delta_state = state.diff_from(base) if base is not None else state
+            if delta_state.count:
+                histograms[name] = delta_state
+        return MetricsSnapshot(counters, gauges, histograms)
+
+    def deterministic(self) -> "MetricsSnapshot":
+        """This snapshot without host-clock (``wallclock.*``) metrics."""
+        keep = lambda name: not name.startswith(WALLCLOCK_PREFIX)  # noqa: E731
+        return MetricsSnapshot(
+            {n: v for n, v in self.counters.items() if keep(n)},
+            {n: v for n, v in self.gauges.items() if keep(n)},
+            {n: s for n, s in self.histograms.items() if keep(n)})
+
+    def totals(self) -> Dict[str, int]:
+        """Flat counter view: counters plus per-histogram count/total."""
+        flat = dict(self.counters)
+        for name, state in self.histograms.items():
+            flat[f"{name}.count"] = state.count
+            flat[f"{name}.total"] = state.total
+        return flat
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {name: state.to_dict()
+                           for name, state in self.histograms.items()},
+        }
+
+    def to_json(self) -> str:
+        """Canonical (sorted-key) JSON — the byte-identity comparison form."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MetricsSnapshot":
+        return cls(
+            {str(n): int(v) for n, v in data.get("counters", {}).items()},
+            {str(n): float(v) for n, v in data.get("gauges", {}).items()},
+            {str(n): HistogramState.from_dict(v)
+             for n, v in data.get("histograms", {}).items()})

@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..hooking.injection import hook_manager_of
 from ..hooking.prologue import STANDARD_PROLOGUE
+from ..telemetry.metrics import TELEMETRY
 from ..winsim.machine import Machine
 from ..winsim.process import Process
 from ..winsim.types import Peb
@@ -97,6 +98,11 @@ class ApiContext:
         if not self.process.alive:
             raise RuntimeError(
                 f"terminated process pid={self.process.pid} cannot call APIs")
+        # Latency is charged in virtual-clock ns so the recorded histograms
+        # are deterministic (identical across serial and pooled sweeps).
+        telemetry_on = TELEMETRY.enabled
+        if telemetry_on:
+            entered_ns = self.machine.clock.now_ns
         self.machine.clock.advance_ns(API_CALL_COST_NS)
         if not self.quiet:
             self.machine.bus.emit(
@@ -108,6 +114,10 @@ class ApiContext:
         else:
             result = implementation(self, *args, **kwargs)
         self.call_log.append(CallRecord(key, args, result))
+        if telemetry_on:
+            TELEMETRY.count("api.calls")
+            TELEMETRY.observe("api.latency_ns." + key,
+                              self.machine.clock.now_ns - entered_ns)
         return result
 
     def __getattr__(self, item: str) -> Any:

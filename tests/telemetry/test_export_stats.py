@@ -1,0 +1,119 @@
+"""JSONL export schema: roundtrip, validation, summarisation."""
+
+import pytest
+
+from repro.analysis import Tracer
+from repro.telemetry import export
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.snapshot import MetricsSnapshot
+
+pytestmark = pytest.mark.telemetry
+
+
+def _snapshot() -> MetricsSnapshot:
+    registry = MetricsRegistry()
+    registry.enable()
+    registry.count("api.calls", 7)
+    registry.observe("api.latency_ns.kernel32.dll!IsDebuggerPresent", 400)
+    registry.observe("api.latency_ns.kernel32.dll!IsDebuggerPresent", 900)
+    registry.observe("hook.handler_ns.kernel32.dll!IsDebuggerPresent", 120)
+    return registry.snapshot()
+
+
+class TestRecordConstructors:
+    def test_meta_record_carries_schema_version(self):
+        record = export.meta_record(command="sweep")
+        assert record["type"] == "meta"
+        assert record["v"] == export.SCHEMA_VERSION
+        assert record["command"] == "sweep"
+
+    def test_metrics_record_embeds_the_snapshot_dict(self):
+        record = export.metrics_record(_snapshot(), scope="sweep")
+        assert record["scope"] == "sweep"
+        clone = MetricsSnapshot.from_dict(record["snapshot"])
+        assert clone.counters["api.calls"] == 7
+
+    def test_trace_records_mirror_kernel_events(self, machine, api):
+        tracer = Tracer(machine, label="probe",
+                        include_api_calls=True).start()
+        api.IsDebuggerPresent()
+        trace = tracer.stop()
+        records = list(export.trace_records(trace))
+        assert len(records) == len(trace.events)
+        assert all(r["type"] == "event" and r["trace"] == "probe"
+                   for r in records)
+        assert any(r["category"] == "api" for r in records)
+        for record in records:
+            export.validate_record(record)
+
+
+class TestValidation:
+    def test_unknown_type_is_rejected(self):
+        with pytest.raises(export.TelemetryFormatError):
+            export.validate_record({"type": "bogus"})
+
+    def test_missing_required_field_is_rejected(self):
+        with pytest.raises(export.TelemetryFormatError):
+            export.validate_record({"type": "metrics", "scope": "run"})
+
+    def test_non_object_record_is_rejected(self):
+        with pytest.raises(export.TelemetryFormatError):
+            export.validate_record(["not", "a", "dict"])
+
+
+class TestFileRoundtrip:
+    def test_write_then_read_preserves_records(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        records = [export.meta_record(command="test"),
+                   export.metrics_record(_snapshot())]
+        assert export.write_records(path, records) == 2
+        loaded = export.read_records(path)
+        assert loaded == records
+
+    def test_read_rejects_invalid_json_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"meta","v":1,"kind":"run"}\nnot json\n')
+        with pytest.raises(export.TelemetryFormatError, match=":2:"):
+            export.read_records(str(path))
+
+    def test_read_rejects_schema_violations_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"metrics","scope":"run"}\n')
+        with pytest.raises(export.TelemetryFormatError, match=":1:"):
+            export.read_records(str(path))
+
+    def test_writer_refuses_invalid_records(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        with pytest.raises(export.TelemetryFormatError):
+            export.write_records(path, [{"type": "bogus"}])
+
+
+class TestSummarize:
+    def test_summary_merges_metrics_and_counts_records(self):
+        records = [
+            export.meta_record(command="sweep"),
+            export.metrics_record(_snapshot()),
+            export.metrics_record(_snapshot()),
+            {"type": "sample", "md5": "ab", "index": 0},
+            {"type": "error", "md5": "cd", "index": 1,
+             "error_type": "RuntimeError"},
+        ]
+        summary = export.summarize_records(records)
+        assert summary.record_counts == {"meta": 1, "metrics": 2,
+                                         "sample": 1, "error": 1}
+        assert summary.snapshot.counters["api.calls"] == 14
+        assert summary.samples == 1
+        assert summary.errors == 1
+
+    def test_latency_rows_strip_prefix_and_sort_by_calls(self):
+        summary = export.summarize_records([export.metrics_record(
+            _snapshot())])
+        assert summary.api_rows[0][0] == "kernel32.dll!IsDebuggerPresent"
+        assert summary.api_rows[0][1] == 2
+        assert summary.hook_rows[0][0] == "kernel32.dll!IsDebuggerPresent"
+
+    def test_empty_stream_summarises_cleanly(self):
+        summary = export.summarize_records([])
+        assert summary.record_counts == {}
+        assert summary.snapshot.is_empty
+        assert summary.api_rows == [] and summary.hook_rows == []

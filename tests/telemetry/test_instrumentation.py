@@ -1,0 +1,110 @@
+"""Instrumentation coverage: hot paths feed the registry, pools agree.
+
+The headline guarantee: a pooled sweep's merged telemetry is
+byte-identical (modulo ``wallclock.*``) to a serial run of the same
+samples — the instrumentation only ever reads the virtual clock.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.malware.corpus import build_malgene_corpus
+from repro.parallel.executor import fork_available
+from repro.parallel.sweep import ParallelSweep
+from repro.telemetry.metrics import TELEMETRY, recording
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    TELEMETRY.reset()
+    TELEMETRY.disable()
+    yield
+    TELEMETRY.reset()
+    TELEMETRY.disable()
+
+
+class TestHotPathInstrumentation:
+    def test_api_dispatch_counts_calls_and_latency(self, api):
+        with recording():
+            api.IsDebuggerPresent()
+            api.GetTickCount()
+        snapshot = TELEMETRY.snapshot()
+        assert snapshot.counters["api.calls"] == 2
+        latency = snapshot.histograms[
+            "api.latency_ns.kernel32.dll!IsDebuggerPresent"]
+        assert latency.count == 1
+        assert latency.total > 0
+
+    def test_disabled_registry_stays_empty(self, api):
+        api.IsDebuggerPresent()
+        assert TELEMETRY.snapshot().is_empty
+
+    def test_hooked_call_records_hook_and_engine_counters(self,
+                                                          protected_api):
+        with recording():
+            protected_api.IsDebuggerPresent()
+        snapshot = TELEMETRY.snapshot()
+        assert snapshot.counters["hook.calls"] >= 1
+        assert snapshot.counters["engine.reports"] >= 1
+        assert snapshot.counters["engine.reports.debugger"] >= 1
+        assert any(name.startswith("hook.handler_ns.")
+                   for name in snapshot.histograms)
+
+    def test_unhooked_call_on_protected_process_counts_passthrough(
+            self, protected_api):
+        with recording():
+            protected_api.GetCommandLineA()
+        assert TELEMETRY.snapshot().counters.get("hook.passthrough", 0) >= 1
+
+    def test_trampoline_counter_fires_when_handler_calls_original(
+            self, protected_api):
+        with recording():
+            # A registry open with no deceptive resource behind it falls
+            # through the hook handler to the genuine implementation.
+            protected_api.RegOpenKeyExA(
+                "HKEY_LOCAL_MACHINE",
+                "SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion")
+        assert TELEMETRY.snapshot().counters.get("hook.trampoline", 0) >= 1
+
+    def test_engine_decision_counters_split_by_outcome(self, protected_api):
+        with recording():
+            # A deceptive registry resource hit and a plain miss.
+            protected_api.RegOpenKeyExA(
+                "HKEY_LOCAL_MACHINE", "HARDWARE\\ACPI\\DSDT\\VBOX__")
+        snapshot = TELEMETRY.snapshot()
+        assert snapshot.counters.get("engine.decisions", 0) >= 1
+
+
+class TestSweepParity:
+    def test_serial_sweep_attaches_metrics_and_merges(self):
+        samples = build_malgene_corpus()[:2]
+        result = ParallelSweep(max_workers=1, telemetry=True).run(samples)
+        merged = result.merged_metrics()
+        assert merged is not None
+        assert merged.counters["worker.jobs"] == 2
+        assert all(entry.metrics is not None for entry in result.entries)
+        # The sweep restored the caller's (disabled) flag.
+        assert not TELEMETRY.enabled
+
+    def test_telemetry_off_means_no_snapshots(self):
+        samples = build_malgene_corpus()[:1]
+        result = ParallelSweep(max_workers=1, telemetry=False).run(samples)
+        assert result.merged_metrics() is None
+
+    @pytest.mark.slow
+    @pytest.mark.skipif(not fork_available(),
+                        reason="needs fork start method")
+    @given(picks=st.lists(st.integers(0, 11), min_size=1, max_size=3,
+                          unique=True))
+    @settings(max_examples=3, deadline=None)
+    def test_pooled_totals_match_serial_exactly(self, picks):
+        corpus = build_malgene_corpus()
+        samples = [corpus[index] for index in picks]
+        serial = ParallelSweep(max_workers=1, telemetry=True).run(samples)
+        pooled = ParallelSweep(max_workers=2, telemetry=True).run(samples)
+        serial_metrics = serial.merged_metrics().deterministic()
+        pooled_metrics = pooled.merged_metrics().deterministic()
+        assert serial_metrics.to_json() == pooled_metrics.to_json()

@@ -1,0 +1,156 @@
+"""Direct unit tests for the telemetry primitives and registry."""
+
+import pytest
+
+from repro.telemetry.metrics import (TELEMETRY, Counter, Gauge,
+                                     LatencyHistogram, MetricsRegistry,
+                                     get_registry, recording)
+from repro.telemetry.snapshot import (HistogramState, MetricsSnapshot,
+                                      bucket_index, bucket_upper_bound)
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestPrimitives:
+    def test_counter_increments(self):
+        counter = Counter("api.calls")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_keeps_the_last_value(self):
+        gauge = Gauge("pool.workers")
+        gauge.set(2)
+        gauge.set(8)
+        assert gauge.value == 8
+
+    def test_histogram_mean_is_exact_not_bucketed(self):
+        histogram = LatencyHistogram("x")
+        for value in (100, 200, 300):
+            histogram.record(value)
+        assert histogram.count == 3
+        assert histogram.total == 600
+        assert histogram.mean == 200.0
+
+    def test_histogram_percentile_reports_bucket_upper_bound(self):
+        histogram = LatencyHistogram("x")
+        for value in (1, 1, 1, 1000):
+            histogram.record(value)
+        assert histogram.percentile(50) == bucket_upper_bound(bucket_index(1))
+        assert histogram.percentile(100) == \
+            bucket_upper_bound(bucket_index(1000))
+
+    def test_histogram_clamps_negative_observations(self):
+        histogram = LatencyHistogram("x")
+        histogram.record(-5)
+        assert histogram.count == 1
+        assert histogram.total == 0
+
+    def test_bucket_bounds_nest(self):
+        for value in (0, 1, 2, 3, 511, 512, 10**9):
+            assert value <= bucket_upper_bound(bucket_index(value))
+
+
+class TestRegistry:
+    def test_disabled_fast_paths_record_nothing(self):
+        registry = MetricsRegistry()
+        registry.count("api.calls")
+        registry.observe("lat", 5)
+        registry.set_gauge("g", 1.0)
+        assert registry.snapshot().is_empty
+
+    def test_enabled_fast_paths_record(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.count("api.calls", 3)
+        registry.observe("lat", 5)
+        registry.set_gauge("g", 2.0)
+        snapshot = registry.snapshot()
+        assert snapshot.counters["api.calls"] == 3
+        assert snapshot.histograms["lat"].count == 1
+        assert snapshot.gauges["g"] == 2.0
+
+    def test_explicit_instruments_work_while_disabled(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert registry.snapshot().counters["c"] == 1
+
+    def test_instruments_are_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.gauge("g") is registry.gauge("g")
+
+    def test_reset_clears_instruments_but_not_the_flag(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.count("c")
+        registry.reset()
+        assert registry.snapshot().is_empty
+        assert registry.enabled
+
+    def test_recording_context_restores_the_prior_flag(self):
+        registry = MetricsRegistry()
+        with recording(registry):
+            assert registry.enabled
+            registry.count("inside")
+        assert not registry.enabled
+        assert registry.snapshot().counters["inside"] == 1
+
+    def test_recording_defaults_to_the_global_registry(self):
+        prior = TELEMETRY.enabled
+        with recording():
+            assert TELEMETRY.enabled
+        assert TELEMETRY.enabled == prior
+
+    def test_get_registry_returns_the_process_global(self):
+        assert get_registry() is TELEMETRY
+
+
+class TestSnapshotBasics:
+    def test_diff_from_drops_zero_deltas(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.count("stable")
+        before = registry.snapshot()
+        registry.count("active", 2)
+        delta = registry.snapshot().diff_from(before)
+        assert delta.counters == {"active": 2}
+
+    def test_diff_from_rejects_backwards_counters(self):
+        bigger = MetricsSnapshot(counters={"c": 5}, gauges={}, histograms={})
+        smaller = MetricsSnapshot(counters={"c": 2}, gauges={}, histograms={})
+        with pytest.raises(ValueError):
+            smaller.diff_from(bigger)
+
+    def test_deterministic_view_drops_wallclock_metrics(self):
+        snapshot = MetricsSnapshot(
+            counters={"api.calls": 1, "wallclock.weird": 2},
+            gauges={"wallclock.g": 1.0},
+            histograms={"wallclock.job_ns": HistogramState(1, 5, (1,))})
+        clean = snapshot.deterministic()
+        assert clean.counters == {"api.calls": 1}
+        assert clean.gauges == {}
+        assert clean.histograms == {}
+
+    def test_json_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.count("c", 3)
+        registry.observe("h", 40)
+        registry.set_gauge("g", 1.5)
+        snapshot = registry.snapshot()
+        clone = MetricsSnapshot.from_dict(snapshot.to_dict())
+        assert clone == snapshot
+        assert clone.to_json() == snapshot.to_json()
+
+    def test_totals_flatten_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.count("c", 2)
+        registry.observe("h", 10)
+        registry.observe("h", 30)
+        totals = registry.snapshot().totals()
+        assert totals["c"] == 2
+        assert totals["h.count"] == 2
+        assert totals["h.total"] == 40

@@ -1,0 +1,95 @@
+"""Property-based invariants of snapshot merging (hypothesis).
+
+The sweep aggregates per-job deltas in whatever order workers finish, so
+``MetricsSnapshot.merge`` must be associative and commutative with
+``empty()`` as identity — otherwise pooled totals would depend on
+scheduling and the serial-vs-pool parity guarantee would collapse.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.metrics import LatencyHistogram
+from repro.telemetry.snapshot import MetricsSnapshot
+
+pytestmark = pytest.mark.telemetry
+
+_names = st.sampled_from((
+    "api.calls", "hook.calls", "engine.decisions", "worker.jobs",
+    "api.latency_ns.kernel32.dll!IsDebuggerPresent", "wallclock.job_ns"))
+
+
+def _histogram_state(values):
+    histogram = LatencyHistogram("h")
+    for value in values:
+        histogram.record(value)
+    return histogram.state()
+
+
+# Strategies stay zero-free: the snapshots the sweep actually merges are
+# job deltas, whose zero-valued entries diff_from() has already dropped.
+_histograms = st.dictionaries(
+    _names,
+    st.lists(st.integers(0, 10**9), min_size=1,
+             max_size=8).map(_histogram_state),
+    max_size=3)
+
+_snapshots = st.builds(
+    MetricsSnapshot,
+    counters=st.dictionaries(_names, st.integers(1, 10**6), max_size=4),
+    gauges=st.dictionaries(_names, st.integers(0, 10**6).map(float),
+                           max_size=3),
+    histograms=_histograms)
+
+
+class TestMergeAlgebra:
+    @given(a=_snapshots, b=_snapshots)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_commutative(self, a, b):
+        assert a.merge(b).to_json() == b.merge(a).to_json()
+
+    @given(a=_snapshots, b=_snapshots, c=_snapshots)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.to_json() == right.to_json()
+
+    @given(a=_snapshots)
+    @settings(max_examples=30, deadline=None)
+    def test_empty_is_the_identity(self, a):
+        assert a.merge(MetricsSnapshot.empty()).to_json() == a.to_json()
+        assert MetricsSnapshot.empty().merge(a).to_json() == a.to_json()
+
+    @given(a=_snapshots, b=_snapshots)
+    @settings(max_examples=40, deadline=None)
+    def test_totals_are_additive_under_merge(self, a, b):
+        merged = a.merge(b).totals()
+        expected = dict(a.totals())
+        for name, value in b.totals().items():
+            expected[name] = expected.get(name, 0) + value
+        assert merged == expected
+
+    @given(a=_snapshots, b=_snapshots)
+    @settings(max_examples=40, deadline=None)
+    def test_diff_inverts_merge_onto_a_baseline(self, a, b):
+        # Gauges are max-merged (not invertible), so compare the
+        # counter/histogram planes only.
+        merged = a.merge(b)
+        delta = merged.diff_from(a)
+        recovered = a.merge(delta)
+        assert recovered.counters == merged.counters
+        assert recovered.histograms == merged.histograms
+
+    @given(a=_snapshots)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_through_json_dict(self, a):
+        assert MetricsSnapshot.from_dict(a.to_dict()).to_json() == a.to_json()
+
+    @given(a=_snapshots, b=_snapshots)
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_commutes_with_merge(self, a, b):
+        direct = a.merge(b).deterministic()
+        viewed = a.deterministic().merge(b.deterministic())
+        assert direct.to_json() == viewed.to_json()

@@ -103,3 +103,109 @@ class TestSweepCommand:
     def test_sweep_rejects_bad_numbers(self, argv, capsys):
         assert main(["sweep", "--families", "Selfdel"] + argv) == 2
         assert "must be >=" in capsys.readouterr().err
+
+
+class TestSweepErrorExit:
+    def _result_with_error(self):
+        from repro.parallel.envelope import SweepError
+        from repro.parallel.sweep import SweepResult
+        error = SweepError(index=0, sample_md5="deadbeef",
+                           error_type="RuntimeError", message="boom",
+                           traceback="", worker_pid=123, retry_count=1)
+        return SweepResult(entries=[error], max_workers=1,
+                           used_process_pool=False, wall_time_s=0.01)
+
+    def test_sweep_exits_nonzero_on_sweep_errors(self, monkeypatch, capsys):
+        from repro.parallel.sweep import ParallelSweep
+        result = self._result_with_error()
+        monkeypatch.setattr(ParallelSweep, "run",
+                            lambda self, samples: result)
+        code = main(["sweep", "--families", "Selfdel", "--limit", "1"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "ERROR deadbeef: RuntimeError: boom" in err
+
+    def test_sweep_exits_zero_without_errors(self, capsys):
+        assert main(["sweep", "--families", "Selfdel", "--limit", "1"]) == 0
+        assert "ERROR" not in capsys.readouterr().err
+
+
+class TestTelemetryOption:
+    def test_sweep_telemetry_writes_jsonl_stats_reads_it(self, tmp_path,
+                                                         capsys):
+        from repro.telemetry import export
+        path = str(tmp_path / "telemetry.jsonl")
+        assert main(["sweep", "--families", "Selfdel", "--limit", "2",
+                     "--telemetry", path]) == 0
+        assert f"telemetry: wrote" in capsys.readouterr().err
+        records = export.read_records(path)
+        kinds = [record["type"] for record in records]
+        assert kinds.count("meta") == 1
+        assert kinds.count("metrics") == 1  # merged sweep scope, no dupes
+        assert kinds.count("sample") == 2
+        metrics = next(r for r in records if r["type"] == "metrics")
+        assert metrics["scope"] == "sweep"
+        assert metrics["snapshot"]["counters"]["worker.jobs"] == 2
+
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "records: meta=1 metrics=1 sample=2" in out
+        assert "worker.jobs: 2" in out
+        assert "api latency (virtual ns):" in out
+        assert "p50_ns" in out and "p99_ns" in out
+
+    def test_experiment_telemetry_records_process_delta(self, tmp_path,
+                                                        capsys):
+        from repro.telemetry import export
+        path = str(tmp_path / "telemetry.jsonl")
+        assert main(["table1", "--telemetry", path]) == 0
+        capsys.readouterr()
+        records = export.read_records(path)
+        metrics = next(r for r in records if r["type"] == "metrics")
+        assert metrics["scope"] == "process"
+        assert metrics["snapshot"]["counters"]["api.calls"] > 0
+
+    def test_telemetry_flag_restored_after_run(self, tmp_path):
+        from repro.telemetry.metrics import TELEMETRY
+        path = str(tmp_path / "telemetry.jsonl")
+        assert not TELEMETRY.enabled
+        main(["sweep", "--families", "Selfdel", "--limit", "1",
+              "--telemetry", path])
+        assert not TELEMETRY.enabled
+
+
+class TestStatsCommand:
+    def test_stats_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_stats_invalid_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("this is not json\n")
+        assert main(["stats", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_stats_schema_violation_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"metrics","scope":"run"}\n')
+        assert main(["stats", str(path)]) == 2
+        assert "missing field" in capsys.readouterr().err
+
+    def test_stats_empty_file_summarises(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "records: (empty)" in out
+        assert "samples: 0  errors: 0" in out
+
+    def test_telemetry_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.telemetry is None
+        args = build_parser().parse_args(["overhead"])
+        assert args.telemetry is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["inventory", "--telemetry", "x"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats"])  # PATH is required

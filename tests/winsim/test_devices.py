@@ -1,0 +1,87 @@
+r"""Direct unit tests for the device namespace.
+
+Name normalization is the load-bearing behaviour: malware probes spell
+``\\.\VBoxGuest`` with every slash variant imaginable, and a miss that
+should have hit (or vice versa) flips a hard VM-evidence signal.
+"""
+
+from repro.winsim.devices import (VBOX_DEVICES, VMWARE_DEVICES,
+                                  DeviceNamespace, normalize_device_name)
+
+
+class TestNormalization:
+    def test_strips_the_unc_device_prefix(self):
+        assert normalize_device_name("\\\\.\\VBoxGuest") == "vboxguest"
+
+    def test_forward_slashes_collapse_to_backslashes(self):
+        assert normalize_device_name("//./VBoxGuest") == "vboxguest"
+
+    def test_bare_name_passes_through_lowercased(self):
+        assert normalize_device_name("HGFS") == "hgfs"
+
+    def test_pipe_names_keep_their_pipe_segment(self):
+        assert normalize_device_name("\\\\.\\pipe\\VBoxTrayIPC") == \
+            "pipe\\vboxtrayipc"
+
+    def test_all_spellings_agree(self):
+        spellings = ("\\\\.\\vmci", "//./vmci", "\\.\\VMCI", "vmci")
+        assert {normalize_device_name(s) for s in spellings} == {"vmci"}
+
+
+class TestNamespace:
+    def test_register_then_exists_across_spellings(self):
+        ns = DeviceNamespace()
+        ns.register("\\\\.\\VBoxGuest")
+        assert ns.exists("//./vboxguest")
+        assert ns.exists("VBOXGUEST")
+        assert not ns.exists("\\\\.\\VBoxMouse")
+
+    def test_names_preserve_the_registered_display_form(self):
+        ns = DeviceNamespace()
+        ns.register("\\\\.\\HGFS")
+        assert ns.names() == ["\\\\.\\HGFS"]
+
+    def test_reregistering_updates_the_display_name(self):
+        ns = DeviceNamespace()
+        ns.register("\\\\.\\hgfs")
+        ns.register("\\\\.\\HGFS")
+        assert ns.names() == ["\\\\.\\HGFS"]
+
+    def test_unregister_reports_whether_the_device_existed(self):
+        ns = DeviceNamespace()
+        ns.register("\\\\.\\vmci")
+        assert ns.unregister("//./VMCI") is True
+        assert ns.unregister("//./VMCI") is False
+        assert not ns.exists("vmci")
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_restores_the_exact_device_set(self):
+        ns = DeviceNamespace()
+        for name in VBOX_DEVICES:
+            ns.register(name)
+        state = ns.snapshot()
+        ns.unregister(VBOX_DEVICES[0])
+        ns.register("\\\\.\\HGFS")
+        ns.restore(state)
+        assert ns.exists(VBOX_DEVICES[0])
+        assert not ns.exists("HGFS")
+        assert sorted(ns.names()) == sorted(VBOX_DEVICES)
+
+    def test_snapshot_is_isolated_from_later_registration(self):
+        ns = DeviceNamespace()
+        state = ns.snapshot()
+        ns.register("\\\\.\\vmci")
+        assert state == {}
+
+
+class TestVendorConstants:
+    def test_vbox_and_vmware_sets_do_not_overlap(self):
+        vbox = {normalize_device_name(n) for n in VBOX_DEVICES}
+        vmware = {normalize_device_name(n) for n in VMWARE_DEVICES}
+        assert not vbox & vmware
+
+    def test_known_paper_probes_are_present(self):
+        assert "\\\\.\\VBoxGuest" in VBOX_DEVICES
+        assert "\\\\.\\HGFS" in VMWARE_DEVICES
+        assert "\\\\.\\vmci" in VMWARE_DEVICES

@@ -1,0 +1,133 @@
+"""Direct unit tests for the GUI window manager.
+
+``FindWindow`` matching semantics carry the debugger-window anti-debug
+probe (and Scarecrow's deceptive answer to it), and the cursor model
+carries Pafish's mouse-activity check — both deserve direct coverage
+rather than only the integration paths that happen to exercise them.
+"""
+
+from repro.winsim.gui import WindowManager
+
+
+class TestWindows:
+    def test_create_assigns_distinct_even_hwnds(self):
+        wm = WindowManager()
+        first = wm.create_window("Shell_TrayWnd", "Taskbar")
+        second = wm.create_window("Notepad", "Untitled - Notepad")
+        assert first.hwnd != second.hwnd
+        assert first.hwnd % 2 == 0 and second.hwnd % 2 == 0
+        assert [w.hwnd for w in wm.windows()] == [first.hwnd, second.hwnd]
+
+    def test_destroy_removes_only_the_named_window(self):
+        wm = WindowManager()
+        keep = wm.create_window("A", "a")
+        doomed = wm.create_window("B", "b")
+        assert wm.destroy_window(doomed.hwnd) is True
+        assert [w.hwnd for w in wm.windows()] == [keep.hwnd]
+
+    def test_destroy_unknown_hwnd_reports_false(self):
+        wm = WindowManager()
+        wm.create_window("A", "a")
+        assert wm.destroy_window(0xDEAD) is False
+        assert len(wm.windows()) == 1
+
+    def test_windows_for_pid_filters_by_owner(self):
+        wm = WindowManager()
+        wm.create_window("A", "a", owner_pid=4)
+        mine = wm.create_window("B", "b", owner_pid=7)
+        assert [w.hwnd for w in wm.windows_for_pid(7)] == [mine.hwnd]
+        assert wm.windows_for_pid(99) == []
+
+
+class TestFindWindow:
+    def test_match_by_class_is_case_insensitive(self):
+        wm = WindowManager()
+        window = wm.create_window("OLLYDBG", None)
+        assert wm.find_window("ollydbg") is window
+        assert wm.find_window("OllyDbg", None) is window
+
+    def test_match_by_title_only(self):
+        wm = WindowManager()
+        window = wm.create_window(None, "Immunity Debugger")
+        assert wm.find_window(None, "immunity debugger") is window
+
+    def test_both_arguments_must_match(self):
+        wm = WindowManager()
+        wm.create_window("WinDbgFrameClass", "WinDbg")
+        assert wm.find_window("WinDbgFrameClass", "wrong title") is None
+        assert wm.find_window("WinDbgFrameClass", "WinDbg") is not None
+
+    def test_none_class_on_window_never_matches_a_class_query(self):
+        wm = WindowManager()
+        wm.create_window(None, "titled")
+        assert wm.find_window("AnyClass") is None
+
+    def test_first_registered_window_wins(self):
+        wm = WindowManager()
+        first = wm.create_window("OLLYDBG", "one")
+        wm.create_window("OLLYDBG", "two")
+        assert wm.find_window("OLLYDBG") is first
+
+    def test_miss_returns_none(self):
+        assert WindowManager().find_window("OLLYDBG") is None
+
+
+class TestCursor:
+    def test_move_cursor_counts_only_real_moves(self):
+        wm = WindowManager()
+        wm.move_cursor(10, 20)
+        wm.move_cursor(10, 20)  # same position: not a move
+        wm.move_cursor(11, 20)
+        assert wm.cursor_pos == (11, 20)
+        assert wm.cursor_move_count == 2
+
+    def test_static_session_cursor_ignores_time(self):
+        wm = WindowManager()
+        wm.move_cursor(5, 5)
+        assert wm.cursor_at_time(0) == (5, 5)
+        assert wm.cursor_at_time(10_000_000_000) == (5, 5)
+
+    def test_humanized_cursor_moves_over_time(self):
+        wm = WindowManager()
+        wm.humanized = True
+        early = wm.cursor_at_time(0)
+        late = wm.cursor_at_time(1_000_000_000)
+        assert early != late
+
+    def test_humanized_cursor_is_a_pure_function_of_time(self):
+        wm = WindowManager()
+        wm.humanized = True
+        assert wm.cursor_at_time(500_000_000) == \
+            wm.cursor_at_time(500_000_000)
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_preserves_windows_and_cursor_state(self):
+        wm = WindowManager()
+        wm.create_window("OLLYDBG", "dbg", owner_pid=3)
+        wm.move_cursor(100, 200)
+        wm.humanized = True
+        state = wm.snapshot()
+        wm.destroy_window(wm.windows()[0].hwnd)
+        wm.move_cursor(0, 0)
+        wm.humanized = False
+        wm.restore(state)
+        assert wm.find_window("OLLYDBG").owner_pid == 3
+        assert wm.cursor_pos == (100, 200)
+        assert wm.cursor_move_count == 1
+        assert wm.humanized is True
+
+    def test_snapshot_is_isolated_from_later_mutation(self):
+        wm = WindowManager()
+        window = wm.create_window("A", "a")
+        state = wm.snapshot()
+        window.title = "mutated"
+        assert state["windows"][0].title == "a"
+
+    def test_restore_legacy_snapshot_defaults_humanized_off(self):
+        wm = WindowManager()
+        state = wm.snapshot()
+        del state["humanized"]
+        wm.humanized = True
+        wm.restore(state)
+        assert wm.humanized is False

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Clock-discipline lint for the Windows simulation layer.
+
+``repro.winsim`` is the deterministic core of the reproduction: every
+timestamp must come from the virtual clock (``machine.clock``) and every
+"random" artifact from seeded state, or serial and pooled sweeps stop
+being byte-identical. This lint rejects the host-nondeterminism escape
+hatches at the import/call level:
+
+* ``import time`` / ``from time import ...`` (``time.time``,
+  ``perf_counter``, ``monotonic`` — all host clocks);
+* ``import random`` / ``from random import ...``;
+* ``import datetime`` / ``from datetime import ...`` and calls to
+  ``datetime.now()``, ``datetime.utcnow()``, ``datetime.today()``,
+  ``date.today()``.
+
+Run it directly (``python tools/check_clock_discipline.py [PATH ...]``;
+defaults to ``src/repro/winsim``) or via ``tests/test_hygiene.py``, which
+keeps it wired into the tier-1 suite. Exit status 1 means violations were
+printed, one ``path:line: message`` per line.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Modules whose very import means host nondeterminism in winsim.
+FORBIDDEN_MODULES = ("time", "random", "datetime")
+
+#: ``obj.method`` calls that read the host clock even when the module
+#: import itself arrived through an allowed path.
+FORBIDDEN_METHOD_CALLS = {
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"), ("time", "time"), ("time", "perf_counter"),
+    ("time", "perf_counter_ns"), ("time", "monotonic"),
+    ("random", "random"),
+}
+
+#: ``(path, line, message)`` — one lint finding.
+Violation = Tuple[str, int, str]
+
+
+def _module_root(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def check_source(path: str, source: str) -> List[Violation]:
+    """Lint one file's source; returns violations in line order."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
+    violations: List[Violation] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = _module_root(alias.name)
+                if root in FORBIDDEN_MODULES:
+                    violations.append((
+                        path, node.lineno,
+                        f"import {alias.name}: use the machine's virtual "
+                        f"clock, not the host {root!r} module"))
+        elif isinstance(node, ast.ImportFrom):
+            root = _module_root(node.module or "")
+            if node.level == 0 and root in FORBIDDEN_MODULES:
+                names = ", ".join(alias.name for alias in node.names)
+                violations.append((
+                    path, node.lineno,
+                    f"from {node.module} import {names}: use the "
+                    f"machine's virtual clock, not the host {root!r} "
+                    f"module"))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute) and
+                    isinstance(func.value, ast.Name) and
+                    (func.value.id, func.attr) in FORBIDDEN_METHOD_CALLS):
+                violations.append((
+                    path, node.lineno,
+                    f"{func.value.id}.{func.attr}() reads host state; "
+                    f"derive it from machine.clock instead"))
+    violations.sort(key=lambda violation: violation[1])
+    return violations
+
+
+def check_paths(paths: Iterable[str]) -> List[Violation]:
+    """Lint every ``.py`` file under the given files/directories."""
+    violations: List[Violation] = []
+    for raw in paths:
+        root = Path(raw)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            violations.extend(
+                check_source(str(file), file.read_text(encoding="utf-8")))
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    paths = argv or ["src/repro/winsim"]
+    violations = check_paths(paths)
+    for path, line, message in violations:
+        print(f"{path}:{line}: {message}")
+    if violations:
+        print(f"{len(violations)} clock-discipline violation(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
