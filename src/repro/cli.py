@@ -15,7 +15,10 @@ Commands:
   — run a corpus sweep on the parallel execution engine and print the
   summary plus per-worker statistics (see docs/PARALLEL.md);
 * ``stats FILE`` — summarise a JSONL telemetry trace written by
-  ``--telemetry`` (see docs/OBSERVABILITY.md).
+  ``--telemetry`` (see docs/OBSERVABILITY.md);
+* ``lint [PATH ...]`` — run the scarelint static-analysis checkers
+  (SC001–SC005) and report unbaselined findings
+  (see docs/STATIC_ANALYSIS.md).
 
 Experiment commands (and ``sweep``) accept ``--telemetry PATH`` to record
 counters and latency histograms while they run and export them as JSONL.
@@ -293,6 +296,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .staticcheck import (load_or_empty, render_human, render_json,
+                              run_lint, write_baseline)
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    baseline = load_or_empty(args.baseline) if not args.no_baseline \
+        else None
+    report = run_lint(args.paths, jobs=args.jobs, baseline=baseline)
+    if args.write_baseline:
+        written = write_baseline(report.findings, args.baseline,
+                                 suppressed=report.suppressed,
+                                 reason=args.reason)
+        print(f"lint: wrote {len(written)} suppression(s) to "
+              f"{args.baseline}", file=sys.stderr)
+        return 0
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_human(report))
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -333,6 +359,24 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="summarise a --telemetry JSONL trace")
     stats.add_argument("path", metavar="PATH",
                        help="telemetry file written by --telemetry")
+    lint = subparsers.add_parser(
+        "lint", help="scarelint static analysis (docs/STATIC_ANALYSIS.md)")
+    lint.add_argument("paths", nargs="*", metavar="PATH", default=["src"],
+                      help="files/directories to lint (default: src)")
+    lint.add_argument("--format", choices=("human", "json"),
+                      default="human", help="output format")
+    lint.add_argument("--baseline", default=".scarelint-baseline.json",
+                      metavar="FILE",
+                      help="baseline of grandfathered findings")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report every finding, ignoring the baseline")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="regenerate the baseline from current findings")
+    lint.add_argument("--reason", default="",
+                      help="reason recorded with --write-baseline entries")
+    lint.add_argument("--jobs", type=int, default=1,
+                      help="parallel lint workers (1 = in-process)")
+    _add_telemetry_option(lint)
     return parser
 
 
@@ -348,6 +392,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "figure4": _cmd_figure4, "cases": _cmd_cases, "all": _cmd_all,
     "demo": _cmd_demo, "pafish": _cmd_pafish, "inventory": _cmd_inventory,
     "overhead": _cmd_overhead, "sweep": _cmd_sweep, "stats": _cmd_stats,
+    "lint": _cmd_lint,
 }
 
 

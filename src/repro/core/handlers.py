@@ -16,6 +16,7 @@ handlers of Table III.
 from __future__ import annotations
 
 import fnmatch
+import zlib
 from typing import Callable, Dict, Optional, Tuple
 
 from ..hooking.inline import HookCall
@@ -88,6 +89,13 @@ _FAKE_WINDOW_HWND = 0xDEC0
 _FAKE_PID_BASE = 90000
 
 Handler = Callable[..., object]
+
+
+def _fake_module_handle(name: str) -> int:
+    # crc32, not hash(): hash() is salted per process (PYTHONHASHSEED),
+    # and pool workers must fabricate the same handle as the serial path.
+    digest = zlib.crc32(name.lower().encode("utf-8", "replace"))
+    return _FAKE_MODULE_BASE + (digest & 0xFFFF) * 0x10
 
 
 def build_handlers(engine: DeceptionEngine) -> Dict[str, Handler]:
@@ -348,7 +356,7 @@ def build_handlers(engine: DeceptionEngine) -> Dict[str, Handler]:
             resource = db.lookup_library(name)
             if e.decide(resource):
                 report(call, "library", name, profile=resource.profile)
-                return _FAKE_MODULE_BASE + (hash(name.lower()) & 0xFFFF) * 0x10
+                return _fake_module_handle(name)
         return call.original(name)
 
     def load_library(call: HookCall, name: str):
@@ -356,7 +364,7 @@ def build_handlers(engine: DeceptionEngine) -> Dict[str, Handler]:
             resource = db.lookup_library(name)
             if e.decide(resource):
                 report(call, "library", name, profile=resource.profile)
-                return _FAKE_MODULE_BASE + (hash(name.lower()) & 0xFFFF) * 0x10
+                return _fake_module_handle(name)
         return call.original(name)
 
     def get_proc_address(call: HookCall, module_base: int, proc_name: str):

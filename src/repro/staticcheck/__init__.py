@@ -1,0 +1,38 @@
+"""``scarelint`` — the reproduction's static-analysis subsystem.
+
+Machine-checks the invariants the paper states and the rest of the tree
+assumes: the winsim substrate stays virtual-clock-deterministic (SC001)
+and entropy-free (SC002), the layer order holds and the import graph is
+acyclic (SC003), the 29-API hook contract of Section III-A resolves
+against real prologue-bearing exports with full handler coverage
+(SC004), and no layer silently swallows exceptions (SC005).
+
+Entry points: ``repro lint`` (CLI), :func:`run_lint` (library),
+``tests/test_hygiene.py`` (the in-tree zero-unbaselined-findings gate).
+Rule catalogue and baseline workflow: docs/STATIC_ANALYSIS.md.
+"""
+
+from .baseline import (Baseline, BaselineEntry, BaselineFormatError,
+                       DEFAULT_BASELINE_PATH, load_or_empty)
+from .cache import (FileContext, PARSE_CACHE, ParseCache, build_context,
+                    module_name_for)
+from .finding import (Finding, SEVERITY_ERROR, SEVERITY_WARNING,
+                      keyed_findings, suppression_key)
+from .registry import (CheckerSpec, DETERMINISTIC_ZONES, ProjectContext,
+                       all_checkers, checker, ensure_builtin_checkers,
+                       file_checkers, get_checker, project_checker,
+                       project_checkers)
+from .runner import (FileTaskResult, LintReport, collect_files, lint_file,
+                     render_human, render_json, run_lint, write_baseline)
+
+__all__ = [
+    "Baseline", "BaselineEntry", "BaselineFormatError", "CheckerSpec",
+    "DEFAULT_BASELINE_PATH", "DETERMINISTIC_ZONES", "FileContext",
+    "FileTaskResult", "Finding", "LintReport", "PARSE_CACHE",
+    "ParseCache", "ProjectContext", "SEVERITY_ERROR", "SEVERITY_WARNING",
+    "all_checkers", "build_context", "checker", "collect_files",
+    "ensure_builtin_checkers", "file_checkers", "get_checker",
+    "keyed_findings", "lint_file", "load_or_empty", "module_name_for",
+    "project_checker", "project_checkers", "render_human", "render_json",
+    "run_lint", "suppression_key", "write_baseline",
+]

@@ -1,0 +1,147 @@
+"""Baseline files — grandfathered findings that do not fail the lint.
+
+A baseline is a committed JSON document listing suppression keys (see
+:func:`repro.staticcheck.finding.suppression_key`) for findings the tree
+deliberately keeps: today that is the host-clock usage inside
+``repro.parallel`` that feeds the ``wallclock.*`` telemetry metrics.
+Each entry carries the rule, path and line text it was minted from, so a
+reviewer can audit the file without recomputing hashes.
+
+Workflow: ``repro lint --write-baseline`` regenerates the file from the
+current findings; editing a baselined line changes its key and the
+finding resurfaces on the next run. Keys are path-relative, so the lint
+must run from the repository root (the hygiene test does).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .finding import Finding, keyed_findings
+
+#: Default committed baseline, resolved relative to the working directory.
+DEFAULT_BASELINE_PATH = ".scarelint-baseline.json"
+
+_SCHEMA_VERSION = 1
+
+
+class BaselineFormatError(ValueError):
+    """Raised for files that do not parse as a version-1 baseline."""
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    """One suppression: the key plus the context it was minted from."""
+
+    key: str
+    rule: str = ""
+    path: str = ""
+    line_text: str = ""
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        payload = {"key": self.key, "rule": self.rule, "path": self.path,
+                   "line_text": self.line_text}
+        if self.reason:
+            payload["reason"] = self.reason
+        return payload
+
+
+@dataclasses.dataclass
+class Baseline:
+    """The set of suppressed finding keys, with load/save/apply."""
+
+    entries: List[BaselineEntry] = dataclasses.field(default_factory=list)
+
+    def keys(self) -> Set[str]:
+        return {entry.key for entry in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- application ---------------------------------------------------------
+
+    def apply(self, findings: Iterable[Finding]
+              ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings into (unbaselined, suppressed, stale entries).
+
+        Stale entries are baseline keys no current finding produced —
+        usually a fixed violation whose suppression should be deleted.
+        """
+        keys = self.keys()
+        matched: Set[str] = set()
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding, key in keyed_findings(findings):
+            if key in keys:
+                matched.add(key)
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+        stale = [entry for entry in self.entries
+                 if entry.key not in matched]
+        return kept, suppressed, stale
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      reason: str = "") -> "Baseline":
+        entries = [BaselineEntry(key=key, rule=finding.rule,
+                                 path=finding.path,
+                                 line_text=finding.line_text.strip(),
+                                 reason=reason)
+                   for finding, key in keyed_findings(findings)]
+        return cls(entries=entries)
+
+    # -- persistence ---------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise BaselineFormatError(
+                    f"{path}: not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or \
+                payload.get("version") != _SCHEMA_VERSION:
+            raise BaselineFormatError(
+                f"{path}: expected a version-{_SCHEMA_VERSION} baseline "
+                f"object")
+        raw = payload.get("suppressions", [])
+        if not isinstance(raw, list):
+            raise BaselineFormatError(f"{path}: 'suppressions' must be a "
+                                      f"list")
+        entries = []
+        for index, item in enumerate(raw):
+            if not isinstance(item, dict) or "key" not in item:
+                raise BaselineFormatError(
+                    f"{path}: suppression #{index} lacks a 'key'")
+            entries.append(BaselineEntry(
+                key=str(item["key"]), rule=str(item.get("rule", "")),
+                path=str(item.get("path", "")),
+                line_text=str(item.get("line_text", "")),
+                reason=str(item.get("reason", ""))))
+        return cls(entries=entries)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": _SCHEMA_VERSION,
+            "suppressions": [entry.to_dict() for entry in
+                             sorted(self.entries,
+                                    key=lambda e: (e.path, e.rule, e.key))],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+
+
+def load_or_empty(path: str) -> Baseline:
+    """Load ``path``; a missing file is an empty baseline (not an error)."""
+    try:
+        return Baseline.load(path)
+    except FileNotFoundError:
+        return Baseline()

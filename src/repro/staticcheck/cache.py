@@ -1,0 +1,128 @@
+"""Shared AST-parse cache and the per-file checker context.
+
+Every file-scope checker sees the same :class:`FileContext` — source,
+split lines, parsed AST, and the dotted module name when the file lives
+under a ``repro`` package root — so a file is read and parsed exactly
+once per process however many checkers inspect it. The cache keys on
+``(path, mtime_ns, size)``; a run that lints the tree and then re-lints
+after an edit reparses only the changed files.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+from typing import Dict, List, Optional, Tuple
+
+from .finding import Finding, SEVERITY_ERROR
+
+#: Rule id for files that do not parse at all.
+SYNTAX_RULE = "SC000"
+
+
+@dataclasses.dataclass
+class FileContext:
+    """Everything checkers may want to know about one source file."""
+
+    path: str                    #: normalized posix-relative path
+    source: str
+    lines: List[str]             #: source split into lines (1-based access
+                                 #: via :meth:`line_text`)
+    tree: Optional[ast.AST]      #: ``None`` when the file failed to parse
+    module: Optional[str]        #: dotted name (``repro.winsim.clock``) or
+                                 #: ``None`` outside a ``repro`` tree
+    parse_error: Optional[Finding] = None
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, line: int, message: str,
+                severity: str = SEVERITY_ERROR) -> Finding:
+        """Build a finding anchored to ``line`` with its text captured."""
+        return Finding(rule=rule, path=self.path, line=line,
+                       message=message, severity=severity,
+                       line_text=self.line_text(line))
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """Dotted module name for a file under a ``repro`` package root.
+
+    ``src/repro/winsim/clock.py`` → ``repro.winsim.clock``;
+    ``src/repro/winsim/__init__.py`` → ``repro.winsim``; paths without a
+    ``repro`` component → ``None`` (zone-gated checkers skip them).
+    """
+    parts = list(os.path.normpath(path).split(os.sep))
+    if not parts or not parts[-1].endswith(".py"):
+        return None
+    parts[-1] = parts[-1][:-3]
+    if parts[-1] == "__init__":
+        parts.pop()
+    try:
+        anchor = parts.index("repro")
+    except ValueError:
+        return None
+    dotted = [p for p in parts[anchor:] if p]
+    return ".".join(dotted) if dotted else None
+
+
+def normalize_path(path: str) -> str:
+    """Posix-style path relative to the working directory."""
+    return os.path.relpath(path).replace(os.sep, "/")
+
+
+def build_context(path: str, source: str,
+                  module: Optional[str] = None) -> FileContext:
+    """Parse ``source`` into a context (no filesystem access, no cache)."""
+    norm = normalize_path(path)
+    lines = source.splitlines()
+    if module is None:
+        module = module_name_for(path)
+    try:
+        tree: Optional[ast.AST] = ast.parse(source, filename=norm)
+        error = None
+    except SyntaxError as exc:
+        tree = None
+        error = Finding(rule=SYNTAX_RULE, path=norm,
+                        line=exc.lineno or 0,
+                        message=f"syntax error: {exc.msg}",
+                        line_text=(lines[exc.lineno - 1].strip()
+                                   if exc.lineno and
+                                   exc.lineno <= len(lines) else ""))
+    return FileContext(path=norm, source=source, lines=lines, tree=tree,
+                       module=module, parse_error=error)
+
+
+class ParseCache:
+    """Process-local ``path → FileContext`` cache keyed on file identity."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Tuple[Tuple[int, int], FileContext]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, path: str) -> FileContext:
+        stat = os.stat(path)
+        identity = (stat.st_mtime_ns, stat.st_size)
+        cached = self._entries.get(path)
+        if cached is not None and cached[0] == identity:
+            self.hits += 1
+            return cached[1]
+        self.misses += 1
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        context = build_context(path, source)
+        self._entries[path] = (identity, context)
+        return context
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: The cache shared by a process's lint runs (workers inherit an empty
+#: one at fork time; the serial path reuses parses across stages).
+PARSE_CACHE = ParseCache()

@@ -1,0 +1,191 @@
+"""File-scope checkers: SC001 clock-discipline, SC002 host-entropy,
+SC005 exception-discipline.
+
+SC001 and SC002 guard the *deterministic zones* (see
+:data:`repro.staticcheck.registry.DETERMINISTIC_ZONES`): any host clock
+or host entropy reaching the simulation substrate reopens exactly the
+timing/entropy side channels the deception exists to close, and breaks
+the serial-vs-pooled byte-identity the parallel engine guarantees.
+SC005 applies tree-wide: a silently swallowed exception in a deception
+handler turns a fabricated answer into an accidental passthrough.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from .cache import FileContext
+from .finding import Finding
+from .registry import DETERMINISTIC_ZONES, checker
+
+# -- SC001: clock discipline --------------------------------------------------
+
+#: Modules whose very import means host nondeterminism in a zone.
+FORBIDDEN_TIME_MODULES = ("time", "random", "datetime")
+
+#: ``obj.method`` calls that read the host clock even when the module
+#: import itself arrived through an allowed path.
+FORBIDDEN_METHOD_CALLS = {
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"), ("time", "time"), ("time", "perf_counter"),
+    ("time", "perf_counter_ns"), ("time", "monotonic"),
+    ("random", "random"),
+}
+
+
+def _module_root(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+@checker("SC001", "clock-discipline",
+         "host time/randomness (time, random, datetime) is forbidden in "
+         "deterministic zones; use the machine's virtual clock",
+         zones=DETERMINISTIC_ZONES)
+def check_clock_discipline(ctx: FileContext) -> List[Finding]:
+    findings: List[Finding] = []
+    if ctx.tree is None:
+        return findings
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = _module_root(alias.name)
+                if root in FORBIDDEN_TIME_MODULES:
+                    findings.append(ctx.finding(
+                        "SC001", node.lineno,
+                        f"import {alias.name}: use the machine's virtual "
+                        f"clock, not the host {root!r} module"))
+        elif isinstance(node, ast.ImportFrom):
+            root = _module_root(node.module or "")
+            if node.level == 0 and root in FORBIDDEN_TIME_MODULES:
+                names = ", ".join(alias.name for alias in node.names)
+                findings.append(ctx.finding(
+                    "SC001", node.lineno,
+                    f"from {node.module} import {names}: use the "
+                    f"machine's virtual clock, not the host {root!r} "
+                    f"module"))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute) and
+                    isinstance(func.value, ast.Name) and
+                    (func.value.id, func.attr) in FORBIDDEN_METHOD_CALLS):
+                findings.append(ctx.finding(
+                    "SC001", node.lineno,
+                    f"{func.value.id}.{func.attr}() reads host state; "
+                    f"derive it from machine.clock instead"))
+    return findings
+
+
+# -- SC002: host entropy ------------------------------------------------------
+
+#: Modules whose import injects host entropy into a deterministic zone.
+FORBIDDEN_ENTROPY_MODULES = ("uuid", "secrets")
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and
+            isinstance(node.func, ast.Name) and node.func.id == "set")
+
+
+@checker("SC002", "host-entropy",
+         "host entropy (uuid, secrets, os.urandom, salted hash(), "
+         "unordered set iteration) is forbidden in deterministic zones",
+         zones=DETERMINISTIC_ZONES)
+def check_host_entropy(ctx: FileContext) -> List[Finding]:
+    findings: List[Finding] = []
+    if ctx.tree is None:
+        return findings
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = _module_root(alias.name)
+                if root in FORBIDDEN_ENTROPY_MODULES:
+                    findings.append(ctx.finding(
+                        "SC002", node.lineno,
+                        f"import {alias.name}: host entropy; derive "
+                        f"identifiers from seeded machine state"))
+        elif isinstance(node, ast.ImportFrom):
+            root = _module_root(node.module or "")
+            if node.level == 0 and root in FORBIDDEN_ENTROPY_MODULES:
+                findings.append(ctx.finding(
+                    "SC002", node.lineno,
+                    f"from {node.module} import ...: host entropy; derive "
+                    f"identifiers from seeded machine state"))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute) and
+                    isinstance(func.value, ast.Name) and
+                    func.value.id == "os" and func.attr == "urandom"):
+                findings.append(ctx.finding(
+                    "SC002", node.lineno,
+                    "os.urandom() draws host entropy; use seeded state"))
+            elif isinstance(func, ast.Name) and func.id == "hash" and \
+                    node.args:
+                findings.append(ctx.finding(
+                    "SC002", node.lineno,
+                    "builtin hash() is salted per process "
+                    "(PYTHONHASHSEED); use a deterministic digest such "
+                    "as zlib.crc32"))
+        elif isinstance(node, ast.For) and _is_set_expression(node.iter):
+            findings.append(ctx.finding(
+                "SC002", node.lineno,
+                "iterating a set feeds hash-order nondeterminism into "
+                "output; iterate sorted(...) instead"))
+    return findings
+
+
+# -- SC005: exception discipline ----------------------------------------------
+
+#: Modules allowed to swallow broad exceptions (none today; entries must
+#: carry a justification in docs/STATIC_ANALYSIS.md).
+EXCEPTION_ALLOWLIST: Tuple[str, ...] = ()
+
+_BROAD_EXCEPTIONS = ("Exception", "BaseException")
+
+
+def _names_broad_exception(expr: Optional[ast.expr]) -> bool:
+    if expr is None:                      # bare ``except:``
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in _BROAD_EXCEPTIONS
+    if isinstance(expr, ast.Tuple):
+        return any(_names_broad_exception(item) for item in expr.elts)
+    return False
+
+
+def _body_is_silent(body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and \
+                isinstance(stmt.value, ast.Constant) and \
+                stmt.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+@checker("SC005", "exception-discipline",
+         "bare 'except:' and silently swallowed broad excepts hide "
+         "failures; catch specific exceptions or handle the error")
+def check_exception_discipline(ctx: FileContext) -> List[Finding]:
+    findings: List[Finding] = []
+    if ctx.tree is None or (ctx.module or "") in EXCEPTION_ALLOWLIST:
+        return findings
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            findings.append(ctx.finding(
+                "SC005", node.lineno,
+                "bare 'except:' catches SystemExit/KeyboardInterrupt; "
+                "name the exception type"))
+        elif _names_broad_exception(node.type) and \
+                _body_is_silent(node.body):
+            findings.append(ctx.finding(
+                "SC005", node.lineno,
+                "broad except with an empty body silently swallows "
+                "errors; handle or re-raise"))
+    return findings

@@ -1,0 +1,140 @@
+"""SC004 — the 29-API hook contract (paper Section III-A conformance).
+
+The deception is only as complete as its hook coverage: HookChain-style
+bypasses live exactly where a "hooked" name fails to resolve to a real
+prologue-bearing export, or where a contract API silently has no
+handler. This checker cross-checks, against the live ``repro.winapi``
+export table:
+
+* every name Scarecrow hooks — ``CORE_29_APIS``, the W-variant aliases
+  (both sides), the decoys, and every key ``build_handlers()`` actually
+  registers — resolves to a registered winapi export;
+* each such export carries the standard hotpatch prologue and accepts a
+  JMP patch that round-trips (install → detectably hooked → restore);
+* every one of the 29 contract APIs has a registered handler.
+
+The core logic is pure (:func:`contract_findings`) so tests can feed it
+deliberately broken inputs; the registered checker gathers the real
+values by importing the live modules, and only fires when the scan
+includes ``repro.core.handlers`` (linting an unrelated tree does not
+drag the whole system in).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from .cache import FileContext
+from .finding import Finding
+from .registry import ProjectContext, project_checker
+
+#: Module whose presence in the scan set arms this checker.
+ANCHOR_MODULE = "repro.core.handlers"
+
+
+def _anchor_line(ctx: FileContext, name: str) -> int:
+    """Line of the first quoted occurrence of ``name`` (1 when absent)."""
+    needle = f'"{name}"'
+    for index, line in enumerate(ctx.lines, start=1):
+        if needle in line:
+            return index
+    return 1
+
+
+def default_prologue_ok(export: str) -> bool:
+    """Standard-prologue + patch round-trip proof on a fresh code image."""
+    from ..hooking.prologue import (PATCH_LEN, STANDARD_PROLOGUE, CodeImage)
+    image = CodeImage()
+    if image.read(export) != STANDARD_PROLOGUE:
+        return False
+    saved = image.patch_jmp(export, 0x10000000)
+    if not image.is_patched(export):
+        return False
+    image.unpatch(export, saved)
+    return image.read(export, PATCH_LEN) == STANDARD_PROLOGUE[:PATCH_LEN]
+
+
+def contract_findings(ctx: FileContext,
+                      core_apis: Iterable[str],
+                      aliases: Mapping[str, str],
+                      decoys: Iterable[str],
+                      handler_names: Iterable[str],
+                      exports: Iterable[str],
+                      prologue_ok: Callable[[str], bool]
+                      ) -> List[Finding]:
+    """Pure cross-check of the hook contract; see the module docstring."""
+    findings: List[Finding] = []
+    export_index = {name.lower(): name for name in exports}
+    handler_set = set(handler_names)
+    core = list(core_apis)
+
+    def resolves(name: str) -> bool:
+        return name.lower() in export_index
+
+    checked: Dict[str, str] = {}
+    for name in core:
+        checked.setdefault(name, "contract API")
+    for alias, base in aliases.items():
+        checked.setdefault(alias, "W-variant alias")
+        checked.setdefault(base, "W-variant base")
+    for name in decoys:
+        checked.setdefault(name, "decoy hook")
+    for name in handler_names:
+        checked.setdefault(name, "registered handler")
+
+    for name in sorted(checked):
+        role = checked[name]
+        if not resolves(name):
+            findings.append(ctx.finding(
+                "SC004", _anchor_line(ctx, name),
+                f"{role} {name} does not resolve to a registered winapi "
+                f"export (hooking it would be a silent no-op)"))
+        elif not prologue_ok(name):
+            findings.append(ctx.finding(
+                "SC004", _anchor_line(ctx, name),
+                f"{role} {name} does not carry a standard hotpatch "
+                f"prologue / JMP patch round-trip failed"))
+
+    if len(core) != 29:
+        findings.append(ctx.finding(
+            "SC004", _anchor_line(ctx, core[0]) if core else 1,
+            f"CORE_29_APIS lists {len(core)} APIs; the paper's Section "
+            f"III-A contract is exactly 29"))
+    for name in core:
+        if name not in handler_set:
+            findings.append(ctx.finding(
+                "SC004", _anchor_line(ctx, name),
+                f"contract API {name} has no handler registered by "
+                f"build_handlers() (deception coverage gap)"))
+
+    for alias, base in sorted(aliases.items()):
+        if base not in handler_set:
+            findings.append(ctx.finding(
+                "SC004", _anchor_line(ctx, alias),
+                f"W-variant alias {alias} maps to {base}, which has no "
+                f"registered handler"))
+    return findings
+
+
+def live_contract_inputs():
+    """The real (core, aliases, decoys, handlers, exports) quintuple."""
+    from .. import winapi  # ensures every export is registered
+    from ..core.engine import DeceptionEngine
+    from ..core.handlers import (CORE_29_APIS, DECOY_APIS,
+                                 W_VARIANT_ALIASES, build_handlers)
+    handlers = build_handlers(DeceptionEngine())
+    return (CORE_29_APIS, W_VARIANT_ALIASES, DECOY_APIS,
+            sorted(handlers), sorted(winapi.EXPORTS))
+
+
+@project_checker("SC004", "api-contract",
+                 "every hooked name must resolve to a real prologue-"
+                 "bearing winapi export and all 29 contract APIs must "
+                 "have handlers")
+def check_api_contract(ctx: ProjectContext) -> List[Finding]:
+    anchor = ctx.find(ANCHOR_MODULE)
+    if anchor is None:
+        return []
+    core, aliases, decoys, handler_names, exports = live_contract_inputs()
+    return contract_findings(anchor, core, aliases, decoys, handler_names,
+                             exports, default_prologue_ok)

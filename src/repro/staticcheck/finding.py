@@ -1,0 +1,81 @@
+"""The :class:`Finding` model — one diagnostic from one checker.
+
+A finding is a plain, picklable value: rule id (``SC001`` …), severity,
+``path:line`` location, human message, and the *stripped source line* it
+anchors to. The line text is what makes suppression keys robust: a
+baseline entry keys on ``(rule, path, line text, occurrence)`` rather
+than the line *number*, so unrelated edits that shift code up or down do
+not invalidate suppressions, while editing the offending line itself
+does (see :mod:`repro.staticcheck.baseline`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, Iterable, List
+
+#: Severity levels, most severe first (sort order for reports).
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+_SEVERITY_RANK = {SEVERITY_ERROR: 0, SEVERITY_WARNING: 1}
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One static-analysis diagnostic."""
+
+    rule: str           #: rule id, e.g. ``"SC001"``
+    path: str           #: posix-style path, relative to the lint root/cwd
+    line: int           #: 1-based line number (0 = whole file)
+    message: str        #: human-readable explanation
+    severity: str = SEVERITY_ERROR
+    line_text: str = ""  #: stripped source of ``line`` (suppression anchor)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def render(self) -> str:
+        """The canonical one-line human rendering."""
+        return f"{self.path}:{self.line}: {self.rule} [{self.severity}] " \
+               f"{self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "severity": self.severity, "message": self.message,
+                "line_text": self.line_text}
+
+    def sort_key(self):
+        return (self.path, self.line,
+                _SEVERITY_RANK.get(self.severity, 9), self.rule,
+                self.message)
+
+
+def suppression_key(rule: str, path: str, line_text: str,
+                    occurrence: int) -> str:
+    """Stable 16-hex-digit key for one baselined finding.
+
+    ``occurrence`` disambiguates identical lines in the same file (the
+    n-th ``start = time.perf_counter()`` keeps its own key).
+    """
+    payload = "|".join((rule, path, line_text.strip(), str(occurrence)))
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def keyed_findings(findings: Iterable[Finding]) -> List[tuple]:
+    """Pair each finding with its suppression key.
+
+    Occurrence indices are assigned per ``(rule, path, line_text)`` group
+    in ``(path, line)`` order, so keys are independent of checker
+    execution order.
+    """
+    ordered = sorted(findings, key=Finding.sort_key)
+    seen: Dict[tuple, int] = {}
+    out = []
+    for finding in ordered:
+        group = (finding.rule, finding.path, finding.line_text.strip())
+        occurrence = seen.get(group, 0)
+        seen[group] = occurrence + 1
+        out.append((finding, suppression_key(finding.rule, finding.path,
+                                             finding.line_text, occurrence)))
+    return out

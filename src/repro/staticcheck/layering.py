@@ -1,0 +1,210 @@
+"""SC003 — import-graph layering for the ``repro`` package.
+
+The reproduction's layer order is load-bearing (see ``repro/__init__``):
+``winsim`` is the closed substrate at the bottom, ``winapi`` and
+``hooking`` sit on it, ``core`` (Scarecrow itself) on those. A
+``winsim → winapi/core/hooking`` import would let machine state reach
+back into the deception layer — precisely the kind of self-referential
+coupling HookChain-style bypasses exploit — and a ``winapi → core``
+import would make the API table depend on the thing that hooks it.
+
+This checker parses every scanned ``repro.*`` file's imports, resolves
+relative imports to dotted module names, and reports:
+
+* forbidden layer edges (including imports deferred into function
+  bodies — a layering leak is a leak wherever the import statement
+  sits), and
+* cycles among *module-top-level* imports (deferred imports are the
+  sanctioned way to break a cycle, so they are excluded here).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .cache import FileContext
+from .finding import Finding
+from .registry import ProjectContext, project_checker
+
+#: ``(importing layer, imported layer)`` pairs that violate the order.
+FORBIDDEN_EDGES: Tuple[Tuple[str, str], ...] = (
+    ("winsim", "winapi"), ("winsim", "core"), ("winsim", "hooking"),
+    ("winapi", "core"),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ImportEdge:
+    """One resolved import: ``src`` module imports ``dst`` module."""
+
+    src: str
+    dst: str
+    line: int
+    deferred: bool      #: True when the import sits inside a function
+
+
+def layer_of(module: str) -> Optional[str]:
+    """The top-level ``repro`` subpackage a module belongs to."""
+    parts = module.split(".")
+    if len(parts) >= 2 and parts[0] == "repro":
+        return parts[1]
+    return None
+
+
+def _resolve_relative(module: str, is_package: bool, level: int,
+                      target: Optional[str]) -> Optional[str]:
+    """Absolute dotted name for a level-``level`` relative import."""
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]              # the containing package
+    drop = level - 1
+    if drop:
+        if drop >= len(parts):
+            return None
+        parts = parts[:-drop]
+    if target:
+        parts = parts + target.split(".")
+    return ".".join(parts) if parts else None
+
+
+def extract_edges(ctx: FileContext,
+                  known_modules: Set[str]) -> List[ImportEdge]:
+    """All ``repro.*`` imports of one file, resolved against the scan set.
+
+    ``from pkg import name`` resolves to ``pkg.name`` when that is a
+    scanned module (a submodule import), otherwise to ``pkg`` (a symbol
+    import executing the package/module itself).
+    """
+    if ctx.tree is None or ctx.module is None:
+        return []
+    is_package = ctx.path.endswith("__init__.py")
+    edges: List[ImportEdge] = []
+
+    def add(target: Optional[str], line: int, deferred: bool) -> None:
+        if target and target.split(".")[0] == "repro" and \
+                target != ctx.module:
+            edges.append(ImportEdge(ctx.module, target, line, deferred))
+
+    def visit(node: ast.AST, deferred: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_deferred = deferred or isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            if isinstance(child, ast.Import):
+                for alias in child.names:
+                    add(alias.name, child.lineno, deferred)
+            elif isinstance(child, ast.ImportFrom):
+                if child.level == 0:
+                    base = child.module
+                else:
+                    base = _resolve_relative(ctx.module, is_package,
+                                             child.level, child.module)
+                if base is None:
+                    continue
+                for alias in child.names:
+                    sub = f"{base}.{alias.name}"
+                    add(sub if sub in known_modules else base,
+                        child.lineno, deferred)
+            else:
+                visit(child, child_deferred)
+
+    visit(ctx.tree, deferred=False)
+    return edges
+
+
+def find_cycles(edges: Sequence[ImportEdge]) -> List[List[str]]:
+    """Strongly connected components with >1 node (or a self-loop)."""
+    graph: Dict[str, Set[str]] = {}
+    for edge in edges:
+        graph.setdefault(edge.src, set()).add(edge.dst)
+        graph.setdefault(edge.dst, set())
+    # Tarjan, iterative; output deterministically ordered.
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    cycles: List[List[str]] = []
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or \
+                        node in graph.get(node, ()):
+                    cycles.append(sorted(component))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return sorted(cycles)
+
+
+def layering_findings(files: Sequence[FileContext]) -> List[Finding]:
+    """The SC003 core, separated for direct use in tests."""
+    known = {ctx.module for ctx in files if ctx.module is not None}
+    by_module = {ctx.module: ctx for ctx in files if ctx.module is not None}
+    all_edges: List[ImportEdge] = []
+    for ctx in files:
+        all_edges.extend(extract_edges(ctx, known))
+
+    findings: List[Finding] = []
+    for edge in all_edges:
+        src_layer, dst_layer = layer_of(edge.src), layer_of(edge.dst)
+        if (src_layer, dst_layer) in FORBIDDEN_EDGES:
+            ctx = by_module[edge.src]
+            findings.append(ctx.finding(
+                "SC003", edge.line,
+                f"layering violation: {src_layer} must not import "
+                f"{dst_layer} ({edge.src} -> {edge.dst})"))
+
+    toplevel = [edge for edge in all_edges
+                if not edge.deferred and edge.dst in known]
+    for cycle in find_cycles(toplevel):
+        members = set(cycle)
+        anchor = next(edge for edge in toplevel
+                      if edge.src in members and edge.dst in members)
+        ctx = by_module[anchor.src]
+        findings.append(ctx.finding(
+            "SC003", anchor.line,
+            "import cycle among top-level imports: " +
+            " <-> ".join(cycle)))
+    return findings
+
+
+@project_checker("SC003", "layering",
+                 "the repro layer order (winsim < winapi/hooking < core) "
+                 "must hold and the import graph must be acyclic")
+def check_layering(ctx: ProjectContext) -> List[Finding]:
+    return layering_findings(ctx.files)

@@ -1,0 +1,136 @@
+"""Checker registry: rule metadata, zone gating, and lookup.
+
+Checkers come in two scopes:
+
+* **file** — a callable ``(FileContext) -> List[Finding]`` run once per
+  parsed file, optionally gated to the *deterministic zones* (the
+  subpackages whose behaviour must be byte-reproducible across serial
+  and pooled runs);
+* **project** — a callable ``(ProjectContext) -> List[Finding]`` run
+  once per lint over every scanned file, for cross-file invariants
+  (import layering, the 29-API hook contract).
+
+Registration happens at import time of the defining module;
+:func:`ensure_builtin_checkers` imports the in-tree checker modules so
+callers never depend on import order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .cache import FileContext
+
+#: Subpackages that must stay free of host time and host entropy.
+#: ``winsim`` is the simulated machine itself; ``winapi`` and ``hooking``
+#: sit directly on top of it and fabricate values malware observes;
+#: ``core`` is the deception engine; ``parallel`` must produce output
+#: byte-identical to the serial path (its deliberate wall-clock metrics
+#: are baselined, not exempted).
+DETERMINISTIC_ZONES: Tuple[str, ...] = (
+    "repro.winsim", "repro.winapi", "repro.hooking", "repro.core",
+    "repro.parallel",
+)
+
+FileCheckFn = Callable[[FileContext], List["Finding"]]
+ProjectCheckFn = Callable[["ProjectContext"], List["Finding"]]
+
+
+@dataclasses.dataclass
+class ProjectContext:
+    """Cross-file view handed to project-scope checkers."""
+
+    files: List[FileContext]
+
+    def by_module(self) -> Dict[str, FileContext]:
+        return {ctx.module: ctx for ctx in self.files
+                if ctx.module is not None}
+
+    def find(self, module: str) -> Optional[FileContext]:
+        for ctx in self.files:
+            if ctx.module == module:
+                return ctx
+        return None
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckerSpec:
+    """One registered checker plus its catalogue metadata."""
+
+    rule: str
+    name: str
+    description: str
+    scope: str                       #: ``"file"`` or ``"project"``
+    fn: Callable[..., List["Finding"]]
+    #: Module-name prefixes the checker applies to; ``None`` = every file.
+    zones: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, module: Optional[str]) -> bool:
+        if self.zones is None:
+            return True
+        if module is None:
+            return False
+        return any(module == zone or module.startswith(zone + ".")
+                   for zone in self.zones)
+
+
+_REGISTRY: Dict[str, CheckerSpec] = {}
+
+
+def register(spec: CheckerSpec) -> CheckerSpec:
+    if spec.rule in _REGISTRY:
+        raise ValueError(f"duplicate checker rule {spec.rule}")
+    if spec.scope not in ("file", "project"):
+        raise ValueError(f"unknown checker scope {spec.scope!r}")
+    _REGISTRY[spec.rule] = spec
+    return spec
+
+
+def checker(rule: str, name: str, description: str,
+            zones: Optional[Sequence[str]] = None
+            ) -> Callable[[FileCheckFn], FileCheckFn]:
+    """Decorator registering a file-scope checker."""
+
+    def decorate(fn: FileCheckFn) -> FileCheckFn:
+        register(CheckerSpec(rule=rule, name=name, description=description,
+                             scope="file", fn=fn,
+                             zones=tuple(zones) if zones else None))
+        return fn
+
+    return decorate
+
+
+def project_checker(rule: str, name: str, description: str
+                    ) -> Callable[[ProjectCheckFn], ProjectCheckFn]:
+    """Decorator registering a project-scope checker."""
+
+    def decorate(fn: ProjectCheckFn) -> ProjectCheckFn:
+        register(CheckerSpec(rule=rule, name=name, description=description,
+                             scope="project", fn=fn))
+        return fn
+
+    return decorate
+
+
+def ensure_builtin_checkers() -> None:
+    """Import the in-tree checker modules (idempotent)."""
+    from . import checkers, contract, layering  # noqa: F401
+
+
+def all_checkers() -> List[CheckerSpec]:
+    ensure_builtin_checkers()
+    return sorted(_REGISTRY.values(), key=lambda spec: spec.rule)
+
+
+def get_checker(rule: str) -> CheckerSpec:
+    ensure_builtin_checkers()
+    return _REGISTRY[rule]
+
+
+def file_checkers() -> List[CheckerSpec]:
+    return [spec for spec in all_checkers() if spec.scope == "file"]
+
+
+def project_checkers() -> List[CheckerSpec]:
+    return [spec for spec in all_checkers() if spec.scope == "project"]

@@ -1,0 +1,185 @@
+"""The lint runner: file collection, concurrency, baseline, rendering.
+
+``run_lint`` is the one entry point behind both the ``repro lint`` CLI
+command and the hygiene test. It fans the per-file checkers out over the
+generic task engine of :mod:`repro.parallel` (process pool at
+``jobs > 1``, the in-process executor otherwise — the same submission
+surface either way), runs the project-scope checkers in the parent over
+the shared parse cache, applies the committed baseline, and reports.
+
+When the telemetry layer is enabled, per-checker latencies are recorded
+as ``wallclock.staticcheck.<rule>_ns`` histograms (host time, hence the
+``wallclock.`` prefix — see docs/OBSERVABILITY.md) plus
+``staticcheck.files`` / ``staticcheck.findings`` counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..telemetry.metrics import TELEMETRY
+from .baseline import Baseline, BaselineEntry, load_or_empty
+from .cache import PARSE_CACHE, FileContext
+from .finding import Finding
+from .registry import (CheckerSpec, ProjectContext, all_checkers,
+                       file_checkers, project_checkers)
+
+
+@dataclasses.dataclass
+class FileTaskResult:
+    """Per-file lint output shipped back from a worker."""
+
+    path: str
+    findings: List[Finding]
+    rule_ns: Dict[str, int]
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Outcome of one ``run_lint`` invocation."""
+
+    findings: List[Finding]              #: unbaselined, sorted
+    suppressed: List[Finding]            #: matched a baseline key
+    stale_suppressions: List[BaselineEntry]
+    files_scanned: int
+    rule_ns: Dict[str, int]              #: cumulative host-ns per rule
+    wall_time_s: float
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": len(self.suppressed),
+            "stale_suppressions": [e.to_dict()
+                                   for e in self.stale_suppressions],
+            "rules": {spec.rule: spec.description
+                      for spec in all_checkers()},
+            "wall_time_s": round(self.wall_time_s, 4),
+        }
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    files: List[str] = []
+    for raw in paths:
+        if os.path.isdir(raw):
+            for dirpath, dirnames, filenames in os.walk(raw):
+                dirnames.sort()
+                files.extend(os.path.join(dirpath, name)
+                             for name in sorted(filenames)
+                             if name.endswith(".py"))
+        else:
+            files.append(raw)
+    return sorted(dict.fromkeys(files))
+
+
+def lint_file(context: FileContext,
+              checkers: Optional[Sequence[CheckerSpec]] = None
+              ) -> FileTaskResult:
+    """Run every applicable file-scope checker over one parsed file."""
+    findings: List[Finding] = []
+    rule_ns: Dict[str, int] = {}
+    if context.parse_error is not None:
+        findings.append(context.parse_error)
+    for spec in (file_checkers() if checkers is None else checkers):
+        if not spec.applies_to(context.module):
+            continue
+        started = time.perf_counter_ns()
+        findings.extend(spec.fn(context))
+        rule_ns[spec.rule] = rule_ns.get(spec.rule, 0) + \
+            (time.perf_counter_ns() - started)
+    return FileTaskResult(path=context.path, findings=findings,
+                          rule_ns=rule_ns)
+
+
+def _lint_file_task(path: str) -> FileTaskResult:
+    """Module-level worker entry (picklable for the process pool)."""
+    return lint_file(PARSE_CACHE.get(path))
+
+
+def run_lint(paths: Sequence[str], jobs: int = 1,
+             baseline: Optional[Baseline] = None,
+             baseline_path: Optional[str] = None) -> LintReport:
+    """Lint ``paths``; see the module docstring for the pipeline."""
+    from ..parallel.sweep import run_tasks  # deferred: parallel is heavier
+    started = time.perf_counter()
+    files = collect_files(paths)
+    if baseline is None:
+        baseline = (load_or_empty(baseline_path)
+                    if baseline_path else Baseline())
+
+    tasks = [(path, _lint_file_task, (path,)) for path in files]
+    results = run_tasks(tasks, max_workers=max(1, jobs))
+
+    findings: List[Finding] = []
+    rule_ns: Dict[str, int] = {}
+    for result in results:
+        if result.error is not None:
+            findings.append(Finding(
+                rule="SC000", path=result.label.replace(os.sep, "/"),
+                line=0,
+                message=f"lint task failed: {result.error.error_type}: "
+                        f"{result.error.message}"))
+            continue
+        value: FileTaskResult = result.value
+        findings.extend(value.findings)
+        for rule, ns in value.rule_ns.items():
+            rule_ns[rule] = rule_ns.get(rule, 0) + ns
+
+    contexts = [PARSE_CACHE.get(path) for path in files]
+    project_ctx = ProjectContext(files=contexts)
+    for spec in project_checkers():
+        stage_start = time.perf_counter_ns()
+        findings.extend(spec.fn(project_ctx))
+        rule_ns[spec.rule] = rule_ns.get(spec.rule, 0) + \
+            (time.perf_counter_ns() - stage_start)
+
+    kept, suppressed, stale = baseline.apply(findings)
+    kept.sort(key=Finding.sort_key)
+    report = LintReport(findings=kept, suppressed=suppressed,
+                        stale_suppressions=stale,
+                        files_scanned=len(files), rule_ns=rule_ns,
+                        wall_time_s=time.perf_counter() - started)
+    if TELEMETRY.enabled:
+        TELEMETRY.count("staticcheck.files", len(files))
+        TELEMETRY.count("staticcheck.findings", len(kept))
+        TELEMETRY.count("staticcheck.suppressed", len(suppressed))
+        for rule, ns in sorted(rule_ns.items()):
+            TELEMETRY.observe(f"wallclock.staticcheck.{rule}_ns", ns)
+    return report
+
+
+def render_human(report: LintReport) -> str:
+    lines = [finding.render() for finding in report.findings]
+    for entry in report.stale_suppressions:
+        lines.append(f"stale suppression {entry.key} ({entry.rule} "
+                     f"{entry.path}: {entry.line_text!r}) — violation "
+                     f"fixed? remove it from the baseline")
+    summary = (f"{report.files_scanned} file(s) scanned, "
+               f"{len(report.findings)} finding(s), "
+               f"{len(report.suppressed)} baselined")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def write_baseline(report_findings: Sequence[Finding], path: str,
+                   suppressed: Sequence[Finding] = (),
+                   reason: str = "") -> Baseline:
+    """Mint a baseline covering current findings (new + still-suppressed)."""
+    baseline = Baseline.from_findings(
+        list(report_findings) + list(suppressed), reason=reason)
+    baseline.save(path)
+    return baseline

@@ -8,6 +8,7 @@ the ``api.Name(...)`` sugar. Out-parameters become Pythonic return values
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional, Tuple
 
 from ..winsim.errors import Win32Error
@@ -166,7 +167,11 @@ def GetProcAddress(ctx: ApiContext, module_base: int,
     if key is None or not key.startswith(module.name.lower().split(".")[0]):
         ctx.set_last_error(Win32Error.ERROR_NOT_FOUND)
         return None
-    return module.base_address + (hash(proc_name) & 0xFFFF)
+    # crc32, not hash(): hash() is salted per process (PYTHONHASHSEED),
+    # so fabricated addresses must come from a deterministic digest to
+    # stay identical between serial and pooled sweeps.
+    return module.base_address + \
+        (zlib.crc32(proc_name.encode("utf-8", "replace")) & 0xFFFF)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,96 @@
+"""Baseline round-trip: suppression, edit-invalidation, persistence."""
+
+import pytest
+
+from repro.staticcheck import (Baseline, BaselineFormatError, Finding,
+                               keyed_findings, load_or_empty,
+                               suppression_key)
+
+pytestmark = pytest.mark.staticcheck
+
+
+def finding_for(line_text, line=7, rule="SC001", path="src/mod.py"):
+    return Finding(rule=rule, path=path, line=line,
+                   message="host clock", line_text=line_text)
+
+
+class TestSuppressionKeys:
+    def test_key_is_line_number_independent(self):
+        moved = finding_for("import time", line=99)
+        original = finding_for("import time", line=7)
+        assert keyed_findings([moved])[0][1] == \
+            keyed_findings([original])[0][1]
+
+    def test_editing_the_line_changes_the_key(self):
+        before = suppression_key("SC001", "src/mod.py", "import time", 0)
+        after = suppression_key("SC001", "src/mod.py",
+                                "import time  # noqa", 0)
+        assert before != after
+
+    def test_duplicate_lines_get_distinct_occurrences(self):
+        first = finding_for("start = time.perf_counter()", line=10)
+        second = finding_for("start = time.perf_counter()", line=20)
+        keys = [key for _, key in keyed_findings([first, second])]
+        assert len(set(keys)) == 2
+
+    def test_keys_whitespace_insensitive(self):
+        assert suppression_key("SC001", "p.py", "  import time  ", 0) == \
+            suppression_key("SC001", "p.py", "import time", 0)
+
+
+class TestBaselineRoundTrip:
+    def test_baselined_finding_is_suppressed(self):
+        finding = finding_for("import time")
+        baseline = Baseline.from_findings([finding], reason="deliberate")
+        kept, suppressed, stale = baseline.apply([finding])
+        assert kept == []
+        assert suppressed == [finding]
+        assert stale == []
+
+    def test_edited_line_invalidates_the_suppression(self):
+        baseline = Baseline.from_findings([finding_for("import time")])
+        edited = finding_for("import time as t")
+        kept, suppressed, stale = baseline.apply([edited])
+        assert kept == [edited]          # resurfaces as a live finding
+        assert suppressed == []
+        assert len(stale) == 1           # old key now matches nothing
+
+    def test_unrelated_shift_keeps_the_suppression(self):
+        baseline = Baseline.from_findings([finding_for("import time",
+                                                       line=7)])
+        shifted = finding_for("import time", line=31)
+        kept, suppressed, stale = baseline.apply([shifted])
+        assert (kept, suppressed, stale) == ([], [shifted], [])
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        original = Baseline.from_findings(
+            [finding_for("import time"), finding_for("import random")],
+            reason="wallclock telemetry")
+        original.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.keys() == original.keys()
+        assert all(entry.reason == "wallclock telemetry"
+                   for entry in loaded.entries)
+
+    def test_load_or_empty_missing_file(self, tmp_path):
+        baseline = load_or_empty(str(tmp_path / "absent.json"))
+        assert len(baseline) == 0
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "suppressions": []}')
+        with pytest.raises(BaselineFormatError):
+            Baseline.load(str(path))
+
+    def test_load_rejects_keyless_entry(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 1, "suppressions": [{"rule": "X"}]}')
+        with pytest.raises(BaselineFormatError):
+            Baseline.load(str(path))
+
+    def test_load_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(BaselineFormatError):
+            Baseline.load(str(path))

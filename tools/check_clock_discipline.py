@@ -1,88 +1,48 @@
 #!/usr/bin/env python
-"""Clock-discipline lint for the Windows simulation layer.
+"""Clock-discipline lint — thin wrapper over scarelint's SC001 checker.
 
-``repro.winsim`` is the deterministic core of the reproduction: every
-timestamp must come from the virtual clock (``machine.clock``) and every
-"random" artifact from seeded state, or serial and pooled sweeps stop
-being byte-identical. This lint rejects the host-nondeterminism escape
-hatches at the import/call level:
+Historically this script carried its own AST walk; the logic now lives
+in :mod:`repro.staticcheck.checkers` as rule **SC001**, with the full
+framework behind ``repro lint`` (see docs/STATIC_ANALYSIS.md). This
+wrapper keeps the original command-line contract so existing invocations
+don't break:
 
-* ``import time`` / ``from time import ...`` (``time.time``,
-  ``perf_counter``, ``monotonic`` — all host clocks);
-* ``import random`` / ``from random import ...``;
-* ``import datetime`` / ``from datetime import ...`` and calls to
-  ``datetime.now()``, ``datetime.utcnow()``, ``datetime.today()``,
-  ``date.today()``.
+* ``python tools/check_clock_discipline.py [PATH ...]`` — defaults to
+  ``src/repro/winsim``;
+* violations print as ``path:line: message``, one per line, and the
+  exit status is 1 when any were found;
+* every given path is checked unconditionally (no zone gating, no
+  baseline) — this is the raw SC001 rule, as before.
 
-Run it directly (``python tools/check_clock_discipline.py [PATH ...]``;
-defaults to ``src/repro/winsim``) or via ``tests/test_hygiene.py``, which
-keeps it wired into the tier-1 suite. Exit status 1 means violations were
-printed, one ``path:line: message`` per line.
+The importable :func:`check_source` / :func:`check_paths` helpers keep
+their ``(path, line, message)`` tuple shape.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 from typing import Iterable, List, Tuple
 
-#: Modules whose very import means host nondeterminism in winsim.
-FORBIDDEN_MODULES = ("time", "random", "datetime")
+_REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_REPO_SRC) not in sys.path:
+    sys.path.insert(0, str(_REPO_SRC))
 
-#: ``obj.method`` calls that read the host clock even when the module
-#: import itself arrived through an allowed path.
-FORBIDDEN_METHOD_CALLS = {
-    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
-    ("date", "today"), ("time", "time"), ("time", "perf_counter"),
-    ("time", "perf_counter_ns"), ("time", "monotonic"),
-    ("random", "random"),
-}
+from repro.staticcheck.cache import build_context  # noqa: E402
+from repro.staticcheck.checkers import check_clock_discipline  # noqa: E402
 
-#: ``(path, line, message)`` — one lint finding.
+#: ``(path, line, message)`` — one lint finding (legacy shape).
 Violation = Tuple[str, int, str]
-
-
-def _module_root(name: str) -> str:
-    return name.split(".", 1)[0]
 
 
 def check_source(path: str, source: str) -> List[Violation]:
     """Lint one file's source; returns violations in line order."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
-    violations: List[Violation] = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                root = _module_root(alias.name)
-                if root in FORBIDDEN_MODULES:
-                    violations.append((
-                        path, node.lineno,
-                        f"import {alias.name}: use the machine's virtual "
-                        f"clock, not the host {root!r} module"))
-        elif isinstance(node, ast.ImportFrom):
-            root = _module_root(node.module or "")
-            if node.level == 0 and root in FORBIDDEN_MODULES:
-                names = ", ".join(alias.name for alias in node.names)
-                violations.append((
-                    path, node.lineno,
-                    f"from {node.module} import {names}: use the "
-                    f"machine's virtual clock, not the host {root!r} "
-                    f"module"))
-        elif isinstance(node, ast.Call):
-            func = node.func
-            if (isinstance(func, ast.Attribute) and
-                    isinstance(func.value, ast.Name) and
-                    (func.value.id, func.attr) in FORBIDDEN_METHOD_CALLS):
-                violations.append((
-                    path, node.lineno,
-                    f"{func.value.id}.{func.attr}() reads host state; "
-                    f"derive it from machine.clock instead"))
-    violations.sort(key=lambda violation: violation[1])
-    return violations
+    context = build_context(path, source, module="repro.winsim._wrapped")
+    findings = list(check_clock_discipline(context))
+    if context.parse_error is not None:
+        findings.append(context.parse_error)
+    findings.sort(key=lambda finding: finding.line)
+    return [(path, finding.line, finding.message) for finding in findings]
 
 
 def check_paths(paths: Iterable[str]) -> List[Violation]:
