@@ -18,6 +18,14 @@ Plus the Section II-C substrate: two public-sandbox machines (VirusTotal /
 Malwr models) carrying exactly the unique resources whose crawl-diff yields
 the paper's 17,540 / 24 / 1,457 counts, and the clean baseline machine the
 diff subtracts.
+
+Builders must be **deterministic**: two calls (same arguments) must
+produce machines whose observable state is byte-identical. Corpus sweeps
+no longer call a builder per run — each worker builds once and rewinds
+via :class:`repro.parallel.template.MachineTemplate` — and the
+``template="verify"`` sweep mode will flag any builder that drifts
+between calls as a ``TemplateParityError``. These builders are exposed to
+sweeps under registered names in :mod:`repro.parallel.factories`.
 """
 
 from __future__ import annotations

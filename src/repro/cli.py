@@ -174,6 +174,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.limit < 0:
         print("--limit must be >= 0", file=sys.stderr)
         return 2
+    if args.chunksize is not None and args.chunksize < 1:
+        print("--chunksize must be >= 1", file=sys.stderr)
+        return 2
+    if args.no_template and args.verify_template:
+        print("--no-template and --verify-template are mutually exclusive",
+              file=sys.stderr)
+        return 2
     try:
         resolve_machine_factory(args.factory)
     except KeyError as exc:
@@ -193,14 +200,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.limit:
         samples = samples[:args.limit]
 
+    template = "verify" if args.verify_template else not args.no_template
     sweep = ParallelSweep(max_workers=args.workers,
-                          machine_factory=args.factory)
+                          machine_factory=args.factory,
+                          template=template, chunksize=args.chunksize)
     result = sweep.run(samples)
     summary = summarize(result.comparisons)
 
     mode = "process pool" if result.used_process_pool else "in-process"
+    template_label = {True: "on", False: "off"}.get(template, template)
     print(f"sweep: {len(samples)} samples, {args.workers} worker(s) "
-          f"({mode}), factory={args.factory}")
+          f"({mode}), factory={args.factory}, template={template_label}")
     print(f"  wall time: {result.wall_time_s:.2f}s"
           f"  retries: {result.total_retries()}")
     print(f"  deactivated: {summary.deactivated}/{summary.total} "
@@ -288,6 +298,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     for line in _render_latency_rows("hook handlers (virtual ns)",
                                      summary.hook_rows):
         print(line)
+    if summary.wallclock_rows:
+        # Host-time phase split: machine_setup_ns vs job_ns shows what
+        # machine templating saves per job (docs/PARALLEL.md).
+        for line in _render_latency_rows("wallclock phases (host ns)",
+                                         summary.wallclock_rows):
+            print(line)
     if summary.event_categories:
         print("events by category: " + " ".join(
             f"{category}={count}" for category, count
@@ -354,6 +370,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--factory", default="bare-metal-light",
                        help="machine factory name "
                             "(see repro.parallel.available_factories)")
+    sweep.add_argument("--no-template", action="store_true",
+                       help="rebuild the machine from the factory for "
+                            "every run instead of snapshot/restore reuse")
+    sweep.add_argument("--verify-template", action="store_true",
+                       help="re-run every sample on a fresh machine and "
+                            "fail on any divergence from the templated run")
+    sweep.add_argument("--chunksize", type=int, default=None,
+                       help="jobs per pool submission (default: auto)")
     _add_telemetry_option(sweep)
     stats = subparsers.add_parser(
         "stats", help="summarise a --telemetry JSONL trace")

@@ -15,6 +15,7 @@ Two populations, per Section II-C:
 from __future__ import annotations
 
 import dataclasses
+import pickle
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..winsim.types import GIB, MIB
@@ -313,6 +314,13 @@ class DatabaseSnapshot:
 class DeceptionDatabase:
     """All deceptive resources, indexed for the hook handlers."""
 
+    #: Mutation counter backing the :meth:`snapshot_bytes` memo; bumped by
+    #: every ``add_*`` call (class attribute so ``__new__``-constructed
+    #: instances start consistent).
+    _version: int = 0
+    #: ``(cache_key, blob)`` of the last :meth:`snapshot_bytes` result.
+    _snapshot_blob_cache: Optional[Tuple[tuple, bytes]] = None
+
     def __init__(self) -> None:
         self._files: Dict[str, DeceptiveResource] = {}
         self._basenames: Dict[str, DeceptiveResource] = {}
@@ -354,6 +362,7 @@ class DeceptionDatabase:
 
     def add_file(self, path: str, profile: str,
                  origin: Origin = Origin.CURATED) -> DeceptiveResource:
+        self._version += 1
         resource = DeceptiveResource(ResourceCategory.FILE, path, profile,
                                      origin=origin)
         self._files[path.lower()] = resource
@@ -362,6 +371,7 @@ class DeceptionDatabase:
 
     def add_folder(self, path: str, profile: str,
                    origin: Origin = Origin.CURATED) -> DeceptiveResource:
+        self._version += 1
         resource = DeceptiveResource(ResourceCategory.FOLDER, path, profile,
                                      origin=origin)
         self._folders[path.lower()] = resource
@@ -369,6 +379,7 @@ class DeceptionDatabase:
 
     def add_process(self, name: str, profile: str, protected: bool = False,
                     origin: Origin = Origin.CURATED) -> DeceptiveResource:
+        self._version += 1
         resource = DeceptiveResource(ResourceCategory.PROCESS, name, profile,
                                      origin=origin, protected=protected)
         self._processes[name.lower()] = resource
@@ -376,6 +387,7 @@ class DeceptionDatabase:
 
     def add_library(self, name: str, profile: str,
                     origin: Origin = Origin.CURATED) -> DeceptiveResource:
+        self._version += 1
         resource = DeceptiveResource(ResourceCategory.LIBRARY, name, profile,
                                      origin=origin)
         self._libraries[name.lower()] = resource
@@ -384,12 +396,14 @@ class DeceptionDatabase:
     def add_window(self, class_name: str, title: Optional[str],
                    profile: str) -> DeceptiveResource:
         identity = f"{class_name}|{title or ''}"
+        self._version += 1
         resource = DeceptiveResource(ResourceCategory.WINDOW, identity, profile)
         self._windows.append(resource)
         return resource
 
     def add_registry_key(self, path: str, profile: str,
                          origin: Origin = Origin.CURATED) -> DeceptiveResource:
+        self._version += 1
         resource = DeceptiveResource(ResourceCategory.REGISTRY_KEY, path,
                                      profile, origin=origin)
         self._registry_keys[path.lower()] = resource
@@ -398,6 +412,7 @@ class DeceptionDatabase:
     def add_registry_value(self, key_path: str, value_name: str, data: object,
                            profile: str,
                            origin: Origin = Origin.CURATED) -> DeceptiveResource:
+        self._version += 1
         resource = DeceptiveResource(
             ResourceCategory.REGISTRY_VALUE,
             registry_value_identity(key_path, value_name), profile, data=data,
@@ -406,11 +421,13 @@ class DeceptionDatabase:
         return resource
 
     def add_device(self, name: str, profile: str) -> DeceptiveResource:
+        self._version += 1
         resource = DeceptiveResource(ResourceCategory.DEVICE, name, profile)
         self._devices[name.lower().strip("\\").replace(".\\", "")] = resource
         return resource
 
     def add_mutex(self, name: str, profile: str) -> DeceptiveResource:
+        self._version += 1
         resource = DeceptiveResource(ResourceCategory.MUTEX, name, profile)
         self._mutexes[name.lower()] = resource
         return resource
@@ -523,6 +540,29 @@ class DeceptionDatabase:
             weartear=dataclasses.replace(self.weartear),
         )
 
+    def snapshot_bytes(self) -> bytes:
+        """Pickled :meth:`snapshot`, memoized until the database changes.
+
+        The parallel sweep ships this blob through every pool initializer
+        (and deserializes the *same* blob on the serial path), so repeated
+        sweeps over one database pay for serialization once. The cache key
+        folds the ``add_*`` mutation counter with the profile dataclass
+        values, since profile *attribute* writes (``db.hardware.cpu_cores
+        = 2``) bypass the counter.
+        """
+        key = (self._version,
+               dataclasses.astuple(self.hardware),
+               dataclasses.astuple(self.identity),
+               dataclasses.astuple(self.network),
+               dataclasses.astuple(self.weartear))
+        cached = self._snapshot_blob_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        blob = pickle.dumps(self.snapshot(),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        self._snapshot_blob_cache = (key, blob)
+        return blob
+
     @classmethod
     def from_snapshot(cls, state: DatabaseSnapshot) -> "DeceptionDatabase":
         """Rebuild a database from a snapshot (curated load is skipped)."""
@@ -590,12 +630,19 @@ class FrozenDeceptionDatabase(DeceptionDatabase):
     Sweep workers operate on one of these so that a bug in a hook handler
     (or a hostile sample model) can never silently mutate the corpus-wide
     deception inventory mid-sweep.
+
+    Because the contents can never change, registry lookups run on
+    indices precomputed at rehydration time (ancestor-prefix map,
+    values-by-key, children-by-prefix) instead of the mutable base class's
+    linear scans — sweep workers do these lookups on every
+    ``RegOpenKey``/``RegEnumKey`` a sample issues.
     """
 
     _frozen = False
 
     def __init__(self) -> None:
         super().__init__()
+        self._build_indices()
         self._frozen = True
 
     @classmethod
@@ -603,8 +650,51 @@ class FrozenDeceptionDatabase(DeceptionDatabase):
                       ) -> "FrozenDeceptionDatabase":
         db = cls.__new__(cls)
         db._restore_snapshot(state)
+        db._build_indices()
         db._frozen = True
         return db
+
+    # -- precomputed registry lookup indices -----------------------------------
+
+    def _build_indices(self) -> None:
+        """Precompute what the base class derives by scanning per lookup.
+
+        ``setdefault`` walks resources in insertion order, so the
+        ancestor index keeps the *first* matching key per prefix —
+        exactly what the base class's linear scan returns.
+        """
+        ancestors: Dict[str, DeceptiveResource] = {}
+        children: Dict[str, set] = {}
+        for key_l, resource in self._registry_keys.items():
+            parts = key_l.split("\\")
+            for depth in range(1, len(parts)):
+                prefix = "\\".join(parts[:depth])
+                ancestors.setdefault(prefix, resource)
+                children.setdefault(prefix, set()).add(
+                    resource.identity[len(prefix) + 1:].split("\\", 1)[0])
+        values_by_key: Dict[str, List[Tuple[str, object]]] = {}
+        for (key_l, value_l), resource in self._registry_values.items():
+            values_by_key.setdefault(key_l, []).append(
+                (value_l, resource.data))
+        self._registry_ancestors = ancestors
+        self._registry_children = children
+        self._registry_values_by_key = values_by_key
+
+    def lookup_registry_key(self, path: str) -> Optional[DeceptiveResource]:
+        path_l = path.lower().rstrip("\\")
+        exact = self._registry_keys.get(path_l)
+        if exact is not None:
+            return exact
+        return self._registry_ancestors.get(path_l)
+
+    def registry_values_for_key(self, key_path: str
+                                ) -> List[Tuple[str, object]]:
+        return list(self._registry_values_by_key.get(key_path.lower(), ()))
+
+    def registry_subkeys_for_key(self, key_path: str) -> List[str]:
+        children = self._registry_children.get(
+            key_path.lower().rstrip("\\"), set())
+        return sorted(set(children), key=str.lower)
 
     def thaw(self) -> DeceptionDatabase:
         """A mutable deep copy (the inverse of :meth:`freeze`)."""

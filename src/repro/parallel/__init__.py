@@ -2,32 +2,38 @@
 
 Every experiment funnels its sample pairs through this package:
 :class:`ParallelSweep` shards a corpus across a process pool (with an
-in-process fallback), each worker building its own machine from a named
-factory and a read-only snapshot of the shared deception database, and the
-results are reassembled in submission order — parallel output is
-byte-identical to the serial path. Failures degrade to structured
-:class:`SweepError` entries; every outcome carries a :class:`SweepStats`
-record.
+in-process fallback), each worker building its machine **once** from a
+named factory — a :class:`MachineTemplate` rewinds it between jobs — plus
+a read-only snapshot of the shared deception database, and the results
+are reassembled in submission order — parallel output is byte-identical
+to the serial path (``template="verify"`` proves it per job). Jobs ship
+in auto-sized chunks to amortise pickle/IPC cost. Failures degrade to
+structured :class:`SweepError` entries; every outcome carries a
+:class:`SweepStats` record.
 """
 
 from .envelope import (PairEnvelope, SweepEntry, SweepError, SweepStats,
-                       build_envelope)
+                       build_envelope, canonical_entry, detach_outcome)
 from .executor import (ImmediateFuture, SerialExecutor, fork_available,
-                       should_use_process_pool)
+                       pool_context, should_use_process_pool)
 from .factories import (available_factories, register_machine_factory,
                         resolve_machine_factory)
 from .sweep import (DEFAULT_FACTORY, ParallelSweep, SweepExecutionError,
                     SweepResult, run_tasks, run_tasks_or_raise)
-from .worker import (PairJob, TaskJob, TaskResult, execute_pair_job,
-                     execute_task_job, initialize_worker, run_pair_job)
+from .template import TEMPLATE_PARITY_ERROR, MachineTemplate
+from .worker import (PairChunk, PairJob, TaskJob, TaskResult,
+                     execute_pair_chunk, execute_pair_job, execute_task_job,
+                     initialize_worker, run_pair_job)
 
 __all__ = [
-    "DEFAULT_FACTORY", "ImmediateFuture", "PairEnvelope", "PairJob",
-    "ParallelSweep", "SerialExecutor", "SweepEntry", "SweepError",
-    "SweepExecutionError", "SweepResult", "SweepStats", "TaskJob",
-    "TaskResult", "available_factories", "build_envelope",
-    "execute_pair_job", "execute_task_job", "fork_available",
-    "initialize_worker", "register_machine_factory",
-    "resolve_machine_factory", "run_pair_job", "run_tasks",
-    "run_tasks_or_raise", "should_use_process_pool",
+    "DEFAULT_FACTORY", "ImmediateFuture", "MachineTemplate", "PairChunk",
+    "PairEnvelope", "PairJob", "ParallelSweep", "SerialExecutor",
+    "SweepEntry", "SweepError", "SweepExecutionError", "SweepResult",
+    "SweepStats", "TEMPLATE_PARITY_ERROR", "TaskJob", "TaskResult",
+    "available_factories", "build_envelope", "canonical_entry",
+    "detach_outcome", "execute_pair_chunk", "execute_pair_job",
+    "execute_task_job", "fork_available", "initialize_worker",
+    "pool_context", "register_machine_factory", "resolve_machine_factory",
+    "run_pair_job", "run_tasks", "run_tasks_or_raise",
+    "should_use_process_pool",
 ]

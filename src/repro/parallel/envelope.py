@@ -74,17 +74,42 @@ class PairEnvelope:
         pids, the comparison verdict — survives; only the live simulation
         objects are dropped.
         """
-        outcome = dataclasses.replace(
-            self.outcome,
-            without=dataclasses.replace(self.outcome.without,
-                                        machine=None, controller=None),
-            with_scarecrow=dataclasses.replace(self.outcome.with_scarecrow,
-                                               machine=None,
-                                               controller=None))
-        return dataclasses.replace(self, outcome=outcome)
+        return dataclasses.replace(self, outcome=detach_outcome(self.outcome))
 
 
 SweepEntry = Union[PairEnvelope, SweepError]
+
+
+def detach_outcome(outcome: "PairOutcome") -> "PairOutcome":
+    """Copy of ``outcome`` with live machine/controller references stripped.
+
+    The picklable core every comparison works on — also what the
+    template-parity check hashes when proving a templated run matches its
+    fresh-factory reference byte for byte.
+    """
+    return dataclasses.replace(
+        outcome,
+        without=dataclasses.replace(outcome.without,
+                                    machine=None, controller=None),
+        with_scarecrow=dataclasses.replace(outcome.with_scarecrow,
+                                           machine=None, controller=None))
+
+
+def canonical_entry(entry: SweepEntry) -> SweepEntry:
+    """``entry`` with host-noise fields normalised for cross-path comparison.
+
+    Worker pids, host wall-clock seconds and ``wallclock.*`` latency
+    metrics legitimately differ between serial, templated-serial and
+    pooled executions of the same corpus; nothing else may. The canonical
+    form therefore pickles byte-identically across all three paths — the
+    property the benchmark and the parity tests assert.
+    """
+    metrics = (entry.metrics.deterministic()
+               if entry.metrics is not None else None)
+    if isinstance(entry, SweepError):
+        return dataclasses.replace(entry, worker_pid=0, metrics=metrics)
+    stats = dataclasses.replace(entry.stats, worker_pid=0, wall_time_s=0.0)
+    return dataclasses.replace(entry, stats=stats, metrics=metrics)
 
 
 def build_envelope(index: int, outcome: "PairOutcome", retry_count: int,

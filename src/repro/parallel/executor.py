@@ -1,17 +1,22 @@
 """Executor selection: process pool when possible, in-process otherwise.
 
 The sweep engine runs on a real :class:`concurrent.futures.ProcessPoolExecutor`
-when more than one worker is requested and the platform supports ``fork``
-(the start method whose copy-on-write semantics make worker bring-up cheap
-and deterministic). ``max_workers=1`` — and any platform without ``fork`` —
-gets :class:`SerialExecutor`, an in-process stand-in with the same
-``submit``/``shutdown`` surface, so callers never branch.
+when more than one worker is requested. It prefers the ``fork`` start
+method (copy-on-write semantics make worker bring-up cheap and
+deterministic); where ``fork`` is unavailable the platform-default context
+is used instead, with a one-line warning — worker bring-up is slower
+there, but the pool still works because everything that crosses the
+boundary (factory names, pre-pickled database snapshots, job chunks) is
+picklable by construction. ``max_workers=1`` gets :class:`SerialExecutor`,
+an in-process stand-in with the same ``submit``/``shutdown`` surface, so
+callers never branch.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import pickle
+import warnings
 from typing import Any, Callable, Optional
 
 
@@ -81,5 +86,28 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def pool_context() -> "multiprocessing.context.BaseContext":
+    """The multiprocessing context the sweep pool should run on.
+
+    ``fork`` when the platform has it; otherwise the platform default
+    (``spawn`` on Windows/macOS-default builds), announced with a one-line
+    warning because worker bring-up re-imports the package instead of
+    inheriting the parent image.
+    """
+    if fork_available():
+        return multiprocessing.get_context("fork")
+    context = multiprocessing.get_context()
+    warnings.warn(
+        f"'fork' start method unavailable; process pool falling back to "
+        f"{context.get_start_method()!r} (slower worker bring-up)",
+        RuntimeWarning, stacklevel=2)
+    return context
+
+
 def should_use_process_pool(max_workers: int) -> bool:
-    return max_workers > 1 and fork_available()
+    """True when a real process pool should serve this worker count.
+
+    Platforms without ``fork`` no longer force the serial path — they get
+    the default start method via :func:`pool_context` instead.
+    """
+    return max_workers > 1

@@ -5,17 +5,30 @@ fallback), reassembles results in submission order, and degrades
 gracefully: a sample whose execution keeps failing becomes a structured
 :class:`~repro.parallel.envelope.SweepError` entry instead of aborting the
 sweep. With one shared read-only deception database snapshot per pool and
-one fresh machine per run, parallel output is byte-identical to the serial
-path.
+one templated (or fresh) machine per run, parallel output is
+byte-identical to the serial path.
+
+Two cost levers make the pool actually beat the serial path:
+
+* **Machine templating** (default on): each worker builds its factory
+  machine once and rewinds it between jobs via
+  :class:`~repro.parallel.template.MachineTemplate`, instead of paying a
+  full environment build twice per sample.
+* **Chunked dispatch**: jobs ship to the pool in auto-sized chunks
+  (:func:`_auto_chunksize`, the ``ProcessPoolExecutor.map`` heuristic) so
+  submission pickling and IPC amortise across the chunk — results still
+  come back submission-ordered with per-job error isolation.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import math
 import pickle
 import time
 import traceback
+import warnings
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from ..core.database import DeceptionDatabase
@@ -23,11 +36,13 @@ from ..core.profiles import ScarecrowConfig
 from ..malware.sample import EvasiveSample
 from ..telemetry.metrics import TELEMETRY
 from ..telemetry.snapshot import MetricsSnapshot
-from .envelope import PairEnvelope, SweepEntry, SweepError, SweepStats
-from .executor import SerialExecutor, should_use_process_pool
+from .envelope import (PairEnvelope, SweepEntry, SweepError, SweepStats,
+                       canonical_entry)
+from .executor import SerialExecutor, pool_context, should_use_process_pool
 from .factories import FactorySpec, resolve_machine_factory
-from .worker import (PairJob, TaskJob, TaskResult, execute_pair_job,
-                     execute_task_job, initialize_worker)
+from .worker import (PairChunk, PairJob, TaskJob, TaskResult, TemplateMode,
+                     execute_pair_chunk, execute_pair_job, execute_task_job,
+                     initialize_worker)
 
 #: Default machine factory — matches ``run_pair``'s historical default
 #: (:func:`repro.analysis.environments.build_bare_metal_sandbox`).
@@ -101,6 +116,13 @@ class SweepResult:
                           else merged.merge(entry.metrics))
         return merged
 
+    def canonical_entries(self) -> List[SweepEntry]:
+        """Entries with host-noise normalised (see
+        :func:`~repro.parallel.envelope.canonical_entry`) — the form that
+        pickles byte-identically across serial, templated-serial and
+        pooled executions of the same corpus."""
+        return [canonical_entry(entry) for entry in self.entries]
+
 
 class ParallelSweep:
     """Worker-pool corpus executor with deterministic, ordered output.
@@ -116,9 +138,17 @@ class ParallelSweep:
                  database: Optional[DeceptionDatabase] = None,
                  config: Optional[ScarecrowConfig] = None,
                  max_retries: int = 1,
-                 telemetry: Optional[bool] = None) -> None:
+                 telemetry: Optional[bool] = None,
+                 template: TemplateMode = True,
+                 chunksize: Optional[int] = None) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        if template not in (True, False, "verify"):
+            raise ValueError(
+                "template must be True, False or 'verify', "
+                f"got {template!r}")
         self.max_workers = max_workers
         self.machine_factory = machine_factory or DEFAULT_FACTORY
         self.database = database
@@ -127,6 +157,12 @@ class ParallelSweep:
         #: None = inherit the process-wide ``TELEMETRY.enabled`` flag at
         #: :meth:`run` time; True/False force it for this sweep's workers.
         self.telemetry = telemetry
+        #: Machine-reuse mode: True (default) templates each worker's
+        #: machine, False rebuilds per run, "verify" templates and proves
+        #: byte-parity against a fresh-factory reference run per job.
+        self.template = template
+        #: Jobs per pool submission; None = auto (see :func:`_auto_chunksize`).
+        self.chunksize = chunksize
 
     def run(self, samples: Sequence[EvasiveSample]) -> SweepResult:
         """Execute every sample pair; results come back submission-ordered."""
@@ -134,7 +170,10 @@ class ParallelSweep:
         jobs = [PairJob(index, sample, self.max_retries)
                 for index, sample in enumerate(samples)]
         database = self.database or DeceptionDatabase()
-        snapshot = database.snapshot()
+        # Pre-pickled (and memoized) snapshot bytes ship to serial and
+        # pooled initializers alike, so both deserialize the same blob and
+        # repeated sweeps over one database skip re-serialization.
+        snapshot_blob = database.snapshot_bytes()
         config = self.config
         use_pool = should_use_process_pool(self.max_workers)
         if use_pool:
@@ -146,21 +185,26 @@ class ParallelSweep:
             # Round-tripping here keeps serial output byte-identical to the
             # pool path. (The factory spec is exempt so in-process sweeps
             # can still use closures.)
-            snapshot, config, jobs = pickle.loads(
-                pickle.dumps((snapshot, config, jobs)))
+            config, jobs = pickle.loads(pickle.dumps((config, jobs)))
         telemetry_on = (TELEMETRY.enabled if self.telemetry is None
                         else bool(self.telemetry))
-        initargs = (self.machine_factory, snapshot, config, telemetry_on)
+        initargs = (self.machine_factory, snapshot_blob, config,
+                    telemetry_on, self.template)
+        workers = self.max_workers if use_pool else 1
+        chunksize = self.chunksize or _auto_chunksize(len(jobs), workers)
+        chunks = [PairChunk(jobs[i:i + chunksize])
+                  for i in range(0, len(jobs), chunksize)]
         # On the serial path the initializer runs in *this* process and
         # flips the shared registry flag; restore it once the sweep ends.
         prior_enabled = TELEMETRY.enabled
         try:
-            entries = _run_jobs(jobs, execute_pair_job, initargs,
-                                self.max_workers if use_pool else 1)
+            entries, used_pool = _run_jobs(chunks, execute_pair_chunk,
+                                           initargs, workers,
+                                           unwrap=_unpickle_entries)
         finally:
             TELEMETRY.enabled = prior_enabled
         return SweepResult(entries=entries, max_workers=self.max_workers,
-                           used_process_pool=use_pool,
+                           used_process_pool=used_pool,
                            wall_time_s=time.perf_counter() - start)
 
     def _require_picklable_factory(self) -> None:
@@ -174,34 +218,79 @@ class ParallelSweep:
                 "and pass its name instead") from exc
 
 
+def _auto_chunksize(n_jobs: int, workers: int) -> int:
+    """`ProcessPoolExecutor.map`'s heuristic: ~4 chunks per worker.
+
+    Large enough to amortise submission pickling and IPC, small enough
+    that stragglers still rebalance across the pool.
+    """
+    return max(1, math.ceil(n_jobs / (workers * 4)))
+
+
+def _unpickle_entries(blobs: Sequence[bytes]) -> List[Any]:
+    """Inverse of :func:`~repro.parallel.worker.execute_pair_chunk` —
+    one ``loads`` per entry, preserving per-entry pickling boundaries."""
+    return [pickle.loads(blob) for blob in blobs]
+
+
+def _make_executor(initargs: Optional[tuple],
+                   workers: int) -> Tuple[Any, bool]:
+    """Build the process pool, or the serial stand-in; returns (executor,
+    used_process_pool).
+
+    The pool runs on ``fork`` where available and the platform default
+    context otherwise (:func:`~repro.parallel.executor.pool_context`); if
+    pool construction itself fails the sweep degrades to in-process
+    execution with a warning instead of aborting — ``used_process_pool``
+    reflects what actually ran.
+    """
+    initializer = initialize_worker if initargs else None
+    if workers > 1:
+        try:
+            executor: Any = concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=pool_context(),
+                initializer=initializer, initargs=initargs or ())
+            return executor, True
+        except Exception as exc:
+            warnings.warn(
+                f"process pool unavailable ({type(exc).__name__}: {exc}); "
+                "running in-process", RuntimeWarning, stacklevel=3)
+    return SerialExecutor(initializer=initializer,
+                          initargs=initargs or ()), False
+
+
 def _run_jobs(jobs: Sequence[Any], worker_fn: Callable[[Any], Any],
-              initargs: Optional[tuple], workers: int) -> List[Any]:
+              initargs: Optional[tuple], workers: int,
+              unwrap: Optional[Callable[[Any], List[Any]]] = None
+              ) -> Tuple[List[Any], bool]:
     """Submit jobs to the chosen executor; collect in submission order.
 
-    Executor-level failures (broken pool, unpicklable payloads) degrade to
-    per-job :class:`SweepError`/:class:`TaskResult` entries so one bad job
-    cannot sink the sweep.
+    Returns ``(entries, used_process_pool)``. A submission may be a
+    :class:`PairChunk`, whose result ``unwrap`` flattens back into
+    individual entries. Executor-level failures (broken pool, unpicklable
+    payloads) degrade to per-job :class:`SweepError`/:class:`TaskResult`
+    entries so one bad job cannot sink the sweep.
     """
-    if workers > 1:
-        import multiprocessing
-        executor: Any = concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=multiprocessing.get_context("fork"),
-            initializer=initialize_worker if initargs else None,
-            initargs=initargs or ())
-    else:
-        executor = SerialExecutor(
-            initializer=initialize_worker if initargs else None,
-            initargs=initargs or ())
+    executor, used_pool = _make_executor(initargs, workers)
     entries: List[Any] = []
     with executor:
         futures = [executor.submit(worker_fn, job) for job in jobs]
         for job, future in zip(jobs, futures):
             try:
-                entries.append(future.result())
+                result = future.result()
             except Exception as exc:
-                entries.append(_executor_failure(job, exc))
-    return entries
+                entries.extend(_submission_failures(job, exc))
+                continue
+            entries.extend(unwrap(result) if unwrap is not None
+                           else [result])
+    return entries, used_pool
+
+
+def _submission_failures(job: Any, exc: Exception) -> List[Any]:
+    """Executor-level failure entries: one per job inside the submission."""
+    if isinstance(job, PairChunk):
+        return [_executor_failure(chunk_job, exc) for chunk_job in job.jobs]
+    return [_executor_failure(job, exc)]
 
 
 def _executor_failure(job: Any, exc: Exception) -> Any:
@@ -234,7 +323,8 @@ def run_tasks(tasks: Sequence[TaskSpec], max_workers: int = 1,
     jobs = [TaskJob(index, label, fn, tuple(args), max_retries)
             for index, (label, fn, args) in enumerate(tasks)]
     workers = max_workers if should_use_process_pool(max_workers) else 1
-    return _run_jobs(jobs, execute_task_job, None, workers)
+    results, _ = _run_jobs(jobs, execute_task_job, None, workers)
+    return results
 
 
 def run_tasks_or_raise(tasks: Sequence[TaskSpec], max_workers: int = 1,

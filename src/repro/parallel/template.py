@@ -1,0 +1,80 @@
+"""Machine templating: build a worker's machine once, rewind between jobs.
+
+The PR-1 pool rebuilt a full winsim machine from scratch for *every run of
+every sample* — registry hive, filesystem tree, wear-and-tear artifacts,
+process table — which is why `BENCH_parallel.json` recorded the pooled
+sweep losing to the serial path. Cuckoo-style sandbox farms avoid exactly
+this by taking one VM snapshot and restoring it between detonations
+(PAPERS.md: Cuckoo; MalGene); :class:`MachineTemplate` is that
+snapshot/restore loop for the simulated substrate. A worker builds its
+factory machine once, captures a deep
+:meth:`~repro.winsim.machine.Machine.snapshot_state` (registry,
+filesystem, process table, handles, DNS cache, event log, clock), and each
+:meth:`MachineTemplate.checkout` rewinds the same machine in place instead
+of reconstructing it.
+
+Parity is a feature, not a hope: a restored machine produces pickled
+outcomes byte-identical to a fresh factory build, and
+``ParallelSweep(template="verify")`` proves it per job by re-running every
+sample on a fresh machine and comparing the pickled, detached outcomes
+(divergence surfaces as a ``TemplateParityError`` sweep entry).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..winsim.machine import Machine
+from .factories import FactorySpec, resolve_machine_factory
+
+#: ``SweepError.error_type`` recorded when a templated run diverges from
+#: its fresh-factory reference in ``template="verify"`` mode.
+TEMPLATE_PARITY_ERROR = "TemplateParityError"
+
+
+class MachineTemplate:
+    """One machine, built once, rewound to its captured state on demand.
+
+    Checkouts alias the *same* :class:`~repro.winsim.machine.Machine`
+    object: callers must be done with one checkout before taking the next
+    — exactly the sweep worker's run-one-job-at-a-time discipline. Not
+    thread-safe for the same reason.
+    """
+
+    def __init__(self, factory: FactorySpec) -> None:
+        self._build_machine = resolve_machine_factory(factory)
+        self._machine: Optional[Machine] = None
+        self._state: Optional[dict] = None
+        self._pristine = False
+        #: Restores performed so far (observability / test hook).
+        self.restore_count = 0
+
+    @property
+    def built(self) -> bool:
+        return self._machine is not None
+
+    def build(self) -> Machine:
+        """Build the machine and capture its template state (idempotent)."""
+        if self._machine is None:
+            self._machine = self._build_machine()
+            self._state = self._machine.snapshot_state()
+            self._pristine = True
+        return self._machine
+
+    def checkout(self) -> Machine:
+        """The template machine, rewound to its captured state.
+
+        The first checkout after :meth:`build` returns the machine as-is
+        (it is already in the captured state); every later checkout
+        performs an in-place :meth:`~repro.winsim.machine.Machine.
+        restore_state`, which is what makes templated jobs cheaper than
+        factory reconstruction.
+        """
+        machine = self.build()
+        if self._pristine:
+            self._pristine = False
+            return machine
+        assert self._state is not None
+        machine.restore_state(self._state)
+        self.restore_count += 1
+        return machine

@@ -1,20 +1,25 @@
 """Worker-side execution of sweep jobs.
 
-Each pool worker holds its own machine factory, a read-only
-:class:`~repro.core.database.FrozenDeceptionDatabase` rehydrated from the
-snapshot the parent shipped through the pool initializer, and the shared
-:class:`~repro.core.profiles.ScarecrowConfig`. Jobs retry in place (same
-worker, same deserialized sample) up to their retry budget before turning
-into a :class:`~repro.parallel.envelope.SweepError`.
+Each pool worker holds its own machine source — a
+:class:`~repro.parallel.template.MachineTemplate` built once at
+initialisation (the default), or a plain per-run factory — plus a
+read-only :class:`~repro.core.database.FrozenDeceptionDatabase` rehydrated
+from the snapshot the parent shipped through the pool initializer and the
+shared :class:`~repro.core.profiles.ScarecrowConfig`. Jobs arrive in
+:class:`PairChunk` batches (one pool round-trip amortised over the chunk)
+and retry in place (same worker, same deserialized sample) up to their
+retry budget before turning into a
+:class:`~repro.parallel.envelope.SweepError`.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import pickle
 import time
 import traceback
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.database import (DatabaseSnapshot, DeceptionDatabase,
                              FrozenDeceptionDatabase)
@@ -22,11 +27,17 @@ from ..core.profiles import ScarecrowConfig
 from ..malware.sample import EvasiveSample
 from ..telemetry.metrics import TELEMETRY
 from ..telemetry.snapshot import MetricsSnapshot
-from .envelope import SweepEntry, SweepError, build_envelope
+from .envelope import (PairEnvelope, SweepEntry, SweepError, build_envelope,
+                       detach_outcome)
 from .factories import FactorySpec, MachineFactory, resolve_machine_factory
+from .template import TEMPLATE_PARITY_ERROR, MachineTemplate
 
 #: Per-process worker state, filled by :func:`initialize_worker`.
 _STATE: Dict[str, Any] = {}
+
+#: ``template`` argument values accepted by :func:`initialize_worker` and
+#: :class:`~repro.parallel.sweep.ParallelSweep`.
+TemplateMode = Union[bool, str]
 
 
 @dataclasses.dataclass
@@ -38,15 +49,77 @@ class PairJob:
     max_retries: int = 1
 
 
+@dataclasses.dataclass
+class PairChunk:
+    """A batch of :class:`PairJob` submitted as one pool round-trip."""
+
+    jobs: List[PairJob]
+
+
+def _timed_factory(build: MachineFactory) -> MachineFactory:
+    """Wrap a machine source so acquisition cost lands in telemetry.
+
+    Covers both flavours — full factory builds and template restores —
+    under the one ``wallclock.machine_setup_ns`` histogram, so the
+    setup-vs-execute split (against ``wallclock.job_ns``) is measured, not
+    inferred. The ``wallclock.`` prefix keeps it out of deterministic
+    serial-vs-pool comparisons, like every other host-time metric.
+    """
+    def timed() -> Any:
+        if not TELEMETRY.enabled:
+            return build()
+        start = time.perf_counter_ns()
+        machine = build()
+        TELEMETRY.observe("wallclock.machine_setup_ns",
+                          time.perf_counter_ns() - start)
+        return machine
+    return timed
+
+
 def initialize_worker(factory_spec: FactorySpec,
-                      db_snapshot: DatabaseSnapshot,
+                      db_snapshot: Union[DatabaseSnapshot, bytes],
                       config: Optional[ScarecrowConfig],
-                      telemetry: bool = False) -> None:
-    """Pool/serial initializer: build this worker's private fixtures."""
-    _STATE["factory"] = resolve_machine_factory(factory_spec)
+                      telemetry: bool = False,
+                      template: TemplateMode = False) -> None:
+    """Pool/serial initializer: build this worker's private fixtures.
+
+    ``db_snapshot`` is either a live :class:`DatabaseSnapshot` or its
+    pre-pickled bytes (what :class:`~repro.parallel.sweep.ParallelSweep`
+    ships, so serial and pooled workers deserialize the exact same blob).
+
+    ``template`` selects the machine source: ``False`` rebuilds from the
+    factory on every run, ``True`` builds a :class:`MachineTemplate` once
+    here and rewinds it between runs, and ``"verify"`` templates *and*
+    re-runs every sample on a fresh machine, flagging any divergence as a
+    ``TemplateParityError`` entry.
+    """
+    TELEMETRY.enabled = bool(telemetry)
+    if isinstance(db_snapshot, bytes):
+        db_snapshot = pickle.loads(db_snapshot)
+    factory = resolve_machine_factory(factory_spec)
+    machine_template: Optional[MachineTemplate] = None
+    if template:
+        machine_template = MachineTemplate(factory)
+        _build_template(machine_template)
+        _STATE["factory"] = _timed_factory(machine_template.checkout)
+    else:
+        _STATE["factory"] = _timed_factory(factory)
+    _STATE["template"] = machine_template
+    _STATE["fresh_factory"] = factory
+    _STATE["verify"] = template == "verify"
     _STATE["database"] = FrozenDeceptionDatabase.from_snapshot(db_snapshot)
     _STATE["config"] = config
-    TELEMETRY.enabled = bool(telemetry)
+
+
+def _build_template(machine_template: MachineTemplate) -> None:
+    """Eager template build, timed separately from per-job restores."""
+    if not TELEMETRY.enabled:
+        machine_template.build()
+        return
+    start = time.perf_counter_ns()
+    machine_template.build()
+    TELEMETRY.observe("wallclock.template_build_ns",
+                      time.perf_counter_ns() - start)
 
 
 def reset_worker() -> None:
@@ -56,8 +129,59 @@ def reset_worker() -> None:
 
 def execute_pair_job(job: PairJob) -> SweepEntry:
     """Entry point the executors submit; relies on initializer state."""
-    return run_pair_job(job, _STATE["factory"], _STATE["database"],
-                        _STATE["config"])
+    entry = run_pair_job(job, _STATE["factory"], _STATE["database"],
+                         _STATE["config"])
+    if _STATE.get("verify") and isinstance(entry, PairEnvelope):
+        parity_error = _check_template_parity(job, entry)
+        if parity_error is not None:
+            return parity_error
+    return entry
+
+
+def execute_pair_chunk(chunk: PairChunk) -> List[bytes]:
+    """Run a chunk of jobs; returns each entry pickled *separately*.
+
+    One pickle per entry — rather than one for the whole list — keeps the
+    parent's unpickled entries free of cross-entry object sharing, so
+    chunked results stay byte-identical to individually-submitted jobs.
+    """
+    return [pickle.dumps(execute_pair_job(job)) for job in chunk.jobs]
+
+
+def _check_template_parity(job: PairJob,
+                           entry: PairEnvelope) -> Optional[SweepError]:
+    """Re-run ``job`` on a fresh-factory machine; compare pickled outcomes.
+
+    The reference run executes with telemetry disabled so it cannot
+    pollute the job's recorded metrics delta.
+    """
+    prior_enabled = TELEMETRY.enabled
+    TELEMETRY.enabled = False
+    try:
+        from ..experiments.runner import run_pair
+        reference = run_pair(job.sample, _STATE["fresh_factory"],
+                             _STATE["database"], _STATE["config"])
+    except Exception as exc:
+        return SweepError(
+            index=job.index, sample_md5=job.sample.md5,
+            error_type=TEMPLATE_PARITY_ERROR,
+            message=("fresh-factory reference run failed: "
+                     f"{type(exc).__name__}: {exc}"),
+            traceback=traceback.format_exc(), worker_pid=os.getpid(),
+            retry_count=entry.stats.retry_count)
+    finally:
+        TELEMETRY.enabled = prior_enabled
+    expected = pickle.dumps(detach_outcome(reference))
+    actual = pickle.dumps(entry.outcome)
+    if actual == expected:
+        return None
+    return SweepError(
+        index=job.index, sample_md5=job.sample.md5,
+        error_type=TEMPLATE_PARITY_ERROR,
+        message=("templated outcome diverged from fresh-factory reference "
+                 f"({len(actual)} vs {len(expected)} pickled bytes)"),
+        traceback="", worker_pid=os.getpid(),
+        retry_count=entry.stats.retry_count)
 
 
 def _job_metrics_baseline() -> Optional[MetricsSnapshot]:

@@ -27,10 +27,14 @@ from .cache import FileContext
 #: sit directly on top of it and fabricate values malware observes;
 #: ``core`` is the deception engine; ``parallel`` must produce output
 #: byte-identical to the serial path (its deliberate wall-clock metrics
-#: are baselined, not exempted).
+#: are baselined, not exempted). ``repro.parallel.template`` is listed
+#: explicitly even though the ``repro.parallel`` prefix already covers it:
+#: the template layer snapshots and rewinds whole-machine state, so a
+#: host-clock or host-entropy leak there would silently break the
+#: templated-equals-fresh byte-parity guarantee.
 DETERMINISTIC_ZONES: Tuple[str, ...] = (
     "repro.winsim", "repro.winapi", "repro.hooking", "repro.core",
-    "repro.parallel",
+    "repro.parallel", "repro.parallel.template",
 )
 
 FileCheckFn = Callable[[FileContext], List["Finding"]]

@@ -44,6 +44,10 @@ API_LATENCY_PREFIX = "api.latency_ns."
 #: Histogram-name prefix of the per-export hook-handler instrumentation.
 HOOK_LATENCY_PREFIX = "hook.handler_ns."
 
+#: Histogram-name prefix of host wall-clock phase timings (job execution
+#: vs machine setup vs template build — the setup/execute split).
+WALLCLOCK_PREFIX = "wallclock."
+
 
 class TelemetryFormatError(ValueError):
     """A telemetry file (or record) does not follow the JSONL schema."""
@@ -171,6 +175,10 @@ class StatsSummary:
     hook_rows: List[LatencyRow]
     samples: int
     errors: int
+    #: Host wall-clock phase rows (``wallclock.*`` histograms): job
+    #: execution vs machine setup, making template savings visible.
+    wallclock_rows: List[LatencyRow] = dataclasses.field(
+        default_factory=list)
 
 
 def _latency_rows(snapshot: MetricsSnapshot, prefix: str) -> List[LatencyRow]:
@@ -210,4 +218,5 @@ def summarize_records(records: Iterable[dict]) -> StatsSummary:
         event_categories=event_categories,
         api_rows=_latency_rows(snapshot, API_LATENCY_PREFIX),
         hook_rows=_latency_rows(snapshot, HOOK_LATENCY_PREFIX),
-        samples=samples, errors=errors)
+        samples=samples, errors=errors,
+        wallclock_rows=_latency_rows(snapshot, WALLCLOCK_PREFIX))

@@ -63,6 +63,16 @@ class EventBus:
         self.publish(event)
         return event
 
+    def clear_subscribers(self) -> None:
+        """Drop every subscriber.
+
+        Used by :meth:`~repro.winsim.machine.Machine.restore_state`:
+        callbacks cannot be captured in a state snapshot, and a restored
+        machine must not keep publishing to tracers or controllers that
+        belonged to a previous run.
+        """
+        self._subscribers.clear()
+
     @property
     def subscriber_count(self) -> int:
         return len(self._subscribers)

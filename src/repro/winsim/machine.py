@@ -168,6 +168,38 @@ class Machine:
             "hardware": self.hardware.snapshot(),
         }
 
+    def snapshot_state(self) -> dict:
+        """Full-state snapshot: :meth:`snapshot` plus processes and handles.
+
+        Unlike :meth:`snapshot` (the Deep Freeze substitute, where the
+        process tree is recreated by a reboot), this captures *everything*
+        needed to rewind the machine in place — the contract behind
+        :class:`repro.parallel.template.MachineTemplate`.
+        """
+        state = self.snapshot()
+        state["processes"] = self.processes.snapshot()
+        state["handles"] = self.handles.snapshot()
+        state["explorer_pid"] = (self.explorer.pid
+                                 if self.explorer is not None else None)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Rewind the machine, in place, to a :meth:`snapshot_state`.
+
+        Also drops every event-bus subscriber: tracers/controllers from a
+        previous run cannot be part of the snapshot, and a crashed run may
+        have leaked its subscription (``Tracer`` unsubscribes via context
+        manager, but the controller shutdown after it can be skipped by an
+        exception).
+        """
+        self.bus.clear_subscribers()
+        self.processes.restore(state["processes"])
+        self.handles.restore(state["handles"])
+        explorer_pid = state.get("explorer_pid")
+        self.explorer = (self.processes.get(explorer_pid)
+                         if explorer_pid is not None else None)
+        self.restore(state)
+
     def restore(self, state: dict) -> None:
         """Restore everything except the process table.
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import itertools
+import pickle
 from typing import Callable, Dict, Iterable, List, Optional
 
 from .modules import ModuleList, populate_default_modules
@@ -185,6 +186,27 @@ class ProcessTable:
 
     def __len__(self) -> int:
         return len(self._by_pid)
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Deep snapshot of every process (lineage, PEBs, counters) as a blob.
+
+        Listeners are deliberately excluded: they hold bound methods of the
+        owning :class:`~repro.winsim.machine.Machine` and survive
+        :meth:`restore` untouched, so a restored table keeps publishing to
+        the same event bus.
+        """
+        return pickle.dumps((self._by_pid, self._pid_counter),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+
+    def restore(self, blob: bytes) -> None:
+        """Reinstate a :meth:`snapshot`; safe to call repeatedly.
+
+        Each call deserialises fresh :class:`Process` objects, so mutations
+        made after one restore can never leak into the next.
+        """
+        self._by_pid, self._pid_counter = pickle.loads(blob)
 
 
 #: Baseline processes present on any Windows 7 machine.

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import pickle
 from typing import Any, Dict, Iterator, Optional
 
 #: Handle value returned for invalid handles, as on Windows.
@@ -71,6 +72,22 @@ class HandleTable:
     def live_count(self) -> int:
         """Number of currently-open handles (used by leak-checking tests)."""
         return len(self._objects)
+
+    # -- snapshot / restore ---------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Deep snapshot of the table (counter position included) as a blob.
+
+        ``itertools.count`` pickles its current position, so a restored
+        table hands out the exact same handle values a fresh one would —
+        which keeps templated runs byte-identical to fresh-factory runs.
+        """
+        return pickle.dumps((self._counter, self._objects, self._kinds),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+
+    def restore(self, blob: bytes) -> None:
+        """Reinstate a :meth:`snapshot`; safe to call repeatedly."""
+        self._counter, self._objects, self._kinds = pickle.loads(blob)
 
     def __iter__(self) -> Iterator[int]:
         return iter(self._objects)

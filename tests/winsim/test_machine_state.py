@@ -1,0 +1,119 @@
+"""``Machine.snapshot_state`` / ``restore_state`` — the templating contract.
+
+Unlike the Deep Freeze substitute (:meth:`Machine.snapshot` /
+:meth:`Machine.restore`, where the process tree is recreated by a reboot),
+``snapshot_state`` captures *everything* — process table, handle table,
+counter positions, explorer alias — so that
+:class:`repro.parallel.template.MachineTemplate` can rewind one machine in
+place between jobs and still hand malware a byte-identical world.
+"""
+
+from repro.analysis.environments import build_bare_metal_sandbox
+from repro.winsim.machine import Machine
+
+
+def _fresh_machine():
+    return Machine().boot()
+
+
+class TestRestoreUndoesMutations:
+    def test_registry_writes_are_undone(self):
+        machine = _fresh_machine()
+        state = machine.snapshot_state()
+        key = "HKEY_CURRENT_USER\\Software\\Malware"
+        machine.registry.set_value(key, "Installed", 1)
+        machine.registry.set_value(
+            "HKEY_CURRENT_USER\\Software\\Microsoft\\Windows"
+            "\\CurrentVersion\\Run", "Updater", "C:\\mal.exe")
+        assert machine.registry.key_exists(key)
+        machine.restore_state(state)
+        assert not machine.registry.key_exists(key)
+        run_key = machine.registry.open_key(
+            "HKEY_CURRENT_USER\\Software\\Microsoft\\Windows"
+            "\\CurrentVersion\\Run")
+        assert run_key is not None and run_key.get_value("Updater") is None
+
+    def test_file_drops_are_undone(self):
+        machine = _fresh_machine()
+        state = machine.snapshot_state()
+        dropped = "C:\\Windows\\Temp\\payload.bin"
+        machine.filesystem.write_file(dropped, b"\x90" * 64)
+        machine.filesystem.delete("C:\\Windows\\Temp")
+        assert not machine.filesystem.exists("C:\\Windows\\Temp")
+        machine.restore_state(state)
+        assert machine.filesystem.is_dir("C:\\Windows\\Temp")
+        assert not machine.filesystem.exists(dropped)
+
+    def test_spawned_processes_are_undone(self):
+        machine = _fresh_machine()
+        state = machine.snapshot_state()
+        baseline_pids = sorted(p.pid for p in machine.processes.all())
+        machine.spawn_process("dropper.exe", "C:\\mal\\dropper.exe")
+        machine.processes.terminate(machine.explorer.pid)
+        machine.restore_state(state)
+        assert sorted(p.pid for p in machine.processes.all()) == baseline_pids
+        assert not machine.processes.name_exists("dropper.exe")
+        assert machine.explorer is not None and machine.explorer.alive
+        # The restored explorer alias points into the restored table, not
+        # at a stale pre-restore object.
+        assert machine.explorer is machine.processes.get(machine.explorer.pid)
+
+    def test_clock_advances_are_undone(self):
+        machine = _fresh_machine()
+        state = machine.snapshot_state()
+        before = machine.clock.now_ns
+        machine.clock.advance_ms(5_000)
+        assert machine.clock.now_ns > before
+        machine.restore_state(state)
+        assert machine.clock.now_ns == before
+
+
+class TestCountersRewind:
+    """Restored counters hand out the exact values a fresh run would see.
+
+    ``itertools.count`` pickles its position, so PIDs and handle values —
+    both observable by evasive samples — replay identically after a
+    rewind. This is what makes templated runs byte-identical.
+    """
+
+    def test_pid_counter_replays(self):
+        machine = _fresh_machine()
+        state = machine.snapshot_state()
+        first = machine.spawn_process("a.exe").pid
+        machine.spawn_process("b.exe")
+        machine.restore_state(state)
+        assert machine.spawn_process("a.exe").pid == first
+
+    def test_handle_counter_replays(self):
+        machine = _fresh_machine()
+        state = machine.snapshot_state()
+        first = machine.handles.open(object(), "mutex").value
+        machine.handles.open(object(), "file")
+        machine.restore_state(state)
+        assert machine.handles.live_count() == 0
+        assert machine.handles.open(object(), "mutex").value == first
+
+
+class TestBusSubscribers:
+    def test_restore_drops_leaked_subscribers(self):
+        """A crashed run can leak its tracer subscription; rewind drops it."""
+        machine = _fresh_machine()
+        state = machine.snapshot_state()
+        machine.bus.subscribe(lambda event: None)
+        machine.bus.subscribe(lambda event: None)
+        assert machine.bus.subscriber_count == 2
+        machine.restore_state(state)
+        assert machine.bus.subscriber_count == 0
+
+
+class TestIdempotence:
+    def test_double_restore_is_stable(self):
+        machine = build_bare_metal_sandbox()
+        state = machine.snapshot_state()
+        machine.spawn_process("x.exe")
+        machine.restore_state(state)
+        again = machine.snapshot_state()
+        machine.restore_state(state)
+        assert machine.snapshot_state().keys() == again.keys()
+        assert machine.processes.snapshot() == again["processes"]
+        assert machine.handles.snapshot() == again["handles"]
