@@ -1,0 +1,136 @@
+"""E17 — fleet protection service: events/sec serial vs pool, rollup parity.
+
+Runs a 32-endpoint / 512-event fleet workload (`repro.fleet`, see
+docs/FLEET.md) through four execution modes plus a kill-and-resume pass:
+
+* ``serial-fresh`` — 1 worker, machines rebuilt from the factory per
+  batch (the **throughput reference**: the cost templating has to beat);
+* ``serial-templated`` — 1 worker, endpoints stamped from one
+  :class:`~repro.parallel.template.MachineTemplate`;
+* ``pooled-templated`` — 2- and 4-worker process pools, each worker
+  templating its own endpoint machine;
+* ``checkpoint-resume`` — the pooled run killed after half its rounds,
+  then resumed from the checkpoint file.
+
+Every mode must produce a byte-identical canonical rollup
+(:meth:`~repro.fleet.FleetReport.to_json`) — the service's determinism
+contract — and the resumed run must reproduce the uninterrupted rollup
+exactly. Throughput (events/sec) per mode lands in ``BENCH_fleet.json``
+at the repo root. Templating is what makes the pool pay off: even on a
+single-core container the 4-worker pool clears 2x the fresh-factory
+serial path because per-batch machine builds collapse into template
+restores.
+
+Run: ``pytest benchmarks/bench_fleet.py --benchmark-only -s``
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.fleet import FleetService, build_fleet_report
+from repro.parallel import fork_available
+
+ENDPOINTS = 32
+EVENTS = 512
+SEED = 1337
+POOL_WORKER_COUNTS = (2, 4)
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_fleet.json"
+
+
+def _run(workers=1, template=True, **kwargs):
+    """One timed fleet run; returns (result, rollup, wall seconds)."""
+    service = FleetService(endpoints=ENDPOINTS, events=EVENTS, seed=SEED,
+                           max_workers=workers, template=template, **kwargs)
+    start = time.perf_counter()
+    result = service.run()
+    wall_s = time.perf_counter() - start
+    return result, build_fleet_report(result).to_json(), wall_s
+
+
+def _resume_pass(tmp_path):
+    """Kill a checkpointed run mid-stream, resume, return the rollup."""
+    checkpoint = str(tmp_path / "bench-fleet.ckpt")
+    partial = FleetService(endpoints=ENDPOINTS, events=EVENTS, seed=SEED,
+                           max_workers=POOL_WORKER_COUNTS[-1],
+                           checkpoint_path=checkpoint).run(
+        stop_after_rounds=8)
+    assert not partial.completed
+    assert 0 < partial.rounds_done < partial.rounds_total
+    start = time.perf_counter()
+    resumed = FleetService(endpoints=ENDPOINTS, events=EVENTS, seed=SEED,
+                           max_workers=POOL_WORKER_COUNTS[-1],
+                           checkpoint_path=checkpoint, resume=True).run()
+    wall_s = time.perf_counter() - start
+    assert resumed.completed
+    assert resumed.resumed_rounds == partial.rounds_done
+    return resumed, build_fleet_report(resumed).to_json(), wall_s
+
+
+def test_bench_fleet_throughput(benchmark, tmp_path):
+    # The reference: fresh factory build per endpoint batch, one process.
+    reference = benchmark.pedantic(_run, kwargs={"template": False},
+                                   rounds=1, iterations=1)
+    runs = [("serial-fresh", 1, *reference),
+            ("serial-templated", 1, *_run())]
+    for workers in POOL_WORKER_COUNTS:
+        result, rollup, wall_s = _run(workers=workers)
+        assert result.used_process_pool
+        runs.append(("pooled-templated", workers, result, rollup, wall_s))
+    runs.append(("checkpoint-resume", POOL_WORKER_COUNTS[-1],
+                 *_resume_pass(tmp_path)))
+
+    # The service's core guarantee: one canonical rollup, every mode.
+    _, _, _, expected_rollup, _ = runs[0]
+    for mode, workers, result, rollup, _ in runs[1:]:
+        assert rollup == expected_rollup, (mode, workers)
+        assert result.completed, (mode, workers)
+
+    report = build_fleet_report(runs[0][2])
+    assert report.events_processed == EVENTS
+    assert report.backpressure_stalls > 0  # the bounded queue did drain
+
+    measurements = []
+    reference_rate = EVENTS / runs[0][4]
+    for mode, workers, result, _, wall_s in runs:
+        executed = len(result.records) - result.events_resumed
+        rate = executed / wall_s
+        measurements.append({
+            "mode": mode, "workers": workers,
+            "events_executed": executed,
+            "wall_time_s": round(wall_s, 4),
+            "events_per_sec": round(rate, 1),
+            "speedup": round(rate / reference_rate, 3)
+            if executed == EVENTS else None,
+            "used_process_pool": result.used_process_pool,
+        })
+    payload = {
+        "benchmark": "fleet_service_throughput",
+        "endpoints": ENDPOINTS,
+        "events": EVENTS,
+        "seed": SEED,
+        "machine_factory": "end-user",
+        "cpu_cores": os.cpu_count(),
+        "fork_available": fork_available(),
+        "rounds": report.rounds,
+        "queue_depth_hwm": report.queue_depth_hwm,
+        "backpressure_stalls": report.backpressure_stalls,
+        "deactivation_rate": round(report.deactivation_rate, 4),
+        "rollups_byte_identical": True,
+        "reference": "serial-fresh (1 worker, factory build per batch)",
+        "measurements": measurements,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n",
+                      encoding="utf-8")
+    print(f"\nwrote {OUTPUT.name}: " +
+          ", ".join(f"{m['mode']}/{m['workers']}w="
+                    f"{m['events_per_sec']}ev/s" for m in measurements))
+
+    # Templating must carry the pool past the fresh serial path even on a
+    # single core; with real cores parallelism compounds on top.
+    pooled4 = next(m for m in measurements
+                   if m["mode"] == "pooled-templated" and m["workers"] == 4)
+    assert pooled4["speedup"] >= 2.0, \
+        "4-worker fleet pool should clear 2x the serial-fresh event rate"

@@ -14,6 +14,10 @@ Commands:
 * ``sweep [--workers N] [--families F ...] [--limit N] [--factory NAME]``
   — run a corpus sweep on the parallel execution engine and print the
   summary plus per-worker statistics (see docs/PARALLEL.md);
+* ``fleet [--endpoints N] [--events N] [--seed S] [--jobs N]
+  [--checkpoint FILE] [--resume]`` — run the long-lived multi-endpoint
+  protection service over a seeded event stream and print the fleet
+  report (see docs/FLEET.md);
 * ``stats FILE`` — summarise a JSONL telemetry trace written by
   ``--telemetry`` (see docs/OBSERVABILITY.md);
 * ``lint [PATH ...]`` — run the scarelint static-analysis checkers
@@ -254,6 +258,71 @@ def _stash_sweep_telemetry(args: argparse.Namespace, result) -> None:
             records.append(export.error_record(entry))
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    # Wall-time lives out here in the CLI: repro.fleet itself is a
+    # scarelint deterministic zone and never reads the host clock.
+    import time
+
+    from .fleet import (FleetCheckpointError, FleetService,
+                        build_fleet_report, render_fleet_report)
+    from .parallel import resolve_machine_factory
+
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint FILE", file=sys.stderr)
+        return 2
+    try:
+        resolve_machine_factory(args.factory)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        service = FleetService(
+            endpoints=args.endpoints, events=args.events, seed=args.seed,
+            machine_factory=args.factory, max_workers=args.jobs,
+            queue_limit=args.queue_limit, chunksize=args.chunksize,
+            template=not args.no_template, checkpoint_path=args.checkpoint,
+            resume=args.resume)
+    except ValueError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+    start_ns = time.perf_counter_ns()
+    try:
+        result = service.run(stop_after_rounds=args.stop_after)
+    except FleetCheckpointError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+    elapsed_ns = max(1, time.perf_counter_ns() - start_ns)
+    report = build_fleet_report(result)
+    print(render_fleet_report(report, result))
+    executed = len(result.records) - result.events_resumed
+    print(f"wall time: {elapsed_ns / 1e9:.2f}s  "
+          f"events/sec: {executed / (elapsed_ns / 1e9):.1f}")
+    if not result.completed:
+        print(f"stopped after {result.rounds_done}/{result.rounds_total} "
+              f"rounds (checkpoint: {args.checkpoint or 'none'})")
+    _stash_fleet_telemetry(args, result, elapsed_ns)
+    return 0 if result.completed else 1
+
+
+def _stash_fleet_telemetry(args: argparse.Namespace, result,
+                           elapsed_ns: int) -> None:
+    """Queue the fleet run's merged metrics for the ``--telemetry`` writer.
+
+    Adds the one host-clock number the deterministic service cannot
+    record itself — run wall time, under ``wallclock.fleet.run_ns`` — so
+    ``repro stats`` can derive events/sec.
+    """
+    records = getattr(args, "_telemetry_records", None)
+    if records is None:
+        return
+    from .telemetry import export
+    from .telemetry.metrics import MetricsRegistry
+    scratch = MetricsRegistry(enabled=True)
+    scratch.observe(export.FLEET_RUN_WALLCLOCK, elapsed_ns)
+    merged = result.merged_metrics().merge(scratch.snapshot())
+    records.append(export.metrics_record(merged, scope="fleet"))
+
+
 def _render_latency_rows(title: str, rows) -> List[str]:
     lines = [f"{title}:"]
     if not rows:
@@ -308,8 +377,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print("events by category: " + " ".join(
             f"{category}={count}" for category, count
             in sorted(summary.event_categories.items())))
+    if summary.fleet is not None:
+        _print_fleet_health(summary.fleet)
     print(f"samples: {summary.samples}  errors: {summary.errors}")
     return 0
+
+
+def _print_fleet_health(fleet) -> None:
+    """The fleet-service section of ``repro stats`` (docs/FLEET.md)."""
+    print("fleet health:")
+    rate = f"{fleet.events_per_sec:.1f}/s" \
+        if fleet.events_per_sec is not None else "n/a"
+    print(f"  events: {fleet.events}  throughput: {rate}  "
+          f"errors: {fleet.event_errors}  retries: {fleet.retries}")
+    print(f"  deactivated: {fleet.deactivated}  benign ok: "
+          f"{fleet.benign_ok}  resets: {fleet.resets}")
+    print(f"  queue depth hwm: {fleet.queue_depth_hwm}  stalls: "
+          f"{fleet.backpressure_stalls}  degraded chunks: "
+          f"{fleet.degraded_chunks}")
+    print(f"  event latency (virtual): p50 {fleet.latency_p50_ns} ns  "
+          f"p99 {fleet.latency_p99_ns} ns  (n={fleet.latency_count})")
+    for family, arrivals, deactivated, family_rate in fleet.family_rows:
+        print(f"  family {family}: {deactivated}/{arrivals} deactivated "
+              f"({family_rate:.1%})")
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -379,6 +469,34 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--chunksize", type=int, default=None,
                        help="jobs per pool submission (default: auto)")
     _add_telemetry_option(sweep)
+    fleet = subparsers.add_parser(
+        "fleet", help="multi-endpoint protection service (docs/FLEET.md)")
+    fleet.add_argument("--endpoints", type=int, default=8,
+                       help="protected endpoints in the fleet")
+    fleet.add_argument("--events", type=int, default=64,
+                       help="events in the generated stream")
+    fleet.add_argument("--seed", type=int, default=42,
+                       help="workload seed (same seed = same stream)")
+    fleet.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+    fleet.add_argument("--factory", default="end-user",
+                       help="machine factory endpoints are stamped from")
+    fleet.add_argument("--queue-limit", type=int, default=32,
+                       help="admission-queue bound (backpressure)")
+    fleet.add_argument("--chunksize", type=int, default=None,
+                       help="batches per pool submission (default: auto)")
+    fleet.add_argument("--no-template", action="store_true",
+                       help="rebuild each endpoint machine from the "
+                            "factory instead of snapshot/restore reuse")
+    fleet.add_argument("--checkpoint", metavar="FILE", default=None,
+                       help="write a resumable checkpoint after each round")
+    fleet.add_argument("--resume", action="store_true",
+                       help="resume from --checkpoint FILE if it exists")
+    fleet.add_argument("--stop-after", type=int, default=None,
+                       metavar="ROUNDS",
+                       help="stop after this many new rounds (simulates a "
+                            "killed service; exit code 1)")
+    _add_telemetry_option(fleet)
     stats = subparsers.add_parser(
         "stats", help="summarise a --telemetry JSONL trace")
     stats.add_argument("path", metavar="PATH",
@@ -415,8 +533,8 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "table1": _cmd_table1, "table2": _cmd_table2, "table3": _cmd_table3,
     "figure4": _cmd_figure4, "cases": _cmd_cases, "all": _cmd_all,
     "demo": _cmd_demo, "pafish": _cmd_pafish, "inventory": _cmd_inventory,
-    "overhead": _cmd_overhead, "sweep": _cmd_sweep, "stats": _cmd_stats,
-    "lint": _cmd_lint,
+    "overhead": _cmd_overhead, "sweep": _cmd_sweep, "fleet": _cmd_fleet,
+    "stats": _cmd_stats, "lint": _cmd_lint,
 }
 
 

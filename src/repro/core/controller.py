@@ -32,9 +32,14 @@ class ScarecrowController:
     def __init__(self, machine: Machine,
                  database: Optional[DeceptionDatabase] = None,
                  config: Optional[ScarecrowConfig] = None,
-                 policy: Optional[SpawnLoopPolicy] = None) -> None:
+                 policy: Optional[SpawnLoopPolicy] = None,
+                 report_buffer_limit: Optional[int] = None) -> None:
         self.machine = machine
         self.ipc = IpcChannel()
+        # Resident deployments bound the report inbox so an endpoint that
+        # is never drained cannot grow without limit (fleet service mode);
+        # the default stays unbounded for one-shot experiment runs.
+        self.ipc.controller.max_pending = report_buffer_limit
         self.engine = DeceptionEngine(database, config, ipc=self.ipc.dll)
         self.dll = ScarecrowDll(self.engine)
         self.policy = policy or SpawnLoopPolicy()
@@ -139,9 +144,19 @@ class ScarecrowController:
 
     # -- reports ------------------------------------------------------------------
 
-    def drain_reports(self) -> List[IpcMessage]:
-        """Fingerprint reports the DLL sent since the last drain."""
-        return self.ipc.controller.drain()
+    def drain_reports(self, limit: Optional[int] = None) -> List[IpcMessage]:
+        """Fingerprint reports the DLL sent since the last drain.
+
+        ``limit`` caps how many are taken per call (oldest first); the
+        remainder stays queued — within the ``report_buffer_limit`` bound,
+        if one was configured — for the next drain.
+        """
+        return self.ipc.controller.drain(limit)
+
+    @property
+    def dropped_reports(self) -> int:
+        """Reports evicted by the ``report_buffer_limit`` bound."""
+        return self.ipc.controller.dropped
 
     def fingerprint_events(self) -> List[FingerprintEvent]:
         return self.engine.log.events()

@@ -1,0 +1,39 @@
+"""Long-lived multi-endpoint protection service ("fleet mode").
+
+The paper deploys Scarecrow as a resident protection service on end-user
+machines; this package scales that deployment story out to a *fleet*: N
+protected endpoints (machine + controller + Deep Freeze), a seeded
+virtual-clock event stream of benign launches, evasive-malware arrivals
+and reboot resets, a bounded admission queue with backpressure, chunked
+dispatch onto the parallel worker pool, and periodic checkpoints a
+killed run resumes from — with the rollup byte-identical to the
+uninterrupted run. See ``docs/FLEET.md``.
+"""
+
+from .endpoint import (DEFAULT_REPORT_BUFFER, FAILED_LABEL, EventRecord,
+                       ProtectedEndpoint, failed_event_record)
+from .events import (DEFAULT_FLEET_FAMILIES, EVENT_BENIGN, EVENT_KINDS,
+                     EVENT_MALWARE, EVENT_RESET, FleetEvent, FleetRng,
+                     WorkloadProfile, build_sample_pool, generate_events)
+from .report import (FamilyRollup, FleetReport, LatencyRollup,
+                     build_fleet_report, render_fleet_report)
+from .service import (CHECKPOINT_VERSION, DEFAULT_FLEET_FACTORY,
+                      DEFAULT_QUEUE_LIMIT, AdmissionPlan, BatchJob,
+                      BatchResult, FleetChunk, FleetCheckpointError,
+                      FleetRunResult, FleetService, execute_fleet_batch,
+                      execute_fleet_chunk, initialize_fleet_worker,
+                      plan_rounds)
+
+__all__ = [
+    "AdmissionPlan", "BatchJob", "BatchResult", "CHECKPOINT_VERSION",
+    "DEFAULT_FLEET_FACTORY", "DEFAULT_FLEET_FAMILIES",
+    "DEFAULT_QUEUE_LIMIT", "DEFAULT_REPORT_BUFFER", "EVENT_BENIGN",
+    "EVENT_KINDS", "EVENT_MALWARE", "EVENT_RESET", "EventRecord",
+    "FAILED_LABEL", "FamilyRollup", "FleetChunk", "FleetCheckpointError",
+    "FleetEvent", "FleetReport", "FleetRng", "FleetRunResult",
+    "FleetService", "LatencyRollup", "ProtectedEndpoint",
+    "WorkloadProfile", "build_fleet_report", "build_sample_pool",
+    "execute_fleet_batch", "execute_fleet_chunk", "failed_event_record",
+    "generate_events", "initialize_fleet_worker", "plan_rounds",
+    "render_fleet_report",
+]

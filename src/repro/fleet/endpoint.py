@@ -1,0 +1,223 @@
+"""Protected-endpoint lifecycle for the fleet service.
+
+One :class:`ProtectedEndpoint` is the resident-deployment unit the paper
+describes: a machine with a :class:`~repro.core.ScarecrowController`
+attached, frozen once via :class:`~repro.analysis.deepfreeze.DeepFreeze`
+so reboot/reset events thaw it back to the clean baseline. Everything
+untrusted — malware arrivals *and* benign installers, per the corporate
+launch-through-scarecrow policy of ``examples/protect_endpoint.py`` — is
+launched through the controller.
+
+Event latency is measured on the endpoint's **virtual clock** (the only
+clock this package is allowed to read), so latency histograms merge
+byte-identically across serial and pooled executions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Mapping, Optional, Sequence
+
+from ..analysis.deepfreeze import DeepFreeze
+from ..core.controller import ScarecrowController
+from ..core.database import DeceptionDatabase
+from ..core.profiles import ScarecrowConfig
+from ..malware.benign import BenignProgram
+from ..malware.sample import EvasiveSample
+from ..telemetry.metrics import TELEMETRY
+from ..winsim.machine import Machine
+from .events import EVENT_BENIGN, EVENT_MALWARE, EVENT_RESET, FleetEvent
+
+#: Default bound on the controller's IPC report inbox. A resident endpoint
+#: drains after every event, so the bound only matters when something
+#: floods the channel — it caps memory, not fidelity.
+DEFAULT_REPORT_BUFFER = 256
+
+#: ``EventRecord.label`` marking an event that exhausted its retry budget
+#: (an infrastructure failure, distinct from a benign install that merely
+#: reported an error).
+FAILED_LABEL = "(failed)"
+
+
+@dataclasses.dataclass(frozen=True)
+class EventRecord:
+    """Outcome of one fleet event — JSON-native for checkpoints.
+
+    ``deactivated`` is ``True``/``False`` for malware events and ``None``
+    otherwise; ``ok`` means the event itself completed (a malware sample
+    whose payload ran still yields ``ok=True`` — that is a verdict, not a
+    failure).
+    """
+
+    seq: int
+    endpoint_id: int
+    kind: str
+    ref: int
+    label: str
+    family: str = ""
+    ok: bool = True
+    deactivated: Optional[bool] = None
+    trigger: Optional[str] = None
+    spawns: int = 0
+    reports: int = 0
+    latency_ns: int = 0
+    retries: int = 0
+    error: str = ""
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "endpoint": self.endpoint_id,
+                "kind": self.kind, "ref": self.ref, "label": self.label,
+                "family": self.family, "ok": self.ok,
+                "deactivated": self.deactivated, "trigger": self.trigger,
+                "spawns": self.spawns, "reports": self.reports,
+                "latency_ns": self.latency_ns, "retries": self.retries,
+                "error": self.error}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "EventRecord":
+        deactivated = data.get("deactivated")
+        trigger = data.get("trigger")
+        return cls(
+            seq=int(data["seq"]), endpoint_id=int(data["endpoint"]),
+            kind=str(data["kind"]), ref=int(data["ref"]),
+            label=str(data["label"]), family=str(data.get("family", "")),
+            ok=bool(data["ok"]),
+            deactivated=None if deactivated is None else bool(deactivated),
+            trigger=None if trigger is None else str(trigger),
+            spawns=int(data.get("spawns", 0)),
+            reports=int(data.get("reports", 0)),
+            latency_ns=int(data.get("latency_ns", 0)),
+            retries=int(data.get("retries", 0)),
+            error=str(data.get("error", "")))
+
+
+class ProtectedEndpoint:
+    """Machine + controller + Deep Freeze: one fleet-protected host."""
+
+    def __init__(self, endpoint_id: int, machine: Machine,
+                 database: Optional[DeceptionDatabase] = None,
+                 config: Optional[ScarecrowConfig] = None,
+                 report_buffer_limit: Optional[int] = DEFAULT_REPORT_BUFFER
+                 ) -> None:
+        self.endpoint_id = endpoint_id
+        self.machine = machine
+        self.database = database
+        self.config = config
+        self.report_buffer_limit = report_buffer_limit
+        # Freeze the pristine machine *before* the controller attaches, so
+        # a reset thaws to clean state and re-attaches a fresh controller.
+        self.freeze = DeepFreeze(machine)
+        self.freeze.freeze()
+        self.controller = self._attach()
+        self.events_handled = 0
+        self.reports_received = 0
+
+    def _attach(self) -> ScarecrowController:
+        controller = ScarecrowController(
+            self.machine, self.database, self.config,
+            report_buffer_limit=self.report_buffer_limit)
+        controller.start()
+        return controller
+
+    @property
+    def reset_count(self) -> int:
+        return self.freeze.reset_count
+
+    def reset(self) -> None:
+        """Reboot/deep-freeze cycle: thaw the machine, re-attach."""
+        self.controller.shutdown()
+        self.freeze.reset()
+        self.controller = self._attach()
+
+    def close(self) -> None:
+        """Detach the controller (end of this endpoint's batch)."""
+        self.controller.shutdown()
+
+    # -- event handling ------------------------------------------------------
+
+    def handle_event(self, event: FleetEvent,
+                     sample_pool: Sequence[EvasiveSample],
+                     benign_pool: Sequence[BenignProgram]) -> EventRecord:
+        """Process one event; raises only on unexpected simulation errors
+        (the service layer owns retry/degradation policy)."""
+        if event.kind == EVENT_RESET:
+            record = self._handle_reset(event)
+        elif event.kind == EVENT_MALWARE:
+            record = self._handle_malware(event, sample_pool)
+        elif event.kind == EVENT_BENIGN:
+            record = self._handle_benign(event, benign_pool)
+        else:
+            raise ValueError(f"unknown fleet event kind {event.kind!r}")
+        self.events_handled += 1
+        self._count_event(record)
+        return record
+
+    def _drain(self) -> int:
+        reports = self.controller.drain_reports()
+        self.reports_received += len(reports)
+        return len(reports)
+
+    def _handle_reset(self, event: FleetEvent) -> EventRecord:
+        # The thaw rewinds the virtual clock with everything else, so a
+        # reset has no meaningful latency; it is counted, not timed.
+        self._drain()
+        self.reset()
+        return EventRecord(seq=event.seq, endpoint_id=self.endpoint_id,
+                           kind=event.kind, ref=event.ref, label="reset")
+
+    def _handle_malware(self, event: FleetEvent,
+                        sample_pool: Sequence[EvasiveSample]) -> EventRecord:
+        sample = sample_pool[event.ref % len(sample_pool)]
+        start_ns = self.machine.clock.now_ns
+        self.machine.filesystem.write_file(
+            sample.image_path, b"MZ\x90\x00" + sample.md5.encode())
+        target = self.controller.launch(sample.image_path)
+        result = sample.run(self.machine, target)
+        latency_ns = self.machine.clock.now_ns - start_ns
+        return EventRecord(
+            seq=event.seq, endpoint_id=self.endpoint_id, kind=event.kind,
+            ref=event.ref, label=sample.md5, family=sample.family,
+            deactivated=not result.executed_payload, trigger=result.trigger,
+            spawns=result.self_spawn_count, reports=self._drain(),
+            latency_ns=latency_ns)
+
+    def _handle_benign(self, event: FleetEvent,
+                       benign_pool: Sequence[BenignProgram]) -> EventRecord:
+        program = benign_pool[event.ref % len(benign_pool)]
+        start_ns = self.machine.clock.now_ns
+        target = self.controller.launch(program.image_path)
+        report = program.run(self.machine, target)
+        latency_ns = self.machine.clock.now_ns - start_ns
+        ok = report.installed and report.error is None
+        return EventRecord(
+            seq=event.seq, endpoint_id=self.endpoint_id, kind=event.kind,
+            ref=event.ref, label=report.program, ok=ok,
+            reports=self._drain(), latency_ns=latency_ns,
+            error=report.error or "")
+
+    def _count_event(self, record: EventRecord) -> None:
+        if not TELEMETRY.enabled:
+            return
+        TELEMETRY.count("fleet.events")
+        TELEMETRY.count(f"fleet.events_{record.kind}")
+        if record.reports:
+            TELEMETRY.count("fleet.reports", record.reports)
+        if record.kind == EVENT_RESET:
+            TELEMETRY.count("fleet.resets")
+            return
+        TELEMETRY.observe("fleet.event_latency_ns", record.latency_ns)
+        if record.kind == EVENT_MALWARE:
+            TELEMETRY.count(f"fleet.family.{record.family}.malware")
+            if record.deactivated:
+                TELEMETRY.count("fleet.deactivated")
+                TELEMETRY.count(f"fleet.family.{record.family}.deactivated")
+        elif record.ok:
+            TELEMETRY.count("fleet.benign_ok")
+
+
+def failed_event_record(event: FleetEvent, endpoint_id: int,
+                        retries: int, error: str) -> EventRecord:
+    """Structured record for an event that exhausted its retry budget."""
+    return EventRecord(seq=event.seq, endpoint_id=endpoint_id,
+                       kind=event.kind, ref=event.ref, label=FAILED_LABEL,
+                       ok=False, retries=retries, error=error)

@@ -1,0 +1,179 @@
+"""Seeded fleet workload generator.
+
+A fleet run is driven by a synthetic event stream: benign installer
+launches, evasive-malware arrivals drawn from a family mix, and periodic
+reboot/deep-freeze resets. The stream is a pure function of
+``(seed, endpoints, count, profile)`` — the same LCG that gives the
+virtual clock its RDTSC jitter (:mod:`repro.winsim.clock`) drives every
+draw here, so two generations of the same triple are identical down to
+the arrival timestamps. That determinism is what the service layer's
+serial-vs-pool and fresh-vs-resume byte-identity guarantees stand on.
+
+Timestamps are **virtual milliseconds** since stream start; nothing in
+this module (or anywhere in ``repro.fleet``) reads the host clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from ..malware.benign import CNET_TOP20
+from ..malware.corpus import build_malgene_corpus
+from ..malware.families import FamilySpec
+from ..malware.sample import EvasiveSample
+
+#: Event kinds a fleet endpoint can receive.
+EVENT_MALWARE = "malware"
+EVENT_BENIGN = "benign"
+EVENT_RESET = "reset"
+
+EVENT_KINDS = (EVENT_MALWARE, EVENT_BENIGN, EVENT_RESET)
+
+
+class FleetRng:
+    """Deterministic LCG (the clock-jitter generator, widened to draws).
+
+    Host entropy is banned in ``repro.fleet`` (scarelint SC002), so the
+    workload generator carries its own multiplicative congruential state —
+    the same constants :class:`~repro.winsim.clock.VirtualClock` uses for
+    RDTSC jitter, which are Park-Miller-era and plenty for workload
+    shaping. Not cryptographic, deliberately.
+    """
+
+    __slots__ = ("_state",)
+
+    MULTIPLIER = 1103515245
+    INCREMENT = 12345
+    MASK = 0x7FFFFFFF
+
+    def __init__(self, seed: int) -> None:
+        self._state = (int(seed) ^ 0x9E3779B9) & self.MASK
+
+    def next_u31(self) -> int:
+        self._state = (self._state * self.MULTIPLIER + self.INCREMENT) \
+            & self.MASK
+        return self._state
+
+    def randint(self, bound: int) -> int:
+        """Uniform-ish draw in ``[0, bound)``; ``bound`` must be >= 1."""
+        if bound < 1:
+            raise ValueError("bound must be >= 1")
+        return self.next_u31() % bound
+
+    def weighted(self, weights: Sequence[int]) -> int:
+        """Index drawn proportionally to the non-negative ``weights``."""
+        total = sum(weights)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        draw = self.randint(total)
+        cumulative = 0
+        for index, weight in enumerate(weights):
+            cumulative += weight
+            if draw < cumulative:
+                return index
+        return len(weights) - 1
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetEvent:
+    """One unit of fleet work, fully determined at generation time.
+
+    ``ref`` indexes into the profile's sample pool (malware events) or the
+    CNET top-20 (benign events); reset events carry ``ref == 0``.
+    """
+
+    seq: int
+    at_ms: int
+    endpoint_id: int
+    kind: str
+    ref: int
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "at_ms": self.at_ms,
+                "endpoint": self.endpoint_id, "kind": self.kind,
+                "ref": self.ref}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FleetEvent":
+        return cls(int(data["seq"]), int(data["at_ms"]),
+                   int(data["endpoint"]), str(data["kind"]),
+                   int(data["ref"]))
+
+
+#: Family mix malware arrivals are drawn from: two headline families plus
+#: a deliberately mixed bag — deactivatable archetypes, the
+#: non-deactivatable PEB reader, and the inconclusive self-deleter — so
+#: per-family deactivation rates in the fleet report actually differ.
+DEFAULT_FLEET_FAMILIES: Tuple[FamilySpec, ...] = (
+    FamilySpec("Symmi", (("spawn_idp", 6), ("term_vm", 2),
+                         ("fail_peb", 2))),
+    FamilySpec("Zbot", (("sleep_sbx", 4), ("term_vm", 2))),
+    FamilySpec("Selfdel", (("selfdel", 2),)),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadProfile:
+    """Shape of the generated stream (weights, pacing, family mix)."""
+
+    malware_weight: int = 6
+    benign_weight: int = 3
+    reset_weight: int = 1
+    #: Upper bound of the uniform inter-arrival gap, virtual milliseconds.
+    max_gap_ms: int = 500
+    family_specs: Tuple[FamilySpec, ...] = DEFAULT_FLEET_FAMILIES
+
+    @property
+    def pool_size(self) -> int:
+        return sum(spec.total for spec in self.family_specs)
+
+    def fingerprint(self) -> dict:
+        """Determinism-relevant identity (stored in checkpoints)."""
+        return {
+            "weights": [self.malware_weight, self.benign_weight,
+                        self.reset_weight],
+            "max_gap_ms": self.max_gap_ms,
+            "families": [[spec.name, list(map(list, spec.archetype_counts))]
+                         for spec in self.family_specs],
+        }
+
+
+def build_sample_pool(profile: Optional[WorkloadProfile] = None
+                      ) -> List[EvasiveSample]:
+    """The malware pool ``FleetEvent.ref`` indexes into (order is stable)."""
+    profile = profile or WorkloadProfile()
+    return build_malgene_corpus(list(profile.family_specs))
+
+
+def generate_events(seed: int, endpoints: int, count: int,
+                    profile: Optional[WorkloadProfile] = None
+                    ) -> List[FleetEvent]:
+    """The full event stream for one fleet run.
+
+    Pure: no host clock, no host entropy, no I/O. Events come back in
+    arrival order with ``seq`` equal to their list index.
+    """
+    if endpoints < 1:
+        raise ValueError("endpoints must be >= 1")
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    profile = profile or WorkloadProfile()
+    rng = FleetRng(seed)
+    weights = (profile.malware_weight, profile.benign_weight,
+               profile.reset_weight)
+    pool_size = profile.pool_size
+    events: List[FleetEvent] = []
+    at_ms = 0
+    for seq in range(count):
+        at_ms += 1 + rng.randint(max(1, profile.max_gap_ms))
+        endpoint_id = rng.randint(endpoints)
+        kind = EVENT_KINDS[rng.weighted(weights)]
+        if kind == EVENT_MALWARE:
+            ref = rng.randint(max(1, pool_size))
+        elif kind == EVENT_BENIGN:
+            ref = rng.randint(len(CNET_TOP20))
+        else:
+            ref = 0
+        events.append(FleetEvent(seq, at_ms, endpoint_id, kind, ref))
+    return events

@@ -1,0 +1,238 @@
+"""Fleet-wide rollup: verdict counts, per-family rates, SLO latency.
+
+:class:`FleetReport` is the *byte-identity surface* of a fleet run —
+:meth:`FleetReport.to_json` must come out identical whether the run was
+serial or pooled, fresh or checkpoint-resumed. It therefore contains only
+values that are pure functions of the event records and the admission
+plan: verdicts, per-family deactivation rates, queue statistics, and the
+virtual-clock latency distribution. Execution shape (pool vs serial,
+chunk counts, degradations) lives on :class:`~repro.fleet.service.
+FleetRunResult` and is rendered alongside, never inside, the canonical
+report.
+
+Latency comes from the merged ``fleet.event_latency_ns`` telemetry
+histogram when telemetry ran; otherwise the identical histogram is
+rebuilt from the records' virtual-clock latencies (same geometric
+buckets), so the SLO numbers do not depend on whether telemetry was on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..telemetry.snapshot import HistogramState, bucket_index
+from .endpoint import EventRecord, FAILED_LABEL
+from .events import EVENT_BENIGN, EVENT_MALWARE, EVENT_RESET
+from .service import FleetRunResult
+
+#: Metric name the latency rollup reads from merged telemetry.
+LATENCY_METRIC = "fleet.event_latency_ns"
+
+
+@dataclasses.dataclass(frozen=True)
+class FamilyRollup:
+    """Arrivals and deactivations for one malware family."""
+
+    family: str
+    arrivals: int
+    deactivated: int
+
+    @property
+    def rate(self) -> float:
+        return self.deactivated / self.arrivals if self.arrivals else 0.0
+
+    def to_dict(self) -> dict:
+        return {"family": self.family, "arrivals": self.arrivals,
+                "deactivated": self.deactivated,
+                "rate": round(self.rate, 4)}
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyRollup:
+    """Virtual-clock event-latency distribution (SLO view)."""
+
+    count: int
+    total_ns: int
+    p50_ns: int
+    p99_ns: int
+
+    @property
+    def mean_ns(self) -> int:
+        return self.total_ns // self.count if self.count else 0
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "total_ns": self.total_ns,
+                "mean_ns": self.mean_ns, "p50_ns": self.p50_ns,
+                "p99_ns": self.p99_ns}
+
+    @classmethod
+    def from_state(cls, state: HistogramState) -> "LatencyRollup":
+        return cls(count=state.count, total_ns=state.total,
+                   p50_ns=state.percentile(50), p99_ns=state.percentile(99))
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetReport:
+    """Canonical rollup of one fleet run (see module docstring)."""
+
+    endpoints: int
+    seed: int
+    events_planned: int
+    events_processed: int
+    malware_events: int
+    deactivated: int
+    benign_events: int
+    benign_ok: int
+    resets: int
+    event_failures: int
+    retries: int
+    reports_drained: int
+    families: Tuple[FamilyRollup, ...]
+    latency: LatencyRollup
+    queue_depth_hwm: int
+    backpressure_stalls: int
+    rounds: int
+    completed: bool
+
+    @property
+    def deactivation_rate(self) -> float:
+        return self.deactivated / self.malware_events \
+            if self.malware_events else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "endpoints": self.endpoints,
+            "seed": self.seed,
+            "events": {"planned": self.events_planned,
+                       "processed": self.events_processed,
+                       "malware": self.malware_events,
+                       "benign": self.benign_events,
+                       "resets": self.resets,
+                       "failures": self.event_failures,
+                       "retries": self.retries},
+            "verdicts": {"deactivated": self.deactivated,
+                         "deactivation_rate":
+                             round(self.deactivation_rate, 4),
+                         "benign_ok": self.benign_ok,
+                         "reports_drained": self.reports_drained},
+            "families": [rollup.to_dict() for rollup in self.families],
+            "latency": self.latency.to_dict(),
+            "admission": {"queue_depth_hwm": self.queue_depth_hwm,
+                          "backpressure_stalls": self.backpressure_stalls,
+                          "rounds": self.rounds},
+            "completed": self.completed,
+        }
+
+    def to_json(self) -> str:
+        """Canonical sorted-key JSON — the byte-identity comparison form."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def _latency_state(result: FleetRunResult) -> HistogramState:
+    """The latency histogram: merged telemetry, or the identical rebuild.
+
+    Rebuild uses the same geometric buckets the telemetry histogram
+    records into, over exactly the records the endpoint would have
+    observed (completed malware/benign events), so count, total and
+    percentiles match the telemetry path bit for bit.
+    """
+    merged = result.merged_metrics()
+    state = merged.histograms.get(LATENCY_METRIC)
+    if state is not None:
+        return state
+    count = 0
+    total = 0
+    buckets: List[int] = []
+    for record in result.records:
+        if record.kind == EVENT_RESET or record.label == FAILED_LABEL:
+            continue
+        index = bucket_index(record.latency_ns)
+        if index >= len(buckets):
+            buckets.extend([0] * (index + 1 - len(buckets)))
+        buckets[index] += 1
+        count += 1
+        total += record.latency_ns
+    return HistogramState(count, total, tuple(buckets))
+
+
+def build_fleet_report(result: FleetRunResult) -> FleetReport:
+    """Fold a run result's records into the canonical rollup."""
+    records: List[EventRecord] = result.records
+    malware = [r for r in records
+               if r.kind == EVENT_MALWARE and r.label != FAILED_LABEL]
+    benign = [r for r in records
+              if r.kind == EVENT_BENIGN and r.label != FAILED_LABEL]
+    resets = sum(1 for r in records
+                 if r.kind == EVENT_RESET and r.label != FAILED_LABEL)
+    failures = sum(1 for r in records if r.label == FAILED_LABEL)
+    by_family: Dict[str, List[EventRecord]] = {}
+    for record in malware:
+        by_family.setdefault(record.family, []).append(record)
+    families = tuple(
+        FamilyRollup(family=family, arrivals=len(group),
+                     deactivated=sum(1 for r in group if r.deactivated))
+        for family, group in sorted(by_family.items()))
+    return FleetReport(
+        endpoints=result.endpoints,
+        seed=result.seed,
+        events_planned=result.events_planned,
+        events_processed=len(records),
+        malware_events=len(malware),
+        deactivated=sum(1 for r in malware if r.deactivated),
+        benign_events=len(benign),
+        benign_ok=sum(1 for r in benign if r.ok),
+        resets=resets,
+        event_failures=failures,
+        retries=sum(r.retries for r in records),
+        reports_drained=sum(r.reports for r in records),
+        families=families,
+        latency=LatencyRollup.from_state(_latency_state(result)),
+        queue_depth_hwm=result.queue_depth_hwm,
+        backpressure_stalls=result.backpressure_stalls,
+        rounds=result.rounds_total,
+        completed=result.completed)
+
+
+def render_fleet_report(report: FleetReport,
+                        result: Optional[FleetRunResult] = None) -> str:
+    """Human-readable report; ``result`` adds the execution-shape lines."""
+    lines = [
+        "Fleet protection report",
+        "=======================",
+        f"endpoints: {report.endpoints}   seed: {report.seed}   "
+        f"events: {report.events_processed}/{report.events_planned}"
+        f"{'' if report.completed else '   (PARTIAL)'}",
+        f"malware: {report.malware_events}  deactivated: "
+        f"{report.deactivated}  rate: {report.deactivation_rate:.1%}",
+        f"benign: {report.benign_events}  ok: {report.benign_ok}   "
+        f"resets: {report.resets}   failures: {report.event_failures}"
+        f"   retries: {report.retries}",
+        f"reports drained: {report.reports_drained}",
+        "",
+        "family           arrivals  deactivated  rate",
+    ]
+    for rollup in report.families:
+        lines.append(f"{rollup.family:<16} {rollup.arrivals:>8}  "
+                     f"{rollup.deactivated:>11}  {rollup.rate:>6.1%}")
+    latency = report.latency
+    lines += [
+        "",
+        f"event latency (virtual): mean {latency.mean_ns / 1e6:.2f} ms  "
+        f"p50 {latency.p50_ns / 1e6:.2f} ms  "
+        f"p99 {latency.p99_ns / 1e6:.2f} ms  (n={latency.count})",
+        f"admission: queue hwm {report.queue_depth_hwm}  "
+        f"stalls {report.backpressure_stalls}  rounds {report.rounds}",
+    ]
+    if result is not None:
+        mode = "process pool" if result.used_process_pool else "in-process"
+        suffix = f", {result.degraded_chunks} degraded" \
+            if result.degraded_chunks else ""
+        lines.append(
+            f"execution: {mode} ({result.chunks} chunks{suffix}); "
+            f"resumed {result.resumed_rounds}/{result.rounds_total} rounds"
+            if result.resumed_rounds else
+            f"execution: {mode} ({result.chunks} chunks{suffix})")
+    return "\n".join(lines)

@@ -1,0 +1,581 @@
+"""Fleet scheduler: admission queue, chunked dispatch, checkpoint/resume.
+
+:class:`FleetService` turns a generated event stream into rounds of
+per-endpoint batches and pushes them through the same process-pool
+machinery the corpus sweep uses (:func:`~repro.parallel.sweep.
+make_executor` with a fleet-specific initializer). The moving parts:
+
+* **Backpressure** — events admit into a bounded queue
+  (:func:`plan_rounds`); when the queue is full the producer stalls and
+  the queue drains as one *round* of per-endpoint batches. Queue
+  high-water mark and stall counts surface in the run result.
+* **Dispatch** — each round's batches ship in auto-sized chunks
+  (:func:`~repro.parallel.sweep.auto_chunksize`); each worker stamps its
+  endpoint machine from a :class:`~repro.parallel.template.
+  MachineTemplate` instead of rebuilding it per batch.
+* **Degradation** — a per-event retry budget inside the worker turns
+  exhausted failures into structured :func:`~repro.fleet.endpoint.
+  failed_event_record` entries; a chunk whose *submission* fails (poisoned
+  pool, unpicklable payload) reruns in-process and the run reports
+  ``used_process_pool=False`` honestly.
+* **Checkpointing** — after every round the completed batches are written
+  to a JSON checkpoint (atomic ``os.replace``); a resumed run validates
+  the configuration fingerprint, replays the stored batches, and
+  continues — producing a rollup byte-identical to the uninterrupted run.
+
+Determinism contract: same ``(seed, endpoints, events, profile)`` means
+the same stream, the same rounds, and the same sorted record list —
+serial or pooled, fresh or resumed. Nothing here reads the host clock or
+host entropy (scarelint SC001/SC002); latency lives on the endpoints'
+virtual clocks and wall-time belongs to callers (the CLI).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+import zlib
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, \
+    Tuple
+
+from ..core.database import DeceptionDatabase, FrozenDeceptionDatabase
+from ..core.profiles import ScarecrowConfig
+from ..malware.benign import build_cnet_corpus
+from ..parallel.factories import FactorySpec, resolve_machine_factory
+from ..parallel.sweep import auto_chunksize, make_executor
+from ..parallel.template import MachineTemplate
+from ..telemetry.metrics import TELEMETRY
+from ..telemetry.snapshot import MetricsSnapshot
+from .endpoint import EventRecord, ProtectedEndpoint, failed_event_record
+from .events import FleetEvent, WorkloadProfile, build_sample_pool, \
+    generate_events
+
+#: Factory fleet endpoints are stamped from by default: the end-user
+#: machine is the expensive, realistic build where templating pays most.
+DEFAULT_FLEET_FACTORY = "end-user"
+
+#: Default admission-queue bound (events buffered before a drain round).
+DEFAULT_QUEUE_LIMIT = 32
+
+#: Checkpoint schema version (part of the fingerprint).
+CHECKPOINT_VERSION = 1
+
+
+class FleetCheckpointError(RuntimeError):
+    """A checkpoint file is unreadable or belongs to a different run."""
+
+
+# -- admission planning -------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionPlan:
+    """Deterministic round structure plus the admission statistics.
+
+    ``rounds`` is a tuple of rounds; each round is a tuple of
+    ``(endpoint_id, events)`` batches in first-arrival order.
+    """
+
+    rounds: Tuple[Tuple[Tuple[int, Tuple[FleetEvent, ...]], ...], ...]
+    queue_depth_hwm: int
+    backpressure_stalls: int
+
+    @property
+    def total_batches(self) -> int:
+        return sum(len(round_batches) for round_batches in self.rounds)
+
+
+def _group_round(queue: Sequence[FleetEvent]
+                 ) -> Tuple[Tuple[int, Tuple[FleetEvent, ...]], ...]:
+    """Group one drained queue by endpoint, first-arrival order."""
+    order: List[int] = []
+    grouped: Dict[int, List[FleetEvent]] = {}
+    for event in queue:
+        if event.endpoint_id not in grouped:
+            grouped[event.endpoint_id] = []
+            order.append(event.endpoint_id)
+        grouped[event.endpoint_id].append(event)
+    return tuple((endpoint_id, tuple(grouped[endpoint_id]))
+                 for endpoint_id in order)
+
+
+def plan_rounds(events: Sequence[FleetEvent],
+                queue_limit: int) -> AdmissionPlan:
+    """Pure admission model: bounded queue, drain-on-full.
+
+    The producer admits events until the queue holds ``queue_limit``; the
+    next arrival *stalls* (counted) and forces a drain — the queued
+    events become one round, grouped per endpoint so each endpoint's
+    events stay in arrival order on one machine. Being a pure function of
+    the stream, the plan is identical however the rounds later execute.
+    """
+    if queue_limit < 1:
+        raise ValueError("queue_limit must be >= 1")
+    rounds: List[Tuple[Tuple[int, Tuple[FleetEvent, ...]], ...]] = []
+    queue: List[FleetEvent] = []
+    hwm = 0
+    stalls = 0
+    for event in events:
+        if len(queue) >= queue_limit:
+            stalls += 1
+            rounds.append(_group_round(queue))
+            queue = []
+        queue.append(event)
+        hwm = max(hwm, len(queue))
+    if queue:
+        rounds.append(_group_round(queue))
+    return AdmissionPlan(tuple(rounds), hwm, stalls)
+
+
+# -- worker protocol ----------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class BatchJob:
+    """One endpoint's slice of one round (the unit of retry accounting)."""
+
+    index: int
+    endpoint_id: int
+    events: Tuple[FleetEvent, ...]
+    max_retries: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetChunk:
+    """A pickled-once group of batch jobs (the unit of pool submission)."""
+
+    jobs: Tuple[BatchJob, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchResult:
+    """Worker output for one batch — JSON-native for checkpoints."""
+
+    index: int
+    endpoint_id: int
+    records: Tuple[EventRecord, ...]
+    retries: int = 0
+    resets: int = 0
+    metrics: Optional[MetricsSnapshot] = None
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "endpoint": self.endpoint_id,
+                "records": [record.to_dict() for record in self.records],
+                "retries": self.retries, "resets": self.resets,
+                "metrics": None if self.metrics is None
+                else self.metrics.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BatchResult":
+        metrics = data.get("metrics")
+        return cls(
+            index=int(data["index"]), endpoint_id=int(data["endpoint"]),
+            records=tuple(EventRecord.from_dict(r)
+                          for r in data.get("records", ())),
+            retries=int(data.get("retries", 0)),
+            resets=int(data.get("resets", 0)),
+            metrics=None if metrics is None
+            else MetricsSnapshot.from_dict(metrics))
+
+
+#: Per-process worker fixtures, filled by :func:`initialize_fleet_worker`.
+_FLEET_STATE: Dict[str, Any] = {}
+
+
+def initialize_fleet_worker(factory_spec: FactorySpec,
+                            db_snapshot: Any,
+                            config: Optional[ScarecrowConfig],
+                            telemetry: bool = False,
+                            template: bool = True,
+                            profile: Optional[WorkloadProfile] = None
+                            ) -> None:
+    """Pool/serial initializer: build this worker's private fixtures.
+
+    Mirrors :func:`~repro.parallel.worker.initialize_worker` — database
+    snapshot arrives pre-pickled so serial and pooled workers deserialize
+    the exact same blob — plus the fleet extras: the sample pool and the
+    benign corpus the event stream's ``ref`` fields index into, and a
+    :class:`~repro.parallel.template.MachineTemplate` endpoints are
+    stamped from between batches (``template=False`` rebuilds from the
+    factory every batch; the benchmark's serial reference).
+    """
+    TELEMETRY.enabled = bool(telemetry)
+    if isinstance(db_snapshot, bytes):
+        db_snapshot = pickle.loads(db_snapshot)
+    factory = resolve_machine_factory(factory_spec)
+    machine_template: Optional[MachineTemplate] = None
+    if template:
+        machine_template = MachineTemplate(factory)
+        machine_template.build()
+        machine_source: Callable = machine_template.checkout
+    else:
+        machine_source = factory
+    _FLEET_STATE["machine_source"] = machine_source
+    _FLEET_STATE["template"] = machine_template
+    _FLEET_STATE["database"] = FrozenDeceptionDatabase.from_snapshot(
+        db_snapshot)
+    _FLEET_STATE["config"] = config
+    _FLEET_STATE["samples"] = build_sample_pool(profile)
+    _FLEET_STATE["benign"] = build_cnet_corpus()
+
+
+def _run_event(endpoint: ProtectedEndpoint, event: FleetEvent,
+               max_retries: int) -> Tuple[EventRecord, int]:
+    """One event with its retry budget; failures become structured records."""
+    retries = 0
+    while True:
+        try:
+            record = endpoint.handle_event(
+                event, _FLEET_STATE["samples"], _FLEET_STATE["benign"])
+        except Exception as exc:
+            if retries < max_retries:
+                retries += 1
+                if TELEMETRY.enabled:
+                    TELEMETRY.count("fleet.retries")
+                continue
+            if TELEMETRY.enabled:
+                TELEMETRY.count("fleet.event_errors")
+            return failed_event_record(
+                event, endpoint.endpoint_id, retries,
+                f"{type(exc).__name__}: {exc}"), retries
+        if retries:
+            record = dataclasses.replace(record, retries=retries)
+        return record, retries
+
+
+def execute_fleet_batch(job: BatchJob) -> BatchResult:
+    """Run one endpoint batch against this worker's fixtures."""
+    if "machine_source" not in _FLEET_STATE:
+        raise RuntimeError(
+            "fleet worker not initialized (initialize_fleet_worker)")
+    baseline = TELEMETRY.snapshot() if TELEMETRY.enabled else None
+    machine = _FLEET_STATE["machine_source"]()
+    endpoint = ProtectedEndpoint(
+        job.endpoint_id, machine, _FLEET_STATE["database"],
+        _FLEET_STATE["config"])
+    records: List[EventRecord] = []
+    retries_total = 0
+    try:
+        for event in job.events:
+            record, retries = _run_event(endpoint, event, job.max_retries)
+            retries_total += retries
+            records.append(record)
+    finally:
+        endpoint.close()
+    metrics = TELEMETRY.snapshot().diff_from(baseline) \
+        if baseline is not None else None
+    return BatchResult(index=job.index, endpoint_id=job.endpoint_id,
+                       records=tuple(records), retries=retries_total,
+                       resets=endpoint.reset_count, metrics=metrics)
+
+
+def execute_fleet_chunk(chunk: FleetChunk) -> List[bytes]:
+    """Pool entry point: per-batch pickled results, matching the sweep's
+    per-entry pickling discipline (byte parity with the serial path)."""
+    return [pickle.dumps(execute_fleet_batch(job)) for job in chunk.jobs]
+
+
+# -- checkpointing ------------------------------------------------------------
+
+def _write_checkpoint(path: str, fingerprint: dict, rounds_done: int,
+                      completed: Sequence[BatchResult]) -> None:
+    """Atomic checkpoint write: temp file + ``os.replace``."""
+    payload = {"fingerprint": fingerprint, "rounds_done": rounds_done,
+               "batches": [batch.to_dict() for batch in completed]}
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, sort_keys=True, separators=(",", ":"))
+    os.replace(tmp_path, path)
+
+
+def _load_checkpoint(path: str, fingerprint: dict, rounds_total: int
+                     ) -> Tuple[int, List[BatchResult]]:
+    """Read and validate a checkpoint against this run's fingerprint."""
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+    except (OSError, ValueError) as exc:
+        raise FleetCheckpointError(
+            f"unreadable checkpoint {path!r}: {exc}") from exc
+    stored = payload.get("fingerprint")
+    if stored != fingerprint:
+        raise FleetCheckpointError(
+            "checkpoint does not match this run's configuration; "
+            "refusing to resume (delete the file to start fresh)")
+    rounds_done = int(payload.get("rounds_done", 0))
+    if not 0 <= rounds_done <= rounds_total:
+        raise FleetCheckpointError(
+            f"checkpoint claims {rounds_done} completed rounds; "
+            f"this plan has {rounds_total}")
+    completed = [BatchResult.from_dict(entry)
+                 for entry in payload.get("batches", ())]
+    return rounds_done, completed
+
+
+# -- run result ---------------------------------------------------------------
+
+@dataclasses.dataclass
+class FleetRunResult:
+    """Everything one :meth:`FleetService.run` produced.
+
+    ``records`` is seq-sorted and identical across serial/pooled and
+    fresh/resumed executions; the execution-shape fields (``chunks``,
+    ``degraded_chunks``, ``used_process_pool``, ``resumed_rounds``) are
+    honest observability and deliberately excluded from the
+    byte-identity surface (:meth:`~repro.fleet.report.FleetReport.
+    to_json`).
+    """
+
+    endpoints: int
+    seed: int
+    events_planned: int
+    records: List[EventRecord]
+    batches: List[BatchResult]
+    queue_depth_hwm: int
+    backpressure_stalls: int
+    rounds_total: int
+    rounds_done: int
+    resumed_rounds: int
+    #: Events replayed from the checkpoint rather than executed here
+    #: (throughput accounting must not credit this run with them).
+    events_resumed: int
+    chunks: int
+    degraded_chunks: int
+    used_process_pool: bool
+    completed: bool
+
+    def merged_metrics(self) -> MetricsSnapshot:
+        """Batch telemetry deltas folded together, plus service counters.
+
+        Associative/commutative merge — pool scheduling cannot change the
+        totals. Batch deltas are empty when telemetry was disabled; the
+        service-level admission counters are always present.
+        """
+        merged = MetricsSnapshot.empty()
+        for batch in self.batches:
+            if batch.metrics is not None:
+                merged = merged.merge(batch.metrics)
+        service = MetricsSnapshot(
+            counters={"fleet.rounds": self.rounds_done,
+                      "fleet.chunks": self.chunks,
+                      "fleet.degraded_chunks": self.degraded_chunks,
+                      "fleet.backpressure_stalls": self.backpressure_stalls},
+            gauges={"fleet.queue_depth_hwm": float(self.queue_depth_hwm),
+                    "fleet.endpoints": float(self.endpoints)})
+        return merged.merge(service)
+
+
+# -- the service --------------------------------------------------------------
+
+class FleetService:
+    """Long-lived multi-endpoint protection service (one run = one call).
+
+    Construction is cheap and validation-only; :meth:`run` does the work.
+    ``telemetry=None`` inherits the process-wide setting;
+    ``stop_after_rounds`` (on :meth:`run`) is the kill switch the
+    checkpoint/resume tests use to simulate an interrupted service.
+    """
+
+    def __init__(self, endpoints: int = 8, events: int = 64,
+                 seed: int = 42, *,
+                 profile: Optional[WorkloadProfile] = None,
+                 machine_factory: FactorySpec = DEFAULT_FLEET_FACTORY,
+                 database: Optional[DeceptionDatabase] = None,
+                 config: Optional[ScarecrowConfig] = None,
+                 max_workers: int = 1,
+                 queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                 chunksize: Optional[int] = None,
+                 max_retries: int = 1,
+                 telemetry: Optional[bool] = None,
+                 template: bool = True,
+                 checkpoint_path: Optional[str] = None,
+                 resume: bool = False) -> None:
+        if endpoints < 1:
+            raise ValueError("endpoints must be >= 1")
+        if events < 0:
+            raise ValueError("events must be >= 0")
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if resume and not checkpoint_path:
+            raise ValueError("resume=True requires a checkpoint_path")
+        self.endpoints = endpoints
+        self.events = events
+        self.seed = seed
+        self.profile = profile
+        self.machine_factory = machine_factory
+        self.database = database
+        self.config = config
+        self.max_workers = max_workers
+        self.queue_limit = queue_limit
+        self.chunksize = chunksize
+        self.max_retries = max_retries
+        self.telemetry = telemetry
+        self.template = template
+        self.checkpoint_path = checkpoint_path
+        self.resume = resume
+        self._local_ready = False
+
+    # -- configuration identity ----------------------------------------------
+
+    def _fingerprint(self, db_blob: bytes) -> dict:
+        """JSON-normalized identity a checkpoint must match to resume.
+
+        Everything that changes the event stream or its outcomes is in
+        here; execution shape (workers, chunksize, templating) is not —
+        those are free to differ between the interrupted run and the
+        resume because the results are identical by construction.
+        """
+        spec = self.machine_factory
+        factory_name = spec if isinstance(spec, str) else \
+            getattr(spec, "__qualname__", repr(spec))
+        profile = self.profile or WorkloadProfile()
+        raw = {
+            "version": CHECKPOINT_VERSION,
+            "seed": self.seed,
+            "endpoints": self.endpoints,
+            "events": self.events,
+            "queue_limit": self.queue_limit,
+            "factory": factory_name,
+            "db_crc": zlib.crc32(db_blob),
+            "config": None if self.config is None
+            else dataclasses.asdict(self.config),
+            "profile": profile.fingerprint(),
+        }
+        return json.loads(json.dumps(raw, sort_keys=True))
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, stop_after_rounds: Optional[int] = None) -> FleetRunResult:
+        """Execute (or resume) the fleet run.
+
+        ``stop_after_rounds`` bounds how many *new* rounds this call
+        executes before returning a partial (``completed=False``) result
+        — combined with ``checkpoint_path`` it simulates a service killed
+        mid-run; a later ``resume=True`` run picks up where it stopped.
+        """
+        stream = generate_events(self.seed, self.endpoints, self.events,
+                                 self.profile)
+        plan = plan_rounds(stream, self.queue_limit)
+        jobs_per_round = self._build_jobs(plan)
+
+        database = self.database if self.database is not None \
+            else DeceptionDatabase()
+        db_blob = database.snapshot_bytes()
+        fingerprint = self._fingerprint(db_blob)
+
+        completed: List[BatchResult] = []
+        rounds_done = 0
+        resumed = 0
+        events_resumed = 0
+        if self.resume and self.checkpoint_path and \
+                os.path.exists(self.checkpoint_path):
+            rounds_done, completed = _load_checkpoint(
+                self.checkpoint_path, fingerprint, len(jobs_per_round))
+            resumed = rounds_done
+            events_resumed = sum(len(batch.records) for batch in completed)
+
+        telemetry_on = TELEMETRY.enabled if self.telemetry is None \
+            else bool(self.telemetry)
+        initargs = (self.machine_factory, db_blob, self.config,
+                    telemetry_on, self.template, self.profile)
+
+        chunks_run = 0
+        degraded = 0
+        interrupted = False
+        used_pool = False
+        self._local_ready = False
+        prior_enabled = TELEMETRY.enabled
+        try:
+            if rounds_done < len(jobs_per_round):
+                executor, used_pool = make_executor(
+                    initargs, self.max_workers, initialize_fleet_worker)
+                with executor:
+                    for round_jobs in jobs_per_round[rounds_done:]:
+                        if stop_after_rounds is not None and \
+                                rounds_done - resumed >= stop_after_rounds:
+                            interrupted = True
+                            break
+                        results, n_chunks, n_degraded = self._run_round(
+                            executor, round_jobs, initargs)
+                        chunks_run += n_chunks
+                        degraded += n_degraded
+                        completed.extend(results)
+                        rounds_done += 1
+                        if self.checkpoint_path:
+                            _write_checkpoint(self.checkpoint_path,
+                                              fingerprint, rounds_done,
+                                              completed)
+        finally:
+            TELEMETRY.enabled = prior_enabled
+
+        records = sorted(
+            (record for batch in completed for record in batch.records),
+            key=lambda record: record.seq)
+        return FleetRunResult(
+            endpoints=self.endpoints, seed=self.seed,
+            events_planned=len(stream), records=records,
+            batches=list(completed),
+            queue_depth_hwm=plan.queue_depth_hwm,
+            backpressure_stalls=plan.backpressure_stalls,
+            rounds_total=len(jobs_per_round), rounds_done=rounds_done,
+            resumed_rounds=resumed, events_resumed=events_resumed,
+            chunks=chunks_run,
+            degraded_chunks=degraded,
+            used_process_pool=used_pool and degraded == 0 and
+            rounds_done > resumed,
+            completed=not interrupted and
+            rounds_done == len(jobs_per_round))
+
+    def _build_jobs(self, plan: AdmissionPlan) -> List[List[BatchJob]]:
+        """Rounds of batch jobs with globally-unique submission indices."""
+        jobs_per_round: List[List[BatchJob]] = []
+        index = 0
+        for round_batches in plan.rounds:
+            round_jobs: List[BatchJob] = []
+            for endpoint_id, batch_events in round_batches:
+                round_jobs.append(BatchJob(index, endpoint_id, batch_events,
+                                           self.max_retries))
+                index += 1
+            jobs_per_round.append(round_jobs)
+        return jobs_per_round
+
+    def _run_round(self, executor: Any, round_jobs: Sequence[BatchJob],
+                   initargs: tuple) -> Tuple[List[BatchResult], int, int]:
+        """Dispatch one round in chunks; collect in submission order."""
+        size = self.chunksize or auto_chunksize(len(round_jobs),
+                                                self.max_workers)
+        chunks = [FleetChunk(tuple(round_jobs[i:i + size]))
+                  for i in range(0, len(round_jobs), size)]
+        futures = [executor.submit(execute_fleet_chunk, chunk)
+                   for chunk in chunks]
+        results: List[BatchResult] = []
+        degraded = 0
+        for chunk, future in zip(chunks, futures):
+            try:
+                blobs = future.result()
+            except Exception:
+                # Graceful degradation: a poisoned worker (or unpicklable
+                # surprise) costs us the pool for this chunk, not the run.
+                blobs = self._run_chunk_in_process(chunk, initargs)
+                degraded += 1
+            results.extend(pickle.loads(blob) for blob in blobs)
+        return results, len(chunks), degraded
+
+    def _run_chunk_in_process(self, chunk: FleetChunk,
+                              initargs: tuple) -> List[bytes]:
+        """Rerun a failed chunk in the parent, via the same code path.
+
+        The chunk round-trips through pickle first — exactly what the
+        pool submission would have done — so degraded results stay
+        byte-identical to what a healthy worker would have returned.
+        """
+        if not self._local_ready:
+            initialize_fleet_worker(*initargs)
+            self._local_ready = True
+        return execute_fleet_chunk(pickle.loads(pickle.dumps(chunk)))

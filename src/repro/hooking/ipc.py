@@ -26,28 +26,51 @@ class IpcMessage:
 
 
 class IpcEndpoint:
-    """One side of a channel; ``peer`` is wired by :class:`IpcChannel`."""
+    """One side of a channel; ``peer`` is wired by :class:`IpcChannel`.
 
-    def __init__(self, name: str) -> None:
+    ``max_pending`` optionally bounds this endpoint's inbox for resident
+    deployments: once full, the oldest queued message is evicted to make
+    room (the newest report is the one a long-lived controller acts on)
+    and :attr:`dropped` counts the evictions.
+    """
+
+    def __init__(self, name: str,
+                 max_pending: Optional[int] = None) -> None:
         self.name = name
         self._inbox: Deque[IpcMessage] = deque()
         self.peer: Optional["IpcEndpoint"] = None
         self._seq = itertools.count(1)
+        self.max_pending = max_pending
+        self.dropped = 0
 
     def send(self, kind: str, **payload: Any) -> IpcMessage:
         if self.peer is None:
             raise RuntimeError(f"endpoint {self.name!r} is not connected")
         message = IpcMessage(next(self._seq), kind, payload)
         self.peer._inbox.append(message)
+        limit = self.peer.max_pending
+        if limit is not None:
+            while len(self.peer._inbox) > limit:
+                self.peer._inbox.popleft()
+                self.peer.dropped += 1
         return message
 
     def receive(self) -> Optional[IpcMessage]:
         return self._inbox.popleft() if self._inbox else None
 
-    def drain(self) -> List[IpcMessage]:
-        messages = list(self._inbox)
-        self._inbox.clear()
-        return messages
+    def drain(self, limit: Optional[int] = None) -> List[IpcMessage]:
+        """Remove and return queued messages, oldest first.
+
+        ``limit`` caps how many are taken (``None`` = everything), letting
+        a resident caller drain in bounded slices.
+        """
+        if limit is None or limit >= len(self._inbox):
+            messages = list(self._inbox)
+            self._inbox.clear()
+            return messages
+        if limit <= 0:
+            return []
+        return [self._inbox.popleft() for _ in range(limit)]
 
     @property
     def pending(self) -> int:

@@ -19,7 +19,9 @@ from .executor import (ImmediateFuture, SerialExecutor, fork_available,
 from .factories import (available_factories, register_machine_factory,
                         resolve_machine_factory)
 from .sweep import (DEFAULT_FACTORY, ParallelSweep, SweepExecutionError,
-                    SweepResult, run_tasks, run_tasks_or_raise)
+                    SweepResult, auto_chunksize,
+                    make_executor, run_submissions, run_tasks,
+                    run_tasks_or_raise)
 from .template import TEMPLATE_PARITY_ERROR, MachineTemplate
 from .worker import (PairChunk, PairJob, TaskJob, TaskResult,
                      execute_pair_chunk, execute_pair_job, execute_task_job,
@@ -30,10 +32,11 @@ __all__ = [
     "PairEnvelope", "PairJob", "ParallelSweep", "SerialExecutor",
     "SweepEntry", "SweepError", "SweepExecutionError", "SweepResult",
     "SweepStats", "TEMPLATE_PARITY_ERROR", "TaskJob", "TaskResult",
-    "available_factories", "build_envelope", "canonical_entry",
-    "detach_outcome", "execute_pair_chunk", "execute_pair_job",
-    "execute_task_job", "fork_available", "initialize_worker",
-    "pool_context", "register_machine_factory", "resolve_machine_factory",
-    "run_pair_job", "run_tasks", "run_tasks_or_raise",
+    "auto_chunksize", "available_factories", "build_envelope",
+    "canonical_entry", "detach_outcome", "execute_pair_chunk",
+    "execute_pair_job", "execute_task_job", "fork_available",
+    "initialize_worker", "make_executor", "pool_context",
+    "register_machine_factory", "resolve_machine_factory", "run_pair_job",
+    "run_submissions", "run_tasks", "run_tasks_or_raise",
     "should_use_process_pool",
 ]

@@ -15,7 +15,7 @@ Two cost levers make the pool actually beat the serial path:
   :class:`~repro.parallel.template.MachineTemplate`, instead of paying a
   full environment build twice per sample.
 * **Chunked dispatch**: jobs ship to the pool in auto-sized chunks
-  (:func:`_auto_chunksize`, the ``ProcessPoolExecutor.map`` heuristic) so
+  (:func:`auto_chunksize`, the ``ProcessPoolExecutor.map`` heuristic) so
   submission pickling and IPC amortise across the chunk — results still
   come back submission-ordered with per-job error isolation.
 """
@@ -161,7 +161,7 @@ class ParallelSweep:
         #: machine, False rebuilds per run, "verify" templates and proves
         #: byte-parity against a fresh-factory reference run per job.
         self.template = template
-        #: Jobs per pool submission; None = auto (see :func:`_auto_chunksize`).
+        #: Jobs per pool submission; None = auto (see :func:`auto_chunksize`).
         self.chunksize = chunksize
 
     def run(self, samples: Sequence[EvasiveSample]) -> SweepResult:
@@ -191,14 +191,14 @@ class ParallelSweep:
         initargs = (self.machine_factory, snapshot_blob, config,
                     telemetry_on, self.template)
         workers = self.max_workers if use_pool else 1
-        chunksize = self.chunksize or _auto_chunksize(len(jobs), workers)
+        chunksize = self.chunksize or auto_chunksize(len(jobs), workers)
         chunks = [PairChunk(jobs[i:i + chunksize])
                   for i in range(0, len(jobs), chunksize)]
         # On the serial path the initializer runs in *this* process and
         # flips the shared registry flag; restore it once the sweep ends.
         prior_enabled = TELEMETRY.enabled
         try:
-            entries, used_pool = _run_jobs(chunks, execute_pair_chunk,
+            entries, used_pool = run_submissions(chunks, execute_pair_chunk,
                                            initargs, workers,
                                            unwrap=_unpickle_entries)
         finally:
@@ -218,7 +218,7 @@ class ParallelSweep:
                 "and pass its name instead") from exc
 
 
-def _auto_chunksize(n_jobs: int, workers: int) -> int:
+def auto_chunksize(n_jobs: int, workers: int) -> int:
     """`ProcessPoolExecutor.map`'s heuristic: ~4 chunks per worker.
 
     Large enough to amortise submission pickling and IPC, small enough
@@ -233,8 +233,9 @@ def _unpickle_entries(blobs: Sequence[bytes]) -> List[Any]:
     return [pickle.loads(blob) for blob in blobs]
 
 
-def _make_executor(initargs: Optional[tuple],
-                   workers: int) -> Tuple[Any, bool]:
+def make_executor(initargs: Optional[tuple], workers: int,
+                  initializer: Optional[Callable[..., None]] = None
+                  ) -> Tuple[Any, bool]:
     """Build the process pool, or the serial stand-in; returns (executor,
     used_process_pool).
 
@@ -242,9 +243,12 @@ def _make_executor(initargs: Optional[tuple],
     context otherwise (:func:`~repro.parallel.executor.pool_context`); if
     pool construction itself fails the sweep degrades to in-process
     execution with a warning instead of aborting — ``used_process_pool``
-    reflects what actually ran.
+    reflects what actually ran. ``initializer`` defaults to the sweep's
+    :func:`~repro.parallel.worker.initialize_worker`; other subsystems
+    (``repro.fleet``) pass their own.
     """
-    initializer = initialize_worker if initargs else None
+    if initializer is None:
+        initializer = initialize_worker if initargs else None
     if workers > 1:
         try:
             executor: Any = concurrent.futures.ProcessPoolExecutor(
@@ -259,10 +263,11 @@ def _make_executor(initargs: Optional[tuple],
                           initargs=initargs or ()), False
 
 
-def _run_jobs(jobs: Sequence[Any], worker_fn: Callable[[Any], Any],
-              initargs: Optional[tuple], workers: int,
-              unwrap: Optional[Callable[[Any], List[Any]]] = None
-              ) -> Tuple[List[Any], bool]:
+def run_submissions(jobs: Sequence[Any], worker_fn: Callable[[Any], Any],
+                    initargs: Optional[tuple], workers: int,
+                    unwrap: Optional[Callable[[Any], List[Any]]] = None,
+                    initializer: Optional[Callable[..., None]] = None
+                    ) -> Tuple[List[Any], bool]:
     """Submit jobs to the chosen executor; collect in submission order.
 
     Returns ``(entries, used_process_pool)``. A submission may be a
@@ -271,7 +276,7 @@ def _run_jobs(jobs: Sequence[Any], worker_fn: Callable[[Any], Any],
     payloads) degrade to per-job :class:`SweepError`/:class:`TaskResult`
     entries so one bad job cannot sink the sweep.
     """
-    executor, used_pool = _make_executor(initargs, workers)
+    executor, used_pool = make_executor(initargs, workers, initializer)
     entries: List[Any] = []
     with executor:
         futures = [executor.submit(worker_fn, job) for job in jobs]
@@ -323,7 +328,7 @@ def run_tasks(tasks: Sequence[TaskSpec], max_workers: int = 1,
     jobs = [TaskJob(index, label, fn, tuple(args), max_retries)
             for index, (label, fn, args) in enumerate(tasks)]
     workers = max_workers if should_use_process_pool(max_workers) else 1
-    results, _ = _run_jobs(jobs, execute_task_job, None, workers)
+    results, _ = run_submissions(jobs, execute_task_job, None, workers)
     return results
 
 

@@ -32,9 +32,13 @@ from .cache import FileContext
 #: the template layer snapshots and rewinds whole-machine state, so a
 #: host-clock or host-entropy leak there would silently break the
 #: templated-equals-fresh byte-parity guarantee.
+#: ``repro.fleet`` joins the zones because its whole contract is replay:
+#: the event stream, the admission plan and every latency number must be
+#: pure functions of the seed — scheduling runs on the endpoints' virtual
+#: clocks, never the host's.
 DETERMINISTIC_ZONES: Tuple[str, ...] = (
     "repro.winsim", "repro.winapi", "repro.hooking", "repro.core",
-    "repro.parallel", "repro.parallel.template",
+    "repro.parallel", "repro.parallel.template", "repro.fleet",
 )
 
 FileCheckFn = Callable[[FileContext], List["Finding"]]

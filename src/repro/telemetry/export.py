@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from .snapshot import MetricsSnapshot
 
@@ -47,6 +47,14 @@ HOOK_LATENCY_PREFIX = "hook.handler_ns."
 #: Histogram-name prefix of host wall-clock phase timings (job execution
 #: vs machine setup vs template build — the setup/execute split).
 WALLCLOCK_PREFIX = "wallclock."
+
+#: Counter/histogram prefix of the fleet protection service
+#: (``repro fleet``; docs/FLEET.md).
+FLEET_PREFIX = "fleet."
+
+#: Host wall-clock histogram the fleet CLI records one run duration into;
+#: with the ``fleet.events`` counter it yields events/sec.
+FLEET_RUN_WALLCLOCK = "wallclock.fleet.run_ns"
 
 
 class TelemetryFormatError(ValueError):
@@ -164,6 +172,36 @@ def read_records(path: str) -> List[dict]:
 LatencyRow = Tuple[str, int, int, int, float]
 
 
+#: ``(family, arrivals, deactivated, rate)`` rows of the fleet section.
+FamilyRow = Tuple[str, int, int, float]
+
+
+@dataclasses.dataclass
+class FleetHealth:
+    """The fleet-service section of ``repro stats`` (docs/FLEET.md).
+
+    Present only when the trace carries ``fleet.*`` metrics.
+    ``events_per_sec`` needs the CLI's host wall-clock record
+    (:data:`FLEET_RUN_WALLCLOCK`) and is ``None`` without it —
+    everything else is virtual-clock or counter data.
+    """
+
+    events: int
+    deactivated: int
+    benign_ok: int
+    resets: int
+    event_errors: int
+    retries: int
+    queue_depth_hwm: int
+    backpressure_stalls: int
+    degraded_chunks: int
+    events_per_sec: Optional[float]
+    latency_count: int
+    latency_p50_ns: int
+    latency_p99_ns: int
+    family_rows: List[FamilyRow]
+
+
 @dataclasses.dataclass
 class StatsSummary:
     """Everything ``repro stats`` prints, precomputed."""
@@ -179,6 +217,8 @@ class StatsSummary:
     #: execution vs machine setup, making template savings visible.
     wallclock_rows: List[LatencyRow] = dataclasses.field(
         default_factory=list)
+    #: Fleet-service health, when the trace has ``fleet.*`` metrics.
+    fleet: Optional[FleetHealth] = None
 
 
 def _latency_rows(snapshot: MetricsSnapshot, prefix: str) -> List[LatencyRow]:
@@ -191,6 +231,52 @@ def _latency_rows(snapshot: MetricsSnapshot, prefix: str) -> List[LatencyRow]:
                      state.mean))
     rows.sort(key=lambda row: (-row[1], row[0]))
     return rows
+
+
+def _fleet_health(snapshot: MetricsSnapshot) -> Optional[FleetHealth]:
+    """Fold ``fleet.*`` metrics into the stats section (None when absent)."""
+    counters = snapshot.counters
+    events = counters.get("fleet.events", 0)
+    if not events and not any(name.startswith(FLEET_PREFIX)
+                              for name in counters):
+        return None
+    families: Dict[str, List[int]] = {}
+    for name, value in counters.items():
+        if not name.startswith("fleet.family."):
+            continue
+        family, _, metric = name[len("fleet.family."):].rpartition(".")
+        if not family:
+            continue
+        entry = families.setdefault(family, [0, 0])
+        if metric == "malware":
+            entry[0] = value
+        elif metric == "deactivated":
+            entry[1] = value
+    family_rows: List[FamilyRow] = [
+        (family, arrivals, deactivated,
+         deactivated / arrivals if arrivals else 0.0)
+        for family, (arrivals, deactivated) in sorted(families.items())]
+    run_wall = snapshot.histograms.get(FLEET_RUN_WALLCLOCK)
+    events_per_sec = None
+    if run_wall is not None and run_wall.total > 0 and events:
+        events_per_sec = events / (run_wall.total / 1e9)
+    latency = snapshot.histograms.get("fleet.event_latency_ns")
+    return FleetHealth(
+        events=events,
+        deactivated=counters.get("fleet.deactivated", 0),
+        benign_ok=counters.get("fleet.benign_ok", 0),
+        resets=counters.get("fleet.resets", 0),
+        event_errors=counters.get("fleet.event_errors", 0),
+        retries=counters.get("fleet.retries", 0),
+        queue_depth_hwm=int(snapshot.gauges.get("fleet.queue_depth_hwm",
+                                                0.0)),
+        backpressure_stalls=counters.get("fleet.backpressure_stalls", 0),
+        degraded_chunks=counters.get("fleet.degraded_chunks", 0),
+        events_per_sec=events_per_sec,
+        latency_count=latency.count if latency else 0,
+        latency_p50_ns=latency.percentile(50) if latency else 0,
+        latency_p99_ns=latency.percentile(99) if latency else 0,
+        family_rows=family_rows)
 
 
 def summarize_records(records: Iterable[dict]) -> StatsSummary:
@@ -219,4 +305,5 @@ def summarize_records(records: Iterable[dict]) -> StatsSummary:
         api_rows=_latency_rows(snapshot, API_LATENCY_PREFIX),
         hook_rows=_latency_rows(snapshot, HOOK_LATENCY_PREFIX),
         samples=samples, errors=errors,
-        wallclock_rows=_latency_rows(snapshot, WALLCLOCK_PREFIX))
+        wallclock_rows=_latency_rows(snapshot, WALLCLOCK_PREFIX),
+        fleet=_fleet_health(snapshot))

@@ -50,6 +50,26 @@ class ServiceManager:
     def exists(self, name: str) -> bool:
         return name.lower() in self._services
 
+    def start(self, name: str) -> bool:
+        """Transition a service to RUNNING; False if it is not installed."""
+        service = self.get(name)
+        if service is None:
+            return False
+        service.state = ServiceState.RUNNING
+        return True
+
+    def stop(self, name: str) -> bool:
+        """Transition a service to STOPPED; False if it is not installed."""
+        service = self.get(name)
+        if service is None:
+            return False
+        service.state = ServiceState.STOPPED
+        return True
+
+    def is_running(self, name: str) -> bool:
+        service = self.get(name)
+        return service is not None and service.state is ServiceState.RUNNING
+
     def running(self) -> List[Service]:
         return [s for s in self._services.values()
                 if s.state is ServiceState.RUNNING]

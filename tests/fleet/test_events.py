@@ -1,0 +1,111 @@
+"""The workload generator is a pure function of (seed, endpoints, count)."""
+
+import pytest
+
+from repro.fleet import (DEFAULT_FLEET_FAMILIES, EVENT_BENIGN, EVENT_KINDS,
+                         EVENT_MALWARE, EVENT_RESET, FleetEvent, FleetRng,
+                         WorkloadProfile, build_sample_pool, generate_events)
+from repro.malware.benign import CNET_TOP20
+
+pytestmark = pytest.mark.fleet
+
+
+class TestFleetRng:
+    def test_same_seed_same_sequence(self):
+        first = FleetRng(1234)
+        second = FleetRng(1234)
+        assert [first.next_u31() for _ in range(32)] == \
+            [second.next_u31() for _ in range(32)]
+
+    def test_different_seeds_diverge(self):
+        first = [FleetRng(1).next_u31() for _ in range(4)]
+        second = [FleetRng(2).next_u31() for _ in range(4)]
+        assert first != second
+
+    def test_randint_stays_in_bound(self):
+        rng = FleetRng(7)
+        assert all(0 <= rng.randint(13) < 13 for _ in range(200))
+
+    def test_randint_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            FleetRng(0).randint(0)
+
+    def test_weighted_respects_zero_weights(self):
+        rng = FleetRng(99)
+        draws = {rng.weighted((0, 5, 0)) for _ in range(50)}
+        assert draws == {1}
+
+    def test_weighted_rejects_nonpositive_total(self):
+        with pytest.raises(ValueError):
+            FleetRng(0).weighted((0, 0))
+
+
+class TestGenerateEvents:
+    def test_same_triple_is_byte_identical(self):
+        first = generate_events(42, 8, 64)
+        second = generate_events(42, 8, 64)
+        assert first == second
+
+    def test_seed_changes_the_stream(self):
+        assert generate_events(1, 8, 64) != generate_events(2, 8, 64)
+
+    def test_seq_matches_position_and_time_increases(self):
+        events = generate_events(7, 4, 48)
+        assert [e.seq for e in events] == list(range(48))
+        times = [e.at_ms for e in events]
+        assert all(later > earlier
+                   for earlier, later in zip(times, times[1:]))
+
+    def test_fields_stay_in_their_domains(self):
+        profile = WorkloadProfile()
+        events = generate_events(3, 5, 120, profile)
+        for event in events:
+            assert 0 <= event.endpoint_id < 5
+            assert event.kind in EVENT_KINDS
+            if event.kind == EVENT_MALWARE:
+                assert 0 <= event.ref < profile.pool_size
+            elif event.kind == EVENT_BENIGN:
+                assert 0 <= event.ref < len(CNET_TOP20)
+            else:
+                assert event.ref == 0
+
+    def test_all_kinds_appear_in_a_long_stream(self):
+        kinds = {e.kind for e in generate_events(11, 4, 200)}
+        assert kinds == set(EVENT_KINDS)
+
+    def test_zero_count_is_empty(self):
+        assert generate_events(1, 1, 0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_events(1, 0, 10)
+        with pytest.raises(ValueError):
+            generate_events(1, 1, -1)
+
+    def test_event_dict_roundtrip(self):
+        for event in generate_events(5, 3, 12):
+            assert FleetEvent.from_dict(event.to_dict()) == event
+
+
+class TestWorkloadProfile:
+    def test_default_pool_size_covers_the_family_mix(self):
+        profile = WorkloadProfile()
+        assert profile.pool_size == sum(
+            spec.total for spec in DEFAULT_FLEET_FAMILIES)
+        assert profile.pool_size == len(build_sample_pool(profile))
+
+    def test_fingerprint_is_json_stable(self):
+        import json
+        first = json.dumps(WorkloadProfile().fingerprint(), sort_keys=True)
+        second = json.dumps(WorkloadProfile().fingerprint(), sort_keys=True)
+        assert first == second
+
+    def test_sample_pool_order_is_stable(self):
+        first = [s.md5 for s in build_sample_pool()]
+        second = [s.md5 for s in build_sample_pool()]
+        assert first == second
+
+    def test_reset_events_can_be_disabled(self):
+        profile = WorkloadProfile(reset_weight=0)
+        kinds = {e.kind for e in generate_events(1, 2, 100, profile)}
+        assert EVENT_RESET not in kinds

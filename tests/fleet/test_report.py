@@ -1,0 +1,144 @@
+"""Fleet rollup: verdict counts, families, SLO latency, byte identity."""
+
+import json
+
+import pytest
+
+from repro.fleet import (EVENT_BENIGN, EVENT_MALWARE, EVENT_RESET,
+                         FamilyRollup, FleetService, LatencyRollup,
+                         build_fleet_report, render_fleet_report)
+
+pytestmark = pytest.mark.fleet
+
+FACTORY = "bare-metal-light"
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    return FleetService(endpoints=4, events=32, seed=42, queue_limit=8,
+                        machine_factory=FACTORY).run()
+
+
+@pytest.fixture(scope="module")
+def report(run_result):
+    return build_fleet_report(run_result)
+
+
+class TestRollupArithmetic:
+    def test_event_kinds_partition_the_records(self, report):
+        assert report.events_processed == report.events_planned
+        assert (report.malware_events + report.benign_events +
+                report.resets + report.event_failures) == \
+            report.events_processed
+
+    def test_deactivation_rate_is_consistent(self, report):
+        assert report.deactivated <= report.malware_events
+        assert report.deactivation_rate == pytest.approx(
+            report.deactivated / report.malware_events)
+
+    def test_family_rollups_sum_to_the_totals(self, report):
+        assert sum(f.arrivals for f in report.families) == \
+            report.malware_events
+        assert sum(f.deactivated for f in report.families) == \
+            report.deactivated
+
+    def test_families_are_sorted_and_rated(self, report):
+        names = [f.family for f in report.families]
+        assert names == sorted(names)
+        for rollup in report.families:
+            assert 0.0 <= rollup.rate <= 1.0
+
+    def test_latency_counts_timed_events_only(self, run_result, report):
+        timed = [r for r in run_result.records
+                 if r.kind in (EVENT_MALWARE, EVENT_BENIGN) and r.ok or
+                 r.kind == EVENT_BENIGN and not r.ok]
+        assert report.latency.count == report.malware_events + \
+            report.benign_events
+        assert report.latency.count <= len(timed) + report.benign_events
+        assert report.latency.p50_ns <= report.latency.p99_ns
+
+    def test_empty_family_rollup_rate_is_zero(self):
+        assert FamilyRollup("Ghost", 0, 0).rate == 0.0
+
+    def test_latency_mean_handles_zero_count(self):
+        assert LatencyRollup(0, 0, 0, 0).mean_ns == 0
+
+
+class TestByteIdentity:
+    def test_to_json_is_canonical_and_stable(self, run_result):
+        first = build_fleet_report(run_result).to_json()
+        second = build_fleet_report(run_result).to_json()
+        assert first == second
+        assert json.loads(first)  # well-formed
+
+    def test_telemetry_on_off_reports_are_byte_identical(self):
+        """The latency rollup must not depend on whether telemetry ran:
+        the record-rebuilt histogram matches the telemetry one exactly."""
+        config = dict(endpoints=3, events=24, seed=7, queue_limit=8,
+                      machine_factory=FACTORY)
+        with_telemetry = FleetService(**config, telemetry=True).run()
+        without = FleetService(**config, telemetry=False).run()
+        assert with_telemetry.merged_metrics().histograms.get(
+            "fleet.event_latency_ns") is not None
+        assert without.merged_metrics().histograms.get(
+            "fleet.event_latency_ns") is None
+        assert build_fleet_report(with_telemetry).to_json() == \
+            build_fleet_report(without).to_json()
+
+    def test_execution_shape_stays_out_of_the_canonical_report(
+            self, run_result):
+        text = build_fleet_report(run_result).to_json()
+        for field in ("chunks", "degraded", "used_process_pool",
+                      "resumed"):
+            assert field not in text
+
+
+class TestMergedMetrics:
+    def test_service_counters_always_present(self, run_result):
+        snapshot = run_result.merged_metrics()
+        assert snapshot.counters["fleet.rounds"] == run_result.rounds_done
+        assert snapshot.counters["fleet.chunks"] == run_result.chunks
+        assert snapshot.gauges["fleet.endpoints"] == \
+            float(run_result.endpoints)
+
+    def test_batch_deltas_fold_in_when_telemetry_ran(self):
+        result = FleetService(endpoints=2, events=16, seed=5,
+                              queue_limit=8, machine_factory=FACTORY,
+                              telemetry=True).run()
+        snapshot = result.merged_metrics()
+        assert snapshot.counters["fleet.events"] == len(result.records)
+        malware = sum(1 for r in result.records
+                      if r.kind == EVENT_MALWARE)
+        assert snapshot.counters.get("fleet.events_malware", 0) == malware
+
+
+class TestRender:
+    def test_render_mentions_the_headline_numbers(self, report,
+                                                  run_result):
+        text = render_fleet_report(report, run_result)
+        assert "Fleet protection report" in text
+        assert f"endpoints: {report.endpoints}" in text
+        assert "deactivated" in text
+        assert "queue hwm" in text
+        for rollup in report.families:
+            assert rollup.family in text
+
+    def test_render_without_result_omits_execution_shape(self, report):
+        assert "execution:" not in render_fleet_report(report)
+
+    def test_partial_run_is_marked(self, tmp_path):
+        service = FleetService(endpoints=4, events=48, seed=42,
+                               queue_limit=8, machine_factory=FACTORY,
+                               checkpoint_path=str(tmp_path / "c.ckpt"))
+        partial = service.run(stop_after_rounds=1)
+        text = render_fleet_report(build_fleet_report(partial), partial)
+        assert "(PARTIAL)" in text
+
+    def test_resumed_run_renders_resume_line(self, tmp_path):
+        checkpoint = str(tmp_path / "c.ckpt")
+        config = dict(endpoints=4, events=48, seed=42, queue_limit=8,
+                      machine_factory=FACTORY, checkpoint_path=checkpoint)
+        FleetService(**config).run(stop_after_rounds=1)
+        resumed = FleetService(**config, resume=True).run()
+        text = render_fleet_report(build_fleet_report(resumed), resumed)
+        assert "resumed 1/" in text

@@ -209,3 +209,82 @@ class TestStatsCommand:
             build_parser().parse_args(["inventory", "--telemetry", "x"])
         with pytest.raises(SystemExit):
             build_parser().parse_args(["stats"])  # PATH is required
+
+
+class TestFleetCommand:
+    ARGS = ["fleet", "--endpoints", "2", "--events", "12", "--seed", "7",
+            "--factory", "bare-metal-light", "--queue-limit", "6"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.endpoints == 8
+        assert args.events == 64
+        assert args.seed == 42
+        assert args.jobs == 1
+        assert args.factory == "end-user"
+        assert args.queue_limit == 32
+        assert args.checkpoint is None
+        assert not args.resume
+
+    def test_fleet_prints_report(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Fleet protection report" in out
+        assert "endpoints: 2   seed: 7   events: 12/12" in out
+        assert "admission: queue hwm" in out
+        assert "events/sec:" in out
+
+    def test_fleet_is_deterministic_across_invocations(self, capsys):
+        assert main(self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS) == 0
+        second = capsys.readouterr().out
+        # Everything above the host-wall-time footer must be identical.
+        report = lambda text: text.split("wall time:")[0]  # noqa: E731
+        assert report(first) == report(second)
+
+    def test_fleet_resume_requires_checkpoint(self, capsys):
+        assert main(["fleet", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_fleet_unknown_factory_fails_cleanly(self, capsys):
+        assert main(["fleet", "--factory", "no-such-env"]) == 2
+        assert "unknown machine factory" in capsys.readouterr().err
+
+    def test_fleet_rejects_bad_numbers(self, capsys):
+        assert main(["fleet", "--endpoints", "0"]) == 2
+        assert "must be >=" in capsys.readouterr().err
+
+    def test_fleet_interrupt_then_resume(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "fleet.ckpt")
+        argv = self.ARGS + ["--events", "24", "--checkpoint", checkpoint]
+        assert main(argv + ["--stop-after", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "(PARTIAL)" in out
+        assert "stopped after 1/" in out
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "(PARTIAL)" not in out
+        assert "resumed 1/" in out
+
+    def test_fleet_mismatched_checkpoint_exits_2(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "fleet.ckpt")
+        argv = self.ARGS + ["--checkpoint", checkpoint]
+        assert main(argv + ["--stop-after", "1"]) == 1
+        capsys.readouterr()
+        assert main(argv + ["--seed", "8", "--resume"]) == 2
+        assert "refusing to resume" in capsys.readouterr().err
+
+    def test_fleet_telemetry_feeds_stats_fleet_health(self, tmp_path,
+                                                      capsys):
+        path = str(tmp_path / "fleet.jsonl")
+        assert main(self.ARGS + ["--telemetry", path]) == 0
+        capsys.readouterr()
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "fleet health:" in out
+        assert "events: 12" in out
+        assert "throughput:" in out
+        assert "queue depth hwm:" in out
+        assert "event latency (virtual): p50" in out
+        assert "family " in out

@@ -47,3 +47,12 @@ def test_scarecrow_aware_malware(capsys):
     out = capsys.readouterr().out
     assert "SCARECROW SUSPECTED" in out
     assert "committed identity" in out
+
+
+def test_protect_fleet(capsys):
+    _run("protect_fleet.py")
+    out = capsys.readouterr().out
+    assert "Fleet protection report" in out
+    assert "service killed after round 1/" in out
+    assert "byte-identical to the uninterrupted run: OK" in out
+    assert "fleet verdicts:" in out

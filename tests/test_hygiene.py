@@ -173,3 +173,50 @@ class TestStaticCheck:
             assert default_prologue_ok(name), name
         for name in core:
             assert name in handler_set, f"{name} lacks a handler"
+
+
+class TestMarkerHygiene:
+    """Every pytest marker in use is declared in pyproject, and the
+    marker-named suites actually carry their marker (so `-m fleet` etc.
+    select what the docs promise)."""
+
+    REPO_ROOT = __import__("pathlib").Path(__file__).resolve().parents[1]
+
+    #: Suite directories whose files must all carry the matching marker.
+    MARKED_SUITES = ("telemetry", "staticcheck", "fleet")
+
+    def _declared_markers(self):
+        import re
+        text = (self.REPO_ROOT / "pyproject.toml").read_text(
+            encoding="utf-8")
+        block = text.split("markers = [", 1)[1].split("]", 1)[0]
+        return set(re.findall(r'"(\w+):', block))
+
+    def _used_markers(self):
+        import re
+        used = set()
+        for path in (self.REPO_ROOT / "tests").rglob("test_*.py"):
+            used.update(re.findall(r"pytest\.mark\.(\w+)",
+                                   path.read_text(encoding="utf-8")))
+        return used - {"parametrize", "skipif", "xfail", "usefixtures"}
+
+    def test_every_used_marker_is_declared(self):
+        undeclared = self._used_markers() - self._declared_markers()
+        assert undeclared == set(), \
+            f"markers used but not declared in pyproject: {undeclared}"
+
+    def test_subsystem_suites_carry_their_marker(self):
+        for suite in self.MARKED_SUITES:
+            assert suite in self._declared_markers(), suite
+            for path in (self.REPO_ROOT / "tests" / suite).glob(
+                    "test_*.py"):
+                text = path.read_text(encoding="utf-8")
+                assert f"pytestmark = pytest.mark.{suite}" in text, \
+                    f"{path.name} lacks the {suite} marker"
+
+    def test_fleet_marker_selects_the_fleet_suite(self, pytestconfig):
+        assert "fleet" in self._declared_markers()
+        marker_lines = [line for line in
+                        pytestconfig.getini("markers")
+                        if line.startswith("fleet:")]
+        assert marker_lines, "fleet marker not registered with pytest"

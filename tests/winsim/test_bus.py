@@ -1,0 +1,102 @@
+"""Event bus: subscribe/unsubscribe lifecycle, fan-out, state-restore cleanup."""
+
+import pytest
+
+from repro.winsim import Machine
+from repro.winsim.bus import EventBus, KernelEvent
+
+
+@pytest.fixture
+def bus():
+    return EventBus()
+
+
+def _event(name="CreateProcess", pid=4):
+    return KernelEvent("process", name, pid, 1000, {"path": "C:\\x.exe"})
+
+
+class TestSubscription:
+    def test_subscribers_receive_published_events(self, bus):
+        seen = []
+        bus.subscribe(seen.append)
+        event = _event()
+        bus.publish(event)
+        assert seen == [event]
+
+    def test_fan_out_to_every_subscriber_in_order(self, bus):
+        calls = []
+        bus.subscribe(lambda e: calls.append("first"))
+        bus.subscribe(lambda e: calls.append("second"))
+        bus.publish(_event())
+        assert calls == ["first", "second"]
+
+    def test_unsubscribe_stops_delivery(self, bus):
+        seen = []
+        unsubscribe = bus.subscribe(seen.append)
+        unsubscribe()
+        bus.publish(_event())
+        assert seen == []
+        assert bus.subscriber_count == 0
+
+    def test_unsubscribe_is_idempotent(self, bus):
+        unsubscribe = bus.subscribe(lambda e: None)
+        unsubscribe()
+        unsubscribe()  # second call must not raise or miscount
+        assert bus.subscriber_count == 0
+
+    def test_unsubscribe_removes_only_its_own_callback(self, bus):
+        kept = []
+        unsubscribe = bus.subscribe(lambda e: None)
+        bus.subscribe(kept.append)
+        unsubscribe()
+        bus.publish(_event())
+        assert len(kept) == 1
+        assert bus.subscriber_count == 1
+
+    def test_unsubscribing_during_publish_is_safe(self, bus):
+        """publish() iterates a copy, so a callback may detach itself."""
+        seen = []
+
+        def self_detaching(event):
+            seen.append(event)
+            unsubscribe()
+
+        unsubscribe = bus.subscribe(self_detaching)
+        bus.publish(_event())
+        bus.publish(_event())
+        assert len(seen) == 1
+        assert bus.subscriber_count == 0
+
+
+class TestEmit:
+    def test_emit_builds_and_publishes(self, bus):
+        seen = []
+        bus.subscribe(seen.append)
+        event = bus.emit("registry", "RegOpenKey", 8, 2000,
+                         key="HKLM\\SOFTWARE")
+        assert seen == [event]
+        assert event.category == "registry"
+        assert event.detail("key") == "HKLM\\SOFTWARE"
+        assert event.detail("missing", "dflt") == "dflt"
+
+
+class TestCleanup:
+    def test_clear_subscribers_drops_everyone(self, bus):
+        bus.subscribe(lambda e: None)
+        bus.subscribe(lambda e: None)
+        bus.clear_subscribers()
+        assert bus.subscriber_count == 0
+        bus.publish(_event())  # nobody left to deliver to; must not raise
+
+    def test_restore_state_clears_stale_subscribers(self):
+        """The PR-4 path: a restored machine must not keep publishing to
+        subscribers that belonged to the snapshotted run."""
+        machine = Machine().boot()
+        state = machine.snapshot_state()
+        stale = []
+        machine.bus.subscribe(stale.append)
+        machine.restore_state(state)
+        assert machine.bus.subscriber_count == 0
+        machine.spawn_process("probe.exe", "C:\\probe.exe",
+                              parent=machine.explorer)
+        assert stale == []

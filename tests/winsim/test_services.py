@@ -1,0 +1,109 @@
+"""Service Control Manager: install/query/start/stop/snapshot semantics."""
+
+import dataclasses
+
+import pytest
+
+from repro.winsim.services import Service, ServiceManager, ServiceState
+
+
+@pytest.fixture
+def scm():
+    manager = ServiceManager()
+    manager.install("VBoxService", "VirtualBox Guest Additions Service")
+    manager.install("Spooler", "Print Spooler",
+                    state=ServiceState.STOPPED)
+    return manager
+
+
+class TestInstallAndQuery:
+    def test_install_defaults(self, scm):
+        service = scm.get("VBoxService")
+        assert service.display_name == \
+            "VirtualBox Guest Additions Service"
+        assert service.image_path == \
+            "C:\\Windows\\System32\\VBoxService.exe"
+        assert service.state is ServiceState.RUNNING
+
+    def test_display_name_defaults_to_name(self):
+        service = ServiceManager().install("vmtools")
+        assert service.display_name == "vmtools"
+
+    def test_lookup_is_case_insensitive(self, scm):
+        assert scm.exists("VBOXSERVICE")
+        assert scm.get("vboxservice") is scm.get("VBoxService")
+
+    def test_missing_service(self, scm):
+        assert scm.get("nosuch") is None
+        assert not scm.exists("nosuch")
+
+    def test_uninstall(self, scm):
+        assert scm.uninstall("spooler") is True
+        assert not scm.exists("Spooler")
+        assert scm.uninstall("spooler") is False
+
+    def test_reinstall_replaces(self, scm):
+        scm.install("Spooler", "Replacement Spooler")
+        assert scm.get("spooler").display_name == "Replacement Spooler"
+        assert scm.get("spooler").state is ServiceState.RUNNING
+
+
+class TestStartStop:
+    def test_start_a_stopped_service(self, scm):
+        assert not scm.is_running("Spooler")
+        assert scm.start("Spooler") is True
+        assert scm.is_running("Spooler")
+
+    def test_stop_a_running_service(self, scm):
+        assert scm.is_running("VBoxService")
+        assert scm.stop("VBoxService") is True
+        assert not scm.is_running("VBoxService")
+        assert scm.exists("VBoxService")  # stopped, not uninstalled
+
+    def test_start_stop_are_idempotent(self, scm):
+        assert scm.start("VBoxService") is True
+        assert scm.is_running("VBoxService")
+        assert scm.stop("Spooler") is True
+        assert not scm.is_running("Spooler")
+
+    def test_start_stop_missing_service_is_false(self, scm):
+        assert scm.start("nosuch") is False
+        assert scm.stop("nosuch") is False
+        assert not scm.is_running("nosuch")
+
+
+class TestEnumeration:
+    def test_running_filters_stopped(self, scm):
+        names = [service.name for service in scm.running()]
+        assert names == ["VBoxService"]
+
+    def test_all_lists_every_state(self, scm):
+        assert {service.name for service in scm.all()} == \
+            {"VBoxService", "Spooler"}
+
+
+class TestSnapshotRestore:
+    def test_snapshot_restore_roundtrip(self, scm):
+        frozen = scm.snapshot()
+        scm.stop("VBoxService")
+        scm.uninstall("Spooler")
+        scm.install("evil", "Evil Service")
+        scm.restore(frozen)
+        assert scm.is_running("VBoxService")
+        assert scm.exists("Spooler")
+        assert not scm.exists("evil")
+
+    def test_snapshot_is_isolated_from_later_mutation(self, scm):
+        frozen = scm.snapshot()
+        scm.get("VBoxService").state = ServiceState.STOPPED
+        assert frozen["vboxservice"].state is ServiceState.RUNNING
+
+    def test_restore_copies_rather_than_aliases(self, scm):
+        frozen = scm.snapshot()
+        scm.restore(frozen)
+        scm.stop("VBoxService")
+        assert frozen["vboxservice"].state is ServiceState.RUNNING
+
+    def test_service_is_a_plain_dataclass(self):
+        service = Service("s", "S", "C:\\s.exe")
+        assert dataclasses.replace(service) == service
