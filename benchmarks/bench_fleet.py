@@ -7,8 +7,9 @@ docs/FLEET.md) through four execution modes plus a kill-and-resume pass:
   batch (the **throughput reference**: the cost templating has to beat);
 * ``serial-templated`` — 1 worker, endpoints stamped from one
   :class:`~repro.parallel.template.MachineTemplate`;
-* ``pooled-templated`` — 2- and 4-worker process pools, each worker
-  templating its own endpoint machine;
+* ``pooled-templated`` — 2- and 4-worker process pools on the full
+  zero-copy path (fork-shared database/template, dirty-set
+  delta-restore, binary chunk envelopes);
 * ``checkpoint-resume`` — the pooled run killed after half its rounds,
   then resumed from the checkpoint file.
 
@@ -48,6 +49,18 @@ def _run(workers=1, template=True, **kwargs):
     result = service.run()
     wall_s = time.perf_counter() - start
     return result, build_fleet_report(result).to_json(), wall_s
+
+
+def _restore_phase():
+    """Per-checkout delta-restore cost on the end-user endpoint template,
+    from one telemetry-enabled (untimed) serial pass."""
+    result, _, _ = _run(telemetry=True)
+    state = result.merged_metrics().histograms.get(
+        "wallclock.delta_restore_ns")
+    if state is None or not state.count:
+        return None
+    return {"calls": state.count, "p50_ns": state.percentile(50),
+            "mean_ms": round(state.mean / 1e6, 4)}
 
 
 def _resume_pass(tmp_path):
@@ -105,6 +118,8 @@ def test_bench_fleet_throughput(benchmark, tmp_path):
             "speedup": round(rate / reference_rate, 3)
             if executed == EVENTS else None,
             "used_process_pool": result.used_process_pool,
+            "shared_state_used": result.shared_state_used,
+            "delta_restores": result.delta_restores(),
         })
     payload = {
         "benchmark": "fleet_service_throughput",
@@ -119,6 +134,7 @@ def test_bench_fleet_throughput(benchmark, tmp_path):
         "backpressure_stalls": report.backpressure_stalls,
         "deactivation_rate": round(report.deactivation_rate, 4),
         "rollups_byte_identical": True,
+        "delta_restore": _restore_phase(),
         "reference": "serial-fresh (1 worker, factory build per batch)",
         "measurements": measurements,
     }

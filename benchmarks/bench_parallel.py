@@ -8,7 +8,12 @@ Runs a 32-sample corpus through four execution modes on the *default*
   beat);
 * ``serial-templated`` — 1 worker, one machine rewound between runs;
 * ``pooled-templated`` — 2- and 4-worker pools, each worker templating
-  its own machine, jobs shipped in auto-sized chunks.
+  its own machine, jobs shipped in auto-sized chunks. These run the
+  full zero-copy path: fork-shared database/template bring-up,
+  dirty-set delta-restore between jobs, framed binary chunk envelopes
+  on the return pipe;
+* ``pooled-full-restore`` — the 2-worker pool with ``delta=False``,
+  isolating what dirty-set restores are worth.
 
 Every mode must produce byte-identical pickled outcomes; the measurements
 (plus per-phase wall-clock timings from a telemetry-enabled pass) land in
@@ -41,12 +46,13 @@ OUTPUT = pathlib.Path(__file__).resolve().parent.parent / \
 
 #: Host wall-clock phase histograms recorded by the worker layer.
 PHASE_METRICS = ("wallclock.template_build_ns",
-                 "wallclock.machine_setup_ns", "wallclock.job_ns")
+                 "wallclock.machine_setup_ns", "wallclock.job_ns",
+                 "wallclock.delta_restore_ns")
 
 
-def _run(samples, workers, template=True):
-    result = ParallelSweep(max_workers=workers, template=template).run(
-        samples)
+def _run(samples, workers, template=True, delta=True):
+    result = ParallelSweep(max_workers=workers, template=template,
+                           delta=delta).run(samples)
     assert not result.errors, result.errors
     return result
 
@@ -83,6 +89,10 @@ def test_bench_parallel_scaling(benchmark):
         result = _run(samples, workers)
         assert result.used_process_pool
         runs.append(("pooled-templated", workers, result))
+    full_restore = _run(samples, POOL_WORKER_COUNTS[0], delta=False)
+    assert full_restore.used_process_pool
+    runs.append(("pooled-full-restore", POOL_WORKER_COUNTS[0],
+                 full_restore))
 
     # The engine's core guarantee: every mode, byte for byte.
     expected = pickle.dumps(reference.outcomes)
@@ -99,8 +109,12 @@ def test_bench_parallel_scaling(benchmark):
         {"mode": mode, "workers": workers,
          "wall_time_s": round(result.wall_time_s, 4),
          "speedup": round(reference.wall_time_s / result.wall_time_s, 3),
-         "used_process_pool": result.used_process_pool}
+         "used_process_pool": result.used_process_pool,
+         "shared_state_used": result.shared_state_used,
+         "delta_restores": result.delta_restores(),
+         "full_restores": result.full_restores()}
         for mode, workers, result in runs]
+    phases = _phase_rows(samples)
     payload = {
         "benchmark": "parallel_sweep_scaling",
         "corpus_size": len(samples),
@@ -108,9 +122,12 @@ def test_bench_parallel_scaling(benchmark):
         "cpu_cores": os.cpu_count(),
         "fork_available": fork_available(),
         "deactivated": summary.deactivated,
+        "rollups_byte_identical": True,
+        "delta_restore_mean_ms":
+            phases.get("delta_restore_ns", {}).get("mean_ms"),
         "reference": "serial-fresh (1 worker, fresh machine per run)",
         "measurements": measurements,
-        "phases": _phase_rows(samples),
+        "phases": phases,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n",
                       encoding="utf-8")

@@ -185,6 +185,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("--no-template and --verify-template are mutually exclusive",
               file=sys.stderr)
         return 2
+    if args.no_delta and args.verify_delta:
+        print("--no-delta and --verify-delta are mutually exclusive",
+              file=sys.stderr)
+        return 2
     try:
         resolve_machine_factory(args.factory)
     except KeyError as exc:
@@ -205,16 +209,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         samples = samples[:args.limit]
 
     template = "verify" if args.verify_template else not args.no_template
+    delta = "verify" if args.verify_delta else not args.no_delta
     sweep = ParallelSweep(max_workers=args.workers,
                           machine_factory=args.factory,
-                          template=template, chunksize=args.chunksize)
+                          template=template, chunksize=args.chunksize,
+                          delta=delta)
     result = sweep.run(samples)
     summary = summarize(result.comparisons)
 
     mode = "process pool" if result.used_process_pool else "in-process"
     template_label = {True: "on", False: "off"}.get(template, template)
+    delta_label = {True: "on", False: "off"}.get(delta, delta)
+    shared_label = "yes" if result.shared_state_used else "no"
     print(f"sweep: {len(samples)} samples, {args.workers} worker(s) "
-          f"({mode}), factory={args.factory}, template={template_label}")
+          f"({mode}), factory={args.factory}, template={template_label}, "
+          f"delta={delta_label}, shared-state={shared_label}")
     print(f"  wall time: {result.wall_time_s:.2f}s"
           f"  retries: {result.total_retries()}")
     print(f"  deactivated: {summary.deactivated}/{summary.total} "
@@ -270,17 +279,23 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint FILE", file=sys.stderr)
         return 2
+    if args.no_delta and args.verify_delta:
+        print("--no-delta and --verify-delta are mutually exclusive",
+              file=sys.stderr)
+        return 2
     try:
         resolve_machine_factory(args.factory)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    delta = "verify" if args.verify_delta else not args.no_delta
     try:
         service = FleetService(
             endpoints=args.endpoints, events=args.events, seed=args.seed,
             machine_factory=args.factory, max_workers=args.jobs,
             queue_limit=args.queue_limit, chunksize=args.chunksize,
-            template=not args.no_template, checkpoint_path=args.checkpoint,
+            template=not args.no_template, delta=delta,
+            checkpoint_path=args.checkpoint,
             resume=args.resume)
     except ValueError as exc:
         print(f"fleet: {exc}", file=sys.stderr)
@@ -466,6 +481,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--verify-template", action="store_true",
                        help="re-run every sample on a fresh machine and "
                             "fail on any divergence from the templated run")
+    sweep.add_argument("--no-delta", action="store_true",
+                       help="full template restore between jobs instead of "
+                            "dirty-set delta restore")
+    sweep.add_argument("--verify-delta", action="store_true",
+                       help="delta-restore and prove every skipped "
+                            "subsystem still matches the template")
     sweep.add_argument("--chunksize", type=int, default=None,
                        help="jobs per pool submission (default: auto)")
     _add_telemetry_option(sweep)
@@ -488,6 +509,12 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--no-template", action="store_true",
                        help="rebuild each endpoint machine from the "
                             "factory instead of snapshot/restore reuse")
+    fleet.add_argument("--no-delta", action="store_true",
+                       help="full template restore between batches instead "
+                            "of dirty-set delta restore")
+    fleet.add_argument("--verify-delta", action="store_true",
+                       help="delta-restore and prove every skipped "
+                            "subsystem still matches the template")
     fleet.add_argument("--checkpoint", metavar="FILE", default=None,
                        help="write a resumable checkpoint after each round")
     fleet.add_argument("--resume", action="store_true",

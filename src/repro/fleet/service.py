@@ -43,9 +43,11 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, \
 from ..core.database import DeceptionDatabase, FrozenDeceptionDatabase
 from ..core.profiles import ScarecrowConfig
 from ..malware.benign import build_cnet_corpus
+from ..parallel import shared
+from ..parallel.envelope import ChunkHeader, decode_chunk, encode_chunk
 from ..parallel.factories import FactorySpec, resolve_machine_factory
 from ..parallel.sweep import auto_chunksize, make_executor
-from ..parallel.template import MachineTemplate
+from ..parallel.template import DeltaMode, MachineTemplate
 from ..telemetry.metrics import TELEMETRY
 from ..telemetry.snapshot import MetricsSnapshot
 from .endpoint import EventRecord, ProtectedEndpoint, failed_event_record
@@ -187,7 +189,9 @@ def initialize_fleet_worker(factory_spec: FactorySpec,
                             config: Optional[ScarecrowConfig],
                             telemetry: bool = False,
                             template: bool = True,
-                            profile: Optional[WorkloadProfile] = None
+                            profile: Optional[WorkloadProfile] = None,
+                            delta: DeltaMode = True,
+                            shared_keys: Optional[shared.SharedKeys] = None
                             ) -> None:
     """Pool/serial initializer: build this worker's private fixtures.
 
@@ -197,23 +201,34 @@ def initialize_fleet_worker(factory_spec: FactorySpec,
     benign corpus the event stream's ``ref`` fields index into, and a
     :class:`~repro.parallel.template.MachineTemplate` endpoints are
     stamped from between batches (``template=False`` rebuilds from the
-    factory every batch; the benchmark's serial reference).
+    factory every batch; the benchmark's serial reference). ``delta`` is
+    handed to the template; ``shared_keys`` names fork-inherited payloads
+    (validated on lookup, pickled-path fallback on any miss).
     """
     TELEMETRY.enabled = bool(telemetry)
-    if isinstance(db_snapshot, bytes):
-        db_snapshot = pickle.loads(db_snapshot)
+    keys = shared_keys or shared.SharedKeys()
+    blob = (db_snapshot if isinstance(db_snapshot, bytes)
+            else pickle.dumps(db_snapshot))
+    database = shared.lookup_database(keys.database, blob)
+    _FLEET_STATE["shared_database"] = database is not None
+    if database is None:
+        database = FrozenDeceptionDatabase.from_snapshot(pickle.loads(blob))
     factory = resolve_machine_factory(factory_spec)
     machine_template: Optional[MachineTemplate] = None
+    _FLEET_STATE["shared_template"] = False
     if template:
-        machine_template = MachineTemplate(factory)
-        machine_template.build()
+        machine_template = shared.lookup_template(keys.template, delta)
+        if machine_template is not None:
+            _FLEET_STATE["shared_template"] = True
+        else:
+            machine_template = MachineTemplate(factory, delta=delta)
+            machine_template.build()
         machine_source: Callable = machine_template.checkout
     else:
         machine_source = factory
     _FLEET_STATE["machine_source"] = machine_source
     _FLEET_STATE["template"] = machine_template
-    _FLEET_STATE["database"] = FrozenDeceptionDatabase.from_snapshot(
-        db_snapshot)
+    _FLEET_STATE["database"] = database
     _FLEET_STATE["config"] = config
     _FLEET_STATE["samples"] = build_sample_pool(profile)
     _FLEET_STATE["benign"] = build_cnet_corpus()
@@ -269,10 +284,31 @@ def execute_fleet_batch(job: BatchJob) -> BatchResult:
                        resets=endpoint.reset_count, metrics=metrics)
 
 
-def execute_fleet_chunk(chunk: FleetChunk) -> List[bytes]:
-    """Pool entry point: per-batch pickled results, matching the sweep's
-    per-entry pickling discipline (byte parity with the serial path)."""
-    return [pickle.dumps(execute_fleet_batch(job)) for job in chunk.jobs]
+def execute_fleet_chunk(chunk: FleetChunk) -> bytes:
+    """Pool entry point: one framed binary chunk envelope.
+
+    Each batch result is pickled in its own frame (the sweep's per-entry
+    pickling discipline — byte parity with the serial path); the
+    :class:`~repro.parallel.envelope.ChunkHeader` reports this worker's
+    shared-state provenance and the restore work the chunk cost.
+    """
+    template: Optional[MachineTemplate] = _FLEET_STATE.get("template")
+    def counters() -> Tuple[int, int, int]:
+        if template is None:
+            return (0, 0, 0)
+        return (template.delta_restore_count, template.full_restore_count,
+                template.dirty_subsystem_total)
+    before = counters()
+    results = [execute_fleet_batch(job) for job in chunk.jobs]
+    after = counters()
+    header = ChunkHeader(
+        worker_pid=os.getpid(),
+        shared_database=bool(_FLEET_STATE.get("shared_database")),
+        shared_template=bool(_FLEET_STATE.get("shared_template")),
+        delta_restores=after[0] - before[0],
+        full_restores=after[1] - before[1],
+        dirty_subsystems=after[2] - before[2])
+    return encode_chunk(results, header)
 
 
 # -- checkpointing ------------------------------------------------------------
@@ -343,6 +379,16 @@ class FleetRunResult:
     degraded_chunks: int
     used_process_pool: bool
     completed: bool
+    #: True only when every chunk's worker reported running on the
+    #: fork-inherited database (and template) — observed provenance from
+    #: :class:`~repro.parallel.envelope.ChunkHeader`, never an assumption.
+    shared_state_used: bool = False
+    #: Per-chunk worker provenance (execution shape, like ``chunks``).
+    chunk_headers: List[ChunkHeader] = dataclasses.field(default_factory=list)
+
+    def delta_restores(self) -> int:
+        """Dirty-set template restores performed across all chunks."""
+        return sum(h.delta_restores for h in self.chunk_headers)
 
     def merged_metrics(self) -> MetricsSnapshot:
         """Batch telemetry deltas folded together, plus service counters.
@@ -388,6 +434,8 @@ class FleetService:
                  max_retries: int = 1,
                  telemetry: Optional[bool] = None,
                  template: bool = True,
+                 delta: DeltaMode = True,
+                 shared_state: bool = True,
                  checkpoint_path: Optional[str] = None,
                  resume: bool = False) -> None:
         if endpoints < 1:
@@ -404,6 +452,9 @@ class FleetService:
             raise ValueError("max_retries must be >= 0")
         if resume and not checkpoint_path:
             raise ValueError("resume=True requires a checkpoint_path")
+        if delta not in (True, False, "verify"):
+            raise ValueError(
+                f"delta must be True, False or 'verify', got {delta!r}")
         self.endpoints = endpoints
         self.events = events
         self.seed = seed
@@ -417,6 +468,13 @@ class FleetService:
         self.max_retries = max_retries
         self.telemetry = telemetry
         self.template = template
+        #: Template rewind strategy (execution shape — deliberately *not*
+        #: part of the checkpoint fingerprint: a run interrupted under
+        #: full restores may resume under delta restores, results are
+        #: identical by construction).
+        self.delta = delta
+        #: Publish database/template to the fork-shared registry pre-pool.
+        self.shared_state = shared_state
         self.checkpoint_path = checkpoint_path
         self.resume = resume
         self._local_ready = False
@@ -482,11 +540,15 @@ class FleetService:
 
         telemetry_on = TELEMETRY.enabled if self.telemetry is None \
             else bool(self.telemetry)
+        shared_keys = (self._publish_shared(db_blob) if self.shared_state
+                       else shared.SharedKeys())
         initargs = (self.machine_factory, db_blob, self.config,
-                    telemetry_on, self.template, self.profile)
+                    telemetry_on, self.template, self.profile,
+                    self.delta, shared_keys)
 
         chunks_run = 0
         degraded = 0
+        headers: List[ChunkHeader] = []
         interrupted = False
         used_pool = False
         self._local_ready = False
@@ -501,10 +563,11 @@ class FleetService:
                                 rounds_done - resumed >= stop_after_rounds:
                             interrupted = True
                             break
-                        results, n_chunks, n_degraded = self._run_round(
-                            executor, round_jobs, initargs)
+                        results, n_chunks, n_degraded, round_headers = \
+                            self._run_round(executor, round_jobs, initargs)
                         chunks_run += n_chunks
                         degraded += n_degraded
+                        headers.extend(round_headers)
                         completed.extend(results)
                         rounds_done += 1
                         if self.checkpoint_path:
@@ -530,7 +593,11 @@ class FleetService:
             used_process_pool=used_pool and degraded == 0 and
             rounds_done > resumed,
             completed=not interrupted and
-            rounds_done == len(jobs_per_round))
+            rounds_done == len(jobs_per_round),
+            shared_state_used=bool(headers) and all(
+                h.shared_database and (h.shared_template or not self.template)
+                for h in headers),
+            chunk_headers=headers)
 
     def _build_jobs(self, plan: AdmissionPlan) -> List[List[BatchJob]]:
         """Rounds of batch jobs with globally-unique submission indices."""
@@ -545,8 +612,29 @@ class FleetService:
             jobs_per_round.append(round_jobs)
         return jobs_per_round
 
+    def _publish_shared(self, db_blob: bytes) -> shared.SharedKeys:
+        """Pre-fork: rehydrate the database and build the template once,
+        so pool workers inherit both copy-on-write instead of rebuilding.
+        Advisory only — workers validate and fall back on any miss."""
+        db_key = shared.publish_database(
+            db_blob,
+            FrozenDeceptionDatabase.from_snapshot(pickle.loads(db_blob)))
+        template_key: Optional[str] = None
+        if self.template:
+            factory = resolve_machine_factory(self.machine_factory)
+            factory_name = (self.machine_factory
+                            if isinstance(self.machine_factory, str)
+                            else getattr(factory, "__qualname__", "factory"))
+            template_key = shared.template_key(factory_name, id(factory),
+                                               self.delta)
+            template = MachineTemplate(factory, delta=self.delta)
+            template.build()
+            shared.publish_template(template_key, template)
+        return shared.SharedKeys(database=db_key, template=template_key)
+
     def _run_round(self, executor: Any, round_jobs: Sequence[BatchJob],
-                   initargs: tuple) -> Tuple[List[BatchResult], int, int]:
+                   initargs: tuple
+                   ) -> Tuple[List[BatchResult], int, int, List[ChunkHeader]]:
         """Dispatch one round in chunks; collect in submission order."""
         size = self.chunksize or auto_chunksize(len(round_jobs),
                                                 self.max_workers)
@@ -556,19 +644,24 @@ class FleetService:
                    for chunk in chunks]
         results: List[BatchResult] = []
         degraded = 0
+        headers: List[ChunkHeader] = []
         for chunk, future in zip(chunks, futures):
             try:
-                blobs = future.result()
+                blob = future.result()
+                batches, header = decode_chunk(blob)
             except Exception:
-                # Graceful degradation: a poisoned worker (or unpicklable
-                # surprise) costs us the pool for this chunk, not the run.
-                blobs = self._run_chunk_in_process(chunk, initargs)
+                # Graceful degradation: a poisoned worker, an unpicklable
+                # surprise *or a corrupt chunk envelope* costs us the pool
+                # for this chunk, not the run.
+                batches, header = decode_chunk(
+                    self._run_chunk_in_process(chunk, initargs))
                 degraded += 1
-            results.extend(pickle.loads(blob) for blob in blobs)
-        return results, len(chunks), degraded
+            results.extend(batches)
+            headers.append(header)
+        return results, len(chunks), degraded, headers
 
     def _run_chunk_in_process(self, chunk: FleetChunk,
-                              initargs: tuple) -> List[bytes]:
+                              initargs: tuple) -> bytes:
         """Rerun a failed chunk in the parent, via the same code path.
 
         The chunk round-trips through pickle first — exactly what the

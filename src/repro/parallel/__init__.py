@@ -12,8 +12,10 @@ structured :class:`SweepError` entries; every outcome carries a
 :class:`SweepStats` record.
 """
 
-from .envelope import (PairEnvelope, SweepEntry, SweepError, SweepStats,
-                       build_envelope, canonical_entry, detach_outcome)
+from .envelope import (ChunkHeader, EnvelopeError, PairEnvelope, SweepEntry,
+                       SweepError, SweepStats, build_envelope,
+                       canonical_entry, decode_chunk, decode_record,
+                       detach_outcome, encode_chunk, encode_record)
 from .executor import (ImmediateFuture, SerialExecutor, fork_available,
                        pool_context, should_use_process_pool)
 from .factories import (available_factories, register_machine_factory,
@@ -22,18 +24,24 @@ from .sweep import (DEFAULT_FACTORY, ParallelSweep, SweepExecutionError,
                     SweepResult, auto_chunksize,
                     make_executor, run_submissions, run_tasks,
                     run_tasks_or_raise)
-from .template import TEMPLATE_PARITY_ERROR, MachineTemplate
+from .shared import SharedKeys, database_fingerprint
+from .template import (TEMPLATE_PARITY_ERROR, MachineTemplate,
+                       TemplateParityError)
 from .worker import (PairChunk, PairJob, TaskJob, TaskResult,
                      execute_pair_chunk, execute_pair_job, execute_task_job,
                      initialize_worker, run_pair_job)
 
 __all__ = [
-    "DEFAULT_FACTORY", "ImmediateFuture", "MachineTemplate", "PairChunk",
+    "ChunkHeader", "DEFAULT_FACTORY", "EnvelopeError", "ImmediateFuture",
+    "MachineTemplate", "PairChunk",
     "PairEnvelope", "PairJob", "ParallelSweep", "SerialExecutor",
-    "SweepEntry", "SweepError", "SweepExecutionError", "SweepResult",
-    "SweepStats", "TEMPLATE_PARITY_ERROR", "TaskJob", "TaskResult",
+    "SharedKeys", "SweepEntry", "SweepError", "SweepExecutionError",
+    "SweepResult", "SweepStats", "TEMPLATE_PARITY_ERROR",
+    "TemplateParityError", "TaskJob", "TaskResult",
     "auto_chunksize", "available_factories", "build_envelope",
-    "canonical_entry", "detach_outcome", "execute_pair_chunk",
+    "canonical_entry", "database_fingerprint", "decode_chunk",
+    "decode_record", "detach_outcome", "encode_chunk", "encode_record",
+    "execute_pair_chunk",
     "execute_pair_job", "execute_task_job", "fork_available",
     "initialize_worker", "make_executor", "pool_context",
     "register_machine_factory", "resolve_machine_factory", "run_pair_job",

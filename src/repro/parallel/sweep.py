@@ -36,10 +36,12 @@ from ..core.profiles import ScarecrowConfig
 from ..malware.sample import EvasiveSample
 from ..telemetry.metrics import TELEMETRY
 from ..telemetry.snapshot import MetricsSnapshot
-from .envelope import (PairEnvelope, SweepEntry, SweepError, SweepStats,
-                       canonical_entry)
+from . import shared
+from .envelope import (ChunkHeader, PairEnvelope, SweepEntry, SweepError,
+                       SweepStats, canonical_entry, decode_chunk)
 from .executor import SerialExecutor, pool_context, should_use_process_pool
 from .factories import FactorySpec, resolve_machine_factory
+from .template import DeltaMode, MachineTemplate
 from .worker import (PairChunk, PairJob, TaskJob, TaskResult, TemplateMode,
                      execute_pair_chunk, execute_pair_job, execute_task_job,
                      initialize_worker)
@@ -68,6 +70,24 @@ class SweepResult:
     max_workers: int
     used_process_pool: bool
     wall_time_s: float
+    #: True only when *every* result chunk reported that its worker ran on
+    #: the fork-inherited database (and template, when templating was on)
+    #: — an observed fact from :class:`ChunkHeader` provenance, never an
+    #: assumption. Spawn platforms and corrupted registries report False.
+    shared_state_used: bool = False
+    #: Per-chunk worker provenance, in completion-collection order.
+    chunk_headers: List[ChunkHeader] = dataclasses.field(default_factory=list)
+
+    def delta_restores(self) -> int:
+        """Dirty-set restores performed across all workers' chunks."""
+        return sum(h.delta_restores for h in self.chunk_headers)
+
+    def full_restores(self) -> int:
+        return sum(h.full_restores for h in self.chunk_headers)
+
+    def dirty_subsystems(self) -> int:
+        """Total dirty-subsystem count across all delta restores."""
+        return sum(h.dirty_subsystems for h in self.chunk_headers)
 
     @property
     def outcomes(self) -> List["PairOutcome"]:
@@ -140,7 +160,9 @@ class ParallelSweep:
                  max_retries: int = 1,
                  telemetry: Optional[bool] = None,
                  template: TemplateMode = True,
-                 chunksize: Optional[int] = None) -> None:
+                 chunksize: Optional[int] = None,
+                 delta: DeltaMode = True,
+                 shared_state: bool = True) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if chunksize is not None and chunksize < 1:
@@ -149,6 +171,9 @@ class ParallelSweep:
             raise ValueError(
                 "template must be True, False or 'verify', "
                 f"got {template!r}")
+        if delta not in (True, False, "verify"):
+            raise ValueError(
+                f"delta must be True, False or 'verify', got {delta!r}")
         self.max_workers = max_workers
         self.machine_factory = machine_factory or DEFAULT_FACTORY
         self.database = database
@@ -163,6 +188,15 @@ class ParallelSweep:
         self.template = template
         #: Jobs per pool submission; None = auto (see :func:`auto_chunksize`).
         self.chunksize = chunksize
+        #: Template rewind strategy: True (default) restores only the
+        #: subsystems each job dirtied, False always restores everything,
+        #: "verify" delta-restores and proves skipped subsystems clean.
+        self.delta = delta
+        #: Publish the frozen database and a pre-built template to the
+        #: fork-shared registry before creating the pool, so workers
+        #: inherit them instead of rebuilding (spawn platforms fall back
+        #: to the pickled path automatically).
+        self.shared_state = shared_state
 
     def run(self, samples: Sequence[EvasiveSample]) -> SweepResult:
         """Execute every sample pair; results come back submission-ordered."""
@@ -188,24 +222,63 @@ class ParallelSweep:
             config, jobs = pickle.loads(pickle.dumps((config, jobs)))
         telemetry_on = (TELEMETRY.enabled if self.telemetry is None
                         else bool(self.telemetry))
+        shared_keys = (self._publish_shared(snapshot_blob)
+                       if self.shared_state else shared.SharedKeys())
         initargs = (self.machine_factory, snapshot_blob, config,
-                    telemetry_on, self.template)
+                    telemetry_on, self.template, self.delta, shared_keys)
         workers = self.max_workers if use_pool else 1
         chunksize = self.chunksize or auto_chunksize(len(jobs), workers)
         chunks = [PairChunk(jobs[i:i + chunksize])
                   for i in range(0, len(jobs), chunksize)]
+        headers: List[ChunkHeader] = []
+
+        def unwrap_chunk(blob: bytes) -> List[SweepEntry]:
+            chunk_entries, header = decode_chunk(blob)
+            headers.append(header)
+            return chunk_entries
+
         # On the serial path the initializer runs in *this* process and
         # flips the shared registry flag; restore it once the sweep ends.
         prior_enabled = TELEMETRY.enabled
         try:
             entries, used_pool = run_submissions(chunks, execute_pair_chunk,
                                            initargs, workers,
-                                           unwrap=_unpickle_entries)
+                                           unwrap=unwrap_chunk)
         finally:
             TELEMETRY.enabled = prior_enabled
+        shared_used = bool(headers) and all(
+            h.shared_database and (h.shared_template or not self.template)
+            for h in headers)
         return SweepResult(entries=entries, max_workers=self.max_workers,
                            used_process_pool=used_pool,
-                           wall_time_s=time.perf_counter() - start)
+                           wall_time_s=time.perf_counter() - start,
+                           shared_state_used=shared_used,
+                           chunk_headers=headers)
+
+    def _publish_shared(self, snapshot_blob: bytes) -> shared.SharedKeys:
+        """Pre-fork: rehydrate the database and build the template once.
+
+        Whatever lands in :mod:`repro.parallel.shared` before the pool
+        forks is inherited by every worker copy-on-write. Workers
+        validate each key and fall back to the pickled/rebuild path on a
+        miss, so this is pure optimisation — never correctness-bearing.
+        """
+        from ..core.database import FrozenDeceptionDatabase
+        db_key = shared.publish_database(
+            snapshot_blob,
+            FrozenDeceptionDatabase.from_snapshot(pickle.loads(snapshot_blob)))
+        template_key: Optional[str] = None
+        if self.template:
+            factory = resolve_machine_factory(self.machine_factory)
+            factory_name = (self.machine_factory
+                            if isinstance(self.machine_factory, str)
+                            else getattr(factory, "__qualname__", "factory"))
+            template_key = shared.template_key(factory_name, id(factory),
+                                               self.delta)
+            template = MachineTemplate(factory, delta=self.delta)
+            template.build()
+            shared.publish_template(template_key, template)
+        return shared.SharedKeys(database=db_key, template=template_key)
 
     def _require_picklable_factory(self) -> None:
         resolve_machine_factory(self.machine_factory)  # fail fast on names
@@ -225,12 +298,6 @@ def auto_chunksize(n_jobs: int, workers: int) -> int:
     that stragglers still rebalance across the pool.
     """
     return max(1, math.ceil(n_jobs / (workers * 4)))
-
-
-def _unpickle_entries(blobs: Sequence[bytes]) -> List[Any]:
-    """Inverse of :func:`~repro.parallel.worker.execute_pair_chunk` —
-    one ``loads`` per entry, preserving per-entry pickling boundaries."""
-    return [pickle.loads(blob) for blob in blobs]
 
 
 def make_executor(initargs: Optional[tuple], workers: int,
@@ -273,8 +340,10 @@ def run_submissions(jobs: Sequence[Any], worker_fn: Callable[[Any], Any],
     Returns ``(entries, used_process_pool)``. A submission may be a
     :class:`PairChunk`, whose result ``unwrap`` flattens back into
     individual entries. Executor-level failures (broken pool, unpicklable
-    payloads) degrade to per-job :class:`SweepError`/:class:`TaskResult`
-    entries so one bad job cannot sink the sweep.
+    payloads) *and* unwrap failures (a corrupt binary chunk envelope
+    raising :class:`~repro.parallel.envelope.EnvelopeError`) degrade to
+    per-job :class:`SweepError`/:class:`TaskResult` entries so one bad
+    job — or one bad chunk — cannot sink the sweep.
     """
     executor, used_pool = make_executor(initargs, workers, initializer)
     entries: List[Any] = []
@@ -283,11 +352,12 @@ def run_submissions(jobs: Sequence[Any], worker_fn: Callable[[Any], Any],
         for job, future in zip(jobs, futures):
             try:
                 result = future.result()
+                unwrapped = (unwrap(result) if unwrap is not None
+                             else [result])
             except Exception as exc:
                 entries.extend(_submission_failures(job, exc))
                 continue
-            entries.extend(unwrap(result) if unwrap is not None
-                           else [result])
+            entries.extend(unwrapped)
     return entries, used_pool
 
 

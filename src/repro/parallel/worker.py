@@ -27,10 +27,11 @@ from ..core.profiles import ScarecrowConfig
 from ..malware.sample import EvasiveSample
 from ..telemetry.metrics import TELEMETRY
 from ..telemetry.snapshot import MetricsSnapshot
-from .envelope import (PairEnvelope, SweepEntry, SweepError, build_envelope,
-                       detach_outcome)
+from . import shared
+from .envelope import (ChunkHeader, PairEnvelope, SweepEntry, SweepError,
+                       build_envelope, detach_outcome, encode_chunk)
 from .factories import FactorySpec, MachineFactory, resolve_machine_factory
-from .template import TEMPLATE_PARITY_ERROR, MachineTemplate
+from .template import TEMPLATE_PARITY_ERROR, DeltaMode, MachineTemplate
 
 #: Per-process worker state, filled by :func:`initialize_worker`.
 _STATE: Dict[str, Any] = {}
@@ -80,7 +81,9 @@ def initialize_worker(factory_spec: FactorySpec,
                       db_snapshot: Union[DatabaseSnapshot, bytes],
                       config: Optional[ScarecrowConfig],
                       telemetry: bool = False,
-                      template: TemplateMode = False) -> None:
+                      template: TemplateMode = False,
+                      delta: DeltaMode = True,
+                      shared_keys: Optional[shared.SharedKeys] = None) -> None:
     """Pool/serial initializer: build this worker's private fixtures.
 
     ``db_snapshot`` is either a live :class:`DatabaseSnapshot` or its
@@ -91,23 +94,41 @@ def initialize_worker(factory_spec: FactorySpec,
     factory on every run, ``True`` builds a :class:`MachineTemplate` once
     here and rewinds it between runs, and ``"verify"`` templates *and*
     re-runs every sample on a fresh machine, flagging any divergence as a
-    ``TemplateParityError`` entry.
+    ``TemplateParityError`` entry. ``delta`` is handed to the template
+    (dirty-set restores, full restores, or delta-verify).
+
+    ``shared_keys`` names payloads the parent published to the
+    fork-shared registry (:mod:`repro.parallel.shared`) before creating
+    the pool. Every lookup validates and falls back to the pickled /
+    rebuild path on a miss — spawn platforms, corrupted registries and
+    stale keys all degrade to exactly the pre-shared behaviour, and
+    ``worker_shared_flags`` reports which path this worker actually took.
     """
     TELEMETRY.enabled = bool(telemetry)
-    if isinstance(db_snapshot, bytes):
-        db_snapshot = pickle.loads(db_snapshot)
+    keys = shared_keys or shared.SharedKeys()
+    blob = (db_snapshot if isinstance(db_snapshot, bytes)
+            else pickle.dumps(db_snapshot))
+    database = shared.lookup_database(keys.database, blob)
+    _STATE["shared_database"] = database is not None
+    if database is None:
+        database = FrozenDeceptionDatabase.from_snapshot(pickle.loads(blob))
     factory = resolve_machine_factory(factory_spec)
     machine_template: Optional[MachineTemplate] = None
+    _STATE["shared_template"] = False
     if template:
-        machine_template = MachineTemplate(factory)
-        _build_template(machine_template)
+        machine_template = shared.lookup_template(keys.template, delta)
+        if machine_template is not None:
+            _STATE["shared_template"] = True
+        else:
+            machine_template = MachineTemplate(factory, delta=delta)
+            _build_template(machine_template)
         _STATE["factory"] = _timed_factory(machine_template.checkout)
     else:
         _STATE["factory"] = _timed_factory(factory)
     _STATE["template"] = machine_template
     _STATE["fresh_factory"] = factory
     _STATE["verify"] = template == "verify"
-    _STATE["database"] = FrozenDeceptionDatabase.from_snapshot(db_snapshot)
+    _STATE["database"] = database
     _STATE["config"] = config
 
 
@@ -138,14 +159,37 @@ def execute_pair_job(job: PairJob) -> SweepEntry:
     return entry
 
 
-def execute_pair_chunk(chunk: PairChunk) -> List[bytes]:
-    """Run a chunk of jobs; returns each entry pickled *separately*.
+def execute_pair_chunk(chunk: PairChunk) -> bytes:
+    """Run a chunk of jobs; returns one framed binary chunk envelope.
 
-    One pickle per entry — rather than one for the whole list — keeps the
-    parent's unpickled entries free of cross-entry object sharing, so
-    chunked results stay byte-identical to individually-submitted jobs.
+    Entries are pickled one frame at a time inside the envelope (see
+    :func:`~repro.parallel.envelope.encode_record`), which keeps the
+    parent's decoded entries free of cross-entry object sharing — chunked
+    results stay byte-identical to individually-submitted jobs. The
+    :class:`~repro.parallel.envelope.ChunkHeader` carries this worker's
+    shared-state provenance and the restore work the chunk cost.
     """
-    return [pickle.dumps(execute_pair_job(job)) for job in chunk.jobs]
+    template: Optional[MachineTemplate] = _STATE.get("template")
+    before = _restore_counters(template)
+    entries = [execute_pair_job(job) for job in chunk.jobs]
+    after = _restore_counters(template)
+    header = ChunkHeader(
+        worker_pid=os.getpid(),
+        shared_database=bool(_STATE.get("shared_database")),
+        shared_template=bool(_STATE.get("shared_template")),
+        delta_restores=after[0] - before[0],
+        full_restores=after[1] - before[1],
+        dirty_subsystems=after[2] - before[2])
+    return encode_chunk(entries, header)
+
+
+def _restore_counters(template: Optional[MachineTemplate]
+                      ) -> Tuple[int, int, int]:
+    """(delta restores, full restores, dirty subsystems) so far."""
+    if template is None:
+        return (0, 0, 0)
+    return (template.delta_restore_count, template.full_restore_count,
+            template.dirty_subsystem_total)
 
 
 def _check_template_parity(job: PairJob,

@@ -28,6 +28,13 @@ from typing import Dict, Mapping, Tuple
 #: Name prefix for host-clock measurements (excluded from determinism).
 WALLCLOCK_PREFIX = "wallclock."
 
+#: Name prefix for dispatch-shape metrics — counts that depend on how
+#: work was scheduled (dirty-subsystem counts per delta restore, shared
+#: registry hits/misses), not on what the workload computed. Like
+#: ``wallclock.*``, legitimately different between serial and pooled
+#: executions of the same corpus, so excluded from determinism.
+DISPATCH_PREFIX = "parallel."
+
 
 def bucket_index(value: int) -> int:
     """Geometric bucket for ``value``: 0 for 0, else ``bit_length``.
@@ -175,8 +182,11 @@ class MetricsSnapshot:
         return MetricsSnapshot(counters, gauges, histograms)
 
     def deterministic(self) -> "MetricsSnapshot":
-        """This snapshot without host-clock (``wallclock.*``) metrics."""
-        keep = lambda name: not name.startswith(WALLCLOCK_PREFIX)  # noqa: E731
+        """This snapshot without host-clock (``wallclock.*``) and
+        dispatch-shape (``parallel.*``) metrics — what may be compared
+        across serial/pooled/delta execution paths."""
+        keep = lambda name: not (name.startswith(WALLCLOCK_PREFIX)  # noqa: E731
+                                 or name.startswith(DISPATCH_PREFIX))
         return MetricsSnapshot(
             {n: v for n, v in self.counters.items() if keep(n)},
             {n: v for n, v in self.gauges.items() if keep(n)},

@@ -14,7 +14,7 @@ from .eventlog import EventLog, EventRecord
 from .filesystem import FileSystem
 from .gui import Window, WindowManager
 from .hardware import Cpu, Firmware, Hardware
-from .machine import Machine, MachineIdentity
+from .machine import TRACKED_SUBSYSTEMS, Machine, MachineIdentity
 from .modules import Module, ModuleList
 from .mutexes import MutexNamespace
 from .network import Adapter, NetworkStack
@@ -33,6 +33,7 @@ __all__ = [
     "NtStatus", "OsVersionInfo", "Peb", "Process", "ProcessState",
     "ProcessTable", "Registry", "RegistryKey", "RegistryValue", "RegType",
     "Service", "ServiceManager", "ServiceState", "SystemInfo",
-    "TimingProfile", "VirtualClock", "Win32Error", "Window", "WindowManager",
+    "TimingProfile", "TRACKED_SUBSYSTEMS", "VirtualClock", "Win32Error",
+    "Window", "WindowManager",
     "nt_success",
 ]

@@ -25,12 +25,20 @@ class DeviceNamespace:
 
     def __init__(self) -> None:
         self._devices: Dict[str, str] = {}  # normalized -> display name
+        #: Mutation generation: advances on every namespace change (and
+        #: on restore), the dirty-set signal delta-restore compares.
+        self.mutations = 0
 
     def register(self, name: str) -> None:
         self._devices[normalize_device_name(name)] = name
+        self.mutations += 1
 
     def unregister(self, name: str) -> bool:
-        return self._devices.pop(normalize_device_name(name), None) is not None
+        removed = self._devices.pop(normalize_device_name(name),
+                                    None) is not None
+        if removed:
+            self.mutations += 1
+        return removed
 
     def exists(self, name: str) -> bool:
         return normalize_device_name(name) in self._devices
@@ -43,6 +51,7 @@ class DeviceNamespace:
 
     def restore(self, state: dict) -> None:
         self._devices = dict(state)
+        self.mutations += 1
 
 
 #: Devices exposed by VirtualBox Guest Additions.

@@ -25,12 +25,16 @@ class DnsCache:
 
     def __init__(self) -> None:
         self._entries: List[DnsCacheEntry] = []
+        #: Mutation generation: advances on every cache change (and on
+        #: restore), the dirty-set signal delta-restore compares.
+        self.mutations = 0
 
     def add(self, name: str, record_type: int = 1, ttl: int = 300) -> None:
         entry = DnsCacheEntry(name.lower(), record_type, ttl)
         # Re-resolving moves the entry to most-recent position.
         self._entries = [e for e in self._entries if e.name != entry.name]
         self._entries.append(entry)
+        self.mutations += 1
 
     def populate(self, names: Iterable[str]) -> None:
         for name in names:
@@ -46,6 +50,8 @@ class DnsCache:
         return len(self._entries)
 
     def flush(self) -> None:
+        if self._entries:
+            self.mutations += 1
         self._entries.clear()
 
     def snapshot(self) -> dict:
@@ -53,3 +59,4 @@ class DnsCache:
 
     def restore(self, state: dict) -> None:
         self._entries = list(state["entries"])
+        self.mutations += 1

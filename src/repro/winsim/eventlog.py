@@ -31,12 +31,16 @@ class EventLog:
     def __init__(self, channel: str = "System") -> None:
         self.channel = channel
         self._records: List[EventRecord] = []
+        #: Mutation generation: advances on every append (and on
+        #: restore), the dirty-set signal delta-restore compares.
+        self.mutations = 0
 
     def append(self, source: str, event_id: int, timestamp_ms: int = 0,
                level: str = "Information") -> EventRecord:
         record = EventRecord(len(self._records) + 1, source, event_id,
                              timestamp_ms, level)
         self._records.append(record)
+        self.mutations += 1
         return record
 
     def extend_synthetic(self, count: int, sources: Iterable[str],
@@ -79,3 +83,4 @@ class EventLog:
     def restore(self, state: dict) -> None:
         self.channel = state["channel"]
         self._records = list(state["records"])
+        self.mutations += 1

@@ -77,11 +77,50 @@ class Drive:
         return max(0, self.total_bytes - self.used_bytes_base - self.content_bytes())
 
 
+#: Dirty-path journal capacity, as in the registry: beyond a few dozen
+#: subtree splices a full tree rebuild is competitive anyway.
+_JOURNAL_CAP = 64
+
+
+def _load_node(blob: dict) -> FileNode:
+    """Rebuild a node subtree from its snapshot blob, children in
+    snapshot order (what keeps spliced and fully-rebuilt trees
+    byte-identical)."""
+    node = FileNode(blob["name"], blob["is_dir"], blob["attributes"],
+                    blob["content"], blob["ctime"], blob["mtime"])
+    for child_blob in blob["children"]:
+        child = _load_node(child_blob)
+        node.children[child.name.lower()] = child
+    return node
+
+
 class FileSystem:
     """All mounted drives of one machine."""
 
     def __init__(self) -> None:
         self._drives: Dict[str, Drive] = {}
+        #: Mutation generation: advances on every tree change (and on
+        #: restore), the dirty-set signal delta-restore compares.
+        self.mutations = 0
+        #: Dirty node paths since the last :meth:`restore` — tuples of
+        #: ``(drive_letter, *lowered_parts)`` — or None when the journal
+        #: cannot vouch for the divergence (never restored, overflowed,
+        #: or a structural drive change).
+        self._dirty_paths: Optional[set] = None
+        #: Identity of the state dict the last restore rewound to (see
+        #: the registry's field of the same name).
+        self._last_restored_state: Optional[dict] = None
+
+    def _journal(self, parts: tuple) -> None:
+        journal = self._dirty_paths
+        if journal is None:
+            return
+        if len(parts) < 2:
+            self._dirty_paths = None
+            return
+        journal.add(parts)
+        if len(journal) > _JOURNAL_CAP:
+            self._dirty_paths = None
 
     # -- drives --------------------------------------------------------------
 
@@ -90,6 +129,8 @@ class FileSystem:
         letter = letter.upper().rstrip(":") + ":"
         drive = Drive(letter, total_bytes, used_bytes_base)
         self._drives[letter] = drive
+        self.mutations += 1
+        self._dirty_paths = None  # structural: splicing cannot cover it
         return drive
 
     def drive(self, letter: str) -> Optional[Drive]:
@@ -134,7 +175,9 @@ class FileSystem:
         if drive is None:
             raise FileNotFoundError(f"no such drive: {drive_letter}")
         node = drive.root
+        walked = [drive_letter]
         for part in parts:
+            walked.append(part.lower())
             nxt = node.child(part)
             if nxt is None:
                 nxt = FileNode(part, is_dir=True,
@@ -142,6 +185,8 @@ class FileSystem:
                                creation_time_ms=when_ms,
                                last_write_time_ms=when_ms)
                 node.children[part.lower()] = nxt
+                self.mutations += 1
+                self._journal(tuple(walked))
             node = nxt
         if not node.is_dir:
             raise NotADirectoryError(path)
@@ -166,6 +211,8 @@ class FileSystem:
                                           if existing else when_ms),
                         last_write_time_ms=when_ms)
         parent.children[name.lower()] = node
+        self.mutations += 1
+        self._journal((drive_letter, *(p.lower() for p in parts)))
         return node
 
     def read_file(self, path: str) -> Optional[bytes]:
@@ -190,7 +237,11 @@ class FileSystem:
             if nxt is None:
                 return False
             node = nxt
-        return node.children.pop(parts[-1].lower(), None) is not None
+        removed = node.children.pop(parts[-1].lower(), None) is not None
+        if removed:
+            self.mutations += 1
+            self._journal((drive_letter, *(p.lower() for p in parts)))
+        return removed
 
     def rename(self, src: str, dst: str, when_ms: int = 0) -> bool:
         node = self._resolve(src)
@@ -260,16 +311,66 @@ class FileSystem:
                 for letter, d in self._drives.items()}
 
     def restore(self, state: dict) -> None:
-        def load(blob: dict) -> FileNode:
-            node = FileNode(blob["name"], blob["is_dir"], blob["attributes"],
-                            blob["content"], blob["ctime"], blob["mtime"])
-            for child_blob in blob["children"]:
-                child = load(child_blob)
-                node.children[child.name.lower()] = child
-            return node
+        """Rewind all drives to ``state``.
 
-        self._drives.clear()
-        for letter, drive_blob in state.items():
-            drive = Drive(letter, drive_blob["total"], drive_blob["base"],
-                          load(drive_blob["root"]))
-            self._drives[letter] = drive
+        Mirrors the registry's path-granular restore: with an intact
+        dirty-path journal and the identical state dict as last time,
+        only the journaled subtrees are spliced back (same bytes, same
+        child insertion order as a full rebuild); otherwise every drive
+        tree is rebuilt from the snapshot.
+        """
+        journal = self._dirty_paths
+        if journal is not None and state is self._last_restored_state:
+            for parts in sorted(journal, key=len):
+                self._sync_path(state, parts)
+        else:
+            self._drives.clear()
+            for letter, drive_blob in state.items():
+                drive = Drive(letter, drive_blob["total"],
+                              drive_blob["base"],
+                              _load_node(drive_blob["root"]))
+                self._drives[letter] = drive
+        self.mutations += 1
+        self._last_restored_state = state
+        self._dirty_paths = set()
+
+    def _sync_path(self, state: dict, parts: tuple) -> None:
+        """Make the live tree at ``parts`` match the snapshot exactly."""
+        drive_blob = state.get(parts[0])
+        drive = self._drives.get(parts[0])
+        if drive_blob is None or drive is None:
+            return
+        blob: Optional[dict] = drive_blob["root"]
+        parent_blob = blob
+        for part in parts[1:]:
+            parent_blob = blob
+            blob = None
+            for child in parent_blob["children"]:
+                if child["name"].lower() == part:
+                    blob = child
+                    break
+            if blob is None:
+                break
+        node = drive.root
+        for part in parts[1:-1]:
+            nxt = node.child(part)
+            if nxt is None:
+                return  # covered by a journaled ancestor
+            node = nxt
+        last = parts[-1]
+        if blob is None:
+            node.children.pop(last, None)
+            return
+        existed = last in node.children
+        node.children[last] = _load_node(blob)
+        if not existed:
+            # Keep child insertion order identical to a full rebuild
+            # (see the registry's reorder for the rationale).
+            order = {c["name"].lower(): i
+                     for i, c in enumerate(parent_blob["children"])}
+            big = len(order)
+            current = list(node.children)
+            rank = {k: (order.get(k, big), i)
+                    for i, k in enumerate(current)}
+            node.children = {k: node.children[k]
+                             for k in sorted(current, key=rank.get)}

@@ -32,10 +32,23 @@ class WindowManager:
         self._hwnd_counter = itertools.count(0x10010, 2)
         self._cursor: Tuple[int, int] = (0, 0)
         self._cursor_moves = 0
-        #: When set, a human (or a Cuckoo "human" auxiliary module) is
-        #: moving the mouse: cursor position becomes a function of time,
-        #: so two reads separated by a sleep observe movement.
-        self.humanized = False
+        self._humanized = False
+        #: Mutation generation: advances on every window/input change
+        #: (and on restore), the dirty-set signal delta-restore compares.
+        self.mutations = 0
+
+    @property
+    def humanized(self) -> bool:
+        """When set, a human (or a Cuckoo "human" auxiliary module) is
+        moving the mouse: cursor position becomes a function of time, so
+        two reads separated by a sleep observe movement."""
+        return self._humanized
+
+    @humanized.setter
+    def humanized(self, value: bool) -> None:
+        if value != self._humanized:
+            self.mutations += 1
+        self._humanized = value
 
     # -- windows ---------------------------------------------------------------
 
@@ -44,12 +57,14 @@ class WindowManager:
         window = Window(next(self._hwnd_counter), class_name, title,
                         owner_pid, visible)
         self._windows.append(window)
+        self.mutations += 1
         return window
 
     def destroy_window(self, hwnd: int) -> bool:
         for window in self._windows:
             if window.hwnd == hwnd:
                 self._windows.remove(window)
+                self.mutations += 1
                 return True
         return False
 
@@ -86,6 +101,7 @@ class WindowManager:
     def move_cursor(self, x: int, y: int) -> None:
         if (x, y) != self._cursor:
             self._cursor_moves += 1
+            self.mutations += 1
         self._cursor = (x, y)
 
     @property
@@ -113,4 +129,5 @@ class WindowManager:
         self._windows = [dataclasses.replace(w) for w in state["windows"]]
         self._cursor = state["cursor"]
         self._cursor_moves = state["moves"]
-        self.humanized = state.get("humanized", False)
+        self._humanized = state.get("humanized", False)
+        self.mutations += 1

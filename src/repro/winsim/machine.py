@@ -38,6 +38,15 @@ class MachineIdentity:
     domain: str = "WORKGROUP"
 
 
+#: Subsystems that carry a ``mutations`` generation counter and can be
+#: restored selectively (dirty-set delta-restore). Order matters: it is
+#: the order :meth:`Machine.restore` has always used, preserved so a
+#: partial restore interleaves identically with a full one.
+TRACKED_SUBSYSTEMS = ("registry", "filesystem", "gui", "devices",
+                      "mutexes", "services", "eventlog", "dnscache",
+                      "network")
+
+
 class Machine:
     """One simulated Windows host."""
 
@@ -106,10 +115,25 @@ class Machine:
         return self
 
     def _sync_peb_all(self) -> None:
+        """Propagate hardware/OS identity into every live PEB.
+
+        Writes only on actual change: PEB fields are either immutable
+        after process creation or derived from machine state this method
+        re-syncs after every restore — the invariant that keeps PEBs out
+        of the process table's dirty-pid journal. A future mutable PEB
+        field must either be covered here or notify the journal itself.
+        """
+        cores = self.hardware.cpu.cores
+        major = self.os_version.major
+        minor = self.os_version.minor
         for process in self.processes.all():
-            process.peb.number_of_processors = self.hardware.cpu.cores
-            process.peb.os_major_version = self.os_version.major
-            process.peb.os_minor_version = self.os_version.minor
+            peb = process.peb
+            if peb.number_of_processors != cores:
+                peb.number_of_processors = cores
+            if peb.os_major_version != major:
+                peb.os_major_version = major
+            if peb.os_minor_version != minor:
+                peb.os_minor_version = minor
 
     # -- conveniences the API layer uses -------------------------------------
 
@@ -151,6 +175,17 @@ class Machine:
 
     # -- snapshot / restore (Deep Freeze substitute) ---------------------------
 
+    def subsystem_versions(self) -> dict:
+        """Generation counters of every tracked subsystem.
+
+        Comparing two readings tells which subsystems mutated in between —
+        the dirty set :class:`repro.parallel.template.MachineTemplate`
+        rewinds selectively. Untracked subsystems (clock, hardware,
+        processes, handles, identity) are cheap enough to restore always.
+        """
+        return {name: getattr(self, name).mutations
+                for name in TRACKED_SUBSYSTEMS}
+
     def snapshot(self) -> dict:
         return {
             "identity": dataclasses.replace(self.identity),
@@ -183,8 +218,16 @@ class Machine:
                                  if self.explorer is not None else None)
         return state
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict,
+                      subsystems: Optional[set] = None) -> None:
         """Rewind the machine, in place, to a :meth:`snapshot_state`.
+
+        ``subsystems=None`` restores everything. Passing a set of
+        :data:`TRACKED_SUBSYSTEMS` names restores only those (plus the
+        always-restored cheap state: identity, OS version, clock,
+        hardware, processes, handles) — the dirty-set delta-restore
+        contract, which requires every *unlisted* tracked subsystem to be
+        provably unchanged since the snapshot.
 
         Also drops every event-bus subscriber: tracers/controllers from a
         previous run cannot be part of the snapshot, and a crashed run may
@@ -198,26 +241,39 @@ class Machine:
         explorer_pid = state.get("explorer_pid")
         self.explorer = (self.processes.get(explorer_pid)
                          if explorer_pid is not None else None)
-        self.restore(state)
+        self.restore(state, subsystems=subsystems)
 
-    def restore(self, state: dict) -> None:
+    def restore(self, state: dict,
+                subsystems: Optional[set] = None) -> None:
         """Restore everything except the process table.
 
         Processes are rebuilt by re-running :meth:`boot` semantics in
         :class:`repro.analysis.deepfreeze.DeepFreeze`, matching the paper's
         reboot-and-reset cycle where the process tree is recreated by the OS.
+
+        ``subsystems`` limits which tracked subsystems are rewound (see
+        :meth:`restore_state`); cheap untracked state is always restored.
         """
         self.identity = dataclasses.replace(state["identity"])
         self.os_version = dataclasses.replace(state["os_version"])
         self.clock.restore(state["clock"])
-        self.registry.restore(state["registry"])
-        self.filesystem.restore(state["filesystem"])
-        self.gui.restore(state["gui"])
-        self.devices.restore(state["devices"])
-        self.mutexes.restore(state.get("mutexes", {}))
-        self.services.restore(state["services"])
-        self.eventlog.restore(state["eventlog"])
-        self.dnscache.restore(state["dnscache"])
-        self.network.restore(state["network"])
+        if subsystems is None or "registry" in subsystems:
+            self.registry.restore(state["registry"])
+        if subsystems is None or "filesystem" in subsystems:
+            self.filesystem.restore(state["filesystem"])
+        if subsystems is None or "gui" in subsystems:
+            self.gui.restore(state["gui"])
+        if subsystems is None or "devices" in subsystems:
+            self.devices.restore(state["devices"])
+        if subsystems is None or "mutexes" in subsystems:
+            self.mutexes.restore(state.get("mutexes", {}))
+        if subsystems is None or "services" in subsystems:
+            self.services.restore(state["services"])
+        if subsystems is None or "eventlog" in subsystems:
+            self.eventlog.restore(state["eventlog"])
+        if subsystems is None or "dnscache" in subsystems:
+            self.dnscache.restore(state["dnscache"])
+        if subsystems is None or "network" in subsystems:
+            self.network.restore(state["network"])
         self.hardware.restore(state["hardware"])
         self._sync_peb_all()

@@ -34,10 +34,18 @@ class ModuleList:
     _FIRST_DLL_BASE = 0x7FF00000
 
     def __init__(self, exe_name: str, exe_path: str,
-                 image_base: int = 0x400000) -> None:
+                 image_base: int = 0x400000, owner=None) -> None:
         self._modules: List[Module] = [
             Module(exe_name, exe_path, image_base, size=0x80000)]
         self._next_base = self._FIRST_DLL_BASE
+        #: Owning process (when any): module loads/unloads report to its
+        #: table's dirty-pid journal, like every other process mutation.
+        self._owner = owner
+
+    def _notify(self) -> None:
+        owner = self._owner
+        if owner is not None:
+            owner._bump()
 
     def load(self, name: str, path: Optional[str] = None,
              size: int = 0x40000) -> Module:
@@ -49,6 +57,7 @@ class ModuleList:
                         self._next_base, size)
         self._next_base += max(size, 0x10000)
         self._modules.append(module)
+        self._notify()
         return module
 
     def unload(self, name: str) -> bool:
@@ -56,6 +65,7 @@ class ModuleList:
         if module is None or module is self._modules[0]:
             return False
         self._modules.remove(module)
+        self._notify()
         return True
 
     def find(self, name: str) -> Optional[Module]:

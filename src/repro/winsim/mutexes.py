@@ -21,6 +21,9 @@ class MutexNamespace:
 
     def __init__(self) -> None:
         self._mutexes: Dict[str, str] = {}  # normalized -> display name
+        #: Mutation generation: advances on every namespace change (and
+        #: on restore), the dirty-set signal delta-restore compares.
+        self.mutations = 0
 
     @staticmethod
     def _normalize(name: str) -> str:
@@ -36,13 +39,17 @@ class MutexNamespace:
         key = self._normalize(name)
         existed = key in self._mutexes
         self._mutexes[key] = name
+        self.mutations += 1
         return not existed
 
     def exists(self, name: str) -> bool:
         return self._normalize(name) in self._mutexes
 
     def release(self, name: str) -> bool:
-        return self._mutexes.pop(self._normalize(name), None) is not None
+        removed = self._mutexes.pop(self._normalize(name), None) is not None
+        if removed:
+            self.mutations += 1
+        return removed
 
     def names(self) -> List[str]:
         return list(self._mutexes.values())
@@ -52,3 +59,4 @@ class MutexNamespace:
 
     def restore(self, state: dict) -> None:
         self._mutexes = dict(state)
+        self.mutations += 1

@@ -49,16 +49,31 @@ class NetworkStack:
         self._adapters: List[Adapter] = []
         self._zones: Dict[str, str] = {}          # real, registered names
         self._reachable_ips: Set[str] = set()     # IPs that answer HTTP
-        #: When set, every otherwise-NX name resolves here (sandbox
-        #: sinkhole, or Scarecrow's NX-domain deception).
-        self.nx_sinkhole_ip: Optional[str] = None
+        self._nx_sinkhole_ip: Optional[str] = None
         self.query_log: List[str] = []
+        #: Mutation generation: advances on every stack change — including
+        #: each DNS query, which appends to the query log — and on restore.
+        #: The dirty-set signal delta-restore compares.
+        self.mutations = 0
+
+    @property
+    def nx_sinkhole_ip(self) -> Optional[str]:
+        """When set, every otherwise-NX name resolves here (sandbox
+        sinkhole, or Scarecrow's NX-domain deception)."""
+        return self._nx_sinkhole_ip
+
+    @nx_sinkhole_ip.setter
+    def nx_sinkhole_ip(self, value: Optional[str]) -> None:
+        if value != self._nx_sinkhole_ip:
+            self.mutations += 1
+        self._nx_sinkhole_ip = value
 
     # -- adapters ---------------------------------------------------------
 
     def add_adapter(self, name: str, mac: str, description: str = "") -> Adapter:
         adapter = Adapter(name, mac.upper(), description)
         self._adapters.append(adapter)
+        self.mutations += 1
         return adapter
 
     def adapters(self) -> List[Adapter]:
@@ -74,6 +89,7 @@ class NetworkStack:
         """Make ``name`` genuinely resolvable (a registered internet name)."""
         ip = ip or _stable_fake_ip(name)
         self._zones[name.lower()] = ip
+        self.mutations += 1
         return ip
 
     def domain_exists(self, name: str) -> bool:
@@ -86,14 +102,17 @@ class NetworkStack:
         the tell evasive malware (and the WannaCry kill switch) looks for.
         """
         self.query_log.append(name.lower())
+        self.mutations += 1
         ip = self._zones.get(name.lower())
         if ip is not None:
             return ip
-        return self.nx_sinkhole_ip
+        return self._nx_sinkhole_ip
 
     # -- reachability -------------------------------------------------------
 
     def mark_reachable(self, ip: str) -> None:
+        if ip not in self._reachable_ips:
+            self.mutations += 1
         self._reachable_ips.add(ip)
 
     def http_get(self, ip: Optional[str]) -> bool:
@@ -111,7 +130,7 @@ class NetworkStack:
             "adapters": [dataclasses.replace(a) for a in self._adapters],
             "zones": dict(self._zones),
             "reachable": set(self._reachable_ips),
-            "sinkhole": self.nx_sinkhole_ip,
+            "sinkhole": self._nx_sinkhole_ip,
             "log": list(self.query_log),
         }
 
@@ -119,5 +138,6 @@ class NetworkStack:
         self._adapters = [dataclasses.replace(a) for a in state["adapters"]]
         self._zones = dict(state["zones"])
         self._reachable_ips = set(state["reachable"])
-        self.nx_sinkhole_ip = state["sinkhole"]
+        self._nx_sinkhole_ip = state["sinkhole"]
         self.query_log = list(state["log"])
+        self.mutations += 1

@@ -31,6 +31,62 @@ class ProcessState(enum.Enum):
     TERMINATED = "terminated"
 
 
+#: Dirty-pid journal capacity, as in the registry and filesystem: beyond
+#: a few dozen per-process splices a full table rebuild is competitive.
+_JOURNAL_CAP = 64
+
+
+class TagDict(dict):
+    """Per-process annotation dict that reports writes to the owning
+    table's dirty-pid journal.
+
+    ``process.tags[...] = ...`` is written by code all over the tree
+    (controller, sandbox agents, payloads, hook injection), so the tags
+    surface must notify the journal itself — a plain dict would let those
+    writes slip past the delta-restore dirty set.
+    """
+
+    def __init__(self, owner: Optional["Process"] = None) -> None:
+        super().__init__()
+        self._owner = owner
+
+    def _bump(self) -> None:
+        owner = getattr(self, "_owner", None)
+        if owner is not None:
+            owner._bump()
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self._bump()
+
+    def __delitem__(self, key) -> None:
+        super().__delitem__(key)
+        self._bump()
+
+    def pop(self, *args):
+        result = super().pop(*args)
+        self._bump()
+        return result
+
+    def popitem(self):
+        result = super().popitem()
+        self._bump()
+        return result
+
+    def clear(self) -> None:
+        super().clear()
+        self._bump()
+
+    def update(self, *args, **kwargs) -> None:
+        super().update(*args, **kwargs)
+        self._bump()
+
+    def setdefault(self, key, default=None):
+        result = super().setdefault(key, default)
+        self._bump()
+        return result
+
+
 @dataclasses.dataclass
 class Thread:
     tid: int
@@ -54,14 +110,40 @@ class Process:
         #: Protected processes resist termination by untrusted callers —
         #: Scarecrow protects its 24 deceptive analysis-tool processes.
         self.protected = protected
+        #: Owning table, set by :meth:`ProcessTable.spawn` and re-linked
+        #: by :meth:`ProcessTable.restore`; mutations report to its
+        #: dirty-pid journal through :meth:`_bump`.
+        self._table: Optional["ProcessTable"] = None
         self.peb = Peb(process_parameters_command_line=self.command_line)
-        self.modules = ModuleList(name, image_path)
+        self.modules = ModuleList(name, image_path, owner=self)
         populate_default_modules(self.modules)
         self.threads: List[Thread] = [Thread(tid=pid + 1)]
         self._tid_counter = itertools.count(pid + 2)
         #: Arbitrary per-process annotations (e.g. which sample spawned it,
-        #: whether scarecrow.dll is injected). Kept open-ended on purpose.
-        self.tags: Dict[str, object] = {}
+        #: whether scarecrow.dll is injected). Kept open-ended on purpose;
+        #: a :class:`TagDict` so writes reach the dirty-pid journal.
+        self.tags: Dict[str, object] = TagDict(self)
+
+    def _bump(self) -> None:
+        """Report a mutation of this process to the owning table's journal."""
+        table = self._table
+        if table is not None:
+            table._journal(self.pid)
+
+    def __getstate__(self) -> dict:
+        """Pickle without the table back-reference or the parent link.
+
+        The table would drag its listeners (bound machine methods) into
+        the blob; the parent would duplicate the whole ancestor chain in
+        every per-process snapshot blob. Both are re-linked from
+        ``parent_pid`` by :meth:`ProcessTable.restore` — a ``Process``
+        pickled *outside* its table keeps ``parent_pid`` but loses the
+        live ``parent`` object.
+        """
+        state = dict(self.__dict__)
+        state["parent"] = None
+        state["_table"] = None
+        return state
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -72,22 +154,26 @@ class Process:
     def terminate(self, exit_code: int = 0) -> None:
         self.state = ProcessState.TERMINATED
         self.exit_code = exit_code
+        self._bump()
 
     def suspend(self) -> None:
         if self.alive:
             self.state = ProcessState.SUSPENDED
             for thread in self.threads:
                 thread.suspended = True
+            self._bump()
 
     def resume(self) -> None:
         if self.alive:
             self.state = ProcessState.RUNNING
             for thread in self.threads:
                 thread.suspended = False
+            self._bump()
 
     def spawn_thread(self) -> Thread:
         thread = Thread(tid=next(self._tid_counter))
         self.threads.append(thread)
+        self._bump()
         return thread
 
     # -- lineage -------------------------------------------------------------
@@ -110,6 +196,25 @@ class ProcessTable:
         self._pid_counter = itertools.count(4, 4)
         self._create_listeners: List[Callable[[Process], None]] = []
         self._terminate_listeners: List[Callable[[Process], None]] = []
+        #: Mutation generation: advances on every table or process change
+        #: (and on restore), mirroring the tracked winsim subsystems.
+        self.mutations = 0
+        #: Dirty pids since the last :meth:`restore` — or ``None`` when
+        #: the journal cannot vouch for the divergence (never restored, or
+        #: overflowed past the cap).
+        self._dirty_pids: Optional[set] = None
+        #: Identity of the snapshot dict the last restore rewound to; the
+        #: journal only holds relative to that exact dict.
+        self._last_restored_state: Optional[dict] = None
+
+    def _journal(self, pid: int) -> None:
+        self.mutations += 1
+        journal = self._dirty_pids
+        if journal is None:
+            return
+        journal.add(pid)
+        if len(journal) > _JOURNAL_CAP:
+            self._dirty_pids = None
 
     # -- events (tracer taps) -------------------------------------------------
 
@@ -131,6 +236,8 @@ class ProcessTable:
         if suspended:
             process.suspend()
         self._by_pid[pid] = process
+        process._table = self
+        self._journal(pid)
         for callback in self._create_listeners:
             callback(process)
         return process
@@ -189,24 +296,62 @@ class ProcessTable:
 
     # -- snapshot / restore ----------------------------------------------------
 
-    def snapshot(self) -> bytes:
-        """Deep snapshot of every process (lineage, PEBs, counters) as a blob.
+    def snapshot(self) -> dict:
+        """Deep snapshot of every process, one pickle blob per pid.
 
         Listeners are deliberately excluded: they hold bound methods of the
         owning :class:`~repro.winsim.machine.Machine` and survive
         :meth:`restore` untouched, so a restored table keeps publishing to
-        the same event bus.
+        the same event bus. Per-pid blobs (parent links stripped, see
+        :meth:`Process.__getstate__`) are what make the dirty-pid splice
+        in :meth:`restore` possible: one touched process costs one small
+        ``pickle.loads`` instead of a whole-table rebuild.
         """
-        return pickle.dumps((self._by_pid, self._pid_counter),
-                            protocol=pickle.HIGHEST_PROTOCOL)
+        return {
+            "blobs": {pid: pickle.dumps(process,
+                                        protocol=pickle.HIGHEST_PROTOCOL)
+                      for pid, process in self._by_pid.items()},
+            "counter": pickle.dumps(self._pid_counter,
+                                    protocol=pickle.HIGHEST_PROTOCOL),
+        }
 
-    def restore(self, blob: bytes) -> None:
+    def restore(self, state: dict) -> None:
         """Reinstate a :meth:`snapshot`; safe to call repeatedly.
 
-        Each call deserialises fresh :class:`Process` objects, so mutations
-        made after one restore can never leak into the next.
+        With an intact dirty-pid journal and the identical snapshot dict
+        as the previous restore, only the touched pids are spliced back:
+        snapshot pids reload from their blob, pids absent from the
+        snapshot (spawned since) are dropped. Otherwise every process is
+        rebuilt. Template pids can never be re-spawned (the pid counter
+        is monotonic) and nothing removes a pid outside this method, so
+        in-place replacement already preserves the snapshot's insertion
+        order. Either way parent links and table back-references are then
+        re-attached from ``parent_pid``, restoring ancestor-chain
+        *identity* (``descendants`` compares with ``is``) even for clean
+        processes whose parent was reloaded.
         """
-        self._by_pid, self._pid_counter = pickle.loads(blob)
+        blobs = state["blobs"]
+        journal = self._dirty_pids
+        if journal is not None and state is self._last_restored_state:
+            for pid in journal:
+                blob = blobs.get(pid)
+                if blob is None:
+                    self._by_pid.pop(pid, None)
+                else:
+                    self._by_pid[pid] = pickle.loads(blob)
+        else:
+            self._by_pid = {pid: pickle.loads(blob)
+                            for pid, blob in blobs.items()}
+        self._pid_counter = pickle.loads(state["counter"])
+        by_pid = self._by_pid
+        for process in by_pid.values():
+            process._table = self
+            parent = by_pid.get(process.parent_pid)
+            if process.parent is not parent:
+                process.parent = parent
+        self.mutations += 1
+        self._last_restored_state = state
+        self._dirty_pids = set()
 
 
 #: Baseline processes present on any Windows 7 machine.

@@ -72,6 +72,20 @@ class RegistryValue:
     type: RegType
 
 
+def _load_subtree(node: "RegistryKey", blob: dict) -> None:
+    """Populate ``node`` from a snapshot blob, bypassing mutation
+    bookkeeping (callers detach the owner / rebuild detached subtrees).
+    Values and children land in snapshot order, which is what keeps a
+    spliced subtree byte-identical to a fully rebuilt one."""
+    for name, data, type_ in blob["values"]:
+        node._values[name.lower()] = RegistryValue(name, data,
+                                                   RegType(type_))
+    for child_blob in blob["children"]:
+        child = RegistryKey(child_blob["name"], parent=node)
+        node._children[child_blob["name"].lower()] = child
+        _load_subtree(child, child_blob)
+
+
 class RegistryKey:
     """One key node: case-insensitive children plus named values."""
 
@@ -80,6 +94,27 @@ class RegistryKey:
         self.parent = parent
         self._children: Dict[str, RegistryKey] = {}  # lower-case -> key
         self._values: Dict[str, RegistryValue] = {}  # lower-case -> value
+
+    def _bump(self, child: Optional[str] = None) -> None:
+        """Advance the owning registry's mutation generation, if any.
+
+        Keys materialized outside a hive (the deception engine's
+        standalone ghost chains) have no owning :class:`Registry` at their
+        root and record nothing. Alongside the counter the owner journals
+        the dirty key path — this key's own path for value changes, the
+        affected child's path (``child``) for structural changes — which
+        is what lets :meth:`Registry.restore` rewind only the touched
+        subtrees.
+        """
+        parts = [] if child is None else [child]
+        node: RegistryKey = self
+        while node.parent is not None:
+            parts.append(node.name.lower())
+            node = node.parent
+        owner = getattr(node, "_owner", None)
+        if owner is not None:
+            owner.mutations += 1
+            owner._journal(tuple(reversed(parts)))
 
     # -- structure ---------------------------------------------------------
 
@@ -91,10 +126,14 @@ class RegistryKey:
         if key is None:
             key = RegistryKey(name, parent=self)
             self._children[name.lower()] = key
+            self._bump(child=name.lower())
         return key
 
     def remove_child(self, name: str) -> bool:
-        return self._children.pop(name.lower(), None) is not None
+        removed = self._children.pop(name.lower(), None) is not None
+        if removed:
+            self._bump(child=name.lower())
+        return removed
 
     def subkey_names(self) -> List[str]:
         """Child key names in stable (insertion) order."""
@@ -109,12 +148,16 @@ class RegistryKey:
                   type_: Optional[RegType] = None) -> None:
         self._values[name.lower()] = RegistryValue(
             name, data, type_ if type_ is not None else default_type_for(data))
+        self._bump()
 
     def get_value(self, name: str) -> Optional[RegistryValue]:
         return self._values.get(name.lower())
 
     def delete_value(self, name: str) -> bool:
-        return self._values.pop(name.lower(), None) is not None
+        removed = self._values.pop(name.lower(), None) is not None
+        if removed:
+            self._bump()
+        return removed
 
     def value_names(self) -> List[str]:
         return [v.name for v in self._values.values()]
@@ -147,6 +190,13 @@ class RegistryKey:
         return f"<RegistryKey {self.path()!r} keys={len(self._children)} values={len(self._values)}>"
 
 
+#: Dirty-path journal capacity. A job that touches more key paths than
+#: this gets a full hive rebuild on restore — beyond a few dozen subtree
+#: splices the full rebuild is competitive anyway, and an unbounded
+#: journal would let a pathological job hoard memory.
+_JOURNAL_CAP = 64
+
+
 class Registry:
     """A full registry: four hives of :class:`RegistryKey` trees."""
 
@@ -157,8 +207,33 @@ class Registry:
         #: interesting ones and padding the rest keeps builds fast while
         #: the ``regSize`` wear-and-tear artifact stays meaningful).
         self.bulk_padding_bytes = 0
+        #: Mutation generation: advances on every structural or value
+        #: change (and on restore), the dirty-set signal delta-restore
+        #: (:class:`repro.parallel.template.MachineTemplate`) compares.
+        self.mutations = 0
+        #: Dirty key paths since the last :meth:`restore` (lower-cased
+        #: part tuples), or None when the journal cannot vouch for the
+        #: divergence (never restored yet, or overflowed ``_JOURNAL_CAP``).
+        self._dirty_paths: Optional[set] = None
+        #: The exact state dict the last restore rewound to. Path-granular
+        #: restore is only sound when rewinding to the *same* state the
+        #: journal diverged from, checked by identity.
+        self._last_restored_state: Optional[dict] = None
+        self._root._owner = self
         for hive in HIVES:
             self._root.ensure_child(hive)
+
+    def _journal(self, parts: tuple) -> None:
+        """Record a dirty key path (or invalidate on overflow)."""
+        journal = self._dirty_paths
+        if journal is None:
+            return
+        if not parts:
+            self._dirty_paths = None
+            return
+        journal.add(parts)
+        if len(journal) > _JOURNAL_CAP:
+            self._dirty_paths = None
 
     # -- resolution ----------------------------------------------------------
 
@@ -287,16 +362,86 @@ class Registry:
                 "bulk_padding": self.bulk_padding_bytes}
 
     def restore(self, state: dict) -> None:
-        def load(node: RegistryKey, blob: dict) -> None:
-            node._children.clear()
-            node._values.clear()
-            for name, data, type_ in blob["values"]:
-                node.set_value(name, data, RegType(type_))
-            for child_blob in blob["children"]:
-                child = node.ensure_child(child_blob["name"])
-                load(child, child_blob)
+        """Rewind the hive to ``state``.
 
-        load(self._root, state["tree"])
-        self.bulk_padding_bytes = state["bulk_padding"]
-        for hive in HIVES:
-            self._root.ensure_child(hive)
+        When the dirty-path journal is intact *and* ``state`` is the same
+        dict the previous restore rewound to (identity check — the
+        template restores the same captured state every checkout), only
+        the journaled subtrees are spliced back; anything else gets the
+        full rebuild. Both paths leave the hive — including subkey and
+        value insertion order — byte-identical to a full restore.
+        """
+        journal = self._dirty_paths
+        delta_ok = (journal is not None
+                    and state is self._last_restored_state)
+        # One generation bump for the whole rebuild: detaching the owner
+        # keeps the per-entry loads from walking the parent chain ~1400
+        # times (which would double the restore cost delta-restore exists
+        # to avoid).
+        del self._root._owner
+        try:
+            if delta_ok:
+                # Ancestors first: a rebuilt ancestor subtree already
+                # contains every descendant, so later (deeper) entries
+                # degrade to cheap no-ops.
+                for parts in sorted(journal, key=len):
+                    self._sync_path(state["tree"], parts)
+            else:
+                self._load_full(state["tree"])
+            self.bulk_padding_bytes = state["bulk_padding"]
+            for hive in HIVES:
+                self._root.ensure_child(hive)
+        finally:
+            self._root._owner = self
+            self.mutations += 1
+        self._last_restored_state = state
+        self._dirty_paths = set()
+
+    def _load_full(self, tree_blob: dict) -> None:
+        self._root._children.clear()
+        self._root._values.clear()
+        _load_subtree(self._root, tree_blob)
+
+    def _sync_path(self, tree_blob: dict, parts: tuple) -> None:
+        """Make the live tree at ``parts`` match the snapshot exactly."""
+        blob: Optional[dict] = tree_blob
+        parent_blob = tree_blob
+        for part in parts:
+            parent_blob = blob
+            blob = None
+            for child in parent_blob["children"]:
+                if child["name"].lower() == part:
+                    blob = child
+                    break
+            if blob is None:
+                break
+        node = self._root
+        for part in parts[:-1]:
+            nxt = node.child(part)
+            if nxt is None:
+                # A journaled ancestor already removed (or will rebuild)
+                # this branch; nothing to splice here.
+                return
+            node = nxt
+        last = parts[-1]
+        if blob is None:
+            node._children.pop(last, None)
+            return
+        existed = last in node._children
+        fresh = RegistryKey(blob["name"], parent=node)
+        _load_subtree(fresh, blob)
+        node._children[last] = fresh
+        if not existed:
+            # Re-adding a deleted key appends it to the parent's child
+            # dict; full restore would have placed it in snapshot order.
+            # Reorder so both paths emit identical snapshots (keys the
+            # snapshot does not know keep their relative order at the
+            # end until their own journal entries remove them).
+            order = {c["name"].lower(): i
+                     for i, c in enumerate(parent_blob["children"])}
+            big = len(order)
+            current = list(node._children)
+            rank = {k: (order.get(k, big), i)
+                    for i, k in enumerate(current)}
+            node._children = {k: node._children[k]
+                              for k in sorted(current, key=rank.get)}

@@ -31,6 +31,9 @@ class ServiceManager:
 
     def __init__(self) -> None:
         self._services: Dict[str, Service] = {}
+        #: Mutation generation: advances on every install/state change
+        #: (and on restore), the dirty-set signal delta-restore compares.
+        self.mutations = 0
 
     def install(self, name: str, display_name: Optional[str] = None,
                 image_path: str = "",
@@ -39,10 +42,14 @@ class ServiceManager:
                           image_path or f"C:\\Windows\\System32\\{name}.exe",
                           state)
         self._services[name.lower()] = service
+        self.mutations += 1
         return service
 
     def uninstall(self, name: str) -> bool:
-        return self._services.pop(name.lower(), None) is not None
+        removed = self._services.pop(name.lower(), None) is not None
+        if removed:
+            self.mutations += 1
+        return removed
 
     def get(self, name: str) -> Optional[Service]:
         return self._services.get(name.lower())
@@ -56,6 +63,7 @@ class ServiceManager:
         if service is None:
             return False
         service.state = ServiceState.RUNNING
+        self.mutations += 1
         return True
 
     def stop(self, name: str) -> bool:
@@ -64,6 +72,7 @@ class ServiceManager:
         if service is None:
             return False
         service.state = ServiceState.STOPPED
+        self.mutations += 1
         return True
 
     def is_running(self, name: str) -> bool:
@@ -82,3 +91,4 @@ class ServiceManager:
 
     def restore(self, state: dict) -> None:
         self._services = {k: dataclasses.replace(v) for k, v in state.items()}
+        self.mutations += 1

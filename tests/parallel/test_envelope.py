@@ -1,0 +1,135 @@
+"""Binary result envelopes — round-trip fidelity, corruption, size.
+
+The framed chunk format replaces per-entry pickle blobs on the pool's
+return path. Its contract: decode(encode(x)) is *pickle-byte* identical
+to x for every record type, any corruption raises
+:class:`~repro.parallel.envelope.EnvelopeError` instead of returning
+garbage, and the framed form is smaller than the naive pickled form it
+replaced.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.database import DeceptionDatabase
+from repro.malware.corpus import build_malgene_corpus
+from repro.malware.families import FamilySpec
+from repro.parallel.envelope import (ChunkHeader, EnvelopeError, SweepError,
+                                     decode_chunk, decode_record,
+                                     encode_chunk, encode_record)
+from repro.parallel.worker import (PairJob, execute_pair_job,
+                                   initialize_worker, reset_worker)
+from repro.telemetry.snapshot import MetricsSnapshot
+
+pytestmark = pytest.mark.delta
+
+SPEC = FamilySpec("Mixed", (("spawn_idp", 1), ("term_vm", 1),
+                            ("sleep_sbx", 1), ("fail_peb", 1)))
+
+
+@pytest.fixture(scope="module")
+def entries():
+    """Real sweep entries of both kinds, produced by the worker path."""
+    samples = build_malgene_corpus([SPEC])
+    initialize_worker("bare-metal-light", DeceptionDatabase().snapshot(),
+                      None, telemetry=True, template=True)
+    try:
+        produced = [execute_pair_job(PairJob(i, s))
+                    for i, s in enumerate(samples)]
+    finally:
+        reset_worker()
+    return produced
+
+
+HEADER = ChunkHeader(worker_pid=4242, shared_database=True,
+                     shared_template=True, delta_restores=7,
+                     full_restores=1, dirty_subsystems=12)
+
+
+def _via_pickled_transfer(record):
+    """What the parent would have held under the replaced wire format:
+    the record after one pickle round-trip across the process boundary."""
+    return pickle.loads(pickle.dumps(record))
+
+
+class TestRoundTrip:
+    def test_every_record_type_roundtrips_byte_identically(self, entries):
+        """Framed decode == pickled-transfer decode, in re-pickled bytes —
+        the parity the binary format owes the old per-entry pickle path."""
+        error = SweepError(index=9, sample_md5="f" * 32,
+                           error_type="RuntimeError", message="boom",
+                           traceback="tb", worker_pid=1, retry_count=2,
+                           metrics=MetricsSnapshot(counters={"a": 1}))
+        for record in [*entries, error, HEADER]:
+            decoded = decode_record(encode_record(record))
+            assert type(decoded) is type(record)
+            assert pickle.dumps(decoded) == \
+                pickle.dumps(_via_pickled_transfer(record))
+
+    def test_chunk_roundtrip_preserves_order_and_header(self, entries):
+        blob = encode_chunk(entries, HEADER)
+        decoded, header = decode_chunk(blob)
+        assert header == HEADER
+        assert [pickle.dumps(e) for e in decoded] == \
+            [pickle.dumps(_via_pickled_transfer(e)) for e in entries]
+
+    def test_empty_chunk_roundtrips(self):
+        decoded, header = decode_chunk(encode_chunk([], HEADER))
+        assert decoded == [] and header == HEADER
+
+
+class TestCorruption:
+    def test_bad_chunk_magic(self, entries):
+        blob = bytearray(encode_chunk(entries[:1], HEADER))
+        blob[0] ^= 0xFF
+        with pytest.raises(EnvelopeError, match="magic"):
+            decode_chunk(bytes(blob))
+
+    def test_truncated_chunk(self, entries):
+        blob = encode_chunk(entries[:1], HEADER)
+        with pytest.raises(EnvelopeError, match="truncated"):
+            decode_chunk(blob[:len(blob) // 2])
+
+    def test_payload_bitflip_fails_crc(self, entries):
+        blob = bytearray(encode_chunk(entries[:1], HEADER))
+        blob[-1] ^= 0x01  # last payload byte of the last frame
+        with pytest.raises(EnvelopeError, match="crc"):
+            decode_chunk(bytes(blob))
+
+    def test_trailing_garbage_is_rejected(self, entries):
+        blob = encode_chunk(entries[:1], HEADER)
+        with pytest.raises(EnvelopeError, match="trailing"):
+            decode_chunk(blob + b"\x00")
+
+    def test_record_type_tag_is_enforced(self):
+        framed = bytearray(encode_record(HEADER))
+        # Rewrite the type tag in place ("ChunkHeader" -> same-length junk).
+        tag = b"ChunkHeader"
+        index = bytes(framed).index(tag)
+        framed[index:index + len(tag)] = b"XhunkHeader"
+        with pytest.raises(EnvelopeError):
+            decode_record(bytes(framed))
+
+    def test_record_rejects_trailing_bytes(self):
+        with pytest.raises(EnvelopeError, match="trailing"):
+            decode_record(encode_record(HEADER) + b"!")
+
+
+class TestSize:
+    def test_binary_chunk_smaller_than_pickled_entries(self):
+        """The replaced wire format: one pickle blob per entry in a list.
+        On a 32-sample corpus the framed+compressed chunk must win."""
+        samples = build_malgene_corpus([SPEC]) * 8
+        assert len(samples) == 32
+        initialize_worker("bare-metal-light",
+                          DeceptionDatabase().snapshot(), None,
+                          telemetry=False, template=True)
+        try:
+            produced = [execute_pair_job(PairJob(i, s))
+                        for i, s in enumerate(samples)]
+        finally:
+            reset_worker()
+        pickled = sum(len(pickle.dumps(e)) for e in produced)
+        framed = len(encode_chunk(produced, HEADER))
+        assert framed < pickled, (framed, pickled)

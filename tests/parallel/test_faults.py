@@ -122,3 +122,132 @@ class TestRetry:
         result = ParallelSweep(max_workers=1, max_retries=0).run(samples)
         assert [e.sample_md5 for e in result.errors] == [samples[1].md5]
         assert result.errors[0].retry_count == 0
+
+
+# -- zero-copy faults: every shared-state shortcut must fail safe -------------
+
+@pytest.mark.delta
+class TestSpawnFallback:
+    """A spawn-start-method pool cannot inherit the fork-shared registry;
+    the sweep must fall back to pickled transfer and say so."""
+
+    @pytest.mark.slow
+    def test_spawn_pool_degrades_to_pickled_transfer(self, monkeypatch):
+        import multiprocessing
+
+        from repro.parallel import sweep as sweep_module
+        monkeypatch.setattr(sweep_module, "pool_context",
+                            lambda: multiprocessing.get_context("spawn"))
+        samples = build_malgene_corpus([SPEC])
+        result = ParallelSweep(max_workers=2, shared_state=True).run(samples)
+        assert result.used_process_pool
+        assert not result.errors
+        # Honest provenance: every chunk reports the fallback path.
+        assert result.chunk_headers
+        assert not result.shared_state_used
+        assert all(not h.shared_database and not h.shared_template
+                   for h in result.chunk_headers)
+        # And the rollup is still byte-identical to the serial run.
+        import pickle as _pickle
+        reference = ParallelSweep(max_workers=1).run(samples)
+        assert [_pickle.dumps(e) for e in result.canonical_entries()] == \
+            [_pickle.dumps(e) for e in reference.canonical_entries()]
+
+
+@pytest.mark.delta
+class TestCorruptedSharedRegistry:
+    """Bogus keys and poisoned registry entries must read as misses."""
+
+    def _run_jobs(self, keys):
+        import pickle as _pickle
+
+        from repro.core.database import DeceptionDatabase
+        from repro.parallel import canonical_entry
+        from repro.parallel.worker import (PairJob, _STATE,
+                                           execute_pair_job,
+                                           initialize_worker, reset_worker)
+        samples = build_malgene_corpus([SPEC])
+        blob = DeceptionDatabase().snapshot_bytes()
+        initialize_worker("bare-metal-light", blob, None, telemetry=False,
+                          template=True, delta=True, shared_keys=keys)
+        try:
+            flags = (_STATE["shared_database"], _STATE["shared_template"])
+            entries = [_pickle.dumps(canonical_entry(
+                execute_pair_job(PairJob(i, s))))
+                for i, s in enumerate(samples)]
+        finally:
+            reset_worker()
+        return flags, entries
+
+    def test_bogus_fingerprint_falls_back_honestly(self):
+        from repro.parallel.shared import SharedKeys
+        baseline_flags, baseline = self._run_jobs(SharedKeys())
+        assert baseline_flags == (False, False)
+        flags, entries = self._run_jobs(
+            SharedKeys(database="deadbeef:123", template="no-such-key"))
+        assert flags == (False, False)
+        assert entries == baseline
+
+    def test_poisoned_registry_value_is_refused(self):
+        """Right fingerprint, wrong object: type validation turns the hit
+        into a miss instead of handing a job a corrupted database."""
+        from repro.core.database import DeceptionDatabase
+        from repro.parallel import shared as shared_registry
+        from repro.parallel.shared import SharedKeys
+        blob = DeceptionDatabase().snapshot_bytes()
+        key = shared_registry.database_fingerprint(blob)
+        shared_registry.clear()
+        try:
+            shared_registry._REGISTRY[("database", key)] = {"not": "a db"}
+            shared_registry._REGISTRY[("template", "k")] = object()
+            flags, entries = self._run_jobs(
+                SharedKeys(database=key, template="k"))
+        finally:
+            shared_registry.clear()
+        assert flags == (False, False)
+        _, baseline = self._run_jobs(SharedKeys())
+        assert entries == baseline
+
+
+@pytest.mark.delta
+class TestUntrackedSubsystemFallback:
+    """A machine that snapshots state the generation counters do not
+    cover makes dirty-set restores unsound — the template must detect it
+    and fall back to full restores, with honest telemetry."""
+
+    def test_unknown_snapshot_key_forces_full_restores(self):
+        from repro.parallel import MachineTemplate
+        from repro.parallel.factories import resolve_machine_factory
+        from repro.telemetry.metrics import TELEMETRY
+
+        base = resolve_machine_factory("bare-metal-light")
+
+        def weird_factory():
+            machine = base()
+            original = machine.snapshot_state
+
+            def snapshot_state():
+                state = original()
+                state["sidecar"] = {"untracked": True}
+                return state
+            machine.snapshot_state = snapshot_state
+            return machine
+
+        template = MachineTemplate(weird_factory, delta=True)
+        template.build()
+        assert not template.delta_capable
+        machine = template.checkout()
+        machine.mutexes.create("Global\\x")
+        prior = TELEMETRY.enabled
+        TELEMETRY.enabled = True
+        try:
+            baseline = TELEMETRY.snapshot()
+            template.checkout()
+            delta = TELEMETRY.snapshot().diff_from(baseline)
+        finally:
+            TELEMETRY.enabled = prior
+        assert template.full_restore_count == 1
+        assert template.delta_restore_count == 0
+        assert delta.counters.get("parallel.delta_fallbacks") == 1
+        # The fallback restore is still a *correct* restore.
+        assert not machine.mutexes.exists("Global\\x")

@@ -13,6 +13,7 @@ detail (per-phase timings, 4-worker scaling).
 """
 
 import os
+import pickle
 
 import pytest
 
@@ -53,3 +54,34 @@ def test_pooled_sweep_beats_fresh_factory_serial():
         f"2-worker templated pool ran at {speedup:.3f}x the fresh-factory "
         f"serial path ({pooled_s:.4f}s vs {fresh_serial_s:.4f}s); "
         "templating + chunking should make the pool at least break even")
+
+
+@pytest.mark.perf
+@pytest.mark.slow
+def test_zero_copy_pool_vs_templated_serial():
+    """The zero-copy bar, keyed off the core count.
+
+    On a multi-core box the fork-shared, delta-restoring pool must match
+    or beat the *templated* serial path — the strictest reference, since
+    templated serial pays no dispatch tax at all. On a single core that
+    timing comparison is meaningless (workers time-slice one core), so
+    byte-parity of the rollup is the guarantee that must hold.
+    """
+    samples = build_malgene_corpus([GUARD_SPEC])
+
+    serial_s, serial = _wall_time(samples, max_workers=1, template=True)
+    pooled_s, pooled = _wall_time(samples, max_workers=2, template=True,
+                                  delta=True, shared_state=True)
+    assert pooled.used_process_pool
+
+    # Parity is unconditional: every mode, every core count.
+    assert [pickle.dumps(e) for e in pooled.canonical_entries()] == \
+        [pickle.dumps(e) for e in serial.canonical_entries()]
+
+    if (os.cpu_count() or 1) >= 2:
+        speedup = serial_s / pooled_s
+        assert speedup >= 1.0, (
+            f"zero-copy 2-worker pool ran at {speedup:.3f}x the templated "
+            f"serial path ({pooled_s:.4f}s vs {serial_s:.4f}s); "
+            "fork-shared bring-up + delta-restore should at least break "
+            "even against serial templating on >=2 cores")

@@ -185,6 +185,10 @@ class TestMarkerHygiene:
     #: Suite directories whose files must all carry the matching marker.
     MARKED_SUITES = ("telemetry", "staticcheck", "fleet")
 
+    #: Files outside a marker-named directory that still owe a marker.
+    DELTA_SUITE = ("parallel/test_delta_properties.py",
+                   "parallel/test_envelope.py")
+
     def _declared_markers(self):
         import re
         text = (self.REPO_ROOT / "pyproject.toml").read_text(
@@ -204,6 +208,30 @@ class TestMarkerHygiene:
         undeclared = self._used_markers() - self._declared_markers()
         assert undeclared == set(), \
             f"markers used but not declared in pyproject: {undeclared}"
+
+    def test_every_declared_marker_is_used(self):
+        """A declared marker nobody applies is documentation rot —
+        `-m <marker>` would silently select nothing."""
+        stale = self._declared_markers() - self._used_markers()
+        assert stale == set(), \
+            f"markers declared in pyproject but never applied: {stale}"
+
+    def test_unregistered_markers_fail_collection(self):
+        """--strict-markers turns a typo'd marker into a hard error
+        instead of a silently-never-selected test."""
+        text = (self.REPO_ROOT / "pyproject.toml").read_text(
+            encoding="utf-8")
+        addopts = text.split("addopts = ", 1)[1].splitlines()[0]
+        assert "--strict-markers" in addopts, \
+            "pyproject addopts must enforce --strict-markers"
+
+    def test_delta_suites_carry_the_delta_marker(self):
+        assert "delta" in self._declared_markers()
+        for rel in self.DELTA_SUITE:
+            text = (self.REPO_ROOT / "tests" / rel).read_text(
+                encoding="utf-8")
+            assert "pytestmark = pytest.mark.delta" in text, \
+                f"{rel} lacks the delta marker"
 
     def test_subsystem_suites_carry_their_marker(self):
         for suite in self.MARKED_SUITES:
