@@ -3,8 +3,8 @@
 The lint gate runs inside the tier-1 suite, so its cost is paid on every
 test invocation; this benchmark pins it down. It measures
 
-* a cold serial full-tree run (empty parse cache, all five checkers,
-  baseline applied),
+* a cold serial full-tree run (empty parse cache, all eight rules
+  including the whole-program call-graph passes, baseline applied),
 * a warm re-run (parse cache hot — the re-lint-after-edit case), and
 * a pooled run at two workers through the ``repro.parallel`` engine,
 

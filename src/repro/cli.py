@@ -21,7 +21,8 @@ Commands:
 * ``stats FILE`` — summarise a JSONL telemetry trace written by
   ``--telemetry`` (see docs/OBSERVABILITY.md);
 * ``lint [PATH ...]`` — run the scarelint static-analysis checkers
-  (SC001–SC005) and report unbaselined findings
+  (SC001–SC008, file- and whole-program-scope) and report unbaselined
+  findings
   (see docs/STATIC_ANALYSIS.md).
 
 Experiment commands (and ``sweep``) accept ``--telemetry PATH`` to record
@@ -417,21 +418,36 @@ def _print_fleet_health(fleet) -> None:
               f"({family_rate:.1%})")
 
 
+def _parse_rules(raw: str) -> tuple:
+    return tuple(sorted({part.strip().upper()
+                         for part in raw.split(",") if part.strip()}))
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .staticcheck import (load_or_empty, render_human, render_json,
                               run_lint, write_baseline)
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    select = _parse_rules(args.select)
+    ignore = _parse_rules(args.ignore)
     baseline = load_or_empty(args.baseline) if not args.no_baseline \
         else None
-    report = run_lint(args.paths, jobs=args.jobs, baseline=baseline)
+    report = run_lint(args.paths, jobs=args.jobs, baseline=baseline,
+                      select=select, ignore=ignore,
+                      changed_base=args.changed)
     if args.write_baseline:
+        if select or ignore or args.changed is not None:
+            print("lint: --write-baseline needs a full scan "
+                  "(no --select/--ignore/--changed)", file=sys.stderr)
+            return 2
         written = write_baseline(report.findings, args.baseline,
                                  suppressed=report.suppressed,
                                  reason=args.reason)
+        pruned = len(report.stale_suppressions)
         print(f"lint: wrote {len(written)} suppression(s) to "
-              f"{args.baseline}", file=sys.stderr)
+              f"{args.baseline} (pruned {pruned} dead "
+              f"entr{'y' if pruned == 1 else 'ies'})", file=sys.stderr)
         return 0
     if args.format == "json":
         print(render_json(report))
@@ -545,6 +561,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="reason recorded with --write-baseline entries")
     lint.add_argument("--jobs", type=int, default=1,
                       help="parallel lint workers (1 = in-process)")
+    lint.add_argument("--select", default="", metavar="RULE,RULE",
+                      help="run only these rule ids (e.g. SC006,SC008)")
+    lint.add_argument("--ignore", default="", metavar="RULE,RULE",
+                      help="skip these rule ids")
+    lint.add_argument("--changed", nargs="?", const="main", default=None,
+                      metavar="REF",
+                      help="lint only files differing from "
+                           "`git merge-base HEAD REF` (default REF: main) "
+                           "plus untracked files")
     _add_telemetry_option(lint)
     return parser
 

@@ -2,10 +2,16 @@
 
 Machine-checks the invariants the paper states and the rest of the tree
 assumes: the winsim substrate stays virtual-clock-deterministic (SC001)
-and entropy-free (SC002), the layer order holds and the import graph is
-acyclic (SC003), the 29-API hook contract of Section III-A resolves
-against real prologue-bearing exports with full handler coverage
-(SC004), and no layer silently swallows exceptions (SC005).
+and entropy-free (SC002) — both enforced at the import site (file scope)
+*and* through helper chains (whole-program taint) — the layer order
+holds and the import graph is acyclic (SC003), the 29-API hook contract
+of Section III-A resolves against real prologue-bearing exports with
+full handler coverage (SC004), no layer silently swallows exceptions
+(SC005), every tracked-subsystem mutation bumps its ``mutations``
+generation counter (SC006), nothing fork/pickle-unsafe crosses the
+worker boundary (SC007), and snapshot/restore pairs cover every
+attribute their class assigns (SC008). SC006–SC008 ride on the
+:mod:`repro.staticcheck.callgraph` whole-program dataflow layer.
 
 Entry points: ``repro lint`` (CLI), :func:`run_lint` (library),
 ``tests/test_hygiene.py`` (the in-tree zero-unbaselined-findings gate).
@@ -22,17 +28,21 @@ from .registry import (CheckerSpec, DETERMINISTIC_ZONES, ProjectContext,
                        all_checkers, checker, ensure_builtin_checkers,
                        file_checkers, get_checker, project_checker,
                        project_checkers)
-from .runner import (FileTaskResult, LintReport, collect_files, lint_file,
+from .callgraph import CallGraph, FunctionSummary, ModuleSummary
+from .runner import (FileTaskResult, LintReport, changed_files,
+                     collect_files, filter_checkers, lint_file,
                      render_human, render_json, run_lint, write_baseline)
 
 __all__ = [
-    "Baseline", "BaselineEntry", "BaselineFormatError", "CheckerSpec",
-    "DEFAULT_BASELINE_PATH", "DETERMINISTIC_ZONES", "FileContext",
-    "FileTaskResult", "Finding", "LintReport", "PARSE_CACHE",
-    "ParseCache", "ProjectContext", "SEVERITY_ERROR", "SEVERITY_WARNING",
-    "all_checkers", "build_context", "checker", "collect_files",
-    "ensure_builtin_checkers", "file_checkers", "get_checker",
-    "keyed_findings", "lint_file", "load_or_empty", "module_name_for",
-    "project_checker", "project_checkers", "render_human", "render_json",
-    "run_lint", "suppression_key", "write_baseline",
+    "Baseline", "BaselineEntry", "BaselineFormatError", "CallGraph",
+    "CheckerSpec", "DEFAULT_BASELINE_PATH", "DETERMINISTIC_ZONES",
+    "FileContext", "FileTaskResult", "Finding", "FunctionSummary",
+    "LintReport", "ModuleSummary", "PARSE_CACHE", "ParseCache",
+    "ProjectContext", "SEVERITY_ERROR", "SEVERITY_WARNING",
+    "all_checkers", "build_context", "changed_files", "checker",
+    "collect_files", "ensure_builtin_checkers", "file_checkers",
+    "filter_checkers", "get_checker", "keyed_findings", "lint_file",
+    "load_or_empty", "module_name_for", "project_checker",
+    "project_checkers", "render_human", "render_json", "run_lint",
+    "suppression_key", "write_baseline",
 ]

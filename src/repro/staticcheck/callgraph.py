@@ -1,0 +1,772 @@
+"""Whole-program call graph and per-function dataflow summaries.
+
+Scarelint v1 was strictly file-scope: every rule saw one AST at a time,
+so a zone function calling an out-of-zone wrapper around ``time.time()``
+— or a tracked-subsystem mutator whose ``mutations`` bump lives three
+helpers away — was invisible. This module is the project-wide layer the
+v2 rules (SC006–SC008, and the interprocedural SC001/SC002 upgrade in
+:mod:`repro.staticcheck.dataflow`) stand on:
+
+* **module resolution** — every scanned ``repro.*`` file's imports are
+  resolved to dotted module names (reusing the relative-import logic the
+  SC003 layering checker established), so cross-module call edges are
+  import-precise rather than name-guessed;
+* **per-function summaries** — one AST walk per function records its
+  self-attribute writes and reads, ``mutations``-counter bumps, call
+  sites, host-clock/entropy primitive reads, created fork/pickle-unsafe
+  resources, and return shape (nested functions and lambdas fold into
+  their enclosing function: a closure that reads the clock makes its
+  builder clock-reading, which is the semantics the taint rules want);
+* **fixpoint propagation** — :meth:`CallGraph.propagate` pushes any
+  seed property backwards over the call graph until stable, carrying a
+  deterministic witness string for the finding message.
+
+Resolution is deliberately asymmetric: cross-module edges exist *only*
+through imports (module aliases and from-imported symbols), while
+intra-module ``obj.method()`` calls fall back to class-hierarchy-lite
+(every same-module method of that name). Over-approximate edges are safe
+for the rules built here — they can only make a function look *more*
+covered (bump evidence, snapshot coverage) or be pruned by the
+out-of-zone filter (taint).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .cache import FileContext
+from .layering import _resolve_relative
+
+#: Host-clock primitive functions by module root (``None`` = any attr).
+#: ``random`` rides under the clock family to match file-scope SC001
+#: (``FORBIDDEN_TIME_MODULES``); seeded ``random.Random(x)`` construction
+#: is deterministic and deliberately NOT a primitive.
+CLOCK_FUNCS_BY_ROOT = {
+    "time": None,
+    "random": frozenset({
+        "random", "randint", "randrange", "randbytes", "choice", "choices",
+        "shuffle", "uniform", "sample", "getrandbits", "gauss", "seed",
+        "triangular", "betavariate", "expovariate", "normalvariate",
+        "lognormvariate", "paretovariate", "vonmisesvariate",
+        "weibullvariate",
+    }),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+}
+
+#: Host-entropy primitive functions by module root (``None`` = any attr).
+ENTROPY_FUNCS_BY_ROOT = {
+    "uuid": frozenset({"uuid1", "uuid4", "getnode"}),
+    "secrets": None,
+    "os": frozenset({"urandom"}),
+}
+
+#: Container-mutating method names: a call ``self.x.append(...)`` is a
+#: write to the contents of attribute ``x``.
+MUTATING_METHODS = frozenset({
+    "append", "add", "remove", "pop", "clear", "update", "discard",
+    "insert", "extend", "setdefault", "popitem", "appendleft", "extendleft",
+})
+
+#: ``module → {constructor names}`` whose instances do not survive the
+#: fork/pickle worker boundary (SC007's resource catalogue).
+_LOCK_MODULES = ("threading", "multiprocessing", "_thread")
+_LOCK_CTORS = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                         "BoundedSemaphore", "Event", "Barrier"})
+_FILE_CTORS = {("io", "open"), ("os", "fdopen"), ("gzip", "open"),
+               ("tempfile", "TemporaryFile"),
+               ("tempfile", "NamedTemporaryFile")}
+_FRAME_CTORS = {("sys", "_getframe"), ("inspect", "currentframe"),
+                ("inspect", "stack")}
+
+
+@dataclasses.dataclass(frozen=True)
+class CallSite:
+    """One call expression, with a resolution hint.
+
+    ``kind`` is how the callee expression was shaped:
+
+    * ``"self"`` — ``self.name(...)`` (first-argument receiver);
+    * ``"module"`` — ``alias.name(...)`` where ``alias`` imports a module
+      (``target`` holds its dotted name);
+    * ``"symbol"`` — ``NAME(...)`` where ``NAME`` was from-imported
+      (``target`` holds the defining module, ``name`` the symbol);
+    * ``"symbol-attr"`` — ``NAME.name(...)`` on a from-imported symbol
+      (a method call on an object defined in ``target``);
+    * ``"local"`` — a bare in-module call ``name(...)``;
+    * ``"dyn"`` — any other receiver (``x.name()``, ``f().name()``),
+      resolved class-hierarchy-lite within the same module.
+    """
+
+    kind: str
+    name: str
+    line: int
+    target: Optional[str] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class AttrWrite:
+    """One write to ``self.<attr>`` (or to its contents)."""
+
+    attr: str
+    line: int
+    #: ``"assign"``/``"aug"``/``"ann"`` create-or-rebind writes;
+    #: ``"item"`` subscript stores; ``"mutcall"`` mutating method calls;
+    #: ``"del"`` deletions.
+    via: str
+    #: Last dotted component of a constructor call on the right-hand side
+    #: (``self.registry = Registry()`` → ``"Registry"``), for class
+    #: resolution of tracked subsystems and tagged containers.
+    value_ctor: Optional[str] = None
+    #: The right-hand-side call, when the value is a call (resource
+    #: laundering propagates through it).
+    value_call: Optional[CallSite] = None
+    #: Fork/pickle-unsafe resource kind created directly on the
+    #: right-hand side (``"lock"``, ``"open-file"``, ``"generator"``,
+    #: ``"frame"``, ``"module-ref"``).
+    value_resource: Optional[str] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class GlobalAssign:
+    """One module-level name binding."""
+
+    name: str
+    line: int
+    #: ``"dict"``/``"list"``/``"set"``/``"deque"``/... when the value is
+    #: a mutable container expression, else None.
+    mutable_kind: Optional[str] = None
+    resource: Optional[str] = None
+    value_call: Optional[CallSite] = None
+
+
+@dataclasses.dataclass
+class FunctionSummary:
+    """Everything the dataflow rules want to know about one function."""
+
+    module: str
+    qualname: str                    #: ``"Registry.set_value"`` / ``"f"``
+    cls: Optional[str]
+    name: str
+    line: int
+    self_writes: List[AttrWrite] = dataclasses.field(default_factory=list)
+    self_reads: Set[str] = dataclasses.field(default_factory=set)
+    #: Writes any attribute named ``mutations`` on *any* receiver
+    #: (``self.mutations += 1`` and ``owner.mutations += 1`` both count).
+    bumps_mutations: bool = False
+    calls: List[CallSite] = dataclasses.field(default_factory=list)
+    #: ``(line, description)`` of direct host-clock reads.
+    clock_primitives: List[Tuple[int, str]] = \
+        dataclasses.field(default_factory=list)
+    #: ``(line, description)`` of direct host-entropy reads.
+    entropy_primitives: List[Tuple[int, str]] = \
+        dataclasses.field(default_factory=list)
+    #: Resource kinds appearing directly in ``return`` expressions.
+    returned_resources: List[Tuple[int, str]] = \
+        dataclasses.field(default_factory=list)
+    #: Calls appearing directly in ``return`` expressions (resource
+    #: laundering propagates through these).
+    return_calls: List[CallSite] = dataclasses.field(default_factory=list)
+    #: The function's own body yields (nested defs excluded).
+    is_generator: bool = False
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.module, self.qualname)
+
+    def merge(self, other: "FunctionSummary") -> None:
+        """Fold another summary in (property getter/setter pairs)."""
+        self.self_writes.extend(other.self_writes)
+        self.self_reads |= other.self_reads
+        self.bumps_mutations |= other.bumps_mutations
+        self.calls.extend(other.calls)
+        self.clock_primitives.extend(other.clock_primitives)
+        self.entropy_primitives.extend(other.entropy_primitives)
+        self.returned_resources.extend(other.returned_resources)
+        self.return_calls.extend(other.return_calls)
+        self.is_generator |= other.is_generator
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class: its methods plus statically-readable class constants."""
+
+    name: str
+    line: int
+    bases: List[str]
+    methods: Set[str] = dataclasses.field(default_factory=set)
+    #: Class-level ``NAME = ("a", "b")`` string tuples (markers such as
+    #: ``_SNAPSHOT_EXEMPT`` live here).
+    constants: Dict[str, Tuple[str, ...]] = \
+        dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class ModuleSummary:
+    """Per-module view: functions, classes, imports, globals."""
+
+    module: str
+    path: str
+    functions: Dict[str, FunctionSummary] = \
+        dataclasses.field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = dataclasses.field(default_factory=dict)
+    #: local name → ``(dotted module, symbol-or-None)``.
+    imports: Dict[str, Tuple[str, Optional[str]]] = \
+        dataclasses.field(default_factory=dict)
+    global_assigns: List[GlobalAssign] = \
+        dataclasses.field(default_factory=list)
+    #: Module-level ``NAME = ("a", ...)`` string tuples.
+    constants: Dict[str, Tuple[str, ...]] = \
+        dataclasses.field(default_factory=dict)
+    #: methods-by-name index for class-hierarchy-lite resolution.
+    methods_by_name: Dict[str, List[str]] = \
+        dataclasses.field(default_factory=dict)
+
+
+def _dotted_tail(expr: ast.expr) -> Optional[str]:
+    """``Name``/``Attribute`` chain rendered dotted, else None."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _string_tuple(expr: ast.expr) -> Optional[Tuple[str, ...]]:
+    """The value of a tuple/list of string constants, else None."""
+    if not isinstance(expr, (ast.Tuple, ast.List)):
+        return None
+    items = []
+    for element in expr.elts:
+        if not isinstance(element, ast.Constant) or \
+                not isinstance(element.value, str):
+            return None
+        items.append(element.value)
+    return tuple(items)
+
+
+def _mutable_kind(expr: ast.expr) -> Optional[str]:
+    """Mutable-container kind of a module-level value expression."""
+    if isinstance(expr, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(expr, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(expr, ast.Call):
+        callee = _dotted_tail(expr.func)
+        if callee is None:
+            return None
+        tail = callee.split(".")[-1]
+        if tail in ("dict", "list", "set", "defaultdict", "deque",
+                    "Counter", "OrderedDict", "bytearray"):
+            return tail
+    return None
+
+
+class _FunctionVisitor:
+    """One pass over a function body, nested defs folded in."""
+
+    def __init__(self, summary: FunctionSummary, self_name: Optional[str],
+                 builder: "_ModuleBuilder") -> None:
+        self.summary = summary
+        self.self_name = self_name
+        self.builder = builder
+
+    # -- value classification -------------------------------------------------
+
+    def classify_resource(self, expr: ast.expr) -> Optional[str]:
+        """Fork/pickle-unsafe resource kind created by ``expr``."""
+        if isinstance(expr, ast.GeneratorExp):
+            return "generator"
+        if isinstance(expr, ast.Name):
+            target = self.builder.imports.get(expr.id)
+            if target is not None and target[1] is None:
+                return "module-ref"
+            return None
+        if not isinstance(expr, ast.Call):
+            return None
+        func = expr.func
+        if isinstance(func, ast.Name):
+            target = self.builder.imports.get(func.id)
+            if func.id == "open" and target is None:
+                return "open-file"
+            if target is not None and target[1] is not None:
+                root = target[0].split(".")[0]
+                if root in _LOCK_MODULES and target[1] in _LOCK_CTORS:
+                    return "lock"
+                if (root, target[1]) in _FILE_CTORS | _FRAME_CTORS:
+                    return ("frame" if (root, target[1]) in _FRAME_CTORS
+                            else "open-file")
+            return None
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name):
+            target = self.builder.imports.get(func.value.id)
+            if target is None or target[1] is not None:
+                return None
+            root = target[0].split(".")[0]
+            if root in _LOCK_MODULES and func.attr in _LOCK_CTORS:
+                return "lock"
+            if (root, func.attr) in _FILE_CTORS:
+                return "open-file"
+            if (root, func.attr) in _FRAME_CTORS:
+                return "frame"
+        return None
+
+    def _call_site(self, call: ast.Call) -> Optional[CallSite]:
+        func = call.func
+        line = call.lineno
+        if isinstance(func, ast.Name):
+            target = self.builder.imports.get(func.id)
+            if target is not None and target[1] is not None:
+                return CallSite("symbol", target[1], line, target[0])
+            if target is not None:
+                return None                   # calling a module object
+            return CallSite("local", func.id, line)
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name):
+                if value.id == self.self_name and self.self_name:
+                    return CallSite("self", func.attr, line)
+                target = self.builder.imports.get(value.id)
+                if target is not None and target[1] is None:
+                    return CallSite("module", func.attr, line, target[0])
+                if target is not None:
+                    return CallSite("symbol-attr", func.attr, line,
+                                    target[0])
+            return CallSite("dyn", func.attr, line)
+        return None
+
+    def _record_primitive(self, call: ast.Call) -> None:
+        func = call.func
+        line = call.lineno
+        if isinstance(func, ast.Name):
+            if func.id == "hash" and call.args and \
+                    func.id not in self.builder.imports:
+                self.summary.entropy_primitives.append((line, "hash()"))
+                return
+            target = self.builder.imports.get(func.id)
+            if target is None or target[1] is None:
+                return
+            self._classify_primitive(target[0].split(".")[0], target[1],
+                                     bool(call.args), line,
+                                     f"{target[0]}.{target[1]}()")
+            return
+        dotted = _dotted_tail(func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if len(parts) < 2:
+            return
+        target = self.builder.imports.get(parts[0])
+        if target is None:
+            return
+        self._classify_primitive(target[0].split(".")[0], parts[-1],
+                                 bool(call.args), line,
+                                 f"{target[0]}.{'.'.join(parts[1:])}()")
+
+    def _classify_primitive(self, root: str, attr: str, has_args: bool,
+                            line: int, desc: str) -> None:
+        # Unseeded Random() draws its seed from the OS; seeded is fine.
+        if root == "random" and attr in ("Random", "SystemRandom"):
+            if attr == "SystemRandom" or not has_args:
+                self.summary.entropy_primitives.append((line, desc))
+            return
+        clock = CLOCK_FUNCS_BY_ROOT.get(root)
+        if root in CLOCK_FUNCS_BY_ROOT and (clock is None or attr in clock):
+            self.summary.clock_primitives.append((line, desc))
+            return
+        entropy = ENTROPY_FUNCS_BY_ROOT.get(root)
+        if root in ENTROPY_FUNCS_BY_ROOT and \
+                (entropy is None or attr in entropy):
+            self.summary.entropy_primitives.append((line, desc))
+
+    # -- write extraction -----------------------------------------------------
+
+    def _attr_write(self, target: ast.expr, via: str,
+                    value: Optional[ast.expr]) -> None:
+        """Record a write through ``target`` (attribute or subscript)."""
+        node = target
+        if isinstance(node, ast.Subscript):
+            via = "item"
+            node = node.value
+        if not isinstance(node, ast.Attribute):
+            return
+        # Walk attribute chains to the rooting name: ``self.a.b`` and
+        # ``self.a[k]`` are both content writes to ``a``.
+        chain: List[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return
+        attr = chain[-1]
+        if chain[0] == "mutations":
+            self.summary.bumps_mutations = True
+        if node.id != self.self_name or not self.self_name:
+            return
+        if len(chain) > 1:
+            via = "item"                      # content write, not rebind
+        ctor = None
+        value_call = None
+        resource = None
+        if value is not None:
+            if isinstance(value, ast.Call):
+                dotted = _dotted_tail(value.func)
+                ctor = dotted.split(".")[-1] if dotted else None
+                value_call = self._call_site(value)
+            resource = self.classify_resource(value)
+        self.summary.self_writes.append(AttrWrite(
+            attr=attr, line=target.lineno, via=via, value_ctor=ctor,
+            value_call=value_call, value_resource=resource))
+
+    # -- traversal -----------------------------------------------------------
+
+    def visit(self, body: Sequence[ast.stmt]) -> None:
+        for node in body:
+            for child in ast.walk(node):
+                self._inspect(child)
+        self.summary.is_generator = self._own_body_yields(body)
+
+    def _own_body_yields(self, body: Sequence[ast.stmt]) -> bool:
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue                       # nested scope's yields
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            stack.extend(ast.iter_child_nodes(node))
+        return False
+
+    def _inspect(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in (target.elts
+                             if isinstance(target, ast.Tuple)
+                             else [target]):
+                    self._attr_write(leaf, "assign", node.value)
+        elif isinstance(node, ast.AugAssign):
+            self._attr_write(node.target, "aug", node.value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            self._attr_write(node.target, "ann", node.value)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._attr_write(target, "del", None)
+        elif isinstance(node, ast.Call):
+            self._record_primitive(node)
+            site = self._call_site(node)
+            if site is not None:
+                self.summary.calls.append(site)
+            func = node.func
+            if isinstance(func, ast.Attribute) and \
+                    func.attr in MUTATING_METHODS:
+                self._attr_write(func.value, "mutcall", None)
+        elif isinstance(node, ast.Attribute) and \
+                isinstance(node.ctx, ast.Load) and \
+                isinstance(node.value, ast.Name) and \
+                node.value.id == self.self_name and self.self_name:
+            self.summary.self_reads.add(node.attr)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            resource = self.classify_resource(node.value)
+            if resource is not None:
+                self.summary.returned_resources.append(
+                    (node.lineno, resource))
+            if isinstance(node.value, ast.Call):
+                site = self._call_site(node.value)
+                if site is not None:
+                    self.summary.return_calls.append(site)
+
+
+class _ModuleBuilder:
+    """Builds one :class:`ModuleSummary` from a parsed file."""
+
+    def __init__(self, ctx: FileContext,
+                 known_modules: Set[str]) -> None:
+        self.ctx = ctx
+        self.known = known_modules
+        self.imports: Dict[str, Tuple[str, Optional[str]]] = {}
+        self.summary = ModuleSummary(module=ctx.module or "",
+                                     path=ctx.path)
+
+    def build(self) -> ModuleSummary:
+        tree = self.ctx.tree
+        assert tree is not None
+        self._collect_imports(tree)
+        self.summary.imports = self.imports
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(node, cls=None)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(node)
+            elif isinstance(node, ast.Assign) and \
+                    len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name):
+                self._add_global(node.targets[0].id, node)
+            elif isinstance(node, ast.AnnAssign) and \
+                    isinstance(node.target, ast.Name) and \
+                    node.value is not None:
+                self._add_global(node.target.id, node)
+        for qualname, fn in self.summary.functions.items():
+            if fn.cls is not None:
+                self.summary.methods_by_name.setdefault(
+                    fn.name, []).append(qualname)
+        return self.summary
+
+    def _collect_imports(self, tree: ast.AST) -> None:
+        is_package = self.ctx.path.endswith("__init__.py")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = (alias.name, None)
+                    else:
+                        root = alias.name.split(".")[0]
+                        self.imports.setdefault(root, (root, None))
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0:
+                    base = node.module
+                else:
+                    base = _resolve_relative(self.ctx.module or "",
+                                             is_package, node.level,
+                                             node.module)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    submodule = f"{base}.{alias.name}"
+                    if submodule in self.known:
+                        self.imports[local] = (submodule, None)
+                    else:
+                        self.imports[local] = (base, alias.name)
+
+    def _add_function(self, node: ast.AST, cls: Optional[str]) -> None:
+        name = node.name
+        qualname = f"{cls}.{name}" if cls else name
+        args = node.args
+        self_name = None
+        if cls is not None and (args.posonlyargs or args.args):
+            first = (args.posonlyargs or args.args)[0]
+            self_name = first.arg
+        summary = FunctionSummary(module=self.summary.module,
+                                  qualname=qualname, cls=cls, name=name,
+                                  line=node.lineno)
+        _FunctionVisitor(summary, self_name, self).visit(node.body)
+        existing = self.summary.functions.get(qualname)
+        if existing is not None:       # property getter/setter pair
+            existing.merge(summary)
+        else:
+            self.summary.functions[qualname] = summary
+
+    def _add_class(self, node: ast.ClassDef) -> None:
+        info = ClassInfo(name=node.name, line=node.lineno,
+                         bases=[b for b in
+                                (_dotted_tail(base) for base in node.bases)
+                                if b is not None])
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods.add(child.name)
+                self._add_function(child, cls=node.name)
+            elif isinstance(child, ast.Assign) and \
+                    len(child.targets) == 1 and \
+                    isinstance(child.targets[0], ast.Name):
+                values = _string_tuple(child.value)
+                if values is not None:
+                    info.constants[child.targets[0].id] = values
+        self.summary.classes[node.name] = info
+
+    def _add_global(self, name: str, node: ast.stmt) -> None:
+        value = node.value
+        values = _string_tuple(value)
+        if values is not None:
+            self.summary.constants[name] = values
+        visitor = _FunctionVisitor(
+            FunctionSummary(module=self.summary.module, qualname=name,
+                            cls=None, name=name, line=node.lineno),
+            None, self)
+        value_call = (visitor._call_site(value)
+                      if isinstance(value, ast.Call) else None)
+        self.summary.global_assigns.append(GlobalAssign(
+            name=name, line=node.lineno, mutable_kind=_mutable_kind(value),
+            resource=visitor.classify_resource(value),
+            value_call=value_call))
+
+
+class CallGraph:
+    """Project-wide summaries plus call resolution and fixpoints."""
+
+    def __init__(self, files: Sequence[FileContext]) -> None:
+        known = {ctx.module for ctx in files if ctx.module is not None}
+        self.modules: Dict[str, ModuleSummary] = {}
+        for ctx in files:
+            if ctx.module is None or ctx.tree is None:
+                continue
+            self.modules[ctx.module] = _ModuleBuilder(ctx, known).build()
+        self._resolved: Dict[Tuple[str, str],
+                             List[Tuple[Tuple[str, str], CallSite]]] = {}
+
+    # -- lookup ---------------------------------------------------------------
+
+    def function(self, module: str,
+                 qualname: str) -> Optional[FunctionSummary]:
+        mod = self.modules.get(module)
+        return mod.functions.get(qualname) if mod else None
+
+    def functions(self) -> Iterable[FunctionSummary]:
+        for module in sorted(self.modules):
+            mod = self.modules[module]
+            for qualname in sorted(mod.functions):
+                yield mod.functions[qualname]
+
+    def class_info(self, module: str, name: str) -> Optional[ClassInfo]:
+        mod = self.modules.get(module)
+        return mod.classes.get(name) if mod else None
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve(self, fn: FunctionSummary,
+                call: CallSite) -> List[FunctionSummary]:
+        """Best-effort callee summaries for one call site."""
+        mod = self.modules.get(fn.module)
+        if mod is None:
+            return []
+        out: List[FunctionSummary] = []
+        if call.kind == "self" and fn.cls is not None:
+            resolved = self._resolve_method(mod, fn.cls, call.name)
+            if resolved is not None:
+                return [resolved]
+            return self._methods_named(mod, call.name)
+        if call.kind == "local":
+            local = mod.functions.get(call.name)
+            if local is not None:
+                return [local]
+            if call.name in mod.classes:
+                ctor = mod.functions.get(f"{call.name}.__init__")
+                return [ctor] if ctor is not None else []
+            return []
+        if call.kind == "symbol":
+            target = self.modules.get(call.target or "")
+            if target is None:
+                return []
+            symbol = target.functions.get(call.name)
+            if symbol is not None:
+                return [symbol]
+            if call.name in target.classes:
+                ctor = target.functions.get(f"{call.name}.__init__")
+                return [ctor] if ctor is not None else []
+            return []
+        if call.kind == "module":
+            target = self.modules.get(call.target or "")
+            if target is None:
+                return []
+            symbol = target.functions.get(call.name)
+            if symbol is not None:
+                return [symbol]
+            if call.name in target.classes:
+                ctor = target.functions.get(f"{call.name}.__init__")
+                return [ctor] if ctor is not None else []
+            return []
+        if call.kind == "symbol-attr":
+            target = self.modules.get(call.target or "")
+            if target is None:
+                return []
+            return self._methods_named(target, call.name)
+        if call.kind == "dyn":
+            return self._methods_named(mod, call.name)
+        return []
+
+    def _resolve_method(self, mod: ModuleSummary, cls: str,
+                        name: str) -> Optional[FunctionSummary]:
+        """``self.name`` against the class, then same-module bases."""
+        seen: Set[str] = set()
+        current: Optional[str] = cls
+        while current is not None and current not in seen:
+            seen.add(current)
+            info = mod.classes.get(current)
+            if info is None:
+                return None
+            if name in info.methods:
+                return mod.functions.get(f"{current}.{name}")
+            current = info.bases[0] if info.bases else None
+        return None
+
+    def _methods_named(self, mod: ModuleSummary,
+                       name: str) -> List[FunctionSummary]:
+        return [mod.functions[qualname]
+                for qualname in mod.methods_by_name.get(name, [])]
+
+    def resolved_calls(self, fn: FunctionSummary
+                       ) -> List[Tuple[Tuple[str, str], CallSite]]:
+        """Memoised ``(callee key, call site)`` pairs for ``fn``."""
+        cached = self._resolved.get(fn.key)
+        if cached is None:
+            cached = []
+            for call in fn.calls:
+                for callee in self.resolve(fn, call):
+                    cached.append((callee.key, call))
+            self._resolved[fn.key] = cached
+        return cached
+
+    # -- fixpoint -------------------------------------------------------------
+
+    def propagate(self, seeds: Dict[Tuple[str, str], str]
+                  ) -> Dict[Tuple[str, str], str]:
+        """Backward closure of a seed property over the call graph.
+
+        ``seeds`` maps function keys to witness strings. Returns the map
+        extended to every function whose call closure reaches a seed;
+        the witness is inherited deterministically (first over sorted
+        callers, smallest witness on ties).
+        """
+        marked = dict(seeds)
+        ordered = list(self.functions())
+        changed = True
+        while changed:
+            changed = False
+            for fn in ordered:
+                if fn.key in marked:
+                    continue
+                witnesses = sorted(
+                    marked[callee_key]
+                    for callee_key, _ in self.resolved_calls(fn)
+                    if callee_key in marked)
+                if witnesses:
+                    marked[fn.key] = witnesses[0]
+                    changed = True
+        return marked
+
+    def closure(self, fn: FunctionSummary,
+                same_class_only: bool = False
+                ) -> List[FunctionSummary]:
+        """Functions reachable from ``fn`` (itself included), BFS order.
+
+        ``same_class_only`` restricts traversal to ``self.*`` calls
+        resolved within ``fn``'s own class — the coverage closure SC008
+        uses, where every reached ``self`` is provably the same object.
+        """
+        seen: Set[Tuple[str, str]] = {fn.key}
+        order = [fn]
+        queue = [fn]
+        while queue:
+            current = queue.pop(0)
+            for callee_key, call in self.resolved_calls(current):
+                if same_class_only and (call.kind != "self" or
+                                        callee_key[0] != fn.module):
+                    continue
+                if callee_key in seen:
+                    continue
+                callee = self.function(*callee_key)
+                if callee is None:
+                    continue
+                if same_class_only and callee.cls != fn.cls:
+                    continue
+                seen.add(callee_key)
+                order.append(callee)
+                queue.append(callee)
+        return order

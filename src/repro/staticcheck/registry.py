@@ -83,15 +83,19 @@ class CheckerSpec:
                    for zone in self.zones)
 
 
-_REGISTRY: Dict[str, CheckerSpec] = {}
+# Keyed on (rule, scope): a rule id may have both a file-scope checker
+# (direct primitive use, v1) and a project-scope one (taint through
+# helpers, v2) — SC001/SC002 have exactly that split.
+_REGISTRY: Dict[Tuple[str, str], CheckerSpec] = {}
 
 
 def register(spec: CheckerSpec) -> CheckerSpec:
-    if spec.rule in _REGISTRY:
-        raise ValueError(f"duplicate checker rule {spec.rule}")
     if spec.scope not in ("file", "project"):
         raise ValueError(f"unknown checker scope {spec.scope!r}")
-    _REGISTRY[spec.rule] = spec
+    if (spec.rule, spec.scope) in _REGISTRY:
+        raise ValueError(
+            f"duplicate {spec.scope}-scope checker rule {spec.rule}")
+    _REGISTRY[(spec.rule, spec.scope)] = spec
     return spec
 
 
@@ -123,17 +127,25 @@ def project_checker(rule: str, name: str, description: str
 
 def ensure_builtin_checkers() -> None:
     """Import the in-tree checker modules (idempotent)."""
-    from . import checkers, contract, layering  # noqa: F401
+    from . import checkers, contract, dataflow, layering  # noqa: F401
 
 
 def all_checkers() -> List[CheckerSpec]:
     ensure_builtin_checkers()
-    return sorted(_REGISTRY.values(), key=lambda spec: spec.rule)
+    return sorted(_REGISTRY.values(),
+                  key=lambda spec: (spec.rule, spec.scope))
 
 
-def get_checker(rule: str) -> CheckerSpec:
+def get_checker(rule: str, scope: Optional[str] = None) -> CheckerSpec:
+    """Look up a checker; with ``scope=None`` file-scope wins ties."""
     ensure_builtin_checkers()
-    return _REGISTRY[rule]
+    if scope is not None:
+        return _REGISTRY[(rule, scope)]
+    for preferred in ("file", "project"):
+        spec = _REGISTRY.get((rule, preferred))
+        if spec is not None:
+            return spec
+    raise KeyError(rule)
 
 
 def file_checkers() -> List[CheckerSpec]:

@@ -18,12 +18,13 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import subprocess
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..telemetry.metrics import TELEMETRY
 from .baseline import Baseline, BaselineEntry, load_or_empty
-from .cache import PARSE_CACHE, FileContext
+from .cache import PARSE_CACHE, FileContext, normalize_path
 from .finding import Finding
 from .registry import (CheckerSpec, ProjectContext, all_checkers,
                        file_checkers, project_checkers)
@@ -44,6 +45,9 @@ class LintReport:
 
     findings: List[Finding]              #: unbaselined, sorted
     suppressed: List[Finding]            #: matched a baseline key
+    #: Dead baseline entries: suppressions matching no current finding.
+    #: Only populated by full (unfiltered) scans — a --select/--changed
+    #: run sees too few findings to judge the baseline.
     stale_suppressions: List[BaselineEntry]
     files_scanned: int
     rule_ns: Dict[str, int]              #: cumulative host-ns per rule
@@ -53,7 +57,14 @@ class LintReport:
     def exit_code(self) -> int:
         return 1 if self.findings else 0
 
+    @property
+    def dead_baseline_entries(self) -> List[BaselineEntry]:
+        return self.stale_suppressions
+
     def to_dict(self) -> Dict[str, object]:
+        rules: Dict[str, str] = {}
+        for spec in all_checkers():      # file-scope description wins
+            rules.setdefault(spec.rule, spec.description)
         return {
             "version": 1,
             "files_scanned": self.files_scanned,
@@ -61,8 +72,7 @@ class LintReport:
             "suppressed": len(self.suppressed),
             "stale_suppressions": [e.to_dict()
                                    for e in self.stale_suppressions],
-            "rules": {spec.rule: spec.description
-                      for spec in all_checkers()},
+            "rules": rules,
             "wall_time_s": round(self.wall_time_s, 4),
         }
 
@@ -82,15 +92,33 @@ def collect_files(paths: Sequence[str]) -> List[str]:
     return sorted(dict.fromkeys(files))
 
 
+def rule_allowed(rule: str, select: Sequence[str] = (),
+                 ignore: Sequence[str] = ()) -> bool:
+    if select and rule not in select:
+        return False
+    return rule not in ignore
+
+
+def filter_checkers(specs: Sequence[CheckerSpec],
+                    select: Sequence[str] = (),
+                    ignore: Sequence[str] = ()) -> List[CheckerSpec]:
+    """Apply ``--select``/``--ignore`` rule-id filtering."""
+    return [spec for spec in specs
+            if rule_allowed(spec.rule, select, ignore)]
+
+
 def lint_file(context: FileContext,
-              checkers: Optional[Sequence[CheckerSpec]] = None
-              ) -> FileTaskResult:
+              checkers: Optional[Sequence[CheckerSpec]] = None,
+              select: Sequence[str] = (),
+              ignore: Sequence[str] = ()) -> FileTaskResult:
     """Run every applicable file-scope checker over one parsed file."""
     findings: List[Finding] = []
     rule_ns: Dict[str, int] = {}
-    if context.parse_error is not None:
+    if context.parse_error is not None and \
+            rule_allowed(context.parse_error.rule, select, ignore):
         findings.append(context.parse_error)
-    for spec in (file_checkers() if checkers is None else checkers):
+    specs = file_checkers() if checkers is None else checkers
+    for spec in filter_checkers(specs, select, ignore):
         if not spec.applies_to(context.module):
             continue
         started = time.perf_counter_ns()
@@ -101,23 +129,59 @@ def lint_file(context: FileContext,
                           rule_ns=rule_ns)
 
 
-def _lint_file_task(path: str) -> FileTaskResult:
+def _lint_file_task(path: str, select: Tuple[str, ...] = (),
+                    ignore: Tuple[str, ...] = ()) -> FileTaskResult:
     """Module-level worker entry (picklable for the process pool)."""
-    return lint_file(PARSE_CACHE.get(path))
+    return lint_file(PARSE_CACHE.get(path), select=select, ignore=ignore)
+
+
+def changed_files(base: str = "main") -> Optional[Set[str]]:
+    """Normalized paths differing from ``git merge-base HEAD <base>``.
+
+    Includes uncommitted modifications and untracked files. Returns
+    ``None`` when git is unavailable or the ref does not resolve, in
+    which case ``--changed`` falls open to a full lint.
+    """
+
+    def git(*args: str) -> str:
+        proc = subprocess.run(["git", *args], capture_output=True,
+                              text=True, check=True)
+        return proc.stdout
+
+    try:
+        merge_base = git("merge-base", "HEAD", base).strip()
+        listed = git("diff", "--name-only", merge_base).splitlines()
+        listed += git("ls-files", "--others",
+                      "--exclude-standard").splitlines()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return {normalize_path(path) for path in listed if path.strip()}
 
 
 def run_lint(paths: Sequence[str], jobs: int = 1,
              baseline: Optional[Baseline] = None,
-             baseline_path: Optional[str] = None) -> LintReport:
+             baseline_path: Optional[str] = None,
+             select: Sequence[str] = (),
+             ignore: Sequence[str] = (),
+             changed_base: Optional[str] = None) -> LintReport:
     """Lint ``paths``; see the module docstring for the pipeline."""
     from ..parallel.sweep import run_tasks  # deferred: parallel is heavier
     started = time.perf_counter()
+    select = tuple(select)
+    ignore = tuple(ignore)
     files = collect_files(paths)
+    changed: Optional[Set[str]] = None
+    if changed_base is not None:
+        changed = changed_files(changed_base)
+        if changed is not None:
+            files = [path for path in files
+                     if normalize_path(path) in changed]
     if baseline is None:
         baseline = (load_or_empty(baseline_path)
                     if baseline_path else Baseline())
 
-    tasks = [(path, _lint_file_task, (path,)) for path in files]
+    tasks = [(path, _lint_file_task, (path, select, ignore))
+             for path in files]
     results = run_tasks(tasks, max_workers=max(1, jobs))
 
     findings: List[Finding] = []
@@ -137,7 +201,7 @@ def run_lint(paths: Sequence[str], jobs: int = 1,
 
     contexts = [PARSE_CACHE.get(path) for path in files]
     project_ctx = ProjectContext(files=contexts)
-    for spec in project_checkers():
+    for spec in filter_checkers(project_checkers(), select, ignore):
         stage_start = time.perf_counter_ns()
         findings.extend(spec.fn(project_ctx))
         rule_ns[spec.rule] = rule_ns.get(spec.rule, 0) + \
@@ -145,6 +209,10 @@ def run_lint(paths: Sequence[str], jobs: int = 1,
 
     kept, suppressed, stale = baseline.apply(findings)
     kept.sort(key=Finding.sort_key)
+    # A filtered or changed-only run cannot tell a dead baseline entry
+    # from one whose finding was simply not recomputed.
+    if select or ignore or changed is not None:
+        stale = []
     report = LintReport(findings=kept, suppressed=suppressed,
                         stale_suppressions=stale,
                         files_scanned=len(files), rule_ns=rule_ns,
@@ -161,12 +229,15 @@ def run_lint(paths: Sequence[str], jobs: int = 1,
 def render_human(report: LintReport) -> str:
     lines = [finding.render() for finding in report.findings]
     for entry in report.stale_suppressions:
-        lines.append(f"stale suppression {entry.key} ({entry.rule} "
+        lines.append(f"dead baseline entry {entry.key} ({entry.rule} "
                      f"{entry.path}: {entry.line_text!r}) — violation "
-                     f"fixed? remove it from the baseline")
+                     f"fixed? prune it with --write-baseline")
     summary = (f"{report.files_scanned} file(s) scanned, "
                f"{len(report.findings)} finding(s), "
                f"{len(report.suppressed)} baselined")
+    if report.stale_suppressions:
+        summary += (f", {len(report.stale_suppressions)} dead baseline "
+                    f"entr{'y' if len(report.stale_suppressions) == 1 else 'ies'}")
     lines.append(summary)
     return "\n".join(lines)
 

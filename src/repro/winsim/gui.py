@@ -9,7 +9,6 @@ position history so Pafish's mouse-activity check has something to read.
 from __future__ import annotations
 
 import dataclasses
-import itertools
 from typing import List, Optional, Tuple
 
 
@@ -29,7 +28,11 @@ class WindowManager:
 
     def __init__(self) -> None:
         self._windows: List[Window] = []
-        self._hwnd_counter = itertools.count(0x10010, 2)
+        #: Next hwnd to hand out. A plain int (not itertools.count) so
+        #: snapshot/restore covers it: a restored machine must mint the
+        #: same hwnd sequence as a fresh one, or window handles diverge
+        #: between templated and fresh runs.
+        self._next_hwnd = 0x10010
         self._cursor: Tuple[int, int] = (0, 0)
         self._cursor_moves = 0
         self._humanized = False
@@ -54,8 +57,9 @@ class WindowManager:
 
     def create_window(self, class_name: Optional[str], title: Optional[str],
                       owner_pid: int = 0, visible: bool = True) -> Window:
-        window = Window(next(self._hwnd_counter), class_name, title,
+        window = Window(self._next_hwnd, class_name, title,
                         owner_pid, visible)
+        self._next_hwnd += 2
         self._windows.append(window)
         self.mutations += 1
         return window
@@ -120,6 +124,7 @@ class WindowManager:
     def snapshot(self) -> dict:
         return {
             "windows": [dataclasses.replace(w) for w in self._windows],
+            "next_hwnd": self._next_hwnd,
             "cursor": self._cursor,
             "moves": self._cursor_moves,
             "humanized": self.humanized,
@@ -127,6 +132,7 @@ class WindowManager:
 
     def restore(self, state: dict) -> None:
         self._windows = [dataclasses.replace(w) for w in state["windows"]]
+        self._next_hwnd = state.get("next_hwnd", 0x10010)
         self._cursor = state["cursor"]
         self._cursor_moves = state["moves"]
         self._humanized = state.get("humanized", False)

@@ -191,6 +191,12 @@ class Process:
 class ProcessTable:
     """All processes of one machine."""
 
+    #: Outside snapshot/restore by design (scarelint SC008): listeners
+    #: are live callbacks into the owning Machine/tracers — restore
+    #: must keep the *current* wiring, and Machine.restore_state drops
+    #: stale bus subscribers itself.
+    _SNAPSHOT_EXEMPT = ("_create_listeners", "_terminate_listeners")
+
     def __init__(self) -> None:
         self._by_pid: Dict[int, Process] = {}
         self._pid_counter = itertools.count(4, 4)

@@ -1,0 +1,232 @@
+"""Unit tests for the whole-program summary/resolution/fixpoint layer."""
+
+import pytest
+
+from repro.staticcheck import build_context
+from repro.staticcheck.callgraph import CallGraph
+
+pytestmark = pytest.mark.staticcheck
+
+
+def graph(*files):
+    return CallGraph([build_context(path, source)
+                      for path, source in files])
+
+
+class TestSummaries:
+    def test_self_writes_reads_and_bumps(self):
+        g = graph(("src/repro/winsim/m.py", """\
+class Box:
+    def __init__(self):
+        self._items = {}
+        self.mutations = 0
+
+    def put(self, key, value):
+        self._items[key] = value
+        self.mutations += 1
+
+    def stash(self, value):
+        self._items.setdefault("k", []).append(value)
+
+    def peek(self):
+        return self._items
+"""))
+        put = g.function("repro.winsim.m", "Box.put")
+        assert {w.attr for w in put.self_writes} == {"_items", "mutations"}
+        assert put.bumps_mutations
+        stash = g.function("repro.winsim.m", "Box.stash")
+        assert any(w.attr == "_items" and w.via == "mutcall"
+                   for w in stash.self_writes)
+        assert not stash.bumps_mutations
+        peek = g.function("repro.winsim.m", "Box.peek")
+        assert peek.self_reads == {"_items"}
+        assert not peek.self_writes
+
+    def test_bump_on_foreign_receiver_counts(self):
+        g = graph(("src/repro/winsim/m.py", """\
+class Key:
+    def touch(self):
+        self._owner.mutations += 1
+"""))
+        assert g.function("repro.winsim.m", "Key.touch").bumps_mutations
+
+    def test_property_pair_merges_into_one_summary(self):
+        g = graph(("src/repro/winsim/m.py", """\
+class Box:
+    @property
+    def size(self):
+        return self._size
+
+    @size.setter
+    def size(self, value):
+        self._size = value
+        self.mutations += 1
+"""))
+        merged = g.function("repro.winsim.m", "Box.size")
+        assert merged.bumps_mutations
+        assert "_size" in merged.self_reads
+        assert any(w.attr == "_size" for w in merged.self_writes)
+
+    def test_generator_detection_is_own_scope_only(self):
+        g = graph(("src/repro/winsim/m.py", """\
+def gen():
+    yield 1
+
+
+def factory():
+    def inner():
+        yield 2
+    return inner
+"""))
+        assert g.function("repro.winsim.m", "gen").is_generator
+        assert not g.function("repro.winsim.m", "factory").is_generator
+
+
+class TestResolution:
+    FILES = (
+        ("src/repro/winsim/helpers.py", """\
+def shared_helper():
+    return 1
+
+
+class Tool:
+    def run(self):
+        return shared_helper()
+"""),
+        ("src/repro/winsim/main.py", """\
+from . import helpers
+from .helpers import shared_helper, Tool
+
+
+def via_module():
+    return helpers.shared_helper()
+
+
+def via_symbol():
+    return shared_helper()
+
+
+def via_ctor():
+    return Tool()
+
+
+def via_method(tool):
+    return tool.run()
+"""))
+
+    def test_cross_module_resolution_via_imports(self):
+        g = graph(*self.FILES)
+        main = "repro.winsim.main"
+        for caller in ("via_module", "via_symbol"):
+            fn = g.function(main, caller)
+            resolved = [key for key, _ in g.resolved_calls(fn)]
+            assert ("repro.winsim.helpers", "shared_helper") in resolved, \
+                caller
+
+    def test_dyn_receiver_resolves_same_module_methods(self):
+        g = graph(("src/repro/winsim/solo.py", """\
+class Tool:
+    def run(self):
+        return 1
+
+
+def use(tool):
+    return tool.run()
+"""))
+        fn = g.function("repro.winsim.solo", "use")
+        assert [key for key, _ in g.resolved_calls(fn)] == \
+            [("repro.winsim.solo", "Tool.run")]
+
+    def test_relative_import_resolution(self):
+        g = graph(
+            ("src/repro/analysis/util.py", "def helper():\n    return 1\n"),
+            ("src/repro/winsim/user.py", """\
+from ..analysis.util import helper
+
+
+def call():
+    return helper()
+"""))
+        fn = g.function("repro.winsim.user", "call")
+        assert [key for key, _ in g.resolved_calls(fn)] == \
+            [("repro.analysis.util", "helper")]
+
+
+class TestPropagation:
+    def test_propagate_reaches_transitive_callers(self):
+        g = graph(("src/repro/winsim/chain.py", """\
+import time
+
+
+def a():
+    return b()
+
+
+def b():
+    return c()
+
+
+def c():
+    return time.time()
+"""))
+        seeds = {fn.key: "clock" for fn in g.functions()
+                 if fn.clock_primitives}
+        marked = g.propagate(seeds)
+        names = {qual for (_, qual) in marked}
+        assert names == {"a", "b", "c"}
+
+    def test_same_class_closure_stays_in_class(self):
+        g = graph(("src/repro/winsim/two.py", """\
+class A:
+    def snapshot(self):
+        return self._pack()
+
+    def _pack(self):
+        return {"x": self._x}
+
+
+class B:
+    def _pack(self):
+        return {"y": self._y}
+"""))
+        fn = g.function("repro.winsim.two", "A.snapshot")
+        reached = {f.qualname for f in g.closure(fn, same_class_only=True)}
+        assert reached == {"A.snapshot", "A._pack"}
+
+
+class TestPrimitiveClassification:
+    def test_dotted_datetime_now_is_clock(self):
+        g = graph(("src/repro/x.py", """\
+import datetime
+
+
+def now():
+    return datetime.datetime.now()
+
+
+def fixed():
+    return datetime.datetime(2020, 1, 1)
+"""))
+        assert g.function("repro.x", "now").clock_primitives
+        assert not g.function("repro.x", "fixed").clock_primitives
+
+    def test_seeded_random_is_not_a_primitive(self):
+        g = graph(("src/repro/x.py", """\
+import random
+
+
+def seeded(seed):
+    return random.Random(seed)
+
+
+def unseeded():
+    return random.Random()
+
+
+def draw():
+    return random.random()
+"""))
+        assert not g.function("repro.x", "seeded").entropy_primitives
+        assert not g.function("repro.x", "seeded").clock_primitives
+        assert g.function("repro.x", "unseeded").entropy_primitives
+        assert g.function("repro.x", "draw").clock_primitives

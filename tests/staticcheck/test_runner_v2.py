@@ -1,0 +1,261 @@
+"""Runner/CLI v2 surfaces: rule filtering, ``--changed``, dead-baseline
+reporting/pruning, and serial-vs-pooled byte identity (including the
+whole-program rules, whose output must not depend on shard assignment).
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.staticcheck import (render_human, render_json, run_lint,
+                               write_baseline)
+from repro.staticcheck.runner import changed_files
+
+pytestmark = pytest.mark.staticcheck
+
+DIRTY_ZONE_FILE = ("src/repro/winsim/dirty.py",
+                   "import time\nvalue = hash('x')\n")
+CLEAN_ZONE_FILE = ("src/repro/winsim/clean.py",
+                   "def now(machine):\n    return machine.clock.now_ns\n")
+SC008_FILE = ("src/repro/winsim/widget.py", """\
+class Widget:
+    def __init__(self):
+        self._data = {}
+        self._cache = {}
+
+    def snapshot(self):
+        return {"data": dict(self._data)}
+
+    def restore(self, state):
+        self._data = dict(state["data"])
+""")
+MACHINE_ANCHOR = ("src/repro/winsim/machine.py", """\
+from .registry import Registry
+
+TRACKED_SUBSYSTEMS = ("registry",)
+
+
+class Machine:
+    def __init__(self):
+        self.registry = Registry()
+""")
+SC006_FILE = ("src/repro/winsim/registry.py", """\
+class Registry:
+    def __init__(self):
+        self._values = {}
+        self.mutations = 0
+
+    def delete_value(self, name):
+        self._values.pop(name, None)
+""")
+SC007_FILE = ("src/repro/parallel/widgets.py", "CACHE = {}\n")
+
+
+def make_tree(root, *files):
+    for relpath, source in files:
+        target = root / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+
+
+class TestSelectIgnore:
+    def test_select_restricts_file_and_project_rules(self, tmp_path,
+                                                     monkeypatch):
+        make_tree(tmp_path, DIRTY_ZONE_FILE, SC008_FILE)
+        monkeypatch.chdir(tmp_path)
+        everything = run_lint(["src"])
+        assert {"SC001", "SC002", "SC008"} <= \
+            {f.rule for f in everything.findings}
+        only_sc008 = run_lint(["src"], select=("SC008",))
+        assert {f.rule for f in only_sc008.findings} == {"SC008"}
+        only_sc001 = run_lint(["src"], select=("SC001",))
+        assert {f.rule for f in only_sc001.findings} == {"SC001"}
+
+    def test_ignore_drops_rules(self, tmp_path, monkeypatch):
+        make_tree(tmp_path, DIRTY_ZONE_FILE, SC008_FILE)
+        monkeypatch.chdir(tmp_path)
+        report = run_lint(["src"], ignore=("SC001", "SC002"))
+        assert {f.rule for f in report.findings} == {"SC008"}
+
+    def test_select_gates_parse_errors_too(self, tmp_path, monkeypatch):
+        make_tree(tmp_path, ("src/broken.py", "def f(:\n"))
+        monkeypatch.chdir(tmp_path)
+        assert run_lint(["src"], select=("SC001",)).findings == []
+        assert [f.rule for f in
+                run_lint(["src"], select=("SC000",)).findings] == ["SC000"]
+
+    def test_filtered_run_reports_no_dead_entries(self, tmp_path,
+                                                  monkeypatch):
+        make_tree(tmp_path, DIRTY_ZONE_FILE)
+        monkeypatch.chdir(tmp_path)
+        baseline_path = str(tmp_path / "baseline.json")
+        write_baseline(run_lint(["src"]).findings, baseline_path,
+                       reason="test")
+        # An SC008-only run recomputes no SC001 findings; it must not
+        # declare the SC001 suppressions dead.
+        report = run_lint(["src"], baseline_path=baseline_path,
+                          select=("SC008",))
+        assert report.stale_suppressions == []
+
+
+class GitTree:
+    """A committed scratch tree for --changed tests."""
+
+    def __init__(self, root):
+        self.root = root
+
+    def git(self, *args):
+        return subprocess.run(
+            ["git", "-c", "user.email=t@example.com",
+             "-c", "user.name=t", *args],
+            cwd=str(self.root), check=True, capture_output=True,
+            text=True)
+
+
+class TestChanged:
+    def test_changed_lints_only_differing_files(self, tmp_path,
+                                                monkeypatch):
+        make_tree(tmp_path, CLEAN_ZONE_FILE, DIRTY_ZONE_FILE)
+        tree = GitTree(tmp_path)
+        tree.git("init", "-q")
+        tree.git("add", "-A")
+        tree.git("commit", "-qm", "seed")
+        monkeypatch.chdir(tmp_path)
+
+        # Nothing changed since HEAD: nothing to lint, nothing found.
+        unchanged = run_lint(["src"], changed_base="HEAD")
+        assert unchanged.files_scanned == 0
+        assert unchanged.findings == []
+
+        # Touch only the clean file (making it dirty) — the committed
+        # dirty file's findings must NOT appear.
+        (tmp_path / CLEAN_ZONE_FILE[0]).write_text("import time\n")
+        changed = run_lint(["src"], changed_base="HEAD")
+        assert changed.files_scanned == 1
+        assert {f.path for f in changed.findings} == {CLEAN_ZONE_FILE[0]}
+
+    def test_untracked_files_count_as_changed(self, tmp_path, monkeypatch):
+        make_tree(tmp_path, CLEAN_ZONE_FILE)
+        tree = GitTree(tmp_path)
+        tree.git("init", "-q")
+        tree.git("add", "-A")
+        tree.git("commit", "-qm", "seed")
+        make_tree(tmp_path, DIRTY_ZONE_FILE)      # untracked
+        monkeypatch.chdir(tmp_path)
+        report = run_lint(["src"], changed_base="HEAD")
+        assert {f.path for f in report.findings} == {DIRTY_ZONE_FILE[0]}
+
+    def test_changed_fails_open_outside_git(self, tmp_path, monkeypatch):
+        make_tree(tmp_path, DIRTY_ZONE_FILE)
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "nonexistent"))
+        assert changed_files("HEAD") is None
+        report = run_lint(["src"], changed_base="HEAD")
+        assert report.files_scanned == 1          # full lint fallback
+        assert report.findings
+
+
+class TestDeadBaseline:
+    def run_cli(self, cwd, *args):
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath(src)] +
+            env.get("PYTHONPATH", "").split(os.pathsep))
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "lint", *args],
+            capture_output=True, text=True, cwd=str(cwd), env=env)
+
+    def test_dead_entries_reported_and_pruned(self, tmp_path):
+        make_tree(tmp_path, DIRTY_ZONE_FILE)
+        minted = self.run_cli(tmp_path, "src", "--write-baseline",
+                              "--reason", "fixture")
+        assert minted.returncode == 0, minted.stderr
+        # Fix one violation: its suppressions go dead.
+        (tmp_path / DIRTY_ZONE_FILE[0]).write_text("value = 1\n")
+        relint = self.run_cli(tmp_path, "src")
+        assert relint.returncode == 0               # dead entries warn only
+        assert "dead baseline entry" in relint.stdout
+        assert "--write-baseline" in relint.stdout
+        pruned = self.run_cli(tmp_path, "src", "--write-baseline")
+        assert "pruned" in pruned.stderr, pruned.stderr
+        after = self.run_cli(tmp_path, "src")
+        assert "dead baseline entry" not in after.stdout
+
+    def test_write_baseline_refuses_partial_scans(self, tmp_path):
+        make_tree(tmp_path, DIRTY_ZONE_FILE)
+        for flags in (("--select", "SC001"), ("--ignore", "SC001"),
+                      ("--changed",)):
+            result = self.run_cli(tmp_path, "src", "--write-baseline",
+                                  *flags)
+            assert result.returncode == 2, flags
+            assert "full scan" in result.stderr
+
+    def test_select_ignore_changed_cli_flags(self, tmp_path):
+        make_tree(tmp_path, DIRTY_ZONE_FILE, SC008_FILE)
+        only = self.run_cli(tmp_path, "src", "--no-baseline",
+                            "--select", "sc008")
+        assert "SC008" in only.stdout and "SC001" not in only.stdout
+        dropped = self.run_cli(tmp_path, "src", "--no-baseline",
+                               "--ignore", "SC008,SC002")
+        assert "SC008" not in dropped.stdout
+        assert "SC001" in dropped.stdout
+
+
+ALL_FIXTURES = (DIRTY_ZONE_FILE, CLEAN_ZONE_FILE, SC008_FILE,
+                MACHINE_ANCHOR, SC006_FILE, SC007_FILE)
+
+
+def _comparable(report):
+    payload = report.to_dict()
+    payload.pop("wall_time_s")               # the one run-dependent field
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+class TestByteIdentity:
+    def test_serial_and_pooled_output_byte_identical(self, tmp_path,
+                                                     monkeypatch):
+        make_tree(tmp_path, *ALL_FIXTURES)
+        monkeypatch.chdir(tmp_path)
+        serial = run_lint(["src"], jobs=1)
+        pooled = run_lint(["src"], jobs=3)
+        assert {"SC001", "SC006", "SC007", "SC008"} <= \
+            {f.rule for f in serial.findings}
+        assert render_human(serial) == render_human(pooled)
+        assert _comparable(serial) == _comparable(pooled)
+        assert render_json(serial) is not None    # render smoke
+
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(picks=st.lists(st.sampled_from(range(len(ALL_FIXTURES))),
+                          min_size=1, max_size=len(ALL_FIXTURES),
+                          unique=True))
+    def test_any_file_subset_is_shard_independent(self, picks):
+        """Serial and pooled findings agree for every scanned subset —
+        whole-program results must not depend on which worker saw which
+        file (project checkers always run in the parent over the full
+        context)."""
+        tmpdir = tempfile.mkdtemp(prefix="scarelint-prop-")
+        cwd = os.getcwd()
+        try:
+            os.chdir(tmpdir)
+            for index in picks:
+                relpath, source = ALL_FIXTURES[index]
+                target = os.path.join(tmpdir, relpath)
+                os.makedirs(os.path.dirname(target), exist_ok=True)
+                with open(target, "w") as handle:
+                    handle.write(source)
+            serial = run_lint(["src"], jobs=1)
+            pooled = run_lint(["src"], jobs=2)
+            assert render_human(serial) == render_human(pooled)
+            assert _comparable(serial) == _comparable(pooled)
+        finally:
+            os.chdir(cwd)
+            shutil.rmtree(tmpdir, ignore_errors=True)

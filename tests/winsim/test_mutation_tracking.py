@@ -1,0 +1,111 @@
+"""Runtime twin of scarelint SC006: every public mutating operation on a
+tracked subsystem must advance that subsystem's ``mutations`` generation
+counter, or dirty-set delta-restore silently skips it.
+
+The static rule proves each method *contains* a bump path; this test
+proves the bump actually fires for representative operations against
+every entry in :data:`TRACKED_SUBSYSTEMS`.
+"""
+
+import pytest
+
+from repro.analysis.environments import build_bare_metal_sandbox
+from repro.winsim.machine import TRACKED_SUBSYSTEMS
+
+
+def fresh_machine():
+    # The sweep-engine factory: a bare-metal host with drives mounted,
+    # so filesystem ops have somewhere to land.
+    return build_bare_metal_sandbox(aged=False)
+
+#: Ordered mutating operations per tracked subsystem. Later ops may
+#: depend on earlier ones (register → unregister); each single op must
+#: strictly advance the counter on its own.
+OPS = {
+    "registry": [
+        ("set_value", lambda m: m.registry.set_value(
+            "HKEY_CURRENT_USER\\Software\\MutTest", "v", 1)),
+        ("create_key", lambda m: m.registry.create_key(
+            "HKEY_CURRENT_USER\\Software\\MutTest\\Child")),
+        ("delete_key", lambda m: m.registry.delete_key(
+            "HKEY_CURRENT_USER\\Software\\MutTest\\Child")),
+    ],
+    "filesystem": [
+        ("write_file", lambda m: m.filesystem.write_file(
+            "C:\\Windows\\Temp\\mut.bin", b"x")),
+        ("delete", lambda m: m.filesystem.delete(
+            "C:\\Windows\\Temp\\mut.bin")),
+    ],
+    "gui": [
+        ("create_window", lambda m: m.gui.create_window(
+            "MutClass", "mutation test")),
+        ("create_window#2", lambda m: m.gui.create_window(
+            "MutClass", "mutation test 2")),
+    ],
+    "devices": [
+        ("register", lambda m: m.devices.register("\\\\.\\MutDev")),
+        ("unregister", lambda m: m.devices.unregister("\\\\.\\MutDev")),
+    ],
+    "mutexes": [
+        ("create", lambda m: m.mutexes.create("Global\\mut-test")),
+        ("release", lambda m: m.mutexes.release("Global\\mut-test")),
+    ],
+    "services": [
+        ("install", lambda m: m.services.install("mutsvc")),
+        ("start", lambda m: m.services.start("mutsvc")),
+        ("stop", lambda m: m.services.stop("mutsvc")),
+        ("uninstall", lambda m: m.services.uninstall("mutsvc")),
+    ],
+    "eventlog": [
+        ("append", lambda m: m.eventlog.append("MutTest", 7001)),
+        ("append#2", lambda m: m.eventlog.append("MutTest", 7002)),
+    ],
+    "dnscache": [
+        ("add", lambda m: m.dnscache.add("mut.example.com")),
+        ("flush", lambda m: m.dnscache.flush()),
+    ],
+    "network": [
+        ("resolve", lambda m: m.network.resolve(
+            "nx-mut.example.invalid")),
+    ],
+}
+
+
+def test_every_tracked_subsystem_has_ops():
+    assert set(OPS) == set(TRACKED_SUBSYSTEMS)
+
+
+@pytest.mark.parametrize("subsystem", TRACKED_SUBSYSTEMS)
+def test_mutators_advance_generation_counter(subsystem):
+    machine = fresh_machine()
+    target = getattr(machine, subsystem)
+    for label, op in OPS[subsystem]:
+        before = target.mutations
+        op(machine)
+        assert target.mutations > before, \
+            f"{subsystem}.{label} did not bump mutations"
+
+
+@pytest.mark.parametrize("subsystem", TRACKED_SUBSYSTEMS)
+def test_subsystem_versions_sees_the_bump(subsystem):
+    machine = fresh_machine()
+    before = machine.subsystem_versions()
+    for _, op in OPS[subsystem]:
+        op(machine)
+    after = machine.subsystem_versions()
+    assert set(before) == set(TRACKED_SUBSYSTEMS)
+    assert after[subsystem] > before[subsystem]
+
+
+def test_read_only_probes_leave_counters_alone():
+    machine = fresh_machine()
+    machine.registry.set_value(
+        "HKEY_CURRENT_USER\\Software\\MutTest", "v", 1)
+    machine.filesystem.write_file("C:\\Windows\\Temp\\mut.bin", b"x")
+    before = machine.subsystem_versions()
+    machine.registry.get_value(
+        "HKEY_CURRENT_USER\\Software\\MutTest", "v")
+    machine.filesystem.exists("C:\\Windows\\Temp\\mut.bin")
+    machine.gui.find_window("MutClass")
+    machine.devices.exists("\\\\.\\MutDev")
+    assert machine.subsystem_versions() == before

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI gate: scarelint first (cheap, catches structural rot), then the
+# tier-1 test suite, then the lint wall-time budget. Run from anywhere;
+# mirrors what .github/workflows/ci.yml executes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== scarelint (full tree, baseline-checked, dead entries fatal) =="
+if ! lint_output=$(python -m repro lint src); then
+    printf '%s\n' "$lint_output" >&2
+    exit 1
+fi
+printf '%s\n' "$lint_output"
+# A dead baseline entry only warns in interactive runs; CI treats it as
+# rot that must be pruned with --write-baseline.
+if grep -q "dead baseline entry" <<<"$lint_output"; then
+    echo "ci: dead baseline entries found — prune with" \
+         "'python -m repro lint src --write-baseline'" >&2
+    exit 1
+fi
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo "== staticcheck benchmark gate (full-tree lint < 10s) =="
+python -m pytest benchmarks/bench_staticcheck.py --benchmark-only -q
+
+echo "ci: all gates passed"
