@@ -15,9 +15,13 @@ Commands:
   — run a corpus sweep on the parallel execution engine and print the
   summary plus per-worker statistics (see docs/PARALLEL.md);
 * ``fleet [--endpoints N] [--events N] [--seed S] [--jobs N]
-  [--checkpoint FILE] [--resume]`` — run the long-lived multi-endpoint
-  protection service over a seeded event stream and print the fleet
-  report (see docs/FLEET.md);
+  [--shards N] [--checkpoint FILE] [--resume]`` — run the long-lived
+  multi-endpoint protection service over a seeded event stream and
+  print the fleet report (see docs/FLEET.md);
+* ``serve [--shards N] [--tenant-limit N] [--max-batch N] [--port P]``
+  — the asyncio admission front-end over the sharded fleet:
+  line-delimited JSON-RPC on stdio (default) or TCP
+  (see docs/FLEET.md);
 * ``stats FILE`` — summarise a JSONL telemetry trace written by
   ``--telemetry`` (see docs/OBSERVABILITY.md);
 * ``lint [PATH ...]`` — run the scarelint static-analysis checkers
@@ -294,6 +298,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         service = FleetService(
             endpoints=args.endpoints, events=args.events, seed=args.seed,
             machine_factory=args.factory, max_workers=args.jobs,
+            shards=args.shards,
             queue_limit=args.queue_limit, chunksize=args.chunksize,
             template=not args.no_template, delta=delta,
             checkpoint_path=args.checkpoint,
@@ -337,6 +342,53 @@ def _stash_fleet_telemetry(args: argparse.Namespace, result,
     scratch.observe(export.FLEET_RUN_WALLCLOCK, elapsed_ns)
     merged = result.merged_metrics().merge(scratch.snapshot())
     records.append(export.metrics_record(merged, scope="fleet"))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Asyncio admission front-end over stdio or TCP (docs/FLEET.md)."""
+    import asyncio
+
+    from .parallel import resolve_machine_factory
+    from .serve import FleetServer, ServeConfig
+    try:
+        resolve_machine_factory(args.factory)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        config = ServeConfig(machine_factory=args.factory,
+                             shards=args.shards,
+                             tenant_limit=args.tenant_limit,
+                             max_batch=args.max_batch)
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    server = FleetServer(config)
+    if args.port is None:
+        # stdio transport: request lines on stdin, responses on stdout.
+        lines = sys.stdin.read().splitlines()
+        for response in asyncio.run(server.process_lines(lines)):
+            print(response)
+        summary = server.counters
+        print(f"serve: {summary['requests']} request(s), "
+              f"{summary['verdicts']} verdict(s), "
+              f"{summary['rejections']} rejection(s)", file=sys.stderr)
+        return 0
+
+    async def _serve_tcp() -> None:
+        tcp = await server.start_tcp(args.host, args.port)
+        address = tcp.sockets[0].getsockname()
+        print(f"serve: listening on {address[0]}:{address[1]} "
+              f"({config.shards} shard(s), tenant limit "
+              f"{config.tenant_limit})", file=sys.stderr)
+        async with tcp:
+            await tcp.serve_forever()
+
+    try:
+        asyncio.run(_serve_tcp())
+    except KeyboardInterrupt:
+        print("serve: interrupted", file=sys.stderr)
+    return 0
 
 
 def _render_latency_rows(title: str, rows) -> List[str]:
@@ -395,6 +447,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             in sorted(summary.event_categories.items())))
     if summary.fleet is not None:
         _print_fleet_health(summary.fleet)
+    if summary.serve is not None:
+        _print_serve_health(summary.serve)
     print(f"samples: {summary.samples}  errors: {summary.errors}")
     return 0
 
@@ -416,6 +470,18 @@ def _print_fleet_health(fleet) -> None:
     for family, arrivals, deactivated, family_rate in fleet.family_rows:
         print(f"  family {family}: {deactivated}/{arrivals} deactivated "
               f"({family_rate:.1%})")
+    if fleet.shards:
+        print(f"  shards: {fleet.shards}  shard rounds: "
+              f"{fleet.shard_rounds}  resumed: {fleet.shard_rounds_resumed}")
+
+
+def _print_serve_health(serve) -> None:
+    """The admission front-end section of ``repro stats``."""
+    print("serve health:")
+    print(f"  requests: {serve.requests}  submits: {serve.submits}  "
+          f"errors: {serve.errors}")
+    print(f"  events admitted: {serve.events}  verdicts: {serve.verdicts}  "
+          f"overload rejections: {serve.rejections}")
 
 
 def _parse_rules(raw: str) -> tuple:
@@ -516,6 +582,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload seed (same seed = same stream)")
     fleet.add_argument("--jobs", type=int, default=1,
                        help="worker processes (1 = in-process)")
+    fleet.add_argument("--shards", type=int, default=1,
+                       help="independent fleet shards dispatched "
+                            "concurrently (endpoint_id %% shards routing; "
+                            "same rollup bytes at any count)")
     fleet.add_argument("--factory", default="end-user",
                        help="machine factory endpoints are stamped from")
     fleet.add_argument("--queue-limit", type=int, default=32,
@@ -540,6 +610,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stop after this many new rounds (simulates a "
                             "killed service; exit code 1)")
     _add_telemetry_option(fleet)
+    serve = subparsers.add_parser(
+        "serve", help="asyncio admission front-end for the sharded fleet "
+                      "(line-delimited JSON-RPC; docs/FLEET.md)")
+    serve.add_argument("--factory", default="end-user",
+                       help="machine factory endpoints are stamped from")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="shard count for endpoint routing")
+    serve.add_argument("--tenant-limit", type=int, default=256,
+                       help="max pending events per tenant (overload "
+                            "beyond this is rejected, not queued)")
+    serve.add_argument("--max-batch", type=int, default=128,
+                       help="max events per submit request")
+    serve.add_argument("--port", type=int, default=None, metavar="PORT",
+                       help="listen on TCP PORT (0 = ephemeral); "
+                            "default: stdio one-shot mode")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (with --port)")
+    _add_telemetry_option(serve)
     stats = subparsers.add_parser(
         "stats", help="summarise a --telemetry JSONL trace")
     stats.add_argument("path", metavar="PATH",
@@ -586,7 +674,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "figure4": _cmd_figure4, "cases": _cmd_cases, "all": _cmd_all,
     "demo": _cmd_demo, "pafish": _cmd_pafish, "inventory": _cmd_inventory,
     "overhead": _cmd_overhead, "sweep": _cmd_sweep, "fleet": _cmd_fleet,
-    "stats": _cmd_stats, "lint": _cmd_lint,
+    "serve": _cmd_serve, "stats": _cmd_stats, "lint": _cmd_lint,
 }
 
 

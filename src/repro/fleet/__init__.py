@@ -15,14 +15,17 @@ from .endpoint import (DEFAULT_REPORT_BUFFER, FAILED_LABEL, EventRecord,
 from .events import (DEFAULT_FLEET_FAMILIES, EVENT_BENIGN, EVENT_KINDS,
                      EVENT_MALWARE, EVENT_RESET, FleetEvent, FleetRng,
                      WorkloadProfile, build_sample_pool, generate_events)
-from .report import (FamilyRollup, FleetReport, LatencyRollup,
-                     build_fleet_report, render_fleet_report)
+from .report import (FamilyRollup, FleetReport, LatencyRollup, ShardRollup,
+                     build_fleet_report, finalize_report,
+                     merge_shard_rollups, render_fleet_report)
 from .service import (CHECKPOINT_VERSION, DEFAULT_FLEET_FACTORY,
-                      DEFAULT_QUEUE_LIMIT, AdmissionPlan, BatchJob,
-                      BatchResult, FleetChunk, FleetCheckpointError,
+                      DEFAULT_QUEUE_LIMIT, AdmissionPlan,
                       FleetRunResult, FleetService, execute_fleet_batch,
                       execute_fleet_chunk, initialize_fleet_worker,
                       plan_rounds)
+from .shard import (BatchJob, BatchResult, FleetChunk, FleetCheckpointError,
+                    FleetShard, ShardOutcome, build_shards, route_round,
+                    shard_checkpoint_path, shard_of)
 
 __all__ = [
     "AdmissionPlan", "BatchJob", "BatchResult", "CHECKPOINT_VERSION",
@@ -31,9 +34,11 @@ __all__ = [
     "EVENT_KINDS", "EVENT_MALWARE", "EVENT_RESET", "EventRecord",
     "FAILED_LABEL", "FamilyRollup", "FleetChunk", "FleetCheckpointError",
     "FleetEvent", "FleetReport", "FleetRng", "FleetRunResult",
-    "FleetService", "LatencyRollup", "ProtectedEndpoint",
-    "WorkloadProfile", "build_fleet_report", "build_sample_pool",
-    "execute_fleet_batch", "execute_fleet_chunk", "failed_event_record",
-    "generate_events", "initialize_fleet_worker", "plan_rounds",
-    "render_fleet_report",
+    "FleetService", "FleetShard", "LatencyRollup", "ProtectedEndpoint",
+    "ShardOutcome", "ShardRollup", "WorkloadProfile", "build_fleet_report",
+    "build_sample_pool", "build_shards", "execute_fleet_batch",
+    "execute_fleet_chunk", "failed_event_record", "finalize_report",
+    "generate_events", "initialize_fleet_worker", "merge_shard_rollups",
+    "plan_rounds", "render_fleet_report", "route_round",
+    "shard_checkpoint_path", "shard_of",
 ]

@@ -1,33 +1,40 @@
-"""Fleet-wide rollup: verdict counts, per-family rates, SLO latency.
+"""Fleet-wide rollup: mergeable shard partials, verdict counts, SLO latency.
 
 :class:`FleetReport` is the *byte-identity surface* of a fleet run —
 :meth:`FleetReport.to_json` must come out identical whether the run was
-serial or pooled, fresh or checkpoint-resumed. It therefore contains only
+serial or pooled, fresh or checkpoint-resumed, and — since the sharded
+refactor — however many shards executed it. It therefore contains only
 values that are pure functions of the event records and the admission
 plan: verdicts, per-family deactivation rates, queue statistics, and the
 virtual-clock latency distribution. Execution shape (pool vs serial,
-chunk counts, degradations) lives on :class:`~repro.fleet.service.
-FleetRunResult` and is rendered alongside, never inside, the canonical
-report.
+shard count, chunk counts, degradations) lives on :class:`~repro.fleet.
+service.FleetRunResult` and is rendered alongside, never inside, the
+canonical report.
 
-Latency comes from the merged ``fleet.event_latency_ns`` telemetry
-histogram when telemetry ran; otherwise the identical histogram is
-rebuilt from the records' virtual-clock latencies (same geometric
-buckets), so the SLO numbers do not depend on whether telemetry was on.
+The global rollup is produced by **merging per-shard partials**:
+:class:`ShardRollup` is an associative, commutative monoid
+(:meth:`ShardRollup.empty` is the identity) over the same machinery
+:class:`~repro.telemetry.snapshot.MetricsSnapshot` uses — counters add,
+family tables merge keywise, latency histograms add bucket-wise — so
+shard count and shard completion order cannot move a byte of the global
+report. The latency histogram is rebuilt from the records' virtual-clock
+latencies into the exact geometric buckets the telemetry layer records
+into, so the SLO numbers do not depend on whether telemetry was on
+(property-tested in ``tests/fleet/test_rollup_merge.py``).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..telemetry.snapshot import HistogramState, bucket_index
 from .endpoint import EventRecord, FAILED_LABEL
 from .events import EVENT_BENIGN, EVENT_MALWARE, EVENT_RESET
-from .service import FleetRunResult
 
-#: Metric name the latency rollup reads from merged telemetry.
+#: Metric name the latency rollup mirrors (`repro.fleet.endpoint` records
+#: the same virtual-clock values into this telemetry histogram).
 LATENCY_METRIC = "fleet.event_latency_ns"
 
 
@@ -71,6 +78,143 @@ class LatencyRollup:
     def from_state(cls, state: HistogramState) -> "LatencyRollup":
         return cls(count=state.count, total_ns=state.total,
                    p50_ns=state.percentile(50), p99_ns=state.percentile(99))
+
+
+def _latency_state(records: Iterable[EventRecord]) -> HistogramState:
+    """The virtual-clock latency histogram of a record set.
+
+    Uses the same geometric buckets the ``fleet.event_latency_ns``
+    telemetry histogram records into, over exactly the records the
+    endpoint would have observed (completed malware/benign events), so
+    count, total and percentiles match the telemetry path bit for bit —
+    the rollup never needs to know whether telemetry ran.
+    """
+    count = 0
+    total = 0
+    buckets: List[int] = []
+    for record in records:
+        if record.kind == EVENT_RESET or record.label == FAILED_LABEL:
+            continue
+        index = bucket_index(record.latency_ns)
+        if index >= len(buckets):
+            buckets.extend([0] * (index + 1 - len(buckets)))
+        buckets[index] += 1
+        count += 1
+        total += record.latency_ns
+    return HistogramState(count, total, tuple(buckets))
+
+
+# -- the mergeable shard partial ----------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class ShardRollup:
+    """One shard's contribution to the global rollup — a mergeable monoid.
+
+    Every field is a pure function of the shard's event records, so the
+    partial is identical however the shard's batches were scheduled.
+    :meth:`merge` is associative and commutative with :meth:`empty` as
+    the identity: counters add, the family table merges keywise (kept
+    sorted by family name so the merged tuple is canonical), and the
+    latency :class:`~repro.telemetry.snapshot.HistogramState` adds
+    bucket-wise — exactly the operations the telemetry snapshot layer
+    already proves order-independent.
+    """
+
+    events_processed: int = 0
+    malware_events: int = 0
+    deactivated: int = 0
+    benign_events: int = 0
+    benign_ok: int = 0
+    resets: int = 0
+    event_failures: int = 0
+    retries: int = 0
+    reports_drained: int = 0
+    families: Tuple[FamilyRollup, ...] = ()
+    latency: HistogramState = HistogramState()
+
+    @classmethod
+    def empty(cls) -> "ShardRollup":
+        return cls()
+
+    @classmethod
+    def from_records(cls, records: Sequence[EventRecord]) -> "ShardRollup":
+        """Fold one shard's records into its partial rollup."""
+        malware = [r for r in records
+                   if r.kind == EVENT_MALWARE and r.label != FAILED_LABEL]
+        benign = [r for r in records
+                  if r.kind == EVENT_BENIGN and r.label != FAILED_LABEL]
+        resets = sum(1 for r in records
+                     if r.kind == EVENT_RESET and r.label != FAILED_LABEL)
+        failures = sum(1 for r in records if r.label == FAILED_LABEL)
+        by_family: Dict[str, List[EventRecord]] = {}
+        for record in malware:
+            by_family.setdefault(record.family, []).append(record)
+        families = tuple(
+            FamilyRollup(family=family, arrivals=len(group),
+                         deactivated=sum(1 for r in group if r.deactivated))
+            for family, group in sorted(by_family.items()))
+        return cls(
+            events_processed=len(records),
+            malware_events=len(malware),
+            deactivated=sum(1 for r in malware if r.deactivated),
+            benign_events=len(benign),
+            benign_ok=sum(1 for r in benign if r.ok),
+            resets=resets,
+            event_failures=failures,
+            retries=sum(r.retries for r in records),
+            reports_drained=sum(r.reports for r in records),
+            families=families,
+            latency=_latency_state(records))
+
+    def merge(self, other: "ShardRollup") -> "ShardRollup":
+        """Combine two partials; associative, commutative, identity-safe."""
+        by_family: Dict[str, List[int]] = {}
+        for rollup in (*self.families, *other.families):
+            entry = by_family.setdefault(rollup.family, [0, 0])
+            entry[0] += rollup.arrivals
+            entry[1] += rollup.deactivated
+        families = tuple(
+            FamilyRollup(family=family, arrivals=arrivals,
+                         deactivated=deactivated)
+            for family, (arrivals, deactivated) in sorted(by_family.items()))
+        return ShardRollup(
+            events_processed=self.events_processed + other.events_processed,
+            malware_events=self.malware_events + other.malware_events,
+            deactivated=self.deactivated + other.deactivated,
+            benign_events=self.benign_events + other.benign_events,
+            benign_ok=self.benign_ok + other.benign_ok,
+            resets=self.resets + other.resets,
+            event_failures=self.event_failures + other.event_failures,
+            retries=self.retries + other.retries,
+            reports_drained=self.reports_drained + other.reports_drained,
+            families=families,
+            latency=self.latency.merge(other.latency))
+
+    def to_dict(self) -> dict:
+        return {"events_processed": self.events_processed,
+                "malware_events": self.malware_events,
+                "deactivated": self.deactivated,
+                "benign_events": self.benign_events,
+                "benign_ok": self.benign_ok,
+                "resets": self.resets,
+                "event_failures": self.event_failures,
+                "retries": self.retries,
+                "reports_drained": self.reports_drained,
+                "families": [rollup.to_dict() for rollup in self.families],
+                "latency": self.latency.to_dict()}
+
+    def to_json(self) -> str:
+        """Canonical sorted-key JSON — the merge-identity comparison form."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def merge_shard_rollups(rollups: Iterable[ShardRollup]) -> ShardRollup:
+    """Left-fold of shard partials (any order gives the same bytes)."""
+    merged = ShardRollup.empty()
+    for rollup in rollups:
+        merged = merged.merge(rollup)
+    return merged
 
 
 @dataclasses.dataclass(frozen=True)
@@ -131,73 +275,57 @@ class FleetReport:
                           separators=(",", ":"))
 
 
-def _latency_state(result: FleetRunResult) -> HistogramState:
-    """The latency histogram: merged telemetry, or the identical rebuild.
+def finalize_report(merged: ShardRollup, *, endpoints: int, seed: int,
+                    events_planned: int, queue_depth_hwm: int,
+                    backpressure_stalls: int, rounds: int,
+                    completed: bool) -> FleetReport:
+    """Promote a merged shard partial to the canonical global report.
 
-    Rebuild uses the same geometric buckets the telemetry histogram
-    records into, over exactly the records the endpoint would have
-    observed (completed malware/benign events), so count, total and
-    percentiles match the telemetry path bit for bit.
+    The keyword fields are the *coordinator's* contribution: identity and
+    the global admission statistics, which come from the shard-independent
+    admission plan (``plan_rounds`` runs once, before routing) and are
+    therefore the same bytes at any shard count.
     """
-    merged = result.merged_metrics()
-    state = merged.histograms.get(LATENCY_METRIC)
-    if state is not None:
-        return state
-    count = 0
-    total = 0
-    buckets: List[int] = []
-    for record in result.records:
-        if record.kind == EVENT_RESET or record.label == FAILED_LABEL:
-            continue
-        index = bucket_index(record.latency_ns)
-        if index >= len(buckets):
-            buckets.extend([0] * (index + 1 - len(buckets)))
-        buckets[index] += 1
-        count += 1
-        total += record.latency_ns
-    return HistogramState(count, total, tuple(buckets))
-
-
-def build_fleet_report(result: FleetRunResult) -> FleetReport:
-    """Fold a run result's records into the canonical rollup."""
-    records: List[EventRecord] = result.records
-    malware = [r for r in records
-               if r.kind == EVENT_MALWARE and r.label != FAILED_LABEL]
-    benign = [r for r in records
-              if r.kind == EVENT_BENIGN and r.label != FAILED_LABEL]
-    resets = sum(1 for r in records
-                 if r.kind == EVENT_RESET and r.label != FAILED_LABEL)
-    failures = sum(1 for r in records if r.label == FAILED_LABEL)
-    by_family: Dict[str, List[EventRecord]] = {}
-    for record in malware:
-        by_family.setdefault(record.family, []).append(record)
-    families = tuple(
-        FamilyRollup(family=family, arrivals=len(group),
-                     deactivated=sum(1 for r in group if r.deactivated))
-        for family, group in sorted(by_family.items()))
     return FleetReport(
-        endpoints=result.endpoints,
-        seed=result.seed,
+        endpoints=endpoints,
+        seed=seed,
+        events_planned=events_planned,
+        events_processed=merged.events_processed,
+        malware_events=merged.malware_events,
+        deactivated=merged.deactivated,
+        benign_events=merged.benign_events,
+        benign_ok=merged.benign_ok,
+        resets=merged.resets,
+        event_failures=merged.event_failures,
+        retries=merged.retries,
+        reports_drained=merged.reports_drained,
+        families=merged.families,
+        latency=LatencyRollup.from_state(merged.latency),
+        queue_depth_hwm=queue_depth_hwm,
+        backpressure_stalls=backpressure_stalls,
+        rounds=rounds,
+        completed=completed)
+
+
+def build_fleet_report(result) -> FleetReport:
+    """Merge a run result's per-shard partials into the canonical rollup.
+
+    ``result`` is a :class:`~repro.fleet.service.FleetRunResult`; its
+    :meth:`~repro.fleet.service.FleetRunResult.shard_rollups` partials are
+    merged through :func:`merge_shard_rollups` — the path the cross-shard
+    byte-identity contract is proven over.
+    """
+    merged = merge_shard_rollups(result.shard_rollups())
+    return finalize_report(
+        merged, endpoints=result.endpoints, seed=result.seed,
         events_planned=result.events_planned,
-        events_processed=len(records),
-        malware_events=len(malware),
-        deactivated=sum(1 for r in malware if r.deactivated),
-        benign_events=len(benign),
-        benign_ok=sum(1 for r in benign if r.ok),
-        resets=resets,
-        event_failures=failures,
-        retries=sum(r.retries for r in records),
-        reports_drained=sum(r.reports for r in records),
-        families=families,
-        latency=LatencyRollup.from_state(_latency_state(result)),
         queue_depth_hwm=result.queue_depth_hwm,
         backpressure_stalls=result.backpressure_stalls,
-        rounds=result.rounds_total,
-        completed=result.completed)
+        rounds=result.rounds_total, completed=result.completed)
 
 
 def render_fleet_report(report: FleetReport,
-                        result: Optional[FleetRunResult] = None) -> str:
+                        result: Optional[object] = None) -> str:
     """Human-readable report; ``result`` adds the execution-shape lines."""
     lines = [
         "Fleet protection report",
@@ -230,9 +358,13 @@ def render_fleet_report(report: FleetReport,
         mode = "process pool" if result.used_process_pool else "in-process"
         suffix = f", {result.degraded_chunks} degraded" \
             if result.degraded_chunks else ""
+        shard_note = f", {result.shards} shards" if result.shards > 1 else ""
         lines.append(
-            f"execution: {mode} ({result.chunks} chunks{suffix}); "
-            f"resumed {result.resumed_rounds}/{result.rounds_total} rounds"
+            f"execution: {mode} ({result.chunks} chunks{suffix}"
+            f"{shard_note}); "
+            f"resumed {result.resumed_rounds}/{result.shard_rounds_total} "
+            f"rounds"
             if result.resumed_rounds else
-            f"execution: {mode} ({result.chunks} chunks{suffix})")
+            f"execution: {mode} ({result.chunks} chunks{suffix}"
+            f"{shard_note})")
     return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""Fleet scheduler: admission queue, chunked dispatch, checkpoint/resume.
+"""Fleet coordinator: global admission, sharded dispatch, checkpoint/resume.
 
 :class:`FleetService` turns a generated event stream into rounds of
 per-endpoint batches and pushes them through the same process-pool
@@ -8,8 +8,17 @@ make_executor` with a fleet-specific initializer). The moving parts:
 * **Backpressure** — events admit into a bounded queue
   (:func:`plan_rounds`); when the queue is full the producer stalls and
   the queue drains as one *round* of per-endpoint batches. Queue
-  high-water mark and stall counts surface in the run result.
-* **Dispatch** — each round's batches ship in auto-sized chunks
+  high-water mark and stall counts surface in the run result. Admission
+  is planned **globally, before routing** — a pure function of the
+  stream — so the admission statistics are identical at any shard count.
+* **Sharding** — each global round's batches route to N independent
+  shards (:func:`~repro.fleet.shard.shard_of`:
+  ``endpoint_id % shards``); shards pipeline concurrently over one
+  shared executor (at most one in-flight round each, no global per-round
+  barrier), each with its own checkpoint file and partial rollup. The
+  global report merges per-shard :class:`~repro.fleet.report.
+  ShardRollup` partials — byte-identical for any ``shards`` value.
+* **Dispatch** — each shard round's batches ship in auto-sized chunks
   (:func:`~repro.parallel.sweep.auto_chunksize`); each worker stamps its
   endpoint machine from a :class:`~repro.parallel.template.
   MachineTemplate` instead of rebuilding it per batch.
@@ -18,27 +27,29 @@ make_executor` with a fleet-specific initializer). The moving parts:
   failed_event_record` entries; a chunk whose *submission* fails (poisoned
   pool, unpicklable payload) reruns in-process and the run reports
   ``used_process_pool=False`` honestly.
-* **Checkpointing** — after every round the completed batches are written
-  to a JSON checkpoint (atomic ``os.replace``); a resumed run validates
-  the configuration fingerprint, replays the stored batches, and
-  continues — producing a rollup byte-identical to the uninterrupted run.
+* **Checkpointing** — after every shard round the shard's completed
+  batches are written to its JSON checkpoint (atomic ``os.replace``); a
+  resumed run validates the configuration fingerprint (which includes
+  the shard count), replays the stored batches, and continues —
+  producing a rollup byte-identical to the uninterrupted run.
 
 Determinism contract: same ``(seed, endpoints, events, profile)`` means
 the same stream, the same rounds, and the same sorted record list —
-serial or pooled, fresh or resumed. Nothing here reads the host clock or
-host entropy (scarelint SC001/SC002); latency lives on the endpoints'
-virtual clocks and wall-time belongs to callers (the CLI).
+serial or pooled, fresh or resumed, for ``shards ∈ {1, 2, 4, ...}``.
+Nothing here reads the host clock or host entropy (scarelint
+SC001/SC002); latency lives on the endpoints' virtual clocks and
+wall-time belongs to callers (the CLI).
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
 import json
 import os
 import pickle
 import zlib
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, \
-    Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.database import DeceptionDatabase, FrozenDeceptionDatabase
 from ..core.profiles import ScarecrowConfig
@@ -53,6 +64,9 @@ from ..telemetry.snapshot import MetricsSnapshot
 from .endpoint import EventRecord, ProtectedEndpoint, failed_event_record
 from .events import FleetEvent, WorkloadProfile, build_sample_pool, \
     generate_events
+from .report import ShardRollup
+from .shard import (BatchJob, BatchResult, FleetChunk, FleetCheckpointError,
+                    FleetShard, ShardOutcome, build_shards, shard_of)
 
 #: Factory fleet endpoints are stamped from by default: the end-user
 #: machine is the expensive, realistic build where templating pays most.
@@ -61,12 +75,10 @@ DEFAULT_FLEET_FACTORY = "end-user"
 #: Default admission-queue bound (events buffered before a drain round).
 DEFAULT_QUEUE_LIMIT = 32
 
-#: Checkpoint schema version (part of the fingerprint).
-CHECKPOINT_VERSION = 1
-
-
-class FleetCheckpointError(RuntimeError):
-    """A checkpoint file is unreadable or belongs to a different run."""
+#: Checkpoint schema version (part of the fingerprint). v2: sharded
+#: layout — the fingerprint carries the shard count and each shard file
+#: carries its index.
+CHECKPOINT_VERSION = 2
 
 
 # -- admission planning -------------------------------------------------------
@@ -110,7 +122,9 @@ def plan_rounds(events: Sequence[FleetEvent],
     next arrival *stalls* (counted) and forces a drain — the queued
     events become one round, grouped per endpoint so each endpoint's
     events stay in arrival order on one machine. Being a pure function of
-    the stream, the plan is identical however the rounds later execute.
+    the stream, the plan is identical however the rounds later execute —
+    and in particular identical at any shard count, which is why the
+    admission statistics sit on the byte-identity surface.
     """
     if queue_limit < 1:
         raise ValueError("queue_limit must be >= 1")
@@ -128,56 +142,6 @@ def plan_rounds(events: Sequence[FleetEvent],
     if queue:
         rounds.append(_group_round(queue))
     return AdmissionPlan(tuple(rounds), hwm, stalls)
-
-
-# -- worker protocol ----------------------------------------------------------
-
-@dataclasses.dataclass(frozen=True)
-class BatchJob:
-    """One endpoint's slice of one round (the unit of retry accounting)."""
-
-    index: int
-    endpoint_id: int
-    events: Tuple[FleetEvent, ...]
-    max_retries: int = 1
-
-
-@dataclasses.dataclass(frozen=True)
-class FleetChunk:
-    """A pickled-once group of batch jobs (the unit of pool submission)."""
-
-    jobs: Tuple[BatchJob, ...]
-
-
-@dataclasses.dataclass(frozen=True)
-class BatchResult:
-    """Worker output for one batch — JSON-native for checkpoints."""
-
-    index: int
-    endpoint_id: int
-    records: Tuple[EventRecord, ...]
-    retries: int = 0
-    resets: int = 0
-    metrics: Optional[MetricsSnapshot] = None
-
-    def to_dict(self) -> dict:
-        return {"index": self.index, "endpoint": self.endpoint_id,
-                "records": [record.to_dict() for record in self.records],
-                "retries": self.retries, "resets": self.resets,
-                "metrics": None if self.metrics is None
-                else self.metrics.to_dict()}
-
-    @classmethod
-    def from_dict(cls, data: Mapping) -> "BatchResult":
-        metrics = data.get("metrics")
-        return cls(
-            index=int(data["index"]), endpoint_id=int(data["endpoint"]),
-            records=tuple(EventRecord.from_dict(r)
-                          for r in data.get("records", ())),
-            retries=int(data.get("retries", 0)),
-            resets=int(data.get("resets", 0)),
-            metrics=None if metrics is None
-            else MetricsSnapshot.from_dict(metrics))
 
 
 #: Per-process worker fixtures, filled by :func:`initialize_fleet_worker`.
@@ -311,55 +275,18 @@ def execute_fleet_chunk(chunk: FleetChunk) -> bytes:
     return encode_chunk(results, header)
 
 
-# -- checkpointing ------------------------------------------------------------
-
-def _write_checkpoint(path: str, fingerprint: dict, rounds_done: int,
-                      completed: Sequence[BatchResult]) -> None:
-    """Atomic checkpoint write: temp file + ``os.replace``."""
-    payload = {"fingerprint": fingerprint, "rounds_done": rounds_done,
-               "batches": [batch.to_dict() for batch in completed]}
-    tmp_path = path + ".tmp"
-    with open(tmp_path, "w", encoding="utf-8") as stream:
-        json.dump(payload, stream, sort_keys=True, separators=(",", ":"))
-    os.replace(tmp_path, path)
-
-
-def _load_checkpoint(path: str, fingerprint: dict, rounds_total: int
-                     ) -> Tuple[int, List[BatchResult]]:
-    """Read and validate a checkpoint against this run's fingerprint."""
-    try:
-        with open(path, "r", encoding="utf-8") as stream:
-            payload = json.load(stream)
-    except (OSError, ValueError) as exc:
-        raise FleetCheckpointError(
-            f"unreadable checkpoint {path!r}: {exc}") from exc
-    stored = payload.get("fingerprint")
-    if stored != fingerprint:
-        raise FleetCheckpointError(
-            "checkpoint does not match this run's configuration; "
-            "refusing to resume (delete the file to start fresh)")
-    rounds_done = int(payload.get("rounds_done", 0))
-    if not 0 <= rounds_done <= rounds_total:
-        raise FleetCheckpointError(
-            f"checkpoint claims {rounds_done} completed rounds; "
-            f"this plan has {rounds_total}")
-    completed = [BatchResult.from_dict(entry)
-                 for entry in payload.get("batches", ())]
-    return rounds_done, completed
-
-
 # -- run result ---------------------------------------------------------------
 
 @dataclasses.dataclass
 class FleetRunResult:
     """Everything one :meth:`FleetService.run` produced.
 
-    ``records`` is seq-sorted and identical across serial/pooled and
-    fresh/resumed executions; the execution-shape fields (``chunks``,
-    ``degraded_chunks``, ``used_process_pool``, ``resumed_rounds``) are
-    honest observability and deliberately excluded from the
-    byte-identity surface (:meth:`~repro.fleet.report.FleetReport.
-    to_json`).
+    ``records`` is seq-sorted and identical across serial/pooled,
+    fresh/resumed and any-shard-count executions; the execution-shape
+    fields (``chunks``, ``degraded_chunks``, ``used_process_pool``,
+    ``resumed_rounds``, ``shards``...) are honest observability and
+    deliberately excluded from the byte-identity surface
+    (:meth:`~repro.fleet.report.FleetReport.to_json`).
     """
 
     endpoints: int
@@ -385,17 +312,40 @@ class FleetRunResult:
     shared_state_used: bool = False
     #: Per-chunk worker provenance (execution shape, like ``chunks``).
     chunk_headers: List[ChunkHeader] = dataclasses.field(default_factory=list)
+    #: Shard layout this run executed under (execution shape).
+    shards: int = 1
+    #: Shard-round units in the plan / done so far. For ``shards == 1``
+    #: these equal ``rounds_total`` / ``rounds_done``; for more shards a
+    #: global round splits into up to ``shards`` shard-rounds.
+    shard_rounds_total: int = 0
+    shard_rounds_done: int = 0
+    #: Per-shard execution summaries (observability).
+    shard_outcomes: List[ShardOutcome] = dataclasses.field(
+        default_factory=list)
 
     def delta_restores(self) -> int:
         """Dirty-set template restores performed across all chunks."""
         return sum(h.delta_restores for h in self.chunk_headers)
 
+    def shard_rollups(self) -> List[ShardRollup]:
+        """Per-shard partial rollups — the inputs to the global merge.
+
+        Partitioned by the routing rule (``endpoint_id % shards``) over
+        the seq-sorted records, so the partials are pure functions of the
+        record set and the shard count — scheduling cannot move a byte.
+        """
+        groups: List[List[EventRecord]] = [[] for _ in range(self.shards)]
+        for record in self.records:
+            groups[shard_of(record.endpoint_id, self.shards)].append(record)
+        return [ShardRollup.from_records(group) for group in groups]
+
     def merged_metrics(self) -> MetricsSnapshot:
         """Batch telemetry deltas folded together, plus service counters.
 
-        Associative/commutative merge — pool scheduling cannot change the
-        totals. Batch deltas are empty when telemetry was disabled; the
-        service-level admission counters are always present.
+        Associative/commutative merge — pool and shard scheduling cannot
+        change the totals. Batch deltas are empty when telemetry was
+        disabled; the service-level admission and shard counters are
+        always present.
         """
         merged = MetricsSnapshot.empty()
         for batch in self.batches:
@@ -405,9 +355,12 @@ class FleetRunResult:
             counters={"fleet.rounds": self.rounds_done,
                       "fleet.chunks": self.chunks,
                       "fleet.degraded_chunks": self.degraded_chunks,
-                      "fleet.backpressure_stalls": self.backpressure_stalls},
+                      "fleet.backpressure_stalls": self.backpressure_stalls,
+                      "shard.rounds": self.shard_rounds_done,
+                      "shard.rounds_resumed": self.resumed_rounds},
             gauges={"fleet.queue_depth_hwm": float(self.queue_depth_hwm),
-                    "fleet.endpoints": float(self.endpoints)})
+                    "fleet.endpoints": float(self.endpoints),
+                    "shard.count": float(self.shards)})
         return merged.merge(service)
 
 
@@ -417,9 +370,11 @@ class FleetService:
     """Long-lived multi-endpoint protection service (one run = one call).
 
     Construction is cheap and validation-only; :meth:`run` does the work.
-    ``telemetry=None`` inherits the process-wide setting;
-    ``stop_after_rounds`` (on :meth:`run`) is the kill switch the
-    checkpoint/resume tests use to simulate an interrupted service.
+    ``telemetry=None`` inherits the process-wide setting; ``shards``
+    splits the fleet into independently-dispatched slices (see module
+    docstring); ``stop_after_rounds`` (on :meth:`run`) is the kill
+    switch the checkpoint/resume tests use to simulate an interrupted
+    service.
     """
 
     def __init__(self, endpoints: int = 8, events: int = 64,
@@ -429,6 +384,7 @@ class FleetService:
                  database: Optional[DeceptionDatabase] = None,
                  config: Optional[ScarecrowConfig] = None,
                  max_workers: int = 1,
+                 shards: int = 1,
                  queue_limit: int = DEFAULT_QUEUE_LIMIT,
                  chunksize: Optional[int] = None,
                  max_retries: int = 1,
@@ -444,6 +400,8 @@ class FleetService:
             raise ValueError("events must be >= 0")
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
         if chunksize is not None and chunksize < 1:
@@ -463,6 +421,11 @@ class FleetService:
         self.database = database
         self.config = config
         self.max_workers = max_workers
+        #: Shard count is part of the checkpoint fingerprint (a shard's
+        #: file only makes sense under the layout that wrote it) but NOT
+        #: part of the byte-identity surface — any value yields the same
+        #: global rollup.
+        self.shards = shards
         self.queue_limit = queue_limit
         self.chunksize = chunksize
         self.max_retries = max_retries
@@ -484,10 +447,12 @@ class FleetService:
     def _fingerprint(self, db_blob: bytes) -> dict:
         """JSON-normalized identity a checkpoint must match to resume.
 
-        Everything that changes the event stream or its outcomes is in
-        here; execution shape (workers, chunksize, templating) is not —
-        those are free to differ between the interrupted run and the
-        resume because the results are identical by construction.
+        Everything that changes the event stream, its outcomes or the
+        checkpoint layout is in here; execution shape (workers,
+        chunksize, templating) is not — those are free to differ between
+        the interrupted run and the resume because the results are
+        identical by construction. ``shards`` IS included: it determines
+        which endpoints a shard's checkpoint file covers.
         """
         spec = self.machine_factory
         factory_name = spec if isinstance(spec, str) else \
@@ -499,6 +464,7 @@ class FleetService:
             "endpoints": self.endpoints,
             "events": self.events,
             "queue_limit": self.queue_limit,
+            "shards": self.shards,
             "factory": factory_name,
             "db_crc": zlib.crc32(db_blob),
             "config": None if self.config is None
@@ -512,10 +478,12 @@ class FleetService:
     def run(self, stop_after_rounds: Optional[int] = None) -> FleetRunResult:
         """Execute (or resume) the fleet run.
 
-        ``stop_after_rounds`` bounds how many *new* rounds this call
-        executes before returning a partial (``completed=False``) result
-        — combined with ``checkpoint_path`` it simulates a service killed
-        mid-run; a later ``resume=True`` run picks up where it stopped.
+        ``stop_after_rounds`` bounds how many *new* shard-rounds this
+        call starts before returning a partial (``completed=False``)
+        result — combined with ``checkpoint_path`` it simulates a
+        service killed mid-run; a later ``resume=True`` run picks up
+        where it stopped. (For ``shards == 1`` a shard-round is exactly
+        a global admission round — the pre-shard semantics.)
         """
         stream = generate_events(self.seed, self.endpoints, self.events,
                                  self.profile)
@@ -527,16 +495,10 @@ class FleetService:
         db_blob = database.snapshot_bytes()
         fingerprint = self._fingerprint(db_blob)
 
-        completed: List[BatchResult] = []
-        rounds_done = 0
-        resumed = 0
-        events_resumed = 0
-        if self.resume and self.checkpoint_path and \
-                os.path.exists(self.checkpoint_path):
-            rounds_done, completed = _load_checkpoint(
-                self.checkpoint_path, fingerprint, len(jobs_per_round))
-            resumed = rounds_done
-            events_resumed = sum(len(batch.records) for batch in completed)
+        shards = build_shards(jobs_per_round, self.shards,
+                              self.checkpoint_path, fingerprint)
+        for shard in shards:
+            shard.load(self.resume)
 
         telemetry_on = TELEMETRY.enabled if self.telemetry is None \
             else bool(self.telemetry)
@@ -546,58 +508,54 @@ class FleetService:
                     telemetry_on, self.template, self.profile,
                     self.delta, shared_keys)
 
-        chunks_run = 0
         degraded = 0
+        chunks_run = 0
         headers: List[ChunkHeader] = []
-        interrupted = False
         used_pool = False
         self._local_ready = False
         prior_enabled = TELEMETRY.enabled
         try:
-            if rounds_done < len(jobs_per_round):
+            if any(shard.has_pending() for shard in shards):
                 executor, used_pool = make_executor(
                     initargs, self.max_workers, initialize_fleet_worker)
                 with executor:
-                    for round_jobs in jobs_per_round[rounds_done:]:
-                        if stop_after_rounds is not None and \
-                                rounds_done - resumed >= stop_after_rounds:
-                            interrupted = True
-                            break
-                        results, n_chunks, n_degraded, round_headers = \
-                            self._run_round(executor, round_jobs, initargs)
-                        chunks_run += n_chunks
-                        degraded += n_degraded
-                        headers.extend(round_headers)
-                        completed.extend(results)
-                        rounds_done += 1
-                        if self.checkpoint_path:
-                            _write_checkpoint(self.checkpoint_path,
-                                              fingerprint, rounds_done,
-                                              completed)
+                    chunks_run, degraded, headers = self._dispatch(
+                        executor, shards, initargs, stop_after_rounds)
         finally:
             TELEMETRY.enabled = prior_enabled
 
+        batches = sorted((batch for shard in shards
+                          for batch in shard.completed),
+                         key=lambda batch: batch.index)
         records = sorted(
-            (record for batch in completed for record in batch.records),
+            (record for batch in batches for record in batch.records),
             key=lambda record: record.seq)
+        outcomes = [shard.outcome() for shard in shards]
+        rounds_done = self._global_rounds_done(jobs_per_round, shards)
+        resumed = sum(shard.resumed_rounds for shard in shards)
+        new_rounds = sum(shard.rounds_done - shard.resumed_rounds
+                         for shard in shards)
         return FleetRunResult(
             endpoints=self.endpoints, seed=self.seed,
             events_planned=len(stream), records=records,
-            batches=list(completed),
+            batches=batches,
             queue_depth_hwm=plan.queue_depth_hwm,
             backpressure_stalls=plan.backpressure_stalls,
             rounds_total=len(jobs_per_round), rounds_done=rounds_done,
-            resumed_rounds=resumed, events_resumed=events_resumed,
+            resumed_rounds=resumed,
+            events_resumed=sum(shard.events_resumed for shard in shards),
             chunks=chunks_run,
             degraded_chunks=degraded,
-            used_process_pool=used_pool and degraded == 0 and
-            rounds_done > resumed,
-            completed=not interrupted and
-            rounds_done == len(jobs_per_round),
+            used_process_pool=used_pool and degraded == 0 and new_rounds > 0,
+            completed=all(not shard.has_pending() for shard in shards),
             shared_state_used=bool(headers) and all(
                 h.shared_database and (h.shared_template or not self.template)
                 for h in headers),
-            chunk_headers=headers)
+            chunk_headers=headers,
+            shards=self.shards,
+            shard_rounds_total=sum(len(shard.rounds) for shard in shards),
+            shard_rounds_done=sum(shard.rounds_done for shard in shards),
+            shard_outcomes=outcomes)
 
     def _build_jobs(self, plan: AdmissionPlan) -> List[List[BatchJob]]:
         """Rounds of batch jobs with globally-unique submission indices."""
@@ -611,6 +569,22 @@ class FleetService:
                 index += 1
             jobs_per_round.append(round_jobs)
         return jobs_per_round
+
+    @staticmethod
+    def _global_rounds_done(jobs_per_round: Sequence[Sequence[BatchJob]],
+                            shards: Sequence[FleetShard]) -> int:
+        """Global admission rounds fully covered by every owning shard."""
+        done_sets = [set(shard.done_global_rounds()) for shard in shards]
+        owners: Dict[int, List[int]] = {}
+        for shard in shards:
+            for global_index, _ in shard.rounds:
+                owners.setdefault(global_index, []).append(shard.index)
+        count = 0
+        for global_index in range(len(jobs_per_round)):
+            owning = owners.get(global_index, [])
+            if all(global_index in done_sets[index] for index in owning):
+                count += 1
+        return count
 
     def _publish_shared(self, db_blob: bytes) -> shared.SharedKeys:
         """Pre-fork: rehydrate the database and build the template once,
@@ -632,16 +606,66 @@ class FleetService:
             shared.publish_template(template_key, template)
         return shared.SharedKeys(database=db_key, template=template_key)
 
-    def _run_round(self, executor: Any, round_jobs: Sequence[BatchJob],
-                   initargs: tuple
-                   ) -> Tuple[List[BatchResult], int, int, List[ChunkHeader]]:
-        """Dispatch one round in chunks; collect in submission order."""
+    # -- sharded dispatch ------------------------------------------------------
+
+    def _dispatch(self, executor: Any, shards: Sequence[FleetShard],
+                  initargs: tuple, stop_after_rounds: Optional[int]
+                  ) -> Tuple[int, int, List[ChunkHeader]]:
+        """Pipelined shard dispatch over one shared executor.
+
+        Each shard keeps at most one round in flight; a shard's next
+        round submits the moment its previous round lands, independent
+        of the other shards' progress — the global per-round barrier the
+        monolithic service had is gone. ``stop_after_rounds`` caps how
+        many shard-rounds *start*; in-flight rounds always finish (and
+        checkpoint) before returning.
+        """
+        started = 0
+        chunks_run = 0
+        degraded = 0
+        headers: List[ChunkHeader] = []
+        inflight: Dict[int, Tuple[List[FleetChunk], List[Any]]] = {}
+        while True:
+            for shard in shards:
+                if shard.index in inflight or not shard.has_pending():
+                    continue
+                if stop_after_rounds is not None and \
+                        started >= stop_after_rounds:
+                    continue
+                chunks = self._make_chunks(shard.peek_round())
+                futures = [executor.submit(execute_fleet_chunk, chunk)
+                           for chunk in chunks]
+                inflight[shard.index] = (chunks, futures)
+                started += 1
+            if not inflight:
+                break
+            _wait_any([future for _, futures in inflight.values()
+                       for future in futures])
+            for index in sorted(inflight):
+                chunks, futures = inflight[index]
+                if not all(_future_done(future) for future in futures):
+                    continue
+                del inflight[index]
+                results, round_degraded, round_headers = \
+                    self._collect_round(chunks, futures, initargs)
+                chunks_run += len(chunks)
+                degraded += round_degraded
+                headers.extend(round_headers)
+                shards[index].finish_round(results, len(chunks),
+                                           round_degraded)
+        return chunks_run, degraded, headers
+
+    def _make_chunks(self, round_jobs: Sequence[BatchJob]
+                     ) -> List[FleetChunk]:
         size = self.chunksize or auto_chunksize(len(round_jobs),
                                                 self.max_workers)
-        chunks = [FleetChunk(tuple(round_jobs[i:i + size]))
-                  for i in range(0, len(round_jobs), size)]
-        futures = [executor.submit(execute_fleet_chunk, chunk)
-                   for chunk in chunks]
+        return [FleetChunk(tuple(round_jobs[i:i + size]))
+                for i in range(0, len(round_jobs), size)]
+
+    def _collect_round(self, chunks: Sequence[FleetChunk],
+                       futures: Sequence[Any], initargs: tuple
+                       ) -> Tuple[List[BatchResult], int, List[ChunkHeader]]:
+        """Decode one shard round's finished chunks, degrading on failure."""
         results: List[BatchResult] = []
         degraded = 0
         headers: List[ChunkHeader] = []
@@ -658,7 +682,7 @@ class FleetService:
                 degraded += 1
             results.extend(batches)
             headers.append(header)
-        return results, len(chunks), degraded, headers
+        return results, degraded, headers
 
     def _run_chunk_in_process(self, chunk: FleetChunk,
                               initargs: tuple) -> bytes:
@@ -672,3 +696,30 @@ class FleetService:
             initialize_fleet_worker(*initargs)
             self._local_ready = True
         return execute_fleet_chunk(pickle.loads(pickle.dumps(chunk)))
+
+
+def _future_done(future: Any) -> bool:
+    """``future.done()``, treating futures without ``done`` as done.
+
+    Fault-injected or degenerate executors may hand back bare objects
+    whose only contract is ``result()``; counting them done routes them
+    straight to collection, where ``result()`` raising triggers the
+    in-process degradation path.
+    """
+    probe = getattr(future, "done", None)
+    return True if probe is None else bool(probe())
+
+
+def _wait_any(futures: Sequence[Any]) -> None:
+    """Block until at least one future is done (serial futures already are).
+
+    Serial execution returns :class:`~repro.parallel.executor.
+    ImmediateFuture` objects (``done()`` is always True), so this only
+    actually blocks on real pool futures — and only when *none* are done
+    yet, so a mixed set can never deadlock or spin.
+    """
+    remaining = [future for future in futures if not _future_done(future)]
+    if not remaining or len(remaining) < len(futures):
+        return
+    concurrent.futures.wait(remaining,
+                            return_when=concurrent.futures.FIRST_COMPLETED)

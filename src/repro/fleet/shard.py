@@ -1,0 +1,300 @@
+"""Shard layer: deterministic routing, per-shard checkpoints, shard state.
+
+A *shard* is an independent slice of the fleet: a disjoint endpoint
+subset (routed by :func:`shard_of` — ``endpoint_id % shard_count``), its
+own sequence of admission rounds, its own checkpoint file
+(:func:`shard_checkpoint_path`), and its own partial rollup
+(:meth:`FleetShard.rollup`). The coordinator
+(:class:`~repro.fleet.service.FleetService`) plans admission *globally*
+— :func:`~repro.fleet.service.plan_rounds` runs once over the full
+stream, so queue statistics are shard-independent — and then routes each
+global round's batches to shards with :func:`route_round`. Shards
+dispatch concurrently (one in-flight round each, pipelined over a shared
+executor), which is the horizontal-scaling lever: no global per-round
+barrier serializes the fleet through one queue.
+
+Determinism: batch outcomes are pure functions of ``(endpoint_id,
+events)`` — every batch stamps a fresh endpoint from the machine
+template — so routing and completion order cannot change a record.
+The cross-shard contract (same seed ⇒ byte-identical global rollup for
+any shard count, serial or pooled, fresh or resumed) is proven in
+``tests/fleet/test_shards.py``.
+
+This module also owns the worker protocol dataclasses
+(:class:`BatchJob`, :class:`FleetChunk`, :class:`BatchResult`) and the
+checkpoint read/write helpers — shard-local structures the service layer
+builds on. Nothing here reads the host clock or entropy (scarelint
+SC001/SC002) and nothing holds fork-unsafe state (SC007).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..telemetry.snapshot import MetricsSnapshot
+from .endpoint import EventRecord
+from .events import FleetEvent
+from .report import ShardRollup
+
+
+class FleetCheckpointError(RuntimeError):
+    """A checkpoint file is unreadable or belongs to a different run."""
+
+
+# -- worker protocol ----------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class BatchJob:
+    """One endpoint's slice of one round (the unit of retry accounting)."""
+
+    index: int
+    endpoint_id: int
+    events: Tuple[FleetEvent, ...]
+    max_retries: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetChunk:
+    """A pickled-once group of batch jobs (the unit of pool submission)."""
+
+    jobs: Tuple[BatchJob, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchResult:
+    """Worker output for one batch — JSON-native for checkpoints."""
+
+    index: int
+    endpoint_id: int
+    records: Tuple[EventRecord, ...]
+    retries: int = 0
+    resets: int = 0
+    metrics: Optional[MetricsSnapshot] = None
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "endpoint": self.endpoint_id,
+                "records": [record.to_dict() for record in self.records],
+                "retries": self.retries, "resets": self.resets,
+                "metrics": None if self.metrics is None
+                else self.metrics.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BatchResult":
+        metrics = data.get("metrics")
+        return cls(
+            index=int(data["index"]), endpoint_id=int(data["endpoint"]),
+            records=tuple(EventRecord.from_dict(r)
+                          for r in data.get("records", ())),
+            retries=int(data.get("retries", 0)),
+            resets=int(data.get("resets", 0)),
+            metrics=None if metrics is None
+            else MetricsSnapshot.from_dict(metrics))
+
+
+# -- routing ------------------------------------------------------------------
+
+def shard_of(endpoint_id: int, shard_count: int) -> int:
+    """The shard an endpoint lives on: ``endpoint_id % shard_count``.
+
+    Stable, stateless and cheap — the admission front-end
+    (:mod:`repro.serve`) applies the same rule, so a tenant's endpoint
+    always lands on the same shard without a routing table.
+    """
+    if shard_count < 1:
+        raise ValueError("shard_count must be >= 1")
+    return endpoint_id % shard_count
+
+
+def route_round(round_jobs: Sequence[BatchJob], shard_count: int
+                ) -> Tuple[Tuple[BatchJob, ...], ...]:
+    """Partition one global round's batches across shards.
+
+    Per-shard order is the global round's submission order restricted to
+    that shard — deterministic, and endpoint-disjoint by construction.
+    """
+    routed: List[List[BatchJob]] = [[] for _ in range(shard_count)]
+    for job in round_jobs:
+        routed[shard_of(job.endpoint_id, shard_count)].append(job)
+    return tuple(tuple(jobs) for jobs in routed)
+
+
+def shard_checkpoint_path(base: Optional[str], index: int,
+                          shard_count: int) -> Optional[str]:
+    """Where shard ``index`` checkpoints.
+
+    A single-shard fleet uses the base path unchanged (the pre-shard
+    checkpoint layout); multi-shard fleets write one file per shard so
+    shards can checkpoint and resume independently.
+    """
+    if base is None or shard_count == 1:
+        return base
+    return f"{base}.shard-{index:02d}-of-{shard_count:02d}"
+
+
+# -- checkpoint io ------------------------------------------------------------
+
+def write_checkpoint(path: str, fingerprint: dict, rounds_done: int,
+                     completed: Sequence[BatchResult]) -> None:
+    """Atomic checkpoint write: temp file + ``os.replace``."""
+    payload = {"fingerprint": fingerprint, "rounds_done": rounds_done,
+               "batches": [batch.to_dict() for batch in completed]}
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, sort_keys=True, separators=(",", ":"))
+    os.replace(tmp_path, path)
+
+
+def load_checkpoint(path: str, fingerprint: dict, rounds_total: int
+                    ) -> Tuple[int, List[BatchResult]]:
+    """Read and validate a checkpoint against this run's fingerprint."""
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+    except (OSError, ValueError) as exc:
+        raise FleetCheckpointError(
+            f"unreadable checkpoint {path!r}: {exc}") from exc
+    stored = payload.get("fingerprint")
+    if stored != fingerprint:
+        raise FleetCheckpointError(
+            "checkpoint does not match this run's configuration; "
+            "refusing to resume (delete the file to start fresh)")
+    rounds_done = int(payload.get("rounds_done", 0))
+    if not 0 <= rounds_done <= rounds_total:
+        raise FleetCheckpointError(
+            f"checkpoint claims {rounds_done} completed rounds; "
+            f"this plan has {rounds_total}")
+    completed = [BatchResult.from_dict(entry)
+                 for entry in payload.get("batches", ())]
+    return rounds_done, completed
+
+
+# -- shard execution state ----------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class ShardOutcome:
+    """One shard's execution-shape summary (observability, not identity)."""
+
+    index: int
+    rounds_total: int
+    rounds_done: int
+    resumed_rounds: int
+    events_resumed: int
+    chunks: int
+    degraded_chunks: int
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "rounds_total": self.rounds_total,
+                "rounds_done": self.rounds_done,
+                "resumed_rounds": self.resumed_rounds,
+                "events_resumed": self.events_resumed,
+                "chunks": self.chunks,
+                "degraded_chunks": self.degraded_chunks}
+
+
+class FleetShard:
+    """Bookkeeping for one shard: its rounds, checkpoint, and progress.
+
+    ``rounds`` is this shard's (non-empty) slice of the global admission
+    plan, each entry tagged with the global round index it came from.
+    The coordinator drives the lifecycle — :meth:`load` (resume),
+    :meth:`peek_round`/:meth:`finish_round` (dispatch), — while the shard
+    owns its completed batches and checkpoint file, so shards progress
+    and recover independently of one another.
+    """
+
+    def __init__(self, index: int,
+                 rounds: Sequence[Tuple[int, Tuple[BatchJob, ...]]],
+                 checkpoint_path: Optional[str],
+                 fingerprint: dict) -> None:
+        self.index = index
+        self.rounds = list(rounds)
+        self.checkpoint_path = checkpoint_path
+        self.fingerprint = fingerprint
+        self.completed: List[BatchResult] = []
+        self.rounds_done = 0
+        self.resumed_rounds = 0
+        self.events_resumed = 0
+        self.chunks = 0
+        self.degraded_chunks = 0
+
+    def load(self, resume: bool) -> None:
+        """Resume from this shard's checkpoint when present."""
+        if not (resume and self.checkpoint_path and
+                os.path.exists(self.checkpoint_path)):
+            return
+        rounds_done, completed = load_checkpoint(
+            self.checkpoint_path, self.fingerprint, len(self.rounds))
+        self.rounds_done = rounds_done
+        self.completed = completed
+        self.resumed_rounds = rounds_done
+        self.events_resumed = sum(len(batch.records) for batch in completed)
+
+    def has_pending(self) -> bool:
+        return self.rounds_done < len(self.rounds)
+
+    def peek_round(self) -> Tuple[BatchJob, ...]:
+        """The next round's jobs (stays pending until :meth:`finish_round`)."""
+        return self.rounds[self.rounds_done][1]
+
+    def finish_round(self, results: Sequence[BatchResult], chunks: int,
+                     degraded: int) -> None:
+        """Commit one finished round: fold results, checkpoint atomically."""
+        self.completed.extend(results)
+        self.rounds_done += 1
+        self.chunks += chunks
+        self.degraded_chunks += degraded
+        if self.checkpoint_path:
+            write_checkpoint(self.checkpoint_path, self.fingerprint,
+                             self.rounds_done, self.completed)
+
+    def done_global_rounds(self) -> Tuple[int, ...]:
+        """Global round indices this shard has completed."""
+        return tuple(global_index for global_index, _ in
+                     self.rounds[:self.rounds_done])
+
+    def records(self) -> List[EventRecord]:
+        """This shard's seq-sorted records."""
+        return sorted(
+            (record for batch in self.completed for record in batch.records),
+            key=lambda record: record.seq)
+
+    def rollup(self) -> ShardRollup:
+        """This shard's mergeable partial rollup."""
+        return ShardRollup.from_records(self.records())
+
+    def outcome(self) -> ShardOutcome:
+        return ShardOutcome(
+            index=self.index, rounds_total=len(self.rounds),
+            rounds_done=self.rounds_done,
+            resumed_rounds=self.resumed_rounds,
+            events_resumed=self.events_resumed,
+            chunks=self.chunks, degraded_chunks=self.degraded_chunks)
+
+
+def build_shards(jobs_per_round: Sequence[Sequence[BatchJob]],
+                 shard_count: int, checkpoint_base: Optional[str],
+                 fingerprint: dict) -> List[FleetShard]:
+    """Route a global plan into per-shard round sequences.
+
+    Empty per-shard rounds are dropped (a shard only rounds over batches
+    it owns), so each shard's checkpoint counts its *own* rounds. Each
+    shard's fingerprint carries its index — shard files cannot be
+    cross-wired on resume.
+    """
+    per_shard: List[List[Tuple[int, Tuple[BatchJob, ...]]]] = \
+        [[] for _ in range(shard_count)]
+    for global_index, round_jobs in enumerate(jobs_per_round):
+        for index, jobs in enumerate(route_round(round_jobs, shard_count)):
+            if jobs:
+                per_shard[index].append((global_index, jobs))
+    shards: List[FleetShard] = []
+    for index in range(shard_count):
+        shard_fingerprint: Dict = dict(fingerprint, shard=index)
+        shards.append(FleetShard(
+            index, per_shard[index],
+            shard_checkpoint_path(checkpoint_base, index, shard_count),
+            shard_fingerprint))
+    return shards

@@ -1,0 +1,37 @@
+"""Asyncio admission front-end for the sharded fleet (``repro serve``).
+
+The paper's deployment story is an always-on protection *service*; this
+package puts a serving surface in front of :mod:`repro.fleet`'s sharded
+execution engine: a line-delimited JSON-RPC protocol
+(:mod:`~repro.serve.protocol`) over TCP or stdio, per-tenant bounded
+admission with explicit overload rejections
+(:mod:`~repro.serve.admission`), deterministic endpoint→shard routing
+(:func:`~repro.fleet.shard.shard_of`) into an in-process execution
+backend (:mod:`~repro.serve.backend`), and verdict batches streamed back
+(:mod:`~repro.serve.server`). See ``docs/FLEET.md``.
+
+The package is a scarelint deterministic zone: verdicts are pure
+functions of the submitted events, and nothing here reads the host clock
+or entropy — backpressure is expressed in queue occupancy, not time.
+"""
+
+from .admission import (DEFAULT_TENANT_LIMIT, AdmissionController,
+                        TenantState)
+from .backend import ShardedBackend
+from .protocol import (ERROR_INVALID_PARAMS, ERROR_INVALID_REQUEST,
+                       ERROR_METHOD_NOT_FOUND, ERROR_OVERLOADED,
+                       ERROR_PARSE, PROTOCOL_VERSION, ProtocolError,
+                       ServeRequest, encode_error, encode_response,
+                       event_from_dict, event_to_dict, parse_events,
+                       parse_request)
+from .server import DEFAULT_MAX_BATCH, FleetServer, ServeConfig
+
+__all__ = [
+    "AdmissionController", "DEFAULT_MAX_BATCH", "DEFAULT_TENANT_LIMIT",
+    "ERROR_INVALID_PARAMS", "ERROR_INVALID_REQUEST",
+    "ERROR_METHOD_NOT_FOUND", "ERROR_OVERLOADED", "ERROR_PARSE",
+    "FleetServer", "PROTOCOL_VERSION", "ProtocolError", "ServeConfig",
+    "ServeRequest", "ShardedBackend", "TenantState", "encode_error",
+    "encode_response", "event_from_dict", "event_to_dict", "parse_events",
+    "parse_request",
+]

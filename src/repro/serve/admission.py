@@ -1,0 +1,96 @@
+"""Per-tenant bounded admission: the serving layer's backpressure model.
+
+Each tenant owns a bounded count of *pending* (admitted but not yet
+verdicted) events. A ``submit`` whose batch would push the tenant over
+its bound is rejected with :data:`~repro.serve.protocol.ERROR_OVERLOADED`
+— an explicit, counted rejection the client retries, never a silent
+drop or an unbounded queue. This mirrors the fleet's offline admission
+model (:func:`~repro.fleet.service.plan_rounds`): occupancy, not time,
+is the pressure signal, which keeps the whole serving path inside the
+scarelint deterministic zone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+#: Default per-tenant pending-event bound.
+DEFAULT_TENANT_LIMIT = 256
+
+
+@dataclasses.dataclass
+class TenantState:
+    """Admission bookkeeping for one tenant."""
+
+    pending: int = 0
+    pending_hwm: int = 0
+    admitted_events: int = 0
+    rejected_batches: int = 0
+
+    def to_dict(self) -> dict:
+        return {"pending": self.pending, "pending_hwm": self.pending_hwm,
+                "admitted_events": self.admitted_events,
+                "rejected_batches": self.rejected_batches}
+
+
+class AdmissionController:
+    """Bounded per-tenant admission with overload rejection.
+
+    Not thread-safe by design: the server drives it from a single
+    asyncio event loop, where admit/release interleave deterministically
+    with request handling.
+    """
+
+    def __init__(self, tenant_limit: int = DEFAULT_TENANT_LIMIT) -> None:
+        if tenant_limit < 1:
+            raise ValueError("tenant_limit must be >= 1")
+        self.tenant_limit = tenant_limit
+        self.tenants: Dict[str, TenantState] = {}
+
+    def _state(self, tenant: str) -> TenantState:
+        state = self.tenants.get(tenant)
+        if state is None:
+            state = self.tenants[tenant] = TenantState()
+        return state
+
+    def try_admit(self, tenant: str, events: int) -> bool:
+        """Admit ``events`` for ``tenant``, or reject the whole batch.
+
+        Admission is all-or-nothing per batch (a partially-admitted
+        batch would split an endpoint's arrival order across retries).
+        """
+        if events < 0:
+            raise ValueError("events must be >= 0")
+        state = self._state(tenant)
+        if state.pending + events > self.tenant_limit:
+            state.rejected_batches += 1
+            return False
+        state.pending += events
+        state.pending_hwm = max(state.pending_hwm, state.pending)
+        state.admitted_events += events
+        return True
+
+    def release(self, tenant: str, events: int) -> None:
+        """Return verdicted events' slots to the tenant's budget."""
+        state = self._state(tenant)
+        state.pending = max(0, state.pending - events)
+
+    @property
+    def rejected_batches(self) -> int:
+        return sum(state.rejected_batches
+                   for state in self.tenants.values())
+
+    @property
+    def admitted_events(self) -> int:
+        return sum(state.admitted_events
+                   for state in self.tenants.values())
+
+    def stats(self) -> dict:
+        """Canonical per-tenant + total admission statistics."""
+        return {"tenant_limit": self.tenant_limit,
+                "admitted_events": self.admitted_events,
+                "rejected_batches": self.rejected_batches,
+                "tenants": {tenant: state.to_dict()
+                            for tenant, state
+                            in sorted(self.tenants.items())}}

@@ -1,0 +1,105 @@
+"""In-process execution backend: routed, deterministic verdict batches.
+
+:class:`ShardedBackend` is the serving twin of the offline
+:class:`~repro.fleet.service.FleetService` round executor. It reuses the
+exact same worker runtime — :func:`~repro.fleet.service.
+initialize_fleet_worker` fixtures, :func:`~repro.fleet.service.
+execute_fleet_batch` per endpoint batch — so a verdict served online is
+byte-for-byte the record the offline fleet would have produced for the
+same events (proven in ``tests/serve/test_server.py``). Submitted
+batches group per endpoint in first-arrival order (the admission
+grouping rule) and route to shards with :func:`~repro.fleet.shard.
+shard_of`; per-shard batch counts come back with every submission so
+the server's ``shard.*`` telemetry reflects real routing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.database import DeceptionDatabase
+from ..core.profiles import ScarecrowConfig
+from ..parallel.factories import FactorySpec
+from ..parallel.template import DeltaMode
+from ..telemetry.metrics import TELEMETRY
+from ..fleet.endpoint import EventRecord
+from ..fleet.events import FleetEvent, WorkloadProfile
+from ..fleet.service import (DEFAULT_FLEET_FACTORY, _group_round,
+                             execute_fleet_batch, initialize_fleet_worker)
+from ..fleet.shard import BatchJob, shard_of
+
+
+class ShardedBackend:
+    """Executes admitted event batches against per-endpoint machines.
+
+    Fixture setup (database snapshot, machine template) is lazy and
+    happens once, on the first submission — the resident-service shape.
+    Execution is synchronous and single-threaded; concurrency control
+    (one submission at a time) belongs to the server's event loop.
+    """
+
+    def __init__(self, machine_factory: FactorySpec = DEFAULT_FLEET_FACTORY,
+                 *, shards: int = 1,
+                 database: Optional[DeceptionDatabase] = None,
+                 config: Optional[ScarecrowConfig] = None,
+                 profile: Optional[WorkloadProfile] = None,
+                 template: bool = True,
+                 delta: DeltaMode = True,
+                 max_retries: int = 1) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.machine_factory = machine_factory
+        self.shards = shards
+        self.database = database
+        self.config = config
+        self.profile = profile
+        self.template = template
+        self.delta = delta
+        self.max_retries = max_retries
+        self.batches_executed = 0
+        self.events_executed = 0
+        #: Batches executed per shard index (routing observability).
+        self.shard_batches: Dict[int, int] = {}
+        self._ready = False
+        self._next_index = 0
+
+    def _ensure_ready(self) -> None:
+        if self._ready:
+            return
+        database = self.database if self.database is not None \
+            else DeceptionDatabase()
+        initialize_fleet_worker(
+            self.machine_factory, database.snapshot_bytes(), self.config,
+            telemetry=TELEMETRY.enabled, template=self.template,
+            profile=self.profile, delta=self.delta)
+        self._ready = True
+
+    def submit(self, events: Sequence[FleetEvent]
+               ) -> Tuple[List[EventRecord], Dict[int, int]]:
+        """Execute one admitted batch; returns (records, shard→batches).
+
+        Events group per endpoint in first-arrival order — each
+        endpoint's slice runs on one freshly-stamped machine, exactly
+        like one offline admission round — and records come back
+        seq-sorted.
+        """
+        self._ensure_ready()
+        routed: Dict[int, int] = {}
+        records: List[EventRecord] = []
+        for endpoint_id, batch_events in _group_round(list(events)):
+            shard = shard_of(endpoint_id, self.shards)
+            routed[shard] = routed.get(shard, 0) + 1
+            job = BatchJob(self._next_index, endpoint_id, batch_events,
+                           self.max_retries)
+            self._next_index += 1
+            result = execute_fleet_batch(job)
+            records.extend(result.records)
+            self.batches_executed += 1
+            self.events_executed += len(result.records)
+        for shard, count in routed.items():
+            self.shard_batches[shard] = \
+                self.shard_batches.get(shard, 0) + count
+        records.sort(key=lambda record: record.seq)
+        return records, routed

@@ -1,0 +1,149 @@
+"""Line-delimited JSON-RPC protocol of ``repro serve``.
+
+One request per line, one response per line, both canonical sorted-key
+JSON. Requests follow the JSON-RPC 2.0 shape (``id``, ``method``,
+``params``); responses carry either ``result`` or ``error`` with the
+standard error codes plus one service-specific code:
+
+==================  ======  ==============================================
+name                code    meaning
+==================  ======  ==============================================
+ERROR_PARSE         -32700  the line is not valid JSON
+ERROR_INVALID_REQ   -32600  valid JSON but not a request object
+ERROR_METHOD        -32601  unknown method
+ERROR_INVALID_PAR   -32602  malformed params (bad event fields, ...)
+ERROR_OVERLOADED    -32003  tenant admission queue full — retry later
+==================  ======  ==============================================
+
+``ERROR_OVERLOADED`` is the backpressure signal: it is an *explicit,
+counted* rejection (``serve.rejections``), never a silent drop — the
+client owns the retry policy.
+
+Methods: ``submit`` (``{"tenant": str, "events": [...]}`` → verdict
+batch), ``stats`` (admission/serving counters), ``ping``. Events and
+verdicts are the fleet's wire shapes — :func:`event_from_dict` mirrors
+:class:`~repro.fleet.events.FleetEvent`, verdicts are
+:meth:`~repro.fleet.endpoint.EventRecord.to_dict` objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Mapping, Optional, Tuple
+
+from ..fleet.events import EVENT_KINDS, FleetEvent
+
+#: Wire-format version, echoed by ``ping`` and ``stats``.
+PROTOCOL_VERSION = 1
+
+ERROR_PARSE = -32700
+ERROR_INVALID_REQUEST = -32600
+ERROR_METHOD_NOT_FOUND = -32601
+ERROR_INVALID_PARAMS = -32602
+#: Per-tenant admission queue full; the batch was rejected, not queued.
+ERROR_OVERLOADED = -32003
+
+#: Methods the server dispatches.
+METHODS = ("ping", "stats", "submit")
+
+
+class ProtocolError(ValueError):
+    """A request violates the wire protocol; carries the JSON-RPC code."""
+
+    def __init__(self, code: int, message: str,
+                 request_id: Optional[Any] = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.request_id = request_id
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeRequest:
+    """One parsed request line."""
+
+    id: Any
+    method: str
+    params: Mapping[str, Any]
+
+
+def parse_request(line: str) -> ServeRequest:
+    """Parse and validate one request line."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(ERROR_PARSE,
+                            f"not valid JSON: {exc.msg}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(ERROR_INVALID_REQUEST,
+                            "request is not an object")
+    request_id = payload.get("id")
+    method = payload.get("method")
+    if not isinstance(method, str):
+        raise ProtocolError(ERROR_INVALID_REQUEST, "missing method",
+                            request_id)
+    if method not in METHODS:
+        raise ProtocolError(ERROR_METHOD_NOT_FOUND,
+                            f"unknown method {method!r}", request_id)
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(ERROR_INVALID_PARAMS, "params is not an object",
+                            request_id)
+    return ServeRequest(id=request_id, method=method, params=params)
+
+
+def event_to_dict(event: FleetEvent) -> dict:
+    return {"seq": event.seq, "at_ms": event.at_ms,
+            "endpoint_id": event.endpoint_id, "kind": event.kind,
+            "ref": event.ref}
+
+
+def event_from_dict(data: Mapping[str, Any],
+                    request_id: Optional[Any] = None) -> FleetEvent:
+    """Validate one wire event into a :class:`FleetEvent`."""
+    if not isinstance(data, Mapping):
+        raise ProtocolError(ERROR_INVALID_PARAMS, "event is not an object",
+                            request_id)
+    try:
+        seq = int(data["seq"])
+        at_ms = int(data["at_ms"])
+        endpoint_id = int(data["endpoint_id"])
+        kind = data["kind"]
+        ref = int(data["ref"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(
+            ERROR_INVALID_PARAMS,
+            f"event missing/malformed field: {exc}", request_id) from exc
+    if kind not in EVENT_KINDS:
+        raise ProtocolError(ERROR_INVALID_PARAMS,
+                            f"unknown event kind {kind!r}", request_id)
+    if endpoint_id < 0:
+        raise ProtocolError(ERROR_INVALID_PARAMS,
+                            "endpoint_id must be >= 0", request_id)
+    return FleetEvent(seq=seq, at_ms=at_ms, endpoint_id=endpoint_id,
+                      kind=kind, ref=ref)
+
+
+def parse_events(params: Mapping[str, Any],
+                 request_id: Optional[Any] = None
+                 ) -> Tuple[FleetEvent, ...]:
+    """The ``events`` list of a ``submit`` request, validated."""
+    events = params.get("events")
+    if not isinstance(events, list):
+        raise ProtocolError(ERROR_INVALID_PARAMS,
+                            "params.events must be a list", request_id)
+    return tuple(event_from_dict(entry, request_id) for entry in events)
+
+
+def encode_response(request_id: Any, result: Mapping[str, Any]) -> str:
+    """One canonical result line."""
+    return json.dumps({"id": request_id, "result": dict(result)},
+                      sort_keys=True, separators=(",", ":"))
+
+
+def encode_error(request_id: Any, code: int, message: str) -> str:
+    """One canonical error line."""
+    return json.dumps(
+        {"id": request_id, "error": {"code": code, "message": message}},
+        sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,201 @@
+"""Asyncio serving loop: TCP/stdio transports over the line protocol.
+
+:class:`FleetServer` glues the three layers together: parse
+(:mod:`~repro.serve.protocol`) → admit (:mod:`~repro.serve.admission`)
+→ execute (:mod:`~repro.serve.backend`) → respond. The server is a
+single asyncio event loop; an :class:`asyncio.Lock` serializes backend
+execution so submissions from concurrent connections interleave at
+batch granularity while the bounded per-tenant admission (checked
+*before* waiting on the lock) keeps the wait set finite — overload is
+rejected immediately with ``ERROR_OVERLOADED``, not queued.
+
+Transports:
+
+* **TCP** — :meth:`FleetServer.start_tcp` (``asyncio.start_server``;
+  port 0 picks an ephemeral port, used by the round-trip smoke test).
+* **stdio** — :meth:`FleetServer.process_lines` folds an iterable of
+  request lines into response lines; the CLI drives it with stdin.
+
+Every request outcome is counted (``serve.*`` in the stats method and,
+when telemetry is enabled, in the process registry for ``repro stats``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from ..parallel.factories import FactorySpec
+from ..telemetry.metrics import TELEMETRY
+from ..fleet.service import DEFAULT_FLEET_FACTORY
+from .admission import DEFAULT_TENANT_LIMIT, AdmissionController
+from .backend import ShardedBackend
+from .protocol import (ERROR_INVALID_PARAMS, ERROR_OVERLOADED,
+                       PROTOCOL_VERSION, ProtocolError, ServeRequest,
+                       encode_error, encode_response, event_to_dict,
+                       parse_events, parse_request)
+
+#: Default per-submission event cap (a single oversized batch cannot
+#: starve every other tenant behind the execution lock).
+DEFAULT_MAX_BATCH = 128
+
+#: Tenant used when a submit request names none.
+DEFAULT_TENANT = "default"
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """Construction-time knobs of one :class:`FleetServer`."""
+
+    machine_factory: FactorySpec = DEFAULT_FLEET_FACTORY
+    shards: int = 1
+    tenant_limit: int = DEFAULT_TENANT_LIMIT
+    max_batch: int = DEFAULT_MAX_BATCH
+    max_retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.tenant_limit < 1:
+            raise ValueError("tenant_limit must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+class FleetServer:
+    """One admission front-end instance (one event loop, N connections)."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 backend: Optional[ShardedBackend] = None) -> None:
+        self.config = config or ServeConfig()
+        self.backend = backend if backend is not None else ShardedBackend(
+            self.config.machine_factory, shards=self.config.shards,
+            max_retries=self.config.max_retries)
+        self.admission = AdmissionController(self.config.tenant_limit)
+        self.counters: Dict[str, int] = {
+            "requests": 0, "submits": 0, "events": 0, "verdicts": 0,
+            "rejections": 0, "errors": 0}
+        self._execute_lock: Optional[asyncio.Lock] = None
+
+    def _lock(self) -> asyncio.Lock:
+        # Created lazily so the server can be built outside a loop and
+        # the lock binds to whichever loop actually serves.
+        if self._execute_lock is None:
+            self._execute_lock = asyncio.Lock()
+        return self._execute_lock
+
+    def _count(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+        if TELEMETRY.enabled:
+            TELEMETRY.count(f"serve.{name}", value)
+
+    # -- request handling ------------------------------------------------------
+
+    async def handle_line(self, line: str) -> str:
+        """One request line → one response line (never raises)."""
+        self._count("requests")
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self._count("errors")
+            return encode_error(exc.request_id, exc.code, exc.message)
+        try:
+            if request.method == "ping":
+                return encode_response(request.id, self._ping())
+            if request.method == "stats":
+                return encode_response(request.id, self._stats())
+            return encode_response(request.id,
+                                   await self._submit(request))
+        except ProtocolError as exc:
+            self._count("errors" if exc.code != ERROR_OVERLOADED
+                        else "rejections")
+            return encode_error(request.id, exc.code, exc.message)
+
+    def _ping(self) -> Mapping[str, Any]:
+        return {"ok": True, "v": PROTOCOL_VERSION,
+                "shards": self.backend.shards}
+
+    def _stats(self) -> Mapping[str, Any]:
+        return {"v": PROTOCOL_VERSION,
+                "serve": dict(sorted(self.counters.items())),
+                "admission": self.admission.stats(),
+                "shards": {"count": self.backend.shards,
+                           "batches": {str(shard): count for shard, count
+                                       in sorted(
+                                           self.backend.shard_batches
+                                           .items())}}}
+
+    async def _submit(self, request: ServeRequest) -> Mapping[str, Any]:
+        tenant = request.params.get("tenant", DEFAULT_TENANT)
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError(ERROR_INVALID_PARAMS,
+                                "tenant must be a non-empty string",
+                                request.id)
+        events = parse_events(request.params, request.id)
+        if len(events) > self.config.max_batch:
+            raise ProtocolError(
+                ERROR_OVERLOADED,
+                f"batch of {len(events)} events exceeds max_batch "
+                f"{self.config.max_batch}", request.id)
+        if not self.admission.try_admit(tenant, len(events)):
+            raise ProtocolError(
+                ERROR_OVERLOADED,
+                f"tenant {tenant!r} admission queue full "
+                f"({self.admission.tenant_limit} pending events max); "
+                f"retry after verdicts drain", request.id)
+        try:
+            async with self._lock():
+                records, routed = self.backend.submit(events)
+        finally:
+            self.admission.release(tenant, len(events))
+        self._count("submits")
+        self._count("events", len(events))
+        self._count("verdicts", len(records))
+        return {"tenant": tenant,
+                "verdicts": [record.to_dict() for record in records],
+                "shard_batches": {str(shard): count for shard, count
+                                  in sorted(routed.items())}}
+
+    # -- transports ------------------------------------------------------------
+
+    async def handle_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        """One TCP client: request lines in, response lines out."""
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                response = await self.handle_line(text)
+                writer.write(response.encode("utf-8") + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # Server teardown cancels in-flight connection tasks mid
+                # wait_closed; the transport is gone either way.
+                pass
+
+    async def start_tcp(self, host: str = "127.0.0.1",
+                        port: int = 0) -> asyncio.AbstractServer:
+        """Bind the TCP transport (port 0 = ephemeral, for tests)."""
+        return await asyncio.start_server(self.handle_connection,
+                                          host=host, port=port)
+
+    async def process_lines(self, lines: Iterable[str]) -> List[str]:
+        """The stdio transport: fold request lines into response lines."""
+        responses: List[str] = []
+        for line in lines:
+            text = line.strip()
+            if not text:
+                continue
+            responses.append(await self.handle_line(text))
+        return responses

@@ -80,7 +80,10 @@ FORK_SAFE_GLOBALS: FrozenSet[Tuple[str, str]] = frozenset({
 })
 
 #: Modules whose objects cross the fork/pickle worker boundary.
-WORKER_ZONES = ("repro.parallel", "repro.fleet")
+#: ``repro.serve`` is audited too: the server shares the fleet's worker
+#: runtime, so any module-level state it grows must be fork-safe (or
+#: registered) before a pooled backend ever becomes an option.
+WORKER_ZONES = ("repro.parallel", "repro.fleet", "repro.serve")
 
 #: snapshot/restore method-name pairs SC008 audits.
 SNAPSHOT_PAIRS = (("snapshot", "restore"),

@@ -35,10 +35,13 @@ from .cache import FileContext
 #: ``repro.fleet`` joins the zones because its whole contract is replay:
 #: the event stream, the admission plan and every latency number must be
 #: pure functions of the seed — scheduling runs on the endpoints' virtual
-#: clocks, never the host's.
+#: clocks, never the host's. ``repro.serve`` joins for the same reason:
+#: a served verdict must be a pure function of the submitted events, and
+#: admission backpressure is expressed in queue occupancy, never time.
 DETERMINISTIC_ZONES: Tuple[str, ...] = (
     "repro.winsim", "repro.winapi", "repro.hooking", "repro.core",
     "repro.parallel", "repro.parallel.template", "repro.fleet",
+    "repro.serve",
 )
 
 FileCheckFn = Callable[[FileContext], List["Finding"]]

@@ -52,6 +52,12 @@ WALLCLOCK_PREFIX = "wallclock."
 #: (``repro fleet``; docs/FLEET.md).
 FLEET_PREFIX = "fleet."
 
+#: Counter/gauge prefix of the sharded dispatch layer (``--shards``).
+SHARD_PREFIX = "shard."
+
+#: Counter prefix of the admission front-end (``repro serve``).
+SERVE_PREFIX = "serve."
+
 #: Host wall-clock histogram the fleet CLI records one run duration into;
 #: with the ``fleet.events`` counter it yields events/sec.
 FLEET_RUN_WALLCLOCK = "wallclock.fleet.run_ns"
@@ -200,6 +206,28 @@ class FleetHealth:
     latency_p50_ns: int
     latency_p99_ns: int
     family_rows: List[FamilyRow]
+    #: Shard layout of the run (``shard.*`` metrics; 0 when absent).
+    shards: int = 0
+    shard_rounds: int = 0
+    shard_rounds_resumed: int = 0
+
+
+@dataclasses.dataclass
+class ServeHealth:
+    """The admission front-end section of ``repro stats``.
+
+    Present only when the trace carries ``serve.*`` counters (a
+    ``repro serve --telemetry`` session). ``rejections`` are explicit
+    per-tenant overload refusals — the backpressure signal of
+    docs/FLEET.md's serving section.
+    """
+
+    requests: int
+    submits: int
+    events: int
+    verdicts: int
+    rejections: int
+    errors: int
 
 
 @dataclasses.dataclass
@@ -219,6 +247,8 @@ class StatsSummary:
         default_factory=list)
     #: Fleet-service health, when the trace has ``fleet.*`` metrics.
     fleet: Optional[FleetHealth] = None
+    #: Admission front-end health, when the trace has ``serve.*`` metrics.
+    serve: Optional[ServeHealth] = None
 
 
 def _latency_rows(snapshot: MetricsSnapshot, prefix: str) -> List[LatencyRow]:
@@ -276,7 +306,24 @@ def _fleet_health(snapshot: MetricsSnapshot) -> Optional[FleetHealth]:
         latency_count=latency.count if latency else 0,
         latency_p50_ns=latency.percentile(50) if latency else 0,
         latency_p99_ns=latency.percentile(99) if latency else 0,
-        family_rows=family_rows)
+        family_rows=family_rows,
+        shards=int(snapshot.gauges.get("shard.count", 0.0)),
+        shard_rounds=counters.get("shard.rounds", 0),
+        shard_rounds_resumed=counters.get("shard.rounds_resumed", 0))
+
+
+def _serve_health(snapshot: MetricsSnapshot) -> Optional[ServeHealth]:
+    """Fold ``serve.*`` counters into the stats section (None when absent)."""
+    counters = snapshot.counters
+    if not any(name.startswith(SERVE_PREFIX) for name in counters):
+        return None
+    return ServeHealth(
+        requests=counters.get("serve.requests", 0),
+        submits=counters.get("serve.submits", 0),
+        events=counters.get("serve.events", 0),
+        verdicts=counters.get("serve.verdicts", 0),
+        rejections=counters.get("serve.rejections", 0),
+        errors=counters.get("serve.errors", 0))
 
 
 def summarize_records(records: Iterable[dict]) -> StatsSummary:
@@ -306,4 +353,5 @@ def summarize_records(records: Iterable[dict]) -> StatsSummary:
         hook_rows=_latency_rows(snapshot, HOOK_LATENCY_PREFIX),
         samples=samples, errors=errors,
         wallclock_rows=_latency_rows(snapshot, WALLCLOCK_PREFIX),
-        fleet=_fleet_health(snapshot))
+        fleet=_fleet_health(snapshot),
+        serve=_serve_health(snapshot))

@@ -1,0 +1,149 @@
+"""Merge algebra of the shard partials — the determinism load-bearer.
+
+The cross-shard byte-identity contract reduces to three algebraic facts
+proven here property-style: :class:`ShardRollup.merge` is associative,
+commutative and has :meth:`ShardRollup.empty` as identity; partitioning
+a record set *any* way and merging the partials reproduces the
+single-fold rollup; and the same holds for the telemetry
+:class:`MetricsSnapshot` machinery the rollups ride on. Together these
+mean neither shard count nor shard completion order can change the
+global rollup bytes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import (EVENT_BENIGN, EVENT_MALWARE, EVENT_RESET,
+                         EventRecord, ShardRollup, finalize_report,
+                         merge_shard_rollups)
+from repro.telemetry.snapshot import MetricsSnapshot
+
+pytestmark = pytest.mark.fleet
+
+_FAMILIES = ("Symmi", "Zbot", "Selfdel")
+
+
+@st.composite
+def records(draw):
+    kind = draw(st.sampled_from((EVENT_MALWARE, EVENT_BENIGN, EVENT_RESET)))
+    seq = draw(st.integers(min_value=0, max_value=10_000))
+    endpoint = draw(st.integers(min_value=0, max_value=31))
+    failed = draw(st.booleans()) and kind != EVENT_RESET and \
+        draw(st.integers(0, 9)) == 0
+    return EventRecord(
+        seq=seq, endpoint_id=endpoint, kind=kind,
+        ref=draw(st.integers(min_value=0, max_value=7)),
+        label="(failed)" if failed else f"sample-{seq % 5}",
+        family=draw(st.sampled_from(_FAMILIES))
+        if kind == EVENT_MALWARE else "",
+        ok=draw(st.booleans()),
+        deactivated=draw(st.booleans()) if kind == EVENT_MALWARE else None,
+        reports=draw(st.integers(min_value=0, max_value=3)),
+        latency_ns=draw(st.integers(min_value=0, max_value=10**9)),
+        retries=draw(st.integers(min_value=0, max_value=2)))
+
+
+record_lists = st.lists(records(), max_size=40)
+
+
+def _json(rollup):
+    return rollup.to_json()
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(record_lists, record_lists)
+    def test_commutative(self, first, second):
+        left = ShardRollup.from_records(first)
+        right = ShardRollup.from_records(second)
+        assert _json(left.merge(right)) == _json(right.merge(left))
+
+    @settings(max_examples=60, deadline=None)
+    @given(record_lists, record_lists, record_lists)
+    def test_associative(self, first, second, third):
+        partials = [ShardRollup.from_records(group)
+                    for group in (first, second, third)]
+        left_fold = partials[0].merge(partials[1]).merge(partials[2])
+        right_fold = partials[0].merge(partials[1].merge(partials[2]))
+        assert _json(left_fold) == _json(right_fold)
+
+    @settings(max_examples=60, deadline=None)
+    @given(record_lists)
+    def test_empty_is_the_identity(self, entries):
+        rollup = ShardRollup.from_records(entries)
+        assert _json(ShardRollup.empty().merge(rollup)) == _json(rollup)
+        assert _json(rollup.merge(ShardRollup.empty())) == _json(rollup)
+
+
+class TestPartitionInvariance:
+    """Any sharding of the records merges back to the unsharded fold."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(record_lists, st.integers(min_value=1, max_value=6))
+    def test_modular_sharding_reproduces_the_global_fold(self, entries,
+                                                         shard_count):
+        whole = ShardRollup.from_records(entries)
+        partials = [
+            ShardRollup.from_records(
+                [record for record in entries
+                 if record.endpoint_id % shard_count == index])
+            for index in range(shard_count)]
+        assert _json(merge_shard_rollups(partials)) == _json(whole)
+
+    @settings(max_examples=60, deadline=None)
+    @given(record_lists, st.randoms(use_true_random=False))
+    def test_completion_order_cannot_change_the_bytes(self, entries, rng):
+        groups = [[record for record in entries
+                   if record.endpoint_id % 4 == index] for index in range(4)]
+        partials = [ShardRollup.from_records(group) for group in groups]
+        shuffled = list(partials)
+        rng.shuffle(shuffled)
+        assert _json(merge_shard_rollups(shuffled)) == \
+            _json(merge_shard_rollups(partials))
+
+    @settings(max_examples=40, deadline=None)
+    @given(record_lists, st.integers(min_value=1, max_value=4))
+    def test_report_bytes_are_partition_invariant(self, entries,
+                                                  shard_count):
+        def report(merged):
+            return finalize_report(
+                merged, endpoints=32, seed=1, events_planned=len(entries),
+                queue_depth_hwm=8, backpressure_stalls=2, rounds=3,
+                completed=True).to_json()
+
+        whole = ShardRollup.from_records(entries)
+        partials = [
+            ShardRollup.from_records(
+                [record for record in entries
+                 if record.endpoint_id % shard_count == index])
+            for index in range(shard_count)]
+        assert report(merge_shard_rollups(partials)) == report(whole)
+
+
+class TestSnapshotMergeAlgebra:
+    """The telemetry layer the rollups ride on obeys the same algebra."""
+
+    snapshots = st.builds(
+        MetricsSnapshot,
+        counters=st.dictionaries(
+            st.sampled_from(("fleet.events", "fleet.retries",
+                             "shard.rounds", "serve.events")),
+            st.integers(min_value=0, max_value=1000), max_size=4),
+        gauges=st.dictionaries(
+            st.sampled_from(("fleet.queue_depth_hwm", "shard.count")),
+            st.floats(min_value=0, max_value=64, allow_nan=False),
+            max_size=2))
+
+    @settings(max_examples=60, deadline=None)
+    @given(snapshots, snapshots, snapshots)
+    def test_snapshot_merge_is_associative(self, first, second, third):
+        left = first.merge(second).merge(third)
+        right = first.merge(second.merge(third))
+        assert left.to_json() == right.to_json()
+
+    @settings(max_examples=60, deadline=None)
+    @given(snapshots, snapshots)
+    def test_snapshot_merge_is_commutative(self, first, second):
+        assert first.merge(second).to_json() == \
+            second.merge(first).to_json()

@@ -1,0 +1,171 @@
+"""Sharded dispatch: routing, per-shard checkpoints, cross-shard identity.
+
+The tentpole contract under test: same seed ⇒ byte-identical global
+rollup for ``shards ∈ {1, 2, 4}``, serial or pooled, fresh or resumed —
+admission is planned globally before routing, batch outcomes are pure
+per ``(endpoint_id, events)``, and per-shard partials merge through an
+associative monoid, so the shard count must never move a byte.
+"""
+
+import os
+
+import pytest
+
+from repro.fleet import (FleetCheckpointError, FleetService, build_fleet_report,
+                         route_round, shard_checkpoint_path, shard_of)
+from repro.fleet.shard import BatchJob
+
+pytestmark = pytest.mark.fleet
+
+FACTORY = "bare-metal-light"
+
+
+def _service(tmp_path=None, **kwargs):
+    kwargs.setdefault("endpoints", 8)
+    kwargs.setdefault("events", 48)
+    kwargs.setdefault("seed", 42)
+    kwargs.setdefault("queue_limit", 16)
+    kwargs.setdefault("machine_factory", FACTORY)
+    if tmp_path is not None:
+        kwargs.setdefault("checkpoint_path", str(tmp_path / "fleet.ckpt"))
+    return FleetService(**kwargs)
+
+
+def _rollup(result):
+    return build_fleet_report(result).to_json()
+
+
+class TestRouting:
+    def test_shard_of_is_modular(self):
+        assert [shard_of(e, 4) for e in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_shard_of_single_shard_is_always_zero(self):
+        assert all(shard_of(e, 1) == 0 for e in range(16))
+
+    def test_shard_of_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            shard_of(3, 0)
+
+    def test_route_round_partitions_disjointly_in_order(self):
+        jobs = [BatchJob(i, endpoint_id, ()) for i, endpoint_id
+                in enumerate([5, 2, 8, 1, 4, 7])]
+        routed = route_round(jobs, 3)
+        assert len(routed) == 3
+        for index, shard_jobs in enumerate(routed):
+            assert all(job.endpoint_id % 3 == index for job in shard_jobs)
+        flattened = sorted((job for shard_jobs in routed
+                            for job in shard_jobs),
+                           key=lambda job: job.index)
+        assert flattened == jobs
+
+    def test_checkpoint_path_single_shard_is_the_base(self):
+        assert shard_checkpoint_path("x.ckpt", 0, 1) == "x.ckpt"
+        assert shard_checkpoint_path(None, 0, 4) is None
+
+    def test_checkpoint_path_multi_shard_is_suffixed(self):
+        assert shard_checkpoint_path("x.ckpt", 1, 4) == \
+            "x.ckpt.shard-01-of-04"
+
+
+class TestCrossShardIdentity:
+    """shards ∈ {1, 2, 4} × serial × {fresh, resumed} — same bytes."""
+
+    def test_fresh_serial_rollup_is_shard_invariant(self):
+        reference = _rollup(_service().run())
+        for shards in (2, 4):
+            assert _rollup(_service(shards=shards).run()) == reference
+
+    def test_shard_count_exceeding_endpoints_is_harmless(self):
+        reference = _rollup(_service(endpoints=2, events=12).run())
+        sharded = _service(endpoints=2, events=12, shards=4).run()
+        assert _rollup(sharded) == reference
+
+    @pytest.mark.parametrize("shards", (1, 2, 4))
+    def test_interrupt_resume_rollup_is_shard_invariant(self, tmp_path,
+                                                        shards):
+        reference = _rollup(_service().run())
+        partial = _service(tmp_path, shards=shards).run(stop_after_rounds=2)
+        assert not partial.completed
+        resumed = _service(tmp_path, shards=shards, resume=True).run()
+        assert resumed.completed
+        assert resumed.resumed_rounds > 0
+        assert _rollup(resumed) == reference
+
+    def test_shard_rollups_merge_to_the_global_report(self):
+        result = _service(shards=4).run()
+        rollups = result.shard_rollups()
+        assert len(rollups) == 4
+        assert sum(rollup.events_processed for rollup in rollups) == \
+            len(result.records)
+
+
+@pytest.mark.slow
+class TestCrossShardIdentityPooled:
+    """The pooled column of the determinism matrix."""
+
+    def test_pooled_sharded_rollup_matches_serial_unsharded(self):
+        reference = _rollup(_service().run())
+        pooled = _service(shards=2, max_workers=2).run()
+        assert _rollup(pooled) == reference
+
+    def test_pooled_resume_of_serial_sharded_interrupt(self, tmp_path):
+        reference = _rollup(_service().run())
+        _service(tmp_path, shards=2).run(stop_after_rounds=2)
+        resumed = _service(tmp_path, shards=2, max_workers=2,
+                           resume=True).run()
+        assert _rollup(resumed) == reference
+
+
+class TestShardCheckpoints:
+    def test_multi_shard_run_writes_one_file_per_shard(self, tmp_path):
+        # seed 7 spreads events over even and odd endpoints, so both
+        # shards own rounds; a shard with no rounds writes no file.
+        _service(tmp_path, seed=7, shards=2).run(stop_after_rounds=2)
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["fleet.ckpt.shard-00-of-02",
+                         "fleet.ckpt.shard-01-of-02"]
+
+    def test_single_shard_keeps_the_flat_layout(self, tmp_path):
+        _service(tmp_path).run(stop_after_rounds=1)
+        assert sorted(os.listdir(tmp_path)) == ["fleet.ckpt"]
+
+    def test_shard_checkpoint_refuses_a_different_seed(self, tmp_path):
+        _service(tmp_path, shards=2, seed=1).run(stop_after_rounds=1)
+        with pytest.raises(FleetCheckpointError):
+            _service(tmp_path, shards=2, seed=2, resume=True).run()
+
+    def test_resumed_finished_sharded_run_executes_nothing(self, tmp_path):
+        done = _service(tmp_path, shards=2).run()
+        assert done.completed
+        again = _service(tmp_path, shards=2, resume=True).run()
+        assert again.completed
+        assert again.chunks == 0
+        assert not again.used_process_pool
+        assert _rollup(again) == _rollup(done)
+
+
+class TestShardAccounting:
+    def test_outcomes_cover_every_shard(self):
+        result = _service(shards=4).run()
+        assert [outcome.index for outcome in result.shard_outcomes] == \
+            [0, 1, 2, 3]
+        assert sum(outcome.rounds_done
+                   for outcome in result.shard_outcomes) == \
+            result.shard_rounds_done
+        assert sum(outcome.chunks for outcome in result.shard_outcomes) == \
+            result.chunks
+
+    def test_single_shard_round_accounting_matches_legacy(self):
+        result = _service().run()
+        assert result.shards == 1
+        assert result.shard_rounds_total == result.rounds_total
+        assert result.shard_rounds_done == result.rounds_done
+
+    def test_merged_metrics_carry_shard_counters(self):
+        merged = _service(shards=2).run().merged_metrics()
+        assert merged.gauges["shard.count"] == 2.0
+        assert merged.counters["shard.rounds"] > 0
+
+    def test_validation_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            FleetService(shards=0)

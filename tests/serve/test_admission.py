@@ -1,0 +1,65 @@
+"""Per-tenant bounded admission: backpressure as counted rejection."""
+
+import pytest
+
+from repro.serve import AdmissionController
+
+pytestmark = pytest.mark.serve
+
+
+class TestAdmission:
+    def test_admits_within_the_bound(self):
+        controller = AdmissionController(tenant_limit=10)
+        assert controller.try_admit("a", 6)
+        assert controller.try_admit("a", 4)
+        assert controller.tenants["a"].pending == 10
+
+    def test_rejects_batches_over_the_bound_all_or_nothing(self):
+        controller = AdmissionController(tenant_limit=10)
+        assert controller.try_admit("a", 8)
+        assert not controller.try_admit("a", 3)
+        # the rejected batch admitted nothing
+        assert controller.tenants["a"].pending == 8
+        assert controller.tenants["a"].rejected_batches == 1
+
+    def test_release_frees_budget(self):
+        controller = AdmissionController(tenant_limit=5)
+        assert controller.try_admit("a", 5)
+        assert not controller.try_admit("a", 1)
+        controller.release("a", 5)
+        assert controller.try_admit("a", 5)
+
+    def test_tenants_are_isolated(self):
+        controller = AdmissionController(tenant_limit=4)
+        assert controller.try_admit("a", 4)
+        assert controller.try_admit("b", 4)
+        assert not controller.try_admit("a", 1)
+        assert controller.tenants["b"].rejected_batches == 0
+
+    def test_high_water_mark_tracks_peak_pending(self):
+        controller = AdmissionController(tenant_limit=10)
+        controller.try_admit("a", 7)
+        controller.release("a", 7)
+        controller.try_admit("a", 2)
+        assert controller.tenants["a"].pending_hwm == 7
+
+    def test_stats_are_canonical_and_totalled(self):
+        controller = AdmissionController(tenant_limit=4)
+        controller.try_admit("b", 2)
+        controller.try_admit("a", 4)
+        controller.try_admit("a", 4)
+        stats = controller.stats()
+        assert list(stats["tenants"]) == ["a", "b"]
+        assert stats["admitted_events"] == 6
+        assert stats["rejected_batches"] == 1
+
+    def test_release_never_goes_negative(self):
+        controller = AdmissionController(tenant_limit=4)
+        controller.release("ghost", 3)
+        assert controller.tenants["ghost"].pending == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(tenant_limit=0)
+        with pytest.raises(ValueError):
+            AdmissionController().try_admit("a", -1)

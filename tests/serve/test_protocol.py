@@ -1,0 +1,83 @@
+"""Wire protocol: parse/validate/encode of the serve JSON-RPC lines."""
+
+import json
+
+import pytest
+
+from repro.fleet import EVENT_MALWARE, FleetEvent, generate_events
+from repro.serve import (ERROR_INVALID_PARAMS, ERROR_INVALID_REQUEST,
+                         ERROR_METHOD_NOT_FOUND, ERROR_PARSE,
+                         ProtocolError, encode_error, encode_response,
+                         event_from_dict, event_to_dict, parse_events,
+                         parse_request)
+
+pytestmark = pytest.mark.serve
+
+
+class TestParseRequest:
+    def test_valid_submit_request(self):
+        request = parse_request(
+            '{"id": 7, "method": "submit", "params": {"events": []}}')
+        assert request.id == 7
+        assert request.method == "submit"
+        assert request.params == {"events": []}
+
+    def test_params_default_to_empty(self):
+        assert parse_request('{"id": 1, "method": "ping"}').params == {}
+
+    @pytest.mark.parametrize("line,code", [
+        ("not json{", ERROR_PARSE),
+        ("[1, 2]", ERROR_INVALID_REQUEST),
+        ('{"id": 1}', ERROR_INVALID_REQUEST),
+        ('{"id": 1, "method": "explode"}', ERROR_METHOD_NOT_FOUND),
+        ('{"id": 1, "method": "submit", "params": []}',
+         ERROR_INVALID_PARAMS),
+    ])
+    def test_malformed_requests_carry_their_code(self, line, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(line)
+        assert excinfo.value.code == code
+
+    def test_error_keeps_the_request_id_when_parseable(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request('{"id": 42, "method": "explode"}')
+        assert excinfo.value.request_id == 42
+
+
+class TestEventCodec:
+    def test_round_trip(self):
+        for event in generate_events(3, 4, 16):
+            assert event_from_dict(event_to_dict(event)) == event
+
+    def test_unknown_kind_rejected(self):
+        payload = event_to_dict(FleetEvent(0, 0, 0, EVENT_MALWARE, 0))
+        payload["kind"] = "meteor"
+        with pytest.raises(ProtocolError) as excinfo:
+            event_from_dict(payload)
+        assert excinfo.value.code == ERROR_INVALID_PARAMS
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ProtocolError):
+            event_from_dict({"seq": 1})
+
+    def test_negative_endpoint_rejected(self):
+        payload = event_to_dict(FleetEvent(0, 0, 0, EVENT_MALWARE, 0))
+        payload["endpoint_id"] = -1
+        with pytest.raises(ProtocolError):
+            event_from_dict(payload)
+
+    def test_parse_events_requires_a_list(self):
+        with pytest.raises(ProtocolError):
+            parse_events({"events": {"seq": 1}})
+
+
+class TestEncoding:
+    def test_responses_are_canonical_single_lines(self):
+        line = encode_response(5, {"b": 1, "a": 2})
+        assert "\n" not in line
+        assert line == '{"id":5,"result":{"a":2,"b":1}}'
+
+    def test_error_lines_carry_code_and_message(self):
+        payload = json.loads(encode_error(None, -32700, "boom"))
+        assert payload == {"id": None,
+                           "error": {"code": -32700, "message": "boom"}}

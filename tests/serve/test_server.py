@@ -1,0 +1,174 @@
+"""The serving loop: round-trip smoke, online/offline parity, overload.
+
+The acceptance-criteria round-trip test lives here: a real asyncio TCP
+server on an ephemeral port, a client submitting an event batch, and the
+verdict batch streamed back — byte-compared against what the offline
+:class:`~repro.fleet.FleetService` produces for the same stream.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.fleet import FleetService, generate_events
+from repro.serve import (ERROR_OVERLOADED, FleetServer, ServeConfig,
+                         event_to_dict)
+
+pytestmark = pytest.mark.serve
+
+FACTORY = "bare-metal-light"
+
+
+def _server(**kwargs):
+    kwargs.setdefault("machine_factory", FACTORY)
+    return FleetServer(ServeConfig(**kwargs))
+
+
+def _submit_line(events, request_id=1, tenant="default"):
+    return json.dumps({"id": request_id, "method": "submit",
+                       "params": {"tenant": tenant,
+                                  "events": [event_to_dict(event)
+                                             for event in events]}})
+
+
+def _handle(server, line):
+    return json.loads(asyncio.run(server.handle_line(line)))
+
+
+class TestTcpRoundTrip:
+    def test_submit_batch_receives_verdicts_over_tcp(self):
+        events = generate_events(7, 4, 20)
+        server = _server(shards=2, tenant_limit=64)
+
+        async def round_trip():
+            tcp = await server.start_tcp("127.0.0.1", 0)
+            port = tcp.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           port)
+            writer.write((_submit_line(events) + "\n").encode())
+            writer.write(b'{"id": 2, "method": "ping"}\n')
+            await writer.drain()
+            submit = json.loads(await reader.readline())
+            ping = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            tcp.close()
+            await tcp.wait_closed()
+            return submit, ping
+
+        submit, ping = asyncio.run(round_trip())
+        verdicts = submit["result"]["verdicts"]
+        assert len(verdicts) == len(events)
+        assert [verdict["seq"] for verdict in verdicts] == \
+            sorted(event.seq for event in events)
+        expected_batches = {}
+        for endpoint_id in {event.endpoint_id for event in events}:
+            key = str(endpoint_id % 2)
+            expected_batches[key] = expected_batches.get(key, 0) + 1
+        assert submit["result"]["shard_batches"] == expected_batches
+        assert ping["result"] == {"ok": True, "v": 1, "shards": 2}
+
+    def test_served_verdicts_match_the_offline_fleet(self):
+        """The serving path and the batch path agree byte-for-byte."""
+        events = generate_events(7, 4, 20)
+        server = _server(shards=2, tenant_limit=64)
+        response = _handle(server, _submit_line(events))
+        offline = FleetService(endpoints=4, events=20, seed=7,
+                               queue_limit=64,
+                               machine_factory=FACTORY).run()
+        assert response["result"]["verdicts"] == \
+            [record.to_dict() for record in offline.records]
+
+    def test_resubmission_is_deterministic(self):
+        events = generate_events(3, 2, 10)
+        server = _server(tenant_limit=64)
+        first = _handle(server, _submit_line(events, request_id=1))
+        second = _handle(server, _submit_line(events, request_id=1))
+        assert first == second
+
+
+class TestBackpressure:
+    def test_oversized_tenant_batch_is_rejected_not_queued(self):
+        events = generate_events(3, 2, 12)
+        server = _server(tenant_limit=8)
+        response = _handle(server, _submit_line(events))
+        assert response["error"]["code"] == ERROR_OVERLOADED
+        assert server.counters["rejections"] == 1
+        assert server.counters["verdicts"] == 0
+        assert server.admission.tenants["default"].rejected_batches == 1
+
+    def test_rejection_frees_no_budget_and_drain_reopens_it(self):
+        events = generate_events(3, 2, 8)
+        server = _server(tenant_limit=8)
+        accepted = _handle(server, _submit_line(events))
+        assert "result" in accepted
+        # verdicts drained synchronously, so the budget is open again
+        again = _handle(server, _submit_line(events))
+        assert "result" in again
+        assert server.counters["rejections"] == 0
+
+    def test_max_batch_caps_a_single_submission(self):
+        events = generate_events(3, 2, 12)
+        server = _server(tenant_limit=256, max_batch=8)
+        response = _handle(server, _submit_line(events))
+        assert response["error"]["code"] == ERROR_OVERLOADED
+
+    def test_tenants_reject_independently(self):
+        events = generate_events(3, 2, 8)
+        server = _server(tenant_limit=8)
+        assert "result" in _handle(server,
+                                   _submit_line(events, tenant="a"))
+        assert "result" in _handle(server,
+                                   _submit_line(events, tenant="b"))
+
+
+class TestStatsAndErrors:
+    def test_stats_method_reports_counters_and_routing(self):
+        events = generate_events(7, 4, 12)
+        server = _server(shards=2, tenant_limit=64)
+        _handle(server, _submit_line(events, tenant="acme"))
+        stats = _handle(server, '{"id": 9, "method": "stats"}')
+        result = stats["result"]
+        assert result["serve"]["submits"] == 1
+        assert result["serve"]["events"] == 12
+        assert result["admission"]["tenants"]["acme"]["admitted_events"] \
+            == 12
+        assert result["shards"]["count"] == 2
+        assert sum(int(count) for count
+                   in result["shards"]["batches"].values()) > 0
+
+    def test_malformed_lines_become_error_responses(self):
+        server = _server()
+        parse = _handle(server, "not json{")
+        assert parse["error"]["code"] == -32700
+        method = _handle(server, '{"id": 3, "method": "explode"}')
+        assert method["error"]["code"] == -32601
+        assert method["id"] == 3
+        assert server.counters["errors"] == 2
+
+    def test_process_lines_is_the_stdio_transport(self):
+        events = generate_events(3, 2, 6)
+        server = _server(tenant_limit=64)
+        lines = ['{"id": 1, "method": "ping"}', "",
+                 _submit_line(events, request_id=2)]
+        responses = asyncio.run(server.process_lines(lines))
+        assert len(responses) == 2  # blank line skipped
+        assert json.loads(responses[0])["result"]["ok"] is True
+        assert len(json.loads(responses[1])["result"]["verdicts"]) == 6
+
+    def test_concurrent_submissions_serialize_deterministically(self):
+        events = generate_events(11, 4, 16)
+        server = _server(shards=2, tenant_limit=256)
+
+        async def fan_in():
+            return await asyncio.gather(
+                server.handle_line(_submit_line(events[:8], request_id=1,
+                                                tenant="a")),
+                server.handle_line(_submit_line(events[8:], request_id=2,
+                                                tenant="b")))
+
+        first, second = (json.loads(response)
+                         for response in asyncio.run(fan_in()))
+        assert len(first["result"]["verdicts"]) == 8
+        assert len(second["result"]["verdicts"]) == 8

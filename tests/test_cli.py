@@ -1,5 +1,8 @@
 """CLI smoke + behaviour tests (``python -m repro``)."""
 
+import io
+import json
+
 import pytest
 
 from repro.cli import DEMO_SAMPLES, build_parser, main
@@ -221,10 +224,25 @@ class TestFleetCommand:
         assert args.events == 64
         assert args.seed == 42
         assert args.jobs == 1
+        assert args.shards == 1
         assert args.factory == "end-user"
         assert args.queue_limit == 32
         assert args.checkpoint is None
         assert not args.resume
+
+    def test_fleet_sharded_report_matches_unsharded(self, capsys):
+        assert main(self.ARGS) == 0
+        reference = capsys.readouterr().out
+        assert main(self.ARGS + ["--shards", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert "2 shards" in sharded
+        # Same verdict lines; only the execution-shape line may differ.
+        report = lambda text: text.split("execution:")[0]  # noqa: E731
+        assert report(sharded) == report(reference)
+
+    def test_fleet_rejects_bad_shard_count(self, capsys):
+        assert main(["fleet", "--shards", "0"]) == 2
+        assert "must be >=" in capsys.readouterr().err
 
     def test_fleet_prints_report(self, capsys):
         assert main(self.ARGS) == 0
@@ -288,3 +306,54 @@ class TestFleetCommand:
         assert "queue depth hwm:" in out
         assert "event latency (virtual): p50" in out
         assert "family " in out
+
+
+class TestServeCommand:
+    """`repro serve` on the stdio transport (stdin monkeypatched)."""
+
+    ARGS = ["serve", "--factory", "bare-metal-light", "--shards", "2"]
+
+    @staticmethod
+    def _feed(monkeypatch, lines):
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines)))
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.factory == "end-user"
+        assert args.shards == 1
+        assert args.tenant_limit == 256
+        assert args.max_batch == 128
+        assert args.port is None
+        assert args.host == "127.0.0.1"
+
+    def test_stdio_round_trip(self, monkeypatch, capsys):
+        from repro.fleet import generate_events
+        from repro.serve import event_to_dict
+        events = generate_events(7, 2, 6)
+        submit = json.dumps({
+            "id": 2, "method": "submit",
+            "params": {"events": [event_to_dict(e) for e in events]}})
+        self._feed(monkeypatch, ['{"id": 1, "method": "ping"}', submit])
+        assert main(self.ARGS) == 0
+        captured = capsys.readouterr()
+        ping, verdicts = (json.loads(line)
+                          for line in captured.out.splitlines())
+        assert ping["result"] == {"ok": True, "v": 1, "shards": 2}
+        assert len(verdicts["result"]["verdicts"]) == len(events)
+        assert "2 request(s), 6 verdict(s), 0 rejection(s)" \
+            in captured.err
+
+    def test_malformed_line_reports_an_error_response(self, monkeypatch,
+                                                      capsys):
+        self._feed(monkeypatch, ["not json{"])
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["error"]["code"] == -32700
+
+    def test_unknown_factory_fails_cleanly(self, capsys):
+        assert main(["serve", "--factory", "no-such-env"]) == 2
+        assert "unknown machine factory" in capsys.readouterr().err
+
+    def test_bad_config_exits_2(self, capsys):
+        assert main(["serve", "--shards", "0"]) == 2
+        assert "serve:" in capsys.readouterr().err

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: scarelint first (cheap, catches structural rot), then the
-# tier-1 test suite, then the lint wall-time budget. Run from anywhere;
-# mirrors what .github/workflows/ci.yml executes.
+# tier-1 test suite, then the lint wall-time budget, then the fleet
+# rollup byte-identity sweep. Run from anywhere; mirrors what
+# .github/workflows/ci.yml executes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,5 +27,11 @@ python -m pytest -x -q
 
 echo "== staticcheck benchmark gate (full-tree lint < 10s) =="
 python -m pytest benchmarks/bench_staticcheck.py --benchmark-only -q
+
+# Byte-identity across shards ∈ {1,2,4} is asserted on every box; the
+# sharded speedup assertion self-gates on os.cpu_count() >= 2, so this
+# gate is honest on single-core runners too.
+echo "== fleet benchmark gate (rollup byte-identity, sharded sweep) =="
+python -m pytest benchmarks/bench_fleet.py --benchmark-only -q
 
 echo "ci: all gates passed"
