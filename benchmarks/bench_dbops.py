@@ -1,0 +1,136 @@
+"""E18 — dbops: version publish latency and rollout routing overhead.
+
+Two questions an operator cares about before trusting ``repro.dbops``
+in the loop (docs/DBOPS.md):
+
+* **Publish cost** — how long does one collect→diff→extend→publish
+  cycle take, and how long does rehydrating a published version back
+  into a frozen database take? Both are measured over an in-memory and
+  an on-disk :class:`~repro.dbops.versions.VersionStore`.
+* **Routing overhead** — what does an *active* version router cost a
+  fleet run? Three passes over the same seeded workload: routerless
+  (reference), a no-op rollout (target content-identical to base —
+  must be byte-identical output, so only the router bookkeeping is
+  paid), and a live rollout stamping a real target version.
+
+The no-op pass doubles as the determinism gate: its canonical rollup is
+asserted byte-equal to the routerless reference, mirroring the
+hypothesis property in ``tests/dbops/test_rollout_properties.py``.
+Numbers land in ``BENCH_dbops.json`` at the repo root.
+
+Run: ``pytest benchmarks/bench_dbops.py --benchmark-only -s``
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.core import DeceptionDatabase
+from repro.dbops import (CollectorPipeline, HealthGate, RolloutEngine,
+                         VersionStore)
+from repro.fleet import FleetService, build_fleet_report
+
+ENDPOINTS = 8
+EVENTS = 96
+SEED = 42
+FACTORY = "bare-metal-light"
+COLLECT_CYCLES = 12
+COLLECT_SEED = 2026
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_dbops.json"
+
+
+def _collect_pass(root=None):
+    """Run the collector loop against one store; returns its section."""
+    store = VersionStore(root)
+    pipeline = CollectorPipeline(store, database=DeceptionDatabase(),
+                                 seed=COLLECT_SEED)
+    start = time.perf_counter()
+    results = pipeline.run(COLLECT_CYCLES)
+    wall_s = time.perf_counter() - start
+    published = [r for r in results if r.published is not None]
+    assert published, "collect pass must publish at least one version"
+
+    rehydrate_start = time.perf_counter()
+    for version in store.versions():
+        store.load_database(version.version_id)
+    rehydrate_s = time.perf_counter() - rehydrate_start
+    return store, {
+        "backing": "memory" if root is None else "disk",
+        "cycles": COLLECT_CYCLES,
+        "published": len(published),
+        "skipped": COLLECT_CYCLES - len(published),
+        "wall_time_s": round(wall_s, 4),
+        "cycles_per_sec": round(COLLECT_CYCLES / wall_s, 1),
+        "mean_publish_ms": round(wall_s / len(published) * 1e3, 3),
+        "rehydrate_all_ms": round(rehydrate_s * 1e3, 3),
+    }
+
+
+def _fleet_pass(router=None):
+    service = FleetService(endpoints=ENDPOINTS, events=EVENTS, seed=SEED,
+                           queue_limit=16, machine_factory=FACTORY,
+                           version_router=router)
+    start = time.perf_counter()
+    result = service.run()
+    wall_s = time.perf_counter() - start
+    assert result.completed
+    return result, build_fleet_report(result).to_json(), wall_s
+
+
+def test_bench_dbops(benchmark, tmp_path):
+    memory_store, memory_section = _collect_pass()
+    _, disk_section = _collect_pass(str(tmp_path / "store"))
+
+    # Routerless reference — also the byte-identity baseline.
+    _, reference_rollup, reference_s = benchmark.pedantic(
+        _fleet_pass, rounds=1, iterations=1)
+
+    # No-op rollout: pay the router bookkeeping, move zero bytes.
+    noop_store = VersionStore()
+    noop_store.publish(DeceptionDatabase(), label="identical")
+    noop_engine = RolloutEngine.from_store(noop_store, 1,
+                                           health=HealthGate())
+    noop_result, noop_rollup, noop_s = _fleet_pass(noop_engine)
+    assert noop_rollup == reference_rollup
+    assert noop_result.dbops["noop"] is True
+    assert noop_result.dbops["stamped_batches"] == 0
+
+    # Live rollout: a real collected target, stamped and side-loaded.
+    target = memory_store.latest().version_id
+    live_engine = RolloutEngine.from_store(memory_store, target,
+                                           health=HealthGate())
+    live_result, _, live_s = _fleet_pass(live_engine)
+    assert live_result.dbops["rolled_back"] is False
+    assert live_result.dbops["stamped_batches"] > 0
+
+    def _mode(mode, wall_s, stamped):
+        return {"mode": mode, "wall_time_s": round(wall_s, 4),
+                "events_per_sec": round(EVENTS / wall_s, 1),
+                "overhead_vs_reference": round(wall_s / reference_s, 3),
+                "stamped_batches": stamped}
+
+    payload = {
+        "benchmark": "dbops_pipeline_and_rollout",
+        "endpoints": ENDPOINTS,
+        "events": EVENTS,
+        "seed": SEED,
+        "machine_factory": FACTORY,
+        "cpu_cores": os.cpu_count(),
+        "noop_rollup_byte_identical": True,
+        "collect": [memory_section, disk_section],
+        "reference": "routerless fleet run",
+        "measurements": [
+            _mode("routerless", reference_s, 0),
+            _mode("noop-rollout", noop_s, 0),
+            _mode("live-rollout", live_s,
+                  live_result.dbops["stamped_batches"]),
+        ],
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n",
+                      encoding="utf-8")
+    print(f"\nwrote {OUTPUT}")
+    for line in payload["measurements"]:
+        print(f"  {line['mode']:<14} {line['wall_time_s']:>8.3f}s  "
+              f"x{line['overhead_vs_reference']}")

@@ -391,6 +391,132 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_ramp_stages(raw_stages):
+    """``--stage ROUND:PERCENT`` pairs → RampStage tuple (or None)."""
+    from .dbops import RampStage
+    if not raw_stages:
+        return None
+    stages = []
+    for raw in raw_stages:
+        try:
+            at_round, _, percent = raw.partition(":")
+            stages.append(RampStage(at_round=int(at_round),
+                                    percent=int(percent)))
+        except ValueError as exc:
+            raise ValueError(f"bad --stage {raw!r} (want ROUND:PERCENT): "
+                             f"{exc}") from exc
+    return tuple(stages)
+
+
+def _cmd_dbops(args: argparse.Namespace) -> int:
+    from .dbops import VersionStore, VersionStoreError
+    try:
+        if args.dbops_command == "collect":
+            return _dbops_collect(args)
+        if args.dbops_command == "versions":
+            store = VersionStore(args.store)
+            versions = store.versions()
+            if not versions:
+                print(f"store {args.store}: no published versions")
+                return 0
+            print(f"store {args.store}: {len(versions)} version(s)")
+            for version in versions:
+                changelog = " ".join(
+                    f"{kind}+{count}" for kind, count in version.changelog
+                    if count) or "(no changelog)"
+                print(f"  v{version.version_id} <- v{version.parent_id}  "
+                      f"{version.fingerprint}  {version.label or '-'}  "
+                      f"t+{version.created_at_ms}ms  {changelog}")
+            return 0
+        return _dbops_rollout(args)
+    except VersionStoreError as exc:
+        print(f"dbops: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dbops_collect(args: argparse.Namespace) -> int:
+    from .dbops import CollectorPipeline, VersionStore
+    if args.cycles < 1:
+        print("--cycles must be >= 1", file=sys.stderr)
+        return 2
+    store = VersionStore(args.store)
+    try:
+        pipeline = CollectorPipeline(
+            store, seed=args.seed, machines=args.machines,
+            cycle_ms=args.cycle_ms)
+    except (ValueError, KeyError) as exc:
+        print(f"dbops: {exc}", file=sys.stderr)
+        return 2
+    published = 0
+    for result in pipeline.run(args.cycles):
+        if result.published is None:
+            print(f"cycle {result.cycle}: skipped ({result.skipped_reason})")
+            continue
+        published += 1
+        counts = dict(result.counts)
+        print(f"cycle {result.cycle}: published v"
+              f"{result.published.version_id} "
+              f"(+{counts.get('files', 0)} files, "
+              f"+{counts.get('processes', 0)} processes, "
+              f"+{counts.get('registry_entries', 0)} registry entries)")
+    latest = store.latest()
+    print(f"published {published}/{args.cycles} cycle(s); store "
+          f"{args.store} now at "
+          f"{'v' + str(latest.version_id) if latest else 'base'}")
+    return 0
+
+
+def _dbops_rollout(args: argparse.Namespace) -> int:
+    # Offline rollout rehearsal: run the fleet with the version router
+    # active. The serving path (live hot-swap) is the `dbops.rollout`
+    # RPC against `repro serve`.
+    import time
+
+    from .dbops import HealthGate, RolloutEngine, VersionStore
+    from .fleet import (FleetCheckpointError, FleetService,
+                        build_fleet_report, render_fleet_report)
+
+    store = VersionStore(args.store)
+    try:
+        stages = _parse_ramp_stages(args.stage)
+        health = None if args.no_health else HealthGate(
+            min_samples=args.min_samples,
+            max_regression=args.max_regression)
+        if stages is None:
+            engine = RolloutEngine.from_store(store, args.version,
+                                              health=health)
+        else:
+            engine = RolloutEngine.from_store(store, args.version,
+                                              stages=stages, health=health)
+        service = FleetService(
+            endpoints=args.endpoints, events=args.events, seed=args.seed,
+            machine_factory=args.factory, max_workers=args.jobs,
+            shards=args.shards, version_router=engine)
+    except ValueError as exc:
+        print(f"dbops: {exc}", file=sys.stderr)
+        return 2
+    start_ns = time.perf_counter_ns()
+    try:
+        result = service.run()
+    except FleetCheckpointError as exc:
+        print(f"dbops: {exc}", file=sys.stderr)
+        return 2
+    elapsed_ns = max(1, time.perf_counter_ns() - start_ns)
+    report = build_fleet_report(result)
+    print(render_fleet_report(report, result))
+    summary = result.dbops or {}
+    state = "no-op (target == base)" if summary.get("noop") else (
+        "ROLLED BACK on shard(s) " + ", ".join(
+            str(shard) for shard, _ in summary.get("rolled_back_shards",
+                                                   ()))
+        if summary.get("rolled_back") else "healthy")
+    print(f"rollout v{args.version}: {state}  "
+          f"stamped batches: {summary.get('stamped_batches', 0)}")
+    print(f"wall time: {elapsed_ns / 1e9:.2f}s")
+    _stash_fleet_telemetry(args, result, elapsed_ns)
+    return 0
+
+
 def _render_latency_rows(title: str, rows) -> List[str]:
     lines = [f"{title}:"]
     if not rows:
@@ -449,6 +575,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         _print_fleet_health(summary.fleet)
     if summary.serve is not None:
         _print_serve_health(summary.serve)
+    if summary.dbops is not None:
+        _print_dbops_health(summary.dbops)
     print(f"samples: {summary.samples}  errors: {summary.errors}")
     return 0
 
@@ -482,6 +610,19 @@ def _print_serve_health(serve) -> None:
           f"errors: {serve.errors}")
     print(f"  events admitted: {serve.events}  verdicts: {serve.verdicts}  "
           f"overload rejections: {serve.rejections}")
+
+
+def _print_dbops_health(dbops) -> None:
+    """The deception-DB operations section of ``repro stats``."""
+    print("dbops health:")
+    if dbops.cycles:
+        print(f"  collection cycles: {dbops.cycles}  published: "
+              f"{dbops.published}  skipped: {dbops.skipped_cycles}  "
+              f"resources added: {dbops.resources_added}")
+    if dbops.target_version or dbops.stamped_batches or dbops.rollbacks:
+        print(f"  rollout target: v{dbops.target_version}  stamped "
+              f"batches: {dbops.stamped_batches}  rollbacks: "
+              f"{dbops.rollbacks}")
 
 
 def _parse_rules(raw: str) -> tuple:
@@ -628,6 +769,62 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1",
                        help="TCP bind address (with --port)")
     _add_telemetry_option(serve)
+    dbops = subparsers.add_parser(
+        "dbops", help="deception-DB versioning: collect, inspect, roll "
+                      "out (docs/DBOPS.md)")
+    dbops_sub = dbops.add_subparsers(dest="dbops_command", required=True)
+    collect = dbops_sub.add_parser(
+        "collect", help="run collection cycles against simulated "
+                        "sandboxes, publishing a version per fresh diff")
+    collect.add_argument("--store", required=True, metavar="DIR",
+                         help="version-store directory (created if absent)")
+    collect.add_argument("--cycles", type=int, default=4,
+                         help="collection cycles to run")
+    collect.add_argument("--seed", type=int, default=2026,
+                         help="sandbox-drift seed (same seed = same "
+                              "versions)")
+    collect.add_argument("--machines", type=int, default=2,
+                         help="simulated public sandboxes to crawl")
+    collect.add_argument("--cycle-ms", type=int, default=60_000,
+                         help="virtual milliseconds per cycle")
+    _add_telemetry_option(collect)
+    versions = dbops_sub.add_parser(
+        "versions", help="list the published versions in a store")
+    versions.add_argument("--store", required=True, metavar="DIR",
+                          help="version-store directory")
+    rollout = dbops_sub.add_parser(
+        "rollout", help="fleet run with a staged, health-gated version "
+                        "rollout (offline rehearsal; live serving uses "
+                        "the dbops.rollout RPC)")
+    rollout.add_argument("--store", required=True, metavar="DIR",
+                         help="version-store directory")
+    rollout.add_argument("--version", type=int, required=True,
+                         help="published version id to roll out")
+    rollout.add_argument("--endpoints", type=int, default=8,
+                         help="protected endpoints in the fleet")
+    rollout.add_argument("--events", type=int, default=64,
+                         help="events in the generated stream")
+    rollout.add_argument("--seed", type=int, default=42,
+                         help="workload seed")
+    rollout.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = in-process)")
+    rollout.add_argument("--shards", type=int, default=1,
+                         help="fleet shards (rollback is evaluated "
+                              "per shard)")
+    rollout.add_argument("--factory", default="end-user",
+                         help="machine factory endpoints are stamped from")
+    rollout.add_argument("--stage", action="append", default=None,
+                         metavar="ROUND:PERCENT",
+                         help="ramp stage (repeatable; default 0:100)")
+    rollout.add_argument("--min-samples", type=int, default=8,
+                         help="malware arrivals per cohort before the "
+                              "health gate may trigger")
+    rollout.add_argument("--max-regression", type=float, default=0.15,
+                         help="deactivation-rate drop that triggers "
+                              "auto-rollback")
+    rollout.add_argument("--no-health", action="store_true",
+                         help="disable the auto-rollback health gate")
+    _add_telemetry_option(rollout)
     stats = subparsers.add_parser(
         "stats", help="summarise a --telemetry JSONL trace")
     stats.add_argument("path", metavar="PATH",
@@ -675,6 +872,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "demo": _cmd_demo, "pafish": _cmd_pafish, "inventory": _cmd_inventory,
     "overhead": _cmd_overhead, "sweep": _cmd_sweep, "fleet": _cmd_fleet,
     "serve": _cmd_serve, "stats": _cmd_stats, "lint": _cmd_lint,
+    "dbops": _cmd_dbops,
 }
 
 

@@ -571,6 +571,11 @@ class DeceptionDatabase:
         return db
 
     def _restore_snapshot(self, state: DatabaseSnapshot) -> None:
+        # Restoring replaces every container wholesale, which the add_*
+        # mutation counter never sees: a live instance with a warm
+        # snapshot_bytes() memo would keep serving the pre-restore blob.
+        self._version += 1
+        self._snapshot_blob_cache = None
         self._files = dict(state.files)
         self._basenames = dict(state.basenames)
         self._folders = dict(state.folders)

@@ -1,0 +1,45 @@
+"""Deception-database operations: versions, collection, rollout, A/B.
+
+The paper treats the deception database as a build artifact; this
+package treats it as a *production surface* with an operational
+lifecycle:
+
+* :mod:`~repro.dbops.versions` — immutable published versions
+  (monotonic id, content fingerprint, parent link, changelog) in an
+  append-only :class:`VersionStore` with atomic publishes.
+* :mod:`~repro.dbops.pipeline` — the continuous collect → diff →
+  extend → publish loop over simulated public sandboxes, on a virtual
+  clock with seeded drift.
+* :mod:`~repro.dbops.rollout` — hot rollout of a version to a live
+  fleet via the duck-typed version-router protocol: staged percent
+  ramps, health-gated auto-rollback, pinning — no restart, no
+  determinism loss.
+* :mod:`~repro.dbops.assignment` — deterministic A/B arms pinning
+  endpoint cohorts to versions, with per-arm lift in the fleet report.
+
+Layering: ``repro.dbops`` imports ``repro.fleet`` (types + constants);
+the fleet never imports back — routers plug in structurally. The
+package is a scarelint deterministic zone (no host clock/entropy).
+See ``docs/DBOPS.md``.
+"""
+
+from .assignment import ABExperiment, ArmSpec, arm_bucket
+from .pipeline import (DEFAULT_CYCLE_MS, DEFAULT_SANDBOX_FACTORY,
+                       SKIP_EMPTY_DIFF, CollectorPipeline, CycleResult,
+                       SyntheticSandboxFeed)
+from .rollout import (FULL_RAMP, HealthGate, RampStage, RolloutEngine,
+                      ramp_bucket, rollback_triggered)
+from .versions import (BASE_VERSION, MANIFEST_NAME, DatabaseVersion,
+                       VersionIntegrityError, VersionStore,
+                       VersionStoreError, changelog_from_diff,
+                       content_fingerprint)
+
+__all__ = [
+    "ABExperiment", "ArmSpec", "BASE_VERSION", "CollectorPipeline",
+    "CycleResult", "DEFAULT_CYCLE_MS", "DEFAULT_SANDBOX_FACTORY",
+    "DatabaseVersion", "FULL_RAMP", "HealthGate", "MANIFEST_NAME",
+    "RampStage", "RolloutEngine", "SKIP_EMPTY_DIFF",
+    "SyntheticSandboxFeed", "VersionIntegrityError", "VersionStore",
+    "VersionStoreError", "arm_bucket", "changelog_from_diff",
+    "content_fingerprint", "ramp_bucket", "rollback_triggered",
+]

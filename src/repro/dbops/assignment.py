@@ -1,0 +1,159 @@
+"""Deterministic A/B assignment of database versions across a fleet.
+
+Did the last crawl actually *help*? A rollout answers "is it safe";
+an :class:`ABExperiment` answers "is it better": endpoints are split
+into named arms by a salted crc32 hash — stable, stateless, no RNG —
+and each arm runs a pinned database version for the whole run. The
+fleet report then carries per-arm deactivation rollups with lift over
+the control arm (:class:`~repro.fleet.report.ArmRollup`), so the
+comparison falls out of the same records the run produces anyway.
+
+Like :class:`~repro.dbops.rollout.RolloutEngine`, this satisfies the
+fleet's structural version-router protocol and never disturbs
+byte-identity: assignment is a pure function of ``(endpoint_id, arms,
+salt)``, and an arm whose snapshot is content-identical to the base
+database is stamped as the base (no side-loaded blob, no divergence).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .versions import BASE_VERSION, VersionStore, content_fingerprint
+
+
+@dataclasses.dataclass(frozen=True)
+class ArmSpec:
+    """One experiment arm: a name, a database version, a traffic weight."""
+
+    name: str
+    version: int = BASE_VERSION
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("arm name must not be empty")
+        if self.version < 0:
+            raise ValueError("arm version must be >= 0")
+        if self.weight < 1:
+            raise ValueError("arm weight must be >= 1")
+
+
+def arm_bucket(endpoint_id: int, salt: int, total_weight: int) -> int:
+    """Deterministic weighted bucket for arm assignment."""
+    return zlib.crc32(f"ab:{endpoint_id}:{salt}".encode()) % total_weight
+
+
+class ABExperiment:
+    """Splits endpoints across arms, each pinned to a database version.
+
+    ``blobs`` maps every non-base version named by an arm to its pickled
+    snapshot (usually via :meth:`from_store`). The control arm defaults
+    to the first arm running the base version, falling back to the first
+    arm; per-arm lift in the fleet report is measured against it.
+    """
+
+    def __init__(self, arms: Sequence[ArmSpec],
+                 blobs: Optional[Mapping[int, bytes]] = None, *,
+                 control: Optional[str] = None, salt: int = 0) -> None:
+        arms = tuple(arms)
+        if len(arms) < 2:
+            raise ValueError("an experiment needs at least two arms")
+        names = [arm.name for arm in arms]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate arm names: {names}")
+        blobs = dict(blobs or {})
+        for arm in arms:
+            if arm.version != BASE_VERSION and arm.version not in blobs:
+                raise ValueError(
+                    f"arm {arm.name!r} runs version {arm.version} but no "
+                    f"snapshot blob was provided for it")
+        if control is None:
+            control = next((arm.name for arm in arms
+                            if arm.version == BASE_VERSION), arms[0].name)
+        elif control not in names:
+            raise ValueError(f"control arm {control!r} is not an arm")
+        self.arms = arms
+        self.blobs: Dict[int, bytes] = blobs
+        self.control_arm = control
+        self.salt = salt
+        self.total_weight = sum(arm.weight for arm in arms)
+        self._base_fingerprint = ""
+        #: Versions whose content equals the run's base — stamped as base.
+        self._noop_versions: Tuple[int, ...] = ()
+        self._stamped_batches = 0
+
+    @classmethod
+    def from_store(cls, store: VersionStore, arms: Sequence[ArmSpec], *,
+                   control: Optional[str] = None, salt: int = 0
+                   ) -> "ABExperiment":
+        """Load every non-base arm's snapshot from a version store."""
+        blobs = {arm.version: store.load_blob(arm.version)
+                 for arm in arms if arm.version != BASE_VERSION}
+        return cls(arms, blobs, control=control, salt=salt)
+
+    # -- assignment ----------------------------------------------------------
+
+    def arm_of(self, endpoint_id: int) -> ArmSpec:
+        """The arm an endpoint belongs to (pure, stateless)."""
+        bucket = arm_bucket(endpoint_id, self.salt, self.total_weight)
+        for arm in self.arms:
+            if bucket < arm.weight:
+                return arm
+            bucket -= arm.weight
+        return self.arms[-1]
+
+    def endpoint_arms(self, count: int) -> Dict[int, str]:
+        """Arm names for endpoints ``0..count-1`` (feeds the report)."""
+        return {endpoint_id: self.arm_of(endpoint_id).name
+                for endpoint_id in range(count)}
+
+    # -- version-router protocol ---------------------------------------------
+
+    def bind_base(self, db_blob: bytes) -> None:
+        self._base_fingerprint = content_fingerprint(db_blob)
+        self._noop_versions = tuple(sorted(
+            version for version, blob in self.blobs.items()
+            if content_fingerprint(blob) == self._base_fingerprint))
+        self._stamped_batches = 0
+
+    def version_blobs(self) -> Dict[int, bytes]:
+        return {version: blob for version, blob in self.blobs.items()
+                if version not in self._noop_versions}
+
+    def assign_round(self, jobs: Sequence[Any], global_round: int,
+                     shard_records: Sequence[Any],
+                     shard_index: int) -> Sequence[Any]:
+        stamped: List[Any] = []
+        for job in jobs:
+            version = self.arm_of(job.endpoint_id).version
+            if version != BASE_VERSION \
+                    and version not in self._noop_versions:
+                job = dataclasses.replace(job, db_version=version)
+                self._stamped_batches += 1
+            stamped.append(job)
+        return tuple(stamped)
+
+    def fingerprint(self) -> dict:
+        return {
+            "mode": "ab",
+            "arms": [[arm.name, arm.version, arm.weight]
+                     for arm in self.arms],
+            "control": self.control_arm,
+            "salt": self.salt,
+            "blob_fps": {str(version): content_fingerprint(blob)
+                         for version, blob in sorted(self.blobs.items())},
+        }
+
+    def summary(self) -> dict:
+        return {
+            "mode": "ab",
+            "arms": [arm.name for arm in self.arms],
+            "control": self.control_arm,
+            "target_version": max(
+                (arm.version for arm in self.arms), default=BASE_VERSION),
+            "stamped_batches": self._stamped_batches,
+            "rolled_back": False,
+        }

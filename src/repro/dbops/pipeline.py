@@ -1,0 +1,191 @@
+"""Continuous collection pipeline: crawl, diff, extend, publish.
+
+Section II-C of the paper runs the crawler against public sandboxes
+*once*; operationally the sandboxes keep drifting (new analysis tools,
+new agent droppings, new registry markers), so the collector has to be
+a loop. :class:`CollectorPipeline` is that loop, kept deterministic the
+same way the fleet is:
+
+* Sandboxes are simulated machines from the parallel machine-factory
+  registry; drift comes from a :class:`SyntheticSandboxFeed` driven by
+  the seeded :class:`~repro.fleet.events.FleetRng` — no host entropy.
+* Time is a virtual collector clock (``cycle_ms`` per cycle) — no host
+  clock. Published versions stamp that clock, not wall time.
+* Each cycle crawls every sandbox (:func:`~repro.core.collector.
+  run_crawler`), diffs against the clean baseline (:func:`~repro.core.
+  collector.diff_reports`), subtracts what the working database already
+  deceives, and — only when something *new* survived — extends the
+  database and publishes an immutable version into the
+  :class:`~repro.dbops.versions.VersionStore`. Empty diffs are skipped
+  with a structured reason, never published.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from ..core.collector import (ResourceDiff, diff_reports, extend_database,
+                              run_crawler)
+from ..core.database import DeceptionDatabase
+from ..fleet.events import FleetRng
+from ..parallel.factories import FactorySpec, resolve_machine_factory
+from ..telemetry.metrics import TELEMETRY
+from ..winsim.machine import Machine
+from .versions import DatabaseVersion, VersionStore, changelog_from_diff
+
+#: Cheap machine build for the collector's sandboxes — the pipeline
+#: crawls inventories, it does not execute malware, so the light image
+#: is plenty.
+DEFAULT_SANDBOX_FACTORY = "bare-metal-light"
+
+#: Virtual milliseconds per collection cycle (one crawl sweep).
+DEFAULT_CYCLE_MS = 60_000
+
+#: Skip reason recorded when a cycle's crawl found nothing new.
+SKIP_EMPTY_DIFF = "empty-diff"
+
+
+class SyntheticSandboxFeed:
+    """Seeded drift generator for a set of simulated public sandboxes.
+
+    ``drift(cycle)`` mutates every sandbox machine with a
+    cycle-and-rng-derived batch of new files and registry entries —
+    exactly what a live analysis sandbox accumulates between crawls.
+    Roughly one cycle in four is *quiet* (no drift), so the pipeline's
+    empty-diff skip path is exercised by construction.
+    """
+
+    def __init__(self, seed: int, machines: int = 2,
+                 factory: FactorySpec = DEFAULT_SANDBOX_FACTORY) -> None:
+        if machines < 1:
+            raise ValueError("machines must be >= 1")
+        build = resolve_machine_factory(factory)
+        self.sandboxes: List[Tuple[str, Machine]] = [
+            (f"sandbox-{index:02d}", build()) for index in range(machines)]
+        self.baseline: Machine = build()
+        self._rng = FleetRng(seed)
+
+    def drift(self, cycle: int) -> int:
+        """Mutate the sandboxes for one cycle; returns resources added."""
+        if self._rng.next_u31() % 4 == 0:
+            return 0
+        added = 0
+        for index, (_, machine) in enumerate(self.sandboxes):
+            drops = 1 + self._rng.next_u31() % 3
+            for drop in range(drops):
+                tag = f"c{cycle:03d}s{index}d{drop}"
+                marker = self._rng.next_u31()
+                machine.filesystem.write_file(
+                    f"C:\\sandbox\\artifacts\\{tag}.bin",
+                    marker.to_bytes(4, "little"))
+                key = f"HKLM\\SOFTWARE\\SandboxAgent\\{tag}"
+                machine.registry.create_key(key)
+                machine.registry.set_value(key, "marker", str(marker))
+                added += 3
+        return added
+
+
+@dataclasses.dataclass(frozen=True)
+class CycleResult:
+    """Outcome of one collection cycle."""
+
+    cycle: int
+    collected_at_ms: int
+    published: Optional[DatabaseVersion] = None
+    skipped_reason: str = ""
+    counts: Tuple[Tuple[str, int], ...] = ()
+
+    def to_dict(self) -> dict:
+        return {"cycle": self.cycle,
+                "collected_at_ms": self.collected_at_ms,
+                "published": None if self.published is None
+                else self.published.to_dict(),
+                "skipped_reason": self.skipped_reason,
+                "counts": dict(self.counts)}
+
+
+class CollectorPipeline:
+    """The collect → diff → extend → publish loop, on a virtual clock."""
+
+    def __init__(self, store: VersionStore, *,
+                 database: Optional[DeceptionDatabase] = None,
+                 seed: int = 2026, machines: int = 2,
+                 factory: FactorySpec = DEFAULT_SANDBOX_FACTORY,
+                 cycle_ms: int = DEFAULT_CYCLE_MS) -> None:
+        if cycle_ms < 1:
+            raise ValueError("cycle_ms must be >= 1")
+        self.store = store
+        #: The working database the pipeline grows in place. Publishes
+        #: snapshot it; the caller's fleet keeps running on whatever
+        #: version it already adopted until a rollout ships a new one.
+        self.database = database if database is not None \
+            else DeceptionDatabase()
+        self.feed = SyntheticSandboxFeed(seed, machines, factory)
+        self.cycle_ms = cycle_ms
+        self.cycles_run = 0
+        self._clock_ms = 0
+        self.baseline_report = run_crawler(self.feed.baseline,
+                                           "clean-baseline")
+
+    # -- the loop ------------------------------------------------------------
+
+    def run(self, cycles: int) -> List[CycleResult]:
+        """Run ``cycles`` collection cycles; returns their results."""
+        return [self.run_cycle() for _ in range(max(0, cycles))]
+
+    def run_cycle(self) -> CycleResult:
+        """One cycle: drift, crawl, diff, and publish if non-trivial."""
+        cycle = self.cycles_run
+        self.cycles_run += 1
+        self._clock_ms += self.cycle_ms
+        self.feed.drift(cycle)
+        reports = [run_crawler(machine, label)
+                   for label, machine in self.feed.sandboxes]
+        diff = diff_reports(reports, self.baseline_report)
+        fresh = self._subtract_known(diff)
+        self._count("dbops.cycles")
+        if not (fresh.files or fresh.processes or fresh.registry_keys
+                or fresh.registry_values):
+            self._count("dbops.skipped_cycles")
+            return CycleResult(cycle=cycle, collected_at_ms=self._clock_ms,
+                               skipped_reason=SKIP_EMPTY_DIFF)
+        counts = extend_database(self.database, fresh)
+        version = self.store.publish(
+            self.database, label=f"cycle-{cycle:03d}",
+            changelog=changelog_from_diff(fresh),
+            created_at_ms=self._clock_ms)
+        self._count("dbops.published")
+        self._count("dbops.resources_added",
+                    fresh.registry_entry_count
+                    + len(fresh.files) + len(fresh.processes))
+        return CycleResult(
+            cycle=cycle, collected_at_ms=self._clock_ms, published=version,
+            counts=tuple(sorted((str(key), int(value))
+                                for key, value in counts.items())))
+
+    # -- helpers -------------------------------------------------------------
+
+    def _subtract_known(self, diff: ResourceDiff) -> ResourceDiff:
+        """Drop resources the working database already deceives.
+
+        The crawl diff is against the *clean baseline*; without this
+        subtraction every cycle would re-collect the whole accumulated
+        drift and every diff would look non-empty forever.
+        """
+        state = self.database.snapshot()
+        known_files = {path.lower() for path in state.files}
+        known_processes = {name.lower() for name in state.processes}
+        known_keys = {path.lower() for path in state.registry_keys}
+        known_values = {(path.lower(), name.lower())
+                        for path, name in state.registry_values}
+        return ResourceDiff(
+            files=diff.files - known_files,
+            processes=diff.processes - known_processes,
+            registry_keys=diff.registry_keys - known_keys,
+            registry_values=diff.registry_values - known_values)
+
+    @staticmethod
+    def _count(name: str, n: int = 1) -> None:
+        if TELEMETRY.enabled and n:
+            TELEMETRY.count(name, n)

@@ -1,0 +1,263 @@
+"""Hot rollout of a published deception-database version to a live fleet.
+
+:class:`RolloutEngine` is a *version router* — the duck-typed object
+:class:`~repro.fleet.service.FleetService` accepts as
+``version_router`` (the fleet layer never imports this package; the
+protocol is structural). It stamps a target version onto per-endpoint
+batch jobs at round boundaries, which is the whole "hot" story: no
+restart, no pool teardown — workers side-load the target snapshot at
+init and select per batch.
+
+Determinism is the design constraint everything here bends around:
+
+* **Stamping** is a pure function of ``(endpoint_id, target_version,
+  ramp stage, pins)`` — a crc32 percent bucket, no RNG state.
+* **Ramp stages** key off the *global admission round index*, which is
+  planned before routing and identical at any shard count.
+* **The health gate** evaluates each shard's own seq-sorted completed
+  records with a prefix walk and latches at the first offending prefix
+  — the same records produce the same verdict whether the run is
+  serial or pooled, fresh or resumed (checkpointed records carry their
+  ``db_version`` stamps).
+* **No-op detection**: a target whose content fingerprint equals the
+  base database's degrades to no stamping and no side-loaded blobs —
+  byte-identical output to a routerless run. The hypothesis property
+  test pivots on this.
+
+Consequence worth stating plainly: because rollback is evaluated
+*per shard*, the cross-shard-count byte-identity contract the plain
+fleet enjoys does **not** extend to runs with an active rollout — the
+contract here is fixed shard count, any of {serial, pooled} × {fresh,
+resumed}. ``docs/DBOPS.md`` spells this out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..fleet.endpoint import FAILED_LABEL, EventRecord
+from ..fleet.events import EVENT_MALWARE
+from .versions import BASE_VERSION, VersionStore, content_fingerprint
+
+
+def ramp_bucket(endpoint_id: int, version_id: int) -> int:
+    """Deterministic 0-99 bucket for percent-of-endpoints ramping.
+
+    Salted with the version id so successive rollouts ramp across
+    *different* endpoint subsets — endpoint 7 is not permanently "the
+    canary" for every version ever shipped.
+    """
+    return zlib.crc32(f"{endpoint_id}:{version_id}".encode()) % 100
+
+
+@dataclasses.dataclass(frozen=True)
+class RampStage:
+    """From global round ``at_round`` on, ``percent``% of endpoints."""
+
+    at_round: int
+    percent: int
+
+    def __post_init__(self) -> None:
+        if self.at_round < 0:
+            raise ValueError("at_round must be >= 0")
+        if not 0 <= self.percent <= 100:
+            raise ValueError("percent must be in [0, 100]")
+
+
+#: One-stage ramp: everything from the first round (rollout-as-switch).
+FULL_RAMP: Tuple[RampStage, ...] = (RampStage(at_round=0, percent=100),)
+
+
+@dataclasses.dataclass(frozen=True)
+class HealthGate:
+    """Auto-rollback policy: regression bound on the deactivation rate.
+
+    Once a shard has seen ``min_samples`` malware arrivals on *both* the
+    target version and the base, a target deactivation rate more than
+    ``max_regression`` below the base rate at any record prefix rolls
+    that shard back (latched — it never re-enrolls this run).
+    """
+
+    min_samples: int = 8
+    max_regression: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if not 0.0 <= self.max_regression <= 1.0:
+            raise ValueError("max_regression must be in [0, 1]")
+
+
+class RolloutEngine:
+    """Stamps a staged, health-gated version rollout onto fleet rounds.
+
+    Satisfies the fleet's version-router protocol: ``bind_base``,
+    ``version_blobs``, ``assign_round``, ``fingerprint``, ``summary``.
+    ``pins`` force individual endpoints onto the target (or explicitly
+    back to base) regardless of the ramp.
+    """
+
+    #: Routers may run an experiment; a rollout does not.
+    control_arm = ""
+
+    def __init__(self, target_version: int, target_blob: bytes, *,
+                 stages: Sequence[RampStage] = FULL_RAMP,
+                 health: Optional[HealthGate] = None,
+                 pins: Optional[Mapping[int, int]] = None) -> None:
+        if target_version < 1:
+            raise ValueError("target_version must be a published id (>= 1)")
+        stages = tuple(stages)
+        if not stages:
+            raise ValueError("stages must not be empty")
+        rounds = [stage.at_round for stage in stages]
+        if rounds != sorted(set(rounds)):
+            raise ValueError("stages must have strictly increasing at_round")
+        for endpoint_id, version in (pins or {}).items():
+            if version not in (BASE_VERSION, target_version):
+                raise ValueError(
+                    f"pin for endpoint {endpoint_id} names version "
+                    f"{version}; only base ({BASE_VERSION}) or the target "
+                    f"({target_version}) may be pinned")
+        self.target_version = target_version
+        self.target_blob = target_blob
+        self.target_fingerprint = content_fingerprint(target_blob)
+        self.stages = stages
+        self.health = health
+        self.pins: Dict[int, int] = dict(pins or {})
+        self._base_fingerprint = ""
+        self._noop = False
+        self._stamped_batches = 0
+        self._rolled_back_shards: Dict[int, int] = {}
+
+    @classmethod
+    def from_store(cls, store: VersionStore, version_id: int, *,
+                   stages: Sequence[RampStage] = FULL_RAMP,
+                   health: Optional[HealthGate] = None,
+                   pins: Optional[Mapping[int, int]] = None
+                   ) -> "RolloutEngine":
+        """Build a rollout for a published version (fingerprint-checked)."""
+        return cls(version_id, store.load_blob(version_id),
+                   stages=stages, health=health, pins=pins)
+
+    # -- version-router protocol ---------------------------------------------
+
+    def bind_base(self, db_blob: bytes) -> None:
+        """Reset per-run state against the run's base database."""
+        self._base_fingerprint = content_fingerprint(db_blob)
+        self._noop = self.target_fingerprint == self._base_fingerprint
+        self._stamped_batches = 0
+        self._rolled_back_shards = {}
+
+    def version_blobs(self) -> Dict[int, bytes]:
+        """Snapshots workers must side-load (empty for a no-op rollout)."""
+        if self._noop:
+            return {}
+        return {self.target_version: self.target_blob}
+
+    def assign_round(self, jobs: Sequence[Any], global_round: int,
+                     shard_records: Sequence[EventRecord],
+                     shard_index: int) -> Sequence[Any]:
+        """Stamp one shard round's jobs with their database version."""
+        if self._noop:
+            return jobs
+        if self._check_rollback(shard_index, shard_records, global_round):
+            return jobs
+        percent = self.stage_percent(global_round)
+        stamped: List[Any] = []
+        for job in jobs:
+            version = self.pins.get(
+                job.endpoint_id,
+                self.target_version
+                if ramp_bucket(job.endpoint_id, self.target_version)
+                < percent else BASE_VERSION)
+            if version != BASE_VERSION:
+                job = dataclasses.replace(job, db_version=version)
+                self._stamped_batches += 1
+            stamped.append(job)
+        return tuple(stamped)
+
+    def fingerprint(self) -> dict:
+        """Checkpoint-fingerprint contribution (JSON-stable)."""
+        return {
+            "mode": "rollout",
+            "target": self.target_version,
+            "target_fp": self.target_fingerprint,
+            "stages": [[stage.at_round, stage.percent]
+                       for stage in self.stages],
+            "health": None if self.health is None
+            else [self.health.min_samples, self.health.max_regression],
+            "pins": sorted([endpoint_id, version] for endpoint_id, version
+                           in self.pins.items()),
+        }
+
+    def summary(self) -> dict:
+        """Observability payload for :class:`FleetRunResult` / telemetry."""
+        return {
+            "mode": "rollout",
+            "target_version": self.target_version,
+            "noop": self._noop,
+            "stamped_batches": self._stamped_batches,
+            "rolled_back": bool(self._rolled_back_shards),
+            "rolled_back_shards": sorted(
+                [shard, at_round] for shard, at_round
+                in self._rolled_back_shards.items()),
+        }
+
+    # -- ramp + health -------------------------------------------------------
+
+    def stage_percent(self, global_round: int) -> int:
+        """The ramp percentage in force at a global admission round."""
+        percent = 0
+        for stage in self.stages:
+            if stage.at_round <= global_round:
+                percent = stage.percent
+        return percent
+
+    def _check_rollback(self, shard_index: int,
+                        shard_records: Sequence[EventRecord],
+                        global_round: int) -> bool:
+        if self.health is None:
+            return False
+        if shard_index in self._rolled_back_shards:
+            return True
+        if rollback_triggered(shard_records, self.target_version,
+                              self.health):
+            self._rolled_back_shards[shard_index] = global_round
+            return True
+        return False
+
+
+def rollback_triggered(records: Sequence[EventRecord], target_version: int,
+                       health: HealthGate) -> bool:
+    """Prefix-latched regression check over seq-sorted shard records.
+
+    Pure function of its inputs — the engine calls it with a shard's
+    completed records, which are the same whether those records were
+    just executed or replayed from a checkpoint. Walking every prefix
+    (rather than only the final totals) makes the verdict independent
+    of *when* the check runs: a fresh run that triggered at round R and
+    a resumed run that replays past R both see the offending prefix.
+    """
+    target_arrivals = target_deactivated = 0
+    base_arrivals = base_deactivated = 0
+    for record in records:
+        if record.kind != EVENT_MALWARE or record.label == FAILED_LABEL \
+                or record.deactivated is None:
+            continue
+        if record.db_version == target_version:
+            target_arrivals += 1
+            target_deactivated += int(record.deactivated)
+        elif record.db_version == BASE_VERSION:
+            base_arrivals += 1
+            base_deactivated += int(record.deactivated)
+        else:
+            continue
+        if (target_arrivals >= health.min_samples
+                and base_arrivals >= health.min_samples):
+            target_rate = target_deactivated / target_arrivals
+            base_rate = base_deactivated / base_arrivals
+            if target_rate < base_rate - health.max_regression:
+                return True
+    return False

@@ -1,0 +1,237 @@
+"""Immutable deception-database versions and the append-only store.
+
+The paper's collection pipeline (Section II-C) is a *process*, not a
+one-shot build: sandboxes drift, crawls repeat, and the deception
+database grows over time. This module gives that process a durable
+shape — every non-trivial crawl publishes an immutable
+:class:`DatabaseVersion` (monotonic id, content fingerprint over the
+pickled snapshot, parent link, structured changelog) into a
+:class:`VersionStore` whose on-disk layout is append-only: blobs are
+written first, the manifest last, both via temp-file + ``os.replace``,
+so a crashed publish never corrupts earlier versions.
+
+Version id ``0`` is reserved for *the unversioned base* — whatever
+database a fleet run was constructed with. Published versions start at
+``1``. Fingerprints use the same ``crc32:length`` idiom as
+:func:`repro.parallel.shared.database_fingerprint`, so a rollout can
+cheaply detect that a "new" version is content-identical to the base
+and degrade to a no-op (the byte-identity lever the determinism tests
+lean on).
+
+Nothing here reads the host clock or entropy (scarelint SC001/SC002):
+``created_at_ms`` is the *collector's virtual clock*, supplied by the
+caller.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+import zlib
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..core.collector import ResourceDiff
+from ..core.database import DeceptionDatabase, FrozenDeceptionDatabase
+
+#: The reserved id of the unversioned base database a run starts from.
+BASE_VERSION = 0
+
+#: Manifest filename inside a store root.
+MANIFEST_NAME = "manifest.json"
+
+
+class VersionStoreError(RuntimeError):
+    """The store root is unreadable or a requested version is missing."""
+
+
+class VersionIntegrityError(VersionStoreError):
+    """A stored blob no longer matches its manifest fingerprint."""
+
+
+def content_fingerprint(blob: bytes) -> str:
+    """``crc32:length`` content fingerprint of a pickled snapshot."""
+    return f"{zlib.crc32(blob) & 0xFFFFFFFF:08x}:{len(blob)}"
+
+
+def changelog_from_diff(diff: ResourceDiff) -> Dict[str, int]:
+    """Structured changelog counts for a published crawl diff."""
+    return {
+        "files": len(diff.files),
+        "processes": len(diff.processes),
+        "registry_keys": len(diff.registry_keys),
+        "registry_values": len(diff.registry_values),
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class DatabaseVersion:
+    """One immutable published version (metadata only — blob lives apart).
+
+    ``changelog`` is the structured count-per-resource-kind delta against
+    ``parent_id`` (empty for versions published from scratch);
+    ``created_at_ms`` is virtual collector time, never host time.
+    """
+
+    version_id: int
+    parent_id: int
+    fingerprint: str
+    label: str = ""
+    created_at_ms: int = 0
+    changelog: Tuple[Tuple[str, int], ...] = ()
+
+    def changelog_dict(self) -> Dict[str, int]:
+        return dict(self.changelog)
+
+    def to_dict(self) -> dict:
+        return {"version": self.version_id, "parent": self.parent_id,
+                "fingerprint": self.fingerprint, "label": self.label,
+                "created_at_ms": self.created_at_ms,
+                "changelog": dict(self.changelog)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "DatabaseVersion":
+        changelog = data.get("changelog") or {}
+        return cls(
+            version_id=int(data["version"]), parent_id=int(data["parent"]),
+            fingerprint=str(data["fingerprint"]),
+            label=str(data.get("label", "")),
+            created_at_ms=int(data.get("created_at_ms", 0)),
+            changelog=tuple(sorted(
+                (str(key), int(value)) for key, value in changelog.items())))
+
+
+def _blob_name(version_id: int) -> str:
+    return f"v{version_id:04d}.snapshot"
+
+
+class VersionStore:
+    """Append-only store of published versions (on disk or in memory).
+
+    With a ``root`` directory the store persists: ``manifest.json`` plus
+    one blob file per version, each write atomic (temp + ``os.replace``)
+    and ordered blob-before-manifest so the manifest never references a
+    blob that is not fully on disk. With ``root=None`` everything lives
+    in memory — the pipeline tests and the noop-rollout property run
+    without touching the filesystem.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root
+        self._versions: List[DatabaseVersion] = []
+        self._blobs: Dict[int, bytes] = {}
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+            self._load_manifest()
+
+    # -- manifest io ---------------------------------------------------------
+
+    def _manifest_path(self) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def _load_manifest(self) -> None:
+        path = self._manifest_path()
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError) as exc:
+            raise VersionStoreError(
+                f"unreadable version manifest {path!r}: {exc}") from exc
+        self._versions = [DatabaseVersion.from_dict(entry)
+                          for entry in payload.get("versions", ())]
+        for index, version in enumerate(self._versions, start=1):
+            if version.version_id != index:
+                raise VersionStoreError(
+                    f"manifest {path!r} is not a dense append-only "
+                    f"sequence (entry {index} has id {version.version_id})")
+
+    def _write_manifest(self) -> None:
+        payload = {"versions": [version.to_dict()
+                                for version in self._versions]}
+        path = self._manifest_path()
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, sort_keys=True,
+                      separators=(",", ":"))
+        os.replace(tmp_path, path)
+
+    # -- publishing ----------------------------------------------------------
+
+    def publish(self, database: Union[DeceptionDatabase, bytes], *,
+                label: str = "", parent_id: Optional[int] = None,
+                changelog: Optional[Mapping[str, int]] = None,
+                created_at_ms: int = 0) -> DatabaseVersion:
+        """Publish a new immutable version; returns its metadata.
+
+        ``parent_id`` defaults to the latest published version (or the
+        base, 0, for the first publish). Accepts a live database or an
+        already-pickled snapshot blob.
+        """
+        blob = database if isinstance(database, bytes) \
+            else database.snapshot_bytes()
+        if parent_id is None:
+            parent_id = self._versions[-1].version_id if self._versions \
+                else BASE_VERSION
+        version = DatabaseVersion(
+            version_id=len(self._versions) + 1, parent_id=int(parent_id),
+            fingerprint=content_fingerprint(blob), label=label,
+            created_at_ms=int(created_at_ms),
+            changelog=tuple(sorted((str(key), int(value)) for key, value
+                                   in (changelog or {}).items())))
+        if self.root is not None:
+            blob_path = os.path.join(self.root,
+                                     _blob_name(version.version_id))
+            tmp_path = blob_path + ".tmp"
+            with open(tmp_path, "wb") as stream:
+                stream.write(blob)
+            os.replace(tmp_path, blob_path)
+        self._blobs[version.version_id] = blob
+        self._versions.append(version)
+        if self.root is not None:
+            self._write_manifest()
+        return version
+
+    # -- reading -------------------------------------------------------------
+
+    def versions(self) -> Tuple[DatabaseVersion, ...]:
+        return tuple(self._versions)
+
+    def latest(self) -> Optional[DatabaseVersion]:
+        return self._versions[-1] if self._versions else None
+
+    def get(self, version_id: int) -> DatabaseVersion:
+        if not 1 <= version_id <= len(self._versions):
+            raise VersionStoreError(
+                f"no published version {version_id} "
+                f"(store has {len(self._versions)})")
+        return self._versions[version_id - 1]
+
+    def load_blob(self, version_id: int) -> bytes:
+        """The pickled snapshot for a version, fingerprint-validated."""
+        version = self.get(version_id)
+        blob = self._blobs.get(version_id)
+        if blob is None:
+            assert self.root is not None
+            blob_path = os.path.join(self.root, _blob_name(version_id))
+            try:
+                with open(blob_path, "rb") as stream:
+                    blob = stream.read()
+            except OSError as exc:
+                raise VersionStoreError(
+                    f"missing blob for version {version_id}: {exc}") from exc
+            self._blobs[version_id] = blob
+        actual = content_fingerprint(blob)
+        if actual != version.fingerprint:
+            raise VersionIntegrityError(
+                f"version {version_id} blob fingerprint {actual} does not "
+                f"match manifest {version.fingerprint}")
+        return blob
+
+    def load_database(self, version_id: int) -> FrozenDeceptionDatabase:
+        """Rehydrate a version as a read-only database."""
+        state = pickle.loads(self.load_blob(version_id))
+        return FrozenDeceptionDatabase.from_snapshot(state)

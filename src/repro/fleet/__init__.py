@@ -15,7 +15,8 @@ from .endpoint import (DEFAULT_REPORT_BUFFER, FAILED_LABEL, EventRecord,
 from .events import (DEFAULT_FLEET_FAMILIES, EVENT_BENIGN, EVENT_KINDS,
                      EVENT_MALWARE, EVENT_RESET, FleetEvent, FleetRng,
                      WorkloadProfile, build_sample_pool, generate_events)
-from .report import (FamilyRollup, FleetReport, LatencyRollup, ShardRollup,
+from .report import (ArmRollup, FamilyRollup, FleetReport, LatencyRollup,
+                     ShardRollup, VersionRollup, build_arm_rollups,
                      build_fleet_report, finalize_report,
                      merge_shard_rollups, render_fleet_report)
 from .service import (CHECKPOINT_VERSION, DEFAULT_FLEET_FACTORY,
@@ -28,14 +29,16 @@ from .shard import (BatchJob, BatchResult, FleetChunk, FleetCheckpointError,
                     shard_checkpoint_path, shard_of)
 
 __all__ = [
-    "AdmissionPlan", "BatchJob", "BatchResult", "CHECKPOINT_VERSION",
+    "AdmissionPlan", "ArmRollup", "BatchJob", "BatchResult",
+    "CHECKPOINT_VERSION",
     "DEFAULT_FLEET_FACTORY", "DEFAULT_FLEET_FAMILIES",
     "DEFAULT_QUEUE_LIMIT", "DEFAULT_REPORT_BUFFER", "EVENT_BENIGN",
     "EVENT_KINDS", "EVENT_MALWARE", "EVENT_RESET", "EventRecord",
     "FAILED_LABEL", "FamilyRollup", "FleetChunk", "FleetCheckpointError",
     "FleetEvent", "FleetReport", "FleetRng", "FleetRunResult",
     "FleetService", "FleetShard", "LatencyRollup", "ProtectedEndpoint",
-    "ShardOutcome", "ShardRollup", "WorkloadProfile", "build_fleet_report",
+    "ShardOutcome", "ShardRollup", "VersionRollup", "WorkloadProfile",
+    "build_arm_rollups", "build_fleet_report",
     "build_sample_pool", "build_shards", "execute_fleet_batch",
     "execute_fleet_chunk", "failed_event_record", "finalize_report",
     "generate_events", "initialize_fleet_worker", "merge_shard_rollups",

@@ -63,6 +63,10 @@ class EventRecord:
     latency_ns: int = 0
     retries: int = 0
     error: str = ""
+    #: Deception-database version this event executed against (0 = the
+    #: run's base database; nonzero ids come from a ``repro.dbops``
+    #: rollout or A/B assignment and are stamped by the worker).
+    db_version: int = 0
 
     def to_dict(self) -> dict:
         return {"seq": self.seq, "endpoint": self.endpoint_id,
@@ -71,7 +75,7 @@ class EventRecord:
                 "deactivated": self.deactivated, "trigger": self.trigger,
                 "spawns": self.spawns, "reports": self.reports,
                 "latency_ns": self.latency_ns, "retries": self.retries,
-                "error": self.error}
+                "error": self.error, "db_version": self.db_version}
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "EventRecord":
@@ -88,7 +92,8 @@ class EventRecord:
             reports=int(data.get("reports", 0)),
             latency_ns=int(data.get("latency_ns", 0)),
             retries=int(data.get("retries", 0)),
-            error=str(data.get("error", "")))
+            error=str(data.get("error", "")),
+            db_version=int(data.get("db_version", 0)))
 
 
 class ProtectedEndpoint:

@@ -57,6 +57,103 @@ class FamilyRollup:
 
 
 @dataclasses.dataclass(frozen=True)
+class VersionRollup:
+    """Per-deception-database-version event and verdict counts.
+
+    ``version`` is the :attr:`~repro.fleet.endpoint.EventRecord.
+    db_version` stamp (0 = the run's base database); a ``repro.dbops``
+    rollout or A/B experiment yields more than one row. Like
+    :class:`FamilyRollup` the rows are pure functions of the records, so
+    they sit on the byte-identity surface.
+    """
+
+    version: int
+    events: int
+    malware: int
+    deactivated: int
+
+    @property
+    def rate(self) -> float:
+        return self.deactivated / self.malware if self.malware else 0.0
+
+    def to_dict(self) -> dict:
+        return {"version": self.version, "events": self.events,
+                "malware": self.malware, "deactivated": self.deactivated,
+                "rate": round(self.rate, 4)}
+
+
+@dataclasses.dataclass(frozen=True)
+class ArmRollup:
+    """One A/B arm's verdict counts plus its deactivation-rate lift.
+
+    ``lift`` is this arm's malware deactivation rate minus the control
+    arm's (0.0 for the control itself). Arm membership is the
+    deterministic endpoint assignment handed to
+    :func:`build_arm_rollups`, so the rows are identical however the run
+    executed.
+    """
+
+    arm: str
+    endpoints: int
+    events: int
+    malware: int
+    deactivated: int
+    control: bool
+    lift: float
+
+    @property
+    def rate(self) -> float:
+        return self.deactivated / self.malware if self.malware else 0.0
+
+    def to_dict(self) -> dict:
+        return {"arm": self.arm, "endpoints": self.endpoints,
+                "events": self.events, "malware": self.malware,
+                "deactivated": self.deactivated,
+                "rate": round(self.rate, 4), "control": self.control,
+                "lift": round(self.lift, 4)}
+
+
+def build_arm_rollups(records: Sequence[EventRecord],
+                      endpoint_arms: Dict[int, str],
+                      control_arm: str) -> Tuple[ArmRollup, ...]:
+    """Fold records into per-arm rollups with lift against the control.
+
+    ``endpoint_arms`` is the full deterministic assignment (every fleet
+    endpoint, not just ones with traffic), so the ``endpoints`` column
+    reflects the experiment design rather than workload chance.
+    """
+    if not endpoint_arms:
+        return ()
+    sizes: Dict[str, int] = {}
+    for arm in endpoint_arms.values():
+        sizes[arm] = sizes.get(arm, 0) + 1
+    stats: Dict[str, List[int]] = {arm: [0, 0, 0] for arm in sizes}
+    for record in records:
+        arm = endpoint_arms.get(record.endpoint_id)
+        if arm is None or record.label == FAILED_LABEL:
+            continue
+        entry = stats[arm]
+        entry[0] += 1
+        if record.kind == EVENT_MALWARE:
+            entry[1] += 1
+            if record.deactivated:
+                entry[2] += 1
+
+    def rate(arm: str) -> float:
+        _, malware, deactivated = stats[arm]
+        return deactivated / malware if malware else 0.0
+
+    control_rate = rate(control_arm) if control_arm in stats else 0.0
+    return tuple(
+        ArmRollup(arm=arm, endpoints=sizes[arm], events=stats[arm][0],
+                  malware=stats[arm][1], deactivated=stats[arm][2],
+                  control=arm == control_arm,
+                  lift=0.0 if arm == control_arm
+                  else rate(arm) - control_rate)
+        for arm in sorted(sizes))
+
+
+@dataclasses.dataclass(frozen=True)
 class LatencyRollup:
     """Virtual-clock event-latency distribution (SLO view)."""
 
@@ -130,6 +227,7 @@ class ShardRollup:
     retries: int = 0
     reports_drained: int = 0
     families: Tuple[FamilyRollup, ...] = ()
+    versions: Tuple[VersionRollup, ...] = ()
     latency: HistogramState = HistogramState()
 
     @classmethod
@@ -153,6 +251,21 @@ class ShardRollup:
             FamilyRollup(family=family, arrivals=len(group),
                          deactivated=sum(1 for r in group if r.deactivated))
             for family, group in sorted(by_family.items()))
+        by_version: Dict[int, List[int]] = {}
+        for record in records:
+            if record.label == FAILED_LABEL:
+                continue
+            entry = by_version.setdefault(record.db_version, [0, 0, 0])
+            entry[0] += 1
+            if record.kind == EVENT_MALWARE:
+                entry[1] += 1
+                if record.deactivated:
+                    entry[2] += 1
+        versions = tuple(
+            VersionRollup(version=version, events=events,
+                          malware=malware, deactivated=deactivated)
+            for version, (events, malware, deactivated)
+            in sorted(by_version.items()))
         return cls(
             events_processed=len(records),
             malware_events=len(malware),
@@ -164,6 +277,7 @@ class ShardRollup:
             retries=sum(r.retries for r in records),
             reports_drained=sum(r.reports for r in records),
             families=families,
+            versions=versions,
             latency=_latency_state(records))
 
     def merge(self, other: "ShardRollup") -> "ShardRollup":
@@ -177,6 +291,17 @@ class ShardRollup:
             FamilyRollup(family=family, arrivals=arrivals,
                          deactivated=deactivated)
             for family, (arrivals, deactivated) in sorted(by_family.items()))
+        by_version: Dict[int, List[int]] = {}
+        for rollup in (*self.versions, *other.versions):
+            entry = by_version.setdefault(rollup.version, [0, 0, 0])
+            entry[0] += rollup.events
+            entry[1] += rollup.malware
+            entry[2] += rollup.deactivated
+        versions = tuple(
+            VersionRollup(version=version, events=events,
+                          malware=malware, deactivated=deactivated)
+            for version, (events, malware, deactivated)
+            in sorted(by_version.items()))
         return ShardRollup(
             events_processed=self.events_processed + other.events_processed,
             malware_events=self.malware_events + other.malware_events,
@@ -188,6 +313,7 @@ class ShardRollup:
             retries=self.retries + other.retries,
             reports_drained=self.reports_drained + other.reports_drained,
             families=families,
+            versions=versions,
             latency=self.latency.merge(other.latency))
 
     def to_dict(self) -> dict:
@@ -201,6 +327,7 @@ class ShardRollup:
                 "retries": self.retries,
                 "reports_drained": self.reports_drained,
                 "families": [rollup.to_dict() for rollup in self.families],
+                "versions": [rollup.to_dict() for rollup in self.versions],
                 "latency": self.latency.to_dict()}
 
     def to_json(self) -> str:
@@ -234,11 +361,15 @@ class FleetReport:
     retries: int
     reports_drained: int
     families: Tuple[FamilyRollup, ...]
+    versions: Tuple[VersionRollup, ...]
     latency: LatencyRollup
     queue_depth_hwm: int
     backpressure_stalls: int
     rounds: int
     completed: bool
+    #: A/B arm rollups; empty unless the run carried an experiment
+    #: assignment (``repro.dbops.assignment``).
+    arms: Tuple[ArmRollup, ...] = ()
 
     @property
     def deactivation_rate(self) -> float:
@@ -246,7 +377,7 @@ class FleetReport:
             if self.malware_events else 0.0
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "endpoints": self.endpoints,
             "seed": self.seed,
             "events": {"planned": self.events_planned,
@@ -262,12 +393,16 @@ class FleetReport:
                          "benign_ok": self.benign_ok,
                          "reports_drained": self.reports_drained},
             "families": [rollup.to_dict() for rollup in self.families],
+            "versions": [rollup.to_dict() for rollup in self.versions],
             "latency": self.latency.to_dict(),
             "admission": {"queue_depth_hwm": self.queue_depth_hwm,
                           "backpressure_stalls": self.backpressure_stalls,
                           "rounds": self.rounds},
             "completed": self.completed,
         }
+        if self.arms:
+            payload["arms"] = [rollup.to_dict() for rollup in self.arms]
+        return payload
 
     def to_json(self) -> str:
         """Canonical sorted-key JSON — the byte-identity comparison form."""
@@ -278,7 +413,8 @@ class FleetReport:
 def finalize_report(merged: ShardRollup, *, endpoints: int, seed: int,
                     events_planned: int, queue_depth_hwm: int,
                     backpressure_stalls: int, rounds: int,
-                    completed: bool) -> FleetReport:
+                    completed: bool,
+                    arms: Tuple[ArmRollup, ...] = ()) -> FleetReport:
     """Promote a merged shard partial to the canonical global report.
 
     The keyword fields are the *coordinator's* contribution: identity and
@@ -300,11 +436,13 @@ def finalize_report(merged: ShardRollup, *, endpoints: int, seed: int,
         retries=merged.retries,
         reports_drained=merged.reports_drained,
         families=merged.families,
+        versions=merged.versions,
         latency=LatencyRollup.from_state(merged.latency),
         queue_depth_hwm=queue_depth_hwm,
         backpressure_stalls=backpressure_stalls,
         rounds=rounds,
-        completed=completed)
+        completed=completed,
+        arms=arms)
 
 
 def build_fleet_report(result) -> FleetReport:
@@ -316,12 +454,16 @@ def build_fleet_report(result) -> FleetReport:
     byte-identity contract is proven over.
     """
     merged = merge_shard_rollups(result.shard_rollups())
+    endpoint_arms = getattr(result, "endpoint_arms", None) or {}
+    arms = build_arm_rollups(result.records, endpoint_arms,
+                             getattr(result, "control_arm", ""))
     return finalize_report(
         merged, endpoints=result.endpoints, seed=result.seed,
         events_planned=result.events_planned,
         queue_depth_hwm=result.queue_depth_hwm,
         backpressure_stalls=result.backpressure_stalls,
-        rounds=result.rounds_total, completed=result.completed)
+        rounds=result.rounds_total, completed=result.completed,
+        arms=arms)
 
 
 def render_fleet_report(report: FleetReport,
@@ -345,6 +487,22 @@ def render_fleet_report(report: FleetReport,
     for rollup in report.families:
         lines.append(f"{rollup.family:<16} {rollup.arrivals:>8}  "
                      f"{rollup.deactivated:>11}  {rollup.rate:>6.1%}")
+    if len(report.versions) > 1 or any(v.version for v in report.versions):
+        lines += ["", f"{'db version':<16} {'events':>8}  {'malware':>8}  "
+                      f"{'deactivated':>11}  rate"]
+        for rollup in report.versions:
+            label = f"v{rollup.version}" if rollup.version else "base"
+            lines.append(f"{label:<16} {rollup.events:>8}  {rollup.malware:>8}"
+                         f"  {rollup.deactivated:>11}  {rollup.rate:>6.1%}")
+    if report.arms:
+        lines += ["", f"{'arm':<14} {'endpoints':>9}  {'malware':>8}  "
+                      f"{'deactivated':>11}    rate    lift"]
+        for rollup in report.arms:
+            marker = "*" if rollup.control else " "
+            lines.append(
+                f"{rollup.arm:<13}{marker} {rollup.endpoints:>9}  "
+                f"{rollup.malware:>8}  {rollup.deactivated:>11}  "
+                f"{rollup.rate:>6.1%}  {rollup.lift:>+6.1%}")
     latency = report.latency
     lines += [
         "",

@@ -155,7 +155,8 @@ def initialize_fleet_worker(factory_spec: FactorySpec,
                             template: bool = True,
                             profile: Optional[WorkloadProfile] = None,
                             delta: DeltaMode = True,
-                            shared_keys: Optional[shared.SharedKeys] = None
+                            shared_keys: Optional[shared.SharedKeys] = None,
+                            version_blobs: Optional[Dict[int, bytes]] = None
                             ) -> None:
     """Pool/serial initializer: build this worker's private fixtures.
 
@@ -168,6 +169,10 @@ def initialize_fleet_worker(factory_spec: FactorySpec,
     factory every batch; the benchmark's serial reference). ``delta`` is
     handed to the template; ``shared_keys`` names fork-inherited payloads
     (validated on lookup, pickled-path fallback on any miss).
+    ``version_blobs`` side-loads alternate deception-database snapshots
+    (pre-pickled, keyed by version id) a ``repro.dbops`` rollout may
+    stamp into :attr:`~repro.fleet.shard.BatchJob.db_version`; they are
+    rehydrated lazily, per worker, on first use.
     """
     TELEMETRY.enabled = bool(telemetry)
     keys = shared_keys or shared.SharedKeys()
@@ -196,6 +201,25 @@ def initialize_fleet_worker(factory_spec: FactorySpec,
     _FLEET_STATE["config"] = config
     _FLEET_STATE["samples"] = build_sample_pool(profile)
     _FLEET_STATE["benign"] = build_cnet_corpus()
+    _FLEET_STATE["version_blobs"] = dict(version_blobs or {})
+    _FLEET_STATE["version_dbs"] = {}
+
+
+def _version_database(version_id: int) -> FrozenDeceptionDatabase:
+    """The frozen database for a stamped version id (lazily rehydrated).
+
+    Ids without a side-loaded blob resolve to the base database — the
+    serving backend re-initializes workers with the rolled-out version
+    *as* the base, so its stamps carry no separate blob.
+    """
+    cache: Dict[int, FrozenDeceptionDatabase] = _FLEET_STATE["version_dbs"]
+    database = cache.get(version_id)
+    if database is None:
+        blob = _FLEET_STATE["version_blobs"].get(version_id)
+        database = _FLEET_STATE["database"] if blob is None else \
+            FrozenDeceptionDatabase.from_snapshot(pickle.loads(blob))
+        cache[version_id] = database
+    return database
 
 
 def _run_event(endpoint: ProtectedEndpoint, event: FleetEvent,
@@ -229,9 +253,10 @@ def execute_fleet_batch(job: BatchJob) -> BatchResult:
             "fleet worker not initialized (initialize_fleet_worker)")
     baseline = TELEMETRY.snapshot() if TELEMETRY.enabled else None
     machine = _FLEET_STATE["machine_source"]()
+    database = _version_database(job.db_version) if job.db_version \
+        else _FLEET_STATE["database"]
     endpoint = ProtectedEndpoint(
-        job.endpoint_id, machine, _FLEET_STATE["database"],
-        _FLEET_STATE["config"])
+        job.endpoint_id, machine, database, _FLEET_STATE["config"])
     records: List[EventRecord] = []
     retries_total = 0
     try:
@@ -241,6 +266,9 @@ def execute_fleet_batch(job: BatchJob) -> BatchResult:
             records.append(record)
     finally:
         endpoint.close()
+    if job.db_version:
+        records = [dataclasses.replace(record, db_version=job.db_version)
+                   for record in records]
     metrics = TELEMETRY.snapshot().diff_from(baseline) \
         if baseline is not None else None
     return BatchResult(index=job.index, endpoint_id=job.endpoint_id,
@@ -322,6 +350,14 @@ class FleetRunResult:
     #: Per-shard execution summaries (observability).
     shard_outcomes: List[ShardOutcome] = dataclasses.field(
         default_factory=list)
+    #: Version-router summary (``repro.dbops`` rollout/experiment);
+    #: ``None`` when the run had no router. Observability, not identity.
+    dbops: Optional[Dict[str, Any]] = None
+    #: Full deterministic A/B assignment (endpoint id → arm name) when
+    #: the router carried an experiment; feeds the report's arm rollups.
+    endpoint_arms: Dict[int, str] = dataclasses.field(default_factory=dict)
+    #: Name of the experiment's control arm ("" without an experiment).
+    control_arm: str = ""
 
     def delta_restores(self) -> int:
         """Dirty-set template restores performed across all chunks."""
@@ -361,7 +397,16 @@ class FleetRunResult:
             gauges={"fleet.queue_depth_hwm": float(self.queue_depth_hwm),
                     "fleet.endpoints": float(self.endpoints),
                     "shard.count": float(self.shards)})
-        return merged.merge(service)
+        merged = merged.merge(service)
+        if self.dbops is not None:
+            merged = merged.merge(MetricsSnapshot(
+                counters={"dbops.stamped_batches":
+                          int(self.dbops.get("stamped_batches", 0)),
+                          "dbops.rollbacks":
+                          int(self.dbops.get("rolled_back", False))},
+                gauges={"dbops.target_version":
+                        float(self.dbops.get("target_version", 0))}))
+        return merged
 
 
 # -- the service --------------------------------------------------------------
@@ -393,7 +438,8 @@ class FleetService:
                  delta: DeltaMode = True,
                  shared_state: bool = True,
                  checkpoint_path: Optional[str] = None,
-                 resume: bool = False) -> None:
+                 resume: bool = False,
+                 version_router: Optional[Any] = None) -> None:
         if endpoints < 1:
             raise ValueError("endpoints must be >= 1")
         if events < 0:
@@ -440,6 +486,14 @@ class FleetService:
         self.shared_state = shared_state
         self.checkpoint_path = checkpoint_path
         self.resume = resume
+        #: Deception-DB version router (duck-typed — ``repro.dbops``
+        #: supplies :class:`~repro.dbops.rollout.RolloutEngine` and
+        #: :class:`~repro.dbops.assignment.ABExperiment`; the fleet layer
+        #: never imports dbops). Must provide ``bind_base(blob)``,
+        #: ``version_blobs()``, ``assign_round(jobs, global_round,
+        #: shard_records, shard_index)``, ``fingerprint()`` and
+        #: ``summary()``.
+        self.version_router = version_router
         self._local_ready = False
 
     # -- configuration identity ----------------------------------------------
@@ -471,6 +525,11 @@ class FleetService:
             else dataclasses.asdict(self.config),
             "profile": profile.fingerprint(),
         }
+        if self.version_router is not None:
+            # Version stamps land in checkpointed records, so a resume
+            # must replay under the same rollout/experiment configuration
+            # — routerless checkpoints keep their pre-dbops fingerprint.
+            raw["dbops"] = self.version_router.fingerprint()
         return json.loads(json.dumps(raw, sort_keys=True))
 
     # -- execution -------------------------------------------------------------
@@ -493,6 +552,12 @@ class FleetService:
         database = self.database if self.database is not None \
             else DeceptionDatabase()
         db_blob = database.snapshot_bytes()
+        router = self.version_router
+        if router is not None:
+            # Binding resets per-run router statistics and lets it detect
+            # a no-op rollout (target content == base content) so the run
+            # stays byte-identical to a routerless one.
+            router.bind_base(db_blob)
         fingerprint = self._fingerprint(db_blob)
 
         shards = build_shards(jobs_per_round, self.shards,
@@ -504,9 +569,11 @@ class FleetService:
             else bool(self.telemetry)
         shared_keys = (self._publish_shared(db_blob) if self.shared_state
                        else shared.SharedKeys())
+        version_blobs = dict(router.version_blobs()) \
+            if router is not None else None
         initargs = (self.machine_factory, db_blob, self.config,
                     telemetry_on, self.template, self.profile,
-                    self.delta, shared_keys)
+                    self.delta, shared_keys, version_blobs)
 
         degraded = 0
         chunks_run = 0
@@ -555,7 +622,17 @@ class FleetService:
             shards=self.shards,
             shard_rounds_total=sum(len(shard.rounds) for shard in shards),
             shard_rounds_done=sum(shard.rounds_done for shard in shards),
-            shard_outcomes=outcomes)
+            shard_outcomes=outcomes,
+            dbops=None if router is None else dict(router.summary()),
+            endpoint_arms=self._endpoint_arms(router),
+            control_arm=getattr(router, "control_arm", "") or "")
+
+    def _endpoint_arms(self, router: Optional[Any]) -> Dict[int, str]:
+        """The router's full A/B assignment (empty without an experiment)."""
+        arm_map = getattr(router, "endpoint_arms", None)
+        if arm_map is None:
+            return {}
+        return dict(arm_map(self.endpoints))
 
     def _build_jobs(self, plan: AdmissionPlan) -> List[List[BatchJob]]:
         """Rounds of batch jobs with globally-unique submission indices."""
@@ -632,7 +709,17 @@ class FleetService:
                 if stop_after_rounds is not None and \
                         started >= stop_after_rounds:
                     continue
-                chunks = self._make_chunks(shard.peek_round())
+                round_jobs: Sequence[BatchJob] = shard.peek_round()
+                if self.version_router is not None:
+                    # Stamped at dispatch time, from state that is a pure
+                    # function of the shard's *completed* records: each
+                    # shard keeps one round in flight and its rounds land
+                    # in order, so serial/pooled and fresh/resumed runs
+                    # see identical histories here.
+                    round_jobs = self.version_router.assign_round(
+                        round_jobs, shard.peek_global_index(),
+                        shard.records(), shard.index)
+                chunks = self._make_chunks(round_jobs)
                 futures = [executor.submit(execute_fleet_chunk, chunk)
                            for chunk in chunks]
                 inflight[shard.index] = (chunks, futures)

@@ -54,6 +54,11 @@ class BatchJob:
     endpoint_id: int
     events: Tuple[FleetEvent, ...]
     max_retries: int = 1
+    #: Deception-database version the worker must execute against
+    #: (0 = the base database it was initialized with). Stamped at
+    #: dispatch time by a ``repro.dbops`` version router; the worker
+    #: copies it onto every record it produces.
+    db_version: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -238,6 +243,10 @@ class FleetShard:
     def peek_round(self) -> Tuple[BatchJob, ...]:
         """The next round's jobs (stays pending until :meth:`finish_round`)."""
         return self.rounds[self.rounds_done][1]
+
+    def peek_global_index(self) -> int:
+        """The global admission-round index of the next pending round."""
+        return self.rounds[self.rounds_done][0]
 
     def finish_round(self, results: Sequence[BatchResult], chunks: int,
                      degraded: int) -> None:

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.database import DeceptionDatabase
 from ..core.profiles import ScarecrowConfig
 from ..parallel.factories import FactorySpec
+from ..parallel.shared import database_fingerprint
 from ..parallel.template import DeltaMode
 from ..telemetry.metrics import TELEMETRY
 from ..fleet.endpoint import EventRecord
@@ -62,6 +63,13 @@ class ShardedBackend:
         self.events_executed = 0
         #: Batches executed per shard index (routing observability).
         self.shard_batches: Dict[int, int] = {}
+        #: Published version currently served (0 = the unversioned base
+        #: the backend was constructed with; hot rollouts bump this).
+        self.database_version = 0
+        #: Hot rollouts adopted over this backend's lifetime.
+        self.rollouts = 0
+        #: Content fingerprint of the serving snapshot (set on first use).
+        self.database_fingerprint = ""
         self._ready = False
         self._next_index = 0
 
@@ -70,11 +78,31 @@ class ShardedBackend:
             return
         database = self.database if self.database is not None \
             else DeceptionDatabase()
+        blob = database.snapshot_bytes()
+        self.database_fingerprint = database_fingerprint(blob)
         initialize_fleet_worker(
-            self.machine_factory, database.snapshot_bytes(), self.config,
+            self.machine_factory, blob, self.config,
             telemetry=TELEMETRY.enabled, template=self.template,
             profile=self.profile, delta=self.delta)
         self._ready = True
+
+    def adopt_version(self, version_id: int,
+                      database: DeceptionDatabase) -> None:
+        """Hot-swap the serving database to a published version.
+
+        The next submission lazily re-initializes the worker fixtures
+        with the adopted snapshot as the *base* database — no restart,
+        no in-flight work (the server serializes submissions). Jobs are
+        stamped with the version id, so every verdict served afterwards
+        carries it; the worker resolves the id to its base database
+        (no side-loaded blob needed — the base IS the version).
+        """
+        if version_id < 0:
+            raise ValueError("version_id must be >= 0")
+        self.database = database
+        self.database_version = version_id
+        self.rollouts += 1
+        self._ready = False
 
     def submit(self, events: Sequence[FleetEvent]
                ) -> Tuple[List[EventRecord], Dict[int, int]]:
@@ -92,7 +120,8 @@ class ShardedBackend:
             shard = shard_of(endpoint_id, self.shards)
             routed[shard] = routed.get(shard, 0) + 1
             job = BatchJob(self._next_index, endpoint_id, batch_events,
-                           self.max_retries)
+                           self.max_retries,
+                           db_version=self.database_version)
             self._next_index += 1
             result = execute_fleet_batch(job)
             records.extend(result.records)

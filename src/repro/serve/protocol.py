@@ -44,8 +44,12 @@ ERROR_INVALID_PARAMS = -32602
 #: Per-tenant admission queue full; the batch was rejected, not queued.
 ERROR_OVERLOADED = -32003
 
-#: Methods the server dispatches.
-METHODS = ("ping", "stats", "submit")
+#: Methods the server dispatches. The ``dbops.*`` pair drives hot
+#: deception-database rollouts against a running server (see
+#: ``docs/DBOPS.md``): ``dbops.rollout`` adopts a published version
+#: from a :class:`~repro.dbops.versions.VersionStore` on disk,
+#: ``dbops.status`` reports what is being served.
+METHODS = ("ping", "stats", "submit", "dbops.rollout", "dbops.status")
 
 
 class ProtocolError(ValueError):

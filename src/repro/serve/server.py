@@ -77,7 +77,7 @@ class FleetServer:
         self.admission = AdmissionController(self.config.tenant_limit)
         self.counters: Dict[str, int] = {
             "requests": 0, "submits": 0, "events": 0, "verdicts": 0,
-            "rejections": 0, "errors": 0}
+            "rejections": 0, "errors": 0, "rollouts": 0}
         self._execute_lock: Optional[asyncio.Lock] = None
 
     def _lock(self) -> asyncio.Lock:
@@ -107,6 +107,11 @@ class FleetServer:
                 return encode_response(request.id, self._ping())
             if request.method == "stats":
                 return encode_response(request.id, self._stats())
+            if request.method == "dbops.status":
+                return encode_response(request.id, self._dbops_status())
+            if request.method == "dbops.rollout":
+                return encode_response(request.id,
+                                       self._dbops_rollout(request))
             return encode_response(request.id,
                                    await self._submit(request))
         except ProtocolError as exc:
@@ -126,7 +131,52 @@ class FleetServer:
                            "batches": {str(shard): count for shard, count
                                        in sorted(
                                            self.backend.shard_batches
-                                           .items())}}}
+                                           .items())}},
+                "dbops": self._dbops_status()}
+
+    def _dbops_status(self) -> Dict[str, Any]:
+        """What the backend is serving right now."""
+        return {"database_version": self.backend.database_version,
+                "rollouts": self.backend.rollouts,
+                "fingerprint": self.backend.database_fingerprint}
+
+    def _dbops_rollout(self, request: ServeRequest) -> Mapping[str, Any]:
+        """Hot-swap the serving database to a published store version.
+
+        Params: ``{"store": <VersionStore root>, "version": <id>}``.
+        The swap is synchronous and happens between submissions (the
+        caller holds no lock because the backend re-initializes lazily
+        on the next submit) — no restart, no dropped verdicts.
+        """
+        # Deferred import: repro.dbops pulls in the collection pipeline
+        # and its machine factories; the serving hot path never needs
+        # any of that unless a rollout actually arrives.
+        from ..dbops.versions import VersionStoreError, VersionStore
+
+        store_root = request.params.get("store")
+        if not isinstance(store_root, str) or not store_root:
+            raise ProtocolError(ERROR_INVALID_PARAMS,
+                                "params.store must be a directory path",
+                                request.id)
+        version_raw = request.params.get("version")
+        if not isinstance(version_raw, int) or \
+                isinstance(version_raw, bool) or version_raw < 1:
+            raise ProtocolError(ERROR_INVALID_PARAMS,
+                                "params.version must be a published "
+                                "version id (>= 1)", request.id)
+        try:
+            store = VersionStore(store_root)
+            version = store.get(version_raw)
+            database = store.load_database(version_raw)
+        except VersionStoreError as exc:
+            raise ProtocolError(ERROR_INVALID_PARAMS, str(exc),
+                                request.id) from exc
+        self.backend.adopt_version(version.version_id, database)
+        self._count("rollouts")
+        return {"adopted": version.version_id,
+                "fingerprint": version.fingerprint,
+                "label": version.label,
+                "rollouts": self.backend.rollouts}
 
     async def _submit(self, request: ServeRequest) -> Mapping[str, Any]:
         tenant = request.params.get("tenant", DEFAULT_TENANT)

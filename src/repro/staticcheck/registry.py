@@ -41,7 +41,7 @@ from .cache import FileContext
 DETERMINISTIC_ZONES: Tuple[str, ...] = (
     "repro.winsim", "repro.winapi", "repro.hooking", "repro.core",
     "repro.parallel", "repro.parallel.template", "repro.fleet",
-    "repro.serve",
+    "repro.serve", "repro.dbops",
 )
 
 FileCheckFn = Callable[[FileContext], List["Finding"]]

@@ -58,6 +58,10 @@ SHARD_PREFIX = "shard."
 #: Counter prefix of the admission front-end (``repro serve``).
 SERVE_PREFIX = "serve."
 
+#: Counter/gauge prefix of deception-DB operations (``repro dbops``
+#: collection cycles, fleet rollouts; docs/DBOPS.md).
+DBOPS_PREFIX = "dbops."
+
 #: Host wall-clock histogram the fleet CLI records one run duration into;
 #: with the ``fleet.events`` counter it yields events/sec.
 FLEET_RUN_WALLCLOCK = "wallclock.fleet.run_ns"
@@ -231,6 +235,25 @@ class ServeHealth:
 
 
 @dataclasses.dataclass
+class DbopsHealth:
+    """The deception-DB operations section of ``repro stats``.
+
+    Present only when the trace carries non-zero ``dbops.*`` metrics —
+    a collection run (``repro dbops collect --telemetry``) or a fleet
+    run with an active version rollout/experiment. ``rollbacks`` counts
+    runs whose health gate latched at least one shard back to base.
+    """
+
+    cycles: int
+    skipped_cycles: int
+    published: int
+    resources_added: int
+    stamped_batches: int
+    rollbacks: int
+    target_version: int
+
+
+@dataclasses.dataclass
 class StatsSummary:
     """Everything ``repro stats`` prints, precomputed."""
 
@@ -249,6 +272,9 @@ class StatsSummary:
     fleet: Optional[FleetHealth] = None
     #: Admission front-end health, when the trace has ``serve.*`` metrics.
     serve: Optional[ServeHealth] = None
+    #: Deception-DB operations health, when the trace has ``dbops.*``
+    #: metrics.
+    dbops: Optional[DbopsHealth] = None
 
 
 def _latency_rows(snapshot: MetricsSnapshot, prefix: str) -> List[LatencyRow]:
@@ -263,12 +289,32 @@ def _latency_rows(snapshot: MetricsSnapshot, prefix: str) -> List[LatencyRow]:
     return rows
 
 
+def _section_live(snapshot: MetricsSnapshot, prefixes: Tuple[str, ...]
+                  ) -> bool:
+    """True when any metric under the prefixes carries a non-zero value.
+
+    A merged trace can contain a section's counters at zero (a run that
+    enabled telemetry but never touched that subsystem); rendering a
+    header full of zeros is noise, so sections gate on *signal*, not
+    mere key presence.
+    """
+    for name, value in snapshot.counters.items():
+        if value and name.startswith(prefixes):
+            return True
+    for name, value in snapshot.gauges.items():
+        if value and name.startswith(prefixes):
+            return True
+    for name, state in snapshot.histograms.items():
+        if state.count and name.startswith(prefixes):
+            return True
+    return False
+
+
 def _fleet_health(snapshot: MetricsSnapshot) -> Optional[FleetHealth]:
     """Fold ``fleet.*`` metrics into the stats section (None when absent)."""
     counters = snapshot.counters
     events = counters.get("fleet.events", 0)
-    if not events and not any(name.startswith(FLEET_PREFIX)
-                              for name in counters):
+    if not _section_live(snapshot, (FLEET_PREFIX, SHARD_PREFIX)):
         return None
     families: Dict[str, List[int]] = {}
     for name, value in counters.items():
@@ -315,7 +361,7 @@ def _fleet_health(snapshot: MetricsSnapshot) -> Optional[FleetHealth]:
 def _serve_health(snapshot: MetricsSnapshot) -> Optional[ServeHealth]:
     """Fold ``serve.*`` counters into the stats section (None when absent)."""
     counters = snapshot.counters
-    if not any(name.startswith(SERVE_PREFIX) for name in counters):
+    if not _section_live(snapshot, (SERVE_PREFIX,)):
         return None
     return ServeHealth(
         requests=counters.get("serve.requests", 0),
@@ -324,6 +370,22 @@ def _serve_health(snapshot: MetricsSnapshot) -> Optional[ServeHealth]:
         verdicts=counters.get("serve.verdicts", 0),
         rejections=counters.get("serve.rejections", 0),
         errors=counters.get("serve.errors", 0))
+
+
+def _dbops_health(snapshot: MetricsSnapshot) -> Optional[DbopsHealth]:
+    """Fold ``dbops.*`` metrics into the stats section (None when absent)."""
+    counters = snapshot.counters
+    if not _section_live(snapshot, (DBOPS_PREFIX,)):
+        return None
+    return DbopsHealth(
+        cycles=counters.get("dbops.cycles", 0),
+        skipped_cycles=counters.get("dbops.skipped_cycles", 0),
+        published=counters.get("dbops.published", 0),
+        resources_added=counters.get("dbops.resources_added", 0),
+        stamped_batches=counters.get("dbops.stamped_batches", 0),
+        rollbacks=counters.get("dbops.rollbacks", 0),
+        target_version=int(snapshot.gauges.get("dbops.target_version",
+                                               0.0)))
 
 
 def summarize_records(records: Iterable[dict]) -> StatsSummary:
@@ -354,4 +416,5 @@ def summarize_records(records: Iterable[dict]) -> StatsSummary:
         samples=samples, errors=errors,
         wallclock_rows=_latency_rows(snapshot, WALLCLOCK_PREFIX),
         fleet=_fleet_health(snapshot),
-        serve=_serve_health(snapshot))
+        serve=_serve_health(snapshot),
+        dbops=_dbops_health(snapshot))

@@ -1,0 +1,142 @@
+"""Collector edge cases: empty diffs, conflicting inventories, re-apply.
+
+The continuous collection pipeline (``repro.dbops``) leans on three
+properties of the Section II-C primitives that the happy-path tests
+never pinned down: a diff of identical inventories is empty, duplicate
+and conflicting registry observations across sandboxes collapse to one
+entry, and re-applying the same diff to a database is idempotent.
+"""
+
+import dataclasses
+
+from repro.analysis.environments import build_clean_baseline
+from repro.core import DeceptionDatabase
+from repro.core.collector import (CrawlerReport, diff_reports,
+                                  extend_database, run_crawler)
+
+
+def _report(label="sandbox", **fields):
+    report = CrawlerReport(machine_label=label)
+    for name, value in fields.items():
+        setattr(report, name, value)
+    return report
+
+
+class TestEmptyDiff:
+    def test_identical_inventories_diff_to_nothing(self):
+        machine = build_clean_baseline()
+        baseline = run_crawler(machine, "baseline")
+        sandbox = run_crawler(machine, "sandbox")
+        diff = diff_reports([sandbox], baseline)
+        assert not diff.files
+        assert not diff.processes
+        assert not diff.registry_keys
+        assert not diff.registry_values
+        assert diff.registry_entry_count == 0
+
+    def test_no_reports_diff_to_nothing(self):
+        baseline = run_crawler(build_clean_baseline(), "baseline")
+        diff = diff_reports([], baseline)
+        assert not (diff.files or diff.processes or diff.registry_keys
+                    or diff.registry_values)
+
+    def test_extending_with_empty_diff_changes_nothing(self):
+        machine = build_clean_baseline()
+        report = run_crawler(machine, "m")
+        diff = diff_reports([report], report)
+        db = DeceptionDatabase()
+        before_counts = db.counts()
+        before_blob = db.snapshot_bytes()
+        added = extend_database(db, diff)
+        assert added == {"files": 0, "processes": 0, "registry_entries": 0}
+        assert db.counts() == before_counts
+        assert db.snapshot_bytes() == before_blob
+
+
+class TestConflictingRegistryObservations:
+    def test_duplicate_keys_across_sandboxes_collapse(self):
+        baseline = _report("baseline")
+        first = _report("a", registry_keys={"hklm\\software\\agent"},
+                        registry_values={("hklm\\software\\agent", "v")})
+        second = _report("b", registry_keys={"hklm\\software\\agent"},
+                         registry_values={("hklm\\software\\agent", "v")})
+        diff = diff_reports([first, second], baseline)
+        assert diff.registry_keys == {"hklm\\software\\agent"}
+        assert diff.registry_values == {("hklm\\software\\agent", "v")}
+        assert diff.registry_entry_count == 2
+
+    def test_same_key_different_value_names_both_survive(self):
+        baseline = _report("baseline")
+        first = _report("a", registry_values={("hklm\\sw\\agent", "left")})
+        second = _report("b", registry_values={("hklm\\sw\\agent", "right")})
+        diff = diff_reports([first, second], baseline)
+        assert diff.registry_values == {("hklm\\sw\\agent", "left"),
+                                        ("hklm\\sw\\agent", "right")}
+
+    def test_baseline_presence_beats_any_sandbox_observation(self):
+        baseline = _report("baseline",
+                           registry_keys={"hklm\\software\\common"})
+        sandbox = _report("a", registry_keys={"hklm\\software\\common",
+                                              "hklm\\software\\agent"})
+        diff = diff_reports([sandbox], baseline)
+        assert diff.registry_keys == {"hklm\\software\\agent"}
+
+
+class TestIdempotentReapply:
+    def _diff(self):
+        baseline = _report("baseline")
+        sandbox = _report(
+            "a",
+            files={"c:\\analyzer\\agent.py", "c:\\analyzer\\hooks.dll"},
+            processes={"vboxservice.exe"},
+            registry_keys={"hklm\\software\\vbox"},
+            registry_values={("hklm\\software\\vbox", "guestversion")})
+        return diff_reports([sandbox], baseline)
+
+    def test_reapplying_the_same_diff_is_a_fixed_point(self):
+        diff = self._diff()
+        db = DeceptionDatabase()
+        first = extend_database(db, diff)
+        counts_after_first = db.counts()
+        blob_after_first = db.snapshot_bytes()
+        second = extend_database(db, diff)
+        assert second == first  # counts report the diff, not the delta
+        assert db.counts() == counts_after_first
+        assert db.snapshot_bytes() == blob_after_first
+
+    def test_reapply_preserves_lookups_and_origin(self):
+        from repro.core.resources import Origin
+        diff = self._diff()
+        db = DeceptionDatabase()
+        extend_database(db, diff)
+        extend_database(db, diff)
+        resource = db.lookup_file("C:\\analyzer\\agent.py")
+        assert resource is not None
+        assert resource.origin is Origin.CRAWLED
+
+    def test_mixed_case_observations_do_not_duplicate(self):
+        baseline = _report("baseline")
+        # run_crawler lowercases; a hand-built report may not. The
+        # database's own lowercasing must still collapse the pair.
+        sandbox = _report("a", files={"C:\\Analyzer\\Agent.py",
+                                      "c:\\analyzer\\agent.py"})
+        diff = diff_reports([sandbox], baseline)
+        assert len(diff.files) == 2  # set semantics: distinct strings
+        db = DeceptionDatabase()
+        before = db.counts()["files"]
+        extend_database(db, diff)
+        assert db.counts()["files"] == before + 1  # one canonical entry
+
+
+class TestDiffIsPureSetAlgebra:
+    def test_diff_does_not_mutate_inputs(self):
+        baseline = _report("baseline", files={"c:\\windows\\system32.dll"})
+        sandbox = _report("a", files={"c:\\windows\\system32.dll",
+                                      "c:\\analyzer\\agent.py"})
+        before_baseline = dataclasses.replace(
+            baseline, files=set(baseline.files))
+        before_sandbox = dataclasses.replace(
+            sandbox, files=set(sandbox.files))
+        diff_reports([sandbox], baseline)
+        assert baseline.files == before_baseline.files
+        assert sandbox.files == before_sandbox.files

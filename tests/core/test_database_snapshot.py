@@ -145,3 +145,51 @@ class TestSnapshotPickleFidelity:
         thawed.add_file("C:\\extra\\post_thaw.sys", "vmware")
         assert thawed.lookup_file("C:\\extra\\post_thaw.sys") is not None
         assert frozen.lookup_file("C:\\extra\\post_thaw.sys") is None
+
+
+class TestSnapshotBytesMemoInvalidation:
+    """The snapshot_bytes() memo must never survive a state restore.
+
+    Regression: _restore_snapshot replaces every container wholesale
+    without going through the add_* mutation counter, so a live instance
+    with a warm memo kept serving the pre-restore blob. The restore path
+    now bumps the counter and drops the cached blob explicitly.
+    """
+
+    def test_restore_in_place_invalidates_warm_memo(self):
+        state_a = DeceptionDatabase().snapshot()
+        richer = DeceptionDatabase()
+        richer.add_file("C:\\extra\\restored_marker.sys", "vmware")
+        state_b = richer.snapshot()
+
+        db = DeceptionDatabase.from_snapshot(state_a)
+        stale = db.snapshot_bytes()
+        assert db.snapshot_bytes() is stale  # memo is warm
+
+        db._restore_snapshot(state_b)
+        fresh = db.snapshot_bytes()
+        assert fresh != stale
+        restored = pickle.loads(fresh)
+        assert "c:\\extra\\restored_marker.sys" in restored.files
+
+    def test_version_based_rehydration_round_trips_bytes(self):
+        # The dbops worker path: blob -> FrozenDeceptionDatabase ->
+        # snapshot_bytes must reproduce content, not a stale memo.
+        richer = DeceptionDatabase()
+        richer.add_process("rollout_probe.exe", "sandbox-generic")
+        blob = richer.snapshot_bytes()
+        rehydrated = FrozenDeceptionDatabase.from_snapshot(
+            pickle.loads(blob))
+        assert pickle.loads(rehydrated.snapshot_bytes()).processes.keys() \
+            == pickle.loads(blob).processes.keys()
+
+    def test_mutation_after_restore_yields_third_distinct_blob(self):
+        db = DeceptionDatabase.from_snapshot(DeceptionDatabase().snapshot())
+        first = db.snapshot_bytes()
+        db._restore_snapshot(DeceptionDatabase().snapshot())
+        second = db.snapshot_bytes()
+        db.add_file("C:\\extra\\after_restore.sys", "vbox")
+        third = db.snapshot_bytes()
+        assert first is not second
+        assert third != second
+        assert "c:\\extra\\after_restore.sys" in pickle.loads(third).files

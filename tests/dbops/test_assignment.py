@@ -1,0 +1,166 @@
+"""ABExperiment: deterministic arms, weighted splits, per-arm lift."""
+
+import pytest
+
+from repro.core import DeceptionDatabase
+from repro.dbops import (BASE_VERSION, ABExperiment, ArmSpec,
+                         CollectorPipeline, VersionStore, arm_bucket)
+from repro.fleet import FleetService, build_fleet_report
+
+pytestmark = pytest.mark.dbops
+
+FACTORY = "bare-metal-light"
+
+#: seed 42 / 8 endpoints routes every event to endpoints 1 and 5;
+#: salt 10 puts those two endpoints in *different* 50/50 arms, so both
+#: cohorts of the experiment actually see malware.
+SPLIT_SALT = 10
+
+
+def _store_with_version():
+    store = VersionStore()
+    CollectorPipeline(store, database=DeceptionDatabase(),
+                      seed=2026).run(4)
+    return store, store.latest().version_id
+
+
+def _experiment(store, target, **kwargs):
+    kwargs.setdefault("salt", SPLIT_SALT)
+    return ABExperiment.from_store(
+        store, (ArmSpec("control", BASE_VERSION),
+                ArmSpec("treat", target)), **kwargs)
+
+
+def _service(**kwargs):
+    kwargs.setdefault("endpoints", 8)
+    kwargs.setdefault("events", 48)
+    kwargs.setdefault("seed", 42)
+    kwargs.setdefault("queue_limit", 16)
+    kwargs.setdefault("machine_factory", FACTORY)
+    return FleetService(**kwargs)
+
+
+class TestAssignment:
+    def test_arm_of_is_pure_and_total(self):
+        store, target = _store_with_version()
+        experiment = _experiment(store, target)
+        first = [experiment.arm_of(e).name for e in range(32)]
+        second = [experiment.arm_of(e).name for e in range(32)]
+        assert first == second
+        assert set(first) == {"control", "treat"}
+
+    def test_salt_ten_splits_the_hot_endpoints(self):
+        assert arm_bucket(1, SPLIT_SALT, 2) != arm_bucket(5, SPLIT_SALT, 2)
+
+    def test_weights_skew_the_split(self):
+        store, target = _store_with_version()
+        experiment = ABExperiment.from_store(
+            store, (ArmSpec("control", BASE_VERSION, weight=9),
+                    ArmSpec("treat", target, weight=1)))
+        arms = experiment.endpoint_arms(1000)
+        treat_share = sum(1 for arm in arms.values()
+                          if arm == "treat") / len(arms)
+        assert treat_share < 0.25
+
+    def test_endpoint_arms_covers_the_fleet(self):
+        store, target = _store_with_version()
+        arms = _experiment(store, target).endpoint_arms(8)
+        assert sorted(arms) == list(range(8))
+
+
+class TestValidation:
+    def test_needs_two_arms_with_unique_names(self):
+        with pytest.raises(ValueError):
+            ABExperiment((ArmSpec("only"),))
+        with pytest.raises(ValueError):
+            ABExperiment((ArmSpec("dup"), ArmSpec("dup")))
+
+    def test_non_base_arm_needs_a_blob(self):
+        with pytest.raises(ValueError):
+            ABExperiment((ArmSpec("control"), ArmSpec("treat", 3)))
+
+    def test_control_defaults_to_the_first_base_arm(self):
+        store, target = _store_with_version()
+        experiment = ABExperiment.from_store(
+            store, (ArmSpec("treat", target), ArmSpec("hold", BASE_VERSION)))
+        assert experiment.control_arm == "hold"
+
+    def test_explicit_control_must_be_an_arm(self):
+        store, target = _store_with_version()
+        with pytest.raises(ValueError):
+            _experiment(store, target, control="nope")
+
+    def test_arm_spec_bounds(self):
+        with pytest.raises(ValueError):
+            ArmSpec("")
+        with pytest.raises(ValueError):
+            ArmSpec("a", version=-1)
+        with pytest.raises(ValueError):
+            ArmSpec("a", weight=0)
+
+
+class TestNoopArms:
+    def test_base_identical_arm_is_never_stamped(self):
+        """Arms still report, but the *verdicts* must not move a byte."""
+        store = VersionStore()
+        base = DeceptionDatabase()
+        store.publish(base, label="identical")
+        experiment = ABExperiment.from_store(
+            store, (ArmSpec("control", BASE_VERSION),
+                    ArmSpec("treat", 1)), salt=SPLIT_SALT)
+        reference = [r.to_dict() for r in _service().run().records]
+        result = _service(version_router=experiment).run()
+        assert [r.to_dict() for r in result.records] == reference
+        assert all(r.db_version == BASE_VERSION for r in result.records)
+        assert result.dbops["stamped_batches"] == 0
+        assert experiment.version_blobs() == {}
+
+
+class TestExperimentRun:
+    def test_records_are_stamped_by_arm(self):
+        store, target = _store_with_version()
+        result = _service(
+            version_router=_experiment(store, target)).run()
+        arms = result.endpoint_arms
+        assert result.control_arm == "control"
+        for record in result.records:
+            expected = target if arms[record.endpoint_id] == "treat" \
+                else BASE_VERSION
+            assert record.db_version == expected
+        assert result.dbops["mode"] == "ab"
+        assert result.dbops["stamped_batches"] > 0
+
+    def test_report_carries_per_arm_lift(self):
+        store, target = _store_with_version()
+        report = build_fleet_report(
+            _service(version_router=_experiment(store, target)).run())
+        by_arm = {rollup.arm: rollup for rollup in report.arms}
+        assert set(by_arm) == {"control", "treat"}
+        assert by_arm["control"].lift == 0.0
+        assert by_arm["control"].malware > 0
+        assert by_arm["treat"].malware > 0
+        assert by_arm["treat"].lift == pytest.approx(
+            by_arm["treat"].rate - by_arm["control"].rate, abs=1e-4)
+
+    def test_rendered_report_shows_the_arm_table(self):
+        from repro.fleet import render_fleet_report
+        store, target = _store_with_version()
+        report = build_fleet_report(
+            _service(version_router=_experiment(store, target)).run())
+        text = render_fleet_report(report)
+        assert "arm" in text and "lift" in text
+        assert "treat" in text and "control" in text
+
+    def test_experiment_is_reproducible(self):
+        store, target = _store_with_version()
+        first = build_fleet_report(_service(
+            version_router=_experiment(store, target)).run()).to_json()
+        second = build_fleet_report(_service(
+            version_router=_experiment(store, target)).run()).to_json()
+        assert first == second
+
+    def test_different_salt_reassigns_endpoints(self):
+        store, target = _store_with_version()
+        base_arms = _experiment(store, target).endpoint_arms(64)
+        moved = _experiment(store, target, salt=14).endpoint_arms(64)
+        assert base_arms != moved

@@ -1,0 +1,184 @@
+"""The operator surface: ``repro dbops ...`` and the serve hot-swap RPC."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import DeceptionDatabase
+from repro.dbops import CollectorPipeline, VersionStore
+from repro.fleet import generate_events
+from repro.serve import FleetServer, ServeConfig
+from repro.serve.protocol import (ERROR_INVALID_PARAMS, METHODS,
+                                  event_to_dict)
+
+pytestmark = pytest.mark.dbops
+
+FACTORY = "bare-metal-light"
+
+
+def _collect(tmp_path, cycles=6):
+    root = str(tmp_path / "store")
+    assert main(["dbops", "collect", "--store", root,
+                 "--cycles", str(cycles)]) == 0
+    return root
+
+
+class TestParser:
+    def test_dbops_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dbops"])
+
+    def test_collect_defaults(self):
+        args = build_parser().parse_args(
+            ["dbops", "collect", "--store", "s"])
+        assert args.cycles == 4 and args.seed == 2026
+        assert args.machines == 2 and args.cycle_ms == 60000
+
+    def test_rollout_defaults(self):
+        args = build_parser().parse_args(
+            ["dbops", "rollout", "--store", "s", "--version", "1"])
+        assert args.endpoints == 8 and args.events == 64
+        assert args.min_samples == 8 and not args.no_health
+        assert args.stage is None
+
+    def test_rollout_requires_a_version(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dbops", "rollout", "--store", "s"])
+
+
+class TestCollectCommand:
+    def test_collect_publishes_and_reports_cycles(self, tmp_path, capsys):
+        root = _collect(tmp_path)
+        out = capsys.readouterr().out
+        assert "published v1" in out
+        assert "skipped (empty-diff)" in out
+        assert "store " + root + " now at v" in out
+        assert VersionStore(root).latest() is not None
+
+    def test_collect_rejects_zero_cycles(self, tmp_path, capsys):
+        assert main(["dbops", "collect", "--store",
+                     str(tmp_path / "s"), "--cycles", "0"]) == 2
+
+    def test_versions_lists_lineage(self, tmp_path, capsys):
+        root = _collect(tmp_path)
+        capsys.readouterr()
+        assert main(["dbops", "versions", "--store", root]) == 0
+        out = capsys.readouterr().out
+        assert "v1 <- v0" in out
+        assert "files+" in out
+
+    def test_versions_on_an_empty_store(self, tmp_path, capsys):
+        root = str(tmp_path / "empty")
+        assert main(["dbops", "versions", "--store", root]) == 0
+        assert "no published versions" in capsys.readouterr().out
+
+
+class TestRolloutCommand:
+    def test_rollout_renders_report_and_verdict(self, tmp_path, capsys):
+        root = _collect(tmp_path)
+        capsys.readouterr()
+        target = VersionStore(root).latest().version_id
+        assert main(["dbops", "rollout", "--store", root,
+                     "--version", str(target), "--events", "24",
+                     "--factory", FACTORY]) == 0
+        out = capsys.readouterr().out
+        assert f"rollout v{target}:" in out
+        assert "stamped batches:" in out
+        assert "db version" in out  # per-version verdict table
+
+    def test_rollout_with_ramp_stages(self, tmp_path, capsys):
+        root = _collect(tmp_path)
+        capsys.readouterr()
+        assert main(["dbops", "rollout", "--store", root, "--version", "1",
+                     "--events", "24", "--factory", FACTORY,
+                     "--stage", "0:0", "--stage", "1:100",
+                     "--no-health"]) == 0
+        assert "rollout v1:" in capsys.readouterr().out
+
+    def test_rollout_of_missing_version_fails(self, tmp_path, capsys):
+        root = _collect(tmp_path)
+        capsys.readouterr()
+        assert main(["dbops", "rollout", "--store", root,
+                     "--version", "99", "--factory", FACTORY]) == 2
+        assert "dbops:" in capsys.readouterr().err
+
+    def test_bad_stage_syntax_fails(self, tmp_path, capsys):
+        root = _collect(tmp_path)
+        capsys.readouterr()
+        assert main(["dbops", "rollout", "--store", root, "--version", "1",
+                     "--factory", FACTORY, "--stage", "nope"]) == 2
+
+
+def _server(**kwargs):
+    kwargs.setdefault("machine_factory", FACTORY)
+    return FleetServer(ServeConfig(**kwargs))
+
+
+def _handle(server, payload):
+    return json.loads(asyncio.run(server.handle_line(json.dumps(payload))))
+
+
+def _store_on_disk(tmp_path):
+    root = str(tmp_path / "store")
+    store = VersionStore(root)
+    CollectorPipeline(store, database=DeceptionDatabase(),
+                      seed=2026).run(4)
+    return root, store.latest().version_id
+
+
+class TestServeRpc:
+    def test_methods_advertise_the_dbops_surface(self):
+        assert "dbops.rollout" in METHODS
+        assert "dbops.status" in METHODS
+
+    def test_status_starts_at_the_base_version(self):
+        response = _handle(_server(), {"id": 1, "method": "dbops.status"})
+        assert response["result"]["database_version"] == 0
+        assert response["result"]["rollouts"] == 0
+
+    def test_rollout_swaps_and_stamps_verdicts(self, tmp_path):
+        root, target = _store_on_disk(tmp_path)
+        server = _server(tenant_limit=64)
+        swap = _handle(server, {"id": 1, "method": "dbops.rollout",
+                                "params": {"store": root,
+                                           "version": target}})
+        assert swap["result"]["adopted"] == target
+        assert swap["result"]["rollouts"] == 1
+
+        events = generate_events(7, 4, 12)
+        submit = _handle(server, {
+            "id": 2, "method": "submit",
+            "params": {"tenant": "default",
+                       "events": [event_to_dict(e) for e in events]}})
+        verdicts = submit["result"]["verdicts"]
+        assert verdicts and all(v["db_version"] == target
+                                for v in verdicts)
+
+        status = _handle(server, {"id": 3, "method": "dbops.status"})
+        assert status["result"]["database_version"] == target
+        assert status["result"]["fingerprint"]  # recomputed post-swap
+
+    def test_stats_carry_the_dbops_block(self, tmp_path):
+        root, target = _store_on_disk(tmp_path)
+        server = _server()
+        _handle(server, {"id": 1, "method": "dbops.rollout",
+                         "params": {"store": root, "version": target}})
+        stats = _handle(server, {"id": 2, "method": "stats"})
+        assert stats["result"]["dbops"]["database_version"] == target
+        assert stats["result"]["serve"]["rollouts"] == 1
+
+    def test_invalid_params_are_rejected(self, tmp_path):
+        root, _ = _store_on_disk(tmp_path)
+        server = _server()
+        for params in ({"version": 1},                   # no store
+                       {"store": root},                  # no version
+                       {"store": root, "version": 0},    # base not allowed
+                       {"store": root, "version": True},  # bool is not int
+                       {"store": root, "version": 99}):  # unpublished
+            response = _handle(server, {"id": 1, "method": "dbops.rollout",
+                                        "params": params})
+            assert response["error"]["code"] == ERROR_INVALID_PARAMS
+        status = _handle(server, {"id": 2, "method": "dbops.status"})
+        assert status["result"]["rollouts"] == 0

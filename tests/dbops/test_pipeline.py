@@ -1,0 +1,153 @@
+"""CollectorPipeline: seeded drift, skip paths, version lineage."""
+
+import pytest
+
+from repro.core import DeceptionDatabase
+from repro.dbops import (SKIP_EMPTY_DIFF, CollectorPipeline,
+                         SyntheticSandboxFeed, VersionStore,
+                         content_fingerprint)
+from repro.telemetry.metrics import TELEMETRY, recording
+
+pytestmark = pytest.mark.dbops
+
+#: Seed whose first eight cycles include both quiet (skip) and drifting
+#: (publish) cycles — pinned by the tests below.
+SEED = 2026
+
+
+def _run(cycles=8, **kwargs):
+    store = VersionStore()
+    kwargs.setdefault("seed", SEED)
+    pipeline = CollectorPipeline(store, **kwargs)
+    results = pipeline.run(cycles)
+    return store, pipeline, results
+
+
+class TestCycleOutcomes:
+    def test_quiet_cycles_skip_with_a_structured_reason(self):
+        _, _, results = _run()
+        skipped = [r for r in results if r.published is None]
+        assert skipped, "seed must produce at least one quiet cycle"
+        assert all(r.skipped_reason == SKIP_EMPTY_DIFF for r in skipped)
+        assert all(r.counts == () for r in skipped)
+
+    def test_drifting_cycles_publish_with_counts(self):
+        _, _, results = _run()
+        published = [r for r in results if r.published is not None]
+        assert published, "seed must produce at least one drifting cycle"
+        for result in published:
+            assert result.skipped_reason == ""
+            counts = dict(result.counts)
+            assert counts["files"] > 0
+            assert counts["registry_entries"] > 0
+
+    def test_cycle_results_stamp_the_virtual_clock(self):
+        _, pipeline, results = _run(cycles=4)
+        assert [r.collected_at_ms for r in results] == \
+            [pipeline.cycle_ms * (i + 1) for i in range(4)]
+        published = [r.published for r in results if r.published]
+        assert all(v.created_at_ms == r.collected_at_ms
+                   for r, v in zip([r for r in results if r.published],
+                                   published))
+
+    def test_cycle_result_to_dict_is_json_native(self):
+        import json
+        _, _, results = _run(cycles=4)
+        for result in results:
+            payload = json.loads(json.dumps(result.to_dict()))
+            assert payload["cycle"] == result.cycle
+
+
+class TestVersionLineage:
+    def test_ids_are_dense_and_parents_chain(self):
+        store, _, _ = _run()
+        versions = store.versions()
+        assert [v.version_id for v in versions] == \
+            list(range(1, len(versions) + 1))
+        assert versions[0].parent_id == 0
+        for parent, child in zip(versions, versions[1:]):
+            assert child.parent_id == parent.version_id
+
+    def test_latest_blob_matches_the_working_database(self):
+        store, pipeline, _ = _run()
+        latest = store.latest()
+        assert latest is not None
+        assert content_fingerprint(pipeline.database.snapshot_bytes()) == \
+            latest.fingerprint
+
+    def test_changelogs_count_only_fresh_resources(self):
+        store, _, _ = _run()
+        for version in store.versions():
+            changelog = version.changelog_dict()
+            assert set(changelog) == {"files", "processes",
+                                      "registry_keys", "registry_values"}
+            assert changelog["files"] > 0
+
+
+class TestDeterminism:
+    def test_same_seed_publishes_identical_fingerprints(self):
+        first, _, _ = _run()
+        second, _, _ = _run()
+        assert [v.fingerprint for v in first.versions()] == \
+            [v.fingerprint for v in second.versions()]
+        assert [v.to_dict() for v in first.versions()] == \
+            [v.to_dict() for v in second.versions()]
+
+    def test_different_seeds_diverge(self):
+        first, _, _ = _run()
+        second, _, _ = _run(seed=SEED + 1)
+        assert [v.fingerprint for v in first.versions()] != \
+            [v.fingerprint for v in second.versions()]
+
+    def test_grows_a_caller_supplied_database_in_place(self):
+        database = DeceptionDatabase()
+        before = database.counts()["files"]
+        _, pipeline, _ = _run(database=database)
+        assert pipeline.database is database
+        assert database.counts()["files"] > before
+
+
+class TestFeedAndValidation:
+    def test_feed_quiet_cycles_add_nothing(self):
+        feed = SyntheticSandboxFeed(SEED, machines=2)
+        added = [feed.drift(cycle) for cycle in range(8)]
+        assert 0 in added and any(count > 0 for count in added)
+
+    def test_feed_rejects_zero_machines(self):
+        with pytest.raises(ValueError):
+            SyntheticSandboxFeed(SEED, machines=0)
+
+    def test_pipeline_rejects_bad_cycle_length(self):
+        with pytest.raises(ValueError):
+            CollectorPipeline(VersionStore(), cycle_ms=0)
+
+    def test_run_with_no_cycles_is_a_noop(self):
+        store, pipeline, results = _run(cycles=0)
+        assert results == []
+        assert store.versions() == ()
+        assert pipeline.cycles_run == 0
+
+
+class TestTelemetry:
+    @pytest.fixture(autouse=True)
+    def _clean_registry(self):
+        TELEMETRY.reset()
+        TELEMETRY.disable()
+        yield
+        TELEMETRY.reset()
+        TELEMETRY.disable()
+
+    def test_counters_track_cycles_skips_and_publishes(self):
+        with recording():
+            _, _, results = _run()
+        snapshot = TELEMETRY.snapshot()
+        published = sum(1 for r in results if r.published)
+        assert snapshot.counters["dbops.cycles"] == len(results)
+        assert snapshot.counters["dbops.published"] == published
+        assert snapshot.counters["dbops.skipped_cycles"] == \
+            len(results) - published
+        assert snapshot.counters["dbops.resources_added"] > 0
+
+    def test_disabled_registry_records_nothing(self):
+        _run(cycles=2)
+        assert TELEMETRY.snapshot().counters == {}

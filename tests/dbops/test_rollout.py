@@ -1,0 +1,318 @@
+"""RolloutEngine: ramping, pins, auto-rollback, mid-run determinism.
+
+The determinism contract for a run with an *active* rollout is narrower
+than the plain fleet's: the health gate is evaluated per shard, so the
+matrix is **fixed shard count** × {serial, pooled} × {fresh, resumed}.
+These tests pin that matrix, plus the no-op escape hatch (a target
+content-identical to the base must not move a byte — the hypothesis
+property in ``test_rollout_properties.py`` generalises it).
+
+Workload note: the fleet's LCG event generator concentrates traffic on
+a few endpoints (seed 42 / 8 endpoints → endpoints 1 and 5 carry all
+events), so the scenarios below use *pins* to guarantee both the target
+and the base cohort actually see malware.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import DeceptionDatabase
+from repro.dbops import (BASE_VERSION, FULL_RAMP, CollectorPipeline,
+                         HealthGate, RampStage, RolloutEngine, VersionStore,
+                         ramp_bucket, rollback_triggered)
+from repro.fleet import FleetService, build_fleet_report
+from repro.fleet.endpoint import FAILED_LABEL, EventRecord
+from repro.fleet.events import EVENT_BENIGN, EVENT_MALWARE
+
+pytestmark = pytest.mark.dbops
+
+FACTORY = "bare-metal-light"
+
+#: seed 42 / 8 endpoints routes every event to endpoints 1 and 5.
+HOT, COLD = 1, 5
+
+
+def _store_with_good_target():
+    """A store grown from the default database by the collector."""
+    store = VersionStore()
+    CollectorPipeline(store, database=DeceptionDatabase(),
+                      seed=2026).run(4)
+    assert store.latest() is not None
+    return store, store.latest().version_id
+
+
+def _store_with_bad_target():
+    """A store whose only version is a database stripped of resources.
+
+    Deactivation against it regresses far past the default health gate
+    (the paper's whole mechanism needs the resource inventory).
+    """
+    base = DeceptionDatabase()
+    stripped = dataclasses.replace(
+        base.snapshot(), files={}, basenames={}, folders={}, processes={},
+        libraries={}, windows=[], registry_keys={}, registry_values={},
+        devices={}, mutexes={})
+    store = VersionStore()
+    store.publish(DeceptionDatabase.from_snapshot(stripped), label="bad")
+    return store, 1
+
+
+def _service(tmp_path=None, **kwargs):
+    kwargs.setdefault("endpoints", 8)
+    kwargs.setdefault("events", 48)
+    kwargs.setdefault("seed", 42)
+    kwargs.setdefault("queue_limit", 16)
+    kwargs.setdefault("machine_factory", FACTORY)
+    if tmp_path is not None:
+        kwargs.setdefault("checkpoint_path", str(tmp_path / "fleet.ckpt"))
+    return FleetService(**kwargs)
+
+
+def _rollup(result):
+    return build_fleet_report(result).to_json()
+
+
+def _record(seq, version, deactivated, *, kind=EVENT_MALWARE,
+            label="sample", endpoint_id=HOT):
+    return EventRecord(seq=seq, endpoint_id=endpoint_id, kind=kind,
+                       ref=seq, label=label, deactivated=deactivated,
+                       db_version=version)
+
+
+class TestRampMechanics:
+    def test_bucket_is_deterministic_and_version_salted(self):
+        assert ramp_bucket(3, 1) == ramp_bucket(3, 1)
+        buckets = {ramp_bucket(3, version) for version in range(1, 20)}
+        assert len(buckets) > 1  # a new version ramps a new subset
+
+    def test_stage_percent_follows_the_schedule(self):
+        engine = RolloutEngine(1, b"blob", stages=(
+            RampStage(0, 0), RampStage(2, 50), RampStage(4, 100)))
+        assert [engine.stage_percent(r) for r in range(6)] == \
+            [0, 0, 50, 50, 100, 100]
+
+    def test_full_ramp_is_everything_from_round_zero(self):
+        engine = RolloutEngine(1, b"blob")
+        assert engine.stages == FULL_RAMP
+        assert engine.stage_percent(0) == 100
+
+
+class TestValidation:
+    def test_rejects_unpublished_target(self):
+        with pytest.raises(ValueError):
+            RolloutEngine(0, b"blob")
+
+    def test_rejects_empty_or_unordered_stages(self):
+        with pytest.raises(ValueError):
+            RolloutEngine(1, b"blob", stages=())
+        with pytest.raises(ValueError):
+            RolloutEngine(1, b"blob",
+                          stages=(RampStage(4, 10), RampStage(2, 50)))
+        with pytest.raises(ValueError):
+            RolloutEngine(1, b"blob",
+                          stages=(RampStage(2, 10), RampStage(2, 50)))
+
+    def test_rejects_pins_to_third_party_versions(self):
+        with pytest.raises(ValueError):
+            RolloutEngine(2, b"blob", pins={0: 1})
+        RolloutEngine(2, b"blob", pins={0: 2, 1: BASE_VERSION})
+
+    def test_stage_and_gate_bounds(self):
+        with pytest.raises(ValueError):
+            RampStage(-1, 10)
+        with pytest.raises(ValueError):
+            RampStage(0, 101)
+        with pytest.raises(ValueError):
+            HealthGate(min_samples=0)
+        with pytest.raises(ValueError):
+            HealthGate(max_regression=1.5)
+
+
+class TestNoopDetection:
+    def test_target_identical_to_base_disables_routing(self):
+        blob = DeceptionDatabase().snapshot_bytes()
+        engine = RolloutEngine(1, blob)
+        engine.bind_base(blob)
+        assert engine.version_blobs() == {}
+        assert engine.summary()["noop"] is True
+
+    def test_noop_rollout_run_is_byte_identical_to_routerless(self):
+        store = VersionStore()
+        store.publish(DeceptionDatabase(), label="same-content")
+        reference = _rollup(_service().run())
+        routed = _service(
+            version_router=RolloutEngine.from_store(store, 1)).run()
+        assert _rollup(routed) == reference
+        assert routed.dbops["noop"] is True
+        assert routed.dbops["stamped_batches"] == 0
+
+
+class TestRollbackTrigger:
+    GATE = HealthGate(min_samples=2, max_regression=0.25)
+
+    def test_quiet_until_both_cohorts_have_samples(self):
+        records = [_record(0, 1, False), _record(1, 1, False),
+                   _record(2, BASE_VERSION, True)]
+        assert not rollback_triggered(records, 1, self.GATE)
+
+    def test_triggers_on_regression_past_the_gate(self):
+        records = [_record(0, BASE_VERSION, True),
+                   _record(1, BASE_VERSION, True),
+                   _record(2, 1, False), _record(3, 1, False)]
+        assert rollback_triggered(records, 1, self.GATE)
+
+    def test_within_bound_regression_is_tolerated(self):
+        records = [_record(0, BASE_VERSION, True),
+                   _record(1, BASE_VERSION, True),
+                   _record(2, 1, True), _record(3, 1, True)]
+        assert not rollback_triggered(records, 1, self.GATE)
+
+    def test_verdict_latches_on_the_offending_prefix(self):
+        """Later recovery must not erase an observed regression."""
+        records = [_record(0, BASE_VERSION, True),
+                   _record(1, BASE_VERSION, True),
+                   _record(2, 1, False), _record(3, 1, False)]
+        records += [_record(seq, 1, True) for seq in range(4, 40)]
+        assert rollback_triggered(records, 1, self.GATE)
+
+    def test_failed_benign_and_foreign_records_are_ignored(self):
+        noise = [_record(0, 1, False, label=FAILED_LABEL),
+                 _record(1, 1, None, kind=EVENT_BENIGN),
+                 _record(2, 7, False), _record(3, 7, False),
+                 _record(4, BASE_VERSION, True),
+                 _record(5, BASE_VERSION, True)]
+        assert not rollback_triggered(noise, 1, self.GATE)
+
+
+class TestHealthyRollout:
+    def test_collected_version_ships_without_rollback(self):
+        store, target = _store_with_good_target()
+        engine = RolloutEngine.from_store(
+            store, target, pins={HOT: target, COLD: BASE_VERSION},
+            health=HealthGate())
+        result = _service(version_router=engine).run()
+        assert result.completed
+        assert result.dbops["rolled_back"] is False
+        assert result.dbops["stamped_batches"] > 0
+        stamped = {r.db_version for r in result.records
+                   if r.endpoint_id == HOT}
+        assert stamped == {target}
+        assert all(r.db_version == BASE_VERSION for r in result.records
+                   if r.endpoint_id == COLD)
+
+    def test_report_splits_verdicts_by_version(self):
+        store, target = _store_with_good_target()
+        engine = RolloutEngine.from_store(
+            store, target, pins={HOT: target, COLD: BASE_VERSION})
+        report = build_fleet_report(_service(version_router=engine).run())
+        by_version = {rollup.version: rollup for rollup in report.versions}
+        assert set(by_version) == {BASE_VERSION, target}
+        assert by_version[BASE_VERSION].malware > 0
+        assert by_version[target].malware > 0
+
+    def test_merged_metrics_expose_rollout_counters(self):
+        store, target = _store_with_good_target()
+        engine = RolloutEngine.from_store(store, target,
+                                          pins={HOT: target})
+        merged = _service(version_router=engine).run().merged_metrics()
+        assert merged.counters["dbops.stamped_batches"] > 0
+        assert merged.counters["dbops.rollbacks"] == 0
+        assert merged.gauges["dbops.target_version"] == float(target)
+
+
+class TestAutoRollback:
+    def _engine(self, store, target, **kwargs):
+        kwargs.setdefault("pins", {HOT: target, COLD: BASE_VERSION})
+        kwargs.setdefault("health", HealthGate(min_samples=5))
+        return RolloutEngine.from_store(store, target, **kwargs)
+
+    def test_regressing_version_is_rolled_back(self):
+        store, target = _store_with_bad_target()
+        result = _service(version_router=self._engine(store, target)).run()
+        assert result.dbops["rolled_back"] is True
+        assert result.dbops["rolled_back_shards"], "shard+round recorded"
+        merged = result.merged_metrics()
+        assert merged.counters["dbops.rollbacks"] == 1
+
+    def test_rollback_stops_stamping_for_the_rest_of_the_run(self):
+        store, target = _store_with_bad_target()
+        result = _service(version_router=self._engine(store, target)).run()
+        hot_versions = [r.db_version for r in result.records
+                        if r.endpoint_id == HOT]
+        assert hot_versions[0] == target  # enrolled before the gate fired
+        assert hot_versions[-1] == BASE_VERSION  # back on base after it
+
+    def test_without_a_health_gate_nothing_rolls_back(self):
+        store, target = _store_with_bad_target()
+        engine = self._engine(store, target, health=None)
+        result = _service(version_router=engine).run()
+        assert result.dbops["rolled_back"] is False
+        assert all(r.db_version == target for r in result.records
+                   if r.endpoint_id == HOT)
+
+
+class TestMidRunDeterminism:
+    """Fixed shard count × {serial, pooled} × {fresh, resumed}."""
+
+    STAGES = (RampStage(0, 0), RampStage(2, 100))
+
+    def _engine(self, store, target):
+        return RolloutEngine.from_store(
+            store, target, stages=self.STAGES,
+            pins={COLD: BASE_VERSION}, health=HealthGate())
+
+    def test_serial_rollout_is_reproducible(self):
+        store, target = _store_with_good_target()
+        first = _rollup(_service(
+            shards=2, version_router=self._engine(store, target)).run())
+        second = _rollup(_service(
+            shards=2, version_router=self._engine(store, target)).run())
+        assert first == second
+
+    @pytest.mark.slow
+    def test_pooled_matches_serial_at_fixed_shards(self):
+        store, target = _store_with_good_target()
+        serial = _rollup(_service(
+            shards=2, version_router=self._engine(store, target)).run())
+        pooled = _rollup(_service(
+            shards=2, max_workers=2,
+            version_router=self._engine(store, target)).run())
+        assert pooled == serial
+
+    def test_resumed_matches_fresh_across_a_ramp_boundary(self, tmp_path):
+        store, target = _store_with_good_target()
+        reference = _rollup(_service(
+            shards=2, version_router=self._engine(store, target)).run())
+        partial = _service(tmp_path, shards=2,
+                           version_router=self._engine(store, target)
+                           ).run(stop_after_rounds=2)
+        assert not partial.completed
+        resumed = _service(tmp_path, shards=2, resume=True,
+                           version_router=self._engine(store, target)).run()
+        assert resumed.completed
+        assert _rollup(resumed) == reference
+
+    def test_checkpoint_fingerprint_carries_the_rollout_config(self):
+        store, target = _store_with_good_target()
+        blob = DeceptionDatabase().snapshot_bytes()
+        routed = _service(version_router=self._engine(store, target))
+        routed.version_router.bind_base(blob)
+        assert "dbops" in routed._fingerprint(blob)
+        # Routerless runs keep the pre-dbops fingerprint: their old
+        # checkpoints stay resumable.
+        assert "dbops" not in _service()._fingerprint(blob)
+
+    def test_changing_the_rollout_config_invalidates_checkpoints(
+            self, tmp_path):
+        from repro.fleet import FleetCheckpointError
+        store, target = _store_with_good_target()
+        _service(tmp_path, shards=2,
+                 version_router=self._engine(store, target)
+                 ).run(stop_after_rounds=1)
+        retuned = RolloutEngine.from_store(
+            store, target, stages=(RampStage(0, 100),),
+            pins={COLD: BASE_VERSION}, health=HealthGate())
+        with pytest.raises(FleetCheckpointError):
+            _service(tmp_path, shards=2, resume=True,
+                     version_router=retuned).run()

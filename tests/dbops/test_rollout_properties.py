@@ -1,0 +1,87 @@
+"""Property: a content-identical rollout never moves a byte.
+
+The no-op escape hatch is the keystone of the dbops determinism story:
+when the target version's snapshot is content-identical to the run's
+base database, the router must degrade to *nothing* — no stamping, no
+side-loaded blobs — and the run must be byte-identical to a routerless
+one. ``test_rollout.py`` pins one instance; hypothesis sweeps the
+workload space (seed, fleet shape, ramp schedule, pins).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DeceptionDatabase
+from repro.dbops import (BASE_VERSION, HealthGate, RampStage, RolloutEngine,
+                         VersionStore)
+from repro.fleet import FleetService, build_fleet_report
+
+pytestmark = pytest.mark.dbops
+
+FACTORY = "bare-metal-light"
+
+#: Small workloads keep each drawn example to a fraction of a second.
+fleet_shapes = st.tuples(
+    st.integers(min_value=1, max_value=400),   # seed
+    st.integers(min_value=2, max_value=6),     # endpoints
+    st.sampled_from((12, 24)),                 # events
+)
+
+ramp_schedules = st.sampled_from((
+    (RampStage(0, 100),),
+    (RampStage(0, 0), RampStage(1, 50), RampStage(3, 100)),
+    (RampStage(0, 25),),
+))
+
+
+def _noop_engine(stages, pins):
+    store = VersionStore()
+    store.publish(DeceptionDatabase(), label="identical")
+    return RolloutEngine.from_store(store, 1, stages=stages, pins=pins,
+                                    health=HealthGate(min_samples=1))
+
+
+@settings(max_examples=6, deadline=None)
+@given(shape=fleet_shapes, stages=ramp_schedules,
+       pin_hot=st.booleans())
+def test_noop_rollout_preserves_routerless_bytes(shape, stages, pin_hot):
+    seed, endpoints, events = shape
+    pins = {0: 1, 1: BASE_VERSION} if pin_hot else None
+
+    def service(router=None):
+        return FleetService(endpoints=endpoints, events=events, seed=seed,
+                            queue_limit=16, machine_factory=FACTORY,
+                            version_router=router)
+
+    reference = build_fleet_report(service().run()).to_json()
+    routed = service(_noop_engine(stages, pins)).run()
+    assert build_fleet_report(routed).to_json() == reference
+    assert routed.dbops["noop"] is True
+    assert routed.dbops["stamped_batches"] == 0
+    assert routed.dbops["rolled_back"] is False
+    assert all(record.db_version == BASE_VERSION
+               for record in routed.records)
+
+
+@settings(max_examples=6, deadline=None)
+@given(shape=fleet_shapes)
+def test_same_rollout_config_is_reproducible(shape):
+    """Two identical routed runs agree byte-for-byte (any target)."""
+    seed, endpoints, events = shape
+    store = VersionStore()
+    database = DeceptionDatabase()
+    from repro.dbops import CollectorPipeline
+    CollectorPipeline(store, database=database, seed=7).run(2)
+    target = store.latest().version_id
+
+    def run():
+        engine = RolloutEngine.from_store(store, target,
+                                          health=HealthGate())
+        service = FleetService(endpoints=endpoints, events=events,
+                               seed=seed, queue_limit=16,
+                               machine_factory=FACTORY,
+                               version_router=engine)
+        return build_fleet_report(service.run()).to_json()
+
+    assert run() == run()

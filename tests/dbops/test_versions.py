@@ -1,0 +1,169 @@
+"""VersionStore: append-only publish, reopen, integrity, atomicity."""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.core import DeceptionDatabase
+from repro.core.collector import ResourceDiff
+from repro.core.database import FrozenDeceptionDatabase
+from repro.dbops import (BASE_VERSION, MANIFEST_NAME, DatabaseVersion,
+                         VersionIntegrityError, VersionStore,
+                         VersionStoreError, changelog_from_diff,
+                         content_fingerprint)
+
+pytestmark = pytest.mark.dbops
+
+
+class TestContentFingerprint:
+    def test_crc_length_shape(self):
+        fp = content_fingerprint(b"hello")
+        crc, length = fp.split(":")
+        assert len(crc) == 8 and int(length) == 5
+
+    def test_distinct_blobs_distinct_fingerprints(self):
+        assert content_fingerprint(b"a") != content_fingerprint(b"b")
+
+    def test_matches_the_shared_registry_idiom(self):
+        from repro.parallel.shared import database_fingerprint
+        blob = DeceptionDatabase().snapshot_bytes()
+        assert content_fingerprint(blob) == database_fingerprint(blob)
+
+
+class TestChangelog:
+    def test_counts_every_resource_kind(self):
+        diff = ResourceDiff(files={"a", "b"}, processes={"p.exe"},
+                            registry_keys={"hklm\\k"},
+                            registry_values={("hklm\\k", "v"),
+                                             ("hklm\\k", "w")})
+        assert changelog_from_diff(diff) == {
+            "files": 2, "processes": 1,
+            "registry_keys": 1, "registry_values": 2}
+
+    def test_version_round_trips_through_json(self):
+        version = DatabaseVersion(
+            version_id=3, parent_id=2, fingerprint="deadbeef:10",
+            label="cycle-007", created_at_ms=420_000,
+            changelog=(("files", 4), ("processes", 1)))
+        rehydrated = DatabaseVersion.from_dict(
+            json.loads(json.dumps(version.to_dict())))
+        assert rehydrated == version
+        assert rehydrated.changelog_dict() == {"files": 4, "processes": 1}
+
+
+class TestInMemoryStore:
+    def test_publish_assigns_dense_ids_and_parent_links(self):
+        store = VersionStore()
+        db = DeceptionDatabase()
+        first = store.publish(db, label="one")
+        second = store.publish(db, label="two")
+        assert (first.version_id, first.parent_id) == (1, BASE_VERSION)
+        assert (second.version_id, second.parent_id) == (2, 1)
+        assert store.latest() == second
+        assert [v.label for v in store.versions()] == ["one", "two"]
+
+    def test_explicit_parent_is_honoured(self):
+        store = VersionStore()
+        db = DeceptionDatabase()
+        store.publish(db)
+        branched = store.publish(db, parent_id=BASE_VERSION)
+        assert branched.parent_id == BASE_VERSION
+
+    def test_blob_round_trip_and_rehydration(self):
+        store = VersionStore()
+        db = DeceptionDatabase()
+        version = store.publish(db)
+        blob = store.load_blob(version.version_id)
+        assert blob == db.snapshot_bytes()
+        assert content_fingerprint(blob) == version.fingerprint
+        frozen = store.load_database(version.version_id)
+        assert isinstance(frozen, FrozenDeceptionDatabase)
+        assert frozen.counts() == db.counts()
+
+    def test_accepts_a_prepickled_blob(self):
+        store = VersionStore()
+        blob = DeceptionDatabase().snapshot_bytes()
+        version = store.publish(blob, label="raw")
+        assert store.load_blob(version.version_id) == blob
+
+    def test_missing_version_raises(self):
+        store = VersionStore()
+        with pytest.raises(VersionStoreError):
+            store.get(1)
+        store.publish(DeceptionDatabase())
+        with pytest.raises(VersionStoreError):
+            store.load_blob(2)
+        assert store.latest() is not None
+
+    def test_empty_store_has_no_latest(self):
+        assert VersionStore().latest() is None
+        assert VersionStore().versions() == ()
+
+
+class TestOnDiskStore:
+    def test_reopen_sees_published_versions(self, tmp_path):
+        root = str(tmp_path / "store")
+        db = DeceptionDatabase()
+        store = VersionStore(root)
+        store.publish(db, label="one", created_at_ms=60_000)
+        store.publish(db, label="two", created_at_ms=120_000)
+
+        reopened = VersionStore(root)
+        assert reopened.versions() == store.versions()
+        assert reopened.load_blob(1) == db.snapshot_bytes()
+        assert reopened.load_database(2).counts() == db.counts()
+
+    def test_publish_leaves_no_temp_files(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = VersionStore(root)
+        store.publish(DeceptionDatabase())
+        names = sorted(os.listdir(root))
+        assert names == [MANIFEST_NAME, "v0001.snapshot"]
+
+    def test_corrupted_blob_is_detected_on_load(self, tmp_path):
+        root = str(tmp_path / "store")
+        VersionStore(root).publish(DeceptionDatabase())
+        blob_path = os.path.join(root, "v0001.snapshot")
+        with open(blob_path, "ab") as stream:
+            stream.write(b"tamper")
+        fresh = VersionStore(root)  # cold cache: must read from disk
+        with pytest.raises(VersionIntegrityError):
+            fresh.load_blob(1)
+
+    def test_deleted_blob_is_a_store_error(self, tmp_path):
+        root = str(tmp_path / "store")
+        VersionStore(root).publish(DeceptionDatabase())
+        os.remove(os.path.join(root, "v0001.snapshot"))
+        with pytest.raises(VersionStoreError):
+            VersionStore(root).load_blob(1)
+
+    def test_sparse_manifest_is_rejected(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = VersionStore(root)
+        store.publish(DeceptionDatabase())
+        manifest = os.path.join(root, MANIFEST_NAME)
+        with open(manifest, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+        payload["versions"][0]["version"] = 3  # break the dense sequence
+        with open(manifest, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream)
+        with pytest.raises(VersionStoreError):
+            VersionStore(root)
+
+    def test_garbage_manifest_is_a_store_error(self, tmp_path):
+        root = str(tmp_path / "store")
+        os.makedirs(root)
+        with open(os.path.join(root, MANIFEST_NAME), "w",
+                  encoding="utf-8") as stream:
+            stream.write("{not json")
+        with pytest.raises(VersionStoreError):
+            VersionStore(root)
+
+    def test_stored_blob_pickles_a_snapshot(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = VersionStore(root)
+        store.publish(DeceptionDatabase())
+        state = pickle.loads(store.load_blob(1))
+        assert state.files  # the default database is non-trivial

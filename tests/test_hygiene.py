@@ -183,7 +183,7 @@ class TestMarkerHygiene:
     REPO_ROOT = __import__("pathlib").Path(__file__).resolve().parents[1]
 
     #: Suite directories whose files must all carry the matching marker.
-    MARKED_SUITES = ("telemetry", "staticcheck", "fleet", "serve")
+    MARKED_SUITES = ("telemetry", "staticcheck", "fleet", "serve", "dbops")
 
     #: Files outside a marker-named directory that still owe a marker.
     DELTA_SUITE = ("parallel/test_delta_properties.py",

@@ -34,4 +34,7 @@ python -m pytest benchmarks/bench_staticcheck.py --benchmark-only -q
 echo "== fleet benchmark gate (rollup byte-identity, sharded sweep) =="
 python -m pytest benchmarks/bench_fleet.py --benchmark-only -q
 
+echo "== dbops benchmark gate (publish latency, no-op rollout identity) =="
+python -m pytest benchmarks/bench_dbops.py --benchmark-only -q
+
 echo "ci: all gates passed"
